@@ -1,0 +1,43 @@
+// Ablation: per-sub-job launch overhead. The dense-pattern result where
+// MRS1 beats S3 (Figure 4(b)) hinges on S3 paying k launch overheads per job
+// stream ("the communication cost becomes a dominant factor", §V-D). This
+// sweep locates the crossover.
+#include <cstdio>
+
+#include "harness.h"
+
+int main() {
+  using namespace s3;
+  auto setup = workloads::make_paper_setup(64.0);
+  const auto jobs = workloads::make_sim_jobs(
+      setup.wordcount_file, workloads::paper_dense_arrivals(),
+      sim::WorkloadCost::wordcount_normal());
+
+  metrics::TableWriter table({"launch overhead (s)", "S3 TET", "MRS1 TET",
+                              "S3/MRS1", "S3 ART", "MRS1 ART"});
+  for (const double overhead : {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+    setup.cost.batch_launch_overhead = overhead;
+    double tet_s3 = 0, art_s3 = 0, tet_mrs1 = 0, art_mrs1 = 0;
+    for (const bool use_s3 : {true, false}) {
+      auto scheduler =
+          use_s3 ? workloads::make_s3(setup.catalog, setup.topology,
+                                      setup.default_segment_blocks())
+                 : workloads::make_mrs1(setup.catalog);
+      sim::SimConfig config;
+      config.cost = setup.cost;
+      sim::SimEngine engine(setup.topology, setup.catalog, config);
+      auto run = engine.run(*scheduler, jobs);
+      S3_CHECK_MSG(run.is_ok(), run.status());
+      (use_s3 ? tet_s3 : tet_mrs1) = run.value().summary.tet;
+      (use_s3 ? art_s3 : art_mrs1) = run.value().summary.art;
+    }
+    table.add_row({format_double(overhead, 0), format_double(tet_s3, 1),
+                   format_double(tet_mrs1, 1),
+                   format_double(tet_s3 / tet_mrs1, 2),
+                   format_double(art_s3, 1), format_double(art_mrs1, 1)});
+  }
+  std::printf("=== Ablation — sub-job launch overhead (dense pattern): "
+              "S3 vs MRS1 crossover ===\n%s\n",
+              table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Ablation: when does the shuffle network bind? The calibrated reduce tails
+// already include typical shuffle time; the rack-aware network model acts as
+// a lower bound that only binds for shuffle-heavy jobs (paper §V-B: heavy
+// data shuffling "may offset the improvement gained by shared scan"). This
+// sweep scales map output volume per block and reports where the network
+// takes over the reduce tail and how it erodes the shared-scan benefit.
+#include <cstdio>
+
+#include "harness.h"
+
+int main() {
+  using namespace s3;
+  const auto setup = workloads::make_paper_setup(64.0);
+
+  // Report the topology-derived shuffle characteristics once.
+  sim::NetworkModel network(setup.cost.network, setup.topology);
+  std::printf("network: cross-rack fraction %.2f, blended %.1f MB/s per "
+              "flow, %d reduce tasks\n\n",
+              network.cross_rack_fraction(), network.blended_mb_per_s(),
+              setup.cost.num_reduce_tasks);
+
+  metrics::TableWriter table({"map output (MB/block)", "S3 TET", "MRS1 TET",
+                              "S3/MRS1 TET", "S3 ART"});
+  for (const double output_mb : {0.94, 4.0, 16.0, 48.0, 96.0}) {
+    sim::WorkloadCost cost = sim::WorkloadCost::wordcount_normal();
+    cost.map_output_mb_per_block = output_mb;
+    const auto jobs = workloads::make_sim_jobs(
+        setup.wordcount_file, workloads::paper_sparse_arrivals(), cost);
+
+    double tet_s3 = 0, art_s3 = 0, tet_mrs1 = 0;
+    for (const bool use_s3 : {true, false}) {
+      auto scheduler =
+          use_s3 ? workloads::make_s3(setup.catalog, setup.topology,
+                                      setup.default_segment_blocks())
+                 : workloads::make_mrs1(setup.catalog);
+      sim::SimConfig config;
+      config.cost = setup.cost;
+      sim::SimEngine engine(setup.topology, setup.catalog, config);
+      auto run = engine.run(*scheduler, jobs);
+      S3_CHECK_MSG(run.is_ok(), run.status());
+      (use_s3 ? tet_s3 : tet_mrs1) = run.value().summary.tet;
+      if (use_s3) art_s3 = run.value().summary.art;
+    }
+    table.add_row({format_double(output_mb, 2), format_double(tet_s3, 1),
+                   format_double(tet_mrs1, 1),
+                   format_double(tet_s3 / tet_mrs1, 2),
+                   format_double(art_s3, 1)});
+  }
+  std::printf("=== Ablation — shuffle volume vs shared-scan benefit "
+              "(sparse pattern) ===\n%s\n",
+              table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Ablation: segment size (blocks per merged sub-job). The paper fixes the
+// segment so one sub-job fills the cluster for one round (§IV-B); this sweep
+// shows the trade-off the choice balances — small segments = low waiting
+// time but many launch overheads; large segments = the opposite, degenerating
+// to MRShare-like behaviour at k = 1.
+#include <cstdio>
+
+#include "harness.h"
+
+int main() {
+  using namespace s3;
+  const auto setup = workloads::make_paper_setup(64.0);
+  const auto jobs = workloads::make_sim_jobs(
+      setup.wordcount_file, workloads::paper_sparse_arrivals(),
+      sim::WorkloadCost::wordcount_normal());
+
+  metrics::TableWriter table({"blocks/segment", "segments (k)", "batches",
+                              "TET (s)", "ART (s)", "mean wait (s)"});
+  for (const std::uint64_t blocks :
+       {std::uint64_t{40}, std::uint64_t{80}, std::uint64_t{160},
+        std::uint64_t{320}, std::uint64_t{640}, std::uint64_t{1280},
+        std::uint64_t{2560}}) {
+    auto scheduler = workloads::make_s3(setup.catalog, setup.topology, blocks);
+    sim::SimConfig config;
+    config.cost = setup.cost;
+    sim::SimEngine engine(setup.topology, setup.catalog, config);
+    auto run = engine.run(*scheduler, jobs);
+    S3_CHECK_MSG(run.is_ok(), run.status());
+    const auto& r = run.value();
+    const std::uint64_t k =
+        (setup.wordcount_blocks + blocks - 1) / blocks;
+    table.add_row({std::to_string(blocks), std::to_string(k),
+                   std::to_string(r.batches.size()),
+                   format_double(r.summary.tet, 1),
+                   format_double(r.summary.art, 1),
+                   format_double(r.summary.mean_waiting, 1)});
+  }
+  std::printf("=== Ablation — S3 segment size (sparse pattern, normal "
+              "workload) ===\n%s\n",
+              table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Figure 4(a): sparse job pattern, normal wordcount workload, 64 MB blocks.
+// Paper: S3 TET 1,388 s / ART 467 s (normalized 1.0); FIFO 2.2x TET, 2.5x
+// ART; MRShare variants 1.03-1.32x TET and 1.26-2.54x ART.
+#include "harness.h"
+
+int main() {
+  using namespace s3;
+  const auto setup = workloads::make_paper_setup(64.0);
+  const auto jobs = workloads::make_sim_jobs(
+      setup.wordcount_file, workloads::paper_sparse_arrivals(),
+      sim::WorkloadCost::wordcount_normal());
+
+  const auto result =
+      bench::run_figure4(setup, jobs, setup.default_segment_blocks());
+  bench::print_figure(
+      "Figure 4(a) — sparse pattern, normal workload, 64 MB blocks", result,
+      {{"FIFO", 2.2, 2.5},
+       {"MRS1", 1.17, 2.54},   // paper range 1.03~1.32 TET, 1.26~2.54 ART
+       {"MRS2", 1.03, 1.8},
+       {"MRS3", 1.1, 1.26}});
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Figure 4(b): dense job pattern, normal workload, 64 MB blocks.
+// Paper: MRS1 is best (waits only briefly for all 10 jobs, then one shared
+// pass), even beating S3 (which pays per-sub-job launch overhead across ~13
+// merged sub-jobs); MRS3 is up to >3x slower than S3; FIFO unchanged vs the
+// sparse pattern.
+#include "harness.h"
+
+int main() {
+  using namespace s3;
+  const auto setup = workloads::make_paper_setup(64.0);
+  const auto jobs = workloads::make_sim_jobs(
+      setup.wordcount_file, workloads::paper_dense_arrivals(),
+      sim::WorkloadCost::wordcount_normal());
+
+  const auto result =
+      bench::run_figure4(setup, jobs, setup.default_segment_blocks());
+  bench::print_figure(
+      "Figure 4(b) — dense pattern, normal workload, 64 MB blocks", result,
+      {{"FIFO", 0.0, 0.0},   // paper: roughly unchanged absolute times
+       {"MRS1", 0.95, 0.95}, // paper: MRS1 slightly better than S3
+       {"MRS3", 3.0, 3.0}}); // paper: "more than three times slower"
+  return 0;
+}

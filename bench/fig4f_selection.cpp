@@ -1,0 +1,28 @@
+// Figure 4(f): structured-data selection workload — TPC-H lineitem, 400 GB
+// (10 GB/node), 64 MB blocks, 10 % selectivity, sparse submissions.
+// Paper: jobs are long, so a FIFO-blocked job waits a very long time; S3
+// outperforms both FIFO and MRShare on TET and ART.
+#include "harness.h"
+
+int main() {
+  using namespace s3;
+  const auto setup = workloads::make_paper_setup(64.0);
+  // Same sparse shape as the wordcount experiments, scaled to the longer
+  // selection jobs (~2.2x wordcount's duration).
+  const auto arrivals =
+      workloads::sparse_groups({3, 3, 4}, /*group_gap=*/400.0,
+                               /*intra_gap=*/66.0);
+  auto jobs = workloads::make_sim_jobs(setup.lineitem_file, arrivals,
+                                       sim::WorkloadCost::tpch_selection(),
+                                       "selection");
+
+  // Segment sized like the wordcount default: whole waves, k = 8 over the
+  // larger lineitem file.
+  const std::uint64_t segment_blocks = setup.lineitem_blocks / 8;
+  const auto result = bench::run_figure4(setup, jobs, segment_blocks);
+  bench::print_figure(
+      "Figure 4(f) — structured data processing (selection on lineitem)",
+      result,
+      {{"FIFO", 2.5, 3.0}});  // paper: FIFO much worse; MRShare in between
+  return 0;
+}

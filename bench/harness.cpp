@@ -1,0 +1,55 @@
+#include "harness.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace s3::bench {
+
+Figure4Result run_figure4(const workloads::PaperSetup& setup,
+                          const std::vector<sim::SimJob>& jobs,
+                          std::uint64_t segment_blocks) {
+  Figure4Result result;
+
+  struct Scheme {
+    std::string name;
+    std::unique_ptr<sched::Scheduler> scheduler;
+  };
+  std::vector<Scheme> schemes;
+  schemes.push_back({"FIFO", workloads::make_fifo(setup.catalog)});
+  schemes.push_back({"MRS1", workloads::make_mrs1(setup.catalog)});
+  schemes.push_back({"MRS2", workloads::make_mrs2(setup.catalog)});
+  schemes.push_back({"MRS3", workloads::make_mrs3(setup.catalog)});
+  schemes.push_back({"S3", workloads::make_s3(setup.catalog, setup.topology,
+                                              segment_blocks)});
+
+  for (auto& scheme : schemes) {
+    sim::SimConfig config;
+    config.cost = setup.cost;
+    sim::SimEngine engine(setup.topology, setup.catalog, config);
+    auto run = engine.run(*scheme.scheduler, jobs);
+    S3_CHECK_MSG(run.is_ok(), "sim failed for " << scheme.name << ": "
+                                                << run.status());
+    result.table.add(scheme.name, run.value().summary);
+    if (scheme.name == "S3") {
+      result.s3_batches = run.value().batches.size();
+    }
+  }
+  return result;
+}
+
+void print_figure(const std::string& title, const Figure4Result& result,
+                  const std::vector<PaperRatio>& paper) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("%s", result.table.render("S3").c_str());
+  std::printf("S3 merged sub-jobs launched: %zu\n", result.s3_batches);
+  if (!paper.empty()) {
+    std::printf("paper-reported ratios (scheme / S3):\n");
+    for (const auto& p : paper) {
+      std::printf("  %-5s TET x%.2f   ART x%.2f\n", p.scheme.c_str(),
+                  p.tet_over_s3, p.art_over_s3);
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace s3::bench

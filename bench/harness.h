@@ -1,0 +1,37 @@
+// Shared harness for the figure-reproduction benches: runs the five schemes
+// of Figure 4 (FIFO, MRS1, MRS2, MRS3, S3) over one workload in the
+// simulator and prints absolute plus S3-normalized TET/ART, side by side
+// with the paper's reported ratios.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/s3.h"
+
+namespace s3::bench {
+
+struct PaperRatio {
+  std::string scheme;
+  double tet_over_s3 = 0.0;  // 0 = not reported
+  double art_over_s3 = 0.0;
+};
+
+struct Figure4Result {
+  metrics::ComparisonTable table;
+  // Batches launched by S3 (the paper quotes 13 for the dense pattern).
+  std::size_t s3_batches = 0;
+};
+
+// Runs all five schemes on the given jobs; the workload's file/cost are
+// already inside each SimJob.
+Figure4Result run_figure4(const workloads::PaperSetup& setup,
+                          const std::vector<sim::SimJob>& jobs,
+                          std::uint64_t segment_blocks);
+
+// Prints the comparison plus paper-reported ratios for EXPERIMENTS.md.
+void print_figure(const std::string& title, const Figure4Result& result,
+                  const std::vector<PaperRatio>& paper);
+
+}  // namespace s3::bench

@@ -1,0 +1,86 @@
+// Related work quantified (paper §II-B) + future work (§VI): slot-granular
+// scheduling of the sparse-pattern workload in the task-level simulator.
+//
+//  * FIFO-task   — Hadoop default: head job owns the slots.
+//  * Fair        — Facebook's fair scheduler: slots split among active jobs.
+//  * Capacity    — Yahoo!'s capacity scheduler: 3 pools with guaranteed
+//                  fractions, jobs assigned round-robin to pools.
+//  * S3-barrierless — the §VI integration: task-granular shared scan (S3's
+//                  circular cursor without the per-segment wave barrier).
+//
+// The paper's §II-B critique is checked directly: fair/capacity run jobs
+// concurrently (low waiting) but each job gets fewer slots (longer
+// execution) and nothing is shared (cluster-busy seconds stay ~n scans).
+#include <cstdio>
+#include <memory>
+
+#include "harness.h"
+#include "tasksim/tasksim.h"
+
+int main() {
+  using namespace s3;
+  const auto setup = workloads::make_paper_setup(64.0);
+  const auto cost = sim::WorkloadCost::wordcount_normal();
+  const auto& params_cost = setup.cost;
+
+  // The same per-task economics as the batch simulator's map tasks.
+  const double io = params_cost.io_seconds_per_block();
+  const auto task_seconds = [&, io](int sharers) {
+    return params_cost.map_task_overhead +
+           std::max(io, cost.map_cpu_seconds_per_block * sharers) +
+           cost.map_spill_seconds_per_block * sharers +
+           params_cost.share_map_penalty * (sharers - 1);
+  };
+  const double reduce_tail =
+      cost.reduce_seconds_per_block * static_cast<double>(setup.wordcount_blocks);
+
+  const auto arrivals = workloads::paper_sparse_arrivals();
+  std::vector<tasksim::TaskSimJob> jobs;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    tasksim::TaskSimJob job;
+    job.id = JobId(i);
+    job.arrival = arrivals[i];
+    job.total_blocks = setup.wordcount_blocks;
+    job.reduce_tail = reduce_tail;
+    job.pool = static_cast<int>(i % 3);
+    jobs.push_back(job);
+  }
+
+  tasksim::TaskSimParams params;
+  params.slots = setup.topology.total_map_slots();
+  params.map_task_seconds = task_seconds;
+
+  metrics::TableWriter table({"scheduler", "TET (s)", "ART (s)",
+                              "mean wait (s)", "busy slot-hours",
+                              "tasks run"});
+  const auto add = [&](tasksim::TaskScheduler& scheduler, int pools) {
+    tasksim::TaskSimParams p = params;
+    p.pools = pools;
+    auto result = tasksim::run_task_sim(p, scheduler, jobs);
+    S3_CHECK_MSG(result.is_ok(), result.status());
+    const auto& r = result.value();
+    table.add_row({scheduler.name(), format_double(r.summary.tet, 1),
+                   format_double(r.summary.art, 1),
+                   format_double(r.summary.mean_waiting, 1),
+                   format_double(r.busy_slot_seconds / 3600.0, 1),
+                   std::to_string(r.tasks_run)});
+  };
+
+  tasksim::FifoTaskScheduler fifo;
+  tasksim::FairTaskScheduler fair;
+  tasksim::CapacityTaskScheduler capacity(3);
+  tasksim::SharedScanTaskScheduler shared(setup.wordcount_blocks);
+  add(fifo, 1);
+  add(fair, 1);
+  add(capacity, 3);
+  add(shared, 1);
+
+  std::printf("=== Related work quantified — slot-granular schedulers on the "
+              "sparse pattern (task-level simulator) ===\n%s",
+              table.render().c_str());
+  std::printf("fair/capacity start jobs quickly but stretch them (no shared "
+              "scans: ~10x the tasks of the shared scan); the barrierless "
+              "shared scan is the §VI full+partial-utilization "
+              "integration\n\n");
+  return 0;
+}

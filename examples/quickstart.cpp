@@ -1,0 +1,75 @@
+// Quickstart: the smallest complete S3 program.
+//
+// 1. Build an in-memory DFS and generate a small synthetic text corpus.
+// 2. Define two wordcount jobs that arrive 2 (virtual) seconds apart.
+// 3. Run them under the S3 shared-scan scheduler on the real multi-threaded
+//    engine, and print each job's top words plus the sharing statistics.
+//
+// Build & run:   cmake -B build -G Ninja && cmake --build build
+//                ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/s3.h"
+
+int main() {
+  using namespace s3;
+
+  // --- 1. A 16-block in-memory file of Zipf-distributed text. ---
+  dfs::DfsNamespace ns;
+  dfs::BlockStore store;
+  cluster::Topology topology = cluster::Topology::uniform(/*nodes=*/4,
+                                                          /*racks=*/2);
+  dfs::PlacementTopology ptopo;
+  for (const auto& node : topology.nodes()) {
+    ptopo.nodes.push_back({node.id, node.rack});
+  }
+  dfs::RoundRobinPlacement placement(ptopo);
+  workloads::TextCorpusGenerator corpus;
+  const FileId file =
+      corpus
+          .generate_file(ns, store, placement, "books.txt", /*num_blocks=*/16,
+                         ByteSize::kib(16))
+          .value();
+  std::printf("generated %s across %zu blocks\n",
+              ns.file_size(file).to_string().c_str(),
+              ns.file(file).blocks.size());
+
+  // --- 2. Two pattern-wordcount jobs arriving at different times. ---
+  sched::FileCatalog catalog;
+  catalog.add(file, ns.file(file).num_blocks());
+  std::vector<core::RealJob> jobs;
+  jobs.push_back({workloads::make_wordcount_job(JobId(0), file, "a",
+                                                /*reduce_tasks=*/4),
+                  /*arrival=*/0.0, /*priority=*/0});
+  jobs.push_back({workloads::make_wordcount_job(JobId(1), file, "b", 4),
+                  /*arrival=*/2.0, 0});
+
+  // --- 3. Run under S3: 4-block segments, real threaded execution. ---
+  engine::LocalEngine engine(ns, store, {/*map_workers=*/4,
+                                         /*reduce_workers=*/2});
+  core::RealDriver driver(ns, engine, catalog,
+                          {/*time_scale=*/1e5});  // stretch wall->virtual
+  auto s3 = workloads::make_s3(catalog, topology, /*segment_blocks=*/4);
+  auto result = driver.run(*s3, std::move(jobs)).value();
+
+  for (const auto& [job, output] : result.outputs) {
+    std::printf("\n%s: %zu distinct words; first few:\n",
+                (job == JobId(0) ? "job-0 (prefix 'a')" : "job-1 (prefix 'b')"),
+                output.output.size());
+    for (std::size_t i = 0; i < output.output.size() && i < 5; ++i) {
+      std::printf("  %-12s %s\n", output.output[i].key.c_str(),
+                  output.output[i].value.c_str());
+    }
+  }
+
+  std::printf("\nscheduling: %zu merged sub-jobs, TET %.1f, ART %.1f "
+              "(virtual s)\n",
+              result.batches_run, result.summary.tet, result.summary.art);
+  std::printf("shared scan: %llu physical block reads served %llu logical "
+              "block scans (%.0f%% I/O saved vs no sharing)\n",
+              static_cast<unsigned long long>(result.scan.blocks_physical),
+              static_cast<unsigned long long>(result.scan.blocks_logical),
+              100.0 * (1.0 - static_cast<double>(result.scan.blocks_physical) /
+                                 static_cast<double>(result.scan.blocks_logical)));
+  return 0;
+}

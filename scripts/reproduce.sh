@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Regenerates every table, figure and ablation of the paper reproduction.
+# Outputs land in results/ (one .txt per harness) plus combined logs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+RESULTS_DIR=${RESULTS_DIR:-results}
+
+cmake -B "$BUILD_DIR" -G Ninja
+cmake --build "$BUILD_DIR"
+
+echo "== tests =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure | tee test_output.txt
+
+mkdir -p "$RESULTS_DIR"
+echo "== benches =="
+: > bench_output.txt
+for b in "$BUILD_DIR"/bench/*; do
+  [ -x "$b" ] || continue
+  name=$(basename "$b")
+  echo "--- $name ---"
+  if [ "$name" = "micro_benchmarks" ]; then
+    "$b" --benchmark_min_time=0.05 | tee "$RESULTS_DIR/$name.txt"
+  else
+    "$b" | tee "$RESULTS_DIR/$name.txt"
+  fi
+  cat "$RESULTS_DIR/$name.txt" >> bench_output.txt
+done
+
+echo "== examples =="
+for e in quickstart shared_scan_wordcount tpch_selection cluster_simulation \
+         aggregation_query generated_corpus_scan; do
+  echo "--- $e ---"
+  "$BUILD_DIR/examples/$e" | tee "$RESULTS_DIR/example_$e.txt"
+done
+
+echo "done; see $RESULTS_DIR/, test_output.txt, bench_output.txt"

@@ -1,0 +1,63 @@
+#include "cluster/heartbeat.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace s3::cluster {
+
+HeartbeatTracker::HeartbeatTracker(double slow_threshold)
+    : slow_threshold_(slow_threshold) {
+  S3_CHECK(slow_threshold > 1.0);
+}
+
+void HeartbeatTracker::report(const ProgressReport& report) {
+  S3_CHECK(report.progress >= 0.0 && report.progress <= 1.0);
+  S3_CHECK(report.report_time >= report.task_start);
+  latest_[report.node] = report;
+}
+
+void HeartbeatTracker::clear(NodeId node) { latest_.erase(node); }
+
+SimTime HeartbeatTracker::estimate_duration(const ProgressReport& r) {
+  const SimTime elapsed = r.report_time - r.task_start;
+  if (r.progress <= 0.0) {
+    // No progress yet: the best lower bound is the elapsed time itself; we
+    // conservatively double it so stalled tasks look slow quickly.
+    return 2.0 * elapsed;
+  }
+  return elapsed / r.progress;
+}
+
+std::optional<NodeEstimate> HeartbeatTracker::estimate(NodeId node) const {
+  const auto it = latest_.find(node);
+  if (it == latest_.end()) return std::nullopt;
+  NodeEstimate e;
+  e.node = node;
+  e.estimated_duration = estimate_duration(it->second);
+  e.estimated_completion = it->second.task_start + e.estimated_duration;
+  return e;
+}
+
+std::vector<NodeId> HeartbeatTracker::slow_nodes() const {
+  if (latest_.size() < 2) return {};  // no basis for comparison
+  std::vector<SimTime> durations;
+  durations.reserve(latest_.size());
+  for (const auto& [node, report] : latest_) {
+    durations.push_back(estimate_duration(report));
+  }
+  std::sort(durations.begin(), durations.end());
+  const SimTime median = durations[durations.size() / 2];
+  if (median <= 0.0) return {};
+
+  std::vector<NodeId> slow;
+  for (const auto& [node, report] : latest_) {
+    if (estimate_duration(report) > slow_threshold_ * median) {
+      slow.push_back(node);
+    }
+  }
+  std::sort(slow.begin(), slow.end());
+  return slow;
+}
+
+}  // namespace s3::cluster

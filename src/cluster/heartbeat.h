@@ -1,0 +1,58 @@
+// Periodic slot checking (paper §IV-D-1): every node reports job type, task
+// start time and progress; the tracker estimates completion time and flags
+// nodes whose estimated task duration exceeds `slow_threshold` times the
+// cluster median. The Job Queue Manager uses the flagged set to exclude slow
+// nodes from the next wave and recompute segment size.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace s3::cluster {
+
+struct ProgressReport {
+  NodeId node;
+  TaskId task;
+  SimTime task_start = 0.0;
+  double progress = 0.0;  // fraction of the task done, in [0, 1]
+  SimTime report_time = 0.0;
+};
+
+struct NodeEstimate {
+  NodeId node;
+  // Estimated total duration of the task currently running on the node.
+  SimTime estimated_duration = 0.0;
+  // Estimated absolute completion time.
+  SimTime estimated_completion = 0.0;
+};
+
+class HeartbeatTracker {
+ public:
+  // `slow_threshold`: a node is slow if its estimated task duration exceeds
+  // threshold * median estimated duration across reporting nodes.
+  explicit HeartbeatTracker(double slow_threshold = 1.5);
+
+  void report(const ProgressReport& report);
+
+  // Forgets the node's current task (task finished or node idle).
+  void clear(NodeId node);
+
+  [[nodiscard]] std::optional<NodeEstimate> estimate(NodeId node) const;
+
+  // Nodes currently flagged slow relative to the median.
+  [[nodiscard]] std::vector<NodeId> slow_nodes() const;
+
+  [[nodiscard]] std::size_t num_reporting() const { return latest_.size(); }
+  [[nodiscard]] double slow_threshold() const { return slow_threshold_; }
+
+ private:
+  [[nodiscard]] static SimTime estimate_duration(const ProgressReport& r);
+
+  double slow_threshold_;
+  std::unordered_map<NodeId, ProgressReport> latest_;
+};
+
+}  // namespace s3::cluster

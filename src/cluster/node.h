@@ -1,0 +1,21 @@
+// Slave-node description. `speed_factor` scales task durations on that node
+// (1.0 = nominal, 2.0 = twice as slow); the simulator uses it to model
+// heterogeneous clusters and stragglers, and S3's periodic slot checking
+// reacts to it.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace s3::cluster {
+
+struct NodeInfo {
+  NodeId id;
+  RackId rack;
+  int map_slots = 1;
+  int reduce_slots = 1;
+  double speed_factor = 1.0;
+};
+
+}  // namespace s3::cluster

@@ -1,0 +1,82 @@
+#include "cluster/slot_ledger.h"
+
+namespace s3::cluster {
+
+SlotLedger::SlotLedger(const Topology& topology) : topology_(&topology) {
+  for (const auto& node : topology.nodes()) {
+    counts_[node.id] = Counts{node.map_slots, node.reduce_slots};
+  }
+}
+
+Status SlotLedger::acquire(NodeId node, SlotKind kind) {
+  const auto it = counts_.find(node);
+  if (it == counts_.end()) return Status::not_found("unknown node");
+  int& free = kind == SlotKind::kMap ? it->second.free_map
+                                     : it->second.free_reduce;
+  if (free <= 0) {
+    return Status::failed_precondition("no free slot of requested kind");
+  }
+  --free;
+  return Status::ok();
+}
+
+Status SlotLedger::release(NodeId node, SlotKind kind) {
+  const auto it = counts_.find(node);
+  if (it == counts_.end()) return Status::not_found("unknown node");
+  const NodeInfo& info = topology_->node(node);
+  int& free = kind == SlotKind::kMap ? it->second.free_map
+                                     : it->second.free_reduce;
+  const int cap = kind == SlotKind::kMap ? info.map_slots : info.reduce_slots;
+  if (free >= cap) {
+    return Status::failed_precondition("release without matching acquire");
+  }
+  ++free;
+  return Status::ok();
+}
+
+int SlotLedger::free_slots(NodeId node, SlotKind kind) const {
+  const auto it = counts_.find(node);
+  S3_CHECK_MSG(it != counts_.end(), "unknown node " << node);
+  return kind == SlotKind::kMap ? it->second.free_map
+                                : it->second.free_reduce;
+}
+
+int SlotLedger::total_free(SlotKind kind) const {
+  int total = 0;
+  for (const auto& [node, counts] : counts_) {
+    total += kind == SlotKind::kMap ? counts.free_map : counts.free_reduce;
+  }
+  return total;
+}
+
+std::vector<NodeId> SlotLedger::available_nodes(SlotKind kind) const {
+  std::vector<NodeId> out;
+  for (const auto& node : topology_->nodes()) {
+    if (excluded_.count(node.id) > 0) continue;
+    if (free_slots(node.id, kind) > 0) out.push_back(node.id);
+  }
+  return out;
+}
+
+void SlotLedger::set_excluded(NodeId node, bool excluded) {
+  if (excluded) {
+    excluded_.insert(node);
+  } else {
+    excluded_.erase(node);
+  }
+}
+
+bool SlotLedger::is_excluded(NodeId node) const {
+  return excluded_.count(node) > 0;
+}
+
+int SlotLedger::available_map_slots() const {
+  int total = 0;
+  for (const auto& node : topology_->nodes()) {
+    if (excluded_.count(node.id) > 0) continue;
+    total += free_slots(node.id, SlotKind::kMap);
+  }
+  return total;
+}
+
+}  // namespace s3::cluster

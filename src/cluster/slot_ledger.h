@@ -1,0 +1,55 @@
+// Slot accounting: which map/reduce slots are free on which node. The
+// JobTracker analogue consults this when assigning tasks; S3's periodic slot
+// checking marks nodes excluded so the next wave is sized to the healthy
+// subset of the cluster.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "cluster/topology.h"
+
+namespace s3::cluster {
+
+enum class SlotKind { kMap, kReduce };
+
+class SlotLedger {
+ public:
+  explicit SlotLedger(const Topology& topology);
+
+  // Acquires one slot of the given kind on the given node.
+  Status acquire(NodeId node, SlotKind kind);
+  // Releases one previously acquired slot.
+  Status release(NodeId node, SlotKind kind);
+
+  [[nodiscard]] int free_slots(NodeId node, SlotKind kind) const;
+  [[nodiscard]] int total_free(SlotKind kind) const;
+
+  // Nodes with at least one free slot of the kind, excluding excluded nodes.
+  [[nodiscard]] std::vector<NodeId> available_nodes(SlotKind kind) const;
+
+  // Slow-node exclusion (paper §IV-D-1): excluded nodes do not appear in
+  // available_nodes() and do not count toward available_map_slots(), but
+  // already-acquired slots keep running until released.
+  void set_excluded(NodeId node, bool excluded);
+  [[nodiscard]] bool is_excluded(NodeId node) const;
+  [[nodiscard]] std::size_t num_excluded() const { return excluded_.size(); }
+
+  // Total free map slots over non-excluded nodes — S3's wave size m.
+  [[nodiscard]] int available_map_slots() const;
+
+ private:
+  struct Counts {
+    int free_map = 0;
+    int free_reduce = 0;
+  };
+
+  const Topology* topology_;
+  std::unordered_map<NodeId, Counts> counts_;
+  std::unordered_set<NodeId> excluded_;
+};
+
+}  // namespace s3::cluster

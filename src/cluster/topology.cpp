@@ -1,0 +1,73 @@
+#include "cluster/topology.h"
+
+namespace s3::cluster {
+
+RackId Topology::add_rack() { return RackId(num_racks_++); }
+
+NodeId Topology::add_node(RackId rack, int map_slots, int reduce_slots,
+                          double speed_factor) {
+  S3_CHECK_MSG(rack.value() < num_racks_, "rack does not exist");
+  S3_CHECK(map_slots >= 0 && reduce_slots >= 0);
+  S3_CHECK(speed_factor > 0.0);
+  NodeInfo info;
+  info.id = NodeId(nodes_.size());
+  info.rack = rack;
+  info.map_slots = map_slots;
+  info.reduce_slots = reduce_slots;
+  info.speed_factor = speed_factor;
+  nodes_.push_back(info);
+  return info.id;
+}
+
+const NodeInfo& Topology::node(NodeId id) const {
+  S3_CHECK_MSG(id.value() < nodes_.size(), "unknown node " << id);
+  return nodes_[id.value()];
+}
+
+NodeInfo& Topology::mutable_node(NodeId id) {
+  S3_CHECK_MSG(id.value() < nodes_.size(), "unknown node " << id);
+  return nodes_[id.value()];
+}
+
+int Topology::total_map_slots() const {
+  int total = 0;
+  for (const auto& n : nodes_) total += n.map_slots;
+  return total;
+}
+
+int Topology::total_reduce_slots() const {
+  int total = 0;
+  for (const auto& n : nodes_) total += n.reduce_slots;
+  return total;
+}
+
+bool Topology::same_rack(NodeId a, NodeId b) const {
+  return node(a).rack == node(b).rack;
+}
+
+Topology Topology::paper_cluster() {
+  Topology t;
+  const std::size_t rack_sizes[] = {13, 13, 14};
+  for (const std::size_t size : rack_sizes) {
+    const RackId rack = t.add_rack();
+    for (std::size_t i = 0; i < size; ++i) {
+      t.add_node(rack, /*map_slots=*/1, /*reduce_slots=*/1);
+    }
+  }
+  return t;
+}
+
+Topology Topology::uniform(std::size_t nodes, std::size_t racks,
+                           int map_slots_per_node, int reduce_slots_per_node) {
+  S3_CHECK(racks > 0);
+  Topology t;
+  std::vector<RackId> rack_ids;
+  rack_ids.reserve(racks);
+  for (std::size_t r = 0; r < racks; ++r) rack_ids.push_back(t.add_rack());
+  for (std::size_t i = 0; i < nodes; ++i) {
+    t.add_node(rack_ids[i % racks], map_slots_per_node, reduce_slots_per_node);
+  }
+  return t;
+}
+
+}  // namespace s3::cluster

@@ -1,0 +1,50 @@
+// Cluster topology: racks and nodes. Provides the paper's experimental
+// cluster as a preset (1 master + 40 slaves in 3 racks, 1 map slot per node,
+// 30 reduce tasks cluster-wide).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "cluster/node.h"
+
+namespace s3::cluster {
+
+class Topology {
+ public:
+  // Adds a rack and returns its id.
+  RackId add_rack();
+
+  // Adds a node to an existing rack.
+  NodeId add_node(RackId rack, int map_slots = 1, int reduce_slots = 1,
+                  double speed_factor = 1.0);
+
+  [[nodiscard]] const std::vector<NodeInfo>& nodes() const { return nodes_; }
+  [[nodiscard]] const NodeInfo& node(NodeId id) const;
+  [[nodiscard]] NodeInfo& mutable_node(NodeId id);
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t num_racks() const { return num_racks_; }
+
+  [[nodiscard]] int total_map_slots() const;
+  [[nodiscard]] int total_reduce_slots() const;
+
+  // True if the two nodes are on the same rack (used by the network model).
+  [[nodiscard]] bool same_rack(NodeId a, NodeId b) const;
+
+  // The paper's cluster: 40 slave nodes over 3 racks (13/13/14), one map
+  // slot per node.
+  static Topology paper_cluster();
+
+  // A uniform cluster: `nodes` nodes spread round-robin over `racks` racks.
+  static Topology uniform(std::size_t nodes, std::size_t racks,
+                          int map_slots_per_node = 1,
+                          int reduce_slots_per_node = 1);
+
+ private:
+  std::size_t num_racks_ = 0;
+  std::vector<NodeInfo> nodes_;  // NodeId value == index
+};
+
+}  // namespace s3::cluster

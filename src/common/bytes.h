@@ -1,0 +1,84 @@
+// Byte-size vocabulary: constants, a ByteSize value type and human-readable
+// formatting. All data-volume accounting in the library uses ByteSize so that
+// MB-vs-MiB confusion cannot creep into the cost model.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace s3 {
+
+constexpr std::uint64_t kKiB = 1024ULL;
+constexpr std::uint64_t kMiB = 1024ULL * kKiB;
+constexpr std::uint64_t kGiB = 1024ULL * kMiB;
+constexpr std::uint64_t kTiB = 1024ULL * kGiB;
+
+class ByteSize {
+ public:
+  constexpr ByteSize() = default;
+  constexpr explicit ByteSize(std::uint64_t bytes) : bytes_(bytes) {}
+
+  static constexpr ByteSize bytes(std::uint64_t n) { return ByteSize(n); }
+  static constexpr ByteSize kib(std::uint64_t n) { return ByteSize(n * kKiB); }
+  static constexpr ByteSize mib(std::uint64_t n) { return ByteSize(n * kMiB); }
+  static constexpr ByteSize gib(std::uint64_t n) { return ByteSize(n * kGiB); }
+
+  [[nodiscard]] constexpr std::uint64_t count() const { return bytes_; }
+  [[nodiscard]] constexpr double as_mib() const {
+    return static_cast<double>(bytes_) / static_cast<double>(kMiB);
+  }
+  [[nodiscard]] constexpr double as_gib() const {
+    return static_cast<double>(bytes_) / static_cast<double>(kGiB);
+  }
+
+  constexpr ByteSize& operator+=(ByteSize o) {
+    bytes_ += o.bytes_;
+    return *this;
+  }
+  friend constexpr ByteSize operator+(ByteSize a, ByteSize b) {
+    return ByteSize(a.bytes_ + b.bytes_);
+  }
+  friend constexpr ByteSize operator*(ByteSize a, std::uint64_t k) {
+    return ByteSize(a.bytes_ * k);
+  }
+  friend constexpr bool operator==(ByteSize a, ByteSize b) {
+    return a.bytes_ == b.bytes_;
+  }
+  friend constexpr bool operator!=(ByteSize a, ByteSize b) {
+    return a.bytes_ != b.bytes_;
+  }
+  friend constexpr bool operator<(ByteSize a, ByteSize b) {
+    return a.bytes_ < b.bytes_;
+  }
+  friend constexpr bool operator<=(ByteSize a, ByteSize b) {
+    return a.bytes_ <= b.bytes_;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    std::ostringstream os;
+    const auto b = static_cast<double>(bytes_);
+    if (bytes_ >= kTiB) {
+      os << b / static_cast<double>(kTiB) << " TiB";
+    } else if (bytes_ >= kGiB) {
+      os << b / static_cast<double>(kGiB) << " GiB";
+    } else if (bytes_ >= kMiB) {
+      os << b / static_cast<double>(kMiB) << " MiB";
+    } else if (bytes_ >= kKiB) {
+      os << b / static_cast<double>(kKiB) << " KiB";
+    } else {
+      os << bytes_ << " B";
+    }
+    return os.str();
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, ByteSize s) {
+    return os << s.to_string();
+  }
+
+ private:
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace s3

@@ -1,0 +1,37 @@
+// Minimal command-line flag parser for the benchmark harnesses and examples.
+// Supports --name=value and --name value forms plus boolean switches.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace s3 {
+
+class Flags {
+ public:
+  // Parses argv; unrecognized positional arguments are kept in positional().
+  static Flags parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& def = "") const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t def = 0) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double def = 0.0) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool def = false) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace s3

@@ -1,0 +1,51 @@
+#include "common/logging.h"
+
+#include <iostream>
+
+namespace s3 {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_level(LogLevel level) {
+  std::lock_guard<std::mutex> lock(mu_);
+  level_ = level;
+}
+
+LogLevel Logger::level() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return level_;
+}
+
+bool Logger::enabled(LogLevel level) const {
+  return static_cast<int>(level) >= static_cast<int>(this->level());
+}
+
+void Logger::write(LogLevel level, const std::string& component,
+                   const std::string& message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::cerr << '[' << log_level_name(level) << "] " << component << ": "
+            << message << '\n';
+}
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace s3

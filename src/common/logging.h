@@ -1,0 +1,63 @@
+// Tiny leveled logger. Thread-safe (one mutex around the sink), cheap when a
+// level is disabled (the stream expression is not evaluated).
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace s3 {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level);
+  [[nodiscard]] LogLevel level() const;
+  [[nodiscard]] bool enabled(LogLevel level) const;
+
+  // Writes one formatted line: "[LEVEL] component: message".
+  void write(LogLevel level, const std::string& component,
+             const std::string& message);
+
+ private:
+  Logger() = default;
+
+  mutable std::mutex mu_;
+  LogLevel level_ = LogLevel::kWarn;
+};
+
+[[nodiscard]] const char* log_level_name(LogLevel level);
+
+namespace internal {
+// Helper that assembles the stream expression and forwards it on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* component)
+      : level_(level), component_(component) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { Logger::instance().write(level_, component_, os_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream os_;
+};
+}  // namespace internal
+
+}  // namespace s3
+
+// Usage: S3_LOG(kInfo, "sched") << "launching batch " << id;
+#define S3_LOG(level, component)                                    \
+  if (!::s3::Logger::instance().enabled(::s3::LogLevel::level)) { \
+  } else                                                            \
+    ::s3::internal::LogLine(::s3::LogLevel::level, component)

@@ -1,0 +1,170 @@
+// Minimal Status / StatusOr error-handling vocabulary (no exceptions on the
+// hot path; exceptions are reserved for programmer errors via S3_CHECK).
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace s3 {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+  kUnavailable,
+};
+
+[[nodiscard]] constexpr const char* status_code_name(StatusCode c) {
+  switch (c) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+  }
+  return "UNKNOWN";
+}
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+  static Status invalid_argument(std::string m) {
+    return {StatusCode::kInvalidArgument, std::move(m)};
+  }
+  static Status not_found(std::string m) {
+    return {StatusCode::kNotFound, std::move(m)};
+  }
+  static Status already_exists(std::string m) {
+    return {StatusCode::kAlreadyExists, std::move(m)};
+  }
+  static Status failed_precondition(std::string m) {
+    return {StatusCode::kFailedPrecondition, std::move(m)};
+  }
+  static Status out_of_range(std::string m) {
+    return {StatusCode::kOutOfRange, std::move(m)};
+  }
+  static Status internal(std::string m) {
+    return {StatusCode::kInternal, std::move(m)};
+  }
+  static Status unavailable(std::string m) {
+    return {StatusCode::kUnavailable, std::move(m)};
+  }
+
+  [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  [[nodiscard]] std::string to_string() const {
+    if (is_ok()) return "OK";
+    std::ostringstream os;
+    os << status_code_name(code_) << ": " << message_;
+    return os.str();
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Status& s) {
+    return os << s.to_string();
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// A value-or-status result. Accessing value() on an error aborts, so callers
+// must check ok() first (or use value_or()).
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(Status s) : status_(std::move(s)) {}  // NOLINT: implicit by design
+  StatusOr(T v) : value_(std::move(v)) {}        // NOLINT: implicit by design
+
+  [[nodiscard]] bool is_ok() const { return status_.is_ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  [[nodiscard]] T& value() & {
+    check_ok();
+    return *value_;
+  }
+  [[nodiscard]] const T& value() const& {
+    check_ok();
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    check_ok();
+    return std::move(*value_);
+  }
+  [[nodiscard]] T value_or(T fallback) const {
+    return is_ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void check_ok() const {
+    if (!is_ok()) {
+      std::cerr << "StatusOr::value() on error: " << status_ << "\n";
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& extra) {
+  std::cerr << "S3_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!extra.empty()) std::cerr << " — " << extra;
+  std::cerr << std::endl;
+  std::abort();
+}
+}  // namespace internal
+
+// Invariant checks: always on (these guard scheduler invariants that, if
+// broken, would silently corrupt an experiment).
+#define S3_CHECK(expr)                                              \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      ::s3::internal::check_failed(#expr, __FILE__, __LINE__, ""); \
+    }                                                               \
+  } while (false)
+
+#define S3_CHECK_MSG(expr, msg)                                        \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream s3_check_os;                                  \
+      s3_check_os << msg; /* NOLINT */                                 \
+      ::s3::internal::check_failed(#expr, __FILE__, __LINE__,          \
+                                   s3_check_os.str());                 \
+    }                                                                  \
+  } while (false)
+
+#define S3_RETURN_IF_ERROR(expr)               \
+  do {                                         \
+    ::s3::Status s3_status_tmp = (expr);       \
+    if (!s3_status_tmp.is_ok()) return s3_status_tmp; \
+  } while (false)
+
+}  // namespace s3

@@ -1,0 +1,85 @@
+#include "common/strings.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace s3 {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      break;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  const auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+  };
+  std::size_t b = 0;
+  std::size_t e = text.size();
+  while (b < e && is_space(text[b])) ++b;
+  while (e > b && is_space(text[e - 1])) --e;
+  return text.substr(b, e - b);
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+std::string format_double(double v, int precision) {
+  char buf[64];
+  if (precision < 0) {
+    std::snprintf(buf, sizeof(buf), "%g", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  }
+  return buf;
+}
+
+std::string pad_left(std::string_view s, std::size_t width) {
+  if (s.size() >= width) return std::string(s.substr(0, width));
+  return std::string(width - s.size(), ' ') + std::string(s);
+}
+
+std::string pad_right(std::string_view s, std::size_t width) {
+  if (s.size() >= width) return std::string(s.substr(0, width));
+  return std::string(s) + std::string(width - s.size(), ' ');
+}
+
+std::string format_duration(double seconds) {
+  std::ostringstream os;
+  if (seconds < 0) {
+    os << '-';
+    seconds = -seconds;
+  }
+  const auto hours = static_cast<long>(seconds / 3600.0);
+  seconds -= static_cast<double>(hours) * 3600.0;
+  const auto minutes = static_cast<long>(seconds / 60.0);
+  seconds -= static_cast<double>(minutes) * 60.0;
+  if (hours > 0) os << hours << "h ";
+  if (hours > 0 || minutes > 0) os << minutes << "m ";
+  os << format_double(seconds, 1) << 's';
+  return os.str();
+}
+
+}  // namespace s3

@@ -1,0 +1,28 @@
+// Small string utilities used throughout: splitting, trimming, joining and
+// fixed-width table cell formatting (for the report writers).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace s3 {
+
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char sep);
+[[nodiscard]] std::string_view trim(std::string_view text);
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+
+// Formats a double with the given precision, trimming trailing zeros only
+// when precision is negative (auto mode).
+[[nodiscard]] std::string format_double(double v, int precision = 2);
+
+// Left/right-pads to the given width (truncates if longer).
+[[nodiscard]] std::string pad_left(std::string_view s, std::size_t width);
+[[nodiscard]] std::string pad_right(std::string_view s, std::size_t width);
+
+// Formats seconds as "1h 23m 45.6s" style for human-facing output.
+[[nodiscard]] std::string format_duration(double seconds);
+
+}  // namespace s3

@@ -1,0 +1,61 @@
+#include "common/thread_pool.h"
+
+#include "common/status.h"
+
+namespace s3 {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  S3_CHECK(num_threads > 0);
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+bool ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    if (shutdown_) return false;
+    ++pending_;
+  }
+  if (!queue_.push(std::move(task))) {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    --pending_;
+    return false;
+  }
+  return true;
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(idle_mu_);
+  idle_cv_.wait(lock, [&] { return pending_ == 0; });
+}
+
+void ThreadPool::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+  }
+  queue_.close();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    auto task = queue_.pop();
+    if (!task.has_value()) return;  // closed and drained
+    (*task)();
+    {
+      std::lock_guard<std::mutex> lock(idle_mu_);
+      --pending_;
+      if (pending_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace s3

@@ -1,0 +1,49 @@
+// Fixed-size thread pool with a shared blocking queue. Models the cluster's
+// map/reduce slots in the real execution engine: one worker thread per slot.
+// Tasks are type-erased std::function<void()>; submit() returns immediately
+// and wait_idle() blocks until every submitted task has finished.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/blocking_queue.h"
+
+namespace s3 {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task; returns false if the pool is shutting down.
+  bool submit(std::function<void()> task);
+
+  // Blocks until the queue is empty AND no worker is executing a task.
+  void wait_idle();
+
+  // Stops accepting work, drains the queue, joins all workers. Called by the
+  // destructor if not called explicitly.
+  void shutdown();
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  BlockingQueue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  std::size_t pending_ = 0;  // submitted but not yet finished
+  bool shutdown_ = false;
+};
+
+}  // namespace s3

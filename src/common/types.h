@@ -1,0 +1,108 @@
+// Strongly-typed identifiers and fundamental value types shared across the
+// whole library. Every subsystem (dfs, cluster, engine, sched, sim) speaks in
+// these IDs, so mixing up, say, a JobId and a NodeId is a compile error.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace s3 {
+
+// CRTP-free strong ID: a thin wrapper around a 64-bit value with a tag type.
+// Comparable, hashable, streamable; no implicit conversions between tags.
+template <typename Tag>
+class StrongId {
+ public:
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(std::uint64_t v) : value_(v) {}
+
+  [[nodiscard]] constexpr std::uint64_t value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(StrongId a, StrongId b) {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(StrongId a, StrongId b) {
+    return a.value_ < b.value_;
+  }
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    return os << Tag::prefix() << id.value_;
+  }
+
+  static constexpr std::uint64_t kInvalid =
+      std::numeric_limits<std::uint64_t>::max();
+
+ private:
+  std::uint64_t value_ = kInvalid;
+};
+
+struct JobTag {
+  static constexpr const char* prefix() { return "job-"; }
+};
+struct SubJobTag {
+  static constexpr const char* prefix() { return "subjob-"; }
+};
+struct BatchTag {
+  static constexpr const char* prefix() { return "batch-"; }
+};
+struct TaskTag {
+  static constexpr const char* prefix() { return "task-"; }
+};
+struct NodeTag {
+  static constexpr const char* prefix() { return "node-"; }
+};
+struct FileTag {
+  static constexpr const char* prefix() { return "file-"; }
+};
+struct BlockTag {
+  static constexpr const char* prefix() { return "block-"; }
+};
+struct SegmentTag {
+  static constexpr const char* prefix() { return "segment-"; }
+};
+struct RackTag {
+  static constexpr const char* prefix() { return "rack-"; }
+};
+
+using JobId = StrongId<JobTag>;
+using SubJobId = StrongId<SubJobTag>;
+using BatchId = StrongId<BatchTag>;
+using TaskId = StrongId<TaskTag>;
+using NodeId = StrongId<NodeTag>;
+using FileId = StrongId<FileTag>;
+using BlockId = StrongId<BlockTag>;
+using SegmentId = StrongId<SegmentTag>;
+using RackId = StrongId<RackTag>;
+
+// Simulated time, in seconds. The simulator and the schedulers are written
+// against this; the real engine maps wall-clock time onto it.
+using SimTime = double;
+constexpr SimTime kTimeNever = std::numeric_limits<SimTime>::infinity();
+
+// Monotonically increasing ID generator (not thread-safe; each owner keeps
+// its own generator).
+template <typename Id>
+class IdGenerator {
+ public:
+  Id next() { return Id(next_++); }
+  [[nodiscard]] std::uint64_t issued() const { return next_; }
+
+ private:
+  std::uint64_t next_ = 0;
+};
+
+}  // namespace s3
+
+namespace std {
+template <typename Tag>
+struct hash<s3::StrongId<Tag>> {
+  size_t operator()(s3::StrongId<Tag> id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,125 @@
+#include "core/real_driver.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace s3::core {
+namespace {
+
+// Resolves a batch's circular block range to concrete BlockIds.
+std::vector<BlockId> resolve_blocks(const dfs::FileInfo& file,
+                                    const sched::Batch& batch) {
+  std::vector<BlockId> blocks;
+  blocks.reserve(batch.num_blocks);
+  const std::uint64_t n = file.blocks.size();
+  for (std::uint64_t i = 0; i < batch.num_blocks; ++i) {
+    blocks.push_back(file.blocks[(batch.start_block + i) % n]);
+  }
+  return blocks;
+}
+
+}  // namespace
+
+RealDriver::RealDriver(const dfs::DfsNamespace& ns,
+                       engine::LocalEngine& engine,
+                       const sched::FileCatalog& catalog,
+                       RealDriverOptions options)
+    : ns_(&ns), engine_(&engine), catalog_(&catalog), options_(options) {
+  S3_CHECK(options.time_scale > 0.0);
+}
+
+StatusOr<RealRunResult> RealDriver::run(sched::Scheduler& scheduler,
+                                        std::vector<RealJob> jobs) {
+  if (jobs.empty()) return Status::invalid_argument("no jobs to run");
+  std::sort(jobs.begin(), jobs.end(), [](const RealJob& a, const RealJob& b) {
+    if (a.arrival != b.arrival) return a.arrival < b.arrival;
+    return a.spec.id < b.spec.id;
+  });
+  for (const auto& job : jobs) {
+    S3_RETURN_IF_ERROR(engine_->register_job(job.spec));
+  }
+
+  metrics::JobTimeline timeline;
+  RealRunResult result;
+
+  const sched::ClusterStatus status{options_.map_slots, options_.map_slots};
+
+  SimTime now = 0.0;
+  std::size_t next_arrival = 0;
+  bool flushed = false;
+
+  const auto deliver = [&](SimTime t) {
+    while (next_arrival < jobs.size() && jobs[next_arrival].arrival <= t) {
+      const RealJob& job = jobs[next_arrival];
+      timeline.on_submitted(job.spec.id, job.arrival);
+      scheduler.on_job_arrival(
+          sched::JobArrival{job.spec.id, job.spec.input, job.priority},
+          job.arrival);
+      ++next_arrival;
+    }
+  };
+
+  while (true) {
+    deliver(now);
+    auto batch = scheduler.next_batch(now, status);
+    if (!batch.has_value()) {
+      if (next_arrival < jobs.size()) {
+        now = jobs[next_arrival].arrival;
+        continue;
+      }
+      if (scheduler.pending_jobs() == 0) break;
+      if (const auto wake = scheduler.next_decision_time();
+          wake.has_value() && *wake > now) {
+        now = *wake;
+        continue;
+      }
+      if (!flushed) {
+        scheduler.flush(now);
+        flushed = true;
+        continue;
+      }
+      return Status::internal("scheduler deadlock in real driver");
+    }
+
+    // Execute the merged batch for real and charge its wall time.
+    const dfs::FileInfo& file = ns_->file(batch->file);
+    engine::BatchExec exec;
+    exec.id = batch->id;
+    exec.blocks = resolve_blocks(file, *batch);
+    exec.jobs = batch->member_jobs();
+    for (const auto& member : batch->members) {
+      timeline.on_first_started(member.job, now);
+    }
+    const auto wall_start = std::chrono::steady_clock::now();
+    S3_RETURN_IF_ERROR(engine_->execute_batch(exec));
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    now += wall_seconds * options_.time_scale;
+    ++result.batches_run;
+
+    // Arrivals that (virtually) happened during the batch join afterwards.
+    deliver(now);
+    scheduler.on_batch_complete(batch->id, now);
+    for (const JobId job : batch->completed_jobs()) {
+      timeline.on_completed(job, now);
+      result.counters.emplace(job, engine_->counters(job));
+      auto output = engine_->finalize_job(job);
+      if (!output.is_ok()) return output.status();
+      result.outputs.emplace(job, std::move(output).value());
+    }
+  }
+
+  if (!timeline.all_done()) {
+    return Status::internal("real run finished with incomplete jobs");
+  }
+  result.summary = metrics::summarize(timeline);
+  result.job_records = timeline.records();
+  result.scan = engine_->scan_counters();
+  return result;
+}
+
+}  // namespace s3::core

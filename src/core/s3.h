@@ -1,0 +1,50 @@
+// Umbrella header — the public API surface of the S3 shared-scan scheduler
+// library. Include this to get:
+//
+//   * the schedulers  (sched::FifoScheduler, sched::MRShareScheduler,
+//                      sched::S3Scheduler — the paper's contribution)
+//   * the substrates  (dfs::*, cluster::*, engine::LocalEngine)
+//   * the drivers     (sim::SimEngine for paper-scale virtual-time runs,
+//                      core::RealDriver for real threaded execution)
+//   * the workloads   (workloads::* generators and paper presets)
+//   * the metrics     (metrics::summarize → TET / ART)
+//
+// Quickstart: see examples/quickstart.cpp.
+#pragma once
+
+#include "cluster/heartbeat.h"
+#include "cluster/slot_ledger.h"
+#include "cluster/topology.h"
+#include "common/bytes.h"
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/types.h"
+#include "core/real_driver.h"
+#include "dfs/block_store.h"
+#include "dfs/dfs_namespace.h"
+#include "dfs/placement.h"
+#include "dfs/reader.h"
+#include "dfs/segment.h"
+#include "engine/local_engine.h"
+#include "metrics/metrics.h"
+#include "metrics/jsonl.h"
+#include "metrics/report.h"
+#include "sched/analytic.h"
+#include "sched/fifo.h"
+#include "sched/job_queue_manager.h"
+#include "sched/mrshare.h"
+#include "sched/round_robin.h"
+#include "sched/s3_scheduler.h"
+#include "sched/scheduler.h"
+#include "sim/sim_engine.h"
+#include "tasksim/tasksim.h"
+#include "workloads/aggregation.h"
+#include "workloads/arrival.h"
+#include "workloads/suite.h"
+#include "workloads/text_corpus.h"
+#include "workloads/tpch.h"
+#include "workloads/wordcount.h"

@@ -1,0 +1,24 @@
+// Block-level metadata for the simulated distributed file system. Mirrors
+// HDFS: a file is an ordered chain of fixed-size blocks, each replicated on
+// one or more data nodes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/types.h"
+
+namespace s3::dfs {
+
+struct BlockInfo {
+  BlockId id;
+  FileId file;
+  // Position of this block within its file (0-based).
+  std::uint64_t index_in_file = 0;
+  ByteSize size;
+  // Data nodes holding a replica, in placement order (first = primary).
+  std::vector<NodeId> replicas;
+};
+
+}  // namespace s3::dfs

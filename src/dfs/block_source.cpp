@@ -1,0 +1,16 @@
+#include "dfs/block_source.h"
+
+#include "dfs/dfs_namespace.h"
+
+namespace s3::dfs {
+
+StatusOr<Payload> GeneratedBlockSource::fetch(BlockId block) const {
+  const BlockInfo* info = ns_->find_block(block);
+  if (info == nullptr || info->file != file_) {
+    return Status::not_found("block not served by this source");
+  }
+  return std::make_shared<const std::string>(
+      generator_(info->index_in_file));
+}
+
+}  // namespace s3::dfs

@@ -1,0 +1,64 @@
+// BlockSource — read-side abstraction over block payloads. The execution
+// engine only ever *reads* blocks, so it programs against this interface:
+//
+//  * BlockStore (block_store.h) — materialized, write-once payloads.
+//  * GeneratedBlockSource       — payloads synthesized on demand from a
+//    deterministic generator and dropped after use, so real-engine runs can
+//    scan inputs far larger than memory (the generator is the dataset).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "dfs/block_store.h"
+#include "dfs/dfs_namespace.h"
+
+namespace s3::dfs {
+
+class BlockSource {
+ public:
+  virtual ~BlockSource() = default;
+
+  // Returns the payload for a block, or NOT_FOUND.
+  [[nodiscard]] virtual StatusOr<Payload> fetch(BlockId block) const = 0;
+};
+
+// Adapter: serve blocks from a materialized BlockStore.
+class StoredBlocks final : public BlockSource {
+ public:
+  explicit StoredBlocks(const BlockStore& store) : store_(&store) {}
+  [[nodiscard]] StatusOr<Payload> fetch(BlockId block) const override {
+    return store_->get(block);
+  }
+
+ private:
+  const BlockStore* store_;
+};
+
+// Synthesizes payloads on demand: the generator maps a block's index within
+// its file to its bytes (deterministically). Thread-safe if the generator
+// is. Nothing is cached — each fetch pays the generation cost, exactly like
+// re-reading from disk.
+class GeneratedBlockSource final : public BlockSource {
+ public:
+  using Generator = std::function<std::string(std::uint64_t block_index)>;
+
+  // `ns` resolves BlockId -> (file, index); only blocks of `file` are
+  // served.
+  GeneratedBlockSource(const DfsNamespace& ns, FileId file,
+                       Generator generator)
+      : ns_(&ns), file_(file), generator_(std::move(generator)) {
+    S3_CHECK(generator_ != nullptr);
+  }
+
+  [[nodiscard]] StatusOr<Payload> fetch(BlockId block) const override;
+
+ private:
+  const DfsNamespace* ns_;
+  FileId file_;
+  Generator generator_;
+};
+
+}  // namespace s3::dfs

@@ -1,0 +1,40 @@
+#include "dfs/block_store.h"
+
+namespace s3::dfs {
+
+Status BlockStore::put(BlockId block, std::string payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (payloads_.count(block) > 0) {
+    return Status::already_exists("block payload already written");
+  }
+  total_bytes_ += payload.size();
+  payloads_.emplace(block,
+                    std::make_shared<const std::string>(std::move(payload)));
+  return Status::ok();
+}
+
+StatusOr<Payload> BlockStore::get(BlockId block) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = payloads_.find(block);
+  if (it == payloads_.end()) {
+    return Status::not_found("no payload for block");
+  }
+  return it->second;
+}
+
+bool BlockStore::contains(BlockId block) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return payloads_.count(block) > 0;
+}
+
+std::size_t BlockStore::num_blocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return payloads_.size();
+}
+
+std::uint64_t BlockStore::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_bytes_;
+}
+
+}  // namespace s3::dfs

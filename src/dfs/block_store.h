@@ -1,0 +1,38 @@
+// In-memory payload storage for the simulated DFS (the DataNode analogue).
+// Thread-safe: the real execution engine reads blocks from many worker
+// threads concurrently. Payloads are immutable once written and shared via
+// shared_ptr, so a shared scan hands the same buffer to every consumer.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace s3::dfs {
+
+using Payload = std::shared_ptr<const std::string>;
+
+class BlockStore {
+ public:
+  // Stores the payload for a block. Rejects double writes (blocks are
+  // immutable, like HDFS).
+  Status put(BlockId block, std::string payload);
+
+  // Returns the payload, or NOT_FOUND.
+  [[nodiscard]] StatusOr<Payload> get(BlockId block) const;
+
+  [[nodiscard]] bool contains(BlockId block) const;
+  [[nodiscard]] std::size_t num_blocks() const;
+  [[nodiscard]] std::uint64_t total_bytes() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<BlockId, Payload> payloads_;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace s3::dfs

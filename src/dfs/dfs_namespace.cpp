@@ -1,0 +1,87 @@
+#include "dfs/dfs_namespace.h"
+
+#include <utility>
+
+namespace s3::dfs {
+
+StatusOr<FileId> DfsNamespace::create_file(std::string name,
+                                           ByteSize block_size) {
+  if (by_name_.count(name) > 0) {
+    return Status::already_exists("file '" + name + "' already exists");
+  }
+  if (block_size.count() == 0) {
+    return Status::invalid_argument("block size must be > 0");
+  }
+  const FileId id = file_ids_.next();
+  FileInfo info;
+  info.id = id;
+  info.name = name;
+  info.block_size = block_size;
+  by_name_.emplace(std::move(name), id);
+  files_.emplace(id, std::move(info));
+  return id;
+}
+
+StatusOr<BlockId> DfsNamespace::append_block(FileId file, ByteSize size) {
+  const auto it = files_.find(file);
+  if (it == files_.end()) {
+    return Status::not_found("no such file id");
+  }
+  if (size.count() == 0 || it->second.block_size < size) {
+    return Status::invalid_argument(
+        "block payload must be in (0, block_size]");
+  }
+  const BlockId id = block_ids_.next();
+  BlockInfo block;
+  block.id = id;
+  block.file = file;
+  block.index_in_file = it->second.blocks.size();
+  block.size = size;
+  it->second.blocks.push_back(id);
+  blocks_.emplace(id, std::move(block));
+  return id;
+}
+
+Status DfsNamespace::set_replicas(BlockId block, std::vector<NodeId> replicas) {
+  const auto it = blocks_.find(block);
+  if (it == blocks_.end()) return Status::not_found("no such block id");
+  if (replicas.empty()) {
+    return Status::invalid_argument("need at least one replica");
+  }
+  it->second.replicas = std::move(replicas);
+  return Status::ok();
+}
+
+bool DfsNamespace::has_file(FileId id) const { return files_.count(id) > 0; }
+
+StatusOr<FileId> DfsNamespace::lookup(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) return Status::not_found("no file named " + name);
+  return it->second;
+}
+
+const FileInfo& DfsNamespace::file(FileId id) const {
+  const auto it = files_.find(id);
+  S3_CHECK_MSG(it != files_.end(), "unknown file " << id);
+  return it->second;
+}
+
+const BlockInfo& DfsNamespace::block(BlockId id) const {
+  const auto it = blocks_.find(id);
+  S3_CHECK_MSG(it != blocks_.end(), "unknown block " << id);
+  return it->second;
+}
+
+const BlockInfo* DfsNamespace::find_block(BlockId id) const {
+  const auto it = blocks_.find(id);
+  return it == blocks_.end() ? nullptr : &it->second;
+}
+
+ByteSize DfsNamespace::file_size(FileId id) const {
+  const FileInfo& info = file(id);
+  ByteSize total;
+  for (BlockId b : info.blocks) total += block(b).size;
+  return total;
+}
+
+}  // namespace s3::dfs

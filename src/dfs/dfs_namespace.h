@@ -1,0 +1,55 @@
+// The NameNode analogue: owns file metadata (file -> ordered blocks) and
+// block metadata (block -> size, replicas). Purely metadata; payload bytes
+// live in BlockStore.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "dfs/block.h"
+
+namespace s3::dfs {
+
+struct FileInfo {
+  FileId id;
+  std::string name;
+  ByteSize block_size;
+  std::vector<BlockId> blocks;  // in file order
+
+  [[nodiscard]] std::uint64_t num_blocks() const { return blocks.size(); }
+};
+
+class DfsNamespace {
+ public:
+  // Creates an empty file; blocks are appended via append_block().
+  StatusOr<FileId> create_file(std::string name, ByteSize block_size);
+
+  // Appends a new block of the given size; returns its id. Replicas start
+  // empty and are filled by a PlacementPolicy.
+  StatusOr<BlockId> append_block(FileId file, ByteSize size);
+
+  Status set_replicas(BlockId block, std::vector<NodeId> replicas);
+
+  [[nodiscard]] bool has_file(FileId id) const;
+  [[nodiscard]] StatusOr<FileId> lookup(const std::string& name) const;
+  [[nodiscard]] const FileInfo& file(FileId id) const;
+  [[nodiscard]] const BlockInfo& block(BlockId id) const;
+  // Like block(), but returns nullptr instead of aborting on unknown ids.
+  [[nodiscard]] const BlockInfo* find_block(BlockId id) const;
+  [[nodiscard]] ByteSize file_size(FileId id) const;
+  [[nodiscard]] std::size_t num_files() const { return files_.size(); }
+
+ private:
+  IdGenerator<FileId> file_ids_;
+  IdGenerator<BlockId> block_ids_;
+  std::unordered_map<FileId, FileInfo> files_;
+  std::unordered_map<BlockId, BlockInfo> blocks_;
+  std::unordered_map<std::string, FileId> by_name_;
+};
+
+}  // namespace s3::dfs

@@ -1,0 +1,80 @@
+#include "dfs/placement.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace s3::dfs {
+
+RoundRobinPlacement::RoundRobinPlacement(PlacementTopology topology)
+    : topology_(std::move(topology)) {
+  S3_CHECK(!topology_.nodes.empty());
+}
+
+std::vector<NodeId> RoundRobinPlacement::place(std::uint64_t block_index,
+                                               int replication) {
+  const std::size_t n = topology_.nodes.size();
+  const int r = std::min<int>(replication, static_cast<int>(n));
+  std::vector<NodeId> out;
+  out.reserve(static_cast<std::size_t>(r));
+  for (int i = 0; i < r; ++i) {
+    out.push_back(
+        topology_.nodes[(block_index + static_cast<std::uint64_t>(i)) % n]
+            .node);
+  }
+  return out;
+}
+
+RackAwarePlacement::RackAwarePlacement(PlacementTopology topology,
+                                       std::uint64_t seed)
+    : topology_(std::move(topology)), rng_(seed) {
+  S3_CHECK(!topology_.nodes.empty());
+}
+
+std::vector<NodeId> RackAwarePlacement::place(std::uint64_t /*block_index*/,
+                                              int replication) {
+  const std::size_t n = topology_.nodes.size();
+  const int want = std::min<int>(replication, static_cast<int>(n));
+  std::vector<NodeId> out;
+  out.reserve(static_cast<std::size_t>(want));
+
+  const auto& first = topology_.nodes[rng_.uniform_u64(n)];
+  out.push_back(first.node);
+  if (want == 1) return out;
+
+  const auto taken = [&](NodeId id) {
+    return std::find(out.begin(), out.end(), id) != out.end();
+  };
+
+  // Second replica: prefer a node on a different rack.
+  std::vector<const PlacementTopology::Node*> off_rack;
+  for (const auto& node : topology_.nodes) {
+    if (node.rack != first.rack && !taken(node.node)) off_rack.push_back(&node);
+  }
+  const PlacementTopology::Node* second = nullptr;
+  if (!off_rack.empty()) {
+    second = off_rack[rng_.uniform_u64(off_rack.size())];
+    out.push_back(second->node);
+  }
+
+  // Remaining replicas: same rack as the second if possible, else anywhere.
+  while (static_cast<int>(out.size()) < want) {
+    std::vector<const PlacementTopology::Node*> candidates;
+    for (const auto& node : topology_.nodes) {
+      if (taken(node.node)) continue;
+      if (second == nullptr || node.rack == second->rack) {
+        candidates.push_back(&node);
+      }
+    }
+    if (candidates.empty()) {
+      for (const auto& node : topology_.nodes) {
+        if (!taken(node.node)) candidates.push_back(&node);
+      }
+    }
+    if (candidates.empty()) break;  // fewer nodes than replicas requested
+    out.push_back(candidates[rng_.uniform_u64(candidates.size())]->node);
+  }
+  return out;
+}
+
+}  // namespace s3::dfs

@@ -1,0 +1,57 @@
+// Replica placement policies. The paper runs with replication factor 1 on a
+// 3-rack cluster; we implement the HDFS-style rack-aware policy as well so
+// locality experiments are possible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace s3::dfs {
+
+// Static description of where nodes live, supplied by the cluster module
+// (kept as plain IDs here to avoid a dependency cycle).
+struct PlacementTopology {
+  struct Node {
+    NodeId node;
+    RackId rack;
+  };
+  std::vector<Node> nodes;
+};
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  // Chooses `replication` distinct nodes for the block with the given index.
+  virtual std::vector<NodeId> place(std::uint64_t block_index,
+                                    int replication) = 0;
+};
+
+// Deterministic round-robin over nodes: block i's primary is node i % n,
+// further replicas on the following nodes. With replication 1 this spreads
+// a file evenly, matching the paper's "4 GB per node" layout.
+class RoundRobinPlacement final : public PlacementPolicy {
+ public:
+  explicit RoundRobinPlacement(PlacementTopology topology);
+  std::vector<NodeId> place(std::uint64_t block_index, int replication) override;
+
+ private:
+  PlacementTopology topology_;
+};
+
+// HDFS default-like: first replica on a pseudo-random node, second on a
+// different rack, third on the same rack as the second.
+class RackAwarePlacement final : public PlacementPolicy {
+ public:
+  RackAwarePlacement(PlacementTopology topology, std::uint64_t seed);
+  std::vector<NodeId> place(std::uint64_t block_index, int replication) override;
+
+ private:
+  PlacementTopology topology_;
+  Rng rng_;
+};
+
+}  // namespace s3::dfs

@@ -1,0 +1,72 @@
+// Record readers over block payloads. LineRecordReader iterates
+// newline-delimited records without copying; SharedScanReader performs the
+// S3/MRShare data-path primitive — one physical pass over a block feeding
+// every registered consumer.
+#pragma once
+
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "dfs/block_store.h"
+
+namespace s3::dfs {
+
+struct Record {
+  std::uint64_t offset = 0;   // byte offset of the record within the block
+  std::string_view data;      // record bytes, excluding the trailing '\n'
+};
+
+class LineRecordReader {
+ public:
+  // The payload must outlive the reader (records view into it).
+  explicit LineRecordReader(Payload payload);
+
+  // Returns false at end of block; otherwise fills `record`.
+  bool next(Record& record);
+
+  void reset();
+
+  [[nodiscard]] std::uint64_t records_read() const { return records_read_; }
+
+ private:
+  Payload payload_;
+  std::string_view remaining_;
+  std::uint64_t offset_ = 0;
+  std::uint64_t records_read_ = 0;
+};
+
+using RecordConsumer = std::function<void(const Record&)>;
+
+// One scan, many consumers: the core I/O-sharing primitive. Statistics
+// distinguish bytes physically read (once) from bytes logically served
+// (once per consumer), which is exactly the saving S3 exploits.
+class SharedScanReader {
+ public:
+  explicit SharedScanReader(Payload payload);
+
+  // Registers a consumer; must be called before scan().
+  void add_consumer(RecordConsumer consumer);
+
+  // Performs the single pass, invoking every consumer on every record.
+  // Returns the number of records scanned.
+  std::uint64_t scan();
+
+  [[nodiscard]] std::size_t num_consumers() const { return consumers_.size(); }
+  [[nodiscard]] std::uint64_t bytes_physical() const { return bytes_physical_; }
+  [[nodiscard]] std::uint64_t bytes_logical() const { return bytes_logical_; }
+
+ private:
+  Payload payload_;
+  std::vector<RecordConsumer> consumers_;
+  std::uint64_t bytes_physical_ = 0;
+  std::uint64_t bytes_logical_ = 0;
+};
+
+// Splits a '|'-delimited row (TPC-H text format) into fields. Views into the
+// input; no copies.
+[[nodiscard]] std::vector<std::string_view> split_fields(std::string_view row,
+                                                         char sep = '|');
+
+}  // namespace s3::dfs

@@ -1,0 +1,43 @@
+#include "dfs/segment.h"
+
+namespace s3::dfs {
+
+SegmentMap::SegmentMap(const FileInfo& file, std::uint64_t blocks_per_segment)
+    : file_(file.id), blocks_per_segment_(blocks_per_segment) {
+  S3_CHECK_MSG(blocks_per_segment > 0, "blocks_per_segment must be > 0");
+  S3_CHECK_MSG(!file.blocks.empty(), "cannot segment an empty file");
+  total_blocks_ = file.blocks.size();
+  const std::uint64_t k =
+      (total_blocks_ + blocks_per_segment - 1) / blocks_per_segment;
+  segments_.reserve(k);
+  for (std::uint64_t s = 0; s < k; ++s) {
+    SegmentInfo info;
+    info.id = segment_ids_.next();
+    info.index = s;
+    const std::uint64_t begin = s * blocks_per_segment;
+    const std::uint64_t end =
+        std::min(begin + blocks_per_segment, total_blocks_);
+    info.blocks.assign(file.blocks.begin() + static_cast<std::ptrdiff_t>(begin),
+                       file.blocks.begin() + static_cast<std::ptrdiff_t>(end));
+    segments_.push_back(std::move(info));
+  }
+}
+
+const SegmentInfo& SegmentMap::segment(std::uint64_t index) const {
+  S3_CHECK_MSG(index < segments_.size(),
+               "segment index " << index << " out of range ("
+                                << segments_.size() << " segments)");
+  return segments_[index];
+}
+
+std::vector<std::uint64_t> SegmentMap::circular_order(
+    std::uint64_t start) const {
+  const std::uint64_t k = segments_.size();
+  S3_CHECK(start < k);
+  std::vector<std::uint64_t> order;
+  order.reserve(k);
+  for (std::uint64_t i = 0; i < k; ++i) order.push_back((start + i) % k);
+  return order;
+}
+
+}  // namespace s3::dfs

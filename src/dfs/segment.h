@@ -1,0 +1,64 @@
+// Segments — the storage-level concept introduced by S3. A segment is a run
+// of consecutive blocks of a file sized so that one segment is one
+// cluster-wide wave of map tasks. SegmentMap is a pure view over a file's
+// block list; the underlying storage is untouched (paper §IV-B).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "dfs/dfs_namespace.h"
+
+namespace s3::dfs {
+
+// Circular arithmetic helpers shared by the scheduler and the tests.
+[[nodiscard]] constexpr std::uint64_t circular_next(std::uint64_t i,
+                                                    std::uint64_t k) {
+  return (i + 1) % k;
+}
+
+// Number of steps to walk forward from `from` to reach `to` (0 if equal).
+[[nodiscard]] constexpr std::uint64_t circular_distance(std::uint64_t from,
+                                                        std::uint64_t to,
+                                                        std::uint64_t k) {
+  return (to + k - from) % k;
+}
+
+struct SegmentInfo {
+  SegmentId id;
+  std::uint64_t index = 0;  // 0-based position in the file's segment order
+  std::vector<BlockId> blocks;
+};
+
+class SegmentMap {
+ public:
+  // Splits `file` into ceil(num_blocks / blocks_per_segment) segments. The
+  // final segment may be short. blocks_per_segment is typically the number
+  // of concurrent map slots in the cluster (paper §IV-B).
+  SegmentMap(const FileInfo& file, std::uint64_t blocks_per_segment);
+
+  [[nodiscard]] FileId file() const { return file_; }
+  [[nodiscard]] std::uint64_t num_segments() const { return segments_.size(); }
+  [[nodiscard]] std::uint64_t blocks_per_segment() const {
+    return blocks_per_segment_;
+  }
+  [[nodiscard]] const SegmentInfo& segment(std::uint64_t index) const;
+
+  // The circular scan order starting at `start`: start, start+1, ..., k-1,
+  // 0, ..., start-1 (paper's S_j, S_{j+1}, ..., S_k, S_1, ..., S_{j-1}).
+  [[nodiscard]] std::vector<std::uint64_t> circular_order(
+      std::uint64_t start) const;
+
+  [[nodiscard]] std::uint64_t total_blocks() const { return total_blocks_; }
+
+ private:
+  FileId file_;
+  std::uint64_t blocks_per_segment_;
+  std::uint64_t total_blocks_ = 0;
+  std::vector<SegmentInfo> segments_;
+  IdGenerator<SegmentId> segment_ids_;
+};
+
+}  // namespace s3::dfs

@@ -1,0 +1,65 @@
+// Per-job counters, mirroring the Hadoop counter groups the paper reports in
+// Table I. All fields are plain integers; the engine aggregates thread-local
+// counters under a lock at task boundaries, so no atomics are needed here.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+namespace s3::engine {
+
+struct JobCounters {
+  std::uint64_t map_input_records = 0;
+  std::uint64_t map_input_bytes = 0;
+  std::uint64_t map_output_records = 0;
+  std::uint64_t map_output_bytes = 0;
+  std::uint64_t combine_output_records = 0;
+  std::uint64_t reduce_input_groups = 0;
+  std::uint64_t reduce_output_records = 0;
+  std::uint64_t reduce_output_bytes = 0;
+  std::uint64_t map_tasks = 0;
+  std::uint64_t reduce_tasks = 0;
+  std::uint64_t blocks_scanned = 0;
+
+  JobCounters& operator+=(const JobCounters& o) {
+    map_input_records += o.map_input_records;
+    map_input_bytes += o.map_input_bytes;
+    map_output_records += o.map_output_records;
+    map_output_bytes += o.map_output_bytes;
+    combine_output_records += o.combine_output_records;
+    reduce_input_groups += o.reduce_input_groups;
+    reduce_output_records += o.reduce_output_records;
+    reduce_output_bytes += o.reduce_output_bytes;
+    map_tasks += o.map_tasks;
+    reduce_tasks += o.reduce_tasks;
+    blocks_scanned += o.blocks_scanned;
+    return *this;
+  }
+};
+
+// Engine-wide I/O accounting used to verify the shared scan actually shares:
+// a batch of n jobs over B blocks must show physical reads of B blocks while
+// serving n*B logical block scans.
+struct ScanCounters {
+  std::uint64_t blocks_physical = 0;
+  std::uint64_t bytes_physical = 0;
+  std::uint64_t blocks_logical = 0;
+  std::uint64_t bytes_logical = 0;
+
+  ScanCounters& operator+=(const ScanCounters& o) {
+    blocks_physical += o.blocks_physical;
+    bytes_physical += o.bytes_physical;
+    blocks_logical += o.blocks_logical;
+    bytes_logical += o.bytes_logical;
+    return *this;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const JobCounters& c) {
+  return os << "map_in=" << c.map_input_records
+            << " map_out=" << c.map_output_records
+            << " reduce_out=" << c.reduce_output_records
+            << " blocks=" << c.blocks_scanned;
+}
+
+}  // namespace s3::engine

@@ -1,0 +1,37 @@
+// JobSpec: everything the engine needs to run one MapReduce job. The same
+// spec is executed whole (FIFO), as part of a merged batch (MRShare), or
+// segment-by-segment as sub-jobs (S3) — the spec itself is scheduler-
+// agnostic, which is what makes S3 a *plugin* scheduler.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+#include "engine/mapper.h"
+
+namespace s3::engine {
+
+struct JobSpec {
+  JobId id;
+  std::string name;
+  FileId input;
+  MapperFactory mapper_factory;
+  ReducerFactory reducer_factory;
+  // Optional map-side combiner (same contract as a reducer); nullptr = none.
+  ReducerFactory combiner_factory;
+  std::uint32_t num_reduce_tasks = 1;
+
+  [[nodiscard]] bool valid() const {
+    return id.valid() && mapper_factory != nullptr &&
+           reducer_factory != nullptr && num_reduce_tasks > 0;
+  }
+};
+
+// Final, merged output of a completed job.
+struct JobResult {
+  JobId id;
+  std::vector<KeyValue> output;  // sorted by key
+};
+
+}  // namespace s3::engine

@@ -1,0 +1,44 @@
+// Key/value vocabulary of the MapReduce engine. Keys and values are owned
+// strings: records cross task (thread) boundaries, so views into block
+// payloads would be a lifetime hazard for exactly the reason CP.mess warns
+// about — we copy at the emit boundary instead.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace s3::engine {
+
+struct KeyValue {
+  std::string key;
+  std::string value;
+
+  friend bool operator==(const KeyValue& a, const KeyValue& b) {
+    return a.key == b.key && a.value == b.value;
+  }
+  friend bool operator<(const KeyValue& a, const KeyValue& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.value < b.value;
+  }
+};
+
+// Where map output goes. Implementations partition by key and buffer.
+class Emitter {
+ public:
+  virtual ~Emitter() = default;
+  virtual void emit(std::string key, std::string value) = 0;
+};
+
+// Hash partitioner (Hadoop's default): FNV-1a over the key, mod R.
+[[nodiscard]] inline std::uint32_t partition_for_key(const std::string& key,
+                                                     std::uint32_t partitions) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return static_cast<std::uint32_t>(h % partitions);
+}
+
+}  // namespace s3::engine

@@ -1,0 +1,273 @@
+#include "engine/local_engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace s3::engine {
+
+LocalEngine::LocalEngine(const dfs::DfsNamespace& ns,
+                         const dfs::BlockStore& store,
+                         LocalEngineOptions options)
+    : ns_(&ns),
+      owned_adapter_(std::make_unique<dfs::StoredBlocks>(store)),
+      source_(owned_adapter_.get()),
+      options_(options),
+      map_runner_(*source_, shuffle_),
+      reduce_runner_(shuffle_),
+      map_pool_(std::make_unique<ThreadPool>(options.map_workers)),
+      reduce_pool_(std::make_unique<ThreadPool>(options.reduce_workers)) {}
+
+LocalEngine::LocalEngine(const dfs::DfsNamespace& ns,
+                         const dfs::BlockSource& source,
+                         LocalEngineOptions options)
+    : ns_(&ns),
+      source_(&source),
+      options_(options),
+      map_runner_(source, shuffle_),
+      reduce_runner_(shuffle_),
+      map_pool_(std::make_unique<ThreadPool>(options.map_workers)),
+      reduce_pool_(std::make_unique<ThreadPool>(options.reduce_workers)) {}
+
+LocalEngine::~LocalEngine() = default;
+
+Status LocalEngine::register_job(JobSpec spec) {
+  if (!spec.valid()) return Status::invalid_argument("invalid job spec");
+  if (!ns_->has_file(spec.input)) {
+    return Status::not_found("job input file does not exist");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (jobs_.count(spec.id) > 0) {
+    return Status::already_exists("job already registered");
+  }
+  shuffle_.register_job(spec.id, spec.num_reduce_tasks);
+  JobState state;
+  state.spec = std::move(spec);
+  const JobId id = state.spec.id;
+  jobs_.emplace(id, std::move(state));
+  return Status::ok();
+}
+
+LocalEngine::JobState& LocalEngine::state(JobId job) {
+  const auto it = jobs_.find(job);
+  S3_CHECK_MSG(it != jobs_.end(), "unregistered job " << job);
+  return it->second;
+}
+
+const LocalEngine::JobState& LocalEngine::state(JobId job) const {
+  const auto it = jobs_.find(job);
+  S3_CHECK_MSG(it != jobs_.end(), "unregistered job " << job);
+  return it->second;
+}
+
+Status LocalEngine::execute_batch(const BatchExec& batch) {
+  if (batch.jobs.empty()) {
+    return Status::invalid_argument("batch with no member jobs");
+  }
+  if (batch.blocks.empty()) {
+    return Status::invalid_argument("batch with no blocks");
+  }
+
+  // Snapshot member specs (stable pointers: jobs_ values are node-based).
+  std::vector<const JobSpec*> members;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    members.reserve(batch.jobs.size());
+    for (const JobId job : batch.jobs) {
+      const auto it = jobs_.find(job);
+      if (it == jobs_.end()) {
+        return Status::not_found("batch references unregistered job");
+      }
+      members.push_back(&it->second.spec);
+    }
+  }
+
+  S3_LOG(kDebug, "engine") << "batch " << batch.id << ": "
+                           << batch.blocks.size() << " blocks x "
+                           << batch.jobs.size() << " jobs";
+
+  // --- Map wave: one merged map task per block, all slots in parallel. ---
+  std::mutex outcome_mu;
+  std::vector<MapTaskOutcome> outcomes;
+  Status first_error = Status::ok();
+  for (const BlockId block : batch.blocks) {
+    MapTaskSpec task;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      task.id = task_ids_.next();
+    }
+    task.block = block;
+    task.jobs = members;
+    map_pool_->submit([this, task = std::move(task), &outcome_mu, &outcomes,
+                       &first_error] {
+      // Fault tolerance: injected failures model a node rejecting/losing the
+      // attempt before any side effects; the attempt is simply re-run.
+      StatusOr<MapTaskOutcome> outcome =
+          Status::internal("map task never attempted");
+      for (int attempt = 1; attempt <= options_.max_task_attempts; ++attempt) {
+        if (options_.failure_injector != nullptr &&
+            options_.failure_injector(task.id, attempt)) {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++failed_attempts_;
+          outcome = Status::unavailable("injected task failure");
+          continue;
+        }
+        outcome = map_runner_.run(task);
+        if (outcome.is_ok()) break;
+      }
+      std::lock_guard<std::mutex> lock(outcome_mu);
+      if (outcome.is_ok()) {
+        outcomes.push_back(std::move(outcome).value());
+      } else if (first_error.is_ok()) {
+        first_error = outcome.status();
+      }
+    });
+  }
+  map_pool_->wait_idle();
+  if (!first_error.is_ok()) return first_error;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& outcome : outcomes) {
+      scan_counters_ += outcome.scan;
+      for (const auto& [job, counters] : outcome.per_job) {
+        state(job).counters += counters;
+      }
+    }
+  }
+
+  // --- Reduce wave: per member job, per partition. ---
+  struct ReduceCollect {
+    std::mutex mu;
+    std::unordered_map<JobId, std::vector<KeyValue>> outputs;
+    std::unordered_map<JobId, JobCounters> counters;
+    Status error = Status::ok();
+  } collect;
+
+  for (const JobSpec* spec : members) {
+    for (std::uint32_t p = 0; p < spec->num_reduce_tasks; ++p) {
+      ReduceTaskSpec task;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        task.id = task_ids_.next();
+      }
+      task.job = spec;
+      task.partition = p;
+      reduce_pool_->submit([this, task, &collect] {
+        StatusOr<ReduceTaskOutcome> outcome =
+            Status::internal("reduce task never attempted");
+        for (int attempt = 1; attempt <= options_.max_task_attempts;
+             ++attempt) {
+          if (options_.failure_injector != nullptr &&
+              options_.failure_injector(task.id, attempt)) {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++failed_attempts_;
+            outcome = Status::unavailable("injected task failure");
+            continue;
+          }
+          outcome = reduce_runner_.run(task);
+          if (outcome.is_ok()) break;
+        }
+        std::lock_guard<std::mutex> lock(collect.mu);
+        if (!outcome.is_ok()) {
+          if (collect.error.is_ok()) collect.error = outcome.status();
+          return;
+        }
+        auto value = std::move(outcome).value();
+        auto& out = collect.outputs[task.job->id];
+        out.insert(out.end(), std::make_move_iterator(value.output.begin()),
+                   std::make_move_iterator(value.output.end()));
+        collect.counters[task.job->id] += value.counters;
+      });
+    }
+  }
+  reduce_pool_->wait_idle();
+  if (!collect.error.is_ok()) return collect.error;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const JobSpec* spec : members) {
+      JobState& st = state(spec->id);
+      st.counters += collect.counters[spec->id];
+      auto& partial = collect.outputs[spec->id];
+      st.partials.insert(st.partials.end(),
+                         std::make_move_iterator(partial.begin()),
+                         std::make_move_iterator(partial.end()));
+      st.batches_run += 1;
+      if (options_.incremental_merge && st.batches_run > 1) {
+        st.partials = re_reduce(st.spec, std::move(st.partials));
+      }
+    }
+  }
+  return Status::ok();
+}
+
+std::vector<KeyValue> LocalEngine::re_reduce(const JobSpec& spec,
+                                             std::vector<KeyValue> records) {
+  std::vector<KeyValue> merged;
+  merged.reserve(records.size());
+  class CollectEmitter final : public Emitter {
+   public:
+    explicit CollectEmitter(std::vector<KeyValue>& out) : out_(&out) {}
+    void emit(std::string key, std::string value) override {
+      out_->push_back(KeyValue{std::move(key), std::move(value)});
+    }
+
+   private:
+    std::vector<KeyValue>* out_;
+  } collector(merged);
+  auto reducer = spec.reducer_factory();
+  sort_and_group(std::move(records),
+                 [&](const std::string& key,
+                     const std::vector<std::string>& values) {
+                   reducer->reduce(key, values, collector);
+                 });
+  return merged;
+}
+
+StatusOr<JobResult> LocalEngine::finalize_job(JobId job) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto it = jobs_.find(job);
+  if (it == jobs_.end()) return Status::not_found("unregistered job");
+  JobState st = std::move(it->second);
+  jobs_.erase(it);
+  lock.unlock();
+  shuffle_.unregister_job(job);
+
+  JobResult result;
+  result.id = job;
+  if (st.batches_run <= 1 || options_.incremental_merge) {
+    // Partition outputs within one batch have disjoint keys (and incremental
+    // merging keeps the invariant): sorting is all that is left to do.
+    std::sort(st.partials.begin(), st.partials.end(),
+              [](const KeyValue& a, const KeyValue& b) { return a.key < b.key; });
+    result.output = std::move(st.partials);
+  } else {
+    // Sub-job execution: the same key may appear in several partial outputs;
+    // fold them with the (algebraic) reducer.
+    result.output = re_reduce(st.spec, std::move(st.partials));
+  }
+  return result;
+}
+
+const JobCounters& LocalEngine::counters(JobId job) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state(job).counters;
+}
+
+ScanCounters LocalEngine::scan_counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return scan_counters_;
+}
+
+std::size_t LocalEngine::registered_jobs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return jobs_.size();
+}
+
+std::uint64_t LocalEngine::failed_attempts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failed_attempts_;
+}
+
+}  // namespace s3::engine

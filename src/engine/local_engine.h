@@ -1,0 +1,125 @@
+// LocalEngine — a real, multi-threaded MapReduce execution engine over the
+// in-memory DFS. One worker thread per map slot and per reduce slot. The
+// engine executes *batches*: a set of blocks scanned once for a set of member
+// jobs. A FIFO job is one batch covering the whole file with one member; an
+// MRShare group is one whole-file batch with n members; an S3 merged sub-job
+// is a one-segment batch with the currently-aligned members.
+//
+// Contract for jobs executed across multiple batches (S3 sub-jobs): the
+// reducer must be algebraic — reducing the concatenation of partial outputs
+// must equal reducing the original data (true for counts, sums, min/max,
+// selection; see paper §V-G on output collection).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "common/types.h"
+#include "dfs/block_source.h"
+#include "dfs/block_store.h"
+#include "dfs/dfs_namespace.h"
+#include "engine/counters.h"
+#include "engine/job.h"
+#include "engine/map_runner.h"
+#include "engine/reduce_runner.h"
+#include "engine/shuffle.h"
+
+namespace s3::engine {
+
+struct BatchExec {
+  BatchId id;
+  std::vector<BlockId> blocks;  // scan scope (a segment, or a whole file)
+  std::vector<JobId> jobs;      // member jobs sharing the scan
+};
+
+// Fault injection hook: called before each task attempt; return true to make
+// that attempt fail (MapReduce's "fine-grained fault tolerance" then retries
+// it, up to max_task_attempts). Invoked concurrently from worker threads.
+using FailureInjector =
+    std::function<bool(TaskId task, int attempt)>;
+
+struct LocalEngineOptions {
+  std::size_t map_workers = 4;
+  std::size_t reduce_workers = 2;
+  // Paper §V-G extension: fold partial outputs into a running aggregate
+  // after every batch instead of keeping all partials until finalize.
+  bool incremental_merge = false;
+  // Task-level fault tolerance: attempts per task before the batch fails.
+  int max_task_attempts = 3;
+  FailureInjector failure_injector;  // nullptr = no injected failures
+};
+
+class LocalEngine {
+ public:
+  // Reads payloads from a materialized block store.
+  LocalEngine(const dfs::DfsNamespace& ns, const dfs::BlockStore& store,
+              LocalEngineOptions options = {});
+  // Reads payloads from any BlockSource (e.g. GeneratedBlockSource, which
+  // synthesizes blocks on demand so inputs need not fit in memory). The
+  // source must outlive the engine.
+  LocalEngine(const dfs::DfsNamespace& ns, const dfs::BlockSource& source,
+              LocalEngineOptions options = {});
+  ~LocalEngine();
+
+  LocalEngine(const LocalEngine&) = delete;
+  LocalEngine& operator=(const LocalEngine&) = delete;
+
+  // Registers a job before any batch that includes it.
+  Status register_job(JobSpec spec);
+
+  // Executes one batch synchronously: a parallel map wave over all blocks
+  // (each block read once for all member jobs), then a parallel reduce wave
+  // per member job.
+  Status execute_batch(const BatchExec& batch);
+
+  // Merges a completed job's partial outputs into its final result and
+  // releases its engine state. Must be called after the job's last batch.
+  StatusOr<JobResult> finalize_job(JobId job);
+
+  [[nodiscard]] const JobCounters& counters(JobId job) const;
+  [[nodiscard]] ScanCounters scan_counters() const;
+  [[nodiscard]] std::size_t registered_jobs() const;
+  // Task attempts that failed and were retried (fault-tolerance telemetry).
+  [[nodiscard]] std::uint64_t failed_attempts() const;
+
+ private:
+  struct JobState {
+    JobSpec spec;
+    JobCounters counters;
+    std::vector<KeyValue> partials;  // accumulated reduce outputs
+    std::uint64_t batches_run = 0;
+  };
+
+  // Re-reduces `records` with the job's reducer (used by finalize and by
+  // incremental merging).
+  [[nodiscard]] std::vector<KeyValue> re_reduce(const JobSpec& spec,
+                                                std::vector<KeyValue> records);
+
+  JobState& state(JobId job);
+  [[nodiscard]] const JobState& state(JobId job) const;
+
+  const dfs::DfsNamespace* ns_;
+  // Set when constructed from a BlockStore (keeps the adapter alive).
+  std::unique_ptr<dfs::StoredBlocks> owned_adapter_;
+  const dfs::BlockSource* source_;
+  LocalEngineOptions options_;
+
+  ShuffleStore shuffle_;
+  MapRunner map_runner_;
+  ReduceRunner reduce_runner_;
+  std::unique_ptr<ThreadPool> map_pool_;
+  std::unique_ptr<ThreadPool> reduce_pool_;
+
+  mutable std::mutex mu_;  // guards jobs_, scan_counters_, task_ids_
+  std::unordered_map<JobId, JobState> jobs_;
+  ScanCounters scan_counters_;
+  IdGenerator<TaskId> task_ids_;
+  std::uint64_t failed_attempts_ = 0;
+};
+
+}  // namespace s3::engine

@@ -1,0 +1,132 @@
+#include "engine/map_runner.h"
+
+#include <memory>
+
+#include "dfs/reader.h"
+
+namespace s3::engine {
+namespace {
+
+// Buffers map output locally (per partition), applies the optional combiner,
+// and publishes to the shuffle store in one append per partition.
+class PartitionedEmitter final : public Emitter {
+ public:
+  PartitionedEmitter(std::uint32_t partitions) : buffers_(partitions) {}
+
+  void emit(std::string key, std::string value) override {
+    ++records_;
+    bytes_ += key.size() + value.size();
+    const std::uint32_t p =
+        partition_for_key(key, static_cast<std::uint32_t>(buffers_.size()));
+    buffers_[p].push_back(KeyValue{std::move(key), std::move(value)});
+  }
+
+  [[nodiscard]] std::uint64_t records() const { return records_; }
+  [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
+
+  // Runs the combiner over each partition buffer in place; returns the
+  // post-combine record count.
+  std::uint64_t combine(Reducer& combiner) {
+    std::uint64_t out_records = 0;
+    for (auto& buffer : buffers_) {
+      std::vector<KeyValue> combined;
+      combined.reserve(buffer.size() / 2 + 1);
+      // Collect combiner output through a lightweight inline emitter.
+      class CollectEmitter final : public Emitter {
+       public:
+        explicit CollectEmitter(std::vector<KeyValue>& out) : out_(&out) {}
+        void emit(std::string key, std::string value) override {
+          out_->push_back(KeyValue{std::move(key), std::move(value)});
+        }
+
+       private:
+        std::vector<KeyValue>* out_;
+      } collect(combined);
+      sort_and_group(std::move(buffer),
+                     [&](const std::string& key,
+                         const std::vector<std::string>& values) {
+                       combiner.reduce(key, values, collect);
+                     });
+      buffer = std::move(combined);
+      out_records += buffer.size();
+    }
+    return out_records;
+  }
+
+  void publish(ShuffleStore& shuffle, JobId job) {
+    for (std::uint32_t p = 0; p < buffers_.size(); ++p) {
+      shuffle.append(job, p, std::move(buffers_[p]));
+    }
+    buffers_.clear();
+  }
+
+ private:
+  std::vector<std::vector<KeyValue>> buffers_;
+  std::uint64_t records_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace
+
+MapRunner::MapRunner(const dfs::BlockSource& source, ShuffleStore& shuffle)
+    : source_(&source), shuffle_(&shuffle) {}
+
+StatusOr<MapTaskOutcome> MapRunner::run(const MapTaskSpec& task) const {
+  if (task.jobs.empty()) {
+    return Status::invalid_argument("map task with no member jobs");
+  }
+  auto payload_or = source_->fetch(task.block);
+  if (!payload_or.is_ok()) return payload_or.status();
+  const dfs::Payload payload = std::move(payload_or).value();
+
+  MapTaskOutcome outcome;
+
+  // One mapper + emitter per member job; a single physical pass drives all.
+  struct Member {
+    const JobSpec* spec;
+    std::unique_ptr<Mapper> mapper;
+    std::unique_ptr<PartitionedEmitter> emitter;
+  };
+  std::vector<Member> members;
+  members.reserve(task.jobs.size());
+  for (const JobSpec* spec : task.jobs) {
+    S3_CHECK(spec != nullptr && spec->valid());
+    members.push_back(Member{spec, spec->mapper_factory(),
+                             std::make_unique<PartitionedEmitter>(
+                                 spec->num_reduce_tasks)});
+  }
+
+  dfs::SharedScanReader reader(payload);
+  for (auto& member : members) {
+    reader.add_consumer([&member](const dfs::Record& record) {
+      member.mapper->map(record, *member.emitter);
+    });
+  }
+  const std::uint64_t records = reader.scan();
+
+  outcome.scan.blocks_physical += 1;
+  outcome.scan.bytes_physical += payload->size();
+  outcome.scan.blocks_logical += task.jobs.size();
+  outcome.scan.bytes_logical += payload->size() * task.jobs.size();
+
+  for (auto& member : members) {
+    member.mapper->finish(*member.emitter);
+
+    JobCounters& counters = outcome.per_job[member.spec->id];
+    counters.map_input_records += records;
+    counters.map_input_bytes += payload->size();
+    counters.map_output_records += member.emitter->records();
+    counters.map_output_bytes += member.emitter->bytes();
+    counters.map_tasks += 1;
+    counters.blocks_scanned += 1;
+
+    if (member.spec->combiner_factory != nullptr) {
+      auto combiner = member.spec->combiner_factory();
+      counters.combine_output_records += member.emitter->combine(*combiner);
+    }
+    member.emitter->publish(*shuffle_, member.spec->id);
+  }
+  return outcome;
+}
+
+}  // namespace s3::engine

@@ -1,0 +1,45 @@
+// Merged map task execution — the "runtime sub-job initialization" data path.
+// One map task = one block scanned once, feeding the mapper of *every* member
+// job (n = 1 degenerates to a plain Hadoop map task). Output is partitioned
+// per job, optionally combined, then published to the shuffle store.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "dfs/block_source.h"
+#include "engine/counters.h"
+#include "engine/job.h"
+#include "engine/shuffle.h"
+
+namespace s3::engine {
+
+struct MapTaskSpec {
+  TaskId id;
+  BlockId block;
+  // Member jobs sharing this scan. Pointers are non-owning; the engine keeps
+  // specs alive for the lifetime of the batch.
+  std::vector<const JobSpec*> jobs;
+};
+
+struct MapTaskOutcome {
+  std::unordered_map<JobId, JobCounters> per_job;
+  ScanCounters scan;
+};
+
+class MapRunner {
+ public:
+  MapRunner(const dfs::BlockSource& source, ShuffleStore& shuffle);
+
+  // Runs the task synchronously on the calling thread. Thread-safe: many
+  // runners may execute concurrently against the same stores.
+  StatusOr<MapTaskOutcome> run(const MapTaskSpec& task) const;
+
+ private:
+  const dfs::BlockSource* source_;
+  ShuffleStore* shuffle_;
+};
+
+}  // namespace s3::engine

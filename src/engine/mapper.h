@@ -1,0 +1,41 @@
+// User-facing processing interfaces, mirroring Hadoop's Mapper/Reducer/
+// Combiner contracts. Factories produce a fresh instance per task so user
+// code needs no internal synchronization (one mapper instance is only ever
+// driven by one worker thread).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dfs/reader.h"
+#include "engine/kv.h"
+
+namespace s3::engine {
+
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+
+  // Called once per input record.
+  virtual void map(const dfs::Record& record, Emitter& out) = 0;
+
+  // Called after the last record of a task (flush opportunity).
+  virtual void finish(Emitter& /*out*/) {}
+};
+
+class Reducer {
+ public:
+  virtual ~Reducer() = default;
+
+  // Called once per distinct key with all values for that key.
+  virtual void reduce(const std::string& key,
+                      const std::vector<std::string>& values,
+                      Emitter& out) = 0;
+};
+
+using MapperFactory = std::function<std::unique_ptr<Mapper>()>;
+using ReducerFactory = std::function<std::unique_ptr<Reducer>()>;
+
+}  // namespace s3::engine

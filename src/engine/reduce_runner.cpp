@@ -1,0 +1,50 @@
+#include "engine/reduce_runner.h"
+
+#include <memory>
+
+namespace s3::engine {
+namespace {
+
+class CollectEmitter final : public Emitter {
+ public:
+  explicit CollectEmitter(std::vector<KeyValue>& out) : out_(&out) {}
+  void emit(std::string key, std::string value) override {
+    bytes_ += key.size() + value.size();
+    out_->push_back(KeyValue{std::move(key), std::move(value)});
+  }
+  [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
+
+ private:
+  std::vector<KeyValue>* out_;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace
+
+ReduceRunner::ReduceRunner(ShuffleStore& shuffle) : shuffle_(&shuffle) {}
+
+StatusOr<ReduceTaskOutcome> ReduceRunner::run(const ReduceTaskSpec& task) const {
+  if (task.job == nullptr || !task.job->valid()) {
+    return Status::invalid_argument("reduce task without a valid job");
+  }
+  if (task.partition >= task.job->num_reduce_tasks) {
+    return Status::out_of_range("partition beyond job's reduce task count");
+  }
+
+  std::vector<KeyValue> records = shuffle_->take(task.job->id, task.partition);
+  ReduceTaskOutcome outcome;
+  outcome.counters.reduce_tasks = 1;
+
+  auto reducer = task.job->reducer_factory();
+  CollectEmitter collect(outcome.output);
+  outcome.counters.reduce_input_groups = sort_and_group(
+      std::move(records),
+      [&](const std::string& key, const std::vector<std::string>& values) {
+        reducer->reduce(key, values, collect);
+      });
+  outcome.counters.reduce_output_records = outcome.output.size();
+  outcome.counters.reduce_output_bytes = collect.bytes();
+  return outcome;
+}
+
+}  // namespace s3::engine

@@ -1,0 +1,37 @@
+// Reduce task execution: takes one (job, partition) bucket from the shuffle
+// store, sorts, groups by key, runs the user reducer, and returns the
+// partition's output.
+#pragma once
+
+#include "common/status.h"
+#include "common/types.h"
+#include "engine/counters.h"
+#include "engine/job.h"
+#include "engine/shuffle.h"
+
+namespace s3::engine {
+
+struct ReduceTaskSpec {
+  TaskId id;
+  const JobSpec* job = nullptr;
+  std::uint32_t partition = 0;
+};
+
+struct ReduceTaskOutcome {
+  JobCounters counters;
+  std::vector<KeyValue> output;  // sorted by key within the partition
+};
+
+class ReduceRunner {
+ public:
+  explicit ReduceRunner(ShuffleStore& shuffle);
+
+  // Runs the task synchronously on the calling thread. Thread-safe across
+  // distinct (job, partition) pairs.
+  StatusOr<ReduceTaskOutcome> run(const ReduceTaskSpec& task) const;
+
+ private:
+  ShuffleStore* shuffle_;
+};
+
+}  // namespace s3::engine

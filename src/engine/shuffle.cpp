@@ -1,0 +1,104 @@
+#include "engine/shuffle.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace s3::engine {
+
+void ShuffleStore::register_job(JobId job, std::uint32_t partitions) {
+  S3_CHECK(partitions > 0);
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  S3_CHECK_MSG(jobs_.count(job) == 0, "job already registered: " << job);
+  JobBuckets jb;
+  jb.partitions = partitions;
+  jb.buckets.reserve(partitions);
+  for (std::uint32_t p = 0; p < partitions; ++p) {
+    jb.buckets.push_back(std::make_unique<Bucket>());
+  }
+  jobs_.emplace(job, std::move(jb));
+}
+
+void ShuffleStore::unregister_job(JobId job) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  jobs_.erase(job);
+}
+
+ShuffleStore::Bucket& ShuffleStore::bucket(JobId job, std::uint32_t partition) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  const auto it = jobs_.find(job);
+  S3_CHECK_MSG(it != jobs_.end(), "unregistered job " << job);
+  S3_CHECK_MSG(partition < it->second.partitions,
+               "partition " << partition << " out of range");
+  return *it->second.buckets[partition];
+}
+
+const ShuffleStore::Bucket& ShuffleStore::bucket(
+    JobId job, std::uint32_t partition) const {
+  return const_cast<ShuffleStore*>(this)->bucket(job, partition);
+}
+
+void ShuffleStore::append(JobId job, std::uint32_t partition,
+                          std::vector<KeyValue> run) {
+  if (run.empty()) return;
+  Bucket& b = bucket(job, partition);
+  std::lock_guard<std::mutex> lock(b.mu);
+  if (b.records.empty()) {
+    b.records = std::move(run);
+  } else {
+    b.records.insert(b.records.end(), std::make_move_iterator(run.begin()),
+                     std::make_move_iterator(run.end()));
+  }
+}
+
+std::vector<KeyValue> ShuffleStore::take(JobId job, std::uint32_t partition) {
+  Bucket& b = bucket(job, partition);
+  std::lock_guard<std::mutex> lock(b.mu);
+  std::vector<KeyValue> out;
+  out.swap(b.records);
+  return out;
+}
+
+std::uint32_t ShuffleStore::partitions(JobId job) const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  const auto it = jobs_.find(job);
+  S3_CHECK_MSG(it != jobs_.end(), "unregistered job " << job);
+  return it->second.partitions;
+}
+
+std::uint64_t ShuffleStore::pending_records(JobId job) const {
+  std::uint64_t total = 0;
+  const std::uint32_t parts = partitions(job);
+  for (std::uint32_t p = 0; p < parts; ++p) {
+    const Bucket& b = bucket(job, p);
+    std::lock_guard<std::mutex> lock(b.mu);
+    total += b.records.size();
+  }
+  return total;
+}
+
+std::uint64_t sort_and_group(
+    std::vector<KeyValue> records,
+    const std::function<void(const std::string&,
+                             const std::vector<std::string>&)>& fn) {
+  std::sort(records.begin(), records.end(),
+            [](const KeyValue& a, const KeyValue& b) { return a.key < b.key; });
+  std::uint64_t groups = 0;
+  std::size_t i = 0;
+  std::vector<std::string> values;
+  while (i < records.size()) {
+    const std::string& key = records[i].key;
+    values.clear();
+    std::size_t j = i;
+    while (j < records.size() && records[j].key == key) {
+      values.push_back(std::move(records[j].value));
+      ++j;
+    }
+    fn(key, values);
+    ++groups;
+    i = j;
+  }
+  return groups;
+}
+
+}  // namespace s3::engine

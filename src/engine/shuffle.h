@@ -1,0 +1,58 @@
+// In-memory shuffle: map tasks append partitioned runs, reduce tasks take a
+// whole (job, partition) bucket, sort it and group by key. Appends from many
+// map worker threads are serialized per bucket, and map tasks buffer
+// task-locally first, so lock traffic is one acquisition per (task, bucket).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "engine/kv.h"
+
+namespace s3::engine {
+
+class ShuffleStore {
+ public:
+  // Declares a job's partition count; must precede any append for the job.
+  void register_job(JobId job, std::uint32_t partitions);
+  void unregister_job(JobId job);
+
+  // Appends a run of records to (job, partition). Thread-safe.
+  void append(JobId job, std::uint32_t partition, std::vector<KeyValue> run);
+
+  // Takes (moves out) all records of (job, partition). Thread-safe.
+  [[nodiscard]] std::vector<KeyValue> take(JobId job, std::uint32_t partition);
+
+  [[nodiscard]] std::uint32_t partitions(JobId job) const;
+  [[nodiscard]] std::uint64_t pending_records(JobId job) const;
+
+ private:
+  struct Bucket {
+    mutable std::mutex mu;
+    std::vector<KeyValue> records;
+  };
+  struct JobBuckets {
+    std::uint32_t partitions = 0;
+    std::vector<std::unique_ptr<Bucket>> buckets;
+  };
+
+  mutable std::mutex registry_mu_;
+  std::unordered_map<JobId, JobBuckets> jobs_;
+
+  [[nodiscard]] Bucket& bucket(JobId job, std::uint32_t partition);
+  [[nodiscard]] const Bucket& bucket(JobId job, std::uint32_t partition) const;
+};
+
+// Sorts records by key and groups equal keys; calls `fn(key, values)` per
+// group in ascending key order. Returns the number of groups.
+std::uint64_t sort_and_group(
+    std::vector<KeyValue> records,
+    const std::function<void(const std::string&,
+                             const std::vector<std::string>&)>& fn);
+
+}  // namespace s3::engine

@@ -1,0 +1,98 @@
+#include "metrics/jsonl.h"
+
+#include <cstdio>
+
+namespace s3::metrics {
+
+std::string JsonObject::escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  for (const char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+JsonObject& JsonObject::field(const std::string& key,
+                              const std::string& value) {
+  if (!body_.empty()) body_ += ',';
+  body_ += '"' + escape(key) + "\":\"" + escape(value) + '"';
+  return *this;
+}
+
+JsonObject& JsonObject::field(const std::string& key, double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  if (!body_.empty()) body_ += ',';
+  body_ += '"' + escape(key) + "\":" + buf;
+  return *this;
+}
+
+JsonObject& JsonObject::field(const std::string& key, std::uint64_t value) {
+  if (!body_.empty()) body_ += ',';
+  body_ += '"' + escape(key) + "\":" + std::to_string(value);
+  return *this;
+}
+
+JsonObject& JsonObject::field(const std::string& key, bool value) {
+  if (!body_.empty()) body_ += ',';
+  body_ += '"' + escape(key) + (value ? "\":true" : "\":false");
+  return *this;
+}
+
+std::string JsonObject::str() const { return '{' + body_ + '}'; }
+
+std::string jobs_to_jsonl(const std::vector<JobRecord>& jobs) {
+  std::string out;
+  for (const auto& job : jobs) {
+    JsonObject record;
+    record.field("job", job.id.value())
+        .field("submitted", job.submitted)
+        .field("started", job.first_started)
+        .field("completed", job.completed)
+        .field("response", job.response_time())
+        .field("waiting", job.waiting_time());
+    out += record.str();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string summary_to_json(const MetricsSummary& summary,
+                            const std::string& label) {
+  JsonObject record;
+  record.field("label", label)
+      .field("jobs", static_cast<std::uint64_t>(summary.num_jobs))
+      .field("tet", summary.tet)
+      .field("art", summary.art)
+      .field("mean_waiting", summary.mean_waiting)
+      .field("max_response", summary.max_response)
+      .field("p95_response", summary.p95_response);
+  return record.str();
+}
+
+}  // namespace s3::metrics

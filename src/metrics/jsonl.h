@@ -1,0 +1,39 @@
+// Machine-readable run artifacts: JSON-lines export of per-job timelines and
+// summaries (one JSON object per line — greppable, streamable, and trivially
+// loadable from pandas / jq). The writer is a minimal hand-rolled JSON
+// emitter: only the flat object shapes used here, strings escaped.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/metrics.h"
+
+namespace s3::metrics {
+
+// Minimal JSON object builder for flat records.
+class JsonObject {
+ public:
+  JsonObject& field(const std::string& key, const std::string& value);
+  JsonObject& field(const std::string& key, double value);
+  JsonObject& field(const std::string& key, std::uint64_t value);
+  JsonObject& field(const std::string& key, bool value);
+
+  // Renders "{...}".
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] static std::string escape(const std::string& raw);
+
+ private:
+  std::string body_;
+};
+
+// One line per job: {"job":N,"submitted":..,"started":..,"completed":..,
+// "response":..,"waiting":..}
+[[nodiscard]] std::string jobs_to_jsonl(const std::vector<JobRecord>& jobs);
+
+// Single line for a run summary: {"jobs":N,"tet":..,"art":..,...}
+[[nodiscard]] std::string summary_to_json(const MetricsSummary& summary,
+                                          const std::string& label);
+
+}  // namespace s3::metrics

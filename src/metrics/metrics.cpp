@@ -1,0 +1,95 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace s3::metrics {
+
+void JobTimeline::on_submitted(JobId job, SimTime t) {
+  S3_CHECK_MSG(records_.count(job) == 0, "job submitted twice: " << job);
+  JobRecord r;
+  r.id = job;
+  r.submitted = t;
+  records_.emplace(job, r);
+}
+
+void JobTimeline::on_first_started(JobId job, SimTime t) {
+  const auto it = records_.find(job);
+  S3_CHECK_MSG(it != records_.end(), "start before submission: " << job);
+  if (it->second.first_started == kTimeNever) {
+    S3_CHECK(t >= it->second.submitted);
+    it->second.first_started = t;
+  }
+}
+
+void JobTimeline::on_completed(JobId job, SimTime t) {
+  const auto it = records_.find(job);
+  S3_CHECK_MSG(it != records_.end(), "completion before submission: " << job);
+  S3_CHECK_MSG(it->second.completed == kTimeNever,
+               "job completed twice: " << job);
+  S3_CHECK(t >= it->second.submitted);
+  it->second.completed = t;
+  if (it->second.first_started == kTimeNever) it->second.first_started = t;
+}
+
+const JobRecord& JobTimeline::record(JobId job) const {
+  const auto it = records_.find(job);
+  S3_CHECK_MSG(it != records_.end(), "unknown job " << job);
+  return it->second;
+}
+
+std::vector<JobRecord> JobTimeline::records() const {
+  std::vector<JobRecord> out;
+  out.reserve(records_.size());
+  for (const auto& [id, r] : records_) out.push_back(r);
+  std::sort(out.begin(), out.end(), [](const JobRecord& a, const JobRecord& b) {
+    if (a.submitted != b.submitted) return a.submitted < b.submitted;
+    return a.id < b.id;
+  });
+  return out;
+}
+
+bool JobTimeline::all_done() const {
+  for (const auto& [id, r] : records_) {
+    if (!r.done()) return false;
+  }
+  return true;
+}
+
+MetricsSummary summarize(const JobTimeline& timeline) {
+  S3_CHECK_MSG(timeline.all_done(), "summarize() requires all jobs complete");
+  MetricsSummary s;
+  const auto records = timeline.records();
+  s.num_jobs = records.size();
+  if (records.empty()) return s;
+
+  SimTime first_submit = records.front().submitted;
+  SimTime last_complete = 0.0;
+  SampleSet responses;
+  OnlineStats waits;
+  for (const auto& r : records) {
+    first_submit = std::min(first_submit, r.submitted);
+    last_complete = std::max(last_complete, r.completed);
+    responses.add(r.response_time());
+    waits.add(r.waiting_time());
+  }
+  s.tet = last_complete - first_submit;
+  s.art = responses.mean();
+  s.mean_waiting = waits.mean();
+  s.max_response = responses.max();
+  s.p95_response = responses.percentile(95.0);
+  return s;
+}
+
+std::string MetricsSummary::to_string() const {
+  std::string out;
+  out += "jobs=" + std::to_string(num_jobs);
+  out += " TET=" + format_double(tet, 1) + "s";
+  out += " ART=" + format_double(art, 1) + "s";
+  out += " wait=" + format_double(mean_waiting, 1) + "s";
+  return out;
+}
+
+}  // namespace s3::metrics

@@ -1,0 +1,62 @@
+// The paper's two performance metrics (§III-B):
+//   TET — total execution time: first job's submission to last completion.
+//   ART — average response time: mean of (completion - submission) per job.
+// JobTimeline records the raw per-job events; MetricsSummary derives the
+// aggregate numbers plus waiting-time statistics.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace s3::metrics {
+
+struct JobRecord {
+  JobId id;
+  SimTime submitted = 0.0;
+  // First time any task of the job started processing (start of its first
+  // batch); measures waiting time.
+  SimTime first_started = kTimeNever;
+  SimTime completed = kTimeNever;
+
+  [[nodiscard]] bool done() const { return completed != kTimeNever; }
+  [[nodiscard]] SimTime response_time() const { return completed - submitted; }
+  [[nodiscard]] SimTime waiting_time() const {
+    return first_started - submitted;
+  }
+};
+
+class JobTimeline {
+ public:
+  void on_submitted(JobId job, SimTime t);
+  void on_first_started(JobId job, SimTime t);  // idempotent
+  void on_completed(JobId job, SimTime t);
+
+  [[nodiscard]] const JobRecord& record(JobId job) const;
+  [[nodiscard]] std::vector<JobRecord> records() const;  // by submission time
+  [[nodiscard]] std::size_t num_jobs() const { return records_.size(); }
+  [[nodiscard]] bool all_done() const;
+
+ private:
+  std::unordered_map<JobId, JobRecord> records_;
+};
+
+struct MetricsSummary {
+  std::size_t num_jobs = 0;
+  double tet = 0.0;  // total execution time
+  double art = 0.0;  // average response time
+  double mean_waiting = 0.0;
+  double max_response = 0.0;
+  double p95_response = 0.0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+// Computes the summary; requires every job to be complete.
+[[nodiscard]] MetricsSummary summarize(const JobTimeline& timeline);
+
+}  // namespace s3::metrics

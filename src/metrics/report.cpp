@@ -1,0 +1,97 @@
+#include "metrics/report.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace s3::metrics {
+
+TableWriter::TableWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  S3_CHECK(!headers_.empty());
+}
+
+void TableWriter::add_row(std::vector<std::string> cells) {
+  S3_CHECK_MSG(cells.size() == headers_.size(),
+               "row has " << cells.size() << " cells, expected "
+                          << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TableWriter::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  std::string out;
+  const auto rule = [&] {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      out += '+';
+      out += std::string(widths[c] + 2, '-');
+    }
+    out += "+\n";
+  };
+  const auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out += "| " + pad_right(cells[c], widths[c]) + ' ';
+    }
+    out += "|\n";
+  };
+  rule();
+  line(headers_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+  return out;
+}
+
+std::string TableWriter::render_csv() const {
+  std::string out = join(headers_, ",") + "\n";
+  for (const auto& row : rows_) out += join(row, ",") + "\n";
+  return out;
+}
+
+void ComparisonTable::add(std::string scheme, MetricsSummary summary) {
+  results_.push_back(SchemeResult{std::move(scheme), summary});
+}
+
+const MetricsSummary& ComparisonTable::summary_for(
+    const std::string& scheme) const {
+  for (const auto& r : results_) {
+    if (r.scheme == scheme) return r.summary;
+  }
+  S3_CHECK_MSG(false, "no result for scheme '" << scheme << "'");
+  return results_.front().summary;  // unreachable
+}
+
+std::string ComparisonTable::render(const std::string& baseline) const {
+  const MetricsSummary& base = summary_for(baseline);
+  TableWriter table({"scheme", "TET (s)", "ART (s)", "TET/" + baseline,
+                     "ART/" + baseline, "mean wait (s)"});
+  for (const auto& r : results_) {
+    table.add_row({r.scheme, format_double(r.summary.tet, 1),
+                   format_double(r.summary.art, 1),
+                   format_double(r.summary.tet / base.tet, 2),
+                   format_double(r.summary.art / base.art, 2),
+                   format_double(r.summary.mean_waiting, 1)});
+  }
+  return table.render();
+}
+
+std::string ComparisonTable::render_csv(const std::string& baseline) const {
+  const MetricsSummary& base = summary_for(baseline);
+  TableWriter table({"scheme", "tet_s", "art_s", "tet_norm", "art_norm",
+                     "mean_wait_s"});
+  for (const auto& r : results_) {
+    table.add_row({r.scheme, format_double(r.summary.tet, 3),
+                   format_double(r.summary.art, 3),
+                   format_double(r.summary.tet / base.tet, 4),
+                   format_double(r.summary.art / base.art, 4),
+                   format_double(r.summary.mean_waiting, 3)});
+  }
+  return table.render_csv();
+}
+
+}  // namespace s3::metrics

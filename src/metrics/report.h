@@ -1,0 +1,50 @@
+// Report writers: a generic fixed-width ASCII table plus the paper-style
+// scheme-comparison table that prints absolute TET/ART and values normalized
+// to a baseline scheme (the figures normalize to S3 = 1.0).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/metrics.h"
+
+namespace s3::metrics {
+
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  [[nodiscard]] std::string render() const;
+  [[nodiscard]] std::string render_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+struct SchemeResult {
+  std::string scheme;
+  MetricsSummary summary;
+};
+
+class ComparisonTable {
+ public:
+  void add(std::string scheme, MetricsSummary summary);
+
+  // Renders absolute seconds plus TET/ART normalized to `baseline` = 1.00
+  // (must have been added). Matches the presentation of Figure 4.
+  [[nodiscard]] std::string render(const std::string& baseline) const;
+  [[nodiscard]] std::string render_csv(const std::string& baseline) const;
+
+  [[nodiscard]] const std::vector<SchemeResult>& results() const {
+    return results_;
+  }
+  [[nodiscard]] const MetricsSummary& summary_for(
+      const std::string& scheme) const;
+
+ private:
+  std::vector<SchemeResult> results_;
+};
+
+}  // namespace s3::metrics

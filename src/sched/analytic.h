@@ -1,0 +1,44 @@
+// Closed-form TET/ART models for the three schemes under the idealized
+// conditions of the paper's Examples 1-3 (§III): every job is a pure scan of
+// the same file taking D seconds of cluster time, the scan can be paused and
+// resumed at arbitrary points (S3), and combining n jobs optionally costs a
+// linear overhead factor. Used to validate the discrete-event simulator and
+// to regenerate the worked examples.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace s3::sched {
+
+struct AnalyticScenario {
+  std::vector<SimTime> arrivals;  // must be sorted ascending
+  SimTime job_duration = 100.0;   // D: one full scan of the file
+  // Combining n jobs takes D * (1 + combine_overhead * (n-1)). The paper's
+  // examples use 0 ("assuming the overhead ... is minimal").
+  double combine_overhead = 0.0;
+};
+
+struct AnalyticOutcome {
+  std::vector<SimTime> completions;  // aligned with arrivals
+  SimTime tet = 0.0;
+  SimTime art = 0.0;
+};
+
+// Hadoop FIFO: strictly sequential, full scan each.
+[[nodiscard]] AnalyticOutcome analytic_fifo(const AnalyticScenario& s);
+
+// MRShare with predetermined group sizes (jobs fill groups in arrival
+// order). A group starts when its last member has arrived and the previous
+// group has finished.
+[[nodiscard]] AnalyticOutcome analytic_mrshare(
+    const AnalyticScenario& s, const std::vector<std::size_t>& group_counts);
+
+// Idealized S3 (continuous sub-job granularity, zero launch overhead):
+// every job starts scanning the moment it arrives and finishes exactly D
+// later, sharing whatever overlap exists. Example 3's numbers.
+[[nodiscard]] AnalyticOutcome analytic_s3(const AnalyticScenario& s);
+
+}  // namespace s3::sched

@@ -1,0 +1,45 @@
+#include "sched/fifo.h"
+
+namespace s3::sched {
+
+FifoScheduler::FifoScheduler(const FileCatalog& catalog)
+    : catalog_(&catalog) {}
+
+void FifoScheduler::on_job_arrival(const JobArrival& job, SimTime /*now*/) {
+  S3_CHECK_MSG(catalog_->contains(job.file),
+               "job " << job.id << " references unknown file");
+  Pending pending{job, next_seq_++};
+  // Keep the queue sorted by (priority desc, arrival order asc); Hadoop's
+  // FIFO scheduler sorts pending jobs exactly this way (paper §II-B).
+  auto it = queue_.begin();
+  while (it != queue_.end() && it->job.priority >= pending.job.priority) ++it;
+  queue_.insert(it, std::move(pending));
+}
+
+std::optional<Batch> FifoScheduler::next_batch(SimTime /*now*/,
+                                               const ClusterStatus& /*status*/) {
+  if (batch_in_flight_ || queue_.empty()) return std::nullopt;
+  const JobArrival job = queue_.front().job;
+  queue_.pop_front();
+
+  Batch batch;
+  batch.id = batch_ids_.next();
+  batch.file = job.file;
+  batch.start_block = 0;
+  batch.num_blocks = catalog_->num_blocks(job.file);
+  batch.members.push_back(
+      Batch::Member{job.id, batch.num_blocks, /*completes=*/true});
+  batch_in_flight_ = true;
+  return batch;
+}
+
+void FifoScheduler::on_batch_complete(BatchId /*batch*/, SimTime /*now*/) {
+  S3_CHECK_MSG(batch_in_flight_, "completion without a running batch");
+  batch_in_flight_ = false;
+}
+
+std::size_t FifoScheduler::pending_jobs() const {
+  return queue_.size() + (batch_in_flight_ ? 1 : 0);
+}
+
+}  // namespace s3::sched

@@ -1,0 +1,41 @@
+// Hadoop's default FIFO scheduler (paper §II-B): pending jobs are sorted by
+// priority, then submission time, and run strictly one after another, each
+// as a single whole-file batch with a single member — no sharing of any
+// kind.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "common/types.h"
+#include "sched/file_catalog.h"
+#include "sched/scheduler.h"
+
+namespace s3::sched {
+
+class FifoScheduler final : public Scheduler {
+ public:
+  explicit FifoScheduler(const FileCatalog& catalog);
+
+  [[nodiscard]] std::string name() const override { return "FIFO"; }
+
+  void on_job_arrival(const JobArrival& job, SimTime now) override;
+  std::optional<Batch> next_batch(SimTime now,
+                                  const ClusterStatus& status) override;
+  void on_batch_complete(BatchId batch, SimTime now) override;
+  [[nodiscard]] std::size_t pending_jobs() const override;
+
+ private:
+  struct Pending {
+    JobArrival job;
+    std::uint64_t seq = 0;  // arrival order tiebreaker
+  };
+
+  const FileCatalog* catalog_;
+  std::deque<Pending> queue_;  // sorted: priority desc, then seq asc
+  std::uint64_t next_seq_ = 0;
+  bool batch_in_flight_ = false;
+  IdGenerator<BatchId> batch_ids_;
+};
+
+}  // namespace s3::sched

@@ -1,0 +1,36 @@
+// Scheduler-side view of input files: just the block count per file (the
+// actual block lists live in the DFS namespace; drivers translate a batch's
+// circular block range into concrete BlockIds).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace s3::sched {
+
+class FileCatalog {
+ public:
+  void add(FileId file, std::uint64_t num_blocks) {
+    S3_CHECK(num_blocks > 0);
+    S3_CHECK_MSG(files_.count(file) == 0, "file registered twice: " << file);
+    files_.emplace(file, num_blocks);
+  }
+
+  [[nodiscard]] std::uint64_t num_blocks(FileId file) const {
+    const auto it = files_.find(file);
+    S3_CHECK_MSG(it != files_.end(), "unknown file " << file);
+    return it->second;
+  }
+
+  [[nodiscard]] bool contains(FileId file) const {
+    return files_.count(file) > 0;
+  }
+
+ private:
+  std::unordered_map<FileId, std::uint64_t> files_;
+};
+
+}  // namespace s3::sched

@@ -1,0 +1,125 @@
+#include "sched/job_queue_manager.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "dfs/segment.h"
+
+namespace s3::sched {
+
+JobQueueManager::JobQueueManager(FileId file, std::uint64_t file_blocks)
+    : file_(file), file_blocks_(file_blocks) {
+  S3_CHECK(file_blocks > 0);
+}
+
+void JobQueueManager::admit(JobId job, int priority) {
+  S3_CHECK_MSG(find(job) == nullptr, "job admitted twice: " << job);
+  QueuedJob q;
+  q.id = job;
+  q.start_block = cursor_;
+  q.next_block = cursor_;
+  q.remaining = file_blocks_;
+  q.priority = priority;
+  q.seq = next_seq_++;
+  jobs_.push_back(q);
+  S3_LOG(kDebug, "jqm") << "admit " << job << " at block " << cursor_;
+}
+
+const JobQueueManager::QueuedJob* JobQueueManager::find(JobId job) const {
+  for (const auto& q : jobs_) {
+    if (q.id == job) return &q;
+  }
+  return nullptr;
+}
+
+std::uint64_t JobQueueManager::remaining(JobId job) const {
+  const QueuedJob* q = find(job);
+  S3_CHECK_MSG(q != nullptr, "unknown job " << job);
+  return q->remaining;
+}
+
+Batch JobQueueManager::form_batch(BatchId id, std::uint64_t wave,
+                                  std::size_t max_members) {
+  S3_CHECK_MSG(!in_flight_.has_value(), "batch already in flight");
+  S3_CHECK_MSG(!jobs_.empty(), "form_batch on an empty queue");
+  S3_CHECK(wave > 0);
+  wave = std::min(wave, file_blocks_);
+
+  // If no queued job needs the block at the cursor (possible only when
+  // membership capping made jobs wait for the scan to wrap around), jump the
+  // cursor forward to the nearest needed block instead of scanning dead air.
+  const bool anyone_here = std::any_of(
+      jobs_.begin(), jobs_.end(),
+      [&](const QueuedJob& q) { return q.next_block == cursor_; });
+  if (!anyone_here) {
+    std::uint64_t best = dfs::circular_distance(
+        cursor_, jobs_.front().next_block, file_blocks_);
+    for (const auto& q : jobs_) {
+      best = std::min(best, dfs::circular_distance(cursor_, q.next_block,
+                                                   file_blocks_));
+    }
+    cursor_ = (cursor_ + best) % file_blocks_;
+  }
+
+  // Candidates: jobs whose scan position is exactly the cursor (alignment —
+  // every uncapped job always is).
+  std::vector<QueuedJob*> candidates;
+  for (auto& q : jobs_) {
+    if (q.next_block == cursor_) candidates.push_back(&q);
+  }
+  S3_CHECK(!candidates.empty());
+
+  if (max_members > 0 && candidates.size() > max_members) {
+    std::sort(candidates.begin(), candidates.end(),
+              [](const QueuedJob* a, const QueuedJob* b) {
+                if (a->priority != b->priority) {
+                  return a->priority > b->priority;
+                }
+                return a->seq < b->seq;
+              });
+    candidates.resize(max_members);
+  }
+
+  Batch batch;
+  batch.id = id;
+  batch.file = file_;
+  batch.start_block = cursor_;
+  batch.num_blocks = wave;
+  batch.members.reserve(candidates.size());
+  for (QueuedJob* q : candidates) {
+    Batch::Member m;
+    m.job = q->id;
+    m.blocks = std::min(q->remaining, wave);
+    m.completes = q->remaining <= wave;
+    batch.members.push_back(m);
+  }
+
+  in_flight_ = InFlight{batch.members};
+  cursor_ = (cursor_ + wave) % file_blocks_;
+  return batch;
+}
+
+std::vector<JobId> JobQueueManager::complete_batch() {
+  S3_CHECK_MSG(in_flight_.has_value(), "complete_batch with none in flight");
+  std::vector<JobId> completed;
+  for (const Batch::Member& m : in_flight_->members) {
+    auto it = std::find_if(jobs_.begin(), jobs_.end(),
+                           [&](const QueuedJob& q) { return q.id == m.job; });
+    S3_CHECK_MSG(it != jobs_.end(), "in-flight member vanished: " << m.job);
+    S3_CHECK(it->remaining >= m.blocks);
+    it->remaining -= m.blocks;
+    it->next_block = (it->next_block + m.blocks) % file_blocks_;
+    if (it->remaining == 0) {
+      S3_CHECK_MSG(m.completes, "completion flag disagreed for " << m.job);
+      completed.push_back(m.job);
+      jobs_.erase(it);
+    } else {
+      S3_CHECK_MSG(!m.completes,
+                   "job flagged complete but has blocks left: " << m.job);
+    }
+  }
+  in_flight_.reset();
+  return completed;
+}
+
+}  // namespace s3::sched

@@ -1,0 +1,88 @@
+// The S3 Job Queue Manager — Algorithm 1 of the paper, generalized from
+// segment indices to a circular block cursor so that both fixed segments and
+// dynamically-resized waves share one implementation.
+//
+// One JobQueueManager manages one file's circular scan:
+//  * admit(j)          — job j joins the queue; its start offset is the
+//                        current cursor (the next block to be scheduled),
+//                        i.e. J(ss) in Algorithm 1 line 2.
+//  * form_batch(wave)  — lines 1-4: merge every queued job's sub-job for the
+//                        next `wave` blocks into one batch and advance the
+//                        cursor (circularly; lines 10-13). Jobs arriving
+//                        after this call are aligned to the *next* wave.
+//  * complete_batch()  — lines 5-9: account the finished wave against every
+//                        member and retire jobs whose circular scan is done.
+//
+// Invariants (checked):
+//  * at most one batch is in flight;
+//  * every queued job is a member of every formed batch (alignment);
+//  * a job completes after consuming exactly `file_blocks` blocks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "sched/scheduler.h"
+
+namespace s3::sched {
+
+class JobQueueManager {
+ public:
+  JobQueueManager(FileId file, std::uint64_t file_blocks);
+
+  [[nodiscard]] FileId file() const { return file_; }
+  [[nodiscard]] std::uint64_t file_blocks() const { return file_blocks_; }
+
+  // Admits a job into the queue; it starts scanning at the current cursor.
+  void admit(JobId job, int priority = 0);
+
+  [[nodiscard]] bool empty() const { return jobs_.empty(); }
+  [[nodiscard]] std::size_t queued_jobs() const { return jobs_.size(); }
+  [[nodiscard]] std::uint64_t cursor() const { return cursor_; }
+  [[nodiscard]] bool batch_in_flight() const { return in_flight_.has_value(); }
+
+  // Blocks a job still needs (file_blocks for a fresh job; 0 never appears —
+  // completed jobs are removed).
+  [[nodiscard]] std::uint64_t remaining(JobId job) const;
+
+  // Forms the next merged sub-job over [cursor, cursor + wave) and advances
+  // the cursor. `max_members` > 0 caps batch membership (priority extension:
+  // the highest-priority, earliest-admitted jobs are preferred; the rest
+  // stay aligned and wait). Requires !empty() and no batch in flight.
+  [[nodiscard]] Batch form_batch(BatchId id, std::uint64_t wave,
+                                 std::size_t max_members = 0);
+
+  // Accounts the in-flight batch as finished; returns the jobs it completed
+  // (already removed from the queue).
+  std::vector<JobId> complete_batch();
+
+ private:
+  struct QueuedJob {
+    JobId id;
+    std::uint64_t start_block = 0;
+    // The next block index this job needs. Equal to the cursor for every
+    // job that has joined every wave since admission; lags behind (waiting
+    // for the scan to wrap) only when membership capping skipped the job.
+    std::uint64_t next_block = 0;
+    std::uint64_t remaining = 0;
+    int priority = 0;
+    std::uint64_t seq = 0;
+  };
+
+  struct InFlight {
+    std::vector<Batch::Member> members;
+  };
+
+  [[nodiscard]] const QueuedJob* find(JobId job) const;
+
+  FileId file_;
+  std::uint64_t file_blocks_;
+  std::uint64_t cursor_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::vector<QueuedJob> jobs_;
+  std::optional<InFlight> in_flight_;
+};
+
+}  // namespace s3::sched

@@ -1,0 +1,122 @@
+#include "sched/mrshare.h"
+
+#include <algorithm>
+
+namespace s3::sched {
+
+MRShareScheduler::MRShareScheduler(const FileCatalog& catalog,
+                                   MRSharePolicy policy, std::string name)
+    : catalog_(&catalog), policy_(std::move(policy)), name_(std::move(name)) {
+  if (const auto* fixed = std::get_if<FixedGroups>(&policy_)) {
+    S3_CHECK_MSG(!fixed->counts.empty(), "FixedGroups needs at least 1 count");
+    for (const std::size_t c : fixed->counts) S3_CHECK(c > 0);
+  }
+  if (const auto* window = std::get_if<TimeWindow>(&policy_)) {
+    S3_CHECK(window->window >= 0.0);
+  }
+}
+
+MRShareScheduler::OpenGroup* MRShareScheduler::find_open(FileId file) {
+  for (auto& g : open_) {
+    if (g.file == file) return &g;
+  }
+  return nullptr;
+}
+
+std::size_t MRShareScheduler::target_count(std::size_t group_index) const {
+  const auto& fixed = std::get<FixedGroups>(policy_);
+  return fixed.counts[group_index % fixed.counts.size()];
+}
+
+void MRShareScheduler::release_group(std::size_t open_index) {
+  OpenGroup& g = open_[open_index];
+  ready_.push_back(ReadyGroup{g.file, std::move(g.jobs)});
+  open_.erase(open_.begin() + static_cast<std::ptrdiff_t>(open_index));
+}
+
+void MRShareScheduler::on_job_arrival(const JobArrival& job, SimTime now) {
+  S3_CHECK_MSG(catalog_->contains(job.file),
+               "job " << job.id << " references unknown file");
+  OpenGroup* group = find_open(job.file);
+  if (group == nullptr) {
+    OpenGroup fresh;
+    fresh.file = job.file;
+    fresh.opened_at = now;
+    const auto it = released_groups_.find(job.file);
+    fresh.group_index = it == released_groups_.end() ? 0 : it->second;
+    open_.push_back(std::move(fresh));
+    group = &open_.back();
+  }
+  group->jobs.push_back(job.id);
+
+  if (std::holds_alternative<FixedGroups>(policy_) &&
+      group->jobs.size() >= target_count(group->group_index)) {
+    released_groups_[group->file] = group->group_index + 1;
+    release_group(static_cast<std::size_t>(group - open_.data()));
+  }
+}
+
+void MRShareScheduler::maybe_release_time_windows(SimTime now) {
+  const auto* window = std::get_if<TimeWindow>(&policy_);
+  if (window == nullptr) return;
+  for (std::size_t i = open_.size(); i-- > 0;) {
+    if (now >= open_[i].opened_at + window->window) {
+      released_groups_[open_[i].file] = open_[i].group_index + 1;
+      release_group(i);
+    }
+  }
+}
+
+std::optional<Batch> MRShareScheduler::next_batch(
+    SimTime now, const ClusterStatus& /*status*/) {
+  maybe_release_time_windows(now);
+  if (batch_in_flight_ || ready_.empty()) return std::nullopt;
+  ReadyGroup group = std::move(ready_.front());
+  ready_.pop_front();
+
+  Batch batch;
+  batch.id = batch_ids_.next();
+  batch.file = group.file;
+  batch.start_block = 0;
+  batch.num_blocks = catalog_->num_blocks(group.file);
+  batch.members.reserve(group.jobs.size());
+  for (const JobId job : group.jobs) {
+    batch.members.push_back(
+        Batch::Member{job, batch.num_blocks, /*completes=*/true});
+  }
+  batch_in_flight_ = true;
+  in_flight_jobs_ = group.jobs.size();
+  return batch;
+}
+
+void MRShareScheduler::on_batch_complete(BatchId /*batch*/, SimTime /*now*/) {
+  S3_CHECK_MSG(batch_in_flight_, "completion without a running batch");
+  batch_in_flight_ = false;
+  in_flight_jobs_ = 0;
+}
+
+std::size_t MRShareScheduler::pending_jobs() const {
+  std::size_t count = in_flight_jobs_;
+  for (const auto& g : open_) count += g.jobs.size();
+  for (const auto& r : ready_) count += r.jobs.size();
+  return count;
+}
+
+void MRShareScheduler::flush(SimTime /*now*/) {
+  while (!open_.empty()) {
+    released_groups_[open_.back().file] = open_.back().group_index + 1;
+    release_group(open_.size() - 1);
+  }
+}
+
+std::optional<SimTime> MRShareScheduler::next_decision_time() const {
+  const auto* window = std::get_if<TimeWindow>(&policy_);
+  if (window == nullptr || open_.empty()) return std::nullopt;
+  SimTime earliest = kTimeNever;
+  for (const auto& g : open_) {
+    earliest = std::min(earliest, g.opened_at + window->window);
+  }
+  return earliest;
+}
+
+}  // namespace s3::sched

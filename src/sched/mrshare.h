@@ -1,0 +1,88 @@
+// MRShare-style file-level shared scan (Nykiel et al., PVLDB 2010; paper
+// §II-C): jobs accessing the same file are collected into groups, and each
+// group is processed as one merged whole-file job sharing a single scan.
+// Jobs that arrive early wait for their group to fill before anything runs.
+//
+// Grouping policies (the paper's Figure 4 variants):
+//  * SingleBatch          — MRS1: every job of the workload in one group.
+//  * FixedGroups{counts}  — MRS2 = {6,4}, MRS3 = {3,3,4}: groups are filled
+//                           in arrival order and released when full.
+//  * TimeWindow{w}        — extension: a group is released w seconds after
+//                           its first member arrived.
+//
+// flush() releases any partially-filled group (the driver calls it once it
+// knows no further jobs will arrive; this is what lets SingleBatch
+// terminate).
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "common/types.h"
+#include "sched/file_catalog.h"
+#include "sched/scheduler.h"
+
+namespace s3::sched {
+
+struct SingleBatch {};
+struct FixedGroups {
+  std::vector<std::size_t> counts;  // cycled if more groups are needed
+};
+struct TimeWindow {
+  SimTime window = 60.0;
+};
+using MRSharePolicy = std::variant<SingleBatch, FixedGroups, TimeWindow>;
+
+class MRShareScheduler final : public Scheduler {
+ public:
+  MRShareScheduler(const FileCatalog& catalog, MRSharePolicy policy,
+                   std::string name = "MRShare");
+
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  void on_job_arrival(const JobArrival& job, SimTime now) override;
+  std::optional<Batch> next_batch(SimTime now,
+                                  const ClusterStatus& status) override;
+  void on_batch_complete(BatchId batch, SimTime now) override;
+  [[nodiscard]] std::size_t pending_jobs() const override;
+  void flush(SimTime now) override;
+
+  // Earliest future time at which a TimeWindow group becomes ready; drivers
+  // should re-call next_batch() then. nullopt for other policies.
+  [[nodiscard]] std::optional<SimTime> next_decision_time() const override;
+
+ private:
+  struct OpenGroup {
+    FileId file;
+    std::vector<JobId> jobs;
+    SimTime opened_at = 0.0;
+    std::size_t group_index = 0;  // how many groups this file released before
+  };
+  struct ReadyGroup {
+    FileId file;
+    std::vector<JobId> jobs;
+  };
+
+  [[nodiscard]] OpenGroup* find_open(FileId file);
+  void release_group(std::size_t open_index);
+  // Group size targeted by FixedGroups for the group_index-th group.
+  [[nodiscard]] std::size_t target_count(std::size_t group_index) const;
+  void maybe_release_time_windows(SimTime now);
+
+  const FileCatalog* catalog_;
+  MRSharePolicy policy_;
+  std::string name_;
+
+  std::vector<OpenGroup> open_;   // at most one per file
+  std::deque<ReadyGroup> ready_;  // released groups, FIFO
+  // Number of groups already released per file (indexes FixedGroups counts).
+  std::unordered_map<FileId, std::size_t> released_groups_;
+  bool batch_in_flight_ = false;
+  std::size_t in_flight_jobs_ = 0;
+  IdGenerator<BatchId> batch_ids_;
+};
+
+}  // namespace s3::sched

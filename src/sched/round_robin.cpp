@@ -1,0 +1,68 @@
+#include "sched/round_robin.h"
+
+#include <algorithm>
+
+namespace s3::sched {
+
+RoundRobinScheduler::RoundRobinScheduler(const FileCatalog& catalog,
+                                         std::uint64_t blocks_per_slice)
+    : catalog_(&catalog), blocks_per_slice_(blocks_per_slice) {
+  S3_CHECK(blocks_per_slice > 0);
+}
+
+void RoundRobinScheduler::on_job_arrival(const JobArrival& job,
+                                         SimTime /*now*/) {
+  S3_CHECK_MSG(catalog_->contains(job.file),
+               "job " << job.id << " references unknown file");
+  ActiveJob active;
+  active.id = job.id;
+  active.file = job.file;
+  active.next_block = 0;
+  active.remaining = catalog_->num_blocks(job.file);
+  jobs_.push_back(active);
+}
+
+std::optional<Batch> RoundRobinScheduler::next_batch(
+    SimTime /*now*/, const ClusterStatus& /*status*/) {
+  if (batch_in_flight_ || jobs_.empty()) return std::nullopt;
+  const std::size_t index = rotation_next_ % jobs_.size();
+  ActiveJob& job = jobs_[index];
+
+  Batch batch;
+  batch.id = batch_ids_.next();
+  batch.file = job.file;
+  batch.start_block = job.next_block;
+  batch.num_blocks = std::min(blocks_per_slice_, job.remaining);
+  Batch::Member member;
+  member.job = job.id;
+  member.blocks = batch.num_blocks;
+  member.completes = job.remaining <= batch.num_blocks;
+  batch.members.push_back(member);
+
+  batch_in_flight_ = true;
+  in_flight_index_ = index;
+  in_flight_blocks_ = batch.num_blocks;
+  return batch;
+}
+
+void RoundRobinScheduler::on_batch_complete(BatchId /*batch*/,
+                                            SimTime /*now*/) {
+  S3_CHECK_MSG(batch_in_flight_, "completion without a running batch");
+  batch_in_flight_ = false;
+  ActiveJob& job = jobs_[in_flight_index_];
+  S3_CHECK(job.remaining >= in_flight_blocks_);
+  job.remaining -= in_flight_blocks_;
+  job.next_block = (job.next_block + in_flight_blocks_) %
+                   catalog_->num_blocks(job.file);
+  if (job.remaining == 0) {
+    jobs_.erase(jobs_.begin() + static_cast<std::ptrdiff_t>(in_flight_index_));
+    // Keep the rotation pointing at the job after the removed one.
+    rotation_next_ = jobs_.empty() ? 0 : in_flight_index_ % jobs_.size();
+  } else {
+    rotation_next_ = (in_flight_index_ + 1) % jobs_.size();
+  }
+}
+
+std::size_t RoundRobinScheduler::pending_jobs() const { return jobs_.size(); }
+
+}  // namespace s3::sched

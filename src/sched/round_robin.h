@@ -1,0 +1,50 @@
+// Round-robin processor sharing at segment granularity — an analysis
+// baseline *between* FIFO and S3 (related to the partial-utilization
+// schedulers of paper §II-B). Each batch is one segment of ONE job; pending
+// jobs take turns. Jobs therefore start quickly (low waiting time, like S3)
+// but nothing is merged, so every job still pays its own full scan (total
+// I/O like FIFO). Comparing FIFO / RoundRobin / S3 decomposes S3's win into
+// its two ingredients: preemption at segment boundaries and shared scans.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "sched/file_catalog.h"
+#include "sched/scheduler.h"
+
+namespace s3::sched {
+
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  RoundRobinScheduler(const FileCatalog& catalog,
+                      std::uint64_t blocks_per_slice);
+
+  [[nodiscard]] std::string name() const override { return "RR"; }
+
+  void on_job_arrival(const JobArrival& job, SimTime now) override;
+  std::optional<Batch> next_batch(SimTime now,
+                                  const ClusterStatus& status) override;
+  void on_batch_complete(BatchId batch, SimTime now) override;
+  [[nodiscard]] std::size_t pending_jobs() const override;
+
+ private:
+  struct ActiveJob {
+    JobId id;
+    FileId file;
+    std::uint64_t next_block = 0;
+    std::uint64_t remaining = 0;
+  };
+
+  const FileCatalog* catalog_;
+  std::uint64_t blocks_per_slice_;
+  std::vector<ActiveJob> jobs_;   // rotation order
+  std::size_t rotation_next_ = 0;
+  bool batch_in_flight_ = false;
+  std::size_t in_flight_index_ = 0;
+  std::uint64_t in_flight_blocks_ = 0;
+  IdGenerator<BatchId> batch_ids_;
+};
+
+}  // namespace s3::sched

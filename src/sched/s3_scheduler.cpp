@@ -1,0 +1,109 @@
+#include "sched/s3_scheduler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace s3::sched {
+
+S3Scheduler::S3Scheduler(const FileCatalog& catalog, S3Options options,
+                         const cluster::Topology* topology)
+    : catalog_(&catalog),
+      options_(options),
+      topology_(topology),
+      planner_(options.wave_sizing, options.blocks_per_segment),
+      heartbeats_(options.slow_node_threshold) {
+  S3_CHECK(options.blocks_per_segment > 0);
+}
+
+JobQueueManager& S3Scheduler::queue(FileId file) {
+  auto it = queues_.find(file);
+  if (it == queues_.end()) {
+    auto jqm =
+        std::make_unique<JobQueueManager>(file, catalog_->num_blocks(file));
+    it = queues_.emplace(file, std::move(jqm)).first;
+    file_rotation_.push_back(file);
+  }
+  return *it->second;
+}
+
+const JobQueueManager* S3Scheduler::queue_for(FileId file) const {
+  const auto it = queues_.find(file);
+  return it == queues_.end() ? nullptr : it->second.get();
+}
+
+void S3Scheduler::on_job_arrival(const JobArrival& job, SimTime /*now*/) {
+  S3_CHECK_MSG(catalog_->contains(job.file),
+               "job " << job.id << " references unknown file");
+  queue(job.file).admit(job.id, job.priority);
+}
+
+int S3Scheduler::effective_slots(const ClusterStatus& status) const {
+  int excluded_slots = 0;
+  for (const NodeId node : heartbeats_.slow_nodes()) {
+    excluded_slots +=
+        topology_ != nullptr ? topology_->node(node).map_slots : 1;
+  }
+  return std::max(1, status.total_map_slots - excluded_slots);
+}
+
+std::optional<Batch> S3Scheduler::next_batch(SimTime /*now*/,
+                                             const ClusterStatus& status) {
+  if (in_flight_file_.has_value()) return std::nullopt;
+  if (file_rotation_.empty()) return std::nullopt;
+
+  // Round-robin over files with queued jobs.
+  for (std::size_t probe = 0; probe < file_rotation_.size(); ++probe) {
+    const std::size_t idx = (rotation_next_ + probe) % file_rotation_.size();
+    const FileId file = file_rotation_[idx];
+    JobQueueManager& jqm = *queues_.at(file);
+    if (jqm.empty()) continue;
+
+    const int nominal = topology_ != nullptr ? topology_->total_map_slots()
+                                             : status.total_map_slots;
+    const std::uint64_t wave = planner_.next_wave(
+        jqm.file_blocks(), jqm.cursor(), effective_slots(status), nominal);
+    Batch batch =
+        jqm.form_batch(batch_ids_.next(), wave, options_.max_jobs_per_batch);
+    batch.excluded_nodes = heartbeats_.slow_nodes();
+    in_flight_file_ = file;
+    in_flight_batch_ = batch.id;
+    rotation_next_ = (idx + 1) % file_rotation_.size();
+    S3_LOG(kDebug, "s3") << "launch " << batch.id << " file " << file
+                         << " blocks [" << batch.start_block << ", +"
+                         << batch.num_blocks << ") members "
+                         << batch.members.size();
+    return batch;
+  }
+  return std::nullopt;
+}
+
+void S3Scheduler::on_batch_complete(BatchId batch, SimTime /*now*/) {
+  S3_CHECK_MSG(in_flight_file_.has_value(),
+               "completion without a running batch");
+  S3_CHECK_MSG(batch == in_flight_batch_,
+               "completion for unexpected batch " << batch);
+  queues_.at(*in_flight_file_)->complete_batch();
+  in_flight_file_.reset();
+}
+
+void S3Scheduler::on_progress(const cluster::ProgressReport& report,
+                              SimTime /*now*/) {
+  // Completed tasks (progress = 1.0) are kept as observations: they are the
+  // healthy baseline the median-based slow-node test compares against. The
+  // latest report per node wins, so a recovered node un-flags itself as soon
+  // as it finishes a task at normal speed.
+  heartbeats_.report(report);
+}
+
+std::size_t S3Scheduler::pending_jobs() const {
+  std::size_t total = 0;
+  for (const auto& [file, jqm] : queues_) total += jqm->queued_jobs();
+  return total;
+}
+
+std::vector<NodeId> S3Scheduler::currently_excluded() const {
+  return heartbeats_.slow_nodes();
+}
+
+}  // namespace s3::sched

@@ -1,0 +1,88 @@
+// S3 — the Shared Scan Scheduler (paper §IV). Combines:
+//  * per-file Job Queue Managers (Algorithm 1) that align and merge
+//    sub-jobs over a circular segment scan;
+//  * a SegmentPlanner that sizes each wave (fixed segments, or dynamically
+//    from live slot availability — §IV-D-2);
+//  * periodic slot checking (§IV-D-1): progress reports feed a
+//    HeartbeatTracker; nodes estimated slow are excluded from the next
+//    wave's slot count.
+//
+// When several input files have queued jobs the scheduler serves them in
+// round-robin file order, one merged sub-job at a time (the paper studies a
+// single common file; multi-file rotation is the natural generalization).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/heartbeat.h"
+#include "cluster/topology.h"
+#include "common/types.h"
+#include "sched/file_catalog.h"
+#include "sched/job_queue_manager.h"
+#include "sched/scheduler.h"
+#include "sched/segment_planner.h"
+
+namespace s3::sched {
+
+struct S3Options {
+  WaveSizing wave_sizing = WaveSizing::kFixedSegments;
+  // Blocks per segment (fixed mode) / wave upper bound (dynamic mode).
+  // Typically the cluster's concurrent map slot count (paper §IV-B).
+  std::uint64_t blocks_per_segment = 40;
+  // Priority extension: cap on jobs merged into one batch (0 = unlimited).
+  std::size_t max_jobs_per_batch = 0;
+  // A node is excluded when its estimated task duration exceeds this factor
+  // times the cluster median (periodic slot checking).
+  double slow_node_threshold = 1.5;
+};
+
+class S3Scheduler final : public Scheduler {
+ public:
+  // `topology` may be nullptr: slot exclusion then assumes one map slot per
+  // slow node. If provided, it must outlive the scheduler.
+  S3Scheduler(const FileCatalog& catalog, S3Options options,
+              const cluster::Topology* topology = nullptr);
+
+  [[nodiscard]] std::string name() const override { return "S3"; }
+
+  void on_job_arrival(const JobArrival& job, SimTime now) override;
+  std::optional<Batch> next_batch(SimTime now,
+                                  const ClusterStatus& status) override;
+  void on_batch_complete(BatchId batch, SimTime now) override;
+  void on_progress(const cluster::ProgressReport& report,
+                   SimTime now) override;
+  [[nodiscard]] std::size_t pending_jobs() const override;
+
+  // Introspection (tests, ablations).
+  [[nodiscard]] const S3Options& options() const { return options_; }
+  [[nodiscard]] std::vector<NodeId> currently_excluded() const;
+  [[nodiscard]] const JobQueueManager* queue_for(FileId file) const;
+  [[nodiscard]] std::uint64_t batches_launched() const {
+    return batch_ids_.issued();
+  }
+
+ private:
+  // Map slots usable for the next wave, after excluding slow nodes.
+  [[nodiscard]] int effective_slots(const ClusterStatus& status) const;
+
+  JobQueueManager& queue(FileId file);
+
+  const FileCatalog* catalog_;
+  S3Options options_;
+  const cluster::Topology* topology_;
+  SegmentPlanner planner_;
+  cluster::HeartbeatTracker heartbeats_;
+
+  std::unordered_map<FileId, std::unique_ptr<JobQueueManager>> queues_;
+  std::vector<FileId> file_rotation_;  // files in first-seen order
+  std::size_t rotation_next_ = 0;
+
+  std::optional<FileId> in_flight_file_;
+  BatchId in_flight_batch_;
+  IdGenerator<BatchId> batch_ids_;
+};
+
+}  // namespace s3::sched

@@ -1,0 +1,116 @@
+// The scheduler contract shared by FIFO, MRShare and S3, and by both
+// execution drivers (the discrete-event simulator and the real threaded
+// engine). A driver:
+//
+//   1. calls on_job_arrival() when a job is submitted;
+//   2. whenever the cluster is idle, calls next_batch(); if a batch is
+//      returned, executes it (one merged scan of `num_blocks` blocks starting
+//      at `start_block`, feeding every member job);
+//   3. calls on_batch_complete() when the batch finishes, completing the
+//      member jobs flagged `completes`;
+//   4. optionally forwards per-node progress reports via on_progress()
+//      (S3's periodic slot checking consumes them; others ignore them);
+//   5. when no more arrivals will ever come and the scheduler still holds
+//      jobs but returns no batch, calls flush() (lets MRShare close a
+//      partially-filled group instead of waiting forever).
+//
+// Exactly one batch runs at a time: a batch is sized to use the entire
+// cluster (paper §I: a sub-job "contains the exact amount of work that
+// utilizes the entire cluster resources for one round of execution").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/heartbeat.h"
+#include "common/types.h"
+
+namespace s3::sched {
+
+struct JobArrival {
+  JobId id;
+  FileId file;
+  // Higher runs earlier where a scheduler supports priorities (Hadoop FIFO
+  // sorts by priority then submission time; S3's priority extension prefers
+  // high-priority jobs when batch membership is capped).
+  int priority = 0;
+};
+
+// Driver-provided view of the cluster at decision time.
+struct ClusterStatus {
+  int total_map_slots = 0;
+  int free_map_slots = 0;
+};
+
+struct Batch {
+  struct Member {
+    JobId job;
+    // How many blocks of this batch's range the job actually consumes (a
+    // prefix); equals num_blocks except possibly on the job's final batch
+    // under dynamic wave sizing.
+    std::uint64_t blocks = 0;
+    // True if this batch finishes the job's circular scan.
+    bool completes = false;
+  };
+
+  BatchId id;
+  FileId file;
+  // Circular block range [start_block, start_block + num_blocks) over the
+  // file's block order.
+  std::uint64_t start_block = 0;
+  std::uint64_t num_blocks = 0;
+  std::vector<Member> members;
+  // Nodes the scheduler wants no tasks on (S3's slow-node exclusion).
+  std::vector<NodeId> excluded_nodes;
+
+  [[nodiscard]] std::vector<JobId> member_jobs() const {
+    std::vector<JobId> out;
+    out.reserve(members.size());
+    for (const auto& m : members) out.push_back(m.job);
+    return out;
+  }
+  [[nodiscard]] std::vector<JobId> completed_jobs() const {
+    std::vector<JobId> out;
+    for (const auto& m : members) {
+      if (m.completes) out.push_back(m.job);
+    }
+    return out;
+  }
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  virtual void on_job_arrival(const JobArrival& job, SimTime now) = 0;
+
+  // Returns the next batch to launch, or nullopt if nothing should start now
+  // (no jobs, or a batching policy chooses to keep waiting).
+  virtual std::optional<Batch> next_batch(SimTime now,
+                                          const ClusterStatus& status) = 0;
+
+  virtual void on_batch_complete(BatchId batch, SimTime now) = 0;
+
+  // Per-node progress feed for periodic slot checking. Default: ignored.
+  virtual void on_progress(const cluster::ProgressReport& /*report*/,
+                           SimTime /*now*/) {}
+
+  // Jobs admitted but not yet completed.
+  [[nodiscard]] virtual std::size_t pending_jobs() const = 0;
+
+  // Called when the driver knows no further arrivals will come; batching
+  // policies that wait for more jobs must stop waiting. Default: no-op.
+  virtual void flush(SimTime /*now*/) {}
+
+  // Earliest future time the scheduler wants next_batch() re-polled even if
+  // no other event occurs (time-window batching). Default: never.
+  [[nodiscard]] virtual std::optional<SimTime> next_decision_time() const {
+    return std::nullopt;
+  }
+};
+
+}  // namespace s3::sched

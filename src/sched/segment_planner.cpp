@@ -1,0 +1,41 @@
+#include "sched/segment_planner.h"
+
+#include <algorithm>
+
+namespace s3::sched {
+
+SegmentPlanner::SegmentPlanner(WaveSizing mode,
+                               std::uint64_t blocks_per_segment)
+    : mode_(mode), blocks_per_segment_(blocks_per_segment) {
+  S3_CHECK(blocks_per_segment > 0);
+}
+
+std::uint64_t SegmentPlanner::num_segments(std::uint64_t file_blocks) const {
+  S3_CHECK(file_blocks > 0);
+  return (file_blocks + blocks_per_segment_ - 1) / blocks_per_segment_;
+}
+
+std::uint64_t SegmentPlanner::next_wave(std::uint64_t file_blocks,
+                                        std::uint64_t cursor,
+                                        int effective_slots,
+                                        int nominal_slots) const {
+  S3_CHECK(file_blocks > 0);
+  S3_CHECK(cursor < file_blocks);
+  if (mode_ == WaveSizing::kFixedSegments) {
+    // Stay aligned to the fixed segment table: a wave is exactly the segment
+    // the cursor sits at, which is blocks_per_segment_ except for the final
+    // (possibly short) segment of the file.
+    return std::min(blocks_per_segment_, file_blocks - cursor);
+  }
+  // Dynamic: scale the nominal segment by the fraction of slots usable, so
+  // the merged sub-job keeps the same number of whole task waves on the
+  // shrunken cluster instead of paying a ragged extra wave.
+  const auto effective = std::max(1, effective_slots);
+  const auto nominal = std::max(effective, nominal_slots);
+  const std::uint64_t scaled =
+      blocks_per_segment_ * static_cast<std::uint64_t>(effective) /
+      static_cast<std::uint64_t>(nominal);
+  return std::min(std::max<std::uint64_t>(1, scaled), file_blocks);
+}
+
+}  // namespace s3::sched

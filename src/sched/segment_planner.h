@@ -1,0 +1,50 @@
+// Segment planning (paper §IV-B and §IV-D): decides how many blocks the next
+// merged sub-job covers.
+//
+//  * Fixed mode — the paper's baseline formulation: a constant
+//    blocks-per-segment m (ideally the cluster's concurrent map slot count),
+//    so a file of N blocks has k = ceil(N/m) segments; the final segment may
+//    be short, and waves always align to segment boundaries.
+//  * Dynamic mode — the §IV-D refinement: the segment is re-scaled to the
+//    map slots currently usable (total minus slow/excluded nodes), keeping
+//    the number of task waves per merged sub-job constant instead of letting
+//    a shrunken cluster pay a ragged extra wave. Re-computed per batch from
+//    the freshest slot-checking feedback.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace s3::sched {
+
+enum class WaveSizing { kFixedSegments, kDynamicSlots };
+
+class SegmentPlanner {
+ public:
+  // `blocks_per_segment` is used by fixed mode and as the upper bound for
+  // dynamic mode's wave (a wave never exceeds one nominal segment).
+  SegmentPlanner(WaveSizing mode, std::uint64_t blocks_per_segment);
+
+  [[nodiscard]] WaveSizing mode() const { return mode_; }
+  [[nodiscard]] std::uint64_t blocks_per_segment() const {
+    return blocks_per_segment_;
+  }
+
+  // Number of segments a file of `file_blocks` has under fixed mode.
+  [[nodiscard]] std::uint64_t num_segments(std::uint64_t file_blocks) const;
+
+  // Size of the next wave when the cursor is at `cursor` (block index) in a
+  // file of `file_blocks` blocks, `effective_slots` map slots are usable out
+  // of `nominal_slots` total. Fixed mode ignores the slot counts.
+  [[nodiscard]] std::uint64_t next_wave(std::uint64_t file_blocks,
+                                        std::uint64_t cursor,
+                                        int effective_slots,
+                                        int nominal_slots) const;
+
+ private:
+  WaveSizing mode_;
+  std::uint64_t blocks_per_segment_;
+};
+
+}  // namespace s3::sched

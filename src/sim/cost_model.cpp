@@ -1,0 +1,284 @@
+#include "sim/cost_model.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace s3::sim {
+
+WorkloadCost WorkloadCost::wordcount_normal() {
+  WorkloadCost c;
+  c.class_name = "wordcount-normal";
+  c.map_cpu_seconds_per_block = 0.38;
+  c.map_spill_seconds_per_block = 0.02;
+  c.reduce_seconds_per_block = 0.0156;
+  return c;
+}
+
+WorkloadCost WorkloadCost::wordcount_heavy() {
+  // 10x map output and 200x reduce output (paper §V-B): the job is
+  // output-heavy, not CPU-heavy — spill and reduce-side work grow by the
+  // output factors so a single job runs ~1.5x slower end to end and sharing
+  // saves proportionally less.
+  WorkloadCost c;
+  c.class_name = "wordcount-heavy";
+  c.map_cpu_seconds_per_block = 0.6;
+  c.map_spill_seconds_per_block = 0.2;   // 10x the normal map output
+  c.reduce_seconds_per_block = 0.0546;   // amplified shuffle/reduce volume
+  c.map_output_mb_per_block = 9.4;       // 10x the normal map output
+  return c;
+}
+
+WorkloadCost WorkloadCost::tpch_selection() {
+  // SQL selection over lineitem: I/O dominant map (parse + predicate),
+  // small output (10% selectivity pass-through).
+  WorkloadCost c;
+  c.class_name = "tpch-selection";
+  c.map_cpu_seconds_per_block = 0.35;
+  c.map_spill_seconds_per_block = 0.01;
+  c.reduce_seconds_per_block = 0.005;
+  c.map_output_mb_per_block = 6.4;  // ~10% of each 64 MB block selected
+  return c;
+}
+
+CostModelParams CostModelParams::paper(double block_mb) {
+  CostModelParams p;
+  p.block_mb = block_mb;
+  return p;
+}
+
+CostModel::CostModel(CostModelParams params, const cluster::Topology& topology)
+    : params_(params),
+      topology_(&topology),
+      network_(params.network, topology) {
+  S3_CHECK(params.disk_mb_per_s > 0);
+  S3_CHECK(params.block_mb > 0);
+  S3_CHECK(params.num_reduce_tasks > 0);
+}
+
+BatchCost CostModel::batch_cost(
+    const sched::Batch& batch,
+    const std::unordered_map<JobId, WorkloadCost>& costs,
+    const std::vector<NodeId>& excluded, const SpeedFn& speed) const {
+  S3_CHECK(!batch.members.empty());
+  S3_CHECK(batch.num_blocks > 0);
+
+  const auto is_excluded = [&](NodeId node) {
+    return std::find(excluded.begin(), excluded.end(), node) != excluded.end();
+  };
+  const auto speed_of = [&](NodeId node) {
+    const double s =
+        speed ? speed(node) : topology_->node(node).speed_factor;
+    S3_CHECK(s > 0.0);
+    return s;
+  };
+
+  // --- Map phase: list-schedule one task per block onto free slots. ---
+  struct Slot {
+    NodeId node;
+    SimTime free_at = 0.0;
+  };
+  std::vector<Slot> slots;
+  std::vector<double> usable_speeds;
+  for (const auto& node : topology_->nodes()) {
+    if (is_excluded(node.id)) continue;
+    usable_speeds.push_back(speed_of(node.id));
+    for (int s = 0; s < node.map_slots; ++s) {
+      slots.push_back(Slot{node.id, 0.0});
+    }
+  }
+  S3_CHECK_MSG(!slots.empty(), "no usable map slots in batch simulation");
+
+  BatchCost out;
+  out.launch = params_.batch_launch_overhead;
+  out.map_tasks.reserve(batch.num_blocks);
+
+  const double io_local = params_.io_seconds_per_block();
+  // Off-replica tasks stream the block over the network (locality model):
+  // pipelined remote-disk + network transfer, with a fetch/contention
+  // penalty factor.
+  const double io_remote =
+      params_.model_locality
+          ? std::max(io_local,
+                     params_.block_mb / network_.blended_mb_per_s()) *
+                params_.remote_read_penalty
+          : io_local;
+  const std::uint64_t num_nodes = topology_->nodes().size();
+
+  // Per-block work parameters (sharing prefix, CPU/spill sums).
+  struct PendingBlock {
+    std::uint64_t offset = 0;
+    int sharers = 0;
+    double cpu_sum = 0.0;
+    double spill_sum = 0.0;
+    NodeId home;
+    bool assigned = false;
+  };
+  std::vector<PendingBlock> pending;
+  pending.reserve(batch.num_blocks);
+  for (std::uint64_t b = 0; b < batch.num_blocks; ++b) {
+    PendingBlock block;
+    block.offset = b;
+    for (const auto& m : batch.members) {
+      if (m.blocks > b) {
+        ++block.sharers;
+        const auto it = costs.find(m.job);
+        S3_CHECK_MSG(it != costs.end(), "no workload cost for " << m.job);
+        block.cpu_sum += it->second.map_cpu_seconds_per_block;
+        block.spill_sum += it->second.map_spill_seconds_per_block;
+      }
+    }
+    if (block.sharers == 0) continue;  // block beyond every member's need
+    // Replication factor 1, round-robin placement: the block's replica
+    // lives on node (absolute index) mod n.
+    block.home = NodeId((batch.start_block + b) % num_nodes);
+    pending.push_back(block);
+  }
+
+  // Node-centric assignment (how Hadoop's JobTracker works): the next free
+  // slot asks for a task; with locality enforcement it gets a block homed on
+  // it if any remains, else the oldest pending block (a remote read).
+  // Per-home queues + a global FIFO cursor keep selection O(1) amortized.
+  std::unordered_map<NodeId, std::vector<std::size_t>> by_home;
+  std::unordered_map<NodeId, std::size_t> home_cursor;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    by_home[pending[i].home].push_back(i);
+  }
+  std::size_t global_cursor = 0;
+
+  double map_task_sum = 0.0;
+  std::size_t remaining = pending.size();
+  while (remaining > 0) {
+    auto slot = std::min_element(
+        slots.begin(), slots.end(),
+        [](const Slot& a, const Slot& b2) { return a.free_at < b2.free_at; });
+    PendingBlock* chosen = nullptr;
+    if (params_.model_locality && params_.enforce_locality) {
+      const auto it = by_home.find(slot->node);
+      if (it != by_home.end()) {
+        std::size_t& cursor = home_cursor[slot->node];
+        while (cursor < it->second.size()) {
+          PendingBlock& candidate = pending[it->second[cursor]];
+          ++cursor;
+          if (!candidate.assigned) {
+            chosen = &candidate;
+            break;
+          }
+        }
+      }
+    }
+    if (chosen == nullptr) {
+      while (global_cursor < pending.size() &&
+             pending[global_cursor].assigned) {
+        ++global_cursor;
+      }
+      S3_CHECK(global_cursor < pending.size());
+      chosen = &pending[global_cursor];
+    }
+    chosen->assigned = true;
+    --remaining;
+
+    const bool local =
+        !params_.model_locality || chosen->home == slot->node;
+    // CPU overlaps the streamed read until it saturates; spill does not.
+    const double base =
+        params_.map_task_overhead +
+        std::max(local ? io_local : io_remote, chosen->cpu_sum) +
+        chosen->spill_sum +
+        params_.share_map_penalty * (chosen->sharers - 1);
+    const double duration = base * speed_of(slot->node);
+    MapTaskTrace trace;
+    trace.node = slot->node;
+    trace.start = slot->free_at;
+    trace.duration = duration;
+    trace.block_offset = chosen->offset;
+    trace.sharers = chosen->sharers;
+    trace.local = local;
+    out.map_tasks.push_back(trace);
+    slot->free_at += duration;
+    map_task_sum += duration;
+  }
+
+  // Speculative execution (modeled, disabled by default as in §V-A): tasks
+  // slower than threshold x the batch median get a backup attempt on the
+  // earliest-free slot; the earlier finisher wins. Approximation: backups
+  // are costed against post-schedule slot availability without cascading
+  // re-assignment.
+  if (params_.speculative_execution && out.map_tasks.size() >= 2) {
+    std::vector<double> durations;
+    durations.reserve(out.map_tasks.size());
+    for (const auto& t : out.map_tasks) durations.push_back(t.duration);
+    std::nth_element(durations.begin(),
+                     durations.begin() + static_cast<std::ptrdiff_t>(
+                                             durations.size() / 2),
+                     durations.end());
+    const double median = durations[durations.size() / 2];
+    for (auto& task : out.map_tasks) {
+      if (task.duration <= params_.speculative_threshold * median) continue;
+      auto backup_slot = std::min_element(
+          slots.begin(), slots.end(),
+          [](const Slot& a, const Slot& b2) { return a.free_at < b2.free_at; });
+      const double backup_start = std::max(backup_slot->free_at, task.start);
+      // Backups read remotely (the replica's node is the slow one).
+      const double backup_duration =
+          (params_.map_task_overhead + io_remote) * speed_of(backup_slot->node) +
+          (task.duration / speed_of(task.node) - params_.map_task_overhead -
+           io_local) *
+              speed_of(backup_slot->node);
+      const double backup_end = backup_start + backup_duration;
+      const double original_end = task.start + task.duration;
+      if (backup_end < original_end) {
+        task.speculated = true;
+        task.duration = backup_end - task.start;
+        backup_slot->free_at = backup_end;
+        // The losing attempt is killed, releasing the straggler's slot.
+        for (auto& s : slots) {
+          if (s.node == task.node && s.free_at == original_end) {
+            s.free_at = std::min(s.free_at, backup_end);
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  for (const auto& slot : slots) {
+    out.map_phase = std::max(out.map_phase, slot.free_at);
+  }
+  for (const auto& task : out.map_tasks) {
+    out.map_phase = std::max(out.map_phase, task.start + task.duration);
+  }
+  if (!out.map_tasks.empty()) {
+    out.avg_map_task = map_task_sum / static_cast<double>(out.map_tasks.size());
+  }
+
+  // --- Reduce tail: dominated by the largest member's shuffle+reduce, and
+  // lower-bounded by the rack-aware network model for shuffle-heavy loads.
+  double max_member_tail = 0.0;
+  double shuffle_mb = 0.0;
+  for (const auto& m : batch.members) {
+    const auto it = costs.find(m.job);
+    S3_CHECK(it != costs.end());
+    max_member_tail =
+        std::max(max_member_tail, it->second.reduce_seconds_per_block *
+                                      static_cast<double>(m.blocks));
+    shuffle_mb +=
+        it->second.map_output_mb_per_block * static_cast<double>(m.blocks);
+  }
+  const double share_factor =
+      1.0 + params_.share_reduce_factor *
+                static_cast<double>(batch.members.size() - 1);
+  const double network_tail =
+      network_.shuffle_seconds(shuffle_mb, params_.num_reduce_tasks);
+  std::sort(usable_speeds.begin(), usable_speeds.end());
+  const double median_speed =
+      usable_speeds.empty() ? 1.0 : usable_speeds[usable_speeds.size() / 2];
+  out.reduce_tail =
+      std::max(max_member_tail * share_factor, network_tail) * median_speed;
+  out.avg_reduce_task = out.reduce_tail;
+
+  out.total = out.launch + out.map_phase + out.reduce_tail;
+  return out;
+}
+
+}  // namespace s3::sim

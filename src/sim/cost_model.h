@@ -1,0 +1,135 @@
+// Cost model for the discrete-event cluster simulator, calibrated against
+// the paper's testbed (40 slaves, 1 Gbps, 64 MB blocks, wordcount ~240 s per
+// job, Table I) and against Figure 3's combined-job overheads (+28.8 % map
+// time and +23.5 % reduce time when 10 jobs share one scan).
+//
+// A batch (one merged (sub-)job) costs:
+//   launch overhead                         — job setup + task scheduling
+// + map phase                               — every block is one map task of
+//     node_speed * (task_overhead + max(io_time, Σ_members cpu_j)
+//                   + Σ_members spill_j + share_penalty * (members-1))
+//     list-scheduled onto the non-excluded nodes' map slots. The max() term
+//     models CPU work overlapping the streamed block read: sharing a scan is
+//     nearly free until the members' combined CPU demand saturates the I/O
+//     time (which is why combining 10 wordcount jobs costs only ~29 % more
+//     map time in Figure 3). Spill (writing map output) cannot overlap the
+//     read and is paid per member.
+// + reduce tail                             — max_j (reduce_spb_j * blocks_j)
+//     * (1 + share_reduce_factor * (members-1)), scaled by median node speed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "common/types.h"
+#include "sched/scheduler.h"
+#include "sim/network.h"
+
+namespace s3::sim {
+
+// Per-job-class processing costs (what kind of work the job does per block
+// of input). Presets match the paper's three workloads.
+struct WorkloadCost {
+  std::string class_name = "wordcount-normal";
+  // CPU seconds per block; overlaps the block read until saturation.
+  double map_cpu_seconds_per_block = 0.38;
+  // Map-output spill per block; serial (cannot overlap the read).
+  double map_spill_seconds_per_block = 0.02;
+  // Reduce-side work (shuffle + sort + reduce + write) per input block.
+  double reduce_seconds_per_block = 0.0156;
+  // Map output volume per input block (drives the network shuffle model).
+  double map_output_mb_per_block = 0.94;  // Table I: 2.4 GB / 2,560 blocks
+
+  // Paper presets.
+  static WorkloadCost wordcount_normal();
+  static WorkloadCost wordcount_heavy();
+  static WorkloadCost tpch_selection();
+};
+
+struct CostModelParams {
+  double disk_mb_per_s = 21.0;      // effective per-node scan bandwidth
+  double block_mb = 64.0;           // HDFS block size
+  double map_task_overhead = 0.5;   // fixed seconds per map task
+  double share_map_penalty = 0.004; // extra map seconds per block per extra member
+  double share_reduce_factor = 0.0261;  // reduce tail multiplier per extra member
+  double batch_launch_overhead = 4.0;   // per merged (sub-)job submission
+  double heartbeat_interval = 10.0;     // periodic slot checking interval
+  int num_reduce_tasks = 30;            // paper §V-A
+  NetworkParams network;                // rack-aware shuffle lower bound
+
+  // Data locality (paper §V-A: replication factor 1; blocks are placed
+  // round-robin, block i's replica lives on node i mod n). A map task
+  // scheduled off its replica node streams the block over the network
+  // instead of local disk. enforce_locality makes the list scheduler prefer
+  // the replica's slot.
+  bool model_locality = true;
+  bool enforce_locality = true;
+  // Remote streaming is pipelined (remote disk + network) but pays fetch
+  // setup and fabric contention: effective read time is
+  // max(disk, network) * this factor.
+  double remote_read_penalty = 1.3;
+
+  // Speculative execution (paper §V-A disables it; we model it so the
+  // configuration choice can be studied). When a task's duration exceeds
+  // speculative_threshold x the batch median, a backup attempt launches on
+  // the fastest free slot and the earlier finisher wins.
+  bool speculative_execution = false;
+  double speculative_threshold = 2.0;
+
+  [[nodiscard]] double io_seconds_per_block() const {
+    return block_mb / disk_mb_per_s;
+  }
+
+  // Paper-calibrated preset (64 MB blocks unless overridden).
+  static CostModelParams paper(double block_mb = 64.0);
+};
+
+struct MapTaskTrace {
+  NodeId node;
+  SimTime start = 0.0;       // relative to map phase start
+  SimTime duration = 0.0;    // effective (speculative backup may shorten it)
+  std::uint64_t block_offset = 0;  // offset within the batch's range
+  int sharers = 1;
+  bool local = true;         // ran on the block's replica node
+  bool speculated = false;   // a backup attempt won
+};
+
+struct BatchCost {
+  SimTime launch = 0.0;
+  SimTime map_phase = 0.0;   // makespan of the map wave
+  SimTime reduce_tail = 0.0;
+  SimTime total = 0.0;
+  double avg_map_task = 0.0;
+  double avg_reduce_task = 0.0;
+  std::vector<MapTaskTrace> map_tasks;
+};
+
+class CostModel {
+ public:
+  using SpeedFn = std::function<double(NodeId)>;  // current speed factor
+
+  CostModel(CostModelParams params, const cluster::Topology& topology);
+
+  [[nodiscard]] const CostModelParams& params() const { return params_; }
+
+  // Simulates one batch. `costs` maps each member job to its workload class;
+  // `excluded` nodes receive no tasks; `speed` gives the current per-node
+  // slowdown factor (>= 1.0 nominal; nullptr = use topology's static value).
+  [[nodiscard]] BatchCost batch_cost(
+      const sched::Batch& batch,
+      const std::unordered_map<JobId, WorkloadCost>& costs,
+      const std::vector<NodeId>& excluded, const SpeedFn& speed) const;
+
+  [[nodiscard]] const NetworkModel& network() const { return network_; }
+
+ private:
+  CostModelParams params_;
+  const cluster::Topology* topology_;
+  NetworkModel network_;
+};
+
+}  // namespace s3::sim

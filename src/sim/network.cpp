@@ -1,0 +1,43 @@
+#include "sim/network.h"
+
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace s3::sim {
+
+NetworkModel::NetworkModel(NetworkParams params,
+                           const cluster::Topology& topology)
+    : params_(params) {
+  S3_CHECK(params.intra_rack_mb_per_s > 0);
+  S3_CHECK(params.cross_rack_mb_per_s > 0);
+  std::unordered_map<RackId, std::size_t> rack_sizes;
+  for (const auto& node : topology.nodes()) ++rack_sizes[node.rack];
+  const auto n = static_cast<double>(topology.num_nodes());
+  S3_CHECK(n > 0);
+  double same_rack = 0.0;
+  for (const auto& [rack, size] : rack_sizes) {
+    const double fraction = static_cast<double>(size) / n;
+    same_rack += fraction * fraction;
+  }
+  cross_rack_fraction_ = 1.0 - same_rack;
+}
+
+double NetworkModel::blended_mb_per_s() const {
+  // Harmonic blend: a byte takes 1/bw seconds; mix by traffic fraction.
+  const double f = cross_rack_fraction_;
+  return 1.0 / (f / params_.cross_rack_mb_per_s +
+                (1.0 - f) / params_.intra_rack_mb_per_s);
+}
+
+double NetworkModel::shuffle_seconds(double map_output_mb,
+                                     int reducers) const {
+  S3_CHECK(map_output_mb >= 0);
+  S3_CHECK(reducers > 0);
+  // Reducers pull in parallel; each fetches an equal share at the blended
+  // per-flow bandwidth.
+  const double per_reducer_mb = map_output_mb / reducers;
+  return per_reducer_mb / blended_mb_per_s();
+}
+
+}  // namespace s3::sim

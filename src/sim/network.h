@@ -1,0 +1,49 @@
+// Rack-aware shuffle network model. The paper's cluster is 3 racks on a
+// 1 Gbps fabric; shuffle traffic that crosses racks contends for the
+// (typically oversubscribed) core. This model estimates the time for the
+// shuffle phase of a batch: every reduce task pulls its share of the map
+// output, a topology-derived fraction of which crosses racks.
+//
+// The calibrated reduce tails in CostModel already *include* typical shuffle
+// time; CostModel uses this model as a lower bound instead (max of the two),
+// so it only binds for shuffle-heavy workloads — which is exactly when the
+// paper's "heavy traffic of data shuffling within the network ... may offset
+// the improvement gained by shared scan" (§V-B) caveat applies.
+#pragma once
+
+#include "cluster/topology.h"
+#include "common/bytes.h"
+
+namespace s3::sim {
+
+struct NetworkParams {
+  double intra_rack_mb_per_s = 110.0;  // ~1 Gbps node uplink
+  double cross_rack_mb_per_s = 40.0;   // oversubscribed core, per flow
+};
+
+class NetworkModel {
+ public:
+  NetworkModel(NetworkParams params, const cluster::Topology& topology);
+
+  [[nodiscard]] const NetworkParams& params() const { return params_; }
+
+  // Probability that a (map node, reduce node) pair crosses racks when both
+  // ends are uniformly placed: 1 - sum_r (size_r / n)^2.
+  [[nodiscard]] double cross_rack_fraction() const {
+    return cross_rack_fraction_;
+  }
+
+  // Effective per-flow bandwidth blending intra- and cross-rack transfers.
+  [[nodiscard]] double blended_mb_per_s() const;
+
+  // Time for `reducers` parallel reduce tasks to fetch `map_output_mb` of
+  // map output spread uniformly over the cluster.
+  [[nodiscard]] double shuffle_seconds(double map_output_mb,
+                                       int reducers) const;
+
+ private:
+  NetworkParams params_;
+  double cross_rack_fraction_ = 0.0;
+};
+
+}  // namespace s3::sim

@@ -1,0 +1,224 @@
+#include "sim/sim_engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace s3::sim {
+
+SimEngine::SimEngine(const cluster::Topology& topology,
+                     const sched::FileCatalog& catalog, SimConfig config)
+    : topology_(&topology),
+      catalog_(&catalog),
+      config_(std::move(config)),
+      cost_model_(config_.cost, topology) {}
+
+double SimEngine::speed_of(NodeId node) const {
+  const auto it = current_speed_.find(node);
+  if (it != current_speed_.end()) return it->second;
+  return topology_->node(node).speed_factor;
+}
+
+void SimEngine::apply_speed_changes_until(SimTime now) {
+  while (next_speed_change_ < sorted_changes_.size() &&
+         sorted_changes_[next_speed_change_].at <= now) {
+    const SpeedChange& change = sorted_changes_[next_speed_change_];
+    current_speed_[change.node] = change.factor;
+    ++next_speed_change_;
+  }
+}
+
+void SimEngine::emit_progress_reports(sched::Scheduler& scheduler,
+                                      const BatchTrace& trace, SimTime now) {
+  if (!config_.enable_progress_reports) return;
+  // Synthesize the periodic slot-checking observation made at
+  // map_start + heartbeat_interval: a node still in its first task reports
+  // fractional progress; finished-on-time nodes report completion.
+  const SimTime map_start = trace.launched + trace.cost.launch;
+  const double interval = config_.cost.heartbeat_interval;
+
+  std::unordered_map<NodeId, double> first_task_duration;
+  for (const auto& task : trace.cost.map_tasks) {
+    if (task.start == 0.0) {  // first wave on that slot
+      auto [it, inserted] = first_task_duration.emplace(task.node, task.duration);
+      if (!inserted) it->second = std::max(it->second, task.duration);
+    }
+  }
+  for (const auto& [node, duration] : first_task_duration) {
+    cluster::ProgressReport report;
+    report.node = node;
+    report.task_start = map_start;
+    if (duration <= interval) {
+      // Finished within the check interval: report the completed task, so
+      // the scheduler keeps an accurate healthy baseline for the median.
+      report.progress = 1.0;
+      report.report_time = map_start + duration;
+    } else {
+      report.progress = interval / duration;
+      report.report_time = map_start + interval;
+    }
+    scheduler.on_progress(report, now);
+  }
+  // Nodes with no task this batch (excluded or idle) keep their previous
+  // observation — a persistently slow node stays flagged until it runs a
+  // task at normal speed again.
+}
+
+StatusOr<RunResult> SimEngine::run(sched::Scheduler& scheduler,
+                                   std::vector<SimJob> jobs) {
+  if (jobs.empty()) return Status::invalid_argument("no jobs to run");
+  std::sort(jobs.begin(), jobs.end(), [](const SimJob& a, const SimJob& b) {
+    if (a.arrival != b.arrival) return a.arrival < b.arrival;
+    return a.id < b.id;
+  });
+  std::unordered_map<JobId, WorkloadCost> costs;
+  for (const auto& job : jobs) {
+    if (!catalog_->contains(job.file)) {
+      return Status::invalid_argument("job references unknown file");
+    }
+    if (costs.count(job.id) > 0) {
+      return Status::invalid_argument("duplicate job id in workload");
+    }
+    costs.emplace(job.id, job.cost);
+  }
+
+  // Reset per-run state.
+  current_speed_.clear();
+  next_speed_change_ = 0;
+  sorted_changes_ = config_.speed_changes;
+  std::sort(sorted_changes_.begin(), sorted_changes_.end(),
+            [](const SpeedChange& a, const SpeedChange& b) {
+              return a.at < b.at;
+            });
+
+  metrics::JobTimeline timeline;
+  std::vector<BatchTrace> traces;
+
+  const sched::ClusterStatus status{topology_->total_map_slots(),
+                                    topology_->total_map_slots()};
+
+  struct Running {
+    sched::Batch batch;
+    BatchCost cost;
+    SimTime launched = 0.0;
+    SimTime ends = 0.0;
+  };
+  std::optional<Running> running;
+
+  SimTime now = 0.0;
+  std::size_t next_arrival = 0;
+  bool flushed = false;
+
+  const auto deliver_arrivals = [&](SimTime t) {
+    while (next_arrival < jobs.size() && jobs[next_arrival].arrival <= t) {
+      const SimJob& job = jobs[next_arrival];
+      timeline.on_submitted(job.id, job.arrival);
+      scheduler.on_job_arrival(
+          sched::JobArrival{job.id, job.file, job.priority}, job.arrival);
+      ++next_arrival;
+    }
+  };
+
+  // Safety bound: a sane run launches far fewer batches than
+  // jobs * blocks (every batch makes progress for >= 1 job).
+  std::uint64_t max_batches = 0;
+  for (const auto& job : jobs) {
+    max_batches += catalog_->num_blocks(job.file) + 2;
+  }
+
+  while (true) {
+    if (running.has_value()) {
+      // Next event: an arrival before the batch ends, or the batch end.
+      if (next_arrival < jobs.size() &&
+          jobs[next_arrival].arrival < running->ends) {
+        now = jobs[next_arrival].arrival;
+        deliver_arrivals(now);
+        continue;
+      }
+      now = running->ends;
+      deliver_arrivals(now);  // arrivals tied with the completion join now
+
+      BatchTrace trace;
+      trace.id = running->batch.id;
+      trace.file = running->batch.file;
+      trace.launched = running->launched;
+      trace.finished = now;
+      trace.start_block = running->batch.start_block;
+      trace.num_blocks = running->batch.num_blocks;
+      trace.members = running->batch.members.size();
+      const auto completed = running->batch.completed_jobs();
+      trace.completed_jobs = completed.size();
+      trace.cost = running->cost;
+
+      emit_progress_reports(scheduler, trace, now);
+      scheduler.on_batch_complete(running->batch.id, now);
+      for (const JobId job : completed) timeline.on_completed(job, now);
+      traces.push_back(std::move(trace));
+      running.reset();
+      if (traces.size() > max_batches) {
+        return Status::internal("batch count exceeded safety bound");
+      }
+      continue;
+    }
+
+    // Idle: try to launch.
+    deliver_arrivals(now);
+    apply_speed_changes_until(now);
+    if (auto batch = scheduler.next_batch(now, status); batch.has_value()) {
+      Running r;
+      r.batch = std::move(*batch);
+      r.cost = cost_model_.batch_cost(r.batch, costs, r.batch.excluded_nodes,
+                                      [this](NodeId n) { return speed_of(n); });
+      r.launched = now;
+      r.ends = now + r.cost.total;
+      for (const auto& member : r.batch.members) {
+        timeline.on_first_started(member.job, now);
+      }
+      S3_LOG(kTrace, "sim") << "t=" << now << " launch " << r.batch.id
+                            << " dur=" << r.cost.total;
+      running = std::move(r);
+      continue;
+    }
+
+    // Nothing launched. Advance to the next arrival or requested wakeup,
+    // whichever comes first.
+    const auto wake = scheduler.next_decision_time();
+    if (next_arrival < jobs.size()) {
+      SimTime next_time = jobs[next_arrival].arrival;
+      if (wake.has_value() && *wake > now) {
+        next_time = std::min(next_time, *wake);
+      }
+      now = next_time;
+      continue;
+    }
+    if (scheduler.pending_jobs() == 0) break;  // all done
+
+    // Jobs are pending but the scheduler is waiting. Honor a requested
+    // wakeup; otherwise tell it no more jobs will come.
+    if (wake.has_value() && *wake > now) {
+      now = *wake;
+      continue;
+    }
+    if (!flushed) {
+      scheduler.flush(now);
+      flushed = true;
+      continue;
+    }
+    return Status::internal(
+        "scheduler deadlock: pending jobs but no batch after flush");
+  }
+
+  if (!timeline.all_done()) {
+    return Status::internal("run finished with incomplete jobs");
+  }
+
+  RunResult result;
+  result.summary = metrics::summarize(timeline);
+  result.jobs = timeline.records();
+  result.trace_stats = summarize_traces(traces);
+  result.batches = std::move(traces);
+  result.finished_at = now;
+  return result;
+}
+
+}  // namespace s3::sim

@@ -1,0 +1,86 @@
+// SimEngine: drives any Scheduler against virtual time, reproducing the
+// paper's 41-node experiments on a laptop. The simulation advances through
+// three event kinds — job arrivals, batch completions, and scheduler wakeups
+// (time-window batching) — with exactly one merged batch running at a time
+// (a batch is sized to occupy the whole cluster; see scheduler.h).
+//
+// Failure/heterogeneity injection: SpeedChange events alter a node's speed
+// factor mid-run; after every batch the engine synthesizes the periodic
+// slot-checking progress reports (paper §IV-D-1) so S3 can exclude slow
+// nodes from subsequent waves.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "metrics/metrics.h"
+#include "sched/file_catalog.h"
+#include "sched/scheduler.h"
+#include "sim/cost_model.h"
+#include "sim/trace.h"
+
+namespace s3::sim {
+
+struct SimJob {
+  JobId id;
+  FileId file;
+  SimTime arrival = 0.0;
+  int priority = 0;
+  WorkloadCost cost = WorkloadCost::wordcount_normal();
+  std::string label;
+};
+
+struct SpeedChange {
+  SimTime at = 0.0;
+  NodeId node;
+  double factor = 1.0;  // new speed factor (>= nominal 1.0 means slower)
+};
+
+struct SimConfig {
+  CostModelParams cost = CostModelParams::paper();
+  std::vector<SpeedChange> speed_changes;
+  // Whether to forward synthesized progress reports to the scheduler
+  // (disable to ablate S3's slot checking).
+  bool enable_progress_reports = true;
+};
+
+struct RunResult {
+  metrics::MetricsSummary summary;
+  std::vector<metrics::JobRecord> jobs;   // per-job raw timeline
+  std::vector<BatchTrace> batches;
+  TraceStats trace_stats;
+  SimTime finished_at = 0.0;
+};
+
+class SimEngine {
+ public:
+  SimEngine(const cluster::Topology& topology, const sched::FileCatalog& catalog,
+            SimConfig config);
+
+  // Runs the whole workload to completion under `scheduler`. Jobs need not
+  // be sorted by arrival. The scheduler must start empty.
+  StatusOr<RunResult> run(sched::Scheduler& scheduler,
+                          std::vector<SimJob> jobs);
+
+ private:
+  [[nodiscard]] double speed_of(NodeId node) const;
+  void apply_speed_changes_until(SimTime now);
+  void emit_progress_reports(sched::Scheduler& scheduler,
+                             const BatchTrace& trace, SimTime now);
+
+  const cluster::Topology* topology_;
+  const sched::FileCatalog* catalog_;
+  SimConfig config_;
+  CostModel cost_model_;
+
+  // Mutable per-run state.
+  std::unordered_map<NodeId, double> current_speed_;
+  std::size_t next_speed_change_ = 0;
+  std::vector<SpeedChange> sorted_changes_;
+};
+
+}  // namespace s3::sim

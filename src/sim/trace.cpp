@@ -1,0 +1,48 @@
+#include "sim/trace.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace s3::sim {
+
+std::string batches_to_csv(const std::vector<BatchTrace>& traces) {
+  std::ostringstream os;
+  os << "batch,launched,finished,start_block,num_blocks,members,"
+        "completed_jobs,launch,map_phase,reduce_tail\n";
+  for (const auto& t : traces) {
+    os << t.id.value() << ',' << format_double(t.launched, 3) << ','
+       << format_double(t.finished, 3) << ',' << t.start_block << ','
+       << t.num_blocks << ',' << t.members << ',' << t.completed_jobs << ','
+       << format_double(t.cost.launch, 3) << ','
+       << format_double(t.cost.map_phase, 3) << ','
+       << format_double(t.cost.reduce_tail, 3) << '\n';
+  }
+  return os.str();
+}
+
+TraceStats summarize_traces(const std::vector<BatchTrace>& traces) {
+  TraceStats s;
+  s.total_batches = traces.size();
+  if (traces.empty()) return s;
+  double member_sum = 0.0;
+  double map_task_weighted = 0.0;
+  double reduce_sum = 0.0;
+  for (const auto& t : traces) {
+    s.total_busy += t.finished - t.launched;
+    s.total_launch += t.cost.launch;
+    member_sum += static_cast<double>(t.members);
+    map_task_weighted +=
+        t.cost.avg_map_task * static_cast<double>(t.cost.map_tasks.size());
+    s.map_tasks += t.cost.map_tasks.size();
+    reduce_sum += t.cost.avg_reduce_task;
+  }
+  s.avg_members = member_sum / static_cast<double>(traces.size());
+  if (s.map_tasks > 0) {
+    s.avg_map_task = map_task_weighted / static_cast<double>(s.map_tasks);
+  }
+  s.avg_reduce_task = reduce_sum / static_cast<double>(traces.size());
+  return s;
+}
+
+}  // namespace s3::sim

@@ -1,0 +1,41 @@
+// Execution traces: one record per launched batch, convertible to CSV (for
+// plotting Gantt-style timelines) and summarized per job class.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/cost_model.h"
+
+namespace s3::sim {
+
+struct BatchTrace {
+  BatchId id;
+  FileId file;
+  SimTime launched = 0.0;
+  SimTime finished = 0.0;
+  std::uint64_t start_block = 0;
+  std::uint64_t num_blocks = 0;
+  std::size_t members = 0;
+  std::size_t completed_jobs = 0;
+  BatchCost cost;
+};
+
+// Renders "batch,launched,finished,blocks,members,map_phase,reduce_tail".
+[[nodiscard]] std::string batches_to_csv(const std::vector<BatchTrace>& traces);
+
+// Aggregate statistics across a run's batches.
+struct TraceStats {
+  std::size_t total_batches = 0;
+  double total_busy = 0.0;        // Σ batch durations
+  double total_launch = 0.0;      // Σ launch overheads
+  double avg_members = 0.0;
+  double avg_map_task = 0.0;      // weighted by task count
+  double avg_reduce_task = 0.0;   // weighted by batch
+  std::uint64_t map_tasks = 0;
+};
+
+[[nodiscard]] TraceStats summarize_traces(const std::vector<BatchTrace>& traces);
+
+}  // namespace s3::sim

@@ -1,0 +1,347 @@
+#include "tasksim/tasksim.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace s3::tasksim {
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Completion {
+  SimTime at = 0.0;
+  int slot = 0;
+  TaskAssignment task;
+};
+struct CompletionLater {
+  bool operator()(const Completion& a, const Completion& b) const {
+    return a.at > b.at;
+  }
+};
+
+}  // namespace
+
+StatusOr<TaskSimResult> run_task_sim(const TaskSimParams& params,
+                                     TaskScheduler& scheduler,
+                                     std::vector<TaskSimJob> jobs) {
+  if (jobs.empty()) return Status::invalid_argument("no jobs to run");
+  if (params.slots <= 0 || params.pools <= 0 || params.pools > params.slots) {
+    return Status::invalid_argument("bad slot/pool configuration");
+  }
+  if (params.map_task_seconds == nullptr) {
+    return Status::invalid_argument("map_task_seconds is required");
+  }
+  std::sort(jobs.begin(), jobs.end(),
+            [](const TaskSimJob& a, const TaskSimJob& b) {
+              if (a.arrival != b.arrival) return a.arrival < b.arrival;
+              return a.id < b.id;
+            });
+
+  struct JobProgress {
+    std::uint64_t total = 0;
+    std::uint64_t completed = 0;
+    double reduce_tail = 0.0;
+    bool done = false;
+  };
+  std::unordered_map<JobId, JobProgress> progress;
+  for (const auto& job : jobs) {
+    if (job.total_blocks == 0) {
+      return Status::invalid_argument("job with zero blocks");
+    }
+    if (progress.count(job.id) > 0) {
+      return Status::invalid_argument("duplicate job id");
+    }
+    progress[job.id] = JobProgress{job.total_blocks, 0, job.reduce_tail, false};
+  }
+
+  metrics::JobTimeline timeline;
+  TaskSimResult result;
+
+  std::priority_queue<Completion, std::vector<Completion>, CompletionLater>
+      completions;
+  std::vector<bool> slot_busy(static_cast<std::size_t>(params.slots), false);
+  std::size_t next_arrival = 0;
+  SimTime now = 0.0;
+
+  const auto offer_slots = [&](SimTime t) {
+    bool assigned_any = true;
+    while (assigned_any) {
+      assigned_any = false;
+      for (int slot = 0; slot < params.slots; ++slot) {
+        if (slot_busy[static_cast<std::size_t>(slot)]) continue;
+        auto task = scheduler.next_task(slot % params.pools, t);
+        if (!task.has_value()) continue;
+        S3_CHECK_MSG(!task->members.empty(), "empty task assignment");
+        const double duration =
+            params.map_task_seconds(static_cast<int>(task->members.size()));
+        S3_CHECK(duration > 0.0);
+        for (const JobId job : task->members) {
+          timeline.on_first_started(job, t);
+        }
+        slot_busy[static_cast<std::size_t>(slot)] = true;
+        ++result.tasks_run;
+        result.busy_slot_seconds += duration;
+        completions.push(Completion{t + duration, slot, std::move(*task)});
+        assigned_any = true;
+      }
+    }
+  };
+
+  // Safety bound on total tasks.
+  std::uint64_t max_tasks = 0;
+  for (const auto& job : jobs) max_tasks += job.total_blocks + 1;
+
+  while (true) {
+    // Next event: arrival or completion.
+    const bool has_arrival = next_arrival < jobs.size();
+    const bool has_completion = !completions.empty();
+    if (!has_arrival && !has_completion) {
+      if (scheduler.pending_jobs() != 0) {
+        return Status::internal("task scheduler stalled with pending jobs");
+      }
+      break;
+    }
+    const SimTime arrival_at =
+        has_arrival ? jobs[next_arrival].arrival : kTimeNever;
+    const SimTime completion_at =
+        has_completion ? completions.top().at : kTimeNever;
+
+    // Drain every event at this timestamp before offering slots, so
+    // simultaneous arrivals are all visible to the scheduler at once.
+    now = std::min(arrival_at, completion_at);
+    while (next_arrival < jobs.size() && jobs[next_arrival].arrival <= now) {
+      const TaskSimJob& job = jobs[next_arrival++];
+      timeline.on_submitted(job.id, now);
+      scheduler.on_job_arrival(job, now);
+    }
+    while (!completions.empty() && completions.top().at <= now) {
+      Completion completion = completions.top();
+      completions.pop();
+      slot_busy[static_cast<std::size_t>(completion.slot)] = false;
+      scheduler.on_task_complete(completion.task, now);
+      for (const JobId job : completion.task.members) {
+        JobProgress& p = progress.at(job);
+        S3_CHECK(!p.done);
+        ++p.completed;
+        S3_CHECK_MSG(p.completed <= p.total, "over-completed job " << job);
+        if (p.completed == p.total) {
+          p.done = true;
+          timeline.on_completed(job, now + p.reduce_tail);
+        }
+      }
+    }
+    if (result.tasks_run > max_tasks) {
+      return Status::internal("task count exceeded safety bound");
+    }
+    offer_slots(now);
+  }
+
+  if (!timeline.all_done()) {
+    return Status::internal("task sim finished with incomplete jobs");
+  }
+  result.summary = metrics::summarize(timeline);
+  result.jobs = timeline.records();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// FIFO
+// ---------------------------------------------------------------------------
+
+void FifoTaskScheduler::on_job_arrival(const TaskSimJob& job,
+                                       SimTime /*now*/) {
+  queue_.push_back(State{job, 0, 0});
+}
+
+std::optional<TaskAssignment> FifoTaskScheduler::next_task(int /*slot_pool*/,
+                                                           SimTime /*now*/) {
+  for (auto& state : queue_) {
+    if (state.launched < state.job.total_blocks) {
+      TaskAssignment task;
+      task.members = {state.job.id};
+      task.block = state.launched;
+      ++state.launched;
+      return task;
+    }
+  }
+  return std::nullopt;
+}
+
+void FifoTaskScheduler::on_task_complete(const TaskAssignment& task,
+                                         SimTime /*now*/) {
+  const JobId job = task.members.front();
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->job.id == job) {
+      ++it->completed;
+      if (it->completed == it->job.total_blocks) queue_.erase(it);
+      return;
+    }
+  }
+  S3_CHECK_MSG(false, "completion for unknown job " << job);
+}
+
+std::size_t FifoTaskScheduler::pending_jobs() const { return queue_.size(); }
+
+// ---------------------------------------------------------------------------
+// Fair
+// ---------------------------------------------------------------------------
+
+void FairTaskScheduler::on_job_arrival(const TaskSimJob& job, SimTime /*now*/) {
+  active_.push_back(State{job, 0, 0, 0, next_seq_++});
+}
+
+std::optional<TaskAssignment> FairTaskScheduler::next_task(int /*slot_pool*/,
+                                                           SimTime /*now*/) {
+  State* best = nullptr;
+  for (auto& state : active_) {
+    if (state.launched >= state.job.total_blocks) continue;
+    if (best == nullptr || state.running < best->running ||
+        (state.running == best->running && state.seq < best->seq)) {
+      best = &state;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  TaskAssignment task;
+  task.members = {best->job.id};
+  task.block = best->launched;
+  ++best->launched;
+  ++best->running;
+  return task;
+}
+
+void FairTaskScheduler::on_task_complete(const TaskAssignment& task,
+                                         SimTime /*now*/) {
+  const JobId job = task.members.front();
+  for (auto it = active_.begin(); it != active_.end(); ++it) {
+    if (it->job.id == job) {
+      --it->running;
+      ++it->completed;
+      if (it->completed == it->job.total_blocks) active_.erase(it);
+      return;
+    }
+  }
+  S3_CHECK_MSG(false, "completion for unknown job " << job);
+}
+
+std::size_t FairTaskScheduler::pending_jobs() const { return active_.size(); }
+
+// ---------------------------------------------------------------------------
+// Capacity
+// ---------------------------------------------------------------------------
+
+CapacityTaskScheduler::CapacityTaskScheduler(int pools)
+    : queues_(static_cast<std::size_t>(pools)) {
+  S3_CHECK(pools > 0);
+}
+
+void CapacityTaskScheduler::on_job_arrival(const TaskSimJob& job,
+                                           SimTime /*now*/) {
+  const auto pool =
+      static_cast<std::size_t>(job.pool) % queues_.size();
+  job_pool_[job.id.value()] = static_cast<int>(pool);
+  queues_[pool].push_back(State{job, 0, 0});
+}
+
+std::optional<TaskAssignment> CapacityTaskScheduler::pop_from(
+    std::deque<State>& queue) {
+  for (auto& state : queue) {
+    if (state.launched < state.job.total_blocks) {
+      TaskAssignment task;
+      task.members = {state.job.id};
+      task.block = state.launched;
+      ++state.launched;
+      return task;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<TaskAssignment> CapacityTaskScheduler::next_task(
+    int slot_pool, SimTime /*now*/) {
+  const auto own = static_cast<std::size_t>(slot_pool) % queues_.size();
+  // Guaranteed capacity first, then borrow round-robin (work conserving).
+  for (std::size_t probe = 0; probe < queues_.size(); ++probe) {
+    auto task = pop_from(queues_[(own + probe) % queues_.size()]);
+    if (task.has_value()) return task;
+  }
+  return std::nullopt;
+}
+
+void CapacityTaskScheduler::on_task_complete(const TaskAssignment& task,
+                                             SimTime /*now*/) {
+  const JobId job = task.members.front();
+  const auto it = job_pool_.find(job.value());
+  S3_CHECK_MSG(it != job_pool_.end(), "completion for unknown job " << job);
+  auto& queue = queues_[static_cast<std::size_t>(it->second)];
+  for (auto qit = queue.begin(); qit != queue.end(); ++qit) {
+    if (qit->job.id == job) {
+      ++qit->completed;
+      if (qit->completed == qit->job.total_blocks) {
+        queue.erase(qit);
+        job_pool_.erase(it);
+      }
+      return;
+    }
+  }
+  S3_CHECK_MSG(false, "job missing from its pool queue: " << job);
+}
+
+std::size_t CapacityTaskScheduler::pending_jobs() const {
+  std::size_t total = 0;
+  for (const auto& queue : queues_) total += queue.size();
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Barrierless shared scan
+// ---------------------------------------------------------------------------
+
+SharedScanTaskScheduler::SharedScanTaskScheduler(std::uint64_t file_blocks)
+    : file_blocks_(file_blocks) {
+  S3_CHECK(file_blocks > 0);
+}
+
+void SharedScanTaskScheduler::on_job_arrival(const TaskSimJob& job,
+                                             SimTime /*now*/) {
+  S3_CHECK_MSG(job.total_blocks == file_blocks_,
+               "shared-scan jobs must cover the common file exactly");
+  active_.push_back(State{job, 0, 0});
+}
+
+std::optional<TaskAssignment> SharedScanTaskScheduler::next_task(
+    int /*slot_pool*/, SimTime /*now*/) {
+  TaskAssignment task;
+  for (auto& state : active_) {
+    if (state.launched < file_blocks_) {
+      task.members.push_back(state.job.id);
+      ++state.launched;
+    }
+  }
+  if (task.members.empty()) return std::nullopt;
+  task.block = cursor_;
+  cursor_ = (cursor_ + 1) % file_blocks_;
+  ++launched_total_;
+  return task;
+}
+
+void SharedScanTaskScheduler::on_task_complete(const TaskAssignment& task,
+                                               SimTime /*now*/) {
+  for (const JobId job : task.members) {
+    for (auto it = active_.begin(); it != active_.end(); ++it) {
+      if (it->job.id == job) {
+        ++it->completed;
+        if (it->completed == file_blocks_) active_.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+std::size_t SharedScanTaskScheduler::pending_jobs() const {
+  return active_.size();
+}
+
+}  // namespace s3::tasksim

@@ -1,0 +1,174 @@
+// Task-level cluster simulator — slot-granular scheduling, unlike the batch
+// simulator in sim/ where one merged batch owns the whole cluster. This is
+// the substrate for the paper's §II-B related-work schedulers (Facebook's
+// fair scheduler, Yahoo!'s capacity scheduler: partial utilization, jobs run
+// concurrently on slot subsets) and for the §VI future-work integration of
+// full- and partial-utilization scheduling: a barrierless task-granular
+// shared scan that merges jobs per *task* instead of per wave.
+//
+// Model: `slots` homogeneous map slots pull tasks one at a time. A task
+// covers one block for a set of member jobs (the sharing set); its duration
+// is a caller-supplied function of the sharing degree (use the same overlap
+// economics as sim::CostModel). A job completes `reduce_tail` seconds after
+// its last map task finishes (the reduce tail does not occupy map slots — a
+// documented simplification shared by all schedulers under comparison).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "metrics/metrics.h"
+
+namespace s3::tasksim {
+
+struct TaskSimJob {
+  JobId id;
+  SimTime arrival = 0.0;
+  std::uint64_t total_blocks = 0;  // map tasks to run
+  double reduce_tail = 0.0;        // appended after the last map task
+  int pool = 0;                    // capacity-scheduler pool
+};
+
+// One unit of slot work: a block processed for every member job at once.
+struct TaskAssignment {
+  std::vector<JobId> members;
+  std::uint64_t block = 0;  // informational (circular index)
+};
+
+// Slot-granular scheduler contract. The engine calls next_task() whenever a
+// slot is free; returning nullopt leaves that slot idle until the next
+// event.
+class TaskScheduler {
+ public:
+  virtual ~TaskScheduler() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  virtual void on_job_arrival(const TaskSimJob& job, SimTime now) = 0;
+  // `slot_pool` identifies the asking slot's capacity pool.
+  virtual std::optional<TaskAssignment> next_task(int slot_pool,
+                                                  SimTime now) = 0;
+  virtual void on_task_complete(const TaskAssignment& task, SimTime now) = 0;
+  [[nodiscard]] virtual std::size_t pending_jobs() const = 0;
+};
+
+struct TaskSimParams {
+  int slots = 40;
+  int pools = 1;  // slot i belongs to pool i % pools
+  // Duration of one (possibly merged) map task given its sharing degree.
+  std::function<double(int sharers)> map_task_seconds;
+};
+
+struct TaskSimResult {
+  metrics::MetricsSummary summary;
+  std::vector<metrics::JobRecord> jobs;
+  std::uint64_t tasks_run = 0;
+  double busy_slot_seconds = 0.0;
+};
+
+// Runs the workload to completion; jobs need not be sorted by arrival.
+[[nodiscard]] StatusOr<TaskSimResult> run_task_sim(
+    const TaskSimParams& params, TaskScheduler& scheduler,
+    std::vector<TaskSimJob> jobs);
+
+// ---------------------------------------------------------------------------
+// Schedulers
+// ---------------------------------------------------------------------------
+
+// Hadoop FIFO at task level: the head job takes every slot until its tasks
+// are exhausted, then the next job starts (full utilization, no sharing).
+class FifoTaskScheduler final : public TaskScheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "FIFO-task"; }
+  void on_job_arrival(const TaskSimJob& job, SimTime now) override;
+  std::optional<TaskAssignment> next_task(int slot_pool, SimTime now) override;
+  void on_task_complete(const TaskAssignment& task, SimTime now) override;
+  [[nodiscard]] std::size_t pending_jobs() const override;
+
+ private:
+  struct State {
+    TaskSimJob job;
+    std::uint64_t launched = 0;
+    std::uint64_t completed = 0;
+  };
+  std::deque<State> queue_;
+};
+
+// Facebook-style fair scheduler (paper §II-B): every active job gets a fair
+// share of the slots — the next free slot goes to the active job with the
+// fewest running tasks. Partial utilization, no sharing of common scans.
+class FairTaskScheduler final : public TaskScheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "Fair"; }
+  void on_job_arrival(const TaskSimJob& job, SimTime now) override;
+  std::optional<TaskAssignment> next_task(int slot_pool, SimTime now) override;
+  void on_task_complete(const TaskAssignment& task, SimTime now) override;
+  [[nodiscard]] std::size_t pending_jobs() const override;
+
+ private:
+  struct State {
+    TaskSimJob job;
+    std::uint64_t launched = 0;
+    std::uint64_t completed = 0;
+    int running = 0;
+    std::uint64_t seq = 0;
+  };
+  std::vector<State> active_;
+  std::uint64_t next_seq_ = 0;
+};
+
+// Yahoo!-style capacity scheduler (paper §II-B): the cluster is split into
+// pools with guaranteed slot fractions; each pool runs its own FIFO queue.
+// Idle pools lend their slots to the busiest other queue (work conserving).
+class CapacityTaskScheduler final : public TaskScheduler {
+ public:
+  explicit CapacityTaskScheduler(int pools);
+  [[nodiscard]] std::string name() const override { return "Capacity"; }
+  void on_job_arrival(const TaskSimJob& job, SimTime now) override;
+  std::optional<TaskAssignment> next_task(int slot_pool, SimTime now) override;
+  void on_task_complete(const TaskAssignment& task, SimTime now) override;
+  [[nodiscard]] std::size_t pending_jobs() const override;
+
+ private:
+  struct State {
+    TaskSimJob job;
+    std::uint64_t launched = 0;
+    std::uint64_t completed = 0;
+  };
+  std::optional<TaskAssignment> pop_from(std::deque<State>& queue);
+  std::vector<std::deque<State>> queues_;  // one per pool
+  std::unordered_map<std::uint64_t, int> job_pool_;  // completion routing
+};
+
+// Task-granular shared scan — the §VI integration: all active jobs over the
+// common file advance one circular cursor together, but WITHOUT the batch
+// simulator's wave barrier: every slot independently pulls the next block,
+// which serves every currently-aligned job. Late jobs join at the cursor and
+// wrap, exactly like S3, at block granularity.
+class SharedScanTaskScheduler final : public TaskScheduler {
+ public:
+  explicit SharedScanTaskScheduler(std::uint64_t file_blocks);
+  [[nodiscard]] std::string name() const override { return "S3-barrierless"; }
+  void on_job_arrival(const TaskSimJob& job, SimTime now) override;
+  std::optional<TaskAssignment> next_task(int slot_pool, SimTime now) override;
+  void on_task_complete(const TaskAssignment& task, SimTime now) override;
+  [[nodiscard]] std::size_t pending_jobs() const override;
+
+ private:
+  struct State {
+    TaskSimJob job;
+    std::uint64_t launched = 0;   // blocks this job has been included in
+    std::uint64_t completed = 0;  // of those, finished
+  };
+  std::uint64_t file_blocks_;
+  std::uint64_t cursor_ = 0;
+  std::uint64_t launched_total_ = 0;
+  std::vector<State> active_;
+};
+
+}  // namespace s3::tasksim

@@ -1,0 +1,74 @@
+#include "workloads/aggregation.h"
+
+#include <charconv>
+
+#include "common/status.h"
+#include "dfs/reader.h"
+#include "workloads/tpch.h"
+
+namespace s3::workloads {
+
+void AvgPriceMapper::map(const dfs::Record& record, engine::Emitter& out) {
+  if (record.data.empty()) return;
+  const auto fields = dfs::split_fields(record.data);
+  if (fields.size() < static_cast<std::size_t>(tpch::kNumColumns)) return;
+  // Key: l_returnflag; value: "price|1".
+  std::string value(fields[tpch::kExtendedPrice]);
+  value += "|1";
+  out.emit(std::string(fields[tpch::kReturnFlag]), std::move(value));
+}
+
+std::pair<double, std::uint64_t> parse_pair(const std::string& value) {
+  const auto sep = value.find('|');
+  S3_CHECK_MSG(sep != std::string::npos, "malformed pair: " << value);
+  const double sum = std::strtod(value.c_str(), nullptr);
+  std::uint64_t count = 0;
+  const auto* begin = value.data() + sep + 1;
+  const auto* end = value.data() + value.size();
+  const auto [p, ec] = std::from_chars(begin, end, count);
+  S3_CHECK_MSG(ec == std::errc{} && p == end, "malformed count: " << value);
+  return {sum, count};
+}
+
+void PairSumReducer::reduce(const std::string& key,
+                            const std::vector<std::string>& values,
+                            engine::Emitter& out) {
+  double sum = 0.0;
+  std::uint64_t count = 0;
+  for (const auto& v : values) {
+    const auto [s, c] = parse_pair(v);
+    sum += s;
+    count += c;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f|%llu", sum,
+                static_cast<unsigned long long>(count));
+  out.emit(key, buf);
+}
+
+std::map<std::string, Average> extract_averages(
+    const engine::JobResult& result) {
+  std::map<std::string, Average> out;
+  for (const auto& kv : result.output) {
+    const auto [sum, count] = parse_pair(kv.value);
+    Average& avg = out[kv.key];
+    avg.sum += sum;
+    avg.count += count;
+  }
+  return out;
+}
+
+engine::JobSpec make_avg_price_job(JobId id, FileId input,
+                                   std::uint32_t reduce_tasks) {
+  engine::JobSpec spec;
+  spec.id = id;
+  spec.name = "avg-price-by-returnflag";
+  spec.input = input;
+  spec.mapper_factory = [] { return std::make_unique<AvgPriceMapper>(); };
+  spec.reducer_factory = [] { return std::make_unique<PairSumReducer>(); };
+  spec.combiner_factory = [] { return std::make_unique<PairSumReducer>(); };
+  spec.num_reduce_tasks = reduce_tasks;
+  return spec;
+}
+
+}  // namespace s3::workloads

@@ -1,0 +1,47 @@
+#include "workloads/arrival.h"
+
+#include "common/status.h"
+
+namespace s3::workloads {
+
+std::vector<SimTime> dense_pattern(std::size_t n, SimTime gap) {
+  S3_CHECK(n > 0);
+  S3_CHECK(gap >= 0.0);
+  std::vector<SimTime> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = gap * static_cast<double>(i);
+  return out;
+}
+
+std::vector<SimTime> sparse_groups(const std::vector<std::size_t>& group_sizes,
+                                   SimTime group_gap, SimTime intra_gap) {
+  S3_CHECK(!group_sizes.empty());
+  S3_CHECK(group_gap >= 0.0 && intra_gap >= 0.0);
+  std::vector<SimTime> out;
+  for (std::size_t g = 0; g < group_sizes.size(); ++g) {
+    S3_CHECK(group_sizes[g] > 0);
+    const SimTime start = group_gap * static_cast<double>(g);
+    for (std::size_t j = 0; j < group_sizes[g]; ++j) {
+      out.push_back(start + intra_gap * static_cast<double>(j));
+    }
+  }
+  return out;
+}
+
+std::vector<SimTime> uniform_pattern(std::size_t n, SimTime gap) {
+  return dense_pattern(n, gap);
+}
+
+std::vector<SimTime> poisson_pattern(std::size_t n, SimTime mean_gap,
+                                     Rng& rng) {
+  S3_CHECK(n > 0);
+  S3_CHECK(mean_gap > 0.0);
+  std::vector<SimTime> out(n);
+  SimTime t = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = t;
+    t += rng.exponential(mean_gap);
+  }
+  return out;
+}
+
+}  // namespace s3::workloads

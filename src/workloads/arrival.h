@@ -1,0 +1,31 @@
+// Job arrival pattern generators (paper §III, Figure 1): dense streams,
+// sparse grouped submissions, plus uniform and Poisson processes for
+// sensitivity sweeps. All return sorted arrival times in seconds.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace s3::workloads {
+
+// n jobs, each `gap` seconds after the previous (gap may be 0).
+[[nodiscard]] std::vector<SimTime> dense_pattern(std::size_t n, SimTime gap);
+
+// Groups of dense jobs (Figure 1(b)): group g starts at g * group_gap; jobs
+// within a group are intra_gap apart. The paper's sparse pattern is
+// {3, 3, 4} groups.
+[[nodiscard]] std::vector<SimTime> sparse_groups(
+    const std::vector<std::size_t>& group_sizes, SimTime group_gap,
+    SimTime intra_gap);
+
+// n jobs with uniform inter-arrival `gap`.
+[[nodiscard]] std::vector<SimTime> uniform_pattern(std::size_t n, SimTime gap);
+
+// n jobs with exponential inter-arrivals of the given mean (Poisson process).
+[[nodiscard]] std::vector<SimTime> poisson_pattern(std::size_t n,
+                                                   SimTime mean_gap, Rng& rng);
+
+}  // namespace s3::workloads

@@ -1,0 +1,74 @@
+#include "workloads/text_corpus.h"
+
+#include <unordered_set>
+
+namespace s3::workloads {
+
+TextCorpusGenerator::TextCorpusGenerator(TextCorpusOptions options)
+    : options_(options),
+      zipf_(options.vocabulary_size, options.zipf_exponent) {
+  S3_CHECK(options_.vocabulary_size > 0);
+  S3_CHECK(options_.min_word_len >= 1);
+  S3_CHECK(options_.max_word_len >= options_.min_word_len);
+  S3_CHECK(options_.words_per_line > 0);
+
+  // Deterministic vocabulary; rejects duplicates so word ranks are unique.
+  Rng rng(options_.seed);
+  std::unordered_set<std::string> seen;
+  vocabulary_.reserve(options_.vocabulary_size);
+  while (vocabulary_.size() < options_.vocabulary_size) {
+    const std::size_t len = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(options_.min_word_len),
+        static_cast<std::int64_t>(options_.max_word_len)));
+    std::string word;
+    word.reserve(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      word.push_back(static_cast<char>('a' + rng.uniform_u64(26)));
+    }
+    if (seen.insert(word).second) vocabulary_.push_back(std::move(word));
+  }
+}
+
+std::string TextCorpusGenerator::generate_block(std::uint64_t block_index,
+                                                ByteSize bytes) const {
+  S3_CHECK(bytes.count() > 0);
+  // Independent stream per block: hash the seed with the block index.
+  std::uint64_t sm = options_.seed ^ (block_index * 0x9e3779b97f4a7c15ULL + 1);
+  Rng rng(splitmix64(sm));
+
+  std::string out;
+  out.reserve(bytes.count() + 128);
+  while (out.size() < bytes.count()) {
+    std::string line;
+    for (std::size_t w = 0; w < options_.words_per_line; ++w) {
+      if (w != 0) line.push_back(' ');
+      line += vocabulary_[zipf_.sample(rng)];
+    }
+    line.push_back('\n');
+    if (out.size() + line.size() > bytes.count() && !out.empty()) break;
+    out += line;
+  }
+  return out;
+}
+
+StatusOr<FileId> TextCorpusGenerator::generate_file(
+    dfs::DfsNamespace& ns, dfs::BlockStore& store,
+    dfs::PlacementPolicy& placement, const std::string& name,
+    std::uint64_t num_blocks, ByteSize block_size, int replication) const {
+  if (num_blocks == 0) return Status::invalid_argument("need >= 1 block");
+  auto file_or = ns.create_file(name, block_size);
+  if (!file_or.is_ok()) return file_or.status();
+  const FileId file = file_or.value();
+
+  for (std::uint64_t b = 0; b < num_blocks; ++b) {
+    std::string payload = generate_block(b, block_size);
+    auto block_or = ns.append_block(file, ByteSize(payload.size()));
+    if (!block_or.is_ok()) return block_or.status();
+    const BlockId block = block_or.value();
+    S3_RETURN_IF_ERROR(ns.set_replicas(block, placement.place(b, replication)));
+    S3_RETURN_IF_ERROR(store.put(block, std::move(payload)));
+  }
+  return file;
+}
+
+}  // namespace s3::workloads

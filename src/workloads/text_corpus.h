@@ -1,0 +1,59 @@
+// Synthetic Gutenberg-like text corpus: a deterministic vocabulary with
+// Zipf-distributed word frequencies, laid out as newline-delimited lines.
+// Substitutes for the paper's 160 GB Project Gutenberg dataset — wordcount
+// only cares about token statistics, and Zipf matches natural language well.
+// Block payloads are generated independently from (seed, block index), so
+// corpora are reproducible at any scale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "dfs/block_store.h"
+#include "dfs/dfs_namespace.h"
+#include "dfs/placement.h"
+
+namespace s3::workloads {
+
+struct TextCorpusOptions {
+  std::uint64_t seed = 42;
+  std::size_t vocabulary_size = 5000;
+  double zipf_exponent = 1.05;
+  std::size_t min_word_len = 2;
+  std::size_t max_word_len = 10;
+  std::size_t words_per_line = 12;
+};
+
+class TextCorpusGenerator {
+ public:
+  explicit TextCorpusGenerator(TextCorpusOptions options = {});
+
+  [[nodiscard]] const std::vector<std::string>& vocabulary() const {
+    return vocabulary_;
+  }
+
+  // Generates one block's payload (about `bytes` long, cut at a line
+  // boundary). Deterministic in (options.seed, block_index).
+  [[nodiscard]] std::string generate_block(std::uint64_t block_index,
+                                           ByteSize bytes) const;
+
+  // Creates a DFS file of `num_blocks` blocks of `block_size` each, placing
+  // replicas via `placement` and storing payloads in `store`.
+  StatusOr<FileId> generate_file(dfs::DfsNamespace& ns, dfs::BlockStore& store,
+                                 dfs::PlacementPolicy& placement,
+                                 const std::string& name,
+                                 std::uint64_t num_blocks, ByteSize block_size,
+                                 int replication = 1) const;
+
+ private:
+  TextCorpusOptions options_;
+  std::vector<std::string> vocabulary_;
+  ZipfSampler zipf_;
+};
+
+}  // namespace s3::workloads

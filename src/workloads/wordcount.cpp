@@ -1,0 +1,103 @@
+#include "workloads/wordcount.h"
+
+#include <charconv>
+
+#include "common/status.h"
+
+namespace s3::workloads {
+namespace {
+
+// Iterates whitespace-separated words of a record without copying.
+template <typename Fn>
+void for_each_word(std::string_view line, Fn&& fn) {
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && line[i] == ' ') ++i;
+    std::size_t j = i;
+    while (j < line.size() && line[j] != ' ') ++j;
+    if (j > i) fn(line.substr(i, j - i));
+    i = j;
+  }
+}
+
+std::int64_t parse_int(const std::string& s) {
+  std::int64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  S3_CHECK_MSG(ec == std::errc{} && ptr == s.data() + s.size(),
+               "non-numeric count value: '" << s << "'");
+  return v;
+}
+
+}  // namespace
+
+PatternWordCountMapper::PatternWordCountMapper(std::string prefix)
+    : prefix_(std::move(prefix)) {}
+
+void PatternWordCountMapper::map(const dfs::Record& record,
+                                 engine::Emitter& out) {
+  for_each_word(record.data, [&](std::string_view word) {
+    if (word.size() >= prefix_.size() &&
+        word.substr(0, prefix_.size()) == prefix_) {
+      out.emit(std::string(word), "1");
+    }
+  });
+}
+
+HeavyWordCountMapper::HeavyWordCountMapper(int amplify) : amplify_(amplify) {
+  S3_CHECK(amplify >= 1);
+}
+
+void HeavyWordCountMapper::map(const dfs::Record& record,
+                               engine::Emitter& out) {
+  for_each_word(record.data, [&](std::string_view word) {
+    out.emit(std::string(word), "1");
+    for (int a = 1; a < amplify_; ++a) {
+      // Tagged duplicates create distinct keys, inflating reduce output the
+      // way the paper's heavy workload does.
+      out.emit(std::string(word) + '#' + std::to_string(a), "1");
+    }
+  });
+}
+
+void SumReducer::reduce(const std::string& key,
+                        const std::vector<std::string>& values,
+                        engine::Emitter& out) {
+  std::int64_t sum = 0;
+  for (const auto& v : values) sum += parse_int(v);
+  out.emit(key, std::to_string(sum));
+}
+
+engine::JobSpec make_wordcount_job(JobId id, FileId input, std::string prefix,
+                                   std::uint32_t reduce_tasks,
+                                   bool with_combiner) {
+  engine::JobSpec spec;
+  spec.id = id;
+  spec.name = "wordcount[" + prefix + "]";
+  spec.input = input;
+  spec.mapper_factory = [prefix = std::move(prefix)] {
+    return std::make_unique<PatternWordCountMapper>(prefix);
+  };
+  spec.reducer_factory = [] { return std::make_unique<SumReducer>(); };
+  if (with_combiner) {
+    spec.combiner_factory = [] { return std::make_unique<SumReducer>(); };
+  }
+  spec.num_reduce_tasks = reduce_tasks;
+  return spec;
+}
+
+engine::JobSpec make_heavy_wordcount_job(JobId id, FileId input, int amplify,
+                                         std::uint32_t reduce_tasks) {
+  engine::JobSpec spec;
+  spec.id = id;
+  spec.name = "wordcount-heavy[x" + std::to_string(amplify) + "]";
+  spec.input = input;
+  spec.mapper_factory = [amplify] {
+    return std::make_unique<HeavyWordCountMapper>(amplify);
+  };
+  spec.reducer_factory = [] { return std::make_unique<SumReducer>(); };
+  spec.combiner_factory = [] { return std::make_unique<SumReducer>(); };
+  spec.num_reduce_tasks = reduce_tasks;
+  return spec;
+}
+
+}  // namespace s3::workloads

@@ -1,0 +1,187 @@
+// Tests for the §V-G aggregation workload (algebraic partial aggregation
+// across sub-jobs) and the rack-aware shuffle network model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/real_driver.h"
+#include "sim/network.h"
+#include "workloads/aggregation.h"
+#include "workloads/suite.h"
+#include "workloads/tpch.h"
+
+namespace s3 {
+namespace {
+
+TEST(PairSumTest, ParsePair) {
+  const auto [sum, count] = workloads::parse_pair("123.50|7");
+  EXPECT_DOUBLE_EQ(sum, 123.5);
+  EXPECT_EQ(count, 7u);
+}
+
+TEST(PairSumTest, ReducerFoldsPairs) {
+  workloads::PairSumReducer reducer;
+  std::vector<engine::KeyValue> out;
+  class Collect final : public engine::Emitter {
+   public:
+    explicit Collect(std::vector<engine::KeyValue>& o) : out_(&o) {}
+    void emit(std::string k, std::string v) override {
+      out_->push_back({std::move(k), std::move(v)});
+    }
+   private:
+    std::vector<engine::KeyValue>* out_;
+  } collect(out);
+  reducer.reduce("R", {"10.00|2", "5.50|1", "4.50|3"}, collect);
+  ASSERT_EQ(out.size(), 1u);
+  const auto [sum, count] = workloads::parse_pair(out[0].value);
+  EXPECT_DOUBLE_EQ(sum, 20.0);
+  EXPECT_EQ(count, 6u);
+}
+
+TEST(PairSumTest, AverageExtraction) {
+  engine::JobResult result;
+  result.output = {{"A", "10.00|2"}, {"B", "9.00|3"}};
+  const auto averages = workloads::extract_averages(result);
+  EXPECT_DOUBLE_EQ(averages.at("A").value(), 5.0);
+  EXPECT_DOUBLE_EQ(averages.at("B").value(), 3.0);
+  EXPECT_EQ(averages.at("B").count, 3u);
+}
+
+TEST(AvgMapperTest, EmitsFlagAndPricePair) {
+  workloads::tpch::LineitemGenerator gen;
+  workloads::AvgPriceMapper mapper;
+  std::vector<engine::KeyValue> out;
+  class Collect final : public engine::Emitter {
+   public:
+    explicit Collect(std::vector<engine::KeyValue>& o) : out_(&o) {}
+    void emit(std::string k, std::string v) override {
+      out_->push_back({std::move(k), std::move(v)});
+    }
+   private:
+    std::vector<engine::KeyValue>* out_;
+  } collect(out);
+  const std::string row = gen.row(0);
+  mapper.map(dfs::Record{0, row}, collect);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].key.size(), 1u);  // returnflag is one char
+  const auto [sum, count] = workloads::parse_pair(out[0].value);
+  EXPECT_GT(sum, 0.0);
+  EXPECT_EQ(count, 1u);
+}
+
+// End-to-end §V-G check: S3 sub-job execution with incremental folding
+// equals a whole-file single pass, for a non-trivially-algebraic aggregate.
+TEST(AggregationIntegrationTest, IncrementalSubJobAveragesMatchWholeFile) {
+  dfs::DfsNamespace ns;
+  dfs::BlockStore store;
+  const auto topology = cluster::Topology::uniform(4, 2);
+  dfs::PlacementTopology ptopo;
+  for (const auto& n : topology.nodes()) ptopo.nodes.push_back({n.id, n.rack});
+  dfs::RoundRobinPlacement placement(ptopo);
+  workloads::tpch::LineitemGenerator gen;
+  const FileId table =
+      gen.generate_file(ns, store, placement, "lineitem", 9, ByteSize::kib(8))
+          .value();
+  sched::FileCatalog catalog;
+  catalog.add(table, 9);
+
+  const auto run = [&](bool incremental, sched::Scheduler& scheduler) {
+    engine::LocalEngineOptions options;
+    options.map_workers = 3;
+    options.reduce_workers = 2;
+    options.incremental_merge = incremental;
+    engine::LocalEngine engine(ns, store, options);
+    core::RealDriver driver(ns, engine, catalog);
+    std::vector<core::RealJob> jobs;
+    jobs.push_back({workloads::make_avg_price_job(JobId(0), table, 3), 0.0, 0});
+    return driver.run(scheduler, std::move(jobs)).value();
+  };
+
+  auto s3 = workloads::make_s3(catalog, topology, /*segment_blocks=*/3);
+  auto fifo = workloads::make_fifo(catalog);
+  const auto incremental = run(true, *s3);
+  const auto whole = run(false, *fifo);
+
+  EXPECT_EQ(incremental.batches_run, 3u);  // k = 3 sub-jobs
+  const auto got = workloads::extract_averages(incremental.outputs.at(JobId(0)));
+  const auto want = workloads::extract_averages(whole.outputs.at(JobId(0)));
+  ASSERT_EQ(got.size(), want.size());
+  ASSERT_EQ(got.size(), 3u);  // returnflags R, A, N
+  for (const auto& [flag, avg] : want) {
+    ASSERT_TRUE(got.count(flag) > 0) << flag;
+    EXPECT_EQ(got.at(flag).count, avg.count) << flag;
+    EXPECT_NEAR(got.at(flag).value(), avg.value(), 1e-6) << flag;
+  }
+}
+
+TEST(NetworkModelTest, CrossRackFraction) {
+  // Paper cluster: racks of 13/13/14 over 40 nodes.
+  const auto topology = cluster::Topology::paper_cluster();
+  sim::NetworkModel network({}, topology);
+  const double expected =
+      1.0 - (13.0 * 13 + 13.0 * 13 + 14.0 * 14) / (40.0 * 40);
+  EXPECT_NEAR(network.cross_rack_fraction(), expected, 1e-12);
+}
+
+TEST(NetworkModelTest, SingleRackStaysLocal) {
+  const auto topology = cluster::Topology::uniform(8, 1);
+  sim::NetworkModel network({}, topology);
+  EXPECT_DOUBLE_EQ(network.cross_rack_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(network.blended_mb_per_s(),
+                   network.params().intra_rack_mb_per_s);
+}
+
+TEST(NetworkModelTest, BlendedBandwidthBetweenExtremes) {
+  const auto topology = cluster::Topology::paper_cluster();
+  sim::NetworkParams params;
+  sim::NetworkModel network(params, topology);
+  EXPECT_GT(network.blended_mb_per_s(), params.cross_rack_mb_per_s);
+  EXPECT_LT(network.blended_mb_per_s(), params.intra_rack_mb_per_s);
+}
+
+TEST(NetworkModelTest, ShuffleScalesWithVolumeAndReducers) {
+  const auto topology = cluster::Topology::paper_cluster();
+  sim::NetworkModel network({}, topology);
+  const double base = network.shuffle_seconds(3000.0, 30);
+  EXPECT_NEAR(network.shuffle_seconds(6000.0, 30), 2.0 * base, 1e-9);
+  EXPECT_NEAR(network.shuffle_seconds(3000.0, 60), 0.5 * base, 1e-9);
+  EXPECT_DOUBLE_EQ(network.shuffle_seconds(0.0, 30), 0.0);
+}
+
+TEST(NetworkModelTest, BindsOnlyForShuffleHeavyBatches) {
+  // At the calibrated wordcount output volume the network tail must stay
+  // below the calibrated reduce tail (so Figure 3/4 results are unaffected);
+  // at 100x the volume it must dominate.
+  const auto topology = cluster::Topology::paper_cluster();
+  sim::CostModelParams params = sim::CostModelParams::paper();
+  sim::CostModel model(params, topology);
+
+  sched::Batch batch;
+  batch.id = BatchId(0);
+  batch.file = FileId(0);
+  batch.num_blocks = 2560;
+  batch.members.push_back({JobId(0), 2560, true});
+
+  auto normal_cost = sim::WorkloadCost::wordcount_normal();
+  std::unordered_map<JobId, sim::WorkloadCost> costs{{JobId(0), normal_cost}};
+  const auto normal = model.batch_cost(batch, costs, {}, nullptr);
+
+  auto heavy_cost = normal_cost;
+  heavy_cost.map_output_mb_per_block *= 100.0;
+  costs[JobId(0)] = heavy_cost;
+  const auto shuffle_bound = model.batch_cost(batch, costs, {}, nullptr);
+
+  sim::NetworkModel network(params.network, topology);
+  const double normal_shuffle = network.shuffle_seconds(
+      normal_cost.map_output_mb_per_block * 2560.0, params.num_reduce_tasks);
+  EXPECT_LT(normal_shuffle, normal.reduce_tail);  // calibration intact
+  EXPECT_GT(shuffle_bound.reduce_tail, normal.reduce_tail * 3.0);
+  EXPECT_NEAR(shuffle_bound.reduce_tail,
+              network.shuffle_seconds(heavy_cost.map_output_mb_per_block *
+                                          2560.0,
+                                      params.num_reduce_tasks),
+              1e-6);  // the network bound is what binds
+}
+
+}  // namespace
+}  // namespace s3

@@ -1,0 +1,123 @@
+// The paper's worked examples (§III, Examples 1-3) as exact unit tests of
+// the analytic models, plus structural properties.
+#include <gtest/gtest.h>
+
+#include "sched/analytic.h"
+
+namespace s3::sched {
+namespace {
+
+AnalyticScenario two_jobs(double offset) {
+  AnalyticScenario s;
+  s.arrivals = {0.0, offset};
+  s.job_duration = 100.0;
+  return s;
+}
+
+TEST(AnalyticTest, Example1Fifo) {
+  const auto out = analytic_fifo(two_jobs(20.0));
+  EXPECT_DOUBLE_EQ(out.tet, 200.0);
+  EXPECT_DOUBLE_EQ(out.art, 140.0);
+  EXPECT_DOUBLE_EQ(out.completions[0], 100.0);
+  EXPECT_DOUBLE_EQ(out.completions[1], 200.0);
+}
+
+TEST(AnalyticTest, Example1MRShare) {
+  const auto out = analytic_mrshare(two_jobs(20.0), {2});
+  EXPECT_DOUBLE_EQ(out.tet, 120.0);
+  EXPECT_DOUBLE_EQ(out.art, 110.0);
+}
+
+TEST(AnalyticTest, Example3S3EarlyArrival) {
+  const auto out = analytic_s3(two_jobs(20.0));
+  EXPECT_DOUBLE_EQ(out.tet, 120.0);
+  EXPECT_DOUBLE_EQ(out.art, 100.0);
+}
+
+TEST(AnalyticTest, Example2Fifo) {
+  const auto out = analytic_fifo(two_jobs(80.0));
+  EXPECT_DOUBLE_EQ(out.tet, 200.0);
+  EXPECT_DOUBLE_EQ(out.art, 110.0);
+}
+
+TEST(AnalyticTest, Example2MRShare) {
+  const auto out = analytic_mrshare(two_jobs(80.0), {2});
+  EXPECT_DOUBLE_EQ(out.tet, 180.0);
+  EXPECT_DOUBLE_EQ(out.art, 140.0);
+}
+
+TEST(AnalyticTest, Example3S3LateArrival) {
+  const auto out = analytic_s3(two_jobs(80.0));
+  EXPECT_DOUBLE_EQ(out.tet, 180.0);
+  EXPECT_DOUBLE_EQ(out.art, 100.0);
+}
+
+TEST(AnalyticTest, FifoQueuesSequentially) {
+  AnalyticScenario s;
+  s.arrivals = {0.0, 0.0, 0.0};
+  s.job_duration = 10.0;
+  const auto out = analytic_fifo(s);
+  EXPECT_DOUBLE_EQ(out.completions[2], 30.0);
+  EXPECT_DOUBLE_EQ(out.tet, 30.0);
+  EXPECT_DOUBLE_EQ(out.art, 20.0);
+}
+
+TEST(AnalyticTest, FifoIdleGapsRespectArrivals) {
+  AnalyticScenario s;
+  s.arrivals = {0.0, 1000.0};
+  s.job_duration = 10.0;
+  const auto out = analytic_fifo(s);
+  EXPECT_DOUBLE_EQ(out.completions[1], 1010.0);
+  EXPECT_DOUBLE_EQ(out.art, 10.0);
+}
+
+TEST(AnalyticTest, MRShareCombineOverhead) {
+  AnalyticScenario s = two_jobs(0.0);
+  s.combine_overhead = 0.1;
+  const auto out = analytic_mrshare(s, {2});
+  EXPECT_DOUBLE_EQ(out.tet, 110.0);  // 100 * (1 + 0.1)
+}
+
+TEST(AnalyticTest, MRShareMultipleGroupsSerialize) {
+  AnalyticScenario s;
+  s.arrivals = {0.0, 1.0, 2.0, 3.0};
+  s.job_duration = 50.0;
+  const auto out = analytic_mrshare(s, {2, 2});
+  EXPECT_DOUBLE_EQ(out.completions[0], 51.0);   // starts at arrival of job 2
+  EXPECT_DOUBLE_EQ(out.completions[2], 101.0);  // waits for group 1
+  EXPECT_DOUBLE_EQ(out.tet, 101.0);
+}
+
+TEST(AnalyticTest, S3ResponseAlwaysEqualsJobDuration) {
+  AnalyticScenario s;
+  s.arrivals = {0.0, 3.0, 777.0, 1500.0};
+  s.job_duration = 42.0;
+  const auto out = analytic_s3(s);
+  for (std::size_t i = 0; i < s.arrivals.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out.completions[i] - s.arrivals[i], 42.0);
+  }
+  EXPECT_DOUBLE_EQ(out.art, 42.0);
+}
+
+TEST(AnalyticTest, S3NeverWorseThanMRShareInArt) {
+  // With zero overhead, idealized S3's ART (= D) lower-bounds both.
+  for (const double offset : {0.0, 10.0, 50.0, 90.0, 200.0}) {
+    const auto s = two_jobs(offset);
+    EXPECT_LE(analytic_s3(s).art, analytic_mrshare(s, {2}).art + 1e-9);
+    EXPECT_LE(analytic_s3(s).art, analytic_fifo(s).art + 1e-9);
+  }
+}
+
+class AnalyticDominanceTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(AnalyticDominanceTest, S3TetNeverWorseThanFifo) {
+  const auto s = two_jobs(GetParam());
+  EXPECT_LE(analytic_s3(s).tet, analytic_fifo(s).tet + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(OffsetSweep, AnalyticDominanceTest,
+                         ::testing::Values(0.0, 5.0, 20.0, 50.0, 80.0, 99.0,
+                                           100.0, 150.0, 400.0));
+
+}  // namespace
+}  // namespace s3::sched

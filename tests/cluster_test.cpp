@@ -1,0 +1,163 @@
+// Unit tests for the cluster substrate: topology, slot ledger, heartbeats.
+#include <gtest/gtest.h>
+
+#include "cluster/heartbeat.h"
+#include "cluster/slot_ledger.h"
+#include "cluster/topology.h"
+
+namespace s3::cluster {
+namespace {
+
+TEST(TopologyTest, PaperCluster) {
+  const Topology t = Topology::paper_cluster();
+  EXPECT_EQ(t.num_nodes(), 40u);
+  EXPECT_EQ(t.num_racks(), 3u);
+  EXPECT_EQ(t.total_map_slots(), 40);
+  // Rack sizes 13/13/14.
+  int rack_counts[3] = {0, 0, 0};
+  for (const auto& n : t.nodes()) ++rack_counts[n.rack.value()];
+  EXPECT_EQ(rack_counts[0], 13);
+  EXPECT_EQ(rack_counts[1], 13);
+  EXPECT_EQ(rack_counts[2], 14);
+}
+
+TEST(TopologyTest, UniformRoundRobinRacks) {
+  const Topology t = Topology::uniform(10, 3, 2, 1);
+  EXPECT_EQ(t.num_nodes(), 10u);
+  EXPECT_EQ(t.total_map_slots(), 20);
+  EXPECT_EQ(t.total_reduce_slots(), 10);
+  EXPECT_TRUE(t.same_rack(NodeId(0), NodeId(3)));
+  EXPECT_FALSE(t.same_rack(NodeId(0), NodeId(1)));
+}
+
+TEST(TopologyTest, NodeAccessors) {
+  Topology t = Topology::uniform(2, 1);
+  EXPECT_EQ(t.node(NodeId(1)).id, NodeId(1));
+  t.mutable_node(NodeId(1)).speed_factor = 2.5;
+  EXPECT_DOUBLE_EQ(t.node(NodeId(1)).speed_factor, 2.5);
+}
+
+TEST(SlotLedgerTest, AcquireRelease) {
+  const Topology t = Topology::uniform(2, 1, 2, 1);
+  SlotLedger ledger(t);
+  EXPECT_EQ(ledger.total_free(SlotKind::kMap), 4);
+  EXPECT_TRUE(ledger.acquire(NodeId(0), SlotKind::kMap).is_ok());
+  EXPECT_TRUE(ledger.acquire(NodeId(0), SlotKind::kMap).is_ok());
+  EXPECT_FALSE(ledger.acquire(NodeId(0), SlotKind::kMap).is_ok());
+  EXPECT_EQ(ledger.free_slots(NodeId(0), SlotKind::kMap), 0);
+  EXPECT_EQ(ledger.total_free(SlotKind::kMap), 2);
+  EXPECT_TRUE(ledger.release(NodeId(0), SlotKind::kMap).is_ok());
+  EXPECT_EQ(ledger.free_slots(NodeId(0), SlotKind::kMap), 1);
+}
+
+TEST(SlotLedgerTest, ReleaseWithoutAcquireFails) {
+  const Topology t = Topology::uniform(1, 1);
+  SlotLedger ledger(t);
+  EXPECT_EQ(ledger.release(NodeId(0), SlotKind::kMap).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SlotLedgerTest, UnknownNode) {
+  const Topology t = Topology::uniform(1, 1);
+  SlotLedger ledger(t);
+  EXPECT_EQ(ledger.acquire(NodeId(9), SlotKind::kMap).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SlotLedgerTest, ReduceSlotsIndependent) {
+  const Topology t = Topology::uniform(1, 1, 1, 2);
+  SlotLedger ledger(t);
+  EXPECT_TRUE(ledger.acquire(NodeId(0), SlotKind::kMap).is_ok());
+  EXPECT_TRUE(ledger.acquire(NodeId(0), SlotKind::kReduce).is_ok());
+  EXPECT_TRUE(ledger.acquire(NodeId(0), SlotKind::kReduce).is_ok());
+  EXPECT_FALSE(ledger.acquire(NodeId(0), SlotKind::kReduce).is_ok());
+}
+
+TEST(SlotLedgerTest, ExclusionAffectsAvailability) {
+  const Topology t = Topology::uniform(4, 1);
+  SlotLedger ledger(t);
+  EXPECT_EQ(ledger.available_map_slots(), 4);
+  ledger.set_excluded(NodeId(2), true);
+  EXPECT_TRUE(ledger.is_excluded(NodeId(2)));
+  EXPECT_EQ(ledger.available_map_slots(), 3);
+  EXPECT_EQ(ledger.available_nodes(SlotKind::kMap).size(), 3u);
+  ledger.set_excluded(NodeId(2), false);
+  EXPECT_EQ(ledger.available_map_slots(), 4);
+}
+
+TEST(SlotLedgerTest, ExcludedNodeCanStillReleaseRunningWork) {
+  const Topology t = Topology::uniform(2, 1);
+  SlotLedger ledger(t);
+  ASSERT_TRUE(ledger.acquire(NodeId(0), SlotKind::kMap).is_ok());
+  ledger.set_excluded(NodeId(0), true);
+  EXPECT_TRUE(ledger.release(NodeId(0), SlotKind::kMap).is_ok());
+}
+
+ProgressReport report(NodeId node, SimTime start, double progress,
+                      SimTime at) {
+  ProgressReport r;
+  r.node = node;
+  r.task = TaskId(0);
+  r.task_start = start;
+  r.progress = progress;
+  r.report_time = at;
+  return r;
+}
+
+TEST(HeartbeatTest, EstimatesDurationFromProgress) {
+  HeartbeatTracker tracker;
+  tracker.report(report(NodeId(0), 0.0, 0.5, 10.0));
+  const auto estimate = tracker.estimate(NodeId(0));
+  ASSERT_TRUE(estimate.has_value());
+  EXPECT_DOUBLE_EQ(estimate->estimated_duration, 20.0);
+  EXPECT_DOUBLE_EQ(estimate->estimated_completion, 20.0);
+}
+
+TEST(HeartbeatTest, StalledTaskLooksSlow) {
+  HeartbeatTracker tracker;
+  tracker.report(report(NodeId(0), 0.0, 0.0, 30.0));
+  const auto estimate = tracker.estimate(NodeId(0));
+  ASSERT_TRUE(estimate.has_value());
+  EXPECT_DOUBLE_EQ(estimate->estimated_duration, 60.0);  // 2x elapsed
+}
+
+TEST(HeartbeatTest, SlowNodesRelativeToMedian) {
+  HeartbeatTracker tracker(1.5);
+  // Five nodes at ~10 s, one at 40 s.
+  for (std::uint64_t n = 0; n < 5; ++n) {
+    tracker.report(report(NodeId(n), 0.0, 1.0, 10.0));
+  }
+  tracker.report(report(NodeId(9), 0.0, 0.25, 10.0));  // estimated 40 s
+  const auto slow = tracker.slow_nodes();
+  ASSERT_EQ(slow.size(), 1u);
+  EXPECT_EQ(slow[0], NodeId(9));
+}
+
+TEST(HeartbeatTest, NoBasisWithSingleReport) {
+  HeartbeatTracker tracker;
+  tracker.report(report(NodeId(0), 0.0, 0.1, 10.0));
+  EXPECT_TRUE(tracker.slow_nodes().empty());
+}
+
+TEST(HeartbeatTest, ClearRemovesNode) {
+  HeartbeatTracker tracker;
+  tracker.report(report(NodeId(0), 0.0, 0.5, 10.0));
+  EXPECT_EQ(tracker.num_reporting(), 1u);
+  tracker.clear(NodeId(0));
+  EXPECT_EQ(tracker.num_reporting(), 0u);
+  EXPECT_FALSE(tracker.estimate(NodeId(0)).has_value());
+}
+
+TEST(HeartbeatTest, RecoveryAfterNewReport) {
+  HeartbeatTracker tracker(1.5);
+  for (std::uint64_t n = 0; n < 4; ++n) {
+    tracker.report(report(NodeId(n), 0.0, 1.0, 10.0));
+  }
+  tracker.report(report(NodeId(7), 0.0, 0.2, 10.0));  // 50 s: slow
+  ASSERT_EQ(tracker.slow_nodes().size(), 1u);
+  tracker.report(report(NodeId(7), 20.0, 1.0, 30.0));  // finished at speed
+  EXPECT_TRUE(tracker.slow_nodes().empty());
+}
+
+}  // namespace
+}  // namespace s3::cluster

@@ -1,0 +1,210 @@
+// Tests for the simulator's cost model: task costing, list scheduling,
+// sharing economics, exclusions and node speeds.
+#include <gtest/gtest.h>
+
+#include "cluster/topology.h"
+#include "sim/cost_model.h"
+
+namespace s3::sim {
+namespace {
+
+sched::Batch make_batch(std::uint64_t blocks, std::size_t members,
+                        std::uint64_t member_blocks = 0) {
+  sched::Batch batch;
+  batch.id = BatchId(0);
+  batch.file = FileId(0);
+  batch.start_block = 0;
+  batch.num_blocks = blocks;
+  for (std::size_t m = 0; m < members; ++m) {
+    batch.members.push_back(sched::Batch::Member{
+        JobId(m), member_blocks == 0 ? blocks : member_blocks, true});
+  }
+  return batch;
+}
+
+std::unordered_map<JobId, WorkloadCost> costs_for(std::size_t members,
+                                                  const WorkloadCost& cost) {
+  std::unordered_map<JobId, WorkloadCost> costs;
+  for (std::size_t m = 0; m < members; ++m) costs.emplace(JobId(m), cost);
+  return costs;
+}
+
+TEST(CostModelTest, SingleJobSingleWave) {
+  const auto topology = cluster::Topology::uniform(4, 1);
+  CostModelParams params = CostModelParams::paper();
+  CostModel model(params, topology);
+  const auto batch = make_batch(4, 1);
+  const auto cost = model.batch_cost(batch, costs_for(1, WorkloadCost::wordcount_normal()),
+                                     {}, nullptr);
+  // One wave: makespan == per-task duration.
+  const double io = params.io_seconds_per_block();
+  const double expected =
+      params.map_task_overhead + std::max(io, 0.38) + 0.02;
+  EXPECT_NEAR(cost.map_phase, expected, 1e-9);
+  EXPECT_NEAR(cost.avg_map_task, expected, 1e-9);
+  EXPECT_DOUBLE_EQ(cost.launch, params.batch_launch_overhead);
+  EXPECT_GT(cost.reduce_tail, 0.0);
+  EXPECT_DOUBLE_EQ(cost.total, cost.launch + cost.map_phase + cost.reduce_tail);
+  EXPECT_EQ(cost.map_tasks.size(), 4u);
+}
+
+TEST(CostModelTest, MultipleWavesStack) {
+  const auto topology = cluster::Topology::uniform(4, 1);
+  CostModel model(CostModelParams::paper(), topology);
+  const auto one_wave = model.batch_cost(
+      make_batch(4, 1), costs_for(1, WorkloadCost::wordcount_normal()), {},
+      nullptr);
+  const auto three_waves = model.batch_cost(
+      make_batch(12, 1), costs_for(1, WorkloadCost::wordcount_normal()), {},
+      nullptr);
+  EXPECT_NEAR(three_waves.map_phase, 3.0 * one_wave.map_phase, 1e-9);
+}
+
+TEST(CostModelTest, SharingSmallGroupsNearlyFree) {
+  const auto topology = cluster::Topology::paper_cluster();
+  CostModel model(CostModelParams::paper(), topology);
+  const auto cost = costs_for(10, WorkloadCost::wordcount_normal());
+  const auto solo = model.batch_cost(make_batch(40, 1), cost, {}, nullptr);
+  const auto four = model.batch_cost(make_batch(40, 4), cost, {}, nullptr);
+  const auto ten = model.batch_cost(make_batch(40, 10), cost, {}, nullptr);
+  // Four wordcount jobs' CPU fits under the shared read; ten saturate it.
+  EXPECT_LT(four.avg_map_task / solo.avg_map_task, 1.05);
+  EXPECT_GT(ten.avg_map_task / solo.avg_map_task, 1.15);
+  EXPECT_LT(ten.avg_map_task / solo.avg_map_task, 1.45);
+}
+
+TEST(CostModelTest, Figure3CalibrationAtTen) {
+  // The headline calibration: combining 10 normal wordcount jobs costs
+  // roughly +25-29 % in map time and +23.5 % in reduce time (Figure 3).
+  const auto topology = cluster::Topology::paper_cluster();
+  CostModel model(CostModelParams::paper(), topology);
+  const auto cost = costs_for(10, WorkloadCost::wordcount_normal());
+  const auto solo = model.batch_cost(make_batch(2560, 1), cost, {}, nullptr);
+  const auto ten = model.batch_cost(make_batch(2560, 10), cost, {}, nullptr);
+  EXPECT_NEAR(ten.avg_map_task / solo.avg_map_task, 1.28, 0.05);
+  EXPECT_NEAR(ten.reduce_tail / solo.reduce_tail, 1.235, 0.01);
+  const double tet_ratio = ten.total / solo.total;
+  EXPECT_NEAR(tet_ratio, 1.255, 0.05);
+}
+
+TEST(CostModelTest, PrefixMembersOnlyChargeTheirBlocks) {
+  const auto topology = cluster::Topology::uniform(4, 1);
+  CostModel model(CostModelParams::paper(), topology);
+  // Member 1 needs only the first 2 of 8 blocks.
+  sched::Batch batch = make_batch(8, 2);
+  batch.members[1].blocks = 2;
+  const auto costs = costs_for(2, WorkloadCost::wordcount_heavy());
+  const auto cost = model.batch_cost(batch, costs, {}, nullptr);
+  int shared_tasks = 0;
+  for (const auto& task : cost.map_tasks) {
+    if (task.sharers == 2) ++shared_tasks;
+  }
+  EXPECT_EQ(shared_tasks, 2);
+  EXPECT_EQ(cost.map_tasks.size(), 8u);
+}
+
+TEST(CostModelTest, ExcludedNodesGetNoTasks) {
+  const auto topology = cluster::Topology::uniform(4, 1);
+  const CostModelParams params = CostModelParams::paper();
+  CostModel model(params, topology);
+  const auto normal = WorkloadCost::wordcount_normal();
+  const auto cost = model.batch_cost(make_batch(8, 1), costs_for(1, normal),
+                                     {NodeId(0), NodeId(1)}, nullptr);
+  for (const auto& task : cost.map_tasks) {
+    EXPECT_NE(task.node, NodeId(0));
+    EXPECT_NE(task.node, NodeId(1));
+  }
+  // 8 tasks over 2 usable slots = 4 waves per slot: each surviving node runs
+  // its 2 local blocks plus 2 of the excluded nodes' blocks remotely.
+  const double io_local = params.io_seconds_per_block();
+  const double io_remote =
+      std::max(io_local, params.block_mb / 110.0) *  // single rack: intra bw
+      params.remote_read_penalty;
+  const double local_dur = params.map_task_overhead +
+                           std::max(io_local, normal.map_cpu_seconds_per_block) +
+                           normal.map_spill_seconds_per_block;
+  const double remote_dur = params.map_task_overhead +
+                            std::max(io_remote, normal.map_cpu_seconds_per_block) +
+                            normal.map_spill_seconds_per_block;
+  EXPECT_NEAR(cost.map_phase, 2.0 * local_dur + 2.0 * remote_dur, 1e-9);
+  int remote_tasks = 0;
+  for (const auto& task : cost.map_tasks) remote_tasks += task.local ? 0 : 1;
+  EXPECT_EQ(remote_tasks, 4);
+}
+
+TEST(CostModelTest, SlowNodeStretchesMakespan) {
+  auto topology = cluster::Topology::uniform(4, 1);
+  CostModel model(CostModelParams::paper(), topology);
+  const auto slow = model.batch_cost(
+      make_batch(4, 1), costs_for(1, WorkloadCost::wordcount_normal()), {},
+      [](NodeId n) { return n == NodeId(2) ? 3.0 : 1.0; });
+  const auto nominal = model.batch_cost(
+      make_batch(4, 1), costs_for(1, WorkloadCost::wordcount_normal()), {},
+      nullptr);
+  EXPECT_NEAR(slow.map_phase, 3.0 * nominal.map_phase, 1e-9);
+}
+
+TEST(CostModelTest, ListSchedulingFavoursFastNodes) {
+  auto topology = cluster::Topology::uniform(2, 1);
+  CostModel model(CostModelParams::paper(), topology);
+  // Node 1 is 3x slower; with 8 tasks the fast node should take more.
+  const auto cost = model.batch_cost(
+      make_batch(8, 1), costs_for(1, WorkloadCost::wordcount_normal()), {},
+      [](NodeId n) { return n == NodeId(1) ? 3.0 : 1.0; });
+  int fast_tasks = 0;
+  for (const auto& task : cost.map_tasks) fast_tasks += task.node == NodeId(0);
+  EXPECT_GT(fast_tasks, 4);
+}
+
+TEST(CostModelTest, HeavyWorkloadSlower) {
+  const auto topology = cluster::Topology::paper_cluster();
+  CostModel model(CostModelParams::paper(), topology);
+  const auto normal = model.batch_cost(
+      make_batch(2560, 1), costs_for(1, WorkloadCost::wordcount_normal()), {},
+      nullptr);
+  std::unordered_map<JobId, WorkloadCost> heavy_costs;
+  heavy_costs.emplace(JobId(0), WorkloadCost::wordcount_heavy());
+  const auto heavy =
+      model.batch_cost(make_batch(2560, 1), heavy_costs, {}, nullptr);
+  const double ratio = heavy.total / normal.total;
+  EXPECT_GT(ratio, 1.3);
+  EXPECT_LT(ratio, 1.7);  // paper: heavy jobs ~1.5x slower
+}
+
+TEST(CostModelTest, BlockSizeTradeoffs) {
+  const auto topology = cluster::Topology::paper_cluster();
+  const auto single_job_tet = [&](double block_mb) {
+    CostModel model(CostModelParams::paper(block_mb), topology);
+    const std::uint64_t blocks =
+        static_cast<std::uint64_t>(160.0 * 1024.0 / block_mb);
+    return model
+        .batch_cost(make_batch(blocks, 1),
+                    costs_for(1, WorkloadCost::wordcount_normal()), {},
+                    nullptr)
+        .total;
+  };
+  const double t32 = single_job_tet(32.0);
+  const double t64 = single_job_tet(64.0);
+  const double t128 = single_job_tet(128.0);
+  // Paper §V-F: 128 MB gives the fastest processing; 32 MB the slowest.
+  EXPECT_LT(t128, t64);
+  EXPECT_LT(t64, t32);
+}
+
+TEST(CostModelTest, LaunchOverheadIndependentOfSize) {
+  const auto topology = cluster::Topology::uniform(4, 1);
+  CostModelParams params = CostModelParams::paper();
+  params.batch_launch_overhead = 11.0;
+  CostModel model(params, topology);
+  const auto small = model.batch_cost(
+      make_batch(1, 1), costs_for(1, WorkloadCost::wordcount_normal()), {},
+      nullptr);
+  const auto large = model.batch_cost(
+      make_batch(64, 1), costs_for(1, WorkloadCost::wordcount_normal()), {},
+      nullptr);
+  EXPECT_DOUBLE_EQ(small.launch, 11.0);
+  EXPECT_DOUBLE_EQ(large.launch, 11.0);
+}
+
+}  // namespace
+}  // namespace s3::sim

@@ -1,0 +1,296 @@
+// Unit tests for the DFS substrate: namespace, block store, placement,
+// segments and record readers.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dfs/block_store.h"
+#include "dfs/dfs_namespace.h"
+#include "dfs/placement.h"
+#include "dfs/reader.h"
+#include "dfs/segment.h"
+
+namespace s3::dfs {
+namespace {
+
+FileId make_file(DfsNamespace& ns, const std::string& name,
+                 std::uint64_t blocks, ByteSize block_size) {
+  auto file = ns.create_file(name, block_size);
+  EXPECT_TRUE(file.is_ok());
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    auto block = ns.append_block(file.value(), block_size);
+    EXPECT_TRUE(block.is_ok());
+  }
+  return file.value();
+}
+
+TEST(DfsNamespaceTest, CreateAndLookup) {
+  DfsNamespace ns;
+  const FileId id = make_file(ns, "a.txt", 4, ByteSize::mib(64));
+  EXPECT_TRUE(ns.has_file(id));
+  EXPECT_EQ(ns.lookup("a.txt").value(), id);
+  EXPECT_FALSE(ns.lookup("b.txt").is_ok());
+  EXPECT_EQ(ns.file(id).num_blocks(), 4u);
+  EXPECT_EQ(ns.num_files(), 1u);
+}
+
+TEST(DfsNamespaceTest, DuplicateNameRejected) {
+  DfsNamespace ns;
+  make_file(ns, "a.txt", 1, ByteSize::mib(1));
+  EXPECT_EQ(ns.create_file("a.txt", ByteSize::mib(1)).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(DfsNamespaceTest, ZeroBlockSizeRejected) {
+  DfsNamespace ns;
+  EXPECT_EQ(ns.create_file("x", ByteSize(0)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DfsNamespaceTest, AppendToUnknownFileFails) {
+  DfsNamespace ns;
+  EXPECT_EQ(ns.append_block(FileId(99), ByteSize(1)).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(DfsNamespaceTest, OversizedBlockRejected) {
+  DfsNamespace ns;
+  const FileId id = make_file(ns, "a", 0, ByteSize::kib(1));
+  EXPECT_EQ(ns.append_block(id, ByteSize::kib(2)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DfsNamespaceTest, BlockMetadataTracksOrder) {
+  DfsNamespace ns;
+  const FileId id = make_file(ns, "a", 3, ByteSize::kib(4));
+  const auto& info = ns.file(id);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    const BlockInfo& block = ns.block(info.blocks[i]);
+    EXPECT_EQ(block.index_in_file, i);
+    EXPECT_EQ(block.file, id);
+  }
+  EXPECT_EQ(ns.file_size(id), ByteSize::kib(12));
+}
+
+TEST(DfsNamespaceTest, ReplicaAssignment) {
+  DfsNamespace ns;
+  const FileId id = make_file(ns, "a", 1, ByteSize::kib(4));
+  const BlockId block = ns.file(id).blocks[0];
+  EXPECT_TRUE(ns.set_replicas(block, {NodeId(1), NodeId(2)}).is_ok());
+  EXPECT_EQ(ns.block(block).replicas.size(), 2u);
+  EXPECT_FALSE(ns.set_replicas(block, {}).is_ok());
+  EXPECT_FALSE(ns.set_replicas(BlockId(999), {NodeId(1)}).is_ok());
+}
+
+TEST(BlockStoreTest, PutGetRoundTrip) {
+  BlockStore store;
+  EXPECT_TRUE(store.put(BlockId(1), "hello").is_ok());
+  auto payload = store.get(BlockId(1));
+  ASSERT_TRUE(payload.is_ok());
+  EXPECT_EQ(*payload.value(), "hello");
+  EXPECT_TRUE(store.contains(BlockId(1)));
+  EXPECT_EQ(store.num_blocks(), 1u);
+  EXPECT_EQ(store.total_bytes(), 5u);
+}
+
+TEST(BlockStoreTest, BlocksAreImmutable) {
+  BlockStore store;
+  ASSERT_TRUE(store.put(BlockId(1), "a").is_ok());
+  EXPECT_EQ(store.put(BlockId(1), "b").code(), StatusCode::kAlreadyExists);
+}
+
+TEST(BlockStoreTest, MissingBlock) {
+  BlockStore store;
+  EXPECT_EQ(store.get(BlockId(5)).status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(store.contains(BlockId(5)));
+}
+
+PlacementTopology small_topology() {
+  PlacementTopology topo;
+  for (std::uint64_t n = 0; n < 6; ++n) {
+    topo.nodes.push_back({NodeId(n), RackId(n / 2)});  // 3 racks of 2
+  }
+  return topo;
+}
+
+TEST(RoundRobinPlacementTest, SpreadsEvenly) {
+  RoundRobinPlacement policy(small_topology());
+  std::vector<int> counts(6, 0);
+  for (std::uint64_t b = 0; b < 60; ++b) {
+    const auto replicas = policy.place(b, 1);
+    ASSERT_EQ(replicas.size(), 1u);
+    ++counts[replicas[0].value()];
+  }
+  for (const int c : counts) EXPECT_EQ(c, 10);
+}
+
+TEST(RoundRobinPlacementTest, ReplicasDistinct) {
+  RoundRobinPlacement policy(small_topology());
+  const auto replicas = policy.place(4, 3);
+  ASSERT_EQ(replicas.size(), 3u);
+  EXPECT_EQ(std::set<NodeId>(replicas.begin(), replicas.end()).size(), 3u);
+}
+
+TEST(RoundRobinPlacementTest, ReplicationCappedAtClusterSize) {
+  RoundRobinPlacement policy(small_topology());
+  EXPECT_EQ(policy.place(0, 100).size(), 6u);
+}
+
+TEST(RackAwarePlacementTest, SecondReplicaOffRack) {
+  const auto topo = small_topology();
+  RackAwarePlacement policy(topo, 42);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto replicas = policy.place(0, 2);
+    ASSERT_EQ(replicas.size(), 2u);
+    const RackId r0 = topo.nodes[replicas[0].value()].rack;
+    const RackId r1 = topo.nodes[replicas[1].value()].rack;
+    EXPECT_NE(r0, r1);
+  }
+}
+
+TEST(RackAwarePlacementTest, ThirdReplicaSameRackAsSecond) {
+  const auto topo = small_topology();
+  RackAwarePlacement policy(topo, 7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto replicas = policy.place(0, 3);
+    ASSERT_EQ(replicas.size(), 3u);
+    EXPECT_EQ(std::set<NodeId>(replicas.begin(), replicas.end()).size(), 3u);
+    EXPECT_EQ(topo.nodes[replicas[1].value()].rack,
+              topo.nodes[replicas[2].value()].rack);
+  }
+}
+
+TEST(CircularMathTest, NextAndDistance) {
+  EXPECT_EQ(circular_next(0, 5), 1u);
+  EXPECT_EQ(circular_next(4, 5), 0u);
+  EXPECT_EQ(circular_distance(2, 2, 5), 0u);
+  EXPECT_EQ(circular_distance(3, 1, 5), 3u);
+  EXPECT_EQ(circular_distance(1, 3, 5), 2u);
+}
+
+TEST(SegmentMapTest, EvenSplit) {
+  DfsNamespace ns;
+  const FileId id = make_file(ns, "f", 12, ByteSize::kib(1));
+  SegmentMap segments(ns.file(id), 4);
+  EXPECT_EQ(segments.num_segments(), 3u);
+  EXPECT_EQ(segments.total_blocks(), 12u);
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(segments.segment(s).blocks.size(), 4u);
+    EXPECT_EQ(segments.segment(s).index, s);
+  }
+}
+
+TEST(SegmentMapTest, ShortFinalSegment) {
+  DfsNamespace ns;
+  const FileId id = make_file(ns, "f", 10, ByteSize::kib(1));
+  SegmentMap segments(ns.file(id), 4);
+  EXPECT_EQ(segments.num_segments(), 3u);
+  EXPECT_EQ(segments.segment(2).blocks.size(), 2u);
+}
+
+TEST(SegmentMapTest, SegmentsPartitionTheFile) {
+  DfsNamespace ns;
+  const FileId id = make_file(ns, "f", 11, ByteSize::kib(1));
+  SegmentMap segments(ns.file(id), 3);
+  std::vector<BlockId> all;
+  for (std::uint64_t s = 0; s < segments.num_segments(); ++s) {
+    const auto& blocks = segments.segment(s).blocks;
+    all.insert(all.end(), blocks.begin(), blocks.end());
+  }
+  EXPECT_EQ(all, ns.file(id).blocks);
+}
+
+TEST(SegmentMapTest, CircularOrderFromAnySegment) {
+  DfsNamespace ns;
+  const FileId id = make_file(ns, "f", 20, ByteSize::kib(1));
+  SegmentMap segments(ns.file(id), 4);  // k = 5
+  EXPECT_EQ(segments.circular_order(0), (std::vector<std::uint64_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(segments.circular_order(3), (std::vector<std::uint64_t>{3, 4, 0, 1, 2}));
+}
+
+TEST(LineRecordReaderTest, SplitsLines) {
+  auto payload = std::make_shared<const std::string>("one\ntwo\nthree\n");
+  LineRecordReader reader(payload);
+  Record r;
+  ASSERT_TRUE(reader.next(r));
+  EXPECT_EQ(r.data, "one");
+  EXPECT_EQ(r.offset, 0u);
+  ASSERT_TRUE(reader.next(r));
+  EXPECT_EQ(r.data, "two");
+  EXPECT_EQ(r.offset, 4u);
+  ASSERT_TRUE(reader.next(r));
+  EXPECT_EQ(r.data, "three");
+  EXPECT_FALSE(reader.next(r));
+  EXPECT_EQ(reader.records_read(), 3u);
+}
+
+TEST(LineRecordReaderTest, NoTrailingNewline) {
+  auto payload = std::make_shared<const std::string>("a\nb");
+  LineRecordReader reader(payload);
+  Record r;
+  ASSERT_TRUE(reader.next(r));
+  ASSERT_TRUE(reader.next(r));
+  EXPECT_EQ(r.data, "b");
+  EXPECT_FALSE(reader.next(r));
+}
+
+TEST(LineRecordReaderTest, EmptyPayload) {
+  auto payload = std::make_shared<const std::string>("");
+  LineRecordReader reader(payload);
+  Record r;
+  EXPECT_FALSE(reader.next(r));
+}
+
+TEST(LineRecordReaderTest, EmptyLinesPreserved) {
+  auto payload = std::make_shared<const std::string>("a\n\nb\n");
+  LineRecordReader reader(payload);
+  Record r;
+  reader.next(r);
+  ASSERT_TRUE(reader.next(r));
+  EXPECT_EQ(r.data, "");
+  ASSERT_TRUE(reader.next(r));
+  EXPECT_EQ(r.data, "b");
+}
+
+TEST(LineRecordReaderTest, ResetRestarts) {
+  auto payload = std::make_shared<const std::string>("x\ny\n");
+  LineRecordReader reader(payload);
+  Record r;
+  reader.next(r);
+  reader.reset();
+  ASSERT_TRUE(reader.next(r));
+  EXPECT_EQ(r.data, "x");
+  EXPECT_EQ(r.offset, 0u);
+}
+
+TEST(SharedScanReaderTest, OnePassManyConsumers) {
+  auto payload = std::make_shared<const std::string>("a\nbb\nccc\n");
+  SharedScanReader reader(payload);
+  std::vector<std::string> seen1, seen2;
+  reader.add_consumer([&](const Record& r) { seen1.emplace_back(r.data); });
+  reader.add_consumer([&](const Record& r) { seen2.emplace_back(r.data); });
+  EXPECT_EQ(reader.scan(), 3u);
+  EXPECT_EQ(seen1, (std::vector<std::string>{"a", "bb", "ccc"}));
+  EXPECT_EQ(seen1, seen2);
+}
+
+TEST(SharedScanReaderTest, PhysicalVsLogicalBytes) {
+  auto payload = std::make_shared<const std::string>(std::string(1000, 'x'));
+  SharedScanReader reader(payload);
+  for (int i = 0; i < 5; ++i) reader.add_consumer([](const Record&) {});
+  reader.scan();
+  EXPECT_EQ(reader.bytes_physical(), 1000u);
+  EXPECT_EQ(reader.bytes_logical(), 5000u);
+  EXPECT_EQ(reader.num_consumers(), 5u);
+}
+
+TEST(SplitFieldsTest, TpchRow) {
+  const auto fields = split_fields("1|22|333|4|", '|');
+  ASSERT_EQ(fields.size(), 5u);
+  EXPECT_EQ(fields[0], "1");
+  EXPECT_EQ(fields[2], "333");
+  EXPECT_EQ(fields[4], "");
+}
+
+}  // namespace
+}  // namespace s3::dfs

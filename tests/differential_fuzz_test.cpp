@@ -1,0 +1,120 @@
+// Differential fuzzing: randomized corpora, job mixes, arrival schedules and
+// segment sizes; every scheduler must produce byte-identical outputs for
+// every job, and the scan ledger must always balance (logical scans == jobs
+// x blocks).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "core/real_driver.h"
+#include "workloads/suite.h"
+#include "workloads/text_corpus.h"
+#include "workloads/wordcount.h"
+
+namespace s3 {
+namespace {
+
+struct FuzzWorld {
+  dfs::DfsNamespace ns;
+  dfs::BlockStore store;
+  cluster::Topology topology = cluster::Topology::uniform(3, 1);
+  sched::FileCatalog catalog;
+  FileId file;
+  std::uint64_t num_blocks = 0;
+  std::vector<core::RealJob> jobs;
+};
+
+std::map<std::string, std::string> to_map(const engine::JobResult& result) {
+  std::map<std::string, std::string> m;
+  for (const auto& kv : result.output) m[kv.key] = kv.value;
+  return m;
+}
+
+std::unique_ptr<FuzzWorld> make_world(Rng& rng) {
+  auto world_ptr = std::make_unique<FuzzWorld>();
+  FuzzWorld& world = *world_ptr;
+  world.num_blocks = 4 + rng.uniform_u64(10);
+  const ByteSize block_size =
+      ByteSize::kib(2 + rng.uniform_u64(6));
+
+  dfs::PlacementTopology ptopo;
+  for (const auto& n : world.topology.nodes()) {
+    ptopo.nodes.push_back({n.id, n.rack});
+  }
+  dfs::RoundRobinPlacement placement(ptopo);
+  workloads::TextCorpusOptions copts;
+  copts.seed = rng.next();
+  workloads::TextCorpusGenerator corpus(copts);
+  world.file = corpus
+                   .generate_file(world.ns, world.store, placement, "fuzz",
+                                  world.num_blocks, block_size)
+                   .value();
+  world.catalog.add(world.file, world.num_blocks);
+
+  const std::size_t num_jobs = 2 + rng.uniform_u64(3);
+  for (std::uint64_t j = 0; j < num_jobs; ++j) {
+    const std::string prefix(1, static_cast<char>('a' + rng.uniform_u64(6)));
+    core::RealJob job;
+    job.spec = workloads::make_wordcount_job(
+        JobId(j), world.file, prefix,
+        static_cast<std::uint32_t>(1 + rng.uniform_u64(4)),
+        /*with_combiner=*/rng.bernoulli(0.5));
+    job.arrival = rng.uniform(0.0, 3.0);
+    job.priority = static_cast<int>(rng.uniform_u64(3));
+    world.jobs.push_back(std::move(job));
+  }
+  return world_ptr;
+}
+
+TEST(DifferentialFuzzTest, AllSchedulersAgreeOnRandomWorkloads) {
+  Rng rng(20260704);
+  for (int trial = 0; trial < 6; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    const auto world_ptr = make_world(rng);
+    FuzzWorld& world = *world_ptr;
+    const std::uint64_t segment = 1 + rng.uniform_u64(world.num_blocks);
+
+    std::vector<std::map<std::string, std::string>> reference;
+    bool have_reference = false;
+    for (const char* scheme : {"fifo", "mrs3", "s3"}) {
+      std::unique_ptr<sched::Scheduler> scheduler;
+      if (scheme[0] == 'f') {
+        scheduler = workloads::make_fifo(world.catalog);
+      } else if (scheme[0] == 'm') {
+        scheduler = workloads::make_mrs3(world.catalog);
+      } else {
+        scheduler = workloads::make_s3(world.catalog, world.topology, segment);
+      }
+      engine::LocalEngine engine(world.ns, world.store, {3, 2});
+      core::RealDriver driver(world.ns, engine, world.catalog,
+                              {/*time_scale=*/1e5});
+      auto run = driver.run(*scheduler, world.jobs);
+      ASSERT_TRUE(run.is_ok()) << scheme << ": " << run.status();
+      const auto& result = run.value();
+
+      // The scan ledger must balance exactly.
+      EXPECT_EQ(result.scan.blocks_logical,
+                world.jobs.size() * world.num_blocks)
+          << scheme;
+      EXPECT_GE(result.scan.blocks_logical, result.scan.blocks_physical);
+
+      std::vector<std::map<std::string, std::string>> outputs;
+      for (std::uint64_t j = 0; j < world.jobs.size(); ++j) {
+        outputs.push_back(to_map(result.outputs.at(JobId(j))));
+      }
+      if (!have_reference) {
+        reference = std::move(outputs);
+        have_reference = true;
+      } else {
+        for (std::size_t j = 0; j < reference.size(); ++j) {
+          EXPECT_EQ(outputs[j], reference[j])
+              << scheme << " diverged on job " << j;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace s3

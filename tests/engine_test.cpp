@@ -1,0 +1,220 @@
+// Unit tests for the MapReduce engine internals: partitioning, shuffle,
+// map/reduce runners, shared-scan accounting.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "dfs/block_store.h"
+#include "engine/kv.h"
+#include "engine/map_runner.h"
+#include "engine/reduce_runner.h"
+#include "engine/shuffle.h"
+#include "workloads/wordcount.h"
+
+namespace s3::engine {
+namespace {
+
+TEST(PartitionTest, StableAndInRange) {
+  for (const std::uint32_t parts : {1u, 7u, 30u}) {
+    const auto p = partition_for_key("hello", parts);
+    EXPECT_LT(p, parts);
+    EXPECT_EQ(p, partition_for_key("hello", parts));  // deterministic
+  }
+}
+
+TEST(PartitionTest, SpreadsKeys) {
+  std::set<std::uint32_t> used;
+  for (int i = 0; i < 200; ++i) {
+    used.insert(partition_for_key("key" + std::to_string(i), 16));
+  }
+  EXPECT_GT(used.size(), 12u);
+}
+
+TEST(ShuffleStoreTest, AppendAndTake) {
+  ShuffleStore shuffle;
+  shuffle.register_job(JobId(0), 4);
+  shuffle.append(JobId(0), 1, {{"a", "1"}, {"b", "2"}});
+  shuffle.append(JobId(0), 1, {{"c", "3"}});
+  EXPECT_EQ(shuffle.pending_records(JobId(0)), 3u);
+  const auto records = shuffle.take(JobId(0), 1);
+  EXPECT_EQ(records.size(), 3u);
+  EXPECT_EQ(shuffle.pending_records(JobId(0)), 0u);
+  EXPECT_TRUE(shuffle.take(JobId(0), 1).empty());  // drained
+}
+
+TEST(ShuffleStoreTest, PartitionsIsolated) {
+  ShuffleStore shuffle;
+  shuffle.register_job(JobId(0), 2);
+  shuffle.append(JobId(0), 0, {{"a", "1"}});
+  shuffle.append(JobId(0), 1, {{"b", "2"}});
+  EXPECT_EQ(shuffle.take(JobId(0), 0).size(), 1u);
+  EXPECT_EQ(shuffle.take(JobId(0), 1).size(), 1u);
+}
+
+TEST(ShuffleStoreTest, JobsIsolated) {
+  ShuffleStore shuffle;
+  shuffle.register_job(JobId(0), 1);
+  shuffle.register_job(JobId(1), 1);
+  shuffle.append(JobId(0), 0, {{"a", "1"}});
+  EXPECT_TRUE(shuffle.take(JobId(1), 0).empty());
+  EXPECT_EQ(shuffle.take(JobId(0), 0).size(), 1u);
+  EXPECT_EQ(shuffle.partitions(JobId(1)), 1u);
+  shuffle.unregister_job(JobId(0));
+  shuffle.unregister_job(JobId(1));
+}
+
+TEST(SortAndGroupTest, GroupsSortedByKey) {
+  std::vector<KeyValue> records = {
+      {"b", "1"}, {"a", "2"}, {"b", "3"}, {"c", "4"}, {"a", "5"}};
+  std::vector<std::string> keys;
+  std::vector<std::size_t> sizes;
+  const auto groups = sort_and_group(
+      std::move(records),
+      [&](const std::string& key, const std::vector<std::string>& values) {
+        keys.push_back(key);
+        sizes.push_back(values.size());
+      });
+  EXPECT_EQ(groups, 3u);
+  EXPECT_EQ(keys, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{2, 2, 1}));
+}
+
+TEST(SortAndGroupTest, Empty) {
+  EXPECT_EQ(sort_and_group({}, [](const std::string&,
+                                  const std::vector<std::string>&) {
+              FAIL() << "no groups expected";
+            }),
+            0u);
+}
+
+class MapReduceRunnerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(store_.put(BlockId(0), "the cat\nthe dog\n").is_ok());
+    ASSERT_TRUE(store_.put(BlockId(1), "the cow\nthat duck\n").is_ok());
+  }
+
+  JobSpec wordcount_spec(JobId id, const std::string& prefix,
+                         std::uint32_t reducers = 2) {
+    return workloads::make_wordcount_job(id, FileId(0), prefix, reducers);
+  }
+
+  dfs::BlockStore store_;
+  dfs::StoredBlocks source_{store_};
+  ShuffleStore shuffle_;
+};
+
+TEST_F(MapReduceRunnerTest, SingleJobSingleBlock) {
+  const JobSpec spec = wordcount_spec(JobId(0), "the");
+  shuffle_.register_job(spec.id, spec.num_reduce_tasks);
+  MapRunner runner(source_, shuffle_);
+
+  MapTaskSpec task;
+  task.id = TaskId(0);
+  task.block = BlockId(0);
+  task.jobs = {&spec};
+  auto outcome = runner.run(task);
+  ASSERT_TRUE(outcome.is_ok());
+  const auto& counters = outcome.value().per_job.at(spec.id);
+  EXPECT_EQ(counters.map_input_records, 2u);
+  EXPECT_EQ(counters.map_output_records, 2u);  // "the" twice
+  EXPECT_EQ(counters.map_tasks, 1u);
+  EXPECT_EQ(outcome.value().scan.blocks_physical, 1u);
+  EXPECT_EQ(outcome.value().scan.blocks_logical, 1u);
+}
+
+TEST_F(MapReduceRunnerTest, MergedScanReadsOncePerBlock) {
+  const JobSpec a = wordcount_spec(JobId(0), "the");
+  const JobSpec b = wordcount_spec(JobId(1), "that");
+  shuffle_.register_job(a.id, a.num_reduce_tasks);
+  shuffle_.register_job(b.id, b.num_reduce_tasks);
+  MapRunner runner(source_, shuffle_);
+
+  MapTaskSpec task;
+  task.id = TaskId(0);
+  task.block = BlockId(1);
+  task.jobs = {&a, &b};
+  auto outcome = runner.run(task);
+  ASSERT_TRUE(outcome.is_ok());
+  EXPECT_EQ(outcome.value().scan.blocks_physical, 1u);
+  EXPECT_EQ(outcome.value().scan.blocks_logical, 2u);
+  EXPECT_EQ(outcome.value().per_job.at(a.id).map_output_records, 1u);  // "the cow" -> the
+  EXPECT_EQ(outcome.value().per_job.at(b.id).map_output_records, 1u);  // "that duck" -> that
+}
+
+TEST_F(MapReduceRunnerTest, MissingBlockFails) {
+  const JobSpec spec = wordcount_spec(JobId(0), "x");
+  shuffle_.register_job(spec.id, spec.num_reduce_tasks);
+  MapRunner runner(source_, shuffle_);
+  MapTaskSpec task;
+  task.id = TaskId(0);
+  task.block = BlockId(99);
+  task.jobs = {&spec};
+  EXPECT_FALSE(runner.run(task).is_ok());
+}
+
+TEST_F(MapReduceRunnerTest, NoJobsRejected) {
+  MapRunner runner(source_, shuffle_);
+  MapTaskSpec task;
+  task.id = TaskId(0);
+  task.block = BlockId(0);
+  EXPECT_EQ(runner.run(task).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(MapReduceRunnerTest, ReduceAggregatesAcrossBlocks) {
+  const JobSpec spec = wordcount_spec(JobId(0), "the", 1);
+  shuffle_.register_job(spec.id, 1);
+  MapRunner map_runner(source_, shuffle_);
+  for (std::uint64_t b = 0; b < 2; ++b) {
+    MapTaskSpec task;
+    task.id = TaskId(b);
+    task.block = BlockId(b);
+    task.jobs = {&spec};
+    ASSERT_TRUE(map_runner.run(task).is_ok());
+  }
+  ReduceRunner reduce_runner(shuffle_);
+  ReduceTaskSpec rtask;
+  rtask.id = TaskId(10);
+  rtask.job = &spec;
+  rtask.partition = 0;
+  auto outcome = reduce_runner.run(rtask);
+  ASSERT_TRUE(outcome.is_ok());
+  // "the" appears 3 times across the two blocks.
+  ASSERT_EQ(outcome.value().output.size(), 1u);
+  EXPECT_EQ(outcome.value().output[0].key, "the");
+  EXPECT_EQ(outcome.value().output[0].value, "3");
+  EXPECT_EQ(outcome.value().counters.reduce_input_groups, 1u);
+}
+
+TEST_F(MapReduceRunnerTest, CombinerShrinksMapOutput) {
+  JobSpec with = wordcount_spec(JobId(0), "the", 1);
+  JobSpec without = wordcount_spec(JobId(1), "the", 1);
+  without.combiner_factory = nullptr;
+  shuffle_.register_job(with.id, 1);
+  shuffle_.register_job(without.id, 1);
+  MapRunner runner(source_, shuffle_);
+  MapTaskSpec task;
+  task.id = TaskId(0);
+  task.block = BlockId(0);  // "the" twice in one block
+  task.jobs = {&with, &without};
+  auto outcome = runner.run(task);
+  ASSERT_TRUE(outcome.is_ok());
+  EXPECT_EQ(outcome.value().per_job.at(with.id).combine_output_records, 1u);
+  EXPECT_EQ(shuffle_.pending_records(with.id), 1u);     // combined
+  EXPECT_EQ(shuffle_.pending_records(without.id), 2u);  // raw
+}
+
+TEST_F(MapReduceRunnerTest, ReducePartitionOutOfRange) {
+  const JobSpec spec = wordcount_spec(JobId(0), "the", 2);
+  shuffle_.register_job(spec.id, 2);
+  ReduceRunner runner(shuffle_);
+  ReduceTaskSpec task;
+  task.id = TaskId(0);
+  task.job = &spec;
+  task.partition = 5;
+  EXPECT_EQ(runner.run(task).status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace s3::engine

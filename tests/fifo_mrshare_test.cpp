@@ -1,0 +1,190 @@
+// Tests for the baseline schedulers: Hadoop FIFO and MRShare batching.
+#include <gtest/gtest.h>
+
+#include "sched/fifo.h"
+#include "sched/mrshare.h"
+
+namespace s3::sched {
+namespace {
+
+FileCatalog one_file_catalog(std::uint64_t blocks = 100) {
+  FileCatalog catalog;
+  catalog.add(FileId(0), blocks);
+  return catalog;
+}
+
+constexpr ClusterStatus kStatus{40, 40};
+
+TEST(FifoTest, RunsJobsInArrivalOrder) {
+  const auto catalog = one_file_catalog();
+  FifoScheduler fifo(catalog);
+  fifo.on_job_arrival({JobId(0), FileId(0), 0}, 0.0);
+  fifo.on_job_arrival({JobId(1), FileId(0), 0}, 1.0);
+  EXPECT_EQ(fifo.pending_jobs(), 2u);
+
+  auto first = fifo.next_batch(1.0, kStatus);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_EQ(first->members.size(), 1u);
+  EXPECT_EQ(first->members[0].job, JobId(0));
+  EXPECT_TRUE(first->members[0].completes);
+  EXPECT_EQ(first->num_blocks, 100u);
+  EXPECT_EQ(first->start_block, 0u);
+
+  // One batch at a time.
+  EXPECT_FALSE(fifo.next_batch(2.0, kStatus).has_value());
+  fifo.on_batch_complete(first->id, 10.0);
+  auto second = fifo.next_batch(10.0, kStatus);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->members[0].job, JobId(1));
+  fifo.on_batch_complete(second->id, 20.0);
+  EXPECT_EQ(fifo.pending_jobs(), 0u);
+}
+
+TEST(FifoTest, PriorityBeatsArrivalOrder) {
+  const auto catalog = one_file_catalog();
+  FifoScheduler fifo(catalog);
+  fifo.on_job_arrival({JobId(0), FileId(0), 0}, 0.0);
+  fifo.on_job_arrival({JobId(1), FileId(0), 5}, 1.0);   // higher priority
+  fifo.on_job_arrival({JobId(2), FileId(0), 5}, 2.0);   // same, later
+  std::vector<JobId> order;
+  while (fifo.pending_jobs() > 0) {
+    auto batch = fifo.next_batch(10.0, kStatus);
+    ASSERT_TRUE(batch.has_value());
+    order.push_back(batch->members[0].job);
+    fifo.on_batch_complete(batch->id, 10.0);
+  }
+  EXPECT_EQ(order, (std::vector<JobId>{JobId(1), JobId(2), JobId(0)}));
+}
+
+TEST(FifoTest, EmptyQueueYieldsNothing) {
+  const auto catalog = one_file_catalog();
+  FifoScheduler fifo(catalog);
+  EXPECT_FALSE(fifo.next_batch(0.0, kStatus).has_value());
+  EXPECT_EQ(fifo.pending_jobs(), 0u);
+}
+
+TEST(MRShareTest, SingleBatchWaitsForFlush) {
+  const auto catalog = one_file_catalog();
+  MRShareScheduler mrs(catalog, SingleBatch{}, "MRS1");
+  mrs.on_job_arrival({JobId(0), FileId(0), 0}, 0.0);
+  mrs.on_job_arrival({JobId(1), FileId(0), 0}, 5.0);
+  // SingleBatch keeps accumulating until told no more jobs will come.
+  EXPECT_FALSE(mrs.next_batch(5.0, kStatus).has_value());
+  EXPECT_EQ(mrs.pending_jobs(), 2u);
+  mrs.flush(6.0);
+  auto batch = mrs.next_batch(6.0, kStatus);
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->members.size(), 2u);
+  EXPECT_EQ(batch->num_blocks, 100u);
+  for (const auto& m : batch->members) EXPECT_TRUE(m.completes);
+  mrs.on_batch_complete(batch->id, 50.0);
+  EXPECT_EQ(mrs.pending_jobs(), 0u);
+}
+
+TEST(MRShareTest, FixedGroupsReleaseWhenFull) {
+  const auto catalog = one_file_catalog();
+  MRShareScheduler mrs(catalog, FixedGroups{{2, 3}}, "MRS");
+  mrs.on_job_arrival({JobId(0), FileId(0), 0}, 0.0);
+  EXPECT_FALSE(mrs.next_batch(0.0, kStatus).has_value());
+  mrs.on_job_arrival({JobId(1), FileId(0), 0}, 1.0);
+  auto batch = mrs.next_batch(1.0, kStatus);
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->members.size(), 2u);
+
+  // Second group needs 3 jobs; two are not enough.
+  mrs.on_job_arrival({JobId(2), FileId(0), 0}, 2.0);
+  mrs.on_job_arrival({JobId(3), FileId(0), 0}, 3.0);
+  mrs.on_batch_complete(batch->id, 10.0);
+  EXPECT_FALSE(mrs.next_batch(10.0, kStatus).has_value());
+  mrs.on_job_arrival({JobId(4), FileId(0), 0}, 11.0);
+  auto second = mrs.next_batch(11.0, kStatus);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->members.size(), 3u);
+}
+
+TEST(MRShareTest, FixedGroupsCycle) {
+  const auto catalog = one_file_catalog();
+  MRShareScheduler mrs(catalog, FixedGroups{{2}}, "MRS");
+  for (std::uint64_t j = 0; j < 6; ++j) {
+    mrs.on_job_arrival({JobId(j), FileId(0), 0}, static_cast<double>(j));
+  }
+  int batches = 0;
+  while (auto batch = mrs.next_batch(10.0, kStatus)) {
+    EXPECT_EQ(batch->members.size(), 2u);
+    mrs.on_batch_complete(batch->id, 10.0);
+    ++batches;
+  }
+  EXPECT_EQ(batches, 3);
+}
+
+TEST(MRShareTest, FlushReleasesPartialGroup) {
+  const auto catalog = one_file_catalog();
+  MRShareScheduler mrs(catalog, FixedGroups{{5}}, "MRS");
+  mrs.on_job_arrival({JobId(0), FileId(0), 0}, 0.0);
+  mrs.on_job_arrival({JobId(1), FileId(0), 0}, 1.0);
+  EXPECT_FALSE(mrs.next_batch(1.0, kStatus).has_value());
+  mrs.flush(2.0);
+  auto batch = mrs.next_batch(2.0, kStatus);
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->members.size(), 2u);
+}
+
+TEST(MRShareTest, TimeWindowReleasesOnDeadline) {
+  const auto catalog = one_file_catalog();
+  MRShareScheduler mrs(catalog, TimeWindow{10.0}, "MRS-W");
+  mrs.on_job_arrival({JobId(0), FileId(0), 0}, 0.0);
+  mrs.on_job_arrival({JobId(1), FileId(0), 0}, 4.0);
+  EXPECT_FALSE(mrs.next_batch(5.0, kStatus).has_value());
+  const auto wake = mrs.next_decision_time();
+  ASSERT_TRUE(wake.has_value());
+  EXPECT_DOUBLE_EQ(*wake, 10.0);  // window opened at the first arrival
+  auto batch = mrs.next_batch(10.0, kStatus);
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->members.size(), 2u);
+  EXPECT_FALSE(mrs.next_decision_time().has_value());
+}
+
+TEST(MRShareTest, TimeWindowSeparatesDistantJobs) {
+  const auto catalog = one_file_catalog();
+  MRShareScheduler mrs(catalog, TimeWindow{10.0}, "MRS-W");
+  mrs.on_job_arrival({JobId(0), FileId(0), 0}, 0.0);
+  auto first = mrs.next_batch(10.0, kStatus);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->members.size(), 1u);
+  mrs.on_batch_complete(first->id, 12.0);
+  mrs.on_job_arrival({JobId(1), FileId(0), 0}, 30.0);
+  auto second = mrs.next_batch(40.0, kStatus);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->members.size(), 1u);
+}
+
+TEST(MRShareTest, GroupsArePerFile) {
+  FileCatalog catalog;
+  catalog.add(FileId(0), 10);
+  catalog.add(FileId(1), 20);
+  MRShareScheduler mrs(catalog, FixedGroups{{2}}, "MRS");
+  mrs.on_job_arrival({JobId(0), FileId(0), 0}, 0.0);
+  mrs.on_job_arrival({JobId(1), FileId(1), 0}, 0.0);
+  // Neither file's group is full: jobs on different files never merge.
+  EXPECT_FALSE(mrs.next_batch(1.0, kStatus).has_value());
+  mrs.on_job_arrival({JobId(2), FileId(0), 0}, 1.0);
+  auto batch = mrs.next_batch(1.0, kStatus);
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->file, FileId(0));
+  EXPECT_EQ(batch->num_blocks, 10u);
+}
+
+TEST(MRShareTest, OneBatchAtATime) {
+  const auto catalog = one_file_catalog();
+  MRShareScheduler mrs(catalog, FixedGroups{{1}}, "MRS");
+  mrs.on_job_arrival({JobId(0), FileId(0), 0}, 0.0);
+  mrs.on_job_arrival({JobId(1), FileId(0), 0}, 0.0);
+  auto batch = mrs.next_batch(0.0, kStatus);
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_FALSE(mrs.next_batch(0.0, kStatus).has_value());
+  mrs.on_batch_complete(batch->id, 1.0);
+  EXPECT_TRUE(mrs.next_batch(1.0, kStatus).has_value());
+}
+
+}  // namespace
+}  // namespace s3::sched

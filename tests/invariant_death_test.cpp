@@ -1,0 +1,62 @@
+// Death tests: the S3_CHECK invariants that guard scheduler correctness must
+// abort loudly rather than let a corrupted experiment run to completion.
+#include <gtest/gtest.h>
+
+#include "dfs/segment.h"
+#include "metrics/metrics.h"
+#include "sched/job_queue_manager.h"
+
+namespace s3 {
+namespace {
+
+using sched::JobQueueManager;
+
+TEST(JqmDeathTest, SecondBatchWhileInFlightAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  JobQueueManager jqm(FileId(0), 8);
+  jqm.admit(JobId(0));
+  const auto batch = jqm.form_batch(BatchId(0), 4);
+  (void)batch;
+  EXPECT_DEATH((void)jqm.form_batch(BatchId(1), 4), "batch already in flight");
+}
+
+TEST(JqmDeathTest, CompleteWithoutBatchAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  JobQueueManager jqm(FileId(0), 8);
+  jqm.admit(JobId(0));
+  EXPECT_DEATH(jqm.complete_batch(), "complete_batch with none in flight");
+}
+
+TEST(JqmDeathTest, DoubleAdmitAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  JobQueueManager jqm(FileId(0), 8);
+  jqm.admit(JobId(0));
+  EXPECT_DEATH(jqm.admit(JobId(0)), "admitted twice");
+}
+
+TEST(SegmentDeathTest, EmptyFileAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  dfs::DfsNamespace ns;
+  const FileId file = ns.create_file("empty", ByteSize::kib(1)).value();
+  EXPECT_DEATH(dfs::SegmentMap(ns.file(file), 4),
+               "cannot segment an empty file");
+}
+
+TEST(MetricsDeathTest, DoubleCompletionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  metrics::JobTimeline timeline;
+  timeline.on_submitted(JobId(0), 0.0);
+  timeline.on_completed(JobId(0), 1.0);
+  EXPECT_DEATH(timeline.on_completed(JobId(0), 2.0), "completed twice");
+}
+
+TEST(MetricsDeathTest, SummarizeIncompleteAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  metrics::JobTimeline timeline;
+  timeline.on_submitted(JobId(0), 0.0);
+  EXPECT_DEATH((void)metrics::summarize(timeline),
+               "requires all jobs complete");
+}
+
+}  // namespace
+}  // namespace s3

@@ -1,0 +1,244 @@
+// Tests for the Job Queue Manager — Algorithm 1 — including parameterized
+// property sweeps of its invariants (every job scans every block exactly
+// once, regardless of arrival alignment, wave size or membership caps).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "common/rng.h"
+#include "sched/job_queue_manager.h"
+#include "sched/segment_planner.h"
+
+namespace s3::sched {
+namespace {
+
+TEST(SegmentPlannerTest, FixedModeFollowsSegmentTable) {
+  SegmentPlanner planner(WaveSizing::kFixedSegments, 4);
+  EXPECT_EQ(planner.num_segments(10), 3u);
+  EXPECT_EQ(planner.next_wave(10, 0, 40, 40), 4u);
+  EXPECT_EQ(planner.next_wave(10, 4, 40, 40), 4u);
+  EXPECT_EQ(planner.next_wave(10, 8, 40, 40), 2u);  // short final segment
+}
+
+TEST(SegmentPlannerTest, DynamicModeRescalesSegmentToUsableSlots) {
+  SegmentPlanner planner(WaveSizing::kDynamicSlots, 320);
+  // All 40 slots usable: the full nominal segment.
+  EXPECT_EQ(planner.next_wave(2560, 0, 40, 40), 320u);
+  // 34 of 40 usable: same number of whole waves on the smaller cluster.
+  EXPECT_EQ(planner.next_wave(2560, 0, 34, 40), 272u);
+  // Degenerate inputs stay sane.
+  EXPECT_EQ(planner.next_wave(2560, 0, 0, 40), 8u);   // >= 1 slot assumed
+  EXPECT_EQ(planner.next_wave(100, 0, 40, 40), 100u);  // capped at file size
+}
+
+TEST(JqmTest, SingleJobFullCycle) {
+  JobQueueManager jqm(FileId(0), 10);
+  jqm.admit(JobId(0));
+  EXPECT_EQ(jqm.remaining(JobId(0)), 10u);
+
+  std::uint64_t total = 0;
+  std::uint64_t batches = 0;
+  while (!jqm.empty()) {
+    const Batch batch = jqm.form_batch(BatchId(batches++), 4);
+    ASSERT_EQ(batch.members.size(), 1u);
+    total += batch.members[0].blocks;
+    jqm.complete_batch();
+  }
+  EXPECT_EQ(total, 10u);
+  EXPECT_EQ(batches, 3u);  // 4 + 4 + 2
+}
+
+TEST(JqmTest, CompletesFlagOnFinalWave) {
+  JobQueueManager jqm(FileId(0), 8);
+  jqm.admit(JobId(0));
+  Batch b1 = jqm.form_batch(BatchId(0), 4);
+  EXPECT_FALSE(b1.members[0].completes);
+  jqm.complete_batch();
+  Batch b2 = jqm.form_batch(BatchId(1), 4);
+  EXPECT_TRUE(b2.members[0].completes);
+  const auto done = jqm.complete_batch();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0], JobId(0));
+  EXPECT_TRUE(jqm.empty());
+}
+
+TEST(JqmTest, ArrivalDuringBatchStartsAtNextWave) {
+  JobQueueManager jqm(FileId(0), 12);
+  jqm.admit(JobId(0));
+  const Batch b0 = jqm.form_batch(BatchId(0), 4);  // covers [0, 4)
+  EXPECT_EQ(b0.start_block, 0u);
+  // Job 1 arrives while the batch runs: it must start at block 4.
+  jqm.admit(JobId(1));
+  EXPECT_EQ(jqm.cursor(), 4u);
+  jqm.complete_batch();
+
+  const Batch b1 = jqm.form_batch(BatchId(1), 4);  // [4, 8)
+  ASSERT_EQ(b1.members.size(), 2u);  // aligned: both jobs join
+  for (const auto& m : b1.members) EXPECT_EQ(m.blocks, 4u);
+  jqm.complete_batch();
+  EXPECT_EQ(jqm.remaining(JobId(0)), 4u);
+  EXPECT_EQ(jqm.remaining(JobId(1)), 8u);
+}
+
+TEST(JqmTest, CircularWrapAround) {
+  JobQueueManager jqm(FileId(0), 8);
+  jqm.admit(JobId(0));
+  jqm.form_batch(BatchId(0), 4);
+  jqm.admit(JobId(1));  // starts at block 4
+  jqm.complete_batch();
+  jqm.form_batch(BatchId(1), 4);  // [4, 8): finishes job 0
+  auto done = jqm.complete_batch();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0], JobId(0));
+  EXPECT_EQ(jqm.cursor(), 0u);  // wrapped
+
+  // Job 1 still needs [0, 4).
+  const Batch b2 = jqm.form_batch(BatchId(2), 4);
+  EXPECT_EQ(b2.start_block, 0u);
+  ASSERT_EQ(b2.members.size(), 1u);
+  EXPECT_TRUE(b2.members[0].completes);
+  done = jqm.complete_batch();
+  EXPECT_EQ(done[0], JobId(1));
+  EXPECT_TRUE(jqm.empty());
+}
+
+TEST(JqmTest, PartialFinalWaveUnderDynamicSizing) {
+  JobQueueManager jqm(FileId(0), 10);
+  jqm.admit(JobId(0));
+  jqm.form_batch(BatchId(0), 7);
+  jqm.complete_batch();
+  const Batch b = jqm.form_batch(BatchId(1), 7);  // job needs only 3 more
+  ASSERT_EQ(b.members.size(), 1u);
+  EXPECT_EQ(b.members[0].blocks, 3u);
+  EXPECT_TRUE(b.members[0].completes);
+  jqm.complete_batch();
+  EXPECT_TRUE(jqm.empty());
+}
+
+TEST(JqmTest, MembershipCapPrefersPriorityThenArrival) {
+  JobQueueManager jqm(FileId(0), 8);
+  jqm.admit(JobId(0), /*priority=*/0);
+  jqm.admit(JobId(1), /*priority=*/5);
+  jqm.admit(JobId(2), /*priority=*/5);
+  const Batch b = jqm.form_batch(BatchId(0), 4, /*max_members=*/2);
+  ASSERT_EQ(b.members.size(), 2u);
+  EXPECT_EQ(b.members[0].job, JobId(1));
+  EXPECT_EQ(b.members[1].job, JobId(2));
+  jqm.complete_batch();
+  EXPECT_EQ(jqm.remaining(JobId(0)), 8u);  // skipped, untouched
+}
+
+TEST(JqmTest, SkippedJobRejoinsAfterWrap) {
+  JobQueueManager jqm(FileId(0), 8);
+  jqm.admit(JobId(0), 1);
+  jqm.admit(JobId(1), 0);
+  // Cap to 1 member: job 0 wins every wave; job 1 waits for the wrap.
+  std::map<std::uint64_t, std::uint64_t> blocks_seen;  // job -> blocks
+  std::uint64_t batches = 0;
+  while (!jqm.empty()) {
+    ASSERT_LT(batches, 20u) << "runaway";
+    const Batch b = jqm.form_batch(BatchId(batches++), 4, 1);
+    for (const auto& m : b.members) blocks_seen[m.job.value()] += m.blocks;
+    jqm.complete_batch();
+  }
+  EXPECT_EQ(blocks_seen[0], 8u);
+  EXPECT_EQ(blocks_seen[1], 8u);
+}
+
+// ----- Property sweep: coverage invariant under many configurations. -----
+
+struct JqmPropertyParam {
+  std::uint64_t file_blocks;
+  std::uint64_t wave;
+  std::size_t num_jobs;
+  std::size_t max_members;  // 0 = uncapped
+  std::uint64_t arrival_stride;  // admit a new job every N batches
+};
+
+class JqmPropertyTest : public ::testing::TestWithParam<JqmPropertyParam> {};
+
+TEST_P(JqmPropertyTest, EveryJobScansWholeFileExactlyOnce) {
+  const auto p = GetParam();
+  JobQueueManager jqm(FileId(0), p.file_blocks);
+
+  std::map<std::uint64_t, std::uint64_t> consumed;  // job -> blocks
+  // Per job, per block index: how often it was scanned for that job.
+  std::map<std::uint64_t, std::map<std::uint64_t, int>> coverage;
+
+  std::size_t admitted = 0;
+  jqm.admit(JobId(admitted++));
+  std::uint64_t batches = 0;
+  const std::uint64_t guard =
+      (p.file_blocks / p.wave + 2) * (p.num_jobs + 1) * 4 + 64;
+  while (!jqm.empty()) {
+    ASSERT_LT(batches, guard) << "runaway batch loop";
+    const Batch b = jqm.form_batch(BatchId(batches), p.wave, p.max_members);
+    // Admit more jobs mid-flight on the given stride.
+    if (admitted < p.num_jobs && batches % p.arrival_stride == 0) {
+      jqm.admit(JobId(admitted++));
+    }
+    for (const auto& m : b.members) {
+      consumed[m.job.value()] += m.blocks;
+      for (std::uint64_t i = 0; i < m.blocks; ++i) {
+        ++coverage[m.job.value()][(b.start_block + i) % p.file_blocks];
+      }
+    }
+    jqm.complete_batch();
+    ++batches;
+  }
+  ASSERT_EQ(admitted, p.num_jobs);  // all jobs were admitted
+  ASSERT_EQ(consumed.size(), p.num_jobs);
+  for (const auto& [job, blocks] : consumed) {
+    EXPECT_EQ(blocks, p.file_blocks) << "job " << job;
+    EXPECT_EQ(coverage[job].size(), p.file_blocks) << "job " << job;
+    for (const auto& [block, count] : coverage[job]) {
+      EXPECT_EQ(count, 1) << "job " << job << " block " << block;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, JqmPropertyTest,
+    ::testing::Values(
+        JqmPropertyParam{10, 5, 1, 0, 1},    // single job, even waves
+        JqmPropertyParam{10, 3, 1, 0, 1},    // waves don't divide the file
+        JqmPropertyParam{1, 1, 3, 0, 1},     // degenerate one-block file
+        JqmPropertyParam{16, 4, 4, 0, 1},    // job per batch
+        JqmPropertyParam{16, 4, 4, 0, 2},    // staggered arrivals
+        JqmPropertyParam{24, 8, 6, 0, 1},    // many jobs
+        JqmPropertyParam{24, 5, 6, 0, 1},    // misaligned waves, many jobs
+        JqmPropertyParam{16, 4, 4, 2, 1},    // capped membership
+        JqmPropertyParam{20, 6, 5, 1, 1},    // heavily capped, misaligned
+        JqmPropertyParam{64, 16, 10, 3, 2},  // paper-ish scale
+        JqmPropertyParam{2560, 320, 10, 0, 1}));  // full paper scale
+
+TEST(JqmPropertyTest, RandomizedWaveSizes) {
+  // Dynamic wave sizing: waves vary each batch; the coverage invariant must
+  // still hold for late-arriving jobs with partial final waves.
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::uint64_t file_blocks = 20 + rng.uniform_u64(60);
+    JobQueueManager jqm(FileId(0), file_blocks);
+    std::map<std::uint64_t, std::uint64_t> consumed;
+    std::size_t admitted = 0;
+    const std::size_t jobs = 1 + rng.uniform_u64(5);
+    jqm.admit(JobId(admitted++));
+    std::uint64_t batches = 0;
+    while (!jqm.empty()) {
+      ASSERT_LT(batches, 4000u);
+      const std::uint64_t wave = 1 + rng.uniform_u64(file_blocks);
+      const Batch b = jqm.form_batch(BatchId(batches++), wave);
+      if (admitted < jobs && rng.bernoulli(0.4)) jqm.admit(JobId(admitted++));
+      for (const auto& m : b.members) consumed[m.job.value()] += m.blocks;
+      jqm.complete_batch();
+    }
+    for (const auto& [job, blocks] : consumed) {
+      EXPECT_EQ(blocks, file_blocks) << "trial " << trial << " job " << job;
+    }
+    EXPECT_EQ(consumed.size(), admitted);
+  }
+}
+
+}  // namespace
+}  // namespace s3::sched

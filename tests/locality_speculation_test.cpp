@@ -1,0 +1,130 @@
+// Tests for the simulator's data-locality and speculative-execution models
+// (the two Hadoop mechanisms the paper's §V-A explicitly configures).
+#include <gtest/gtest.h>
+
+#include "cluster/topology.h"
+#include "sim/cost_model.h"
+
+namespace s3::sim {
+namespace {
+
+sched::Batch whole_wave(std::uint64_t start, std::uint64_t blocks) {
+  sched::Batch batch;
+  batch.id = BatchId(0);
+  batch.file = FileId(0);
+  batch.start_block = start;
+  batch.num_blocks = blocks;
+  batch.members.push_back({JobId(0), blocks, true});
+  return batch;
+}
+
+std::unordered_map<JobId, WorkloadCost> normal_cost() {
+  return {{JobId(0), WorkloadCost::wordcount_normal()}};
+}
+
+TEST(LocalityTest, AlignedWavesAreFullyLocal) {
+  const auto topology = cluster::Topology::paper_cluster();
+  CostModel model(CostModelParams::paper(), topology);
+  // 320 blocks starting at 0 over 40 nodes: exactly 8 per node, all local.
+  const auto cost = model.batch_cost(whole_wave(0, 320), normal_cost(), {},
+                                     nullptr);
+  for (const auto& task : cost.map_tasks) {
+    EXPECT_TRUE(task.local);
+    EXPECT_EQ(task.node.value(), task.block_offset % 40);
+  }
+}
+
+TEST(LocalityTest, ExcludedReplicaForcesRemoteReads) {
+  const auto topology = cluster::Topology::paper_cluster();
+  CostModel model(CostModelParams::paper(), topology);
+  // Exclude node 0: its 8 blocks must be read remotely somewhere else.
+  const auto cost = model.batch_cost(whole_wave(0, 320), normal_cost(),
+                                     {NodeId(0)}, nullptr);
+  int remote = 0;
+  for (const auto& task : cost.map_tasks) {
+    EXPECT_NE(task.node, NodeId(0));
+    remote += task.local ? 0 : 1;
+  }
+  EXPECT_EQ(remote, 8);
+}
+
+TEST(LocalityTest, RemoteReadsSlowTheWave) {
+  const auto topology = cluster::Topology::paper_cluster();
+  CostModelParams params = CostModelParams::paper();
+  CostModel with(params, topology);
+  params.model_locality = false;
+  CostModel without(params, topology);
+  const auto cost_with = with.batch_cost(whole_wave(0, 320), normal_cost(),
+                                         {NodeId(0)}, nullptr);
+  const auto cost_without = without.batch_cost(whole_wave(0, 320),
+                                               normal_cost(), {NodeId(0)},
+                                               nullptr);
+  EXPECT_GT(cost_with.map_phase, cost_without.map_phase);
+}
+
+TEST(LocalityTest, DelayRuleWaitsForBusyReplica) {
+  // A 2-node cluster and 4 consecutive blocks: blocks 0,2 live on node 0 and
+  // 1,3 on node 1; with enforce_locality every task should stay local.
+  const auto topology = cluster::Topology::uniform(2, 1);
+  CostModel model(CostModelParams::paper(), topology);
+  const auto cost = model.batch_cost(whole_wave(0, 4), normal_cost(), {},
+                                     nullptr);
+  for (const auto& task : cost.map_tasks) {
+    EXPECT_TRUE(task.local);
+    EXPECT_EQ(task.node.value(), task.block_offset % 2);
+  }
+}
+
+TEST(LocalityTest, GreedyModeTradesLocalityForSlots) {
+  // Without enforce_locality a free remote slot is taken immediately: on a
+  // 2-node cluster with node 0 slowed 3x, the scheduler drains blocks onto
+  // the fast node even when their replica sits on the slow one.
+  const auto topology = cluster::Topology::uniform(2, 1);
+  CostModelParams params = CostModelParams::paper();
+  params.enforce_locality = false;
+  CostModel model(params, topology);
+  const auto slow0 = [](NodeId n) { return n == NodeId(0) ? 3.0 : 1.0; };
+  const auto cost = model.batch_cost(whole_wave(0, 6), normal_cost(), {},
+                                     slow0);
+  int remote = 0;
+  for (const auto& task : cost.map_tasks) remote += task.local ? 0 : 1;
+  EXPECT_GE(remote, 1);
+}
+
+TEST(SpeculationTest, DisabledByDefaultMatchesPaperConfig) {
+  EXPECT_FALSE(CostModelParams::paper().speculative_execution);
+}
+
+TEST(SpeculationTest, BackupBeatsStraggler) {
+  const auto topology = cluster::Topology::uniform(4, 1);
+  CostModelParams params = CostModelParams::paper();
+  params.speculative_execution = true;
+  params.speculative_threshold = 2.0;
+  CostModel with(params, topology);
+  params.speculative_execution = false;
+  CostModel without(params, topology);
+
+  // Node 3 is 10x slow; one wave of 4 blocks.
+  const auto slow = [](NodeId n) { return n == NodeId(3) ? 10.0 : 1.0; };
+  const auto speculated =
+      with.batch_cost(whole_wave(0, 4), normal_cost(), {}, slow);
+  const auto plain =
+      without.batch_cost(whole_wave(0, 4), normal_cost(), {}, slow);
+  EXPECT_LT(speculated.map_phase, plain.map_phase);
+  int backups = 0;
+  for (const auto& task : speculated.map_tasks) backups += task.speculated;
+  EXPECT_EQ(backups, 1);
+}
+
+TEST(SpeculationTest, NoBackupsOnHomogeneousCluster) {
+  const auto topology = cluster::Topology::paper_cluster();
+  CostModelParams params = CostModelParams::paper();
+  params.speculative_execution = true;
+  CostModel model(params, topology);
+  const auto cost = model.batch_cost(whole_wave(0, 320), normal_cost(), {},
+                                     nullptr);
+  for (const auto& task : cost.map_tasks) EXPECT_FALSE(task.speculated);
+}
+
+}  // namespace
+}  // namespace s3::sim

@@ -1,0 +1,152 @@
+// Tests for the TET/ART metrics and the report writers.
+#include <gtest/gtest.h>
+
+#include "metrics/jsonl.h"
+#include "metrics/metrics.h"
+#include "metrics/report.h"
+
+namespace s3::metrics {
+namespace {
+
+TEST(JobTimelineTest, BasicLifecycle) {
+  JobTimeline timeline;
+  timeline.on_submitted(JobId(0), 5.0);
+  timeline.on_first_started(JobId(0), 8.0);
+  timeline.on_completed(JobId(0), 20.0);
+  const auto& r = timeline.record(JobId(0));
+  EXPECT_TRUE(r.done());
+  EXPECT_DOUBLE_EQ(r.response_time(), 15.0);
+  EXPECT_DOUBLE_EQ(r.waiting_time(), 3.0);
+  EXPECT_TRUE(timeline.all_done());
+}
+
+TEST(JobTimelineTest, FirstStartIdempotent) {
+  JobTimeline timeline;
+  timeline.on_submitted(JobId(0), 0.0);
+  timeline.on_first_started(JobId(0), 2.0);
+  timeline.on_first_started(JobId(0), 9.0);  // later batches ignored
+  timeline.on_completed(JobId(0), 10.0);
+  EXPECT_DOUBLE_EQ(timeline.record(JobId(0)).waiting_time(), 2.0);
+}
+
+TEST(JobTimelineTest, CompletionWithoutStartBackfills) {
+  JobTimeline timeline;
+  timeline.on_submitted(JobId(0), 1.0);
+  timeline.on_completed(JobId(0), 4.0);
+  EXPECT_DOUBLE_EQ(timeline.record(JobId(0)).waiting_time(), 3.0);
+}
+
+TEST(JobTimelineTest, RecordsSortedBySubmission) {
+  JobTimeline timeline;
+  timeline.on_submitted(JobId(2), 10.0);
+  timeline.on_submitted(JobId(0), 5.0);
+  timeline.on_submitted(JobId(1), 5.0);
+  for (std::uint64_t j = 0; j < 3; ++j) {
+    timeline.on_completed(JobId(j), 30.0);
+  }
+  const auto records = timeline.records();
+  EXPECT_EQ(records[0].id, JobId(0));  // tie broken by id
+  EXPECT_EQ(records[1].id, JobId(1));
+  EXPECT_EQ(records[2].id, JobId(2));
+}
+
+TEST(SummarizeTest, PaperDefinitionOfTetAndArt) {
+  // Example 1 numbers: arrivals {0, 20}, completions {100, 200} (FIFO).
+  JobTimeline timeline;
+  timeline.on_submitted(JobId(0), 0.0);
+  timeline.on_submitted(JobId(1), 20.0);
+  timeline.on_completed(JobId(0), 100.0);
+  timeline.on_completed(JobId(1), 200.0);
+  const auto summary = summarize(timeline);
+  EXPECT_EQ(summary.num_jobs, 2u);
+  EXPECT_DOUBLE_EQ(summary.tet, 200.0);
+  EXPECT_DOUBLE_EQ(summary.art, 140.0);
+  EXPECT_DOUBLE_EQ(summary.max_response, 180.0);
+}
+
+TEST(SummarizeTest, NonZeroFirstSubmission) {
+  JobTimeline timeline;
+  timeline.on_submitted(JobId(0), 100.0);
+  timeline.on_completed(JobId(0), 160.0);
+  const auto summary = summarize(timeline);
+  EXPECT_DOUBLE_EQ(summary.tet, 60.0);  // relative to first submission
+  EXPECT_FALSE(summary.to_string().empty());
+}
+
+TEST(TableWriterTest, RendersAlignedTable) {
+  TableWriter table({"a", "long header"});
+  table.add_row({"1", "2"});
+  table.add_row({"333", "4"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| a   |"), std::string::npos);
+  EXPECT_NE(out.find("| 333 |"), std::string::npos);
+  EXPECT_NE(out.find("long header"), std::string::npos);
+}
+
+TEST(TableWriterTest, CsvEscapesNothingButJoins) {
+  TableWriter table({"x", "y"});
+  table.add_row({"1", "2"});
+  EXPECT_EQ(table.render_csv(), "x,y\n1,2\n");
+}
+
+TEST(ComparisonTableTest, NormalizesToBaseline) {
+  ComparisonTable table;
+  MetricsSummary s3;
+  s3.num_jobs = 10;
+  s3.tet = 100.0;
+  s3.art = 50.0;
+  MetricsSummary fifo = s3;
+  fifo.tet = 220.0;
+  fifo.art = 125.0;
+  table.add("S3", s3);
+  table.add("FIFO", fifo);
+  const std::string out = table.render("S3");
+  EXPECT_NE(out.find("2.20"), std::string::npos);
+  EXPECT_NE(out.find("2.50"), std::string::npos);
+  EXPECT_NE(out.find("1.00"), std::string::npos);
+  EXPECT_DOUBLE_EQ(table.summary_for("FIFO").tet, 220.0);
+  const std::string csv = table.render_csv("S3");
+  EXPECT_NE(csv.find("2.2000"), std::string::npos);
+}
+
+TEST(JsonTest, EscapesSpecials) {
+  EXPECT_EQ(JsonObject::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(JsonObject::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonTest, ObjectRendering) {
+  JsonObject obj;
+  obj.field("name", std::string("s3"))
+      .field("tet", 1.5)
+      .field("jobs", std::uint64_t{10})
+      .field("ok", true);
+  EXPECT_EQ(obj.str(), R"({"name":"s3","tet":1.5,"jobs":10,"ok":true})");
+}
+
+TEST(JsonTest, JobsToJsonl) {
+  JobTimeline timeline;
+  timeline.on_submitted(JobId(0), 1.0);
+  timeline.on_first_started(JobId(0), 2.0);
+  timeline.on_completed(JobId(0), 5.0);
+  const std::string lines = jobs_to_jsonl(timeline.records());
+  EXPECT_NE(lines.find("\"job\":0"), std::string::npos);
+  EXPECT_NE(lines.find("\"response\":4"), std::string::npos);
+  EXPECT_NE(lines.find("\"waiting\":1"), std::string::npos);
+  EXPECT_EQ(lines.back(), '\n');
+}
+
+TEST(JsonTest, SummaryToJson) {
+  MetricsSummary s;
+  s.num_jobs = 3;
+  s.tet = 100.5;
+  s.art = 50.25;
+  const std::string line = summary_to_json(s, "S3");
+  EXPECT_NE(line.find("\"label\":\"S3\""), std::string::npos);
+  EXPECT_NE(line.find("\"tet\":100.5"), std::string::npos);
+  EXPECT_NE(line.find("\"jobs\":3"), std::string::npos);
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+}
+
+}  // namespace
+}  // namespace s3::metrics

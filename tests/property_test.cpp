@@ -1,0 +1,177 @@
+// Cross-cutting property tests: simulator-vs-analytic consistency, batch
+// coverage invariants at the simulator level, and scheduler-independence of
+// total work.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sched/analytic.h"
+#include "workloads/arrival.h"
+#include "workloads/suite.h"
+
+namespace s3 {
+namespace {
+
+using workloads::make_sim_jobs;
+
+sim::RunResult simulate(const workloads::PaperSetup& setup,
+                        sched::Scheduler& scheduler,
+                        const std::vector<sim::SimJob>& jobs,
+                        sim::SimConfig config = {}) {
+  config.cost = setup.cost;
+  sim::SimEngine engine(setup.topology, setup.catalog, config);
+  auto result = engine.run(scheduler, jobs);
+  EXPECT_TRUE(result.is_ok()) << result.status();
+  return std::move(result).value();
+}
+
+// --- Simulator vs analytic model on the worked-example scenarios. ---
+
+class SimVsAnalyticTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SimVsAnalyticTest, FifoMatchesClosedForm) {
+  const auto setup = workloads::make_paper_setup(64.0);
+  const double offset_fraction = GetParam();
+
+  // Measure a single job's duration D, then check the 2-job FIFO run
+  // against the closed form with that D.
+  auto fifo1 = workloads::make_fifo(setup.catalog);
+  const auto solo = simulate(setup, *fifo1,
+                             make_sim_jobs(setup.wordcount_file, {0.0},
+                                           sim::WorkloadCost::wordcount_normal()));
+  const double d = solo.summary.tet;
+  const double offset = offset_fraction * d;
+
+  auto fifo2 = workloads::make_fifo(setup.catalog);
+  const auto pair = simulate(
+      setup, *fifo2,
+      make_sim_jobs(setup.wordcount_file, {0.0, offset},
+                    sim::WorkloadCost::wordcount_normal()));
+
+  sched::AnalyticScenario scenario;
+  scenario.arrivals = {0.0, offset};
+  scenario.job_duration = d;
+  const auto expected = sched::analytic_fifo(scenario);
+  EXPECT_NEAR(pair.summary.tet, expected.tet, 1e-6);
+  EXPECT_NEAR(pair.summary.art, expected.art, 1e-6);
+}
+
+TEST_P(SimVsAnalyticTest, S3ResponseApproachesIdealWithinOverhead) {
+  const auto setup = workloads::make_paper_setup(64.0);
+  const double offset_fraction = GetParam();
+
+  auto fifo = workloads::make_fifo(setup.catalog);
+  const double d = simulate(setup, *fifo,
+                            make_sim_jobs(setup.wordcount_file, {0.0},
+                                          sim::WorkloadCost::wordcount_normal()))
+                       .summary.tet;
+  const double offset = offset_fraction * d;
+
+  auto s3 = workloads::make_s3(setup.catalog, setup.topology,
+                               setup.default_segment_blocks());
+  const auto run = simulate(
+      setup, *s3,
+      make_sim_jobs(setup.wordcount_file, {0.0, offset},
+                    sim::WorkloadCost::wordcount_normal()));
+
+  // Idealized S3: each response = D. The discrete implementation pays
+  // alignment wait (≤ one sub-job) + per-sub-job launch overheads + sharing
+  // overheads — bounded by ~25% of D at this calibration.
+  for (const auto& record : run.jobs) {
+    EXPECT_GE(record.response_time(), d * 0.95);
+    EXPECT_LE(record.response_time(), d * 1.25);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(OffsetSweep, SimVsAnalyticTest,
+                         ::testing::Values(0.0, 0.2, 0.5, 0.8));
+
+// --- Block coverage at the simulator level. ---
+
+TEST(SimCoverageTest, EveryJobCoversWholeFileUnderEveryScheduler) {
+  const auto setup = workloads::make_paper_setup(64.0);
+  const auto jobs = make_sim_jobs(setup.wordcount_file,
+                                  workloads::paper_sparse_arrivals(),
+                                  sim::WorkloadCost::wordcount_normal());
+  struct Named {
+    const char* name;
+    std::unique_ptr<sched::Scheduler> scheduler;
+  };
+  std::vector<Named> schemes;
+  schemes.push_back({"fifo", workloads::make_fifo(setup.catalog)});
+  schemes.push_back({"mrs2", workloads::make_mrs2(setup.catalog)});
+  schemes.push_back({"s3", workloads::make_s3(setup.catalog, setup.topology,
+                                              setup.default_segment_blocks())});
+  for (auto& scheme : schemes) {
+    const auto run = simulate(setup, *scheme.scheduler, jobs);
+    // Per job, blocks covered must equal the file size exactly once. The
+    // sim's batch traces record per-batch member counts; recompute from
+    // member * blocks accounting.
+    std::map<std::size_t, std::uint64_t> per_batch_blocks;
+    double logical_blocks = 0;
+    for (const auto& batch : run.batches) {
+      logical_blocks +=
+          static_cast<double>(batch.members) * static_cast<double>(batch.num_blocks);
+    }
+    // 10 jobs x 2560 blocks each = 25,600 logical block-scans, allowing for
+    // partial membership on final dynamic waves (none in fixed mode).
+    EXPECT_GE(logical_blocks, 10.0 * 2560.0) << scheme.name;
+    EXPECT_LE(logical_blocks, 10.0 * 2560.0 * 1.001) << scheme.name;
+  }
+}
+
+TEST(SimWorkConservationTest, SharingNeverIncreasesBusyTime) {
+  const auto setup = workloads::make_paper_setup(64.0);
+  const auto jobs = make_sim_jobs(setup.wordcount_file,
+                                  workloads::paper_sparse_arrivals(),
+                                  sim::WorkloadCost::wordcount_normal());
+  auto fifo = workloads::make_fifo(setup.catalog);
+  auto s3 = workloads::make_s3(setup.catalog, setup.topology,
+                               setup.default_segment_blocks());
+  const auto r_fifo = simulate(setup, *fifo, jobs);
+  const auto r_s3 = simulate(setup, *s3, jobs);
+  // Cluster-busy seconds: shared scanning strictly reduces total work.
+  EXPECT_LT(r_s3.trace_stats.total_busy, r_fifo.trace_stats.total_busy);
+}
+
+TEST(SimDeterminismTest, RepeatedRunsIdentical) {
+  const auto setup = workloads::make_paper_setup(64.0);
+  const auto jobs = make_sim_jobs(setup.wordcount_file,
+                                  workloads::paper_sparse_arrivals(),
+                                  sim::WorkloadCost::wordcount_normal());
+  double tets[2];
+  for (int i = 0; i < 2; ++i) {
+    auto s3 = workloads::make_s3(setup.catalog, setup.topology,
+                                 setup.default_segment_blocks());
+    tets[i] = simulate(setup, *s3, jobs).summary.tet;
+  }
+  EXPECT_DOUBLE_EQ(tets[0], tets[1]);
+}
+
+// --- Arrival-density dominance properties. ---
+
+class DensitySweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DensitySweepTest, S3ArtNeverMuchWorseThanFifo) {
+  const auto setup = workloads::make_paper_setup(64.0);
+  const auto jobs = make_sim_jobs(
+      setup.wordcount_file, workloads::uniform_pattern(6, GetParam()),
+      sim::WorkloadCost::wordcount_normal());
+  auto fifo = workloads::make_fifo(setup.catalog);
+  auto s3 = workloads::make_s3(setup.catalog, setup.topology,
+                               setup.default_segment_blocks());
+  const auto r_fifo = simulate(setup, *fifo, jobs);
+  const auto r_s3 = simulate(setup, *s3, jobs);
+  // Across the density spectrum, S3's ART stays within a small factor of
+  // FIFO's best case and usually far below it.
+  EXPECT_LT(r_s3.summary.art, r_fifo.summary.art * 1.30);
+  // TET: S3 never loses to FIFO by more than the launch-overhead slack.
+  EXPECT_LT(r_s3.summary.tet, r_fifo.summary.tet * 1.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(GapSweep, DensitySweepTest,
+                         ::testing::Values(0.0, 20.0, 60.0, 150.0, 300.0,
+                                           500.0));
+
+}  // namespace
+}  // namespace s3

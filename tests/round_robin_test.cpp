@@ -1,0 +1,123 @@
+// Tests for the round-robin processor-sharing baseline.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sched/round_robin.h"
+#include "workloads/suite.h"
+
+namespace s3::sched {
+namespace {
+
+constexpr ClusterStatus kStatus{40, 40};
+
+TEST(RoundRobinTest, SingleJobRunsSliceBySlice) {
+  FileCatalog catalog;
+  catalog.add(FileId(0), 10);
+  RoundRobinScheduler rr(catalog, 4);
+  rr.on_job_arrival({JobId(0), FileId(0), 0}, 0.0);
+
+  std::uint64_t total = 0;
+  int batches = 0;
+  while (rr.pending_jobs() > 0) {
+    auto batch = rr.next_batch(0.0, kStatus);
+    ASSERT_TRUE(batch.has_value());
+    ASSERT_EQ(batch->members.size(), 1u);
+    total += batch->members[0].blocks;
+    rr.on_batch_complete(batch->id, 0.0);
+    ++batches;
+  }
+  EXPECT_EQ(total, 10u);
+  EXPECT_EQ(batches, 3);  // 4 + 4 + 2
+}
+
+TEST(RoundRobinTest, JobsAlternate) {
+  FileCatalog catalog;
+  catalog.add(FileId(0), 8);
+  RoundRobinScheduler rr(catalog, 4);
+  rr.on_job_arrival({JobId(0), FileId(0), 0}, 0.0);
+  rr.on_job_arrival({JobId(1), FileId(0), 0}, 0.0);
+
+  std::vector<JobId> order;
+  while (rr.pending_jobs() > 0) {
+    auto batch = rr.next_batch(0.0, kStatus);
+    ASSERT_TRUE(batch.has_value());
+    order.push_back(batch->members[0].job);
+    rr.on_batch_complete(batch->id, 0.0);
+  }
+  EXPECT_EQ(order, (std::vector<JobId>{JobId(0), JobId(1), JobId(0), JobId(1)}));
+}
+
+TEST(RoundRobinTest, NoMergingEver) {
+  FileCatalog catalog;
+  catalog.add(FileId(0), 8);
+  RoundRobinScheduler rr(catalog, 8);
+  for (std::uint64_t j = 0; j < 5; ++j) {
+    rr.on_job_arrival({JobId(j), FileId(0), 0}, 0.0);
+  }
+  while (rr.pending_jobs() > 0) {
+    auto batch = rr.next_batch(0.0, kStatus);
+    ASSERT_TRUE(batch.has_value());
+    EXPECT_EQ(batch->members.size(), 1u);  // never a shared batch
+    rr.on_batch_complete(batch->id, 0.0);
+  }
+}
+
+TEST(RoundRobinTest, CoverageInvariant) {
+  FileCatalog catalog;
+  catalog.add(FileId(0), 11);
+  RoundRobinScheduler rr(catalog, 3);
+  rr.on_job_arrival({JobId(0), FileId(0), 0}, 0.0);
+  std::map<std::uint64_t, std::uint64_t> jobs_blocks;
+  std::map<std::uint64_t, std::map<std::uint64_t, int>> coverage;
+  std::size_t admitted = 1;
+  int batches = 0;
+  while (rr.pending_jobs() > 0) {
+    ASSERT_LT(batches, 100);
+    auto batch = rr.next_batch(0.0, kStatus);
+    ASSERT_TRUE(batch.has_value());
+    if (admitted < 3 && batches % 2 == 1) {
+      rr.on_job_arrival({JobId(admitted++), FileId(0), 0}, 0.0);
+    }
+    const auto& m = batch->members[0];
+    jobs_blocks[m.job.value()] += m.blocks;
+    for (std::uint64_t i = 0; i < m.blocks; ++i) {
+      ++coverage[m.job.value()][(batch->start_block + i) % 11];
+    }
+    rr.on_batch_complete(batch->id, 0.0);
+    ++batches;
+  }
+  ASSERT_EQ(jobs_blocks.size(), 3u);
+  for (const auto& [job, blocks] : jobs_blocks) {
+    EXPECT_EQ(blocks, 11u) << "job " << job;
+    for (const auto& [block, count] : coverage[job]) {
+      EXPECT_EQ(count, 1) << "job " << job << " block " << block;
+    }
+    EXPECT_EQ(coverage[job].size(), 11u);
+  }
+}
+
+TEST(RoundRobinTest, SimIntegrationLowWaitHighArt) {
+  // Processor sharing starts jobs quickly but stretches everyone when
+  // nothing is shared: waiting time far below FIFO, ART above it.
+  const auto setup = workloads::make_paper_setup(64.0);
+  const auto jobs = workloads::make_sim_jobs(
+      setup.wordcount_file, workloads::paper_sparse_arrivals(),
+      sim::WorkloadCost::wordcount_normal());
+  RoundRobinScheduler rr(setup.catalog, setup.default_segment_blocks());
+  auto fifo = workloads::make_fifo(setup.catalog);
+
+  sim::SimConfig config;
+  config.cost = setup.cost;
+  sim::SimEngine engine(setup.topology, setup.catalog, config);
+  const auto r_rr = engine.run(rr, jobs);
+  const auto r_fifo = engine.run(*fifo, jobs);
+  ASSERT_TRUE(r_rr.is_ok());
+  ASSERT_TRUE(r_fifo.is_ok());
+  EXPECT_LT(r_rr.value().summary.mean_waiting,
+            r_fifo.value().summary.mean_waiting / 4.0);
+  EXPECT_GT(r_rr.value().summary.art, r_fifo.value().summary.art);
+}
+
+}  // namespace
+}  // namespace s3::sched

@@ -1,0 +1,214 @@
+// Tests for the assembled S3 scheduler: segment-aligned batching, slot
+// checking, dynamic wave sizing, and multi-file rotation.
+#include <gtest/gtest.h>
+
+#include "cluster/topology.h"
+#include "sched/s3_scheduler.h"
+
+namespace s3::sched {
+namespace {
+
+constexpr ClusterStatus kStatus{40, 40};
+
+FileCatalog catalog_with(std::uint64_t blocks) {
+  FileCatalog catalog;
+  catalog.add(FileId(0), blocks);
+  return catalog;
+}
+
+S3Options fixed_options(std::uint64_t segment_blocks) {
+  S3Options options;
+  options.wave_sizing = WaveSizing::kFixedSegments;
+  options.blocks_per_segment = segment_blocks;
+  return options;
+}
+
+TEST(S3SchedulerTest, SingleJobScansAllSegments) {
+  const auto catalog = catalog_with(12);
+  S3Scheduler s3(catalog, fixed_options(4));
+  s3.on_job_arrival({JobId(0), FileId(0), 0}, 0.0);
+
+  std::uint64_t total_blocks = 0;
+  int batches = 0;
+  while (s3.pending_jobs() > 0) {
+    auto batch = s3.next_batch(0.0, kStatus);
+    ASSERT_TRUE(batch.has_value());
+    total_blocks += batch->members[0].blocks;
+    s3.on_batch_complete(batch->id, 0.0);
+    ++batches;
+  }
+  EXPECT_EQ(batches, 3);
+  EXPECT_EQ(total_blocks, 12u);
+  EXPECT_EQ(s3.batches_launched(), 3u);
+}
+
+TEST(S3SchedulerTest, LateJobAlignsAndWraps) {
+  const auto catalog = catalog_with(8);
+  S3Scheduler s3(catalog, fixed_options(4));
+  s3.on_job_arrival({JobId(0), FileId(0), 0}, 0.0);
+
+  auto b0 = s3.next_batch(0.0, kStatus);  // [0, 4) for job 0
+  ASSERT_TRUE(b0.has_value());
+  s3.on_job_arrival({JobId(1), FileId(0), 0}, 1.0);  // joins at segment 1
+  s3.on_batch_complete(b0->id, 10.0);
+
+  auto b1 = s3.next_batch(10.0, kStatus);  // [4, 8): both jobs
+  ASSERT_TRUE(b1.has_value());
+  EXPECT_EQ(b1->start_block, 4u);
+  ASSERT_EQ(b1->members.size(), 2u);
+  EXPECT_EQ(b1->completed_jobs(), std::vector<JobId>{JobId(0)});
+  s3.on_batch_complete(b1->id, 20.0);
+
+  auto b2 = s3.next_batch(20.0, kStatus);  // wrap: [0, 4) for job 1
+  ASSERT_TRUE(b2.has_value());
+  EXPECT_EQ(b2->start_block, 0u);
+  ASSERT_EQ(b2->members.size(), 1u);
+  EXPECT_EQ(b2->members[0].job, JobId(1));
+  EXPECT_TRUE(b2->members[0].completes);
+  s3.on_batch_complete(b2->id, 30.0);
+  EXPECT_EQ(s3.pending_jobs(), 0u);
+}
+
+TEST(S3SchedulerTest, OneBatchInFlight) {
+  const auto catalog = catalog_with(8);
+  S3Scheduler s3(catalog, fixed_options(4));
+  s3.on_job_arrival({JobId(0), FileId(0), 0}, 0.0);
+  auto batch = s3.next_batch(0.0, kStatus);
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_FALSE(s3.next_batch(0.0, kStatus).has_value());
+}
+
+TEST(S3SchedulerTest, MultiFileRoundRobin) {
+  FileCatalog catalog;
+  catalog.add(FileId(0), 8);
+  catalog.add(FileId(1), 8);
+  S3Scheduler s3(catalog, fixed_options(4));
+  s3.on_job_arrival({JobId(0), FileId(0), 0}, 0.0);
+  s3.on_job_arrival({JobId(1), FileId(1), 0}, 0.0);
+
+  std::vector<FileId> served;
+  while (s3.pending_jobs() > 0) {
+    auto batch = s3.next_batch(0.0, kStatus);
+    ASSERT_TRUE(batch.has_value());
+    served.push_back(batch->file);
+    s3.on_batch_complete(batch->id, 0.0);
+  }
+  ASSERT_EQ(served.size(), 4u);
+  // Alternates between the files.
+  EXPECT_EQ(served[0], FileId(0));
+  EXPECT_EQ(served[1], FileId(1));
+  EXPECT_EQ(served[2], FileId(0));
+  EXPECT_EQ(served[3], FileId(1));
+}
+
+TEST(S3SchedulerTest, DynamicWaveRescalesUnderExclusions) {
+  const auto catalog = catalog_with(2560);
+  const auto topology = cluster::Topology::paper_cluster();
+  S3Options options;
+  options.wave_sizing = WaveSizing::kDynamicSlots;
+  options.blocks_per_segment = 320;
+  S3Scheduler s3(catalog, options, &topology);
+  s3.on_job_arrival({JobId(0), FileId(0), 0}, 0.0);
+
+  // Healthy cluster: the nominal segment.
+  auto batch = s3.next_batch(0.0, ClusterStatus{40, 40});
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->num_blocks, 320u);
+  s3.on_batch_complete(batch->id, 1.0);
+
+  // Flag 10 of 40 nodes slow (5x the healthy median): the next wave shrinks
+  // proportionally, keeping whole task waves on the 30 healthy slots.
+  for (std::uint64_t n = 0; n < 40; ++n) {
+    cluster::ProgressReport report;
+    report.node = NodeId(n);
+    report.task_start = 0.0;
+    report.report_time = 10.0;
+    report.progress = n < 30 ? 1.0 : 0.2;
+    s3.on_progress(report, 10.0);
+  }
+  batch = s3.next_batch(10.0, ClusterStatus{40, 40});
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->num_blocks, 240u);  // 320 * 30/40
+  EXPECT_EQ(batch->excluded_nodes.size(), 10u);
+}
+
+TEST(S3SchedulerTest, SlotCheckingExcludesSlowNodes) {
+  const auto catalog = catalog_with(100);
+  const auto topology = cluster::Topology::uniform(10, 2);
+  S3Options options;
+  options.wave_sizing = WaveSizing::kDynamicSlots;
+  options.blocks_per_segment = 64;
+  S3Scheduler s3(catalog, options, &topology);
+  s3.on_job_arrival({JobId(0), FileId(0), 0}, 0.0);
+
+  // Nine healthy nodes at ~10 s; node 7 at 50 s.
+  for (std::uint64_t n = 0; n < 10; ++n) {
+    cluster::ProgressReport report;
+    report.node = NodeId(n);
+    report.task_start = 0.0;
+    report.report_time = 10.0;
+    report.progress = n == 7 ? 0.2 : 1.0;
+    s3.on_progress(report, 10.0);
+  }
+  // progress=1.0 clears the healthy nodes; node 7 remains, but needs a
+  // median basis — add two healthy still-running comparators.
+  for (const std::uint64_t n : {1ull, 2ull}) {
+    cluster::ProgressReport healthy;
+    healthy.node = NodeId(n);
+    healthy.task_start = 0.0;
+    healthy.report_time = 10.0;
+    healthy.progress = 0.95;
+    s3.on_progress(healthy, 10.0);
+  }
+
+  const auto excluded = s3.currently_excluded();
+  ASSERT_EQ(excluded.size(), 1u);
+  EXPECT_EQ(excluded[0], NodeId(7));
+
+  auto batch = s3.next_batch(10.0, ClusterStatus{10, 10});
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->num_blocks, 57u);  // 64 * 9/10 usable slots
+  ASSERT_EQ(batch->excluded_nodes.size(), 1u);
+  EXPECT_EQ(batch->excluded_nodes[0], NodeId(7));
+}
+
+TEST(S3SchedulerTest, MembershipCapThroughOptions) {
+  const auto catalog = catalog_with(8);
+  S3Options options = fixed_options(4);
+  options.max_jobs_per_batch = 1;
+  S3Scheduler s3(catalog, options);
+  s3.on_job_arrival({JobId(0), FileId(0), 2}, 0.0);
+  s3.on_job_arrival({JobId(1), FileId(0), 9}, 0.0);
+  auto batch = s3.next_batch(0.0, kStatus);
+  ASSERT_TRUE(batch.has_value());
+  ASSERT_EQ(batch->members.size(), 1u);
+  EXPECT_EQ(batch->members[0].job, JobId(1));  // higher priority
+}
+
+TEST(S3SchedulerTest, PendingJobsTracksQueue) {
+  const auto catalog = catalog_with(8);
+  S3Scheduler s3(catalog, fixed_options(8));
+  EXPECT_EQ(s3.pending_jobs(), 0u);
+  s3.on_job_arrival({JobId(0), FileId(0), 0}, 0.0);
+  s3.on_job_arrival({JobId(1), FileId(0), 0}, 0.0);
+  EXPECT_EQ(s3.pending_jobs(), 2u);
+  auto batch = s3.next_batch(0.0, kStatus);  // whole file in one segment
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->members.size(), 2u);
+  s3.on_batch_complete(batch->id, 1.0);
+  EXPECT_EQ(s3.pending_jobs(), 0u);
+}
+
+TEST(S3SchedulerTest, QueueIntrospection) {
+  const auto catalog = catalog_with(8);
+  S3Scheduler s3(catalog, fixed_options(4));
+  EXPECT_EQ(s3.queue_for(FileId(0)), nullptr);
+  s3.on_job_arrival({JobId(0), FileId(0), 0}, 0.0);
+  const JobQueueManager* jqm = s3.queue_for(FileId(0));
+  ASSERT_NE(jqm, nullptr);
+  EXPECT_EQ(jqm->queued_jobs(), 1u);
+  EXPECT_EQ(jqm->file_blocks(), 8u);
+}
+
+}  // namespace
+}  // namespace s3::sched

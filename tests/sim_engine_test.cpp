@@ -1,0 +1,233 @@
+// Tests for the discrete-event simulator driving the three schedulers.
+#include <gtest/gtest.h>
+
+#include "workloads/arrival.h"
+#include "workloads/suite.h"
+
+namespace s3::sim {
+namespace {
+
+using workloads::make_sim_jobs;
+
+struct Fixture {
+  workloads::PaperSetup setup = workloads::make_paper_setup(64.0);
+
+  RunResult run(sched::Scheduler& scheduler, const std::vector<SimJob>& jobs,
+                SimConfig config = {}) {
+    config.cost = setup.cost;
+    SimEngine engine(setup.topology, setup.catalog, config);
+    auto result = engine.run(scheduler, jobs);
+    EXPECT_TRUE(result.is_ok()) << result.status();
+    return std::move(result).value();
+  }
+};
+
+TEST(SimEngineTest, SingleJobDuration) {
+  Fixture f;
+  auto fifo = workloads::make_fifo(f.setup.catalog);
+  const auto result = f.run(*fifo, make_sim_jobs(f.setup.wordcount_file, {0.0},
+                                                 WorkloadCost::wordcount_normal()));
+  // One whole-file job: TET ≈ launch + 64 waves + reduce tail ≈ 272 s,
+  // calibrated against the paper's ~240 s.
+  EXPECT_NEAR(result.summary.tet, 272.0, 15.0);
+  EXPECT_DOUBLE_EQ(result.summary.art, result.summary.tet);
+  EXPECT_EQ(result.batches.size(), 1u);
+  EXPECT_EQ(result.jobs.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.jobs[0].waiting_time(), 0.0);
+}
+
+TEST(SimEngineTest, FifoSerializesJobs) {
+  Fixture f;
+  auto fifo = workloads::make_fifo(f.setup.catalog);
+  const auto result = f.run(
+      *fifo, make_sim_jobs(f.setup.wordcount_file, {0.0, 0.0, 0.0},
+                           WorkloadCost::wordcount_normal()));
+  EXPECT_EQ(result.batches.size(), 3u);
+  // Completions are strictly increasing; TET ~ 3x a single job.
+  EXPECT_NEAR(result.summary.tet, 3.0 * 272.0, 40.0);
+  EXPECT_GT(result.jobs[2].waiting_time(), result.jobs[1].waiting_time());
+}
+
+TEST(SimEngineTest, Mrs1BatchesEverythingOnce) {
+  Fixture f;
+  auto mrs1 = workloads::make_mrs1(f.setup.catalog);
+  const auto result = f.run(
+      *mrs1, make_sim_jobs(f.setup.wordcount_file, {0.0, 10.0, 20.0},
+                           WorkloadCost::wordcount_normal()));
+  EXPECT_EQ(result.batches.size(), 1u);
+  EXPECT_EQ(result.batches[0].members, 3u);
+  // Batch starts only after the last arrival.
+  EXPECT_GE(result.batches[0].launched, 20.0);
+  // All jobs complete together.
+  EXPECT_DOUBLE_EQ(result.jobs[0].completed, result.jobs[2].completed);
+}
+
+TEST(SimEngineTest, S3JobRunsKSubJobs) {
+  Fixture f;
+  auto s3 = workloads::make_s3(f.setup.catalog, f.setup.topology,
+                               f.setup.default_segment_blocks());
+  const auto result = f.run(*s3, make_sim_jobs(f.setup.wordcount_file, {0.0},
+                                               WorkloadCost::wordcount_normal()));
+  EXPECT_EQ(result.batches.size(), 8u);  // k = 8 segments
+  // The per-sub-job launch overhead makes a solo S3 job slower than FIFO.
+  EXPECT_GT(result.summary.tet, 272.0);
+  EXPECT_LT(result.summary.tet, 272.0 + 8 * 5.0);
+}
+
+TEST(SimEngineTest, S3LateJobStartsQuickly) {
+  Fixture f;
+  auto s3 = workloads::make_s3(f.setup.catalog, f.setup.topology,
+                               f.setup.default_segment_blocks());
+  const auto result = f.run(
+      *s3, make_sim_jobs(f.setup.wordcount_file, {0.0, 100.0},
+                         WorkloadCost::wordcount_normal()));
+  // Job 1 waits at most one sub-job's duration (~38 s), not a whole job.
+  EXPECT_LT(result.jobs[1].waiting_time(), 45.0);
+  // And both jobs see every block: 8 + wrap segments.
+  EXPECT_GT(result.batches.size(), 8u);
+}
+
+TEST(SimEngineTest, SparseOrderingMatchesPaper) {
+  Fixture f;
+  const auto jobs = make_sim_jobs(f.setup.wordcount_file,
+                                  workloads::paper_sparse_arrivals(),
+                                  WorkloadCost::wordcount_normal());
+  auto fifo = workloads::make_fifo(f.setup.catalog);
+  auto mrs1 = workloads::make_mrs1(f.setup.catalog);
+  auto s3 = workloads::make_s3(f.setup.catalog, f.setup.topology,
+                               f.setup.default_segment_blocks());
+  const auto r_fifo = f.run(*fifo, jobs);
+  const auto r_mrs1 = f.run(*mrs1, jobs);
+  const auto r_s3 = f.run(*s3, jobs);
+
+  // Headline result: S3 keeps both TET and ART lowest.
+  EXPECT_LT(r_s3.summary.tet, r_fifo.summary.tet);
+  EXPECT_LT(r_s3.summary.tet, r_mrs1.summary.tet);
+  EXPECT_LT(r_s3.summary.art, r_fifo.summary.art);
+  EXPECT_LT(r_s3.summary.art, r_mrs1.summary.art);
+  // And its mean waiting time is far smaller than any batching scheme's.
+  EXPECT_LT(r_s3.summary.mean_waiting, r_mrs1.summary.mean_waiting / 4.0);
+}
+
+TEST(SimEngineTest, DensePatternFavoursMrs1) {
+  Fixture f;
+  const auto jobs = make_sim_jobs(f.setup.wordcount_file,
+                                  workloads::paper_dense_arrivals(),
+                                  WorkloadCost::wordcount_normal());
+  auto mrs1 = workloads::make_mrs1(f.setup.catalog);
+  auto s3 = workloads::make_s3(f.setup.catalog, f.setup.topology,
+                               f.setup.default_segment_blocks());
+  const auto r_mrs1 = f.run(*mrs1, jobs);
+  const auto r_s3 = f.run(*s3, jobs);
+  EXPECT_LT(r_mrs1.summary.tet, r_s3.summary.tet);  // paper §V-D
+}
+
+TEST(SimEngineTest, TimeWindowSchedulerWakesItself) {
+  Fixture f;
+  sched::MRShareScheduler window(f.setup.catalog, sched::TimeWindow{50.0},
+                                 "MRS-W");
+  const auto result = f.run(
+      window, make_sim_jobs(f.setup.wordcount_file, {0.0, 10.0},
+                            WorkloadCost::wordcount_normal()));
+  EXPECT_EQ(result.batches.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.batches[0].launched, 50.0);
+}
+
+TEST(SimEngineTest, SpeedChangeSlowsBatches) {
+  Fixture f;
+  const auto jobs = make_sim_jobs(f.setup.wordcount_file, {0.0},
+                                  WorkloadCost::wordcount_normal());
+  SimConfig slow;
+  for (std::uint64_t n = 0; n < 40; ++n) {
+    slow.speed_changes.push_back(SpeedChange{0.0, NodeId(n), 2.0});
+  }
+  auto fifo_a = workloads::make_fifo(f.setup.catalog);
+  auto fifo_b = workloads::make_fifo(f.setup.catalog);
+  const auto nominal = f.run(*fifo_a, jobs);
+  const auto slowed = f.run(*fifo_b, jobs, slow);
+  EXPECT_GT(slowed.summary.tet, 1.8 * nominal.summary.tet - 20.0);
+}
+
+TEST(SimEngineTest, SlotCheckingImprovesStragglerRuns) {
+  Fixture f;
+  const auto jobs = make_sim_jobs(f.setup.wordcount_file,
+                                  workloads::paper_sparse_arrivals(),
+                                  WorkloadCost::wordcount_normal());
+  // 12x stragglers: one straggler task (~43 s) exceeds a whole healthy
+  // wave's makespan (~36 s), so excluding them must shorten every batch.
+  SimConfig with, without;
+  for (int i = 0; i < 6; ++i) {
+    const SpeedChange change{30.0, NodeId(static_cast<std::uint64_t>(i)),
+                             12.0};
+    with.speed_changes.push_back(change);
+    without.speed_changes.push_back(change);
+  }
+  without.enable_progress_reports = false;
+
+  auto s3_a = workloads::make_s3(f.setup.catalog, f.setup.topology,
+                                 f.setup.default_segment_blocks());
+  auto s3_b = workloads::make_s3(f.setup.catalog, f.setup.topology,
+                                 f.setup.default_segment_blocks());
+  const auto checked = f.run(*s3_a, jobs, with);
+  const auto unchecked = f.run(*s3_b, jobs, without);
+  EXPECT_LT(checked.summary.tet, unchecked.summary.tet);
+}
+
+TEST(SimEngineTest, EmptyWorkloadRejected) {
+  Fixture f;
+  auto fifo = workloads::make_fifo(f.setup.catalog);
+  SimConfig config;
+  config.cost = f.setup.cost;
+  SimEngine engine(f.setup.topology, f.setup.catalog, config);
+  EXPECT_FALSE(engine.run(*fifo, {}).is_ok());
+}
+
+TEST(SimEngineTest, DuplicateJobIdsRejected) {
+  Fixture f;
+  auto fifo = workloads::make_fifo(f.setup.catalog);
+  SimConfig config;
+  config.cost = f.setup.cost;
+  SimEngine engine(f.setup.topology, f.setup.catalog, config);
+  auto jobs = make_sim_jobs(f.setup.wordcount_file, {0.0, 1.0},
+                            WorkloadCost::wordcount_normal());
+  jobs[1].id = jobs[0].id;
+  EXPECT_FALSE(engine.run(*fifo, jobs).is_ok());
+}
+
+TEST(SimEngineTest, TraceAccountingConsistent) {
+  Fixture f;
+  auto s3 = workloads::make_s3(f.setup.catalog, f.setup.topology,
+                               f.setup.default_segment_blocks());
+  const auto result = f.run(
+      *s3, make_sim_jobs(f.setup.wordcount_file, {0.0, 50.0},
+                         WorkloadCost::wordcount_normal()));
+  std::size_t completed = 0;
+  for (const auto& batch : result.batches) {
+    EXPECT_GE(batch.finished, batch.launched);
+    EXPECT_GT(batch.members, 0u);
+    completed += batch.completed_jobs;
+  }
+  EXPECT_EQ(completed, 2u);
+  EXPECT_EQ(result.trace_stats.total_batches, result.batches.size());
+  EXPECT_GT(result.trace_stats.avg_members, 1.0);
+  EXPECT_FALSE(batches_to_csv(result.batches).empty());
+}
+
+TEST(SimEngineTest, EngineIsReusableAcrossRuns) {
+  Fixture f;
+  SimConfig config;
+  config.cost = f.setup.cost;
+  SimEngine engine(f.setup.topology, f.setup.catalog, config);
+  const auto jobs = make_sim_jobs(f.setup.wordcount_file, {0.0},
+                                  WorkloadCost::wordcount_normal());
+  auto fifo_a = workloads::make_fifo(f.setup.catalog);
+  auto fifo_b = workloads::make_fifo(f.setup.catalog);
+  const auto first = engine.run(*fifo_a, jobs);
+  const auto second = engine.run(*fifo_b, jobs);
+  ASSERT_TRUE(first.is_ok());
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_DOUBLE_EQ(first.value().summary.tet, second.value().summary.tet);
+}
+
+}  // namespace
+}  // namespace s3::sim
