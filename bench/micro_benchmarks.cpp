@@ -70,6 +70,90 @@ void BM_ShuffleSortAndGroup(benchmark::State& state) {
 }
 BENCHMARK(BM_ShuffleSortAndGroup)->Arg(1 << 12)->Arg(1 << 16);
 
+// The flat path's in-map combining: same key distribution as
+// BM_ShuffleSortAndGroup, grouped by hashing over the arena instead of
+// sorting owned strings — the direct replacement measurement.
+void BM_HashCombine(benchmark::State& state) {
+  Rng rng(7);
+  engine::KVBatch batch;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    batch.append("key" + std::to_string(rng.uniform_u64(1000)), "1");
+  }
+  for (auto _ : state) {
+    std::uint64_t groups = engine::hash_group(
+        batch, [](std::string_view, const std::vector<std::string_view>&) {});
+    benchmark::DoNotOptimize(groups);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HashCombine)->Arg(1 << 12)->Arg(1 << 16);
+
+// The flat path's reduce-side grouping: k sorted runs k-way merged, vs the
+// legacy from-scratch global sort over the same record count.
+void BM_SortedRunMerge(benchmark::State& state) {
+  Rng rng(7);
+  constexpr std::int64_t kRuns = 16;
+  std::vector<engine::KVBatch> runs(kRuns);
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    runs[static_cast<std::size_t>(i % kRuns)].append(
+        "key" + std::to_string(rng.uniform_u64(1000)), "1");
+  }
+  for (auto& run : runs) run.sort_by_key();
+  for (auto _ : state) {
+    std::uint64_t groups = engine::merge_runs_and_group(
+        runs, [](std::string_view, const std::vector<std::string_view>&) {});
+    benchmark::DoNotOptimize(groups);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SortedRunMerge)->Arg(1 << 12)->Arg(1 << 16);
+
+// Full map-side data path on real bytes: one block scanned once for n member
+// wordcount jobs (empty prefix = every word emitted), combined and published
+// to the shuffle store. Items = map output records across all members, so
+// items/sec is the engine's end-to-end map throughput.
+void BM_MapRunnerEndToEnd(benchmark::State& state) {
+  const std::int64_t members = state.range(0);
+  dfs::BlockStore store;
+  workloads::TextCorpusGenerator corpus;
+  S3_CHECK(store.put(BlockId(0), corpus.generate_block(0, ByteSize(256 << 10)))
+               .is_ok());
+  dfs::StoredBlocks source(store);
+
+  std::vector<engine::JobSpec> specs;
+  specs.reserve(static_cast<std::size_t>(members));
+  for (std::int64_t j = 0; j < members; ++j) {
+    specs.push_back(workloads::make_wordcount_job(
+        JobId(static_cast<std::uint64_t>(j)), FileId(0), "", 4,
+        /*with_combiner=*/true));
+  }
+
+  std::uint64_t records_per_iter = 0;
+  for (auto _ : state) {
+    engine::ShuffleStore shuffle;
+    for (const auto& spec : specs) {
+      shuffle.register_job(spec.id, spec.num_reduce_tasks);
+    }
+    engine::MapRunner runner(source, shuffle);
+    engine::MapTaskSpec task;
+    task.id = TaskId(0);
+    task.block = BlockId(0);
+    for (const auto& spec : specs) task.jobs.push_back(&spec);
+    auto outcome = runner.run(task);
+    S3_CHECK(outcome.is_ok());
+    records_per_iter = 0;
+    for (const auto& [job, counters] : outcome.value().per_job) {
+      records_per_iter += counters.map_output_records;
+    }
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(records_per_iter));
+}
+BENCHMARK(BM_MapRunnerEndToEnd)->Arg(1)->Arg(4)->Arg(10);
+
 void BM_JobQueueManagerCycle(benchmark::State& state) {
   const std::uint64_t file_blocks = 2560;
   const std::uint64_t wave = 320;

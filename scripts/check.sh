@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Full pre-merge check: tier-1 verify (Debug-default build + ctest), then a
+# Release build with a micro-benchmark smoke run so Release-only regressions
+# and bench bit-rot are caught. Usage: scripts/check.sh [--skip-release]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SKIP_RELEASE=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-release) SKIP_RELEASE=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "=== tier-1: configure + build + ctest ==="
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+if [[ "$SKIP_RELEASE" == 1 ]]; then
+  echo "=== skipping Release build + bench smoke (--skip-release) ==="
+  exit 0
+fi
+
+echo "=== Release build ==="
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-release -j
+
+echo "=== micro-benchmark smoke (hot-path benches must still run) ==="
+./build-release/bench/micro_benchmarks \
+  --benchmark_min_time=0.01 \
+  --benchmark_filter='BM_(MapRunnerEndToEnd|HashCombine|SortedRunMerge|ShuffleSortAndGroup|SharedScanReader)'
+
+echo "=== check.sh: all green ==="

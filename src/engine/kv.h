@@ -1,11 +1,14 @@
-// Key/value vocabulary of the MapReduce engine. Keys and values are owned
-// strings: records cross task (thread) boundaries, so views into block
-// payloads would be a lifetime hazard for exactly the reason CP.mess warns
-// about — we copy at the emit boundary instead.
+// Key/value vocabulary of the MapReduce engine. The hot path moves records as
+// views into flat KVBatch arenas (see kv_batch.h); mappers and reducers emit
+// through the string_view Emitter contract below, and the engine copies bytes
+// into an owned arena exactly once, at the emit boundary. The owned-string
+// KeyValue struct remains for job outputs and for the legacy sort-based data
+// path that serves as the differential-testing oracle.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace s3::engine {
@@ -23,22 +26,30 @@ struct KeyValue {
   }
 };
 
-// Where map output goes. Implementations partition by key and buffer.
+// Where map output goes. Implementations partition by key and buffer; the
+// views are only guaranteed to live for the duration of the call, so
+// implementations must copy what they keep.
 class Emitter {
  public:
   virtual ~Emitter() = default;
-  virtual void emit(std::string key, std::string value) = 0;
+  virtual void emit(std::string_view key, std::string_view value) = 0;
 };
 
-// Hash partitioner (Hadoop's default): FNV-1a over the key, mod R.
-[[nodiscard]] inline std::uint32_t partition_for_key(const std::string& key,
-                                                     std::uint32_t partitions) {
+// FNV-1a over arbitrary bytes; shared by the partitioner and the hash
+// combiner so both see the same distribution.
+[[nodiscard]] inline std::uint64_t fnv1a(std::string_view bytes) {
   std::uint64_t h = 1469598103934665603ULL;
-  for (const char c : key) {
+  for (const char c : bytes) {
     h ^= static_cast<unsigned char>(c);
     h *= 1099511628211ULL;
   }
-  return static_cast<std::uint32_t>(h % partitions);
+  return h;
+}
+
+// Hash partitioner (Hadoop's default): FNV-1a over the key, mod R.
+[[nodiscard]] inline std::uint32_t partition_for_key(std::string_view key,
+                                                     std::uint32_t partitions) {
+  return static_cast<std::uint32_t>(fnv1a(key) % partitions);
 }
 
 }  // namespace s3::engine

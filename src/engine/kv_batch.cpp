@@ -1,0 +1,17 @@
+#include "engine/kv_batch.h"
+
+#include <algorithm>
+
+namespace s3::engine {
+
+void KVBatch::sort_by_key() {
+  const std::string_view arena(arena_);
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [arena](const Entry& a, const Entry& b) {
+                     return arena.substr(a.offset, a.key_len) <
+                            arena.substr(b.offset, b.key_len);
+                   });
+  sorted_ = true;
+}
+
+}  // namespace s3::engine

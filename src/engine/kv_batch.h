@@ -1,0 +1,75 @@
+// KVBatch — the flat record representation of the engine's hot path. One
+// contiguous byte arena holds every key and value back to back; a parallel
+// entry array records {offset, key_len, value_len}. Appending copies the
+// record bytes once and never allocates per record (amortized arena growth
+// only); accessors hand out string_views computed from offsets, so they stay
+// valid across arena reallocation as long as they are re-fetched (append-once,
+// then read — the engine never interleaves the two on a shared batch).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace s3::engine {
+
+class KVBatch {
+ public:
+  struct Entry {
+    std::uint64_t offset = 0;      // first key byte within the arena
+    std::uint32_t key_len = 0;
+    std::uint32_t value_len = 0;
+  };
+
+  void append(std::string_view key, std::string_view value) {
+    entries_.push_back(Entry{arena_.size(),
+                             static_cast<std::uint32_t>(key.size()),
+                             static_cast<std::uint32_t>(value.size())});
+    arena_.append(key);
+    arena_.append(value);
+    sorted_ = false;
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  // Total key+value bytes held (the map_output_bytes unit).
+  [[nodiscard]] std::uint64_t payload_bytes() const { return arena_.size(); }
+
+  [[nodiscard]] std::string_view key(std::size_t i) const {
+    const Entry& e = entries_[i];
+    return std::string_view(arena_).substr(e.offset, e.key_len);
+  }
+  [[nodiscard]] std::string_view value(std::size_t i) const {
+    const Entry& e = entries_[i];
+    return std::string_view(arena_).substr(e.offset + e.key_len, e.value_len);
+  }
+
+  void reserve(std::size_t records, std::size_t bytes) {
+    entries_.reserve(records);
+    arena_.reserve(bytes);
+  }
+
+  void clear() {
+    entries_.clear();
+    arena_.clear();
+    sorted_ = false;
+  }
+
+  // Reorders the entry index so keys ascend (stable: equal keys keep their
+  // append order). Only the 16-byte entries move; the arena is untouched.
+  void sort_by_key();
+
+  // True iff keys ascend in index order (set by sort_by_key, cleared by
+  // append; trivially true for <= 1 record).
+  [[nodiscard]] bool sorted_by_key() const {
+    return sorted_ || entries_.size() <= 1;
+  }
+
+ private:
+  std::string arena_;
+  std::vector<Entry> entries_;
+  bool sorted_ = false;
+};
+
+}  // namespace s3::engine

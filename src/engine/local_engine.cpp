@@ -13,8 +13,8 @@ LocalEngine::LocalEngine(const dfs::DfsNamespace& ns,
       owned_adapter_(std::make_unique<dfs::StoredBlocks>(store)),
       source_(owned_adapter_.get()),
       options_(options),
-      map_runner_(*source_, shuffle_),
-      reduce_runner_(shuffle_),
+      map_runner_(*source_, shuffle_, options.data_path),
+      reduce_runner_(shuffle_, options.data_path),
       map_pool_(std::make_unique<ThreadPool>(options.map_workers)),
       reduce_pool_(std::make_unique<ThreadPool>(options.reduce_workers)) {}
 
@@ -24,8 +24,8 @@ LocalEngine::LocalEngine(const dfs::DfsNamespace& ns,
     : ns_(&ns),
       source_(&source),
       options_(options),
-      map_runner_(source, shuffle_),
-      reduce_runner_(shuffle_),
+      map_runner_(source, shuffle_, options.data_path),
+      reduce_runner_(shuffle_, options.data_path),
       map_pool_(std::make_unique<ThreadPool>(options.map_workers)),
       reduce_pool_(std::make_unique<ThreadPool>(options.reduce_workers)) {}
 
@@ -209,18 +209,20 @@ std::vector<KeyValue> LocalEngine::re_reduce(const JobSpec& spec,
   class CollectEmitter final : public Emitter {
    public:
     explicit CollectEmitter(std::vector<KeyValue>& out) : out_(&out) {}
-    void emit(std::string key, std::string value) override {
-      out_->push_back(KeyValue{std::move(key), std::move(value)});
+    void emit(std::string_view key, std::string_view value) override {
+      out_->push_back(KeyValue{std::string(key), std::string(value)});
     }
 
    private:
     std::vector<KeyValue>* out_;
   } collector(merged);
   auto reducer = spec.reducer_factory();
+  std::vector<std::string_view> value_views;
   sort_and_group(std::move(records),
                  [&](const std::string& key,
                      const std::vector<std::string>& values) {
-                   reducer->reduce(key, values, collector);
+                   value_views.assign(values.begin(), values.end());
+                   reducer->reduce(key, value_views, collector);
                  });
   return merged;
 }

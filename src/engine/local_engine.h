@@ -52,6 +52,9 @@ struct LocalEngineOptions {
   // Task-level fault tolerance: attempts per task before the batch fails.
   int max_task_attempts = 3;
   FailureInjector failure_injector;  // nullptr = no injected failures
+  // Record representation + grouping algorithm (see shuffle.h). kLegacySort
+  // is the differential-testing oracle, not a production choice.
+  DataPath data_path = DataPath::kFlatBatch;
 };
 
 class LocalEngine {

@@ -7,69 +7,92 @@
 namespace s3::engine {
 namespace {
 
-// Buffers map output locally (per partition), applies the optional combiner,
-// and publishes to the shuffle store in one append per partition.
+// Buffers map output task-locally as one flat KVBatch per partition, applies
+// the optional combiner, and publishes every partition with one registry
+// resolve. Counters are task-local and read out once at publish time.
 class PartitionedEmitter final : public Emitter {
  public:
-  PartitionedEmitter(std::uint32_t partitions) : buffers_(partitions) {}
+  explicit PartitionedEmitter(std::uint32_t partitions)
+      : buffers_(partitions) {}
 
-  void emit(std::string key, std::string value) override {
+  void emit(std::string_view key, std::string_view value) override {
     ++records_;
     bytes_ += key.size() + value.size();
     const std::uint32_t p =
         partition_for_key(key, static_cast<std::uint32_t>(buffers_.size()));
-    buffers_[p].push_back(KeyValue{std::move(key), std::move(value)});
+    buffers_[p].append(key, value);
   }
 
   [[nodiscard]] std::uint64_t records() const { return records_; }
   [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
 
   // Runs the combiner over each partition buffer in place; returns the
-  // post-combine record count.
-  std::uint64_t combine(Reducer& combiner) {
+  // post-combine record count. The flat path groups by hashing (O(n) probes
+  // over the arena); the legacy path is the original owned-string sort.
+  std::uint64_t combine(Reducer& combiner, DataPath data_path) {
     std::uint64_t out_records = 0;
     for (auto& buffer : buffers_) {
-      std::vector<KeyValue> combined;
-      combined.reserve(buffer.size() / 2 + 1);
+      KVBatch combined;
+      combined.reserve(buffer.size() / 2 + 1, buffer.payload_bytes() / 2 + 1);
       // Collect combiner output through a lightweight inline emitter.
       class CollectEmitter final : public Emitter {
        public:
-        explicit CollectEmitter(std::vector<KeyValue>& out) : out_(&out) {}
-        void emit(std::string key, std::string value) override {
-          out_->push_back(KeyValue{std::move(key), std::move(value)});
+        explicit CollectEmitter(KVBatch& out) : out_(&out) {}
+        void emit(std::string_view key, std::string_view value) override {
+          out_->append(key, value);
         }
 
        private:
-        std::vector<KeyValue>* out_;
+        KVBatch* out_;
       } collect(combined);
-      sort_and_group(std::move(buffer),
-                     [&](const std::string& key,
-                         const std::vector<std::string>& values) {
-                       combiner.reduce(key, values, collect);
-                     });
+      if (data_path == DataPath::kFlatBatch) {
+        hash_group(buffer,
+                   [&](std::string_view key,
+                       const std::vector<std::string_view>& values) {
+                     combiner.reduce(key, values, collect);
+                   });
+      } else {
+        std::vector<KeyValue> owned;
+        owned.reserve(buffer.size());
+        for (std::size_t i = 0; i < buffer.size(); ++i) {
+          owned.push_back(KeyValue{std::string(buffer.key(i)),
+                                   std::string(buffer.value(i))});
+        }
+        std::vector<std::string_view> value_views;
+        sort_and_group(std::move(owned),
+                       [&](const std::string& key,
+                           const std::vector<std::string>& values) {
+                         value_views.assign(values.begin(), values.end());
+                         combiner.reduce(key, value_views, collect);
+                       });
+      }
       buffer = std::move(combined);
       out_records += buffer.size();
     }
     return out_records;
   }
 
-  void publish(ShuffleStore& shuffle, JobId job) {
-    for (std::uint32_t p = 0; p < buffers_.size(); ++p) {
-      shuffle.append(job, p, std::move(buffers_[p]));
+  void publish(ShuffleStore& shuffle, JobId job, DataPath data_path) {
+    if (data_path == DataPath::kFlatBatch) {
+      // Sorted-run shuffle: each partition buffer becomes one sorted run, so
+      // the reduce side k-way merges instead of sorting from scratch.
+      for (KVBatch& buffer : buffers_) buffer.sort_by_key();
     }
+    shuffle.publish(job, std::move(buffers_));
     buffers_.clear();
   }
 
  private:
-  std::vector<std::vector<KeyValue>> buffers_;
+  std::vector<KVBatch> buffers_;
   std::uint64_t records_ = 0;
   std::uint64_t bytes_ = 0;
 };
 
 }  // namespace
 
-MapRunner::MapRunner(const dfs::BlockSource& source, ShuffleStore& shuffle)
-    : source_(&source), shuffle_(&shuffle) {}
+MapRunner::MapRunner(const dfs::BlockSource& source, ShuffleStore& shuffle,
+                     DataPath data_path)
+    : source_(&source), shuffle_(&shuffle), data_path_(data_path) {}
 
 StatusOr<MapTaskOutcome> MapRunner::run(const MapTaskSpec& task) const {
   if (task.jobs.empty()) {
@@ -122,9 +145,10 @@ StatusOr<MapTaskOutcome> MapRunner::run(const MapTaskSpec& task) const {
 
     if (member.spec->combiner_factory != nullptr) {
       auto combiner = member.spec->combiner_factory();
-      counters.combine_output_records += member.emitter->combine(*combiner);
+      counters.combine_output_records +=
+          member.emitter->combine(*combiner, data_path_);
     }
-    member.emitter->publish(*shuffle_, member.spec->id);
+    member.emitter->publish(*shuffle_, member.spec->id, data_path_);
   }
   return outcome;
 }

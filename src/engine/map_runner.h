@@ -31,7 +31,8 @@ struct MapTaskOutcome {
 
 class MapRunner {
  public:
-  MapRunner(const dfs::BlockSource& source, ShuffleStore& shuffle);
+  MapRunner(const dfs::BlockSource& source, ShuffleStore& shuffle,
+            DataPath data_path = DataPath::kFlatBatch);
 
   // Runs the task synchronously on the calling thread. Thread-safe: many
   // runners may execute concurrently against the same stores.
@@ -40,6 +41,7 @@ class MapRunner {
  private:
   const dfs::BlockSource* source_;
   ShuffleStore* shuffle_;
+  DataPath data_path_;
 };
 
 }  // namespace s3::engine

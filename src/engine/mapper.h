@@ -6,7 +6,7 @@
 
 #include <functional>
 #include <memory>
-#include <string>
+#include <string_view>
 #include <vector>
 
 #include "dfs/reader.h"
@@ -29,9 +29,10 @@ class Reducer {
  public:
   virtual ~Reducer() = default;
 
-  // Called once per distinct key with all values for that key.
-  virtual void reduce(const std::string& key,
-                      const std::vector<std::string>& values,
+  // Called once per distinct key with all values for that key. The views are
+  // only valid for the duration of the call (they point into shuffle arenas).
+  virtual void reduce(std::string_view key,
+                      const std::vector<std::string_view>& values,
                       Emitter& out) = 0;
 };
 

@@ -8,9 +8,9 @@ namespace {
 class CollectEmitter final : public Emitter {
  public:
   explicit CollectEmitter(std::vector<KeyValue>& out) : out_(&out) {}
-  void emit(std::string key, std::string value) override {
+  void emit(std::string_view key, std::string_view value) override {
     bytes_ += key.size() + value.size();
-    out_->push_back(KeyValue{std::move(key), std::move(value)});
+    out_->push_back(KeyValue{std::string(key), std::string(value)});
   }
   [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
 
@@ -21,7 +21,8 @@ class CollectEmitter final : public Emitter {
 
 }  // namespace
 
-ReduceRunner::ReduceRunner(ShuffleStore& shuffle) : shuffle_(&shuffle) {}
+ReduceRunner::ReduceRunner(ShuffleStore& shuffle, DataPath data_path)
+    : shuffle_(&shuffle), data_path_(data_path) {}
 
 StatusOr<ReduceTaskOutcome> ReduceRunner::run(const ReduceTaskSpec& task) const {
   if (task.job == nullptr || !task.job->valid()) {
@@ -31,17 +32,37 @@ StatusOr<ReduceTaskOutcome> ReduceRunner::run(const ReduceTaskSpec& task) const 
     return Status::out_of_range("partition beyond job's reduce task count");
   }
 
-  std::vector<KeyValue> records = shuffle_->take(task.job->id, task.partition);
+  const std::vector<KVBatch> runs =
+      shuffle_->take(task.job->id, task.partition);
   ReduceTaskOutcome outcome;
   outcome.counters.reduce_tasks = 1;
 
   auto reducer = task.job->reducer_factory();
   CollectEmitter collect(outcome.output);
-  outcome.counters.reduce_input_groups = sort_and_group(
-      std::move(records),
-      [&](const std::string& key, const std::vector<std::string>& values) {
-        reducer->reduce(key, values, collect);
-      });
+  if (data_path_ == DataPath::kFlatBatch) {
+    // Map tasks published sorted runs; grouping is a k-way merge.
+    outcome.counters.reduce_input_groups = merge_runs_and_group(
+        runs, [&](std::string_view key,
+                  const std::vector<std::string_view>& values) {
+          reducer->reduce(key, values, collect);
+        });
+  } else {
+    // Legacy oracle: flatten to owned records and globally sort from scratch.
+    std::vector<KeyValue> records;
+    for (const KVBatch& run : runs) {
+      for (std::size_t i = 0; i < run.size(); ++i) {
+        records.push_back(
+            KeyValue{std::string(run.key(i)), std::string(run.value(i))});
+      }
+    }
+    std::vector<std::string_view> value_views;
+    outcome.counters.reduce_input_groups = sort_and_group(
+        std::move(records),
+        [&](const std::string& key, const std::vector<std::string>& values) {
+          value_views.assign(values.begin(), values.end());
+          reducer->reduce(key, value_views, collect);
+        });
+  }
   outcome.counters.reduce_output_records = outcome.output.size();
   outcome.counters.reduce_output_bytes = collect.bytes();
   return outcome;

@@ -1,5 +1,6 @@
-// Reduce task execution: takes one (job, partition) bucket from the shuffle
-// store, sorts, groups by key, runs the user reducer, and returns the
+// Reduce task execution: takes one (job, partition) run set from the shuffle
+// store, k-way merges the sorted runs (or globally sorts, on the legacy
+// oracle path), runs the user reducer per key group, and returns the
 // partition's output.
 #pragma once
 
@@ -24,7 +25,8 @@ struct ReduceTaskOutcome {
 
 class ReduceRunner {
  public:
-  explicit ReduceRunner(ShuffleStore& shuffle);
+  explicit ReduceRunner(ShuffleStore& shuffle,
+                        DataPath data_path = DataPath::kFlatBatch);
 
   // Runs the task synchronously on the calling thread. Thread-safe across
   // distinct (job, partition) pairs.
@@ -32,6 +34,7 @@ class ReduceRunner {
 
  private:
   ShuffleStore* shuffle_;
+  DataPath data_path_;
 };
 
 }  // namespace s3::engine

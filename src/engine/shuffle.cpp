@@ -8,7 +8,7 @@ namespace s3::engine {
 
 void ShuffleStore::register_job(JobId job, std::uint32_t partitions) {
   S3_CHECK(partitions > 0);
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  std::unique_lock<std::shared_mutex> lock(registry_mu_);
   S3_CHECK_MSG(jobs_.count(job) == 0, "job already registered: " << job);
   JobBuckets jb;
   jb.partitions = partitions;
@@ -20,61 +20,172 @@ void ShuffleStore::register_job(JobId job, std::uint32_t partitions) {
 }
 
 void ShuffleStore::unregister_job(JobId job) {
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  std::unique_lock<std::shared_mutex> lock(registry_mu_);
   jobs_.erase(job);
 }
 
-ShuffleStore::Bucket& ShuffleStore::bucket(JobId job, std::uint32_t partition) {
-  std::lock_guard<std::mutex> lock(registry_mu_);
+ShuffleStore::JobBuckets& ShuffleStore::job_buckets(JobId job) {
+  std::shared_lock<std::shared_mutex> lock(registry_mu_);
   const auto it = jobs_.find(job);
   S3_CHECK_MSG(it != jobs_.end(), "unregistered job " << job);
-  S3_CHECK_MSG(partition < it->second.partitions,
-               "partition " << partition << " out of range");
-  return *it->second.buckets[partition];
+  return it->second;
 }
 
-const ShuffleStore::Bucket& ShuffleStore::bucket(
-    JobId job, std::uint32_t partition) const {
-  return const_cast<ShuffleStore*>(this)->bucket(job, partition);
+const ShuffleStore::JobBuckets& ShuffleStore::job_buckets(JobId job) const {
+  return const_cast<ShuffleStore*>(this)->job_buckets(job);
 }
 
-void ShuffleStore::append(JobId job, std::uint32_t partition,
-                          std::vector<KeyValue> run) {
+void ShuffleStore::append(JobId job, std::uint32_t partition, KVBatch run) {
   if (run.empty()) return;
-  Bucket& b = bucket(job, partition);
+  JobBuckets& jb = job_buckets(job);
+  S3_CHECK_MSG(partition < jb.partitions,
+               "partition " << partition << " out of range");
+  Bucket& b = *jb.buckets[partition];
   std::lock_guard<std::mutex> lock(b.mu);
-  if (b.records.empty()) {
-    b.records = std::move(run);
-  } else {
-    b.records.insert(b.records.end(), std::make_move_iterator(run.begin()),
-                     std::make_move_iterator(run.end()));
+  b.runs.push_back(std::move(run));
+}
+
+void ShuffleStore::publish(JobId job, std::vector<KVBatch> runs) {
+  JobBuckets& jb = job_buckets(job);
+  S3_CHECK_MSG(runs.size() == jb.partitions,
+               "publish expects one run per partition");
+  for (std::uint32_t p = 0; p < jb.partitions; ++p) {
+    if (runs[p].empty()) continue;
+    Bucket& b = *jb.buckets[p];
+    std::lock_guard<std::mutex> lock(b.mu);
+    b.runs.push_back(std::move(runs[p]));
   }
 }
 
-std::vector<KeyValue> ShuffleStore::take(JobId job, std::uint32_t partition) {
-  Bucket& b = bucket(job, partition);
+std::vector<KVBatch> ShuffleStore::take(JobId job, std::uint32_t partition) {
+  JobBuckets& jb = job_buckets(job);
+  S3_CHECK_MSG(partition < jb.partitions,
+               "partition " << partition << " out of range");
+  Bucket& b = *jb.buckets[partition];
   std::lock_guard<std::mutex> lock(b.mu);
-  std::vector<KeyValue> out;
-  out.swap(b.records);
+  std::vector<KVBatch> out;
+  out.swap(b.runs);
   return out;
 }
 
 std::uint32_t ShuffleStore::partitions(JobId job) const {
-  std::lock_guard<std::mutex> lock(registry_mu_);
-  const auto it = jobs_.find(job);
-  S3_CHECK_MSG(it != jobs_.end(), "unregistered job " << job);
-  return it->second.partitions;
+  return job_buckets(job).partitions;
 }
 
 std::uint64_t ShuffleStore::pending_records(JobId job) const {
+  const JobBuckets& jb = job_buckets(job);
   std::uint64_t total = 0;
-  const std::uint32_t parts = partitions(job);
-  for (std::uint32_t p = 0; p < parts; ++p) {
-    const Bucket& b = bucket(job, p);
-    std::lock_guard<std::mutex> lock(b.mu);
-    total += b.records.size();
+  for (const auto& bucket : jb.buckets) {
+    std::lock_guard<std::mutex> lock(bucket->mu);
+    for (const KVBatch& run : bucket->runs) total += run.size();
   }
   return total;
+}
+
+std::uint64_t hash_group(const KVBatch& batch, const GroupFn& fn) {
+  const std::size_t n = batch.size();
+  if (n == 0) return 0;
+
+  // Open addressing, linear probing, load factor <= 0.5. Slots hold group
+  // indices; groups chain their member records through `next`.
+  constexpr std::uint32_t kNil = 0xffffffffu;
+  std::size_t capacity = 16;
+  while (capacity < n * 2) capacity <<= 1;
+  const std::size_t mask = capacity - 1;
+  std::vector<std::uint32_t> slots(capacity, kNil);
+  struct Group {
+    std::uint32_t head;
+    std::uint32_t tail;
+  };
+  std::vector<Group> groups;
+  groups.reserve(n / 2 + 1);
+  std::vector<std::uint32_t> next(n, kNil);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string_view key = batch.key(i);
+    std::size_t slot = fnv1a(key) & mask;
+    while (slots[slot] != kNil && batch.key(groups[slots[slot]].head) != key) {
+      slot = (slot + 1) & mask;
+    }
+    if (slots[slot] == kNil) {
+      slots[slot] = static_cast<std::uint32_t>(groups.size());
+      groups.push_back(Group{static_cast<std::uint32_t>(i),
+                             static_cast<std::uint32_t>(i)});
+    } else {
+      Group& g = groups[slots[slot]];
+      next[g.tail] = static_cast<std::uint32_t>(i);
+      g.tail = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  std::vector<std::string_view> values;
+  for (const Group& g : groups) {
+    values.clear();
+    for (std::uint32_t j = g.head; j != kNil; j = next[j]) {
+      values.push_back(batch.value(j));
+    }
+    fn(batch.key(g.head), values);
+  }
+  return groups.size();
+}
+
+std::uint64_t merge_runs_and_group(const std::vector<KVBatch>& runs,
+                                   const GroupFn& fn) {
+  struct Cursor {
+    const KVBatch* run;
+    std::size_t pos;
+  };
+  std::vector<Cursor> cursors;
+  cursors.reserve(runs.size());
+  for (const KVBatch& run : runs) {
+    if (run.empty()) continue;
+    S3_CHECK_MSG(run.sorted_by_key(), "merge requires sorted runs");
+    cursors.push_back(Cursor{&run, 0});
+  }
+
+  // Binary min-heap of cursor indices ordered by current key (ties broken by
+  // cursor index so the merge is deterministic for a given run order).
+  std::vector<std::size_t> heap;
+  heap.reserve(cursors.size());
+  const auto key_of = [&](std::size_t c) {
+    return cursors[c].run->key(cursors[c].pos);
+  };
+  const auto heap_less = [&](std::size_t a, std::size_t b) {
+    const auto ka = key_of(a);
+    const auto kb = key_of(b);
+    if (ka != kb) return ka > kb;  // min-heap via greater-than
+    return a > b;
+  };
+  for (std::size_t c = 0; c < cursors.size(); ++c) heap.push_back(c);
+  std::make_heap(heap.begin(), heap.end(), heap_less);
+
+  std::uint64_t num_groups = 0;
+  std::vector<std::string_view> values;
+  while (!heap.empty()) {
+    // The smallest key across all runs starts a group; drain every run whose
+    // front matches it (each run's equal keys are consecutive — sorted).
+    const std::size_t first = heap.front();
+    // Views into the run arenas stay valid while we advance cursors.
+    const std::string_view group_key = key_of(first);
+    values.clear();
+    while (!heap.empty() && key_of(heap.front()) == group_key) {
+      std::pop_heap(heap.begin(), heap.end(), heap_less);
+      const std::size_t c = heap.back();
+      heap.pop_back();
+      Cursor& cur = cursors[c];
+      while (cur.pos < cur.run->size() && cur.run->key(cur.pos) == group_key) {
+        values.push_back(cur.run->value(cur.pos));
+        ++cur.pos;
+      }
+      if (cur.pos < cur.run->size()) {
+        heap.push_back(c);
+        std::push_heap(heap.begin(), heap.end(), heap_less);
+      }
+    }
+    fn(group_key, values);
+    ++num_groups;
+  }
+  return num_groups;
 }
 
 std::uint64_t sort_and_group(

@@ -1,20 +1,35 @@
-// In-memory shuffle: map tasks append partitioned runs, reduce tasks take a
-// whole (job, partition) bucket, sort it and group by key. Appends from many
-// map worker threads are serialized per bucket, and map tasks buffer
-// task-locally first, so lock traffic is one acquisition per (task, bucket).
+// In-memory shuffle: map tasks publish their per-partition KVBatch buffers as
+// sorted runs, reduce tasks take the whole (job, partition) run set and k-way
+// merge it (or, on the legacy oracle path, flatten and globally sort).
+// Registry lookups take a shared lock; map tasks resolve their job's buckets
+// once per publish, so the steady-state cost of an append is one per-bucket
+// mutex acquisition.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
 #include "engine/kv.h"
+#include "engine/kv_batch.h"
 
 namespace s3::engine {
+
+// Which record representation and grouping algorithm the runners use.
+// kFlatBatch is the production path: hash combine + sorted-run merge.
+// kLegacySort is the original owned-string global-sort path, kept as the
+// reference oracle for differential tests.
+enum class DataPath {
+  kFlatBatch,
+  kLegacySort,
+};
 
 class ShuffleStore {
  public:
@@ -22,11 +37,15 @@ class ShuffleStore {
   void register_job(JobId job, std::uint32_t partitions);
   void unregister_job(JobId job);
 
-  // Appends a run of records to (job, partition). Thread-safe.
-  void append(JobId job, std::uint32_t partition, std::vector<KeyValue> run);
+  // Appends one run to (job, partition). Thread-safe.
+  void append(JobId job, std::uint32_t partition, KVBatch run);
 
-  // Takes (moves out) all records of (job, partition). Thread-safe.
-  [[nodiscard]] std::vector<KeyValue> take(JobId job, std::uint32_t partition);
+  // Publishes one run per partition (runs[p] -> partition p) with a single
+  // registry resolve. Thread-safe; empty runs are dropped.
+  void publish(JobId job, std::vector<KVBatch> runs);
+
+  // Takes (moves out) all runs of (job, partition). Thread-safe.
+  [[nodiscard]] std::vector<KVBatch> take(JobId job, std::uint32_t partition);
 
   [[nodiscard]] std::uint32_t partitions(JobId job) const;
   [[nodiscard]] std::uint64_t pending_records(JobId job) const;
@@ -34,22 +53,42 @@ class ShuffleStore {
  private:
   struct Bucket {
     mutable std::mutex mu;
-    std::vector<KeyValue> records;
+    std::vector<KVBatch> runs;
   };
   struct JobBuckets {
     std::uint32_t partitions = 0;
     std::vector<std::unique_ptr<Bucket>> buckets;
   };
 
-  mutable std::mutex registry_mu_;
+  mutable std::shared_mutex registry_mu_;
   std::unordered_map<JobId, JobBuckets> jobs_;
 
-  [[nodiscard]] Bucket& bucket(JobId job, std::uint32_t partition);
-  [[nodiscard]] const Bucket& bucket(JobId job, std::uint32_t partition) const;
+  // Resolves a job's bucket set under a shared registry lock.
+  [[nodiscard]] JobBuckets& job_buckets(JobId job);
+  [[nodiscard]] const JobBuckets& job_buckets(JobId job) const;
 };
 
-// Sorts records by key and groups equal keys; calls `fn(key, values)` per
-// group in ascending key order. Returns the number of groups.
+// Grouping callback over records that live in an arena: views are valid only
+// for the duration of the call.
+using GroupFn =
+    std::function<void(std::string_view key,
+                       const std::vector<std::string_view>& values)>;
+
+// Groups a batch's records by key with an open-addressing hash table over the
+// arena — no sort, O(n) probes. Calls `fn` per group in first-appearance
+// order (callers that need key order sort afterwards). Returns group count.
+std::uint64_t hash_group(const KVBatch& batch, const GroupFn& fn);
+
+// K-way merges sorted runs and groups equal keys; calls `fn` per group in
+// ascending key order. Every run must be sorted_by_key(). Returns the number
+// of groups.
+std::uint64_t merge_runs_and_group(const std::vector<KVBatch>& runs,
+                                   const GroupFn& fn);
+
+// Legacy oracle: sorts owned records by key and groups equal keys; calls
+// `fn(key, values)` per group in ascending key order. Returns the number of
+// groups. The flat-batch paths above must produce byte-identical job output
+// to engines built on this.
 std::uint64_t sort_and_group(
     std::vector<KeyValue> records,
     const std::function<void(const std::string&,

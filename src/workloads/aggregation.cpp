@@ -13,15 +13,18 @@ void AvgPriceMapper::map(const dfs::Record& record, engine::Emitter& out) {
   const auto fields = dfs::split_fields(record.data);
   if (fields.size() < static_cast<std::size_t>(tpch::kNumColumns)) return;
   // Key: l_returnflag; value: "price|1".
-  std::string value(fields[tpch::kExtendedPrice]);
-  value += "|1";
-  out.emit(std::string(fields[tpch::kReturnFlag]), std::move(value));
+  value_buf_.assign(fields[tpch::kExtendedPrice]);
+  value_buf_ += "|1";
+  out.emit(fields[tpch::kReturnFlag], value_buf_);
 }
 
-std::pair<double, std::uint64_t> parse_pair(const std::string& value) {
+std::pair<double, std::uint64_t> parse_pair(std::string_view value) {
   const auto sep = value.find('|');
-  S3_CHECK_MSG(sep != std::string::npos, "malformed pair: " << value);
-  const double sum = std::strtod(value.c_str(), nullptr);
+  S3_CHECK_MSG(sep != std::string_view::npos, "malformed pair: " << value);
+  double sum = 0.0;
+  const auto [sp, sec] = std::from_chars(value.data(), value.data() + sep, sum);
+  S3_CHECK_MSG(sec == std::errc{} && sp == value.data() + sep,
+               "malformed sum: " << value);
   std::uint64_t count = 0;
   const auto* begin = value.data() + sep + 1;
   const auto* end = value.data() + value.size();
@@ -30,12 +33,12 @@ std::pair<double, std::uint64_t> parse_pair(const std::string& value) {
   return {sum, count};
 }
 
-void PairSumReducer::reduce(const std::string& key,
-                            const std::vector<std::string>& values,
+void PairSumReducer::reduce(std::string_view key,
+                            const std::vector<std::string_view>& values,
                             engine::Emitter& out) {
   double sum = 0.0;
   std::uint64_t count = 0;
-  for (const auto& v : values) {
+  for (const auto v : values) {
     const auto [s, c] = parse_pair(v);
     sum += s;
     count += c;

@@ -26,6 +26,9 @@ namespace s3::workloads {
 class AvgPriceMapper final : public engine::Mapper {
  public:
   void map(const dfs::Record& record, engine::Emitter& out) override;
+
+ private:
+  std::string value_buf_;  // reused "price|1" scratch across records
 };
 
 // Folds "sum|count" pairs: reduce({(s1,c1),(s2,c2)}) = (s1+s2, c1+c2).
@@ -33,13 +36,14 @@ class AvgPriceMapper final : public engine::Mapper {
 // cross-sub-job merge (paper §V-G's refined partial aggregation).
 class PairSumReducer final : public engine::Reducer {
  public:
-  void reduce(const std::string& key, const std::vector<std::string>& values,
+  void reduce(std::string_view key,
+              const std::vector<std::string_view>& values,
               engine::Emitter& out) override;
 };
 
 // Parses one "sum|count" value into (sum, count).
 [[nodiscard]] std::pair<double, std::uint64_t> parse_pair(
-    const std::string& value);
+    std::string_view value);
 
 struct Average {
   double sum = 0.0;

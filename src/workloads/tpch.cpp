@@ -128,17 +128,19 @@ void SelectionMapper::map(const dfs::Record& record, engine::Emitter& out) {
   const auto [p, ec] = std::from_chars(q.data(), q.data() + q.size(), quantity);
   if (ec != std::errc{} || p != q.data() + q.size()) return;
   if (quantity > max_quantity_) return;
-  std::string key = std::string(fields[kOrderKey]) + ':' +
-                    std::string(fields[kLineNumber]);
-  std::string value = std::string(fields[kQuantity]) + '|' +
-                      std::string(fields[kExtendedPrice]);
-  out.emit(std::move(key), std::move(value));
+  key_buf_.assign(fields[kOrderKey]);
+  key_buf_.push_back(':');
+  key_buf_.append(fields[kLineNumber]);
+  value_buf_.assign(fields[kQuantity]);
+  value_buf_.push_back('|');
+  value_buf_.append(fields[kExtendedPrice]);
+  out.emit(key_buf_, value_buf_);
 }
 
-void IdentityReducer::reduce(const std::string& key,
-                             const std::vector<std::string>& values,
+void IdentityReducer::reduce(std::string_view key,
+                             const std::vector<std::string_view>& values,
                              engine::Emitter& out) {
-  for (const auto& v : values) out.emit(key, v);
+  for (const auto v : values) out.emit(key, v);
 }
 
 engine::JobSpec make_selection_job(JobId id, FileId input, int max_quantity,

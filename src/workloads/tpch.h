@@ -71,12 +71,15 @@ class SelectionMapper final : public engine::Mapper {
 
  private:
   int max_quantity_;
+  std::string key_buf_;    // reused "orderkey:linenumber" scratch
+  std::string value_buf_;  // reused "quantity|price" scratch
 };
 
 // Pass-through reducer (selection has no aggregation); emits each value.
 class IdentityReducer final : public engine::Reducer {
  public:
-  void reduce(const std::string& key, const std::vector<std::string>& values,
+  void reduce(std::string_view key,
+              const std::vector<std::string_view>& values,
               engine::Emitter& out) override;
 };
 

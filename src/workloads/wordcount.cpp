@@ -20,7 +20,7 @@ void for_each_word(std::string_view line, Fn&& fn) {
   }
 }
 
-std::int64_t parse_int(const std::string& s) {
+std::int64_t parse_int(std::string_view s) {
   std::int64_t v = 0;
   const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
   S3_CHECK_MSG(ec == std::errc{} && ptr == s.data() + s.size(),
@@ -38,7 +38,7 @@ void PatternWordCountMapper::map(const dfs::Record& record,
   for_each_word(record.data, [&](std::string_view word) {
     if (word.size() >= prefix_.size() &&
         word.substr(0, prefix_.size()) == prefix_) {
-      out.emit(std::string(word), "1");
+      out.emit(word, "1");
     }
   });
 }
@@ -50,21 +50,34 @@ HeavyWordCountMapper::HeavyWordCountMapper(int amplify) : amplify_(amplify) {
 void HeavyWordCountMapper::map(const dfs::Record& record,
                                engine::Emitter& out) {
   for_each_word(record.data, [&](std::string_view word) {
-    out.emit(std::string(word), "1");
+    out.emit(word, "1");
+    if (amplify_ <= 1) return;
+    // Tagged duplicates create distinct keys, inflating reduce output the
+    // way the paper's heavy workload does. The tag is built in a reused
+    // buffer: only the digits after "word#" change per amplification step.
+    tag_buf_.assign(word);
+    tag_buf_.push_back('#');
+    const std::size_t stem = tag_buf_.size();
+    char digits[16];
     for (int a = 1; a < amplify_; ++a) {
-      // Tagged duplicates create distinct keys, inflating reduce output the
-      // way the paper's heavy workload does.
-      out.emit(std::string(word) + '#' + std::to_string(a), "1");
+      const auto [p, ec] = std::to_chars(digits, digits + sizeof(digits), a);
+      S3_CHECK(ec == std::errc{});
+      tag_buf_.resize(stem);
+      tag_buf_.append(digits, p);
+      out.emit(tag_buf_, "1");
     }
   });
 }
 
-void SumReducer::reduce(const std::string& key,
-                        const std::vector<std::string>& values,
+void SumReducer::reduce(std::string_view key,
+                        const std::vector<std::string_view>& values,
                         engine::Emitter& out) {
   std::int64_t sum = 0;
-  for (const auto& v : values) sum += parse_int(v);
-  out.emit(key, std::to_string(sum));
+  for (const auto v : values) sum += parse_int(v);
+  char digits[24];
+  const auto [p, ec] = std::to_chars(digits, digits + sizeof(digits), sum);
+  S3_CHECK(ec == std::errc{});
+  out.emit(key, std::string_view(digits, static_cast<std::size_t>(p - digits)));
 }
 
 engine::JobSpec make_wordcount_job(JobId id, FileId input, std::string prefix,

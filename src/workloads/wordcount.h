@@ -31,13 +31,15 @@ class HeavyWordCountMapper final : public engine::Mapper {
 
  private:
   int amplify_;
+  std::string tag_buf_;  // reused "word#N" scratch across records
 };
 
 // Sums integer values per key (also usable as a combiner — summation is
 // algebraic, which S3's sub-job execution requires).
 class SumReducer final : public engine::Reducer {
  public:
-  void reduce(const std::string& key, const std::vector<std::string>& values,
+  void reduce(std::string_view key,
+              const std::vector<std::string_view>& values,
               engine::Emitter& out) override;
 };
 

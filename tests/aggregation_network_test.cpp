@@ -25,8 +25,8 @@ TEST(PairSumTest, ReducerFoldsPairs) {
   class Collect final : public engine::Emitter {
    public:
     explicit Collect(std::vector<engine::KeyValue>& o) : out_(&o) {}
-    void emit(std::string k, std::string v) override {
-      out_->push_back({std::move(k), std::move(v)});
+    void emit(std::string_view k, std::string_view v) override {
+      out_->push_back({std::string(k), std::string(v)});
     }
    private:
     std::vector<engine::KeyValue>* out_;
@@ -54,8 +54,8 @@ TEST(AvgMapperTest, EmitsFlagAndPricePair) {
   class Collect final : public engine::Emitter {
    public:
     explicit Collect(std::vector<engine::KeyValue>& o) : out_(&o) {}
-    void emit(std::string k, std::string v) override {
-      out_->push_back({std::move(k), std::move(v)});
+    void emit(std::string_view k, std::string_view v) override {
+      out_->push_back({std::string(k), std::string(v)});
     }
    private:
     std::vector<engine::KeyValue>* out_;

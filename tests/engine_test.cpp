@@ -31,34 +31,61 @@ TEST(PartitionTest, SpreadsKeys) {
   EXPECT_GT(used.size(), 12u);
 }
 
+KVBatch make_batch(
+    std::initializer_list<std::pair<std::string_view, std::string_view>> kvs) {
+  KVBatch batch;
+  for (const auto& [k, v] : kvs) batch.append(k, v);
+  return batch;
+}
+
+std::uint64_t total_records(const std::vector<KVBatch>& runs) {
+  std::uint64_t n = 0;
+  for (const auto& run : runs) n += run.size();
+  return n;
+}
+
 TEST(ShuffleStoreTest, AppendAndTake) {
   ShuffleStore shuffle;
   shuffle.register_job(JobId(0), 4);
-  shuffle.append(JobId(0), 1, {{"a", "1"}, {"b", "2"}});
-  shuffle.append(JobId(0), 1, {{"c", "3"}});
+  shuffle.append(JobId(0), 1, make_batch({{"a", "1"}, {"b", "2"}}));
+  shuffle.append(JobId(0), 1, make_batch({{"c", "3"}}));
   EXPECT_EQ(shuffle.pending_records(JobId(0)), 3u);
-  const auto records = shuffle.take(JobId(0), 1);
-  EXPECT_EQ(records.size(), 3u);
+  const auto runs = shuffle.take(JobId(0), 1);
+  EXPECT_EQ(runs.size(), 2u);  // one run per append
+  EXPECT_EQ(total_records(runs), 3u);
   EXPECT_EQ(shuffle.pending_records(JobId(0)), 0u);
   EXPECT_TRUE(shuffle.take(JobId(0), 1).empty());  // drained
+}
+
+TEST(ShuffleStoreTest, PublishFansOutOneRunPerPartition) {
+  ShuffleStore shuffle;
+  shuffle.register_job(JobId(0), 3);
+  std::vector<KVBatch> runs;
+  runs.push_back(make_batch({{"a", "1"}}));
+  runs.push_back(KVBatch{});  // empty runs are dropped
+  runs.push_back(make_batch({{"b", "2"}, {"c", "3"}}));
+  shuffle.publish(JobId(0), std::move(runs));
+  EXPECT_EQ(total_records(shuffle.take(JobId(0), 0)), 1u);
+  EXPECT_TRUE(shuffle.take(JobId(0), 1).empty());
+  EXPECT_EQ(total_records(shuffle.take(JobId(0), 2)), 2u);
 }
 
 TEST(ShuffleStoreTest, PartitionsIsolated) {
   ShuffleStore shuffle;
   shuffle.register_job(JobId(0), 2);
-  shuffle.append(JobId(0), 0, {{"a", "1"}});
-  shuffle.append(JobId(0), 1, {{"b", "2"}});
-  EXPECT_EQ(shuffle.take(JobId(0), 0).size(), 1u);
-  EXPECT_EQ(shuffle.take(JobId(0), 1).size(), 1u);
+  shuffle.append(JobId(0), 0, make_batch({{"a", "1"}}));
+  shuffle.append(JobId(0), 1, make_batch({{"b", "2"}}));
+  EXPECT_EQ(total_records(shuffle.take(JobId(0), 0)), 1u);
+  EXPECT_EQ(total_records(shuffle.take(JobId(0), 1)), 1u);
 }
 
 TEST(ShuffleStoreTest, JobsIsolated) {
   ShuffleStore shuffle;
   shuffle.register_job(JobId(0), 1);
   shuffle.register_job(JobId(1), 1);
-  shuffle.append(JobId(0), 0, {{"a", "1"}});
+  shuffle.append(JobId(0), 0, make_batch({{"a", "1"}}));
   EXPECT_TRUE(shuffle.take(JobId(1), 0).empty());
-  EXPECT_EQ(shuffle.take(JobId(0), 0).size(), 1u);
+  EXPECT_EQ(total_records(shuffle.take(JobId(0), 0)), 1u);
   EXPECT_EQ(shuffle.partitions(JobId(1)), 1u);
   shuffle.unregister_job(JobId(0));
   shuffle.unregister_job(JobId(1));

@@ -150,8 +150,8 @@ TEST(SelectionMapperTest, FiltersByQuantity) {
   class Collect final : public engine::Emitter {
    public:
     explicit Collect(std::vector<engine::KeyValue>& o) : out_(&o) {}
-    void emit(std::string k, std::string v) override {
-      out_->push_back({std::move(k), std::move(v)});
+    void emit(std::string_view k, std::string_view v) override {
+      out_->push_back({std::string(k), std::string(v)});
     }
    private:
     std::vector<engine::KeyValue>* out_;
@@ -176,7 +176,9 @@ TEST(SelectionMapperTest, IgnoresMalformedRows) {
   tpch::SelectionMapper mapper(5);
   class Fail final : public engine::Emitter {
    public:
-    void emit(std::string, std::string) override { FAIL() << "no emit"; }
+    void emit(std::string_view, std::string_view) override {
+      FAIL() << "no emit";
+    }
   } collect;
   mapper.map(dfs::Record{0, "not|a|lineitem"}, collect);
   mapper.map(dfs::Record{0, ""}, collect);
@@ -189,8 +191,8 @@ TEST(WordCountMapperTest, PrefixFilter) {
   class Collect final : public engine::Emitter {
    public:
     explicit Collect(std::vector<engine::KeyValue>& o) : out_(&o) {}
-    void emit(std::string k, std::string v) override {
-      out_->push_back({std::move(k), std::move(v)});
+    void emit(std::string_view k, std::string_view v) override {
+      out_->push_back({std::string(k), std::string(v)});
     }
    private:
     std::vector<engine::KeyValue>* out_;
@@ -208,7 +210,7 @@ TEST(WordCountMapperTest, EmptyPrefixMatchesAll) {
   class Count final : public engine::Emitter {
    public:
     explicit Count(int& c) : c_(&c) {}
-    void emit(std::string, std::string) override { ++*c_; }
+    void emit(std::string_view, std::string_view) override { ++*c_; }
    private:
     int* c_;
   } collect(count);
@@ -222,8 +224,8 @@ TEST(SumReducerTest, SumsValues) {
   class Collect final : public engine::Emitter {
    public:
     explicit Collect(std::vector<engine::KeyValue>& o) : out_(&o) {}
-    void emit(std::string k, std::string v) override {
-      out_->push_back({std::move(k), std::move(v)});
+    void emit(std::string_view k, std::string_view v) override {
+      out_->push_back({std::string(k), std::string(v)});
     }
    private:
     std::vector<engine::KeyValue>* out_;
@@ -239,7 +241,7 @@ TEST(HeavyMapperTest, AmplifiesOutput) {
   class Count final : public engine::Emitter {
    public:
     explicit Count(int& c) : c_(&c) {}
-    void emit(std::string, std::string) override { ++*c_; }
+    void emit(std::string_view, std::string_view) override { ++*c_; }
    private:
     int* c_;
   } collect(count);
