@@ -36,7 +36,10 @@ int main() {
   // reads each block exactly once.
   const auto run_jobs = [&](std::uint64_t n, bool combined,
                             std::uint64_t* physical_blocks) {
-    engine::LocalEngine engine(ns, store, {4, 2});
+    engine::LocalEngineOptions eopts;
+    eopts.map_workers = 4;
+    eopts.reduce_workers = 2;
+    engine::LocalEngine engine(ns, store, eopts);
     std::vector<JobId> job_ids;
     for (std::uint64_t j = 0; j < n; ++j) {
       const std::string prefix(1, static_cast<char>('a' + j));

@@ -44,8 +44,10 @@ int main(int argc, char** argv) {
                     /*arrival=*/0.2 * static_cast<double>(j), 0});
   }
 
-  engine::LocalEngine engine(ns, source, {/*map_workers=*/4,
-                                          /*reduce_workers=*/2});
+  engine::LocalEngineOptions eopts;
+  eopts.map_workers = 4;
+  eopts.reduce_workers = 2;
+  engine::LocalEngine engine(ns, source, eopts);
   core::RealDriver driver(ns, engine, catalog, {/*time_scale=*/1e6});
   auto s3 = workloads::make_s3(catalog, topology,
                                std::max<std::uint64_t>(1, num_blocks / 4));

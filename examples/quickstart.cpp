@@ -45,8 +45,10 @@ int main() {
                   /*arrival=*/2.0, 0});
 
   // --- 3. Run under S3: 4-block segments, real threaded execution. ---
-  engine::LocalEngine engine(ns, store, {/*map_workers=*/4,
-                                         /*reduce_workers=*/2});
+  engine::LocalEngineOptions eopts;
+  eopts.map_workers = 4;
+  eopts.reduce_workers = 2;
+  engine::LocalEngine engine(ns, store, eopts);
   core::RealDriver driver(ns, engine, catalog,
                           {/*time_scale=*/1e5});  // stretch wall->virtual
   auto s3 = workloads::make_s3(catalog, topology, /*segment_blocks=*/4);

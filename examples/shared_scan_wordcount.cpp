@@ -66,7 +66,10 @@ int main() {
       scheduler = workloads::make_s3(world.catalog, world.topology,
                                      /*segment_blocks=*/8);
     }
-    engine::LocalEngine engine(world.ns, world.store, {4, 2});
+    engine::LocalEngineOptions eopts;
+    eopts.map_workers = 4;
+    eopts.reduce_workers = 2;
+    engine::LocalEngine engine(world.ns, world.store, eopts);
     core::RealDriver driver(world.ns, engine, world.catalog,
                             {/*time_scale=*/2e4});
     auto result = driver.run(*scheduler, make_jobs(world.file)).value();

@@ -51,7 +51,10 @@ int main() {
                     queries[q].arrival, 0});
   }
 
-  engine::LocalEngine engine(ns, store, {4, 2});
+  engine::LocalEngineOptions eopts;
+  eopts.map_workers = 4;
+  eopts.reduce_workers = 2;
+  engine::LocalEngine engine(ns, store, eopts);
   core::RealDriver driver(ns, engine, catalog, {/*time_scale=*/1e5});
   auto s3 = workloads::make_s3(catalog, topology, /*segment_blocks=*/4);
   auto result = driver.run(*s3, std::move(jobs)).value();

@@ -1,35 +1,87 @@
 #!/usr/bin/env bash
-# Full pre-merge check: tier-1 verify (Debug-default build + ctest), then a
-# Release build with a micro-benchmark smoke run so Release-only regressions
-# and bench bit-rot are caught. Usage: scripts/check.sh [--skip-release]
+# Full pre-merge check matrix.
+#
+#   scripts/check.sh                 tier-1 (warnings-as-errors build + ctest)
+#                                    then Release build + bench smoke
+#   scripts/check.sh --skip-release  tier-1 only
+#   scripts/check.sh --asan          ASan build + ctest   (build-asan/)
+#   scripts/check.sh --ubsan         UBSan build + ctest  (build-ubsan/)
+#   scripts/check.sh --tsan          TSan build + ctest   (build-tsan/)
+#   scripts/check.sh --tidy          clang-tidy over every TU (build-tidy/)
+#   scripts/check.sh --all           tier-1 + asan + ubsan + tsan + tidy
+#                                    + format check + Release smoke
+#
+# Sanitizer modes build tests only (benches/examples are covered by the
+# default mode) so the instrumented builds stay fast. --tidy and the format
+# check degrade to a notice when the LLVM binaries are not installed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SKIP_RELEASE=0
+declare -a MODES=()
 for arg in "$@"; do
   case "$arg" in
     --skip-release) SKIP_RELEASE=1 ;;
+    --asan) MODES+=(asan) ;;
+    --ubsan) MODES+=(ubsan) ;;
+    --tsan) MODES+=(tsan) ;;
+    --tidy) MODES+=(tidy) ;;
+    --all) MODES+=(tier1 asan ubsan tsan tidy format release) ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
-
-echo "=== tier-1: configure + build + ctest ==="
-cmake -B build -S .
-cmake --build build -j
-(cd build && ctest --output-on-failure -j)
-
-if [[ "$SKIP_RELEASE" == 1 ]]; then
-  echo "=== skipping Release build + bench smoke (--skip-release) ==="
-  exit 0
+# No explicit mode: the classic tier-1 (+ Release unless skipped) flow.
+if [[ ${#MODES[@]} -eq 0 ]]; then
+  MODES=(tier1)
+  [[ "$SKIP_RELEASE" == 1 ]] || MODES+=(release)
 fi
 
-echo "=== Release build ==="
-cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build-release -j
+run_sanitized() {  # <name> <S3_SANITIZE value>
+  local name="$1" value="$2"
+  echo "=== ${name}: build + ctest (S3_SANITIZE=${value}) ==="
+  cmake -B "build-${name}" -S . \
+    -DS3_SANITIZE="${value}" \
+    -DS3_WARNINGS_AS_ERRORS=ON \
+    -DS3_BUILD_BENCHMARKS=OFF -DS3_BUILD_EXAMPLES=OFF
+  cmake --build "build-${name}" -j
+  (cd "build-${name}" && ctest --output-on-failure -j)
+}
 
-echo "=== micro-benchmark smoke (hot-path benches must still run) ==="
-./build-release/bench/micro_benchmarks \
-  --benchmark_min_time=0.01 \
-  --benchmark_filter='BM_(MapRunnerEndToEnd|HashCombine|SortedRunMerge|ShuffleSortAndGroup|SharedScanReader)'
+for mode in "${MODES[@]}"; do
+  case "$mode" in
+    tier1)
+      echo "=== tier-1: configure + build (warnings as errors) + ctest ==="
+      cmake -B build -S . -DS3_WARNINGS_AS_ERRORS=ON
+      cmake --build build -j
+      (cd build && ctest --output-on-failure -j)
+      ;;
+    asan) run_sanitized asan address ;;
+    ubsan) run_sanitized ubsan undefined ;;
+    tsan) run_sanitized tsan thread ;;
+    tidy)
+      echo "=== clang-tidy over all TUs ==="
+      if ! command -v clang-tidy > /dev/null 2>&1; then
+        echo "check.sh: clang-tidy not found; skipping (install LLVM)"
+        continue
+      fi
+      cmake -B build-tidy -S . -DS3_ENABLE_CLANG_TIDY=ON \
+        -DS3_WARNINGS_AS_ERRORS=ON
+      cmake --build build-tidy -j
+      echo "check.sh: clang-tidy reported zero errors"
+      ;;
+    format)
+      scripts/format.sh --check
+      ;;
+    release)
+      echo "=== Release build ==="
+      cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+      cmake --build build-release -j
+      echo "=== micro-benchmark smoke (hot-path benches must still run) ==="
+      ./build-release/bench/micro_benchmarks \
+        --benchmark_min_time=0.01 \
+        --benchmark_filter='BM_(MapRunnerEndToEnd|HashCombine|SortedRunMerge|ShuffleSortAndGroup|SharedScanReader)'
+      ;;
+  esac
+done
 
-echo "=== check.sh: all green ==="
+echo "=== check.sh: all green (${MODES[*]}) ==="

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# clang-format over every C++ source in the repo.
+#   scripts/format.sh          rewrite files in place
+#   scripts/format.sh --check  fail (exit 1) if any file needs reformatting
+# Skips with a notice (exit 0) when no clang-format binary is available, so
+# the hook is safe to wire into environments without LLVM installed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CHECK=0
+for arg in "$@"; do
+  case "$arg" in
+    --check) CHECK=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+if ! command -v clang-format > /dev/null 2>&1; then
+  echo "format.sh: clang-format not found; skipping (install LLVM to enable)"
+  exit 0
+fi
+
+mapfile -t files < <(git ls-files '*.cpp' '*.h')
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "format.sh: no C++ sources found"
+  exit 0
+fi
+
+if [[ "$CHECK" == 1 ]]; then
+  clang-format --dry-run --Werror "${files[@]}"
+  echo "format.sh: all ${#files[@]} files clean"
+else
+  clang-format -i "${files[@]}"
+  echo "format.sh: formatted ${#files[@]} files"
+fi

@@ -1,13 +1,16 @@
 // Unbounded MPMC blocking queue used by the thread pool and the real engine's
 // task dispatch. close() wakes all waiters; pop() returns nullopt once the
-// queue is closed and drained.
+// queue is closed and drained. All state is guarded by one mutex; the locking
+// discipline is machine-checked by Clang Thread Safety Analysis (see
+// common/thread_annotations.h).
 #pragma once
 
 #include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "common/thread_annotations.h"
 
 namespace s3 {
 
@@ -19,9 +22,9 @@ class BlockingQueue {
   BlockingQueue& operator=(const BlockingQueue&) = delete;
 
   // Returns false if the queue is already closed (item is dropped).
-  bool push(T item) {
+  bool push(T item) S3_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (closed_) return false;
       items_.push_back(std::move(item));
     }
@@ -30,9 +33,9 @@ class BlockingQueue {
   }
 
   // Blocks until an item is available or the queue is closed and empty.
-  std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  std::optional<T> pop() S3_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (!closed_ && items_.empty()) lock.wait(cv_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -40,37 +43,37 @@ class BlockingQueue {
   }
 
   // Non-blocking pop.
-  std::optional<T> try_pop() {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::optional<T> try_pop() S3_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
     return item;
   }
 
-  void close() {
+  void close() S3_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
     cv_.notify_all();
   }
 
-  [[nodiscard]] bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  [[nodiscard]] bool closed() const S3_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return closed_;
   }
 
-  [[nodiscard]] std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  [[nodiscard]] std::size_t size() const S3_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return items_.size();
   }
 
  private:
-  mutable std::mutex mu_;
+  mutable AnnotatedMutex mu_;
   std::condition_variable cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  std::deque<T> items_ S3_GUARDED_BY(mu_);
+  bool closed_ S3_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace s3

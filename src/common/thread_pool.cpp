@@ -1,5 +1,7 @@
 #include "common/thread_pool.h"
 
+#include <utility>
+
 #include "common/status.h"
 
 namespace s3 {
@@ -16,12 +18,12 @@ ThreadPool::~ThreadPool() { shutdown(); }
 
 bool ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(idle_mu_);
+    MutexLock lock(idle_mu_);
     if (shutdown_) return false;
     ++pending_;
   }
   if (!queue_.push(std::move(task))) {
-    std::lock_guard<std::mutex> lock(idle_mu_);
+    MutexLock lock(idle_mu_);
     --pending_;
     return false;
   }
@@ -29,13 +31,18 @@ bool ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(idle_mu_);
-  idle_cv_.wait(lock, [&] { return pending_ == 0; });
+  std::exception_ptr error;
+  {
+    MutexLock lock(idle_mu_);
+    while (pending_ != 0) lock.wait(idle_cv_);
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::shutdown() {
   {
-    std::lock_guard<std::mutex> lock(idle_mu_);
+    MutexLock lock(idle_mu_);
     if (shutdown_) return;
     shutdown_ = true;
   }
@@ -49,9 +56,15 @@ void ThreadPool::worker_loop() {
   while (true) {
     auto task = queue_.pop();
     if (!task.has_value()) return;  // closed and drained
-    (*task)();
+    std::exception_ptr error;
+    try {
+      (*task)();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
-      std::lock_guard<std::mutex> lock(idle_mu_);
+      MutexLock lock(idle_mu_);
+      if (error && first_error_ == nullptr) first_error_ = error;
       --pending_;
       if (pending_ == 0) idle_cv_.notify_all();
     }

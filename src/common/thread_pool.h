@@ -2,16 +2,22 @@
 // map/reduce slots in the real execution engine: one worker thread per slot.
 // Tasks are type-erased std::function<void()>; submit() returns immediately
 // and wait_idle() blocks until every submitted task has finished.
+//
+// Exception contract: a task that throws does not kill the worker thread.
+// The first exception is captured and rethrown from the next wait_idle()
+// call (later ones are dropped), so engine code that waits for a wave
+// observes the failure on its own thread. Lock discipline is machine-checked
+// via common/thread_annotations.h.
 #pragma once
 
-#include <atomic>
 #include <condition_variable>
+#include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/blocking_queue.h"
+#include "common/thread_annotations.h"
 
 namespace s3 {
 
@@ -24,26 +30,31 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   // Enqueues a task; returns false if the pool is shutting down.
-  bool submit(std::function<void()> task);
+  bool submit(std::function<void()> task) S3_EXCLUDES(idle_mu_);
 
   // Blocks until the queue is empty AND no worker is executing a task.
-  void wait_idle();
+  // Rethrows the first exception any task threw since the last wait_idle().
+  void wait_idle() S3_EXCLUDES(idle_mu_);
 
   // Stops accepting work, drains the queue, joins all workers. Called by the
-  // destructor if not called explicitly.
-  void shutdown();
+  // destructor if not called explicitly. Exceptions captured from tasks that
+  // ran during shutdown are discarded.
+  void shutdown() S3_EXCLUDES(idle_mu_);
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
  private:
-  void worker_loop();
+  void worker_loop() S3_EXCLUDES(idle_mu_);
 
   BlockingQueue<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
-  std::mutex idle_mu_;
+  mutable AnnotatedMutex idle_mu_;
   std::condition_variable idle_cv_;
-  std::size_t pending_ = 0;  // submitted but not yet finished
-  bool shutdown_ = false;
+  // submitted but not yet finished
+  std::size_t pending_ S3_GUARDED_BY(idle_mu_) = 0;
+  bool shutdown_ S3_GUARDED_BY(idle_mu_) = false;
+  // first uncaught task exception since the last wait_idle()
+  std::exception_ptr first_error_ S3_GUARDED_BY(idle_mu_);
 };
 
 }  // namespace s3

@@ -1,6 +1,11 @@
 // Per-job counters, mirroring the Hadoop counter groups the paper reports in
-// Table I. All fields are plain integers; the engine aggregates thread-local
-// counters under a lock at task boundaries, so no atomics are needed here.
+// Table I. All fields are plain integers, deliberately without atomics or an
+// internal lock: every instance is either task-local (one worker thread owns
+// the outcome until the collect lock hands it over) or lives inside
+// LocalEngine::JobState, where it is S3_GUARDED_BY(LocalEngine::mu_). The
+// thread-safety annotations on those owners (common/thread_annotations.h)
+// are what make this lock-free struct safe; do not share a JobCounters
+// between threads without an external capability.
 #pragma once
 
 #include <cstdint>

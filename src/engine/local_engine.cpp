@@ -1,6 +1,7 @@
 #include "engine/local_engine.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/logging.h"
 
@@ -36,7 +37,7 @@ Status LocalEngine::register_job(JobSpec spec) {
   if (!ns_->has_file(spec.input)) {
     return Status::not_found("job input file does not exist");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (jobs_.count(spec.id) > 0) {
     return Status::already_exists("job already registered");
   }
@@ -71,7 +72,7 @@ Status LocalEngine::execute_batch(const BatchExec& batch) {
   // Snapshot member specs (stable pointers: jobs_ values are node-based).
   std::vector<const JobSpec*> members;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     members.reserve(batch.jobs.size());
     for (const JobId job : batch.jobs) {
       const auto it = jobs_.find(job);
@@ -87,19 +88,20 @@ Status LocalEngine::execute_batch(const BatchExec& batch) {
                            << batch.jobs.size() << " jobs";
 
   // --- Map wave: one merged map task per block, all slots in parallel. ---
-  std::mutex outcome_mu;
-  std::vector<MapTaskOutcome> outcomes;
-  Status first_error = Status::ok();
+  struct MapCollect {
+    AnnotatedMutex mu;
+    std::vector<MapTaskOutcome> outcomes S3_GUARDED_BY(mu);
+    Status first_error S3_GUARDED_BY(mu) = Status::ok();
+  } map_collect;
   for (const BlockId block : batch.blocks) {
     MapTaskSpec task;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       task.id = task_ids_.next();
     }
     task.block = block;
     task.jobs = members;
-    map_pool_->submit([this, task = std::move(task), &outcome_mu, &outcomes,
-                       &first_error] {
+    map_pool_->submit([this, task = std::move(task), &map_collect] {
       // Fault tolerance: injected failures model a node rejecting/losing the
       // attempt before any side effects; the attempt is simply re-run.
       StatusOr<MapTaskOutcome> outcome =
@@ -107,7 +109,7 @@ Status LocalEngine::execute_batch(const BatchExec& batch) {
       for (int attempt = 1; attempt <= options_.max_task_attempts; ++attempt) {
         if (options_.failure_injector != nullptr &&
             options_.failure_injector(task.id, attempt)) {
-          std::lock_guard<std::mutex> lock(mu_);
+          MutexLock lock(mu_);
           ++failed_attempts_;
           outcome = Status::unavailable("injected task failure");
           continue;
@@ -115,20 +117,30 @@ Status LocalEngine::execute_batch(const BatchExec& batch) {
         outcome = map_runner_.run(task);
         if (outcome.is_ok()) break;
       }
-      std::lock_guard<std::mutex> lock(outcome_mu);
+      MutexLock lock(map_collect.mu);
       if (outcome.is_ok()) {
-        outcomes.push_back(std::move(outcome).value());
-      } else if (first_error.is_ok()) {
-        first_error = outcome.status();
+        map_collect.outcomes.push_back(std::move(outcome).value());
+      } else if (map_collect.first_error.is_ok()) {
+        map_collect.first_error = outcome.status();
       }
     });
   }
-  map_pool_->wait_idle();
-  if (!first_error.is_ok()) return first_error;
+  try {
+    map_pool_->wait_idle();
+  } catch (const std::exception& e) {
+    return Status::internal(std::string("map task threw: ") + e.what());
+  }
+  // Single-threaded from here until the reduce wave: the workers are idle,
+  // but TSA still wants the collect locks for the guarded reads below.
+  {
+    MutexLock lock(map_collect.mu);
+    if (!map_collect.first_error.is_ok()) return map_collect.first_error;
+  }
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (const auto& outcome : outcomes) {
+    MutexLock outcome_lock(map_collect.mu);
+    MutexLock lock(mu_);
+    for (const auto& outcome : map_collect.outcomes) {
       scan_counters_ += outcome.scan;
       for (const auto& [job, counters] : outcome.per_job) {
         state(job).counters += counters;
@@ -138,17 +150,17 @@ Status LocalEngine::execute_batch(const BatchExec& batch) {
 
   // --- Reduce wave: per member job, per partition. ---
   struct ReduceCollect {
-    std::mutex mu;
-    std::unordered_map<JobId, std::vector<KeyValue>> outputs;
-    std::unordered_map<JobId, JobCounters> counters;
-    Status error = Status::ok();
+    AnnotatedMutex mu;
+    std::unordered_map<JobId, std::vector<KeyValue>> outputs S3_GUARDED_BY(mu);
+    std::unordered_map<JobId, JobCounters> counters S3_GUARDED_BY(mu);
+    Status error S3_GUARDED_BY(mu) = Status::ok();
   } collect;
 
   for (const JobSpec* spec : members) {
     for (std::uint32_t p = 0; p < spec->num_reduce_tasks; ++p) {
       ReduceTaskSpec task;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         task.id = task_ids_.next();
       }
       task.job = spec;
@@ -160,7 +172,7 @@ Status LocalEngine::execute_batch(const BatchExec& batch) {
              ++attempt) {
           if (options_.failure_injector != nullptr &&
               options_.failure_injector(task.id, attempt)) {
-            std::lock_guard<std::mutex> lock(mu_);
+            MutexLock lock(mu_);
             ++failed_attempts_;
             outcome = Status::unavailable("injected task failure");
             continue;
@@ -168,7 +180,7 @@ Status LocalEngine::execute_batch(const BatchExec& batch) {
           outcome = reduce_runner_.run(task);
           if (outcome.is_ok()) break;
         }
-        std::lock_guard<std::mutex> lock(collect.mu);
+        MutexLock lock(collect.mu);
         if (!outcome.is_ok()) {
           if (collect.error.is_ok()) collect.error = outcome.status();
           return;
@@ -181,11 +193,19 @@ Status LocalEngine::execute_batch(const BatchExec& batch) {
       });
     }
   }
-  reduce_pool_->wait_idle();
-  if (!collect.error.is_ok()) return collect.error;
+  try {
+    reduce_pool_->wait_idle();
+  } catch (const std::exception& e) {
+    return Status::internal(std::string("reduce task threw: ") + e.what());
+  }
+  {
+    MutexLock lock(collect.mu);
+    if (!collect.error.is_ok()) return collect.error;
+  }
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock collect_lock(collect.mu);
+    MutexLock lock(mu_);
     for (const JobSpec* spec : members) {
       JobState& st = state(spec->id);
       st.counters += collect.counters[spec->id];
@@ -228,12 +248,17 @@ std::vector<KeyValue> LocalEngine::re_reduce(const JobSpec& spec,
 }
 
 StatusOr<JobResult> LocalEngine::finalize_job(JobId job) {
-  std::unique_lock<std::mutex> lock(mu_);
-  const auto it = jobs_.find(job);
-  if (it == jobs_.end()) return Status::not_found("unregistered job");
-  JobState st = std::move(it->second);
-  jobs_.erase(it);
-  lock.unlock();
+  std::optional<JobState> taken;
+  {
+    MutexLock lock(mu_);
+    const auto it = jobs_.find(job);
+    if (it == jobs_.end()) return Status::not_found("unregistered job");
+    taken.emplace(std::move(it->second));
+    jobs_.erase(it);
+  }
+  JobState& st = *taken;
+  // mu_ released before touching the shuffle registry (lock order: never
+  // hold the engine leaf lock while acquiring shuffle locks).
   shuffle_.unregister_job(job);
 
   JobResult result;
@@ -253,22 +278,22 @@ StatusOr<JobResult> LocalEngine::finalize_job(JobId job) {
 }
 
 const JobCounters& LocalEngine::counters(JobId job) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return state(job).counters;
 }
 
 ScanCounters LocalEngine::scan_counters() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return scan_counters_;
 }
 
 std::size_t LocalEngine::registered_jobs() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return jobs_.size();
 }
 
 std::uint64_t LocalEngine::failed_attempts() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return failed_attempts_;
 }
 

@@ -13,11 +13,11 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "common/types.h"
 #include "dfs/block_source.h"
@@ -84,11 +84,13 @@ class LocalEngine {
   // releases its engine state. Must be called after the job's last batch.
   StatusOr<JobResult> finalize_job(JobId job);
 
-  [[nodiscard]] const JobCounters& counters(JobId job) const;
-  [[nodiscard]] ScanCounters scan_counters() const;
-  [[nodiscard]] std::size_t registered_jobs() const;
+  // The returned reference escapes mu_; callers read it only between waves
+  // (no batch in flight for the job), which the engine's drivers guarantee.
+  [[nodiscard]] const JobCounters& counters(JobId job) const S3_EXCLUDES(mu_);
+  [[nodiscard]] ScanCounters scan_counters() const S3_EXCLUDES(mu_);
+  [[nodiscard]] std::size_t registered_jobs() const S3_EXCLUDES(mu_);
   // Task attempts that failed and were retried (fault-tolerance telemetry).
-  [[nodiscard]] std::uint64_t failed_attempts() const;
+  [[nodiscard]] std::uint64_t failed_attempts() const S3_EXCLUDES(mu_);
 
  private:
   struct JobState {
@@ -103,8 +105,8 @@ class LocalEngine {
   [[nodiscard]] std::vector<KeyValue> re_reduce(const JobSpec& spec,
                                                 std::vector<KeyValue> records);
 
-  JobState& state(JobId job);
-  [[nodiscard]] const JobState& state(JobId job) const;
+  JobState& state(JobId job) S3_REQUIRES(mu_);
+  [[nodiscard]] const JobState& state(JobId job) const S3_REQUIRES(mu_);
 
   const dfs::DfsNamespace* ns_;
   // Set when constructed from a BlockStore (keeps the adapter alive).
@@ -118,11 +120,12 @@ class LocalEngine {
   std::unique_ptr<ThreadPool> map_pool_;
   std::unique_ptr<ThreadPool> reduce_pool_;
 
-  mutable std::mutex mu_;  // guards jobs_, scan_counters_, task_ids_
-  std::unordered_map<JobId, JobState> jobs_;
-  ScanCounters scan_counters_;
-  IdGenerator<TaskId> task_ids_;
-  std::uint64_t failed_attempts_ = 0;
+  // Leaf lock: never held while calling into ShuffleStore or the pools.
+  mutable AnnotatedMutex mu_;
+  std::unordered_map<JobId, JobState> jobs_ S3_GUARDED_BY(mu_);
+  ScanCounters scan_counters_ S3_GUARDED_BY(mu_);
+  IdGenerator<TaskId> task_ids_ S3_GUARDED_BY(mu_);
+  std::uint64_t failed_attempts_ S3_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace s3::engine

@@ -8,7 +8,7 @@ namespace s3::engine {
 
 void ShuffleStore::register_job(JobId job, std::uint32_t partitions) {
   S3_CHECK(partitions > 0);
-  std::unique_lock<std::shared_mutex> lock(registry_mu_);
+  WriterMutexLock lock(registry_mu_);
   S3_CHECK_MSG(jobs_.count(job) == 0, "job already registered: " << job);
   JobBuckets jb;
   jb.partitions = partitions;
@@ -20,12 +20,12 @@ void ShuffleStore::register_job(JobId job, std::uint32_t partitions) {
 }
 
 void ShuffleStore::unregister_job(JobId job) {
-  std::unique_lock<std::shared_mutex> lock(registry_mu_);
+  WriterMutexLock lock(registry_mu_);
   jobs_.erase(job);
 }
 
 ShuffleStore::JobBuckets& ShuffleStore::job_buckets(JobId job) {
-  std::shared_lock<std::shared_mutex> lock(registry_mu_);
+  ReaderMutexLock lock(registry_mu_);
   const auto it = jobs_.find(job);
   S3_CHECK_MSG(it != jobs_.end(), "unregistered job " << job);
   return it->second;
@@ -41,7 +41,7 @@ void ShuffleStore::append(JobId job, std::uint32_t partition, KVBatch run) {
   S3_CHECK_MSG(partition < jb.partitions,
                "partition " << partition << " out of range");
   Bucket& b = *jb.buckets[partition];
-  std::lock_guard<std::mutex> lock(b.mu);
+  MutexLock lock(b.mu);
   b.runs.push_back(std::move(run));
 }
 
@@ -52,7 +52,7 @@ void ShuffleStore::publish(JobId job, std::vector<KVBatch> runs) {
   for (std::uint32_t p = 0; p < jb.partitions; ++p) {
     if (runs[p].empty()) continue;
     Bucket& b = *jb.buckets[p];
-    std::lock_guard<std::mutex> lock(b.mu);
+    MutexLock lock(b.mu);
     b.runs.push_back(std::move(runs[p]));
   }
 }
@@ -62,7 +62,7 @@ std::vector<KVBatch> ShuffleStore::take(JobId job, std::uint32_t partition) {
   S3_CHECK_MSG(partition < jb.partitions,
                "partition " << partition << " out of range");
   Bucket& b = *jb.buckets[partition];
-  std::lock_guard<std::mutex> lock(b.mu);
+  MutexLock lock(b.mu);
   std::vector<KVBatch> out;
   out.swap(b.runs);
   return out;
@@ -76,7 +76,7 @@ std::uint64_t ShuffleStore::pending_records(JobId job) const {
   const JobBuckets& jb = job_buckets(job);
   std::uint64_t total = 0;
   for (const auto& bucket : jb.buckets) {
-    std::lock_guard<std::mutex> lock(bucket->mu);
+    MutexLock lock(bucket->mu);
     for (const KVBatch& run : bucket->runs) total += run.size();
   }
   return total;

@@ -9,13 +9,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "engine/kv.h"
 #include "engine/kv_batch.h"
@@ -31,41 +30,55 @@ enum class DataPath {
   kLegacySort,
 };
 
+// Lock order: registry_mu_ before any Bucket::mu; a bucket lock is never
+// held while acquiring the registry. The JobBuckets reference returned by
+// job_buckets() intentionally escapes the shared registry lock — it stays
+// valid because register_job() precedes every append/take for that job and
+// unregister_job() follows the last take (unordered_map references survive
+// rehash and unrelated erases). TSA checks the accesses inside each method;
+// that registration-ordering contract is the one invariant it cannot see.
 class ShuffleStore {
  public:
   // Declares a job's partition count; must precede any append for the job.
-  void register_job(JobId job, std::uint32_t partitions);
-  void unregister_job(JobId job);
+  void register_job(JobId job, std::uint32_t partitions)
+      S3_EXCLUDES(registry_mu_);
+  void unregister_job(JobId job) S3_EXCLUDES(registry_mu_);
 
   // Appends one run to (job, partition). Thread-safe.
-  void append(JobId job, std::uint32_t partition, KVBatch run);
+  void append(JobId job, std::uint32_t partition, KVBatch run)
+      S3_EXCLUDES(registry_mu_);
 
   // Publishes one run per partition (runs[p] -> partition p) with a single
   // registry resolve. Thread-safe; empty runs are dropped.
-  void publish(JobId job, std::vector<KVBatch> runs);
+  void publish(JobId job, std::vector<KVBatch> runs)
+      S3_EXCLUDES(registry_mu_);
 
   // Takes (moves out) all runs of (job, partition). Thread-safe.
-  [[nodiscard]] std::vector<KVBatch> take(JobId job, std::uint32_t partition);
+  [[nodiscard]] std::vector<KVBatch> take(JobId job, std::uint32_t partition)
+      S3_EXCLUDES(registry_mu_);
 
-  [[nodiscard]] std::uint32_t partitions(JobId job) const;
-  [[nodiscard]] std::uint64_t pending_records(JobId job) const;
+  [[nodiscard]] std::uint32_t partitions(JobId job) const
+      S3_EXCLUDES(registry_mu_);
+  [[nodiscard]] std::uint64_t pending_records(JobId job) const
+      S3_EXCLUDES(registry_mu_);
 
  private:
   struct Bucket {
-    mutable std::mutex mu;
-    std::vector<KVBatch> runs;
+    mutable AnnotatedMutex mu;
+    std::vector<KVBatch> runs S3_GUARDED_BY(mu);
   };
   struct JobBuckets {
     std::uint32_t partitions = 0;
     std::vector<std::unique_ptr<Bucket>> buckets;
   };
 
-  mutable std::shared_mutex registry_mu_;
-  std::unordered_map<JobId, JobBuckets> jobs_;
+  mutable AnnotatedSharedMutex registry_mu_;
+  std::unordered_map<JobId, JobBuckets> jobs_ S3_GUARDED_BY(registry_mu_);
 
   // Resolves a job's bucket set under a shared registry lock.
-  [[nodiscard]] JobBuckets& job_buckets(JobId job);
-  [[nodiscard]] const JobBuckets& job_buckets(JobId job) const;
+  [[nodiscard]] JobBuckets& job_buckets(JobId job) S3_EXCLUDES(registry_mu_);
+  [[nodiscard]] const JobBuckets& job_buckets(JobId job) const
+      S3_EXCLUDES(registry_mu_);
 };
 
 // Grouping callback over records that live in an arena: views are valid only

@@ -13,6 +13,7 @@ JobQueueManager::JobQueueManager(FileId file, std::uint64_t file_blocks)
 }
 
 void JobQueueManager::admit(JobId job, int priority) {
+  MutexLock lock(mu_);
   S3_CHECK_MSG(find(job) == nullptr, "job admitted twice: " << job);
   QueuedJob q;
   q.id = job;
@@ -33,6 +34,7 @@ const JobQueueManager::QueuedJob* JobQueueManager::find(JobId job) const {
 }
 
 std::uint64_t JobQueueManager::remaining(JobId job) const {
+  MutexLock lock(mu_);
   const QueuedJob* q = find(job);
   S3_CHECK_MSG(q != nullptr, "unknown job " << job);
   return q->remaining;
@@ -40,6 +42,7 @@ std::uint64_t JobQueueManager::remaining(JobId job) const {
 
 Batch JobQueueManager::form_batch(BatchId id, std::uint64_t wave,
                                   std::size_t max_members) {
+  MutexLock lock(mu_);
   S3_CHECK_MSG(!in_flight_.has_value(), "batch already in flight");
   S3_CHECK_MSG(!jobs_.empty(), "form_batch on an empty queue");
   S3_CHECK(wave > 0);
@@ -100,6 +103,7 @@ Batch JobQueueManager::form_batch(BatchId id, std::uint64_t wave,
 }
 
 std::vector<JobId> JobQueueManager::complete_batch() {
+  MutexLock lock(mu_);
   S3_CHECK_MSG(in_flight_.has_value(), "complete_batch with none in flight");
   std::vector<JobId> completed;
   for (const Batch::Member& m : in_flight_->members) {

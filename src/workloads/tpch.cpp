@@ -15,14 +15,14 @@ constexpr const char* kComments[] = {
     "slyly regular instructions", "express pinto beans nag"};
 
 std::string date(std::uint64_t days_since_1992) {
-  const std::uint64_t year = 1992 + days_since_1992 / 365;
-  const std::uint64_t month = 1 + (days_since_1992 / 30) % 12;
-  const std::uint64_t day = 1 + days_since_1992 % 28;
+  // Bounded intermediates keep snprintf's worst case within buf (the compiler
+  // checks the %u ranges under -Wformat-truncation).
+  const unsigned year =
+      static_cast<unsigned>(1992 + days_since_1992 / 365) % 10000u;
+  const unsigned month = 1 + static_cast<unsigned>(days_since_1992 / 30) % 12;
+  const unsigned day = 1 + static_cast<unsigned>(days_since_1992 % 28);
   char buf[16];
-  std::snprintf(buf, sizeof(buf), "%04llu-%02llu-%02llu",
-                static_cast<unsigned long long>(year),
-                static_cast<unsigned long long>(month),
-                static_cast<unsigned long long>(day));
+  std::snprintf(buf, sizeof(buf), "%04u-%02u-%02u", year, month, day);
   return buf;
 }
 

@@ -76,7 +76,10 @@ TEST_F(GeneratedSourceTest, EngineResultsMatchMaterializedStore) {
   }
 
   const auto run = [&](const BlockSource& source) {
-    engine::LocalEngine engine(ns_, source, {2, 1});
+    engine::LocalEngineOptions opts;
+    opts.map_workers = 2;
+    opts.reduce_workers = 1;
+    engine::LocalEngine engine(ns_, source, opts);
     EXPECT_TRUE(engine
                     .register_job(workloads::make_wordcount_job(
                         JobId(0), file_, "a", 2))

@@ -2,7 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
 #include <thread>
+#include <vector>
 
 #include "common/blocking_queue.h"
 #include "common/thread_pool.h"
@@ -145,6 +147,116 @@ TEST(ThreadPoolTest, WaitIdleCanBeReused) {
     pool.wait_idle();
     EXPECT_EQ(count.load(), (round + 1) * 20);
   }
+}
+
+// --- Shutdown/close edge semantics ---
+
+TEST(BlockingQueueTest, CloseIsIdempotentAndDropsLatePushes) {
+  BlockingQueue<int> q;
+  q.push(7);
+  q.close();
+  q.close();  // second close is a no-op, not an error
+  EXPECT_FALSE(q.push(8));
+  EXPECT_FALSE(q.push(9));
+  EXPECT_EQ(q.size(), 1u);  // late pushes were dropped, not queued
+  EXPECT_EQ(q.pop().value(), 7);
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BlockingQueueTest, TryPopStillDrainsAfterClose) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.close();
+  EXPECT_EQ(q.try_pop().value(), 1);
+  EXPECT_EQ(q.try_pop().value(), 2);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BlockingQueueTest, CloseWakesAllBlockedConsumers) {
+  BlockingQueue<int> q;
+  constexpr int kConsumers = 4;
+  std::atomic<int> woke{0};
+  std::vector<std::thread> consumers;
+  consumers.reserve(kConsumers);
+  for (int i = 0; i < kConsumers; ++i) {
+    consumers.emplace_back([&] {
+      if (!q.pop().has_value()) ++woke;
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(woke.load(), kConsumers);
+}
+
+TEST(BlockingQueueTest, ConcurrentCloseAndPushNeverLosesAcceptedItems) {
+  // Every push that returned true must be popped exactly once, no matter
+  // where close() landed relative to the pushes.
+  for (int trial = 0; trial < 20; ++trial) {
+    BlockingQueue<int> q;
+    std::atomic<int> accepted{0};
+    std::thread producer([&] {
+      for (int i = 0; i < 1000; ++i) {
+        if (q.push(i)) ++accepted;
+      }
+    });
+    std::thread closer([&] { q.close(); });
+    producer.join();
+    closer.join();
+    int drained = 0;
+    while (q.try_pop().has_value()) ++drained;
+    EXPECT_EQ(drained, accepted.load());
+  }
+}
+
+// --- ThreadPool exception propagation ---
+
+TEST(ThreadPoolTest, TaskExceptionRethrownFromWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  pool.submit([] { throw std::runtime_error("task exploded"); });
+  for (int i = 0; i < 10; ++i) pool.submit([&completed] { ++completed; });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The throwing task did not kill its worker: every other task still ran.
+  EXPECT_EQ(completed.load(), 10);
+}
+
+TEST(ThreadPoolTest, OnlyFirstExceptionIsKept) {
+  ThreadPool pool(1);  // one worker => deterministic task order
+  pool.submit([] { throw std::runtime_error("first"); });
+  pool.submit([] { throw std::logic_error("second"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle should have rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAfterException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The error slot was cleared; the next wave is clean.
+  std::atomic<int> count{0};
+  for (int i = 0; i < 8; ++i) pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPoolTest, ExceptionDuringShutdownIsDiscarded) {
+  // A task that throws while the pool is being torn down must not
+  // std::terminate from the destructor.
+  {
+    ThreadPool pool(1);
+    pool.submit([] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      throw std::runtime_error("mid-shutdown");
+    });
+  }  // destructor: shutdown + join, exception dropped
+  SUCCEED();
 }
 
 }  // namespace

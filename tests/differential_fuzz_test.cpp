@@ -86,7 +86,10 @@ TEST(DifferentialFuzzTest, AllSchedulersAgreeOnRandomWorkloads) {
       } else {
         scheduler = workloads::make_s3(world.catalog, world.topology, segment);
       }
-      engine::LocalEngine engine(world.ns, world.store, {3, 2});
+      engine::LocalEngineOptions opts;
+      opts.map_workers = 3;
+      opts.reduce_workers = 2;
+      engine::LocalEngine engine(world.ns, world.store, opts);
       core::RealDriver driver(world.ns, engine, world.catalog,
                               {/*time_scale=*/1e5});
       auto run = driver.run(*scheduler, world.jobs);

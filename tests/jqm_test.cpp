@@ -84,10 +84,10 @@ TEST(JqmTest, ArrivalDuringBatchStartsAtNextWave) {
 TEST(JqmTest, CircularWrapAround) {
   JobQueueManager jqm(FileId(0), 8);
   jqm.admit(JobId(0));
-  jqm.form_batch(BatchId(0), 4);
+  (void)jqm.form_batch(BatchId(0), 4);
   jqm.admit(JobId(1));  // starts at block 4
   jqm.complete_batch();
-  jqm.form_batch(BatchId(1), 4);  // [4, 8): finishes job 0
+  (void)jqm.form_batch(BatchId(1), 4);  // [4, 8): finishes job 0
   auto done = jqm.complete_batch();
   ASSERT_EQ(done.size(), 1u);
   EXPECT_EQ(done[0], JobId(0));
@@ -106,7 +106,7 @@ TEST(JqmTest, CircularWrapAround) {
 TEST(JqmTest, PartialFinalWaveUnderDynamicSizing) {
   JobQueueManager jqm(FileId(0), 10);
   jqm.admit(JobId(0));
-  jqm.form_batch(BatchId(0), 7);
+  (void)jqm.form_batch(BatchId(0), 7);
   jqm.complete_batch();
   const Batch b = jqm.form_batch(BatchId(1), 7);  // job needs only 3 more
   ASSERT_EQ(b.members.size(), 1u);

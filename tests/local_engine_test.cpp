@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
+#include <stdexcept>
 
 #include "engine/local_engine.h"
 #include "workloads/text_corpus.h"
@@ -13,6 +15,13 @@ namespace {
 
 class LocalEngineTest : public ::testing::Test {
  protected:
+  static LocalEngineOptions workers(std::size_t map, std::size_t reduce) {
+    LocalEngineOptions opts;
+    opts.map_workers = map;
+    opts.reduce_workers = reduce;
+    return opts;
+  }
+
   void SetUp() override {
     dfs::PlacementTopology topo;
     for (std::uint64_t n = 0; n < 4; ++n) {
@@ -67,7 +76,7 @@ class LocalEngineTest : public ::testing::Test {
 };
 
 TEST_F(LocalEngineTest, RegisterValidation) {
-  LocalEngine engine(ns_, store_, {2, 1});
+  LocalEngine engine(ns_, store_, workers(2, 1));
   JobSpec bad;  // invalid: no factories
   EXPECT_FALSE(engine.register_job(bad).is_ok());
 
@@ -80,7 +89,7 @@ TEST_F(LocalEngineTest, RegisterValidation) {
 }
 
 TEST_F(LocalEngineTest, SingleBatchWordCountMatchesReference) {
-  LocalEngine engine(ns_, store_, {4, 2});
+  LocalEngine engine(ns_, store_, workers(4, 2));
   const JobSpec spec = workloads::make_wordcount_job(JobId(0), file_, "a", 3);
   ASSERT_TRUE(engine.register_job(spec).is_ok());
 
@@ -102,7 +111,7 @@ TEST_F(LocalEngineTest, SingleBatchWordCountMatchesReference) {
 }
 
 TEST_F(LocalEngineTest, OutputSortedByKey) {
-  LocalEngine engine(ns_, store_, {2, 2});
+  LocalEngine engine(ns_, store_, workers(2, 2));
   const JobSpec spec = workloads::make_wordcount_job(JobId(0), file_, "", 4);
   ASSERT_TRUE(engine.register_job(spec).is_ok());
   BatchExec batch{BatchId(0), blocks(0, 8), {JobId(0)}};
@@ -120,7 +129,7 @@ TEST_F(LocalEngineTest, SubJobExecutionEqualsWholeFile) {
   // Run the same job as 4 sequential sub-job batches (S3-style, starting at
   // segment 2 to exercise circular wrap-around) and as one whole-file batch;
   // the final outputs must match exactly.
-  LocalEngine engine(ns_, store_, {4, 2});
+  LocalEngine engine(ns_, store_, workers(4, 2));
   const JobSpec whole = workloads::make_wordcount_job(JobId(0), file_, "b", 2);
   const JobSpec pieces = workloads::make_wordcount_job(JobId(1), file_, "b", 2);
   ASSERT_TRUE(engine.register_job(whole).is_ok());
@@ -144,7 +153,7 @@ TEST_F(LocalEngineTest, SubJobExecutionEqualsWholeFile) {
 }
 
 TEST_F(LocalEngineTest, SharedBatchReadsEachBlockOnce) {
-  LocalEngine engine(ns_, store_, {4, 2});
+  LocalEngine engine(ns_, store_, workers(4, 2));
   for (std::uint64_t j = 0; j < 3; ++j) {
     ASSERT_TRUE(engine
                     .register_job(workloads::make_wordcount_job(
@@ -160,7 +169,7 @@ TEST_F(LocalEngineTest, SharedBatchReadsEachBlockOnce) {
 }
 
 TEST_F(LocalEngineTest, SharedBatchOutputsEqualIndependentRuns) {
-  LocalEngine engine(ns_, store_, {4, 2});
+  LocalEngine engine(ns_, store_, workers(4, 2));
   const JobSpec shared_a = workloads::make_wordcount_job(JobId(0), file_, "th", 2);
   const JobSpec shared_b = workloads::make_wordcount_job(JobId(1), file_, "s", 2);
   const JobSpec solo_a = workloads::make_wordcount_job(JobId(2), file_, "th", 2);
@@ -188,7 +197,7 @@ TEST_F(LocalEngineTest, IncrementalMergeEqualsFinalMerge) {
   incremental.reduce_workers = 1;
   incremental.incremental_merge = true;
   LocalEngine a(ns_, store_, incremental);
-  LocalEngine b(ns_, store_, {2, 1});
+  LocalEngine b(ns_, store_, workers(2, 1));
   for (LocalEngine* engine : {&a, &b}) {
     ASSERT_TRUE(engine
                     ->register_job(
@@ -206,7 +215,7 @@ TEST_F(LocalEngineTest, IncrementalMergeEqualsFinalMerge) {
 }
 
 TEST_F(LocalEngineTest, CountersAccumulate) {
-  LocalEngine engine(ns_, store_, {2, 1});
+  LocalEngine engine(ns_, store_, workers(2, 1));
   ASSERT_TRUE(engine
                   .register_job(
                       workloads::make_wordcount_job(JobId(0), file_, "", 2))
@@ -225,7 +234,7 @@ TEST_F(LocalEngineTest, CountersAccumulate) {
 }
 
 TEST_F(LocalEngineTest, BatchErrorPaths) {
-  LocalEngine engine(ns_, store_, {2, 1});
+  LocalEngine engine(ns_, store_, workers(2, 1));
   ASSERT_TRUE(engine
                   .register_job(
                       workloads::make_wordcount_job(JobId(0), file_, "a", 2))
@@ -289,8 +298,34 @@ TEST_F(LocalEngineTest, PermanentTaskFailureFailsTheBatch) {
   EXPECT_EQ(engine.failed_attempts(), 2u);  // both attempts of task 0
 }
 
+TEST_F(LocalEngineTest, ThrowingMapperSurfacesAsInternalError) {
+  // User code that throws must come back as a Status on the caller's thread
+  // (the pool captures the exception and execute_batch converts it), never
+  // kill a worker or terminate the process.
+  class ThrowingMapper final : public Mapper {
+   public:
+    void map(const dfs::Record&, Emitter&) override {
+      throw std::runtime_error("user mapper bug");
+    }
+  };
+  LocalEngine engine(ns_, store_, workers(2, 1));
+  JobSpec spec = workloads::make_wordcount_job(JobId(0), file_, "a", 2);
+  spec.mapper_factory = [] { return std::make_unique<ThrowingMapper>(); };
+  ASSERT_TRUE(engine.register_job(std::move(spec)).is_ok());
+  const Status status =
+      engine.execute_batch({BatchId(0), blocks(0, 8), {JobId(0)}});
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  // The engine is still usable for other jobs afterwards.
+  ASSERT_TRUE(engine
+                  .register_job(
+                      workloads::make_wordcount_job(JobId(1), file_, "b", 2))
+                  .is_ok());
+  EXPECT_TRUE(engine.execute_batch({BatchId(1), blocks(0, 8), {JobId(1)}})
+                  .is_ok());
+}
+
 TEST_F(LocalEngineTest, JobWithNoMatchesProducesEmptyOutput) {
-  LocalEngine engine(ns_, store_, {2, 1});
+  LocalEngine engine(ns_, store_, workers(2, 1));
   ASSERT_TRUE(engine
                   .register_job(workloads::make_wordcount_job(
                       JobId(0), file_, "zzzzzzzzzz", 2))

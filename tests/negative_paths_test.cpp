@@ -74,7 +74,10 @@ TEST(DeadlockDetectionTest, RealDriverReportsStuckScheduler) {
           .value();
   sched::FileCatalog catalog;
   catalog.add(file, 2);
-  engine::LocalEngine engine(ns, store, {1, 1});
+  engine::LocalEngineOptions opts;
+  opts.map_workers = 1;
+  opts.reduce_workers = 1;
+  engine::LocalEngine engine(ns, store, opts);
   core::RealDriver driver(ns, engine, catalog);
   StuckScheduler stuck;
   std::vector<core::RealJob> jobs;

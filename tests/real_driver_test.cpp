@@ -14,6 +14,13 @@
 namespace s3::core {
 namespace {
 
+engine::LocalEngineOptions workers(std::size_t map, std::size_t reduce) {
+  engine::LocalEngineOptions opts;
+  opts.map_workers = map;
+  opts.reduce_workers = reduce;
+  return opts;
+}
+
 class RealDriverTest : public ::testing::Test {
  protected:
   static constexpr std::uint64_t kBlocks = 12;
@@ -52,7 +59,7 @@ class RealDriverTest : public ::testing::Test {
   }
 
   RealRunResult run_with(sched::Scheduler& scheduler) {
-    engine::LocalEngine engine(ns_, store_, {4, 2});
+    engine::LocalEngine engine(ns_, store_, workers(4, 2));
     RealDriver driver(ns_, engine, catalog_);
     auto result = driver.run(scheduler, three_jobs());
     EXPECT_TRUE(result.is_ok()) << result.status();
@@ -102,7 +109,7 @@ TEST_F(RealDriverTest, S3SharesPartiallyOverlappingScans) {
   // Stretch wall time into virtual time so every sub-job batch spans the
   // arrival gaps deterministically: jobs 1 and 2 are guaranteed to arrive
   // while job 0's first segment is processing, join at segment 1, and wrap.
-  engine::LocalEngine engine(ns_, store_, {4, 2});
+  engine::LocalEngine engine(ns_, store_, workers(4, 2));
   RealDriverOptions options;
   options.time_scale = 1e6;  // any batch >= 1 us wall spans the 0.5 s gaps
   RealDriver driver(ns_, engine, catalog_, options);
@@ -148,7 +155,7 @@ TEST_F(RealDriverTest, TpchSelectionEndToEnd) {
   ASSERT_TRUE(file.is_ok());
   catalog_.add(file.value(), 8);
 
-  engine::LocalEngine engine(ns_, store_, {4, 2});
+  engine::LocalEngine engine(ns_, store_, workers(4, 2));
   RealDriver driver(ns_, engine, catalog_);
   std::vector<RealJob> jobs;
   jobs.push_back({workloads::tpch::make_selection_job(JobId(0), file.value(),
@@ -172,14 +179,14 @@ TEST_F(RealDriverTest, TpchSelectionEndToEnd) {
 }
 
 TEST_F(RealDriverTest, EmptyWorkloadRejected) {
-  engine::LocalEngine engine(ns_, store_, {2, 1});
+  engine::LocalEngine engine(ns_, store_, workers(2, 1));
   RealDriver driver(ns_, engine, catalog_);
   auto fifo = workloads::make_fifo(catalog_);
   EXPECT_FALSE(driver.run(*fifo, {}).is_ok());
 }
 
 TEST_F(RealDriverTest, PriorityRespectedByFifo) {
-  engine::LocalEngine engine(ns_, store_, {4, 2});
+  engine::LocalEngine engine(ns_, store_, workers(4, 2));
   RealDriver driver(ns_, engine, catalog_);
   auto jobs = three_jobs();
   jobs[0].arrival = 0.0;
