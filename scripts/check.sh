@@ -8,8 +8,9 @@
 #   scripts/check.sh --ubsan         UBSan build + ctest  (build-ubsan/)
 #   scripts/check.sh --tsan          TSan build + ctest   (build-tsan/)
 #   scripts/check.sh --tidy          clang-tidy over every TU (build-tidy/)
-#   scripts/check.sh --all           tier-1 + asan + ubsan + tsan + tidy
-#                                    + format check + Release smoke
+#   scripts/check.sh --lint          build + run s3lint over the whole tree
+#   scripts/check.sh --all           tier-1 + lint + asan + ubsan + tsan
+#                                    + tidy + format check + Release smoke
 #
 # Sanitizer modes build tests only (benches/examples are covered by the
 # default mode) so the instrumented builds stay fast. --tidy and the format
@@ -26,7 +27,8 @@ for arg in "$@"; do
     --ubsan) MODES+=(ubsan) ;;
     --tsan) MODES+=(tsan) ;;
     --tidy) MODES+=(tidy) ;;
-    --all) MODES+=(tier1 asan ubsan tsan tidy format release) ;;
+    --lint) MODES+=(lint) ;;
+    --all) MODES+=(tier1 lint asan ubsan tsan tidy format release) ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -68,6 +70,12 @@ for mode in "${MODES[@]}"; do
         -DS3_WARNINGS_AS_ERRORS=ON
       cmake --build build-tidy -j
       echo "check.sh: clang-tidy reported zero errors"
+      ;;
+    lint)
+      echo "=== s3lint: project-specific static analysis ==="
+      cmake -B build -S . -DS3_WARNINGS_AS_ERRORS=ON
+      cmake --build build -j --target s3lint
+      ./build/tools/s3lint --root=.
       ;;
     format)
       scripts/format.sh --check

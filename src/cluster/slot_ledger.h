@@ -21,9 +21,9 @@ class SlotLedger {
   explicit SlotLedger(const Topology& topology);
 
   // Acquires one slot of the given kind on the given node.
-  Status acquire(NodeId node, SlotKind kind);
+  [[nodiscard]] Status acquire(NodeId node, SlotKind kind);
   // Releases one previously acquired slot.
-  Status release(NodeId node, SlotKind kind);
+  [[nodiscard]] Status release(NodeId node, SlotKind kind);
 
   [[nodiscard]] int free_slots(NodeId node, SlotKind kind) const;
   [[nodiscard]] int total_free(SlotKind kind) const;

@@ -1,0 +1,127 @@
+// Runtime contracts for scheduler invariants.
+//
+// Three tiers, mirroring how expensive the check is relative to what it
+// protects (DESIGN.md §10 maps each adopted contract to the paper invariant
+// it guards; tools/s3lint enforces the same invariants statically):
+//
+//  * S3_CHECK / S3_CHECK_MSG — always on, in every build type. Guards
+//    invariants that, if broken, would silently corrupt an experiment
+//    (Algorithm 1 batch accounting, shuffle registration ordering).
+//  * S3_DCHECK / S3_DCHECK_MSG — debug-only (compiled out in Release).
+//    Guards invariants that are cheap to state but sit on hot paths, e.g.
+//    circular-cursor range checks on every wave.
+//  * S3_POSTCONDITION — debug-only, evaluated at scope exit. States what a
+//    mutation must have established (e.g. "the cursor advanced by exactly
+//    one wave, modulo the file size") next to the code that establishes it.
+//
+// Debug checks are controlled by S3_DCHECKS_ENABLED. The build defines it
+// to 1 for every CMAKE_BUILD_TYPE except Release (so the default
+// RelWithDebInfo tier-1 build and all sanitizer builds run the contracts);
+// without a build-system definition it follows NDEBUG.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#ifndef S3_DCHECKS_ENABLED
+#ifdef NDEBUG
+#define S3_DCHECKS_ENABLED 0
+#else
+#define S3_DCHECKS_ENABLED 1
+#endif
+#endif
+
+namespace s3::internal {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& extra) {
+  std::cerr << "S3_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!extra.empty()) std::cerr << " — " << extra;
+  std::cerr << std::endl;
+  std::abort();
+}
+
+// Runs a check at scope exit; the vehicle behind S3_POSTCONDITION. The
+// lambda captures by reference, so it observes the function's final state.
+template <typename F>
+class PostconditionGuard {
+ public:
+  explicit PostconditionGuard(F f) : f_(std::move(f)) {}
+  ~PostconditionGuard() { f_(); }
+
+  PostconditionGuard(const PostconditionGuard&) = delete;
+  PostconditionGuard& operator=(const PostconditionGuard&) = delete;
+
+ private:
+  F f_;
+};
+
+}  // namespace s3::internal
+
+// Invariant checks: always on (these guard scheduler invariants that, if
+// broken, would silently corrupt an experiment).
+#define S3_CHECK(expr)                                             \
+  do {                                                             \
+    if (!(expr)) {                                                 \
+      ::s3::internal::check_failed(#expr, __FILE__, __LINE__, ""); \
+    }                                                              \
+  } while (false)
+
+#define S3_CHECK_MSG(expr, msg)                               \
+  do {                                                        \
+    if (!(expr)) {                                            \
+      std::ostringstream s3_check_os;                         \
+      s3_check_os << msg; /* NOLINT */                        \
+      ::s3::internal::check_failed(#expr, __FILE__, __LINE__, \
+                                   s3_check_os.str());        \
+    }                                                         \
+  } while (false)
+
+// Debug-only variants: same semantics as S3_CHECK when S3_DCHECKS_ENABLED,
+// otherwise the condition is type-checked but never evaluated.
+#if S3_DCHECKS_ENABLED
+#define S3_DCHECK(expr) S3_CHECK(expr)
+#define S3_DCHECK_MSG(expr, msg) S3_CHECK_MSG(expr, msg)
+#else
+#define S3_DCHECK(expr)            \
+  do {                             \
+    if (false) {                   \
+      static_cast<void>((expr));   \
+    }                              \
+  } while (false)
+#define S3_DCHECK_MSG(expr, msg)   \
+  do {                             \
+    if (false) {                   \
+      static_cast<void>((expr));   \
+    }                              \
+  } while (false)
+#endif
+
+#define S3_INTERNAL_CAT2(a, b) a##b
+#define S3_INTERNAL_CAT(a, b) S3_INTERNAL_CAT2(a, b)
+
+// Declares a condition that must hold when the enclosing scope exits, no
+// matter which return path is taken. Captures by reference. Debug-only.
+#if S3_DCHECKS_ENABLED
+#define S3_POSTCONDITION(...)                                             \
+  ::s3::internal::PostconditionGuard S3_INTERNAL_CAT(s3_postcondition_,   \
+                                                     __COUNTER__)([&]() { \
+    S3_DCHECK_MSG((__VA_ARGS__), "postcondition violated");               \
+  })
+#else
+#define S3_POSTCONDITION(...)          \
+  do {                                 \
+    if (false) {                       \
+      static_cast<void>((__VA_ARGS__)); \
+    }                                  \
+  } while (false)
+#endif
+
+#define S3_RETURN_IF_ERROR(expr)                      \
+  do {                                                \
+    ::s3::Status s3_status_tmp = (expr);              \
+    if (!s3_status_tmp.is_ok()) return s3_status_tmp; \
+  } while (false)

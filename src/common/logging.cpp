@@ -10,12 +10,12 @@ Logger& Logger::instance() {
 }
 
 void Logger::set_level(LogLevel level) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   level_ = level;
 }
 
 LogLevel Logger::level() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return level_;
 }
 
@@ -25,7 +25,7 @@ bool Logger::enabled(LogLevel level) const {
 
 void Logger::write(LogLevel level, const std::string& component,
                    const std::string& message) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::cerr << '[' << log_level_name(level) << "] " << component << ": "
             << message << '\n';
 }

@@ -2,9 +2,10 @@
 // level is disabled (the stream expression is not evaluated).
 #pragma once
 
-#include <mutex>
 #include <sstream>
 #include <string>
+
+#include "common/thread_annotations.h"
 
 namespace s3 {
 
@@ -25,8 +26,8 @@ class Logger {
  private:
   Logger() = default;
 
-  mutable std::mutex mu_;
-  LogLevel level_ = LogLevel::kWarn;
+  mutable AnnotatedMutex mu_;
+  LogLevel level_ S3_GUARDED_BY(mu_) = LogLevel::kWarn;
 };
 
 [[nodiscard]] const char* log_level_name(LogLevel level);

@@ -1,5 +1,7 @@
 // Minimal Status / StatusOr error-handling vocabulary (no exceptions on the
 // hot path; exceptions are reserved for programmer errors via S3_CHECK).
+// The check macros themselves live in common/contracts.h and are re-exported
+// here because nearly every client of Status also states invariants.
 #pragma once
 
 #include <cstdlib>
@@ -8,6 +10,8 @@
 #include <sstream>
 #include <string>
 #include <utility>
+
+#include "common/contracts.h"
 
 namespace s3 {
 
@@ -50,26 +54,26 @@ class [[nodiscard]] Status {
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  static Status ok() { return Status(); }
-  static Status invalid_argument(std::string m) {
+  [[nodiscard]] static Status ok() { return Status(); }
+  [[nodiscard]] static Status invalid_argument(std::string m) {
     return {StatusCode::kInvalidArgument, std::move(m)};
   }
-  static Status not_found(std::string m) {
+  [[nodiscard]] static Status not_found(std::string m) {
     return {StatusCode::kNotFound, std::move(m)};
   }
-  static Status already_exists(std::string m) {
+  [[nodiscard]] static Status already_exists(std::string m) {
     return {StatusCode::kAlreadyExists, std::move(m)};
   }
-  static Status failed_precondition(std::string m) {
+  [[nodiscard]] static Status failed_precondition(std::string m) {
     return {StatusCode::kFailedPrecondition, std::move(m)};
   }
-  static Status out_of_range(std::string m) {
+  [[nodiscard]] static Status out_of_range(std::string m) {
     return {StatusCode::kOutOfRange, std::move(m)};
   }
-  static Status internal(std::string m) {
+  [[nodiscard]] static Status internal(std::string m) {
     return {StatusCode::kInternal, std::move(m)};
   }
-  static Status unavailable(std::string m) {
+  [[nodiscard]] static Status unavailable(std::string m) {
     return {StatusCode::kUnavailable, std::move(m)};
   }
 
@@ -131,40 +135,5 @@ class [[nodiscard]] StatusOr {
   Status status_;
   std::optional<T> value_;
 };
-
-namespace internal {
-[[noreturn]] inline void check_failed(const char* expr, const char* file,
-                                      int line, const std::string& extra) {
-  std::cerr << "S3_CHECK failed: " << expr << " at " << file << ":" << line;
-  if (!extra.empty()) std::cerr << " — " << extra;
-  std::cerr << std::endl;
-  std::abort();
-}
-}  // namespace internal
-
-// Invariant checks: always on (these guard scheduler invariants that, if
-// broken, would silently corrupt an experiment).
-#define S3_CHECK(expr)                                              \
-  do {                                                              \
-    if (!(expr)) {                                                  \
-      ::s3::internal::check_failed(#expr, __FILE__, __LINE__, ""); \
-    }                                                               \
-  } while (false)
-
-#define S3_CHECK_MSG(expr, msg)                                        \
-  do {                                                                 \
-    if (!(expr)) {                                                     \
-      std::ostringstream s3_check_os;                                  \
-      s3_check_os << msg; /* NOLINT */                                 \
-      ::s3::internal::check_failed(#expr, __FILE__, __LINE__,          \
-                                   s3_check_os.str());                 \
-    }                                                                  \
-  } while (false)
-
-#define S3_RETURN_IF_ERROR(expr)               \
-  do {                                         \
-    ::s3::Status s3_status_tmp = (expr);       \
-    if (!s3_status_tmp.is_ok()) return s3_status_tmp; \
-  } while (false)
 
 }  // namespace s3

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/logging.h"
+#include "sched/segment_planner.h"
 
 namespace s3::core {
 namespace {
@@ -15,7 +16,7 @@ std::vector<BlockId> resolve_blocks(const dfs::FileInfo& file,
   blocks.reserve(batch.num_blocks);
   const std::uint64_t n = file.blocks.size();
   for (std::uint64_t i = 0; i < batch.num_blocks; ++i) {
-    blocks.push_back(file.blocks[(batch.start_block + i) % n]);
+    blocks.push_back(file.blocks[sched::advance_cursor(batch.start_block, i, n)]);
   }
   return blocks;
 }

@@ -50,7 +50,7 @@ class RealDriver {
   // Registers all jobs with the engine, then replays the arrival schedule
   // through `scheduler`, executing every batch it forms. Returns per-job
   // outputs and timing metrics.
-  StatusOr<RealRunResult> run(sched::Scheduler& scheduler,
+  [[nodiscard]] StatusOr<RealRunResult> run(sched::Scheduler& scheduler,
                               std::vector<RealJob> jobs);
 
  private:

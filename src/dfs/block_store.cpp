@@ -3,7 +3,7 @@
 namespace s3::dfs {
 
 Status BlockStore::put(BlockId block, std::string payload) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (payloads_.count(block) > 0) {
     return Status::already_exists("block payload already written");
   }
@@ -14,7 +14,7 @@ Status BlockStore::put(BlockId block, std::string payload) {
 }
 
 StatusOr<Payload> BlockStore::get(BlockId block) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = payloads_.find(block);
   if (it == payloads_.end()) {
     return Status::not_found("no payload for block");
@@ -23,17 +23,17 @@ StatusOr<Payload> BlockStore::get(BlockId block) const {
 }
 
 bool BlockStore::contains(BlockId block) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return payloads_.count(block) > 0;
 }
 
 std::size_t BlockStore::num_blocks() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return payloads_.size();
 }
 
 std::uint64_t BlockStore::total_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return total_bytes_;
 }
 

@@ -5,11 +5,11 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace s3::dfs {
@@ -20,19 +20,20 @@ class BlockStore {
  public:
   // Stores the payload for a block. Rejects double writes (blocks are
   // immutable, like HDFS).
-  Status put(BlockId block, std::string payload);
+  [[nodiscard]] Status put(BlockId block, std::string payload)
+      S3_EXCLUDES(mu_);
 
   // Returns the payload, or NOT_FOUND.
-  [[nodiscard]] StatusOr<Payload> get(BlockId block) const;
+  [[nodiscard]] StatusOr<Payload> get(BlockId block) const S3_EXCLUDES(mu_);
 
-  [[nodiscard]] bool contains(BlockId block) const;
-  [[nodiscard]] std::size_t num_blocks() const;
-  [[nodiscard]] std::uint64_t total_bytes() const;
+  [[nodiscard]] bool contains(BlockId block) const S3_EXCLUDES(mu_);
+  [[nodiscard]] std::size_t num_blocks() const S3_EXCLUDES(mu_);
+  [[nodiscard]] std::uint64_t total_bytes() const S3_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<BlockId, Payload> payloads_;
-  std::uint64_t total_bytes_ = 0;
+  mutable AnnotatedMutex mu_;
+  std::unordered_map<BlockId, Payload> payloads_ S3_GUARDED_BY(mu_);
+  std::uint64_t total_bytes_ S3_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace s3::dfs

@@ -27,13 +27,15 @@ struct FileInfo {
 class DfsNamespace {
  public:
   // Creates an empty file; blocks are appended via append_block().
-  StatusOr<FileId> create_file(std::string name, ByteSize block_size);
+  [[nodiscard]] StatusOr<FileId> create_file(std::string name,
+                                             ByteSize block_size);
 
   // Appends a new block of the given size; returns its id. Replicas start
   // empty and are filled by a PlacementPolicy.
-  StatusOr<BlockId> append_block(FileId file, ByteSize size);
+  [[nodiscard]] StatusOr<BlockId> append_block(FileId file, ByteSize size);
 
-  Status set_replicas(BlockId block, std::vector<NodeId> replicas);
+  [[nodiscard]] Status set_replicas(BlockId block,
+                                    std::vector<NodeId> replicas);
 
   [[nodiscard]] bool has_file(FileId id) const;
   [[nodiscard]] StatusOr<FileId> lookup(const std::string& name) const;

@@ -82,6 +82,15 @@ Status LocalEngine::execute_batch(const BatchExec& batch) {
       members.push_back(&it->second.spec);
     }
   }
+  // Batch membership uniqueness: a merged batch reads each block once for
+  // all members, so a duplicated member would double-count its sub-job.
+  S3_DCHECK_MSG(([&] {
+                  std::vector<JobId> ids = batch.jobs;
+                  std::sort(ids.begin(), ids.end());
+                  return std::adjacent_find(ids.begin(), ids.end()) ==
+                         ids.end();
+                }()),
+                "batch " << batch.id << " lists a member job twice");
 
   S3_LOG(kDebug, "engine") << "batch " << batch.id << ": "
                            << batch.blocks.size() << " blocks x "

@@ -73,16 +73,16 @@ class LocalEngine {
   LocalEngine& operator=(const LocalEngine&) = delete;
 
   // Registers a job before any batch that includes it.
-  Status register_job(JobSpec spec);
+  [[nodiscard]] Status register_job(JobSpec spec);
 
   // Executes one batch synchronously: a parallel map wave over all blocks
   // (each block read once for all member jobs), then a parallel reduce wave
   // per member job.
-  Status execute_batch(const BatchExec& batch);
+  [[nodiscard]] Status execute_batch(const BatchExec& batch);
 
   // Merges a completed job's partial outputs into its final result and
   // releases its engine state. Must be called after the job's last batch.
-  StatusOr<JobResult> finalize_job(JobId job);
+  [[nodiscard]] StatusOr<JobResult> finalize_job(JobId job);
 
   // The returned reference escapes mu_; callers read it only between waves
   // (no batch in flight for the job), which the engine's drivers guarantee.

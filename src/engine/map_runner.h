@@ -36,7 +36,7 @@ class MapRunner {
 
   // Runs the task synchronously on the calling thread. Thread-safe: many
   // runners may execute concurrently against the same stores.
-  StatusOr<MapTaskOutcome> run(const MapTaskSpec& task) const;
+  [[nodiscard]] StatusOr<MapTaskOutcome> run(const MapTaskSpec& task) const;
 
  private:
   const dfs::BlockSource* source_;

@@ -30,7 +30,8 @@ class ReduceRunner {
 
   // Runs the task synchronously on the calling thread. Thread-safe across
   // distinct (job, partition) pairs.
-  StatusOr<ReduceTaskOutcome> run(const ReduceTaskSpec& task) const;
+  [[nodiscard]] StatusOr<ReduceTaskOutcome> run(
+      const ReduceTaskSpec& task) const;
 
  private:
   ShuffleStore* shuffle_;

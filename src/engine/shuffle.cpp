@@ -27,7 +27,11 @@ void ShuffleStore::unregister_job(JobId job) {
 ShuffleStore::JobBuckets& ShuffleStore::job_buckets(JobId job) {
   ReaderMutexLock lock(registry_mu_);
   const auto it = jobs_.find(job);
-  S3_CHECK_MSG(it != jobs_.end(), "unregistered job " << job);
+  // Publish-before-consume ordering: register_job() must precede every
+  // append/publish/take for the job (see the lock-order comment in the
+  // header — this registration edge is the invariant TSA cannot see).
+  S3_CHECK_MSG(it != jobs_.end(),
+               "shuffle access before register_job: job " << job);
   return it->second;
 }
 

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "dfs/segment.h"
+#include "sched/segment_planner.h"
 
 namespace s3::sched {
 
@@ -15,6 +16,9 @@ JobQueueManager::JobQueueManager(FileId file, std::uint64_t file_blocks)
 void JobQueueManager::admit(JobId job, int priority) {
   MutexLock lock(mu_);
   S3_CHECK_MSG(find(job) == nullptr, "job admitted twice: " << job);
+  S3_DCHECK_MSG(cursor_ < file_blocks_,
+                "segment cursor " << cursor_ << " out of range [0, "
+                                  << file_blocks_ << ")");
   QueuedJob q;
   q.id = job;
   q.start_block = cursor_;
@@ -46,7 +50,16 @@ Batch JobQueueManager::form_batch(BatchId id, std::uint64_t wave,
   S3_CHECK_MSG(!in_flight_.has_value(), "batch already in flight");
   S3_CHECK_MSG(!jobs_.empty(), "form_batch on an empty queue");
   S3_CHECK(wave > 0);
+  S3_DCHECK_MSG(cursor_ < file_blocks_,
+                "segment cursor " << cursor_ << " out of range [0, "
+                                  << file_blocks_ << ")");
   wave = std::min(wave, file_blocks_);
+  // Algorithm 1 lines 10-13: whatever path forms the batch, its wave must
+  // leave the cursor advanced by exactly `wave` from the batch's start,
+  // circularly (the batch start may itself have jumped past dead air).
+  std::uint64_t batch_start = cursor_;
+  S3_POSTCONDITION(cursor_ ==
+                   advance_cursor(batch_start, wave, file_blocks_));
 
   // If no queued job needs the block at the cursor (possible only when
   // membership capping made jobs wait for the scan to wrap around), jump the
@@ -61,7 +74,8 @@ Batch JobQueueManager::form_batch(BatchId id, std::uint64_t wave,
       best = std::min(best, dfs::circular_distance(cursor_, q.next_block,
                                                    file_blocks_));
     }
-    cursor_ = (cursor_ + best) % file_blocks_;
+    cursor_ = advance_cursor(cursor_, best, file_blocks_);
+    batch_start = cursor_;
   }
 
   // Candidates: jobs whose scan position is exactly the cursor (alignment —
@@ -90,6 +104,15 @@ Batch JobQueueManager::form_batch(BatchId id, std::uint64_t wave,
   batch.num_blocks = wave;
   batch.members.reserve(candidates.size());
   for (QueuedJob* q : candidates) {
+    // Batch alignment: every member's sub-job starts exactly at the batch
+    // cursor, and no member is merged twice into one batch.
+    S3_DCHECK_MSG(q->next_block == cursor_,
+                  "member " << q->id << " misaligned with cursor " << cursor_);
+    S3_DCHECK_MSG(std::none_of(batch.members.begin(), batch.members.end(),
+                               [&](const Batch::Member& m) {
+                                 return m.job == q->id;
+                               }),
+                  "member " << q->id << " merged twice into batch " << id);
     Batch::Member m;
     m.job = q->id;
     m.blocks = std::min(q->remaining, wave);
@@ -98,13 +121,16 @@ Batch JobQueueManager::form_batch(BatchId id, std::uint64_t wave,
   }
 
   in_flight_ = InFlight{batch.members};
-  cursor_ = (cursor_ + wave) % file_blocks_;
+  cursor_ = advance_cursor(cursor_, wave, file_blocks_);
   return batch;
 }
 
 std::vector<JobId> JobQueueManager::complete_batch() {
   MutexLock lock(mu_);
   S3_CHECK_MSG(in_flight_.has_value(), "complete_batch with none in flight");
+  S3_DCHECK_MSG(cursor_ < file_blocks_,
+                "segment cursor " << cursor_ << " out of range [0, "
+                                  << file_blocks_ << ")");
   std::vector<JobId> completed;
   for (const Batch::Member& m : in_flight_->members) {
     auto it = std::find_if(jobs_.begin(), jobs_.end(),
@@ -112,7 +138,7 @@ std::vector<JobId> JobQueueManager::complete_batch() {
     S3_CHECK_MSG(it != jobs_.end(), "in-flight member vanished: " << m.job);
     S3_CHECK(it->remaining >= m.blocks);
     it->remaining -= m.blocks;
-    it->next_block = (it->next_block + m.blocks) % file_blocks_;
+    it->next_block = advance_cursor(it->next_block, m.blocks, file_blocks_);
     if (it->remaining == 0) {
       S3_CHECK_MSG(m.completes, "completion flag disagreed for " << m.job);
       completed.push_back(m.job);
@@ -124,6 +150,11 @@ std::vector<JobId> JobQueueManager::complete_batch() {
   }
   in_flight_.reset();
   return completed;
+}
+
+void JobQueueManager::corrupt_cursor_for_test(std::uint64_t cursor) {
+  MutexLock lock(mu_);
+  cursor_ = cursor;
 }
 
 }  // namespace s3::sched

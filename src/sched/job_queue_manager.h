@@ -77,6 +77,11 @@ class JobQueueManager {
   // (already removed from the queue).
   std::vector<JobId> complete_batch() S3_EXCLUDES(mu_);
 
+  // Test-only: overwrites the scan cursor with an arbitrary (possibly
+  // out-of-range) value so the death tests can prove the S3_DCHECK contracts
+  // catch a corrupted cursor. Never call outside tests.
+  void corrupt_cursor_for_test(std::uint64_t cursor) S3_EXCLUDES(mu_);
+
  private:
   struct QueuedJob {
     JobId id;

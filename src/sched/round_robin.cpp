@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sched/segment_planner.h"
+
 namespace s3::sched {
 
 RoundRobinScheduler::RoundRobinScheduler(const FileCatalog& catalog,
@@ -25,7 +27,7 @@ void RoundRobinScheduler::on_job_arrival(const JobArrival& job,
 std::optional<Batch> RoundRobinScheduler::next_batch(
     SimTime /*now*/, const ClusterStatus& /*status*/) {
   if (batch_in_flight_ || jobs_.empty()) return std::nullopt;
-  const std::size_t index = rotation_next_ % jobs_.size();
+  const std::size_t index = wrap_index(rotation_next_, jobs_.size());
   ActiveJob& job = jobs_[index];
 
   Batch batch;
@@ -52,14 +54,14 @@ void RoundRobinScheduler::on_batch_complete(BatchId /*batch*/,
   ActiveJob& job = jobs_[in_flight_index_];
   S3_CHECK(job.remaining >= in_flight_blocks_);
   job.remaining -= in_flight_blocks_;
-  job.next_block = (job.next_block + in_flight_blocks_) %
-                   catalog_->num_blocks(job.file);
+  job.next_block = advance_cursor(job.next_block, in_flight_blocks_,
+                                  catalog_->num_blocks(job.file));
   if (job.remaining == 0) {
     jobs_.erase(jobs_.begin() + static_cast<std::ptrdiff_t>(in_flight_index_));
     // Keep the rotation pointing at the job after the removed one.
-    rotation_next_ = jobs_.empty() ? 0 : in_flight_index_ % jobs_.size();
+    rotation_next_ = jobs_.empty() ? 0 : wrap_index(in_flight_index_, jobs_.size());
   } else {
-    rotation_next_ = (in_flight_index_ + 1) % jobs_.size();
+    rotation_next_ = advance_cursor(in_flight_index_, 1, jobs_.size());
   }
 }
 

@@ -54,21 +54,30 @@ std::optional<Batch> S3Scheduler::next_batch(SimTime /*now*/,
 
   // Round-robin over files with queued jobs.
   for (std::size_t probe = 0; probe < file_rotation_.size(); ++probe) {
-    const std::size_t idx = (rotation_next_ + probe) % file_rotation_.size();
+    const std::size_t idx =
+        wrap_index(rotation_next_ + probe, file_rotation_.size());
     const FileId file = file_rotation_[idx];
     JobQueueManager& jqm = *queues_.at(file);
     if (jqm.empty()) continue;
 
+    // Segment size is recomputed per batch from the freshest slot-checking
+    // feedback (§IV-D); the recomputation must stay within one nominal
+    // segment and never produce an empty wave.
+    const int usable = effective_slots(status);
+    S3_DCHECK(usable >= 1);
     const int nominal = topology_ != nullptr ? topology_->total_map_slots()
                                              : status.total_map_slots;
     const std::uint64_t wave = planner_.next_wave(
-        jqm.file_blocks(), jqm.cursor(), effective_slots(status), nominal);
+        jqm.file_blocks(), jqm.cursor(), usable, nominal);
+    S3_DCHECK_MSG(wave >= 1 && wave <= planner_.blocks_per_segment() &&
+                      wave <= jqm.file_blocks(),
+                  "recomputed wave " << wave << " out of range");
     Batch batch =
         jqm.form_batch(batch_ids_.next(), wave, options_.max_jobs_per_batch);
     batch.excluded_nodes = heartbeats_.slow_nodes();
     in_flight_file_ = file;
     in_flight_batch_ = batch.id;
-    rotation_next_ = (idx + 1) % file_rotation_.size();
+    rotation_next_ = advance_cursor(idx, 1, file_rotation_.size());
     S3_LOG(kDebug, "s3") << "launch " << batch.id << " file " << file
                          << " blocks [" << batch.start_block << ", +"
                          << batch.num_blocks << ") members "

@@ -21,11 +21,18 @@ std::uint64_t SegmentPlanner::next_wave(std::uint64_t file_blocks,
                                         int nominal_slots) const {
   S3_CHECK(file_blocks > 0);
   S3_CHECK(cursor < file_blocks);
+  // Segment-size recomputation invariant (§IV-D): whatever the slot-checking
+  // feedback said, the recomputed wave is at least one block, never larger
+  // than the nominal segment, and never overshoots the file.
+  std::uint64_t wave = 0;
+  S3_POSTCONDITION(wave >= 1 && wave <= blocks_per_segment_ &&
+                   wave <= file_blocks);
   if (mode_ == WaveSizing::kFixedSegments) {
     // Stay aligned to the fixed segment table: a wave is exactly the segment
     // the cursor sits at, which is blocks_per_segment_ except for the final
     // (possibly short) segment of the file.
-    return std::min(blocks_per_segment_, file_blocks - cursor);
+    wave = std::min(blocks_per_segment_, file_blocks - cursor);
+    return wave;
   }
   // Dynamic: scale the nominal segment by the fraction of slots usable, so
   // the merged sub-job keeps the same number of whole task waves on the
@@ -35,7 +42,8 @@ std::uint64_t SegmentPlanner::next_wave(std::uint64_t file_blocks,
   const std::uint64_t scaled =
       blocks_per_segment_ * static_cast<std::uint64_t>(effective) /
       static_cast<std::uint64_t>(nominal);
-  return std::min(std::max<std::uint64_t>(1, scaled), file_blocks);
+  wave = std::min(std::max<std::uint64_t>(1, scaled), file_blocks);
+  return wave;
 }
 
 }  // namespace s3::sched

@@ -18,6 +18,33 @@
 
 namespace s3::sched {
 
+// Sanctioned circular-cursor arithmetic. All scheduler code that advances a
+// scan cursor or wraps an index must go through these helpers instead of
+// writing raw `%` expressions — tools/s3lint (rule `segment-modulo`) flags
+// raw modulo on cursor/segment identifiers outside this file, because the
+// paper's Algorithm 1 correctness lives in exactly this arithmetic
+// (S_j, ..., S_k, S_1, ..., S_{j-1}) and an unchecked `%` is where wrap
+// bugs hide.
+
+// Advances a cursor that is already in range [0, size) by `step` blocks,
+// wrapping circularly. The in-range precondition is what distinguishes a
+// scan cursor (always normalized) from a free-running counter.
+[[nodiscard]] constexpr std::uint64_t advance_cursor(std::uint64_t cursor,
+                                                     std::uint64_t step,
+                                                     std::uint64_t size) {
+  S3_DCHECK(size > 0);
+  S3_DCHECK(cursor < size);  // a scan cursor is always normalized
+  return (cursor + step) % size;
+}
+
+// Normalizes a free-running index (e.g. a rotation counter that survives
+// queue shrinkage) into [0, size).
+[[nodiscard]] constexpr std::uint64_t wrap_index(std::uint64_t index,
+                                                 std::uint64_t size) {
+  S3_DCHECK(size > 0);
+  return index % size;
+}
+
 enum class WaveSizing { kFixedSegments, kDynamicSlots };
 
 class SegmentPlanner {

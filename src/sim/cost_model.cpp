@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/status.h"
+#include "sched/segment_planner.h"
 
 namespace s3::sim {
 
@@ -131,7 +132,7 @@ BatchCost CostModel::batch_cost(
     if (block.sharers == 0) continue;  // block beyond every member's need
     // Replication factor 1, round-robin placement: the block's replica
     // lives on node (absolute index) mod n.
-    block.home = NodeId((batch.start_block + b) % num_nodes);
+    block.home = NodeId(sched::wrap_index(batch.start_block + b, num_nodes));
     pending.push_back(block);
   }
 

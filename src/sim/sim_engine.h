@@ -63,7 +63,7 @@ class SimEngine {
 
   // Runs the whole workload to completion under `scheduler`. Jobs need not
   // be sorted by arrival. The scheduler must start empty.
-  StatusOr<RunResult> run(sched::Scheduler& scheduler,
+  [[nodiscard]] StatusOr<RunResult> run(sched::Scheduler& scheduler,
                           std::vector<SimJob> jobs);
 
  private:

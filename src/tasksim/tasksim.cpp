@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <queue>
 
+#include "sched/segment_planner.h"
+
 namespace s3::tasksim {
 
 // ---------------------------------------------------------------------------
@@ -322,7 +324,7 @@ std::optional<TaskAssignment> SharedScanTaskScheduler::next_task(
   }
   if (task.members.empty()) return std::nullopt;
   task.block = cursor_;
-  cursor_ = (cursor_ + 1) % file_blocks_;
+  cursor_ = sched::advance_cursor(cursor_, 1, file_blocks_);
   ++launched_total_;
   return task;
 }

@@ -44,11 +44,11 @@ class TextCorpusGenerator {
 
   // Creates a DFS file of `num_blocks` blocks of `block_size` each, placing
   // replicas via `placement` and storing payloads in `store`.
-  StatusOr<FileId> generate_file(dfs::DfsNamespace& ns, dfs::BlockStore& store,
-                                 dfs::PlacementPolicy& placement,
-                                 const std::string& name,
-                                 std::uint64_t num_blocks, ByteSize block_size,
-                                 int replication = 1) const;
+  [[nodiscard]] StatusOr<FileId> generate_file(
+      dfs::DfsNamespace& ns, dfs::BlockStore& store,
+      dfs::PlacementPolicy& placement, const std::string& name,
+      std::uint64_t num_blocks, ByteSize block_size,
+      int replication = 1) const;
 
  private:
   TextCorpusOptions options_;

@@ -52,11 +52,11 @@ class LineitemGenerator {
   [[nodiscard]] std::string generate_block(std::uint64_t block_index,
                                            ByteSize bytes) const;
 
-  StatusOr<FileId> generate_file(dfs::DfsNamespace& ns, dfs::BlockStore& store,
-                                 dfs::PlacementPolicy& placement,
-                                 const std::string& name,
-                                 std::uint64_t num_blocks, ByteSize block_size,
-                                 int replication = 1) const;
+  [[nodiscard]] StatusOr<FileId> generate_file(
+      dfs::DfsNamespace& ns, dfs::BlockStore& store,
+      dfs::PlacementPolicy& placement, const std::string& name,
+      std::uint64_t num_blocks, ByteSize block_size,
+      int replication = 1) const;
 
  private:
   std::uint64_t seed_;

@@ -34,6 +34,21 @@ TEST(JqmDeathTest, DoubleAdmitAborts) {
   EXPECT_DEATH(jqm.admit(JobId(0)), "admitted twice");
 }
 
+TEST(JqmDeathTest, CorruptedCursorAbortsUnderDebugContracts) {
+#if S3_DCHECKS_ENABLED
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  JobQueueManager jqm(FileId(0), 8);
+  jqm.admit(JobId(0));
+  // Force the circular scan cursor past the end of the file; the Algorithm 1
+  // range contract (cursor ∈ [0, file_blocks)) must abort the next batch.
+  jqm.corrupt_cursor_for_test(17);
+  EXPECT_DEATH((void)jqm.form_batch(BatchId(0), 4),
+               "segment cursor 17 out of range");
+#else
+  GTEST_SKIP() << "debug contracts compiled out (Release without S3_DCHECKS)";
+#endif
+}
+
 TEST(SegmentDeathTest, EmptyFileAborts) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   dfs::DfsNamespace ns;

@@ -181,7 +181,8 @@ TEST_P(JqmPropertyTest, EveryJobScansWholeFileExactlyOnce) {
     for (const auto& m : b.members) {
       consumed[m.job.value()] += m.blocks;
       for (std::uint64_t i = 0; i < m.blocks; ++i) {
-        ++coverage[m.job.value()][(b.start_block + i) % p.file_blocks];
+        ++coverage[m.job.value()][sched::advance_cursor(b.start_block, i,
+                                                        p.file_blocks)];
       }
     }
     jqm.complete_batch();

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "engine/local_engine.h"
+#include "sched/segment_planner.h"
 #include "workloads/text_corpus.h"
 #include "workloads/wordcount.h"
 
@@ -138,7 +139,8 @@ TEST_F(LocalEngineTest, SubJobExecutionEqualsWholeFile) {
   ASSERT_TRUE(
       engine.execute_batch({BatchId(0), blocks(0, 8), {JobId(0)}}).is_ok());
   for (std::uint64_t seg = 0; seg < 4; ++seg) {
-    const std::uint64_t start = (4 + seg * 2) % 8;  // begin mid-file
+    const std::uint64_t start =
+        sched::wrap_index(4 + seg * 2, 8);  // begin mid-file
     ASSERT_TRUE(engine
                     .execute_batch({BatchId(1 + seg), blocks(start, 2),
                                     {JobId(1)}})

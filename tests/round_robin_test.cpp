@@ -4,6 +4,7 @@
 #include <map>
 
 #include "sched/round_robin.h"
+#include "sched/segment_planner.h"
 #include "workloads/suite.h"
 
 namespace s3::sched {
@@ -82,7 +83,8 @@ TEST(RoundRobinTest, CoverageInvariant) {
     const auto& m = batch->members[0];
     jobs_blocks[m.job.value()] += m.blocks;
     for (std::uint64_t i = 0; i < m.blocks; ++i) {
-      ++coverage[m.job.value()][(batch->start_block + i) % 11];
+      ++coverage[m.job.value()][sched::advance_cursor(batch->start_block, i,
+                                                      11)];
     }
     rr.on_batch_complete(batch->id, 0.0);
     ++batches;

@@ -1,0 +1,413 @@
+// Unit tests for the s3lint static-analysis pass: one positive (violating)
+// and one negative (clean) case per rule, plus lexer and suppression
+// behavior. Sources are synthetic strings run through the same lint_file
+// entry point the CLI driver uses.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "s3lint/decl_index.h"
+#include "s3lint/lexer.h"
+#include "s3lint/rules.h"
+
+namespace s3lint {
+namespace {
+
+std::vector<Violation> lint(const std::string& path, const std::string& src,
+                            const DeclIndex& index) {
+  return lint_file(path, tokenize(src), index, all_rules());
+}
+
+std::vector<Violation> lint(const std::string& path, const std::string& src) {
+  DeclIndex empty;
+  return lint(path, src, empty);
+}
+
+bool has_rule(const std::vector<Violation>& vs, const std::string& rule) {
+  return std::any_of(vs.begin(), vs.end(),
+                     [&](const Violation& v) { return v.rule == rule; });
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+
+TEST(S3LintLexer, StripsCommentsAndStrings) {
+  const TokenizedFile f = tokenize(
+      "int x = 1; // cursor % size\n"
+      "const char* s = \"std::cout << cursor % n\";\n"
+      "/* std::mutex m; */\n");
+  for (const Token& t : f.tokens) {
+    EXPECT_NE(t.text, "cursor") << "comment/string content leaked";
+    EXPECT_NE(t.text, "cout");
+    EXPECT_NE(t.text, "mutex");
+  }
+  ASSERT_EQ(f.comments.size(), 2u);
+  EXPECT_FALSE(f.comments[0].own_line);  // trailing comment
+  EXPECT_TRUE(f.comments[1].own_line);
+}
+
+TEST(S3LintLexer, FoldsPreprocessorDirectives) {
+  const TokenizedFile f = tokenize("#define WRAP(x) \\\n  ((x) % size_)\nint y;\n");
+  ASSERT_FALSE(f.tokens.empty());
+  EXPECT_EQ(f.tokens[0].kind, TokKind::kDirective);
+  // The % inside the macro body must not surface as a punct token.
+  for (std::size_t i = 1; i < f.tokens.size(); ++i) {
+    EXPECT_NE(f.tokens[i].text, "%");
+  }
+}
+
+TEST(S3LintLexer, RawStringsDoNotLeak) {
+  const TokenizedFile f = tokenize("auto s = R\"(cursor % n; std::mutex m;)\";");
+  for (const Token& t : f.tokens) {
+    EXPECT_NE(t.text, "cursor");
+    EXPECT_NE(t.text, "mutex");
+  }
+}
+
+TEST(S3LintLexer, TracksLineNumbers) {
+  const TokenizedFile f = tokenize("int a;\nint b;\nint c;\n");
+  ASSERT_GE(f.tokens.size(), 9u);
+  EXPECT_EQ(f.tokens[0].line, 1);
+  EXPECT_EQ(f.tokens[3].line, 2);
+  EXPECT_EQ(f.tokens[6].line, 3);
+}
+
+// ---------------------------------------------------------------------------
+// naked-mutex
+
+TEST(S3LintRules, NakedMutexMemberFlagged) {
+  const auto vs = lint("src/foo/widget.h",
+                       "#pragma once\n"
+                       "#include <mutex>\n"
+                       "class Widget {\n"
+                       "  std::mutex mu_;\n"
+                       "};\n");
+  ASSERT_TRUE(has_rule(vs, "naked-mutex"));
+  EXPECT_EQ(vs[0].line, 4);
+}
+
+TEST(S3LintRules, AnnotatedMutexMemberClean) {
+  const auto vs = lint("src/foo/widget.h",
+                       "#pragma once\n"
+                       "class Widget {\n"
+                       "  mutable AnnotatedMutex mu_;\n"
+                       "};\n");
+  EXPECT_FALSE(has_rule(vs, "naked-mutex"));
+}
+
+TEST(S3LintRules, MutexReferenceParameterClean) {
+  // A std::mutex& in a method signature is not a stored member.
+  const auto vs = lint("src/foo/widget.h",
+                       "#pragma once\n"
+                       "class Widget {\n"
+                       " public:\n"
+                       "  void with_lock(std::mutex& m);\n"
+                       "};\n");
+  EXPECT_FALSE(has_rule(vs, "naked-mutex"));
+}
+
+TEST(S3LintRules, ThreadAnnotationsHeaderExempt) {
+  const auto vs = lint("src/common/thread_annotations.h",
+                       "#pragma once\n"
+                       "class AnnotatedMutex {\n"
+                       "  std::mutex mu_;\n"
+                       "};\n");
+  EXPECT_FALSE(has_rule(vs, "naked-mutex"));
+}
+
+// ---------------------------------------------------------------------------
+// status-discard / status-nodiscard
+
+DeclIndex make_status_index() {
+  DeclIndex index;
+  index.index_file("src/foo/api.h",
+                   tokenize("#pragma once\n"
+                            "[[nodiscard]] Status do_work(int n);\n"
+                            "Status flush();\n"  // missing [[nodiscard]]
+                            "[[nodiscard]] StatusOr<int> parse();\n"
+                            "void log_it(int n);\n"));
+  return index;
+}
+
+TEST(S3LintRules, BareStatusCallFlagged) {
+  const auto index = make_status_index();
+  const auto vs = lint("src/foo/use.cpp",
+                       "void f() {\n"
+                       "  do_work(3);\n"
+                       "}\n",
+                       index);
+  ASSERT_TRUE(has_rule(vs, "status-discard"));
+  EXPECT_EQ(vs[0].line, 2);
+}
+
+TEST(S3LintRules, CheckedStatusCallClean) {
+  const auto index = make_status_index();
+  const auto vs = lint("src/foo/use.cpp",
+                       "void f() {\n"
+                       "  Status s = do_work(3);\n"
+                       "  if (!do_work(4).is_ok()) return;\n"
+                       "  log_it(5);\n"
+                       "}\n",
+                       index);
+  EXPECT_FALSE(has_rule(vs, "status-discard"));
+}
+
+TEST(S3LintRules, AmbiguousNameNotFlagged) {
+  DeclIndex index;
+  index.index_file("src/a.h", tokenize("Status run();\n"));
+  index.index_file("src/b.h", tokenize("double run();\n"));
+  const auto vs = lint("src/foo/use.cpp", "void f() {\n  run();\n}\n", index);
+  EXPECT_FALSE(has_rule(vs, "status-discard"));
+}
+
+TEST(S3LintRules, LocalHelperShadowingIndexedNameNotFlagged) {
+  const auto index = make_status_index();
+  // This file defines its own void flush(); calling it is not a discard.
+  const auto vs = lint("src/foo/use.cpp",
+                       "void flush();\n"
+                       "void f() {\n"
+                       "  flush();\n"
+                       "}\n",
+                       index);
+  EXPECT_FALSE(has_rule(vs, "status-discard"));
+}
+
+TEST(S3LintRules, StatusDeclWithoutNodiscardFlagged) {
+  const auto index = make_status_index();
+  const auto vs = lint("src/foo/api.h",
+                       "#pragma once\n"
+                       "[[nodiscard]] Status do_work(int n);\n"
+                       "Status flush();\n"
+                       "[[nodiscard]] StatusOr<int> parse();\n"
+                       "void log_it(int n);\n",
+                       index);
+  ASSERT_TRUE(has_rule(vs, "status-nodiscard"));
+  int flagged = 0;
+  for (const Violation& v : vs) {
+    if (v.rule == "status-nodiscard") {
+      ++flagged;
+      EXPECT_EQ(v.line, 3);  // only flush() lacks the attribute
+    }
+  }
+  EXPECT_EQ(flagged, 1);
+}
+
+// ---------------------------------------------------------------------------
+// segment-modulo
+
+TEST(S3LintRules, RawCursorModuloFlagged) {
+  const auto vs = lint("src/sched/other.cpp",
+                       "void f() {\n"
+                       "  cursor_ = (cursor_ + wave) % file_blocks_;\n"
+                       "}\n");
+  ASSERT_TRUE(has_rule(vs, "segment-modulo"));
+  EXPECT_EQ(vs[0].line, 2);
+}
+
+TEST(S3LintRules, StartBlockModuloFlagged) {
+  const auto vs = lint("tests/foo_test.cpp",
+                       "void f() {\n"
+                       "  auto x = (b.start_block + i) % n;\n"
+                       "}\n");
+  EXPECT_TRUE(has_rule(vs, "segment-modulo"));
+}
+
+TEST(S3LintRules, UnrelatedModuloClean) {
+  const auto vs = lint("src/foo/hash.cpp",
+                       "void f() {\n"
+                       "  bucket = hash % num_buckets;\n"
+                       "  if (i % 2 == 0) return;\n"
+                       "}\n");
+  EXPECT_FALSE(has_rule(vs, "segment-modulo"));
+}
+
+TEST(S3LintRules, SegmentPlannerExemptFromModuloRule) {
+  const auto vs = lint("src/sched/segment_planner.h",
+                       "#pragma once\n"
+                       "inline int f(int cursor, int n) { return cursor % n; }\n");
+  EXPECT_FALSE(has_rule(vs, "segment-modulo"));
+}
+
+// ---------------------------------------------------------------------------
+// view-retention
+
+TEST(S3LintRules, StringViewMemberInBatchConsumerFlagged) {
+  const auto vs = lint("src/engine/op.h",
+                       "#pragma once\n"
+                       "class Op {\n"
+                       " public:\n"
+                       "  void consume(const KVBatch& batch);\n"
+                       " private:\n"
+                       "  std::string_view last_key_;\n"
+                       "};\n");
+  ASSERT_TRUE(has_rule(vs, "view-retention"));
+  EXPECT_EQ(vs[0].line, 6);
+}
+
+TEST(S3LintRules, StringViewContainerMemberFlagged) {
+  const auto vs = lint("src/engine/op.h",
+                       "#pragma once\n"
+                       "class Op {\n"
+                       "  void consume(const KVBatch& batch);\n"
+                       "  std::vector<std::string_view> keys_;\n"
+                       "};\n");
+  EXPECT_TRUE(has_rule(vs, "view-retention"));
+}
+
+TEST(S3LintRules, StringMemberInBatchConsumerClean) {
+  const auto vs = lint("src/engine/op.h",
+                       "#pragma once\n"
+                       "class Op {\n"
+                       "  void consume(const KVBatch& batch);\n"
+                       "  std::string last_key_;\n"
+                       "};\n");
+  EXPECT_FALSE(has_rule(vs, "view-retention"));
+}
+
+TEST(S3LintRules, StringViewParameterOrNonConsumerClean) {
+  // A string_view method parameter is fine, and so is a member in a class
+  // that never touches KVBatch.
+  const auto vs = lint("src/engine/op.h",
+                       "#pragma once\n"
+                       "class Consumer {\n"
+                       "  void consume(const KVBatch& batch);\n"
+                       "  std::string_view name() const;\n"
+                       "};\n"
+                       "class Unrelated {\n"
+                       "  std::string_view tag_;\n"
+                       "};\n");
+  EXPECT_FALSE(has_rule(vs, "view-retention"));
+}
+
+// ---------------------------------------------------------------------------
+// hygiene rules
+
+TEST(S3LintRules, ThreadDetachFlagged) {
+  const auto vs = lint("src/foo/runner.cpp",
+                       "void f() {\n"
+                       "  std::thread t(work);\n"
+                       "  t.detach();\n"
+                       "}\n");
+  ASSERT_TRUE(has_rule(vs, "thread-detach"));
+  EXPECT_EQ(vs[0].line, 3);
+}
+
+TEST(S3LintRules, JoinedThreadClean) {
+  const auto vs = lint("src/foo/runner.cpp",
+                       "void f() {\n"
+                       "  std::thread t(work);\n"
+                       "  t.join();\n"
+                       "}\n");
+  EXPECT_FALSE(has_rule(vs, "thread-detach"));
+}
+
+TEST(S3LintRules, CoutInSrcFlagged) {
+  const auto vs = lint("src/foo/debug.cpp",
+                       "void f() {\n"
+                       "  std::cout << \"x\";\n"
+                       "}\n");
+  EXPECT_TRUE(has_rule(vs, "stray-cout"));
+}
+
+TEST(S3LintRules, CoutInToolsClean) {
+  const auto vs = lint("tools/s3sim.cpp",
+                       "void f() {\n"
+                       "  std::cout << \"x\";\n"
+                       "}\n");
+  EXPECT_FALSE(has_rule(vs, "stray-cout"));
+}
+
+TEST(S3LintRules, SleepInSrcFlagged) {
+  const auto vs = lint("src/foo/poll.cpp",
+                       "void f() {\n"
+                       "  std::this_thread::sleep_for(std::chrono::seconds(1));\n"
+                       "}\n");
+  EXPECT_TRUE(has_rule(vs, "sleep-in-src"));
+}
+
+TEST(S3LintRules, SleepInTestsClean) {
+  const auto vs = lint("tests/foo_test.cpp",
+                       "void f() {\n"
+                       "  std::this_thread::sleep_for(std::chrono::seconds(1));\n"
+                       "}\n");
+  EXPECT_FALSE(has_rule(vs, "sleep-in-src"));
+}
+
+TEST(S3LintRules, MissingPragmaOnceFlagged) {
+  const auto vs = lint("src/foo/bare.h", "int f();\n");
+  EXPECT_TRUE(has_rule(vs, "pragma-once"));
+}
+
+TEST(S3LintRules, PragmaOncePresentClean) {
+  const auto vs = lint("src/foo/bare.h", "#pragma once\nint f();\n");
+  EXPECT_FALSE(has_rule(vs, "pragma-once"));
+  const auto spaced = lint("src/foo/bare.h", "#  pragma   once\nint f();\n");
+  EXPECT_FALSE(has_rule(spaced, "pragma-once"));
+}
+
+TEST(S3LintRules, PragmaOnceNotRequiredForCpp) {
+  const auto vs = lint("src/foo/bare.cpp", "int f() { return 0; }\n");
+  EXPECT_FALSE(has_rule(vs, "pragma-once"));
+}
+
+// ---------------------------------------------------------------------------
+// suppressions
+
+TEST(S3LintSuppressions, TrailingDisableSuppressesLine) {
+  const auto vs = lint("src/sched/other.cpp",
+                       "void f() {\n"
+                       "  cursor_ = cursor_ % n;  // s3lint: disable(segment-modulo)\n"
+                       "}\n");
+  EXPECT_FALSE(has_rule(vs, "segment-modulo"));
+}
+
+TEST(S3LintSuppressions, PrecedingLineDisableSuppressesNext) {
+  const auto vs = lint("src/sched/other.cpp",
+                       "void f() {\n"
+                       "  // s3lint: disable(segment-modulo)\n"
+                       "  cursor_ = cursor_ % n;\n"
+                       "}\n");
+  EXPECT_FALSE(has_rule(vs, "segment-modulo"));
+}
+
+TEST(S3LintSuppressions, DisableFileSuppressesWholeFile) {
+  const auto vs = lint("src/sched/other.cpp",
+                       "// s3lint: disable-file(segment-modulo)\n"
+                       "void f() {\n"
+                       "  cursor_ = cursor_ % n;\n"
+                       "  wave = wave % k;\n"
+                       "}\n");
+  EXPECT_FALSE(has_rule(vs, "segment-modulo"));
+}
+
+TEST(S3LintSuppressions, DisableAllWildcard) {
+  const auto vs = lint("src/foo/dbg.cpp",
+                       "void f() {\n"
+                       "  std::cout << 1;  // s3lint: disable(all)\n"
+                       "}\n");
+  EXPECT_FALSE(has_rule(vs, "stray-cout"));
+}
+
+TEST(S3LintSuppressions, OtherRuleStillReported) {
+  // A suppression for one rule must not hide a different rule on that line.
+  const auto vs = lint("src/sched/other.cpp",
+                       "void f() {\n"
+                       "  cursor_ = cursor_ % n;  // s3lint: disable(stray-cout)\n"
+                       "}\n");
+  EXPECT_TRUE(has_rule(vs, "segment-modulo"));
+}
+
+TEST(S3LintSuppressions, UnsuppressedLineStillReported) {
+  const auto vs = lint("src/sched/other.cpp",
+                       "void f() {\n"
+                       "  // s3lint: disable(segment-modulo)\n"
+                       "  cursor_ = cursor_ % n;\n"
+                       "  wave = wave % k;\n"  // two lines below: not covered
+                       "}\n");
+  EXPECT_TRUE(has_rule(vs, "segment-modulo"));
+}
+
+}  // namespace
+}  // namespace s3lint

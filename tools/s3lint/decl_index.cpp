@@ -1,0 +1,140 @@
+#include "s3lint/decl_index.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "s3lint/scope.h"
+
+namespace s3lint {
+namespace {
+
+// Words that may precede the return type / name in a declaration without
+// being part of the type itself.
+bool is_decl_specifier(const std::string& word) {
+  return word == "static" || word == "virtual" || word == "inline" ||
+         word == "constexpr" || word == "consteval" || word == "explicit" ||
+         word == "friend" || word == "extern" || word == "nodiscard" ||
+         word == "maybe_unused";
+}
+
+}  // namespace
+
+void DeclIndex::index_file(const std::string& path, const TokenizedFile& file) {
+  const std::vector<Token>& toks = file.tokens;
+  const std::vector<ScopeKind> scope = classify_scopes(toks);
+
+  // Start of the current declaration head (just past the most recent
+  // ';' / '{' / '}' / ':' at the same nesting level walk).
+  std::size_t head = 0;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kPunct &&
+        (t.text == ";" || t.text == "{" || t.text == "}" || t.text == ":")) {
+      head = i + 1;
+      continue;
+    }
+    if (t.kind != TokKind::kPunct || t.text != "(") continue;
+    if (scope[i] == ScopeKind::kBlock || scope[i] == ScopeKind::kEnum) continue;
+    if (i == 0 || toks[i - 1].kind != TokKind::kIdent) continue;
+    const std::string& name = toks[i - 1].text;
+    if (is_keyword(name)) continue;
+
+    // The declarator may be qualified (`Foo::bar`): walk the `::` chain back
+    // to find where the return type ends.
+    std::size_t type_end = i - 1;  // one past the last return-type token
+    while (type_end >= 2 && toks[type_end - 1].kind == TokKind::kPunct &&
+           toks[type_end - 1].text == "::" &&
+           toks[type_end - 2].kind == TokKind::kIdent) {
+      type_end -= 2;
+    }
+    if (type_end <= head) continue;  // no return type: constructor / macro use
+
+    bool returns_status = false;
+    bool has_type_word = false;
+    bool nodiscard = false;
+    int bracket_depth = 0;  // inside [[...]] attribute groups
+    for (std::size_t k = head; k < type_end; ++k) {
+      const Token& w = toks[k];
+      if (w.kind == TokKind::kPunct) {
+        if (w.text == "[") ++bracket_depth;
+        if (w.text == "]" && bracket_depth > 0) --bracket_depth;
+        continue;
+      }
+      if (w.kind != TokKind::kIdent) continue;
+      if (bracket_depth > 0) {
+        if (w.text == "nodiscard") nodiscard = true;
+        continue;
+      }
+      if (w.text == "template") {
+        // Skip the whole template<...> parameter list.
+        int angle = 0;
+        while (k + 1 < type_end) {
+          ++k;
+          if (toks[k].kind != TokKind::kPunct) continue;
+          if (toks[k].text == "<") ++angle;
+          if (toks[k].text == ">" && --angle == 0) break;
+          if (toks[k].text == ">>" && (angle -= 2) <= 0) break;
+        }
+        continue;
+      }
+      if (is_decl_specifier(w.text) || is_keyword(w.text)) {
+        // `void`/`int`/`bool` are keywords but also real return types.
+        if (w.text == "void" || w.text == "bool" || w.text == "int" ||
+            w.text == "char" || w.text == "long" || w.text == "short" ||
+            w.text == "float" || w.text == "double" || w.text == "auto" ||
+            w.text == "unsigned" || w.text == "signed") {
+          has_type_word = true;
+        }
+        continue;
+      }
+      has_type_word = true;
+      if (w.text == "Status" || w.text == "StatusOr") returns_status = true;
+    }
+    if (!has_type_word) continue;
+
+    NameInfo& info = names_[name];
+    info.decls.push_back(FunctionDecl{name, path, toks[i - 1].line,
+                                      returns_status, nodiscard});
+    if (!returns_status) info.returns_other = true;
+  }
+}
+
+bool DeclIndex::unambiguously_returns_status(const std::string& name) const {
+  const auto it = names_.find(name);
+  if (it == names_.end() || it->second.decls.empty()) return false;
+  if (it->second.returns_other) return false;
+  return std::all_of(it->second.decls.begin(), it->second.decls.end(),
+                     [](const FunctionDecl& d) { return d.returns_status; });
+}
+
+const std::vector<FunctionDecl>& DeclIndex::decls(
+    const std::string& name) const {
+  static const std::vector<FunctionDecl> kEmpty;
+  const auto it = names_.find(name);
+  return it == names_.end() ? kEmpty : it->second.decls;
+}
+
+std::vector<FunctionDecl> DeclIndex::missing_nodiscard() const {
+  std::vector<FunctionDecl> out;
+  for (const auto& [name, info] : names_) {
+    for (const FunctionDecl& d : info.decls) {
+      if (d.returns_status && !d.nodiscard) out.push_back(d);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const FunctionDecl& a,
+                                       const FunctionDecl& b) {
+    return a.file != b.file ? a.file < b.file : a.line < b.line;
+  });
+  return out;
+}
+
+bool DeclIndex::returns_other(const std::string& name) const {
+  const auto it = names_.find(name);
+  return it != names_.end() && it->second.returns_other;
+}
+
+void DeclIndex::add_other(const std::string& name) {
+  names_[name].returns_other = true;
+}
+
+}  // namespace s3lint

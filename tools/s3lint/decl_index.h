@@ -1,0 +1,59 @@
+// Project-wide declaration index. Built from every header under the lint
+// root, it records which function names return Status / StatusOr so the
+// status-discard rule can flag a bare call statement, and which of those
+// declarations carry [[nodiscard]] so status-nodiscard can demand it.
+//
+// The index is name-based, not overload-resolved: a name is only "status
+// returning" for the rule engine when *every* indexed declaration of it
+// returns Status/StatusOr (ambiguous names are never flagged).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "s3lint/lexer.h"
+
+namespace s3lint {
+
+struct FunctionDecl {
+  std::string name;
+  std::string file;  // path the declaration was found in
+  int line = 0;
+  bool returns_status = false;  // Status or StatusOr<...> return type
+  bool nodiscard = false;       // declaration carries [[nodiscard]]
+};
+
+class DeclIndex {
+ public:
+  // Scans one tokenized file for namespace/class-scope function declarations
+  // and adds them to the index.
+  void index_file(const std::string& path, const TokenizedFile& file);
+
+  // True when the name is known and every indexed declaration of it returns
+  // Status/StatusOr.
+  [[nodiscard]] bool unambiguously_returns_status(const std::string& name) const;
+
+  // All indexed declarations of the name (empty vector if unknown).
+  [[nodiscard]] const std::vector<FunctionDecl>& decls(
+      const std::string& name) const;
+
+  // Status-returning declarations that lack [[nodiscard]].
+  [[nodiscard]] std::vector<FunctionDecl> missing_nodiscard() const;
+
+  // True when some indexed declaration of the name returns non-Status.
+  [[nodiscard]] bool returns_other(const std::string& name) const;
+
+  // Marks a name as also having a non-status meaning (used by per-file
+  // self-indexing to damp false positives from local helpers).
+  void add_other(const std::string& name);
+
+ private:
+  struct NameInfo {
+    std::vector<FunctionDecl> decls;
+    bool returns_other = false;  // some declaration returns non-Status
+  };
+  std::unordered_map<std::string, NameInfo> names_;
+};
+
+}  // namespace s3lint

@@ -1,0 +1,256 @@
+#include "s3lint/lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace s3lint {
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+// Multi-character operators, longest first within each leading character.
+const char* const kOperators[] = {
+    "<<=", ">>=", "->*", "...", "::", "->", "<<", ">>", "<=", ">=", "==",
+    "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "++", "--", "##",
+};
+
+}  // namespace
+
+TokenizedFile tokenize(const std::string& src) {
+  TokenizedFile out;
+  const std::size_t n = src.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;        // only whitespace so far on this line
+  bool code_on_line = false;        // a code token has appeared on this line
+
+  auto advance_newline = [&]() {
+    ++line;
+    at_line_start = true;
+    code_on_line = false;
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++i;
+      advance_newline();
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      std::size_t j = i + 2;
+      while (j < n && src[j] != '\n') ++j;
+      out.comments.push_back(
+          Comment{src.substr(i + 2, j - i - 2), line, !code_on_line});
+      i = j;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const int start_line = line;
+      const bool own = !code_on_line;
+      std::size_t j = i + 2;
+      std::string text;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
+        if (src[j] == '\n') ++line;
+        text.push_back(src[j]);
+        ++j;
+      }
+      out.comments.push_back(Comment{text, start_line, own});
+      i = (j + 1 < n) ? j + 2 : n;
+      continue;
+    }
+    // Preprocessor directive: '#' first on the line; fold continuations.
+    if (c == '#' && at_line_start) {
+      const int start_line = line;
+      std::string text;
+      std::size_t j = i;
+      while (j < n) {
+        if (src[j] == '\\' && j + 1 < n && src[j + 1] == '\n') {
+          text.push_back(' ');
+          j += 2;
+          ++line;
+          continue;
+        }
+        if (src[j] == '\n') break;
+        // A // comment ends the directive text (and is recorded).
+        if (src[j] == '/' && j + 1 < n && src[j + 1] == '/') {
+          std::size_t k = j + 2;
+          while (k < n && src[k] != '\n') ++k;
+          out.comments.push_back(
+              Comment{src.substr(j + 2, k - j - 2), line, false});
+          j = k;
+          break;
+        }
+        text.push_back(src[j]);
+        ++j;
+      }
+      out.tokens.push_back(Token{TokKind::kDirective, text, start_line});
+      i = j;
+      at_line_start = false;
+      code_on_line = true;
+      continue;
+    }
+    at_line_start = false;
+    code_on_line = true;
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      const int start_line = line;
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(') delim.push_back(src[j++]);
+      const std::string closer = ")" + delim + "\"";
+      std::size_t end = src.find(closer, j);
+      if (end == std::string::npos) end = n;
+      for (std::size_t k = i; k < end && k < n; ++k) {
+        if (src[k] == '\n') ++line;
+      }
+      const std::size_t stop = (end == n) ? n : end + closer.size();
+      out.tokens.push_back(
+          Token{TokKind::kString, src.substr(i, stop - i), start_line});
+      i = stop;
+      continue;
+    }
+    // Plain string / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const int start_line = line;
+      std::size_t j = i + 1;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) {
+          j += 2;
+          continue;
+        }
+        if (src[j] == '\n') ++line;  // unterminated; be forgiving
+        ++j;
+      }
+      const std::size_t stop = (j < n) ? j + 1 : n;
+      out.tokens.push_back(
+          Token{TokKind::kString, src.substr(i, stop - i), start_line});
+      i = stop;
+      continue;
+    }
+    // Identifier / keyword.
+    if (is_ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && is_ident_char(src[j])) ++j;
+      out.tokens.push_back(
+          Token{TokKind::kIdent, src.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Number (pp-number: digits, letters, ', and exponent signs).
+    if (is_digit(c) || (c == '.' && i + 1 < n && is_digit(src[i + 1]))) {
+      std::size_t j = i + 1;
+      while (j < n) {
+        const char d = src[j];
+        if (is_ident_char(d) || d == '.' || d == '\'') {
+          ++j;
+          continue;
+        }
+        if ((d == '+' || d == '-') &&
+            (src[j - 1] == 'e' || src[j - 1] == 'E' || src[j - 1] == 'p' ||
+             src[j - 1] == 'P')) {
+          ++j;
+          continue;
+        }
+        break;
+      }
+      out.tokens.push_back(
+          Token{TokKind::kNumber, src.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Operator / punctuation, longest match.
+    std::string op(1, c);
+    for (const char* cand : kOperators) {
+      const std::size_t len = std::string(cand).size();
+      if (src.compare(i, len, cand) == 0) {
+        op = cand;
+        break;
+      }
+    }
+    out.tokens.push_back(Token{TokKind::kPunct, op, line});
+    i += op.size();
+  }
+  out.num_lines = line;
+  return out;
+}
+
+namespace {
+
+// Extracts rule lists from "disable(rule-a, rule-b)" style suffixes.
+std::vector<std::pair<std::string, std::set<std::string>>> parse_directives(
+    const std::string& text) {
+  std::vector<std::pair<std::string, std::set<std::string>>> out;
+  std::size_t pos = 0;
+  while ((pos = text.find("disable", pos)) != std::string::npos) {
+    std::size_t j = pos + 7;
+    std::string kind = "disable";
+    if (text.compare(j, 5, "-file") == 0) {
+      kind = "disable-file";
+      j += 5;
+    }
+    while (j < text.size() && std::isspace(static_cast<unsigned char>(text[j]))) ++j;
+    if (j >= text.size() || text[j] != '(') {
+      pos = j;
+      continue;
+    }
+    const std::size_t close = text.find(')', j);
+    if (close == std::string::npos) break;
+    std::set<std::string> rules;
+    std::string cur;
+    for (std::size_t k = j + 1; k <= close; ++k) {
+      const char c = (k == close) ? ',' : text[k];
+      if (c == ',') {
+        if (!cur.empty()) rules.insert(cur);
+        cur.clear();
+      } else if (!std::isspace(static_cast<unsigned char>(c))) {
+        cur.push_back(c);
+      }
+    }
+    out.emplace_back(kind, std::move(rules));
+    pos = close + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+Suppressions Suppressions::parse(const std::vector<Comment>& comments) {
+  Suppressions s;
+  for (const Comment& c : comments) {
+    const std::size_t tag = c.text.find("s3lint:");
+    if (tag == std::string::npos) continue;
+    for (auto& [kind, rules] : parse_directives(c.text.substr(tag))) {
+      if (kind == "disable-file") {
+        s.file_rules_.insert(rules.begin(), rules.end());
+      } else {
+        s.line_rules_[c.line].insert(rules.begin(), rules.end());
+        s.line_rules_[c.line + 1].insert(rules.begin(), rules.end());
+      }
+    }
+  }
+  return s;
+}
+
+bool Suppressions::suppressed(const std::string& rule, int line) const {
+  if (file_rules_.count(rule) > 0 || file_rules_.count("all") > 0) return true;
+  const auto it = line_rules_.find(line);
+  if (it == line_rules_.end()) return false;
+  return it->second.count(rule) > 0 || it->second.count("all") > 0;
+}
+
+}  // namespace s3lint

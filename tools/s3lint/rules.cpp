@@ -1,0 +1,413 @@
+#include "s3lint/rules.h"
+
+#include <cstddef>
+#include <set>
+#include <sstream>
+#include <unordered_set>
+
+#include "s3lint/scope.h"
+
+namespace s3lint {
+namespace {
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Splits a snake_case identifier into lowercase-ish words; empty segments
+// (leading/trailing/double underscores) are dropped.
+std::vector<std::string> split_words(const std::string& ident) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : ident) {
+    if (c == '_') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(static_cast<char>(
+          c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c));
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// naked-mutex: raw std::mutex / std::shared_mutex members. The annotated
+// wrappers in common/thread_annotations.h are the only sanctioned home.
+void check_naked_mutex(const std::string& path, const TokenizedFile& file,
+                       const std::vector<ScopeKind>& scope,
+                       std::vector<Violation>* out) {
+  if (path == "src/common/thread_annotations.h") return;
+  static const std::unordered_set<std::string> kMutexTypes = {
+      "mutex", "shared_mutex", "recursive_mutex", "timed_mutex",
+      "recursive_timed_mutex", "shared_timed_mutex"};
+  const std::vector<Token>& toks = file.tokens;
+  int paren_depth = 0;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].kind == TokKind::kPunct) {
+      if (toks[i].text == "(") ++paren_depth;
+      if (toks[i].text == ")") --paren_depth;
+      continue;
+    }
+    if (paren_depth > 0 || scope[i] != ScopeKind::kClass) continue;
+    if (toks[i].kind == TokKind::kIdent && toks[i].text == "std" &&
+        toks[i + 1].kind == TokKind::kPunct && toks[i + 1].text == "::" &&
+        toks[i + 2].kind == TokKind::kIdent &&
+        kMutexTypes.count(toks[i + 2].text) > 0) {
+      out->push_back(Violation{
+          "naked-mutex", toks[i].line,
+          "raw std::" + toks[i + 2].text +
+              " member; use AnnotatedMutex/AnnotatedSharedMutex from "
+              "common/thread_annotations.h so lock discipline is checkable"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// status-discard: a bare expression statement whose value is a Status /
+// StatusOr (per the project-wide declaration index) silently drops an error.
+void check_status_discard(const TokenizedFile& file,
+                          const std::vector<ScopeKind>& scope,
+                          const DeclIndex& index, const DeclIndex& self,
+                          std::vector<Violation>* out) {
+  const std::vector<Token>& toks = file.tokens;
+  for (std::size_t s = 0; s < toks.size(); ++s) {
+    // Anchor at a statement start inside a function body.
+    if (s > 0 && !(toks[s - 1].kind == TokKind::kPunct &&
+                   (toks[s - 1].text == ";" || toks[s - 1].text == "{" ||
+                    toks[s - 1].text == "}"))) {
+      continue;
+    }
+    if (scope[s] != ScopeKind::kBlock) continue;
+    if (toks[s].kind != TokKind::kIdent || is_keyword(toks[s].text)) continue;
+    // Parse an `a::b.c->d(` chain; the callee is the last identifier.
+    std::size_t i = s;
+    std::string callee = toks[i].text;
+    while (i + 2 < toks.size() && toks[i + 1].kind == TokKind::kPunct &&
+           (toks[i + 1].text == "::" || toks[i + 1].text == "." ||
+            toks[i + 1].text == "->") &&
+           toks[i + 2].kind == TokKind::kIdent) {
+      i += 2;
+      callee = toks[i].text;
+    }
+    if (i + 1 >= toks.size() || toks[i + 1].kind != TokKind::kPunct ||
+        toks[i + 1].text != "(") {
+      continue;
+    }
+    // Balance the argument list; the statement must end right after it.
+    std::size_t j = i + 1;
+    int depth = 0;
+    for (; j < toks.size(); ++j) {
+      if (toks[j].kind != TokKind::kPunct) continue;
+      if (toks[j].text == "(") ++depth;
+      if (toks[j].text == ")" && --depth == 0) break;
+    }
+    if (j + 1 >= toks.size() || toks[j + 1].kind != TokKind::kPunct ||
+        toks[j + 1].text != ";") {
+      continue;
+    }
+    if (!index.unambiguously_returns_status(callee)) continue;
+    if (self.returns_other(callee)) continue;  // local helper shadows name
+    out->push_back(Violation{
+        "status-discard", toks[s].line,
+        "result of '" + callee +
+            "' (returns Status/StatusOr) is discarded; check it, or cast "
+            "to void with a comment if the error is truly ignorable"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// segment-modulo: raw `%` on segment/cursor arithmetic. The circular-scan
+// helpers in sched/segment_planner.h are the sanctioned implementation; raw
+// modulo there has twice produced off-by-one wraps in review.
+void check_segment_modulo(const std::string& path, const TokenizedFile& file,
+                          std::vector<Violation>* out) {
+  if (starts_with(path, "src/sched/segment_planner.") ||
+      starts_with(path, "src/dfs/segment.")) {
+    return;
+  }
+  static const std::unordered_set<std::string> kTriggerWords = {
+      "cursor", "rotation", "wave", "seg", "segment", "segments"};
+  const std::vector<Token>& toks = file.tokens;
+  auto triggers = [&](const std::string& ident) {
+    const std::vector<std::string> words = split_words(ident);
+    for (std::size_t w = 0; w < words.size(); ++w) {
+      if (kTriggerWords.count(words[w]) > 0) return true;
+      if (w + 1 < words.size() && words[w + 1] == "block" &&
+          (words[w] == "next" || words[w] == "start")) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kPunct ||
+        (toks[i].text != "%" && toks[i].text != "%=")) {
+      continue;
+    }
+    bool hit = false;
+    std::string witness;
+    // Scan a bounded window either side of the operator, stopping at
+    // statement/argument boundaries.
+    for (int dir = -1; dir <= 1 && !hit; dir += 2) {
+      std::size_t k = i;
+      for (int steps = 0; steps < 8; ++steps) {
+        if (dir < 0 && k == 0) break;
+        k = (dir < 0) ? k - 1 : k + 1;
+        if (k >= toks.size()) break;
+        const Token& t = toks[k];
+        if (t.kind == TokKind::kPunct &&
+            (t.text == ";" || t.text == "{" || t.text == "}" ||
+             t.text == "," || (dir < 0 && t.text == "(") ||
+             (dir > 0 && t.text == ")"))) {
+          break;
+        }
+        if (t.kind == TokKind::kIdent && triggers(t.text)) {
+          hit = true;
+          witness = t.text;
+          break;
+        }
+      }
+    }
+    if (hit) {
+      out->push_back(Violation{
+          "segment-modulo", toks[i].line,
+          "raw '%' on '" + witness +
+              "'; use sched::advance_cursor/wrap_index from "
+              "sched/segment_planner.h for circular segment arithmetic"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// view-retention: a class that touches KVBatch must not hold
+// std::string_view members — batch arenas are recycled between waves.
+void check_view_retention(const TokenizedFile& file,
+                          const std::vector<ScopeKind>& scope,
+                          std::vector<Violation>* out) {
+  const std::vector<Token>& toks = file.tokens;
+  for (std::size_t open = 0; open + 1 < toks.size(); ++open) {
+    if (toks[open].kind != TokKind::kPunct || toks[open].text != "{") continue;
+    if (scope[open + 1] != ScopeKind::kClass) continue;
+    // Find the matching close brace.
+    std::size_t close = open;
+    int depth = 0;
+    for (; close < toks.size(); ++close) {
+      if (toks[close].kind != TokKind::kPunct) continue;
+      if (toks[close].text == "{") ++depth;
+      if (toks[close].text == "}" && --depth == 0) break;
+    }
+    bool consumes_kvbatch = false;
+    for (std::size_t k = open + 1; k < close; ++k) {
+      if (toks[k].kind == TokKind::kIdent && toks[k].text == "KVBatch") {
+        consumes_kvbatch = true;
+        break;
+      }
+    }
+    if (!consumes_kvbatch) continue;
+    // Walk direct class-body member declarations (inner depth 0).
+    int inner = 0;
+    std::vector<const Token*> run;
+    auto flush = [&]() {
+      bool has_view = false;
+      bool skip = false;
+      int line = 0;
+      for (const Token* t : run) {
+        if (t->kind == TokKind::kPunct && t->text == "(") skip = true;
+        if (t->kind != TokKind::kIdent) continue;
+        if (t->text == "using" || t->text == "typedef" ||
+            t->text == "friend") {
+          skip = true;
+        }
+        if (t->text == "string_view") {
+          has_view = true;
+          line = t->line;
+        }
+      }
+      run.clear();
+      if (has_view && !skip) {
+        out->push_back(Violation{
+            "view-retention", line,
+            "std::string_view member in a class that consumes KVBatch; "
+            "batch memory is recycled between waves — store std::string"});
+      }
+    };
+    for (std::size_t k = open + 1; k < close; ++k) {
+      const Token& t = toks[k];
+      if (t.kind == TokKind::kPunct && t.text == "{") {
+        if (inner == 0) flush();  // brace-init / method body begins
+        ++inner;
+        continue;
+      }
+      if (t.kind == TokKind::kPunct && t.text == "}") {
+        --inner;
+        continue;
+      }
+      if (inner > 0) continue;
+      if (t.kind == TokKind::kPunct && (t.text == ";" || t.text == ":")) {
+        flush();
+        continue;
+      }
+      run.push_back(&t);
+    }
+    flush();
+    open = close;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Small hygiene rules.
+void check_thread_detach(const TokenizedFile& file,
+                         std::vector<Violation>* out) {
+  const std::vector<Token>& toks = file.tokens;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].kind == TokKind::kPunct &&
+        (toks[i].text == "." || toks[i].text == "->") &&
+        toks[i + 1].kind == TokKind::kIdent && toks[i + 1].text == "detach" &&
+        toks[i + 2].kind == TokKind::kPunct && toks[i + 2].text == "(") {
+      out->push_back(Violation{
+          "thread-detach", toks[i + 1].line,
+          "detached threads outlive shutdown and race teardown; join via "
+          "ThreadPool or keep the std::thread joinable"});
+    }
+  }
+}
+
+void check_stray_cout(const std::string& path, const TokenizedFile& file,
+                      std::vector<Violation>* out) {
+  if (starts_with(path, "tools/") || starts_with(path, "examples/") ||
+      starts_with(path, "bench/")) {
+    return;
+  }
+  const std::vector<Token>& toks = file.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    const bool is_cout = toks[i].text == "cout";
+    const bool is_printf =
+        (toks[i].text == "printf" || toks[i].text == "puts") &&
+        i + 1 < toks.size() && toks[i + 1].kind == TokKind::kPunct &&
+        toks[i + 1].text == "(";
+    if (!is_cout && !is_printf) continue;
+    out->push_back(Violation{
+        "stray-cout", toks[i].line,
+        "'" + toks[i].text +
+            "' outside tools/examples/bench; use S3_LOG so output honors "
+            "the configured log level"});
+  }
+}
+
+void check_sleep_in_src(const std::string& path, const TokenizedFile& file,
+                        std::vector<Violation>* out) {
+  if (!starts_with(path, "src/")) return;
+  for (const Token& t : file.tokens) {
+    if (t.kind == TokKind::kIdent &&
+        (t.text == "sleep_for" || t.text == "sleep_until")) {
+      out->push_back(Violation{
+          "sleep-in-src", t.line,
+          "'" + t.text +
+              "' in src/; timing-based coordination belongs in tests or "
+              "tools — use condition variables or the simulated clock"});
+    }
+  }
+}
+
+void check_pragma_once(const std::string& path, const TokenizedFile& file,
+                       std::vector<Violation>* out) {
+  if (!ends_with(path, ".h")) return;
+  for (const Token& t : file.tokens) {
+    if (t.kind != TokKind::kDirective) continue;
+    // Directive text starts at the '#'; whitespace around it is free-form
+    // ("#pragma once", "# pragma  once").
+    std::string text = t.text;
+    if (!text.empty() && text[0] == '#') text = text.substr(1);
+    std::istringstream in(text);
+    std::string first, second;
+    in >> first >> second;
+    if (first == "pragma" && second == "once") return;
+  }
+  out->push_back(Violation{
+      "pragma-once", 1, "header is missing '#pragma once'"});
+}
+
+// ---------------------------------------------------------------------------
+// status-nodiscard: declaration-level [[nodiscard]] on Status/StatusOr
+// returning functions (class-level [[nodiscard]] catches call sites, the
+// declaration attribute keeps intent visible at the API).
+void check_status_nodiscard(const std::string& path, const DeclIndex& index,
+                            std::vector<Violation>* out) {
+  for (const FunctionDecl& d : index.missing_nodiscard()) {
+    if (d.file != path) continue;
+    out->push_back(Violation{
+        "status-nodiscard", d.line,
+        "'" + d.name +
+            "' returns Status/StatusOr but is not declared [[nodiscard]]"});
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& all_rules() {
+  static const std::vector<std::string> kRules = {
+      "naked-mutex",   "status-discard", "status-nodiscard",
+      "segment-modulo", "view-retention", "thread-detach",
+      "stray-cout",    "sleep-in-src",   "pragma-once",
+  };
+  return kRules;
+}
+
+std::vector<Violation> lint_file(
+    const std::string& path, const TokenizedFile& file, const DeclIndex& index,
+    const std::vector<std::string>& enabled_rules) {
+  const std::vector<ScopeKind> scope = classify_scopes(file.tokens);
+  const Suppressions suppressions = Suppressions::parse(file.comments);
+  const std::set<std::string> enabled(enabled_rules.begin(),
+                                      enabled_rules.end());
+
+  // Self-index the file so a local helper sharing a name with an indexed
+  // Status-returning function does not trip status-discard.
+  DeclIndex self;
+  self.index_file(path, file);
+
+  std::vector<Violation> raw;
+  if (enabled.count("naked-mutex") > 0) {
+    check_naked_mutex(path, file, scope, &raw);
+  }
+  if (enabled.count("status-discard") > 0) {
+    check_status_discard(file, scope, index, self, &raw);
+  }
+  if (enabled.count("status-nodiscard") > 0) {
+    check_status_nodiscard(path, index, &raw);
+  }
+  if (enabled.count("segment-modulo") > 0) {
+    check_segment_modulo(path, file, &raw);
+  }
+  if (enabled.count("view-retention") > 0) {
+    check_view_retention(file, scope, &raw);
+  }
+  if (enabled.count("thread-detach") > 0) {
+    check_thread_detach(file, &raw);
+  }
+  if (enabled.count("stray-cout") > 0) {
+    check_stray_cout(path, file, &raw);
+  }
+  if (enabled.count("sleep-in-src") > 0) {
+    check_sleep_in_src(path, file, &raw);
+  }
+  if (enabled.count("pragma-once") > 0) {
+    check_pragma_once(path, file, &raw);
+  }
+
+  std::vector<Violation> out;
+  for (Violation& v : raw) {
+    if (!suppressions.suppressed(v.rule, v.line)) out.push_back(std::move(v));
+  }
+  return out;
+}
+
+}  // namespace s3lint

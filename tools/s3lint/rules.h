@@ -1,0 +1,32 @@
+// The s3lint rules. Each rule inspects one tokenized file (plus the
+// project-wide declaration index) and reports violations; path-based
+// allowlists live here so every rule's exemptions are in one place.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "s3lint/decl_index.h"
+#include "s3lint/lexer.h"
+
+namespace s3lint {
+
+struct Violation {
+  std::string rule;
+  int line = 0;
+  std::string message;
+};
+
+// All rule names, in report order. `--rules=` and suppression comments are
+// validated against this list.
+const std::vector<std::string>& all_rules();
+
+// Runs every enabled rule over one file. `path` must be root-relative with
+// forward slashes (e.g. "src/sched/s3_scheduler.cpp") — the allowlists match
+// on it. Violations on suppressed lines are already filtered out.
+std::vector<Violation> lint_file(const std::string& path,
+                                 const TokenizedFile& file,
+                                 const DeclIndex& index,
+                                 const std::vector<std::string>& enabled_rules);
+
+}  // namespace s3lint

@@ -1,0 +1,38 @@
+// Driver: file collection, index construction, and report formatting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "s3lint/rules.h"
+
+namespace s3lint {
+
+struct LintOptions {
+  std::string root = ".";           // repo root (allowlists are root-relative)
+  std::vector<std::string> paths;   // explicit files; empty = whole tree
+  std::vector<std::string> rules;   // enabled rules; empty = all
+};
+
+struct LintReport {
+  std::string path;  // root-relative
+  Violation violation;
+};
+
+struct LintResult {
+  std::vector<LintReport> reports;
+  int files_linted = 0;
+};
+
+// C++ sources under root's src/, tests/, tools/, bench/, examples/ trees,
+// root-relative with forward slashes, sorted.
+std::vector<std::string> collect_files(const std::string& root);
+
+// Tokenizes + indexes every header under root, then lints the requested
+// files (or the whole tree). Throws std::runtime_error on unreadable input.
+LintResult run_lint(const LintOptions& options);
+
+// "path:line: error: [rule] message"
+std::string format_report(const LintReport& report);
+
+}  // namespace s3lint

@@ -1,0 +1,102 @@
+#include "s3lint/scope.h"
+
+#include <cstddef>
+#include <unordered_set>
+
+namespace s3lint {
+namespace {
+
+const std::unordered_set<std::string>& keyword_set() {
+  static const std::unordered_set<std::string> kKeywords = {
+      "alignas", "alignof", "and", "asm", "auto", "bool", "break", "case",
+      "catch", "char", "class", "concept", "const", "consteval", "constexpr",
+      "constinit", "const_cast", "continue", "co_await", "co_return",
+      "co_yield", "decltype", "default", "delete", "do", "double",
+      "dynamic_cast", "else", "enum", "explicit", "export", "extern", "false",
+      "final", "float", "for", "friend", "goto", "if", "inline", "int", "long",
+      "mutable", "namespace", "new", "noexcept", "not", "nullptr", "operator",
+      "or", "override", "private", "protected", "public", "register",
+      "reinterpret_cast", "requires", "return", "short", "signed", "sizeof",
+      "static", "static_assert", "static_cast", "struct", "switch", "template",
+      "this", "thread_local", "throw", "true", "try", "typedef", "typeid",
+      "typename", "union", "unsigned", "using", "virtual", "void", "volatile",
+      "wchar_t", "while",
+  };
+  return kKeywords;
+}
+
+}  // namespace
+
+bool is_keyword(const std::string& ident) {
+  return keyword_set().count(ident) > 0;
+}
+
+std::vector<ScopeKind> classify_scopes(const std::vector<Token>& tokens) {
+  std::vector<ScopeKind> out(tokens.size(), ScopeKind::kTop);
+  std::vector<ScopeKind> stack;  // scope each open brace introduced
+  // Start of the current "statement head": index just past the last
+  // ';' / '{' / '}' at the current nesting level. Tokens in that window
+  // decide what kind of scope a '{' opens.
+  std::size_t head = 0;
+
+  auto classify_open = [&](std::size_t open) {
+    int parens = 0;
+    bool saw_namespace = false;
+    bool saw_enum = false;
+    bool saw_class = false;
+    std::size_t class_kw = 0;  // index of the class/struct/union keyword
+    for (std::size_t k = head; k < open; ++k) {
+      const Token& t = tokens[k];
+      if (t.kind == TokKind::kPunct) {
+        if (t.text == "(") {
+          ++parens;
+        } else if (t.text == ")") {
+          --parens;
+        }
+        continue;
+      }
+      if (t.kind != TokKind::kIdent || parens > 0) continue;
+      if (t.text == "namespace") saw_namespace = true;
+      if (t.text == "enum") saw_enum = true;
+      if ((t.text == "class" || t.text == "struct" || t.text == "union") &&
+          !saw_class) {
+        saw_class = true;
+        class_kw = k;
+      }
+    }
+    if (saw_namespace) return ScopeKind::kNamespace;
+    if (saw_enum) return ScopeKind::kEnum;
+    if (saw_class) {
+      // `struct Foo {` / `class Foo final {` / `class Foo : Base {` open a
+      // class. `struct tm* f(...) {`-style elaborated-type uses are followed
+      // by a (...) group, which means function body, not class.
+      bool parens_after_kw = false;
+      for (std::size_t k = class_kw + 1; k < open; ++k) {
+        if (tokens[k].kind == TokKind::kPunct && tokens[k].text == "(") {
+          parens_after_kw = true;
+          break;
+        }
+      }
+      if (!parens_after_kw) return ScopeKind::kClass;
+    }
+    return ScopeKind::kBlock;
+  };
+
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    out[i] = stack.empty() ? ScopeKind::kTop : stack.back();
+    const Token& t = tokens[i];
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == "{") {
+      stack.push_back(classify_open(i));
+      head = i + 1;
+    } else if (t.text == "}") {
+      if (!stack.empty()) stack.pop_back();
+      head = i + 1;
+    } else if (t.text == ";") {
+      head = i + 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace s3lint

@@ -1,0 +1,23 @@
+// Lightweight brace-scope classifier: walks the token stream and labels each
+// `{ ... }` region as namespace, class, enum, or block (function body /
+// compound statement / brace-init). The rule engine uses it to tell a data
+// member from a local variable and a declaration from an expression.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "s3lint/lexer.h"
+
+namespace s3lint {
+
+enum class ScopeKind { kTop, kNamespace, kClass, kEnum, kBlock };
+
+// scope_of[i] is the innermost scope the token at index i lives in (the
+// braces themselves belong to the outer scope).
+std::vector<ScopeKind> classify_scopes(const std::vector<Token>& tokens);
+
+// True when the token is a C++ keyword (so it can't be a callee/declarator).
+bool is_keyword(const std::string& ident);
+
+}  // namespace s3lint
