@@ -9,8 +9,12 @@
 
 #include "harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace s3;
+  const Flags flags = Flags::parse(argc, argv);
+  // --trace-out=<path>: Chrome/Perfetto trace of every combined/sequential
+  // batch (map/reduce task spans + shuffle merges).
+  obs::TraceSession trace_session(flags);
 
   // 48 blocks x 128 KiB = 6 MiB corpus; enough records that map work
   // dominates thread-pool overheads.

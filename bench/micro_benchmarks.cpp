@@ -3,6 +3,8 @@
 // and a full simulator iteration.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
 #include "core/s3.h"
 
 namespace {
@@ -191,4 +193,19 @@ BENCHMARK(BM_SimulatedSparseRun);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), plus an S3_TRACE=1 environment switch that turns
+// the span tracer on for the whole run — the bench overhead guard in
+// scripts/check.sh compares the same benchmark with tracing off and on.
+// Events stay in the tracer's bounded sink (dropped beyond the cap, never
+// unbounded); no trace file is written.
+int main(int argc, char** argv) {
+  const char* trace = std::getenv("S3_TRACE");
+  if (trace != nullptr && trace[0] == '1') {
+    s3::obs::Tracer::instance().set_enabled(true);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,6 +5,10 @@
 // prints TET/ART plus the physical-vs-logical I/O ledger, demonstrating that
 // S3 keeps response times low *and* shares most of the scanning — and that
 // all three schedulers produce identical answers.
+//
+// Pass --trace-out=<path> to capture a Chrome/Perfetto trace of the S3 run
+// (spans for every map/reduce task plus the scheduler decision journal);
+// metrics land next to it in <path>.metrics.jsonl.
 #include <cstdio>
 
 #include "core/s3.h"
@@ -36,7 +40,11 @@ std::vector<core::RealJob> make_jobs(FileId file) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  // --trace-out=<path> traces all three scheduler runs into one file; the
+  // scheduler journal distinguishes them by batch/file ids.
+  obs::TraceSession trace_session(flags);
   World world;
   dfs::PlacementTopology ptopo;
   for (const auto& node : world.topology.nodes()) {

@@ -9,8 +9,13 @@
 #   scripts/check.sh --tsan          TSan build + ctest   (build-tsan/)
 #   scripts/check.sh --tidy          clang-tidy over every TU (build-tidy/)
 #   scripts/check.sh --lint          build + run s3lint over the whole tree
+#   scripts/check.sh --trace         trace smoke: capture a Chrome trace from
+#                                    the wordcount example, validate it with
+#                                    s3trace, and fail if enabling the tracer
+#                                    slows BM_MapRunnerEndToEnd by >5%
 #   scripts/check.sh --all           tier-1 + lint + asan + ubsan + tsan
 #                                    + tidy + format check + Release smoke
+#                                    + trace smoke
 #
 # Sanitizer modes build tests only (benches/examples are covered by the
 # default mode) so the instrumented builds stay fast. --tidy and the format
@@ -28,7 +33,8 @@ for arg in "$@"; do
     --tsan) MODES+=(tsan) ;;
     --tidy) MODES+=(tidy) ;;
     --lint) MODES+=(lint) ;;
-    --all) MODES+=(tier1 lint asan ubsan tsan tidy format release) ;;
+    --trace) MODES+=(trace) ;;
+    --all) MODES+=(tier1 lint asan ubsan tsan tidy format release trace) ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -37,6 +43,14 @@ if [[ ${#MODES[@]} -eq 0 ]]; then
   MODES=(tier1)
   [[ "$SKIP_RELEASE" == 1 ]] || MODES+=(release)
 fi
+
+bench_median_ns() {  # <S3_TRACE value> -> median cpu time (ns) on stdout
+  S3_TRACE="$1" ./build/bench/micro_benchmarks \
+    --benchmark_filter='^BM_MapRunnerEndToEnd/4$' \
+    --benchmark_repetitions=5 --benchmark_report_aggregates_only=true \
+    --benchmark_format=csv 2> /dev/null \
+    | awk -F, '/_median/ { print $4; exit }'
+}
 
 run_sanitized() {  # <name> <S3_SANITIZE value>
   local name="$1" value="$2"
@@ -79,6 +93,29 @@ for mode in "${MODES[@]}"; do
       ;;
     format)
       scripts/format.sh --check
+      ;;
+    trace)
+      echo "=== trace: capture + validate a Chrome trace from the example ==="
+      cmake -B build -S . -DS3_WARNINGS_AS_ERRORS=ON
+      cmake --build build -j \
+        --target shared_scan_wordcount s3trace micro_benchmarks
+      trace_out="build/trace-smoke.json"
+      ./build/examples/shared_scan_wordcount --trace-out="${trace_out}"
+      ./build/tools/s3trace --validate "${trace_out}"
+      ./build/tools/s3trace "${trace_out}"
+      echo "=== trace: BM_MapRunnerEndToEnd overhead, traced vs untraced ==="
+      untraced="$(bench_median_ns 0)"
+      traced="$(bench_median_ns 1)"
+      awk -v off="$untraced" -v on="$traced" 'BEGIN {
+        pct = (on - off) / off * 100.0
+        printf "untraced median %.0f ns, traced median %.0f ns, ", off, on
+        printf "overhead %+.2f%% (budget 5%%)\n", pct
+        if (pct > 5.0) {
+          print "check.sh: tracing overhead exceeds the 5% budget" \
+            > "/dev/stderr"
+          exit 1
+        }
+      }'
       ;;
     release)
       echo "=== Release build ==="

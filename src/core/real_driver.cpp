@@ -1,9 +1,11 @@
 #include "core/real_driver.h"
 
 #include <algorithm>
-#include <chrono>
 
 #include "common/logging.h"
+#include "obs/clock.h"
+#include "obs/journal.h"
+#include "obs/trace.h"
 #include "sched/segment_planner.h"
 
 namespace s3::core {
@@ -93,14 +95,43 @@ StatusOr<RealRunResult> RealDriver::run(sched::Scheduler& scheduler,
     for (const auto& member : batch->members) {
       timeline.on_first_started(member.job, now);
     }
-    const auto wall_start = std::chrono::steady_clock::now();
+    auto& journal = obs::EventJournal::instance();
+    if (journal.enabled()) {
+      obs::JournalEvent event;
+      event.type = obs::JournalEventType::kBatchLaunched;
+      event.sim_time = now;
+      event.file = batch->file;
+      event.batch = batch->id;
+      event.cursor = batch->start_block;
+      event.wave = batch->num_blocks;
+      event.members = batch->members.size();
+      journal.record(std::move(event));
+    }
+    S3_TRACE_SPAN_NAMED(batch_span, "driver", "batch");
+    batch_span.arg("batch", batch->id.value())
+        .arg("file", batch->file.value())
+        .arg("start_block", batch->start_block)
+        .arg("blocks", batch->num_blocks)
+        .arg("jobs", exec.jobs.size());
+    const std::uint64_t wall_start_ns = obs::now_ns();
     S3_RETURN_IF_ERROR(engine_->execute_batch(exec));
-    const double wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      wall_start)
-            .count();
+    const double wall_seconds = obs::seconds_since(wall_start_ns);
+    batch_span.end();
     now += wall_seconds * options_.time_scale;
     ++result.batches_run;
+    if (journal.enabled()) {
+      obs::JournalEvent event;
+      event.type = obs::JournalEventType::kBatchExecuted;
+      event.sim_time = now;
+      event.file = batch->file;
+      event.batch = batch->id;
+      event.wave = batch->num_blocks;
+      event.members = batch->members.size();
+      event.detail = "wall_us=" +
+                     std::to_string(static_cast<std::uint64_t>(
+                         wall_seconds * 1e6));
+      journal.record(std::move(event));
+    }
 
     // Arrivals that (virtually) happened during the batch join afterwards.
     deliver(now);

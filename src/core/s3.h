@@ -33,6 +33,12 @@
 #include "metrics/metrics.h"
 #include "metrics/jsonl.h"
 #include "metrics/report.h"
+#include "obs/chrome_trace.h"
+#include "obs/clock.h"
+#include "obs/journal.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "obs/trace_session.h"
 #include "sched/analytic.h"
 #include "sched/fifo.h"
 #include "sched/job_queue_manager.h"

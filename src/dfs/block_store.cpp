@@ -1,24 +1,34 @@
 #include "dfs/block_store.h"
 
+#include "obs/registry.h"
+
 namespace s3::dfs {
 
 Status BlockStore::put(BlockId block, std::string payload) {
+  static auto& writes = obs::Registry::instance().counter("dfs.block_writes");
+  static auto& bytes = obs::Registry::instance().counter("dfs.bytes_written");
   MutexLock lock(mu_);
   if (payloads_.count(block) > 0) {
     return Status::already_exists("block payload already written");
   }
   total_bytes_ += payload.size();
+  writes.add();
+  bytes.add(payload.size());
   payloads_.emplace(block,
                     std::make_shared<const std::string>(std::move(payload)));
   return Status::ok();
 }
 
 StatusOr<Payload> BlockStore::get(BlockId block) const {
+  static auto& reads = obs::Registry::instance().counter("dfs.block_reads");
+  static auto& bytes = obs::Registry::instance().counter("dfs.bytes_read");
   MutexLock lock(mu_);
   const auto it = payloads_.find(block);
   if (it == payloads_.end()) {
     return Status::not_found("no payload for block");
   }
+  reads.add();
+  bytes.add((*it->second).size());
   return it->second;
 }
 

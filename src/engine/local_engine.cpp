@@ -4,6 +4,8 @@
 #include <optional>
 
 #include "common/logging.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace s3::engine {
 
@@ -95,8 +97,18 @@ Status LocalEngine::execute_batch(const BatchExec& batch) {
   S3_LOG(kDebug, "engine") << "batch " << batch.id << ": "
                            << batch.blocks.size() << " blocks x "
                            << batch.jobs.size() << " jobs";
+  S3_TRACE_SPAN_NAMED(batch_span, "engine", "execute_batch");
+  batch_span.arg("batch", batch.id.value())
+      .arg("blocks", batch.blocks.size())
+      .arg("jobs", batch.jobs.size());
+  static auto& batches_run =
+      obs::Registry::instance().counter("engine.batches");
+  batches_run.add();
 
   // --- Map wave: one merged map task per block, all slots in parallel. ---
+  S3_TRACE_SPAN_NAMED(map_wave_span, "engine", "map_wave");
+  map_wave_span.arg("batch", batch.id.value())
+      .arg("blocks", batch.blocks.size());
   struct MapCollect {
     AnnotatedMutex mu;
     std::vector<MapTaskOutcome> outcomes S3_GUARDED_BY(mu);
@@ -149,15 +161,32 @@ Status LocalEngine::execute_batch(const BatchExec& batch) {
   {
     MutexLock outcome_lock(map_collect.mu);
     MutexLock lock(mu_);
+    static auto& physical =
+        obs::Registry::instance().counter("engine.blocks_physical");
+    static auto& logical =
+        obs::Registry::instance().counter("engine.blocks_logical");
     for (const auto& outcome : map_collect.outcomes) {
       scan_counters_ += outcome.scan;
+      physical.add(outcome.scan.blocks_physical);
+      logical.add(outcome.scan.blocks_logical);
       for (const auto& [job, counters] : outcome.per_job) {
         state(job).counters += counters;
       }
     }
+    // Live sharing efficiency: logical blocks served per physical block
+    // read. An n-member merged scan reports exactly n.
+    static auto& sharing =
+        obs::Registry::instance().gauge("engine.sharing_efficiency");
+    if (scan_counters_.blocks_physical > 0) {
+      sharing.set(static_cast<double>(scan_counters_.blocks_logical) /
+                  static_cast<double>(scan_counters_.blocks_physical));
+    }
   }
+  map_wave_span.end();
 
   // --- Reduce wave: per member job, per partition. ---
+  S3_TRACE_SPAN_NAMED(reduce_wave_span, "engine", "reduce_wave");
+  reduce_wave_span.arg("batch", batch.id.value()).arg("jobs", members.size());
   struct ReduceCollect {
     AnnotatedMutex mu;
     std::unordered_map<JobId, std::vector<KeyValue>> outputs S3_GUARDED_BY(mu);
@@ -211,6 +240,7 @@ Status LocalEngine::execute_batch(const BatchExec& batch) {
     MutexLock lock(collect.mu);
     if (!collect.error.is_ok()) return collect.error;
   }
+  reduce_wave_span.end();
 
   {
     MutexLock collect_lock(collect.mu);

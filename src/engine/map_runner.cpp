@@ -3,6 +3,9 @@
 #include <memory>
 
 #include "dfs/reader.h"
+#include "obs/clock.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace s3::engine {
 namespace {
@@ -98,6 +101,15 @@ StatusOr<MapTaskOutcome> MapRunner::run(const MapTaskSpec& task) const {
   if (task.jobs.empty()) {
     return Status::invalid_argument("map task with no member jobs");
   }
+  static auto& tasks_run = obs::Registry::instance().counter("engine.map_tasks");
+  static auto& task_ns =
+      obs::Registry::instance().histogram("engine.map_task_ns");
+  const std::uint64_t run_start_ns = obs::now_ns();
+  S3_TRACE_SPAN_NAMED(span, "engine", "map_task");
+  span.arg("task", task.id.value())
+      .arg("block", task.block.value())
+      .arg("jobs", task.jobs.size());
+
   auto payload_or = source_->fetch(task.block);
   if (!payload_or.is_ok()) return payload_or.status();
   const dfs::Payload payload = std::move(payload_or).value();
@@ -150,6 +162,8 @@ StatusOr<MapTaskOutcome> MapRunner::run(const MapTaskSpec& task) const {
     }
     member.emitter->publish(*shuffle_, member.spec->id, data_path_);
   }
+  tasks_run.add();
+  task_ns.observe(obs::now_ns() - run_start_ns);
   return outcome;
 }
 

@@ -2,6 +2,10 @@
 
 #include <memory>
 
+#include "obs/clock.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
 namespace s3::engine {
 namespace {
 
@@ -32,6 +36,16 @@ StatusOr<ReduceTaskOutcome> ReduceRunner::run(const ReduceTaskSpec& task) const 
     return Status::out_of_range("partition beyond job's reduce task count");
   }
 
+  static auto& tasks_run =
+      obs::Registry::instance().counter("engine.reduce_tasks");
+  static auto& task_ns =
+      obs::Registry::instance().histogram("engine.reduce_task_ns");
+  const std::uint64_t run_start_ns = obs::now_ns();
+  S3_TRACE_SPAN_NAMED(span, "engine", "reduce_task");
+  span.arg("task", task.id.value())
+      .arg("job", task.job->id.value())
+      .arg("partition", task.partition);
+
   const std::vector<KVBatch> runs =
       shuffle_->take(task.job->id, task.partition);
   ReduceTaskOutcome outcome;
@@ -41,6 +55,8 @@ StatusOr<ReduceTaskOutcome> ReduceRunner::run(const ReduceTaskSpec& task) const 
   CollectEmitter collect(outcome.output);
   if (data_path_ == DataPath::kFlatBatch) {
     // Map tasks published sorted runs; grouping is a k-way merge.
+    S3_TRACE_SPAN_NAMED(merge_span, "engine", "shuffle_merge");
+    merge_span.arg("runs", runs.size());
     outcome.counters.reduce_input_groups = merge_runs_and_group(
         runs, [&](std::string_view key,
                   const std::vector<std::string_view>& values) {
@@ -48,6 +64,7 @@ StatusOr<ReduceTaskOutcome> ReduceRunner::run(const ReduceTaskSpec& task) const 
         });
   } else {
     // Legacy oracle: flatten to owned records and globally sort from scratch.
+    S3_TRACE_SPAN("engine", "shuffle_sort");
     std::vector<KeyValue> records;
     for (const KVBatch& run : runs) {
       for (std::size_t i = 0; i < run.size(); ++i) {
@@ -65,6 +82,8 @@ StatusOr<ReduceTaskOutcome> ReduceRunner::run(const ReduceTaskSpec& task) const 
   }
   outcome.counters.reduce_output_records = outcome.output.size();
   outcome.counters.reduce_output_bytes = collect.bytes();
+  tasks_run.add();
+  task_ns.observe(obs::now_ns() - run_start_ns);
   return outcome;
 }
 

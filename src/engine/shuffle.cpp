@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/status.h"
+#include "obs/registry.h"
 
 namespace s3::engine {
 
@@ -53,8 +54,14 @@ void ShuffleStore::publish(JobId job, std::vector<KVBatch> runs) {
   JobBuckets& jb = job_buckets(job);
   S3_CHECK_MSG(runs.size() == jb.partitions,
                "publish expects one run per partition");
+  static auto& runs_published =
+      obs::Registry::instance().counter("shuffle.runs_published");
+  static auto& records_published =
+      obs::Registry::instance().counter("shuffle.records_published");
   for (std::uint32_t p = 0; p < jb.partitions; ++p) {
     if (runs[p].empty()) continue;
+    runs_published.add();
+    records_published.add(runs[p].size());
     Bucket& b = *jb.buckets[p];
     MutexLock lock(b.mu);
     b.runs.push_back(std::move(runs[p]));

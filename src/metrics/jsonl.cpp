@@ -75,7 +75,7 @@ std::string jobs_to_jsonl(const std::vector<JobRecord>& jobs) {
         .field("started", job.first_started)
         .field("completed", job.completed)
         .field("response", job.response_time())
-        .field("waiting", job.waiting_time());
+        .field("waiting", job.waiting_time().value_or(-1.0));
     out += record.str();
     out += '\n';
   }

@@ -73,7 +73,10 @@ MetricsSummary summarize(const JobTimeline& timeline) {
     first_submit = std::min(first_submit, r.submitted);
     last_complete = std::max(last_complete, r.completed);
     responses.add(r.response_time());
-    waits.add(r.waiting_time());
+    const std::optional<SimTime> wait = r.waiting_time();
+    S3_CHECK_MSG(wait.has_value(),
+                 "completed job never started: " << r.id);
+    waits.add(*wait);
   }
   s.tet = last_complete - first_submit;
   s.art = responses.mean();

@@ -24,8 +24,12 @@ struct JobRecord {
   SimTime completed = kTimeNever;
 
   [[nodiscard]] bool done() const { return completed != kTimeNever; }
+  [[nodiscard]] bool started() const { return first_started != kTimeNever; }
   [[nodiscard]] SimTime response_time() const { return completed - submitted; }
-  [[nodiscard]] SimTime waiting_time() const {
+  // Empty until the job's first task starts (never kTimeNever - submitted
+  // garbage); always set for a completed job.
+  [[nodiscard]] std::optional<SimTime> waiting_time() const {
+    if (!started()) return std::nullopt;
     return first_started - submitted;
   }
 };

@@ -1,0 +1,161 @@
+#include "obs/chrome_trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+
+#include "metrics/jsonl.h"
+
+namespace s3::obs {
+namespace {
+
+// Microseconds with fixed 3-decimal precision: deterministic across
+// platforms (no %g wobble) and fine-grained enough for ns-scale spans.
+std::string format_us(std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03u", ns / 1000,
+                static_cast<unsigned>(ns % 1000));
+  return buf;
+}
+
+void append_args(std::string* out, const std::vector<TraceArg>& args) {
+  if (args.empty()) return;
+  *out += ",\"args\":{";
+  bool first = true;
+  for (const TraceArg& arg : args) {
+    if (!first) *out += ',';
+    first = false;
+    *out += '"' + metrics::JsonObject::escape(arg.key) + "\":";
+    if (arg.is_number) {
+      *out += std::to_string(arg.number);
+    } else {
+      *out += '"' + metrics::JsonObject::escape(arg.text) + '"';
+    }
+  }
+  *out += '}';
+}
+
+void append_id_arg(std::vector<TraceArg>* args, const char* key,
+                   std::uint64_t value, std::uint64_t invalid) {
+  if (value == invalid) return;
+  args->push_back(TraceArg{key, {}, value, true});
+}
+
+// Lowers a journal record onto the generic arg list the emitters share.
+std::vector<TraceArg> journal_args(const JournalEvent& event) {
+  std::vector<TraceArg> args;
+  args.push_back(TraceArg{"seq", {}, event.seq, true});
+  constexpr std::uint64_t kInvalid = StrongId<JobTag>::kInvalid;
+  append_id_arg(&args, "file", event.file.value(), kInvalid);
+  append_id_arg(&args, "job", event.job.value(), kInvalid);
+  append_id_arg(&args, "batch", event.batch.value(), kInvalid);
+  append_id_arg(&args, "node", event.node.value(), kInvalid);
+  args.push_back(TraceArg{"cursor", {}, event.cursor, true});
+  args.push_back(TraceArg{"wave", {}, event.wave, true});
+  args.push_back(TraceArg{"members", {}, event.members, true});
+  args.push_back(TraceArg{"remaining", {}, event.remaining, true});
+  if (event.sim_time >= 0.0) {
+    args.push_back(TraceArg{
+        "sim_time", {},
+        static_cast<std::uint64_t>(event.sim_time * 1e6), true});
+  }
+  if (!event.detail.empty()) {
+    args.push_back(TraceArg{"detail", event.detail, 0, false});
+  }
+  return args;
+}
+
+}  // namespace
+
+std::string to_chrome_trace_json(std::vector<TraceEvent> spans,
+                                 std::vector<JournalEvent> journal,
+                                 std::uint64_t dropped) {
+  std::sort(spans.begin(), spans.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.name < b.name;
+            });
+  std::sort(journal.begin(), journal.end(),
+            [](const JournalEvent& a, const JournalEvent& b) {
+              return a.seq < b.seq;
+            });
+
+  // Normalize all timestamps to the earliest event in the document.
+  std::uint64_t epoch = std::numeric_limits<std::uint64_t>::max();
+  for (const TraceEvent& span : spans) {
+    epoch = std::min(epoch, span.start_ns);
+  }
+  for (const JournalEvent& event : journal) {
+    epoch = std::min(epoch, event.ts_ns);
+  }
+  if (epoch == std::numeric_limits<std::uint64_t>::max()) epoch = 0;
+
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  const auto emit = [&](const std::string& line) {
+    if (!first) out += ",\n";
+    first = false;
+    out += line;
+  };
+
+  emit("{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{"
+       "\"name\":\"s3\"}}");
+  emit("{\"ph\":\"M\",\"pid\":1,\"tid\":" +
+       std::to_string(kJournalTrackTid) +
+       ",\"name\":\"thread_name\",\"args\":{\"name\":\"scheduler journal\"}}");
+  if (dropped > 0) {
+    emit("{\"ph\":\"M\",\"pid\":1,\"name\":\"trace_truncated\",\"args\":{"
+         "\"dropped_events\":" +
+         std::to_string(dropped) + "}}");
+  }
+
+  for (const TraceEvent& span : spans) {
+    const std::uint64_t dur =
+        span.end_ns >= span.start_ns ? span.end_ns - span.start_ns : 0;
+    std::string line = "{\"ph\":\"X\",\"pid\":1,\"tid\":" +
+                       std::to_string(span.tid) +
+                       ",\"ts\":" + format_us(span.start_ns - epoch) +
+                       ",\"dur\":" + format_us(dur) + ",\"cat\":\"" +
+                       metrics::JsonObject::escape(span.category) +
+                       "\",\"name\":\"" +
+                       metrics::JsonObject::escape(span.name) + '"';
+    append_args(&line, span.args);
+    line += '}';
+    emit(line);
+  }
+
+  for (const JournalEvent& event : journal) {
+    std::string line = "{\"ph\":\"i\",\"pid\":1,\"tid\":" +
+                       std::to_string(kJournalTrackTid) +
+                       ",\"ts\":" + format_us(event.ts_ns - epoch) +
+                       ",\"s\":\"p\",\"cat\":\"journal\",\"name\":\"" +
+                       journal_event_name(event.type) + '"';
+    append_args(&line, journal_args(event));
+    line += '}';
+    emit(line);
+  }
+
+  out += "\n],\n\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+Status write_chrome_trace_file(const std::string& path,
+                               std::vector<TraceEvent> spans,
+                               std::vector<JournalEvent> journal,
+                               std::uint64_t dropped) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::internal("cannot open trace output file: " + path);
+  }
+  out << to_chrome_trace_json(std::move(spans), std::move(journal), dropped);
+  out.close();
+  if (!out.good()) {
+    return Status::internal("failed writing trace output file: " + path);
+  }
+  return Status::ok();
+}
+
+}  // namespace s3::obs

@@ -1,0 +1,37 @@
+// Chrome trace_event JSON export (the "JSON Array Format" both chrome://
+// tracing and Perfetto load). Spans become "X" (complete) events on their
+// recording thread's track; journal records become "i" (instant) events on a
+// dedicated scheduler track with every paper-invariant field in args.
+//
+// The output is deterministic for a given event list: events are sorted by
+// (start time, tid, name), timestamps are normalized so the earliest event
+// sits at ts=0, and each event is emitted on its own line — golden-file
+// testable, and greppable by tools/s3trace without a full JSON parser.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/journal.h"
+#include "obs/trace.h"
+
+namespace s3::obs {
+
+// Renders the full trace document. `dropped` > 0 adds a metadata event so a
+// truncated trace announces itself inside the viewer.
+[[nodiscard]] std::string to_chrome_trace_json(
+    std::vector<TraceEvent> spans, std::vector<JournalEvent> journal,
+    std::uint64_t dropped = 0);
+
+// Writes the document to `path` (overwrites).
+[[nodiscard]] Status write_chrome_trace_file(const std::string& path,
+                                             std::vector<TraceEvent> spans,
+                                             std::vector<JournalEvent> journal,
+                                             std::uint64_t dropped = 0);
+
+// The tid the scheduler-journal track uses in the exported trace (spans use
+// their real per-thread ordinals, which start at 1).
+inline constexpr std::uint32_t kJournalTrackTid = 0;
+
+}  // namespace s3::obs

@@ -1,0 +1,27 @@
+// The sanctioned runtime timing source. All wall-clock measurement in src/
+// flows through here (or through the SpanGuard tracer built on it) — the
+// s3lint rule `raw-clock` forbids direct std::chrono clock reads elsewhere in
+// src/, so every duration the system reports is attributable to one clock
+// with one epoch and shows up in traces with consistent timestamps.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace s3::obs {
+
+// Monotonic nanoseconds since an arbitrary (per-process) epoch.
+[[nodiscard]] inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Elapsed-seconds helper for drivers that charge wall time against a virtual
+// timebase (RealDriver's time_scale).
+[[nodiscard]] inline double seconds_since(std::uint64_t start_ns) {
+  return static_cast<double>(now_ns() - start_ns) * 1e-9;
+}
+
+}  // namespace s3::obs

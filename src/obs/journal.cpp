@@ -1,0 +1,73 @@
+#include "obs/journal.h"
+
+#include "obs/clock.h"
+
+namespace s3::obs {
+
+const char* journal_event_name(JournalEventType type) {
+  switch (type) {
+    case JournalEventType::kJobAdmitted:
+      return "job_admitted";
+    case JournalEventType::kLateJobJoined:
+      return "late_job_joined";
+    case JournalEventType::kSubJobsMerged:
+      return "sub_jobs_merged";
+    case JournalEventType::kCursorAdvanced:
+      return "cursor_advanced";
+    case JournalEventType::kBatchRetired:
+      return "batch_retired";
+    case JournalEventType::kJobCompleted:
+      return "job_completed";
+    case JournalEventType::kBatchLaunched:
+      return "batch_launched";
+    case JournalEventType::kBatchExecuted:
+      return "batch_executed";
+    case JournalEventType::kSegmentRecomputed:
+      return "segment_recomputed";
+    case JournalEventType::kSlowNodeExcluded:
+      return "slow_node_excluded";
+  }
+  return "unknown";
+}
+
+EventJournal& EventJournal::instance() {
+  static EventJournal* journal = new EventJournal();  // leaked: process-wide
+  return *journal;
+}
+
+void EventJournal::set_enabled(bool enabled) {
+  enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+void EventJournal::record(JournalEvent event) {
+  if (!enabled()) return;
+  event.ts_ns = now_ns();
+  MutexLock lock(mu_);
+  event.seq = next_seq_++;
+  events_.push_back(std::move(event));
+}
+
+std::vector<JournalEvent> EventJournal::snapshot() const {
+  MutexLock lock(mu_);
+  return events_;
+}
+
+std::vector<JournalEvent> EventJournal::drain() {
+  MutexLock lock(mu_);
+  std::vector<JournalEvent> out;
+  out.swap(events_);
+  return out;
+}
+
+std::size_t EventJournal::size() const {
+  MutexLock lock(mu_);
+  return events_.size();
+}
+
+void EventJournal::clear() {
+  MutexLock lock(mu_);
+  events_.clear();
+  next_seq_ = 0;
+}
+
+}  // namespace s3::obs

@@ -1,0 +1,107 @@
+// Typed scheduler event journal: one record per Algorithm 1 / Partial Job
+// Initialization decision, carrying the paper-invariant fields needed to
+// replay the decision offline (DESIGN.md §11 maps each type to its paper
+// construct). The journal is process-global and disabled by default; the
+// scheduler call sites test enabled() before building an event, so the
+// disabled cost is one relaxed atomic load per decision.
+//
+// Event vocabulary (producer in parentheses):
+//   kJobAdmitted       (JobQueueManager) job j joined the queue at the scan
+//                      cursor — Algorithm 1 line 2, J(ss) = current segment.
+//   kLateJobJoined     (JobQueueManager) admission while a batch was in
+//                      flight: dynamic sub-job adjustment aligns the job to
+//                      the *next* wave.
+//   kSubJobsMerged     (JobQueueManager) form_batch merged every aligned
+//                      job's sub-job over the next wave — lines 1-4.
+//   kCursorAdvanced    (JobQueueManager) the circular cursor moved past the
+//                      formed wave — lines 10-13.
+//   kBatchRetired      (JobQueueManager) the in-flight wave was accounted
+//                      against every member — lines 5-9.
+//   kJobCompleted      (JobQueueManager) a member consumed its last block
+//                      and left the queue — line 7.
+//   kBatchLaunched     (RealDriver) the merged batch started executing on
+//                      the engine, stamped with virtual time.
+//   kBatchExecuted     (RealDriver) engine execution finished; wall seconds
+//                      were charged to the virtual timebase.
+//   kSegmentRecomputed (S3Scheduler) dynamic wave sizing shrank/changed the
+//                      segment from live slot availability — §IV-D-2.
+//   kSlowNodeExcluded  (S3Scheduler) periodic slot checking excluded an
+//                      estimated-slow node from the wave — §IV-D-1.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "common/types.h"
+
+namespace s3::obs {
+
+enum class JournalEventType {
+  kJobAdmitted,
+  kLateJobJoined,
+  kSubJobsMerged,
+  kCursorAdvanced,
+  kBatchRetired,
+  kJobCompleted,
+  kBatchLaunched,
+  kBatchExecuted,
+  kSegmentRecomputed,
+  kSlowNodeExcluded,
+};
+
+// Stable snake_case name, used by the Chrome-trace exporter and s3trace.
+[[nodiscard]] const char* journal_event_name(JournalEventType type);
+
+struct JournalEvent {
+  JournalEventType type{};
+  // Assigned by the journal under one lock: a total order over all decisions
+  // that is consistent with the order each queue actually made them in.
+  std::uint64_t seq = 0;
+  std::uint64_t ts_ns = 0;  // wall clock (obs::now_ns), assigned on record
+  // Virtual time where the producer knows it (driver-level events); negative
+  // means "not in the virtual timebase" (queue-internal decisions).
+  SimTime sim_time = -1.0;
+
+  FileId file;
+  JobId job;
+  BatchId batch;
+  NodeId node;
+  std::uint64_t cursor = 0;     // scan cursor relevant to the decision
+  std::uint64_t wave = 0;       // blocks in the wave / segment size
+  std::uint64_t members = 0;    // jobs merged into the batch
+  std::uint64_t remaining = 0;  // blocks the job still needs
+  std::string detail;           // free-form specifics ("jobs=0,1,2")
+};
+
+class EventJournal {
+ public:
+  static EventJournal& instance();
+
+  void set_enabled(bool enabled);
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  // Stamps seq + ts_ns and appends. Thread-safe; a no-op when disabled (so
+  // producers may skip their own enabled() check when event construction is
+  // cheap).
+  void record(JournalEvent event);
+
+  [[nodiscard]] std::vector<JournalEvent> snapshot() const;
+  [[nodiscard]] std::vector<JournalEvent> drain();
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+ private:
+  EventJournal() = default;
+
+  mutable AnnotatedMutex mu_;
+  std::vector<JournalEvent> events_ S3_GUARDED_BY(mu_);
+  std::uint64_t next_seq_ S3_GUARDED_BY(mu_) = 0;
+  std::atomic<bool> enabled_{false};
+};
+
+}  // namespace s3::obs

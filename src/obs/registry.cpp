@@ -1,0 +1,156 @@
+#include "obs/registry.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/strings.h"
+#include "metrics/jsonl.h"
+
+namespace s3::obs {
+
+std::size_t LogHistogram::bucket_index(std::uint64_t value) {
+  if (value == 0) return 0;
+  // floor(log2(value)) via bit width; bucket b holds [2^(b-1), 2^b).
+  std::size_t log2 = 0;
+  while (value >>= 1) ++log2;
+  const std::size_t index = log2 + 1;
+  return index < kBuckets ? index : kBuckets - 1;
+}
+
+double LogHistogram::bucket_upper_edge(std::size_t index) {
+  if (index == 0) return 0.0;  // bucket 0 holds exactly {0}
+  if (index >= kBuckets - 1) return std::numeric_limits<double>::infinity();
+  return std::ldexp(1.0, static_cast<int>(index));  // 2^index
+}
+
+void LogHistogram::observe(std::uint64_t value) {
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t LogHistogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t LogHistogram::bucket(std::size_t index) const {
+  return buckets_[index].load(std::memory_order_relaxed);
+}
+
+double LogHistogram::quantile(double q) const {
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  // Rank of the q-quantile sample, 1-based; q = 0 maps to the first sample.
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  const std::uint64_t target = rank == 0 ? 1 : rank;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= target) return bucket_upper_edge(i);
+  }
+  return bucket_upper_edge(kBuckets - 1);
+}
+
+void LogHistogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::instance() {
+  static Registry* registry = new Registry();  // leaked: process-wide
+  return *registry;
+}
+
+namespace {
+
+// Find-or-create; the caller holds the registry writer lock. A shared-lock
+// fast path is deliberately absent: call sites cache the returned reference,
+// so lookups are rare (first touch per site) and simplicity wins.
+template <typename T>
+T& intern(std::map<std::string, std::unique_ptr<T>>& map,
+          const std::string& name) {
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(name, std::make_unique<T>()).first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+Counter& Registry::counter(const std::string& name) {
+  WriterMutexLock lock(mu_);
+  return intern(counters_, name);
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  WriterMutexLock lock(mu_);
+  return intern(gauges_, name);
+}
+
+LogHistogram& Registry::histogram(const std::string& name) {
+  WriterMutexLock lock(mu_);
+  return intern(histograms_, name);
+}
+
+std::string Registry::to_text() const {
+  ReaderMutexLock lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += name + " " + std::to_string(c->value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += name + " " + format_double(g->value(), -1) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += name + " count=" + std::to_string(h->count()) +
+           " p50=" + format_double(h->p50(), -1) +
+           " p95=" + format_double(h->p95(), -1) +
+           " p99=" + format_double(h->p99(), -1) + "\n";
+  }
+  return out;
+}
+
+std::string Registry::to_jsonl() const {
+  ReaderMutexLock lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    metrics::JsonObject record;
+    record.field("metric", name)
+        .field("type", std::string("counter"))
+        .field("value", c->value());
+    out += record.str();
+    out += '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    metrics::JsonObject record;
+    record.field("metric", name)
+        .field("type", std::string("gauge"))
+        .field("value", g->value());
+    out += record.str();
+    out += '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    metrics::JsonObject record;
+    record.field("metric", name)
+        .field("type", std::string("histogram"))
+        .field("count", h->count())
+        .field("p50", h->p50())
+        .field("p95", h->p95())
+        .field("p99", h->p99());
+    out += record.str();
+    out += '\n';
+  }
+  return out;
+}
+
+void Registry::reset_for_test() {
+  WriterMutexLock lock(mu_);
+  for (const auto& [name, c] : counters_) c->reset();
+  for (const auto& [name, g] : gauges_) g->reset();
+  for (const auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace s3::obs

@@ -1,0 +1,115 @@
+// Process-global metrics registry: named counters, gauges, and fixed-bucket
+// log2-scale histograms with quantile extraction. Replaces ad-hoc accounting
+// on the runtime paths — metrics are always on (each observation is one or
+// two relaxed atomics), only trace spans and the journal are gated.
+//
+// Hot paths cache the reference once:
+//   static auto& tasks = obs::Registry::instance().counter("engine.map_tasks");
+//   tasks.add();
+// Metric objects are never destroyed or moved once created (the registry
+// stores them behind unique_ptr and reset_for_test() zeroes values in
+// place), so cached references stay valid for the process lifetime.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/thread_annotations.h"
+
+namespace s3::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Log2-bucketed histogram over non-negative integer samples (typically
+// nanoseconds). Bucket 0 holds the value 0; bucket b in [1, 62] holds
+// [2^(b-1), 2^b); bucket 63 is the overflow bucket for v >= 2^62. Fixed
+// footprint, wait-free observe, ~2x worst-case quantile error — the right
+// trade for runtime latency tracking (exact stats stay in common/stats.h).
+class LogHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void observe(std::uint64_t value);
+
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] std::uint64_t bucket(std::size_t index) const;
+
+  // Upper edge of the bucket holding the q-quantile (q in [0, 1]): 0 for an
+  // empty histogram, +infinity when the quantile lands in the overflow
+  // bucket. Monotone in q; a one-sample histogram reports that sample's
+  // bucket edge for every q.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double p50() const { return quantile(0.50); }
+  [[nodiscard]] double p95() const { return quantile(0.95); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+
+  void reset();
+
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t value);
+  // Exclusive upper edge of a bucket (inf for the overflow bucket).
+  [[nodiscard]] static double bucket_upper_edge(std::size_t index);
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  // Finds or creates; the returned reference is valid forever.
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  [[nodiscard]] LogHistogram& histogram(const std::string& name);
+
+  // Human-readable dump: one "name value" line per metric, histograms with
+  // count/p50/p95/p99, all sorted by name.
+  [[nodiscard]] std::string to_text() const;
+  // Machine-readable dump via the metrics/jsonl emitter: one JSON object per
+  // line, {"metric":..,"type":"counter|gauge|histogram",...}.
+  [[nodiscard]] std::string to_jsonl() const;
+
+  // Zeroes every metric's value in place. Entries (and any references
+  // call sites cached) stay alive.
+  void reset_for_test();
+
+ private:
+  Registry() = default;
+
+  mutable AnnotatedSharedMutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      S3_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ S3_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<LogHistogram>> histograms_
+      S3_GUARDED_BY(mu_);
+};
+
+}  // namespace s3::obs

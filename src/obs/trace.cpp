@@ -1,0 +1,104 @@
+#include "obs/trace.h"
+
+#include <utility>
+
+namespace s3::obs {
+namespace {
+
+// Thread-local handle: shared_ptr so a ring outlives its thread and drain()
+// still sees spans recorded by threads that have already exited.
+thread_local std::shared_ptr<void> tls_ring;  // actually Tracer::Ring
+thread_local std::uint32_t tls_tid = 0;
+
+std::atomic<std::uint32_t> g_next_tid{1};
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer* tracer = new Tracer();  // leaked: outlives all threads
+  return *tracer;
+}
+
+std::uint32_t Tracer::current_tid() {
+  if (tls_tid == 0) {
+    tls_tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  }
+  return tls_tid;
+}
+
+void Tracer::set_enabled(bool enabled) {
+  enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+std::shared_ptr<Tracer::Ring> Tracer::ring_for_this_thread() {
+  auto ring = std::static_pointer_cast<Ring>(tls_ring);
+  if (ring == nullptr) {
+    ring = std::make_shared<Ring>();
+    tls_ring = ring;
+    MutexLock lock(mu_);
+    rings_.push_back(ring);
+  }
+  return ring;
+}
+
+void Tracer::record(TraceEvent event) {
+  const auto ring = ring_for_this_thread();
+  std::vector<TraceEvent> overflow;
+  {
+    MutexLock lock(ring->mu);
+    ring->events.push_back(std::move(event));
+    if (ring->events.size() >= kRingCapacity) {
+      overflow.swap(ring->events);
+      ring->events.reserve(kRingCapacity);
+    }
+  }
+  // The ring lock is released before the sink lock: record() never holds
+  // both, so drain()'s sink-then-ring order cannot deadlock against it.
+  if (!overflow.empty()) spill(std::move(overflow));
+}
+
+void Tracer::spill(std::vector<TraceEvent> events) {
+  MutexLock lock(mu_);
+  for (auto& event : events) {
+    if (sink_.size() >= kMaxSinkEvents) {
+      dropped_ += 1;
+      continue;
+    }
+    sink_.push_back(std::move(event));
+  }
+}
+
+std::vector<TraceEvent> Tracer::drain() {
+  std::vector<TraceEvent> out;
+  MutexLock lock(mu_);
+  out.swap(sink_);
+  for (const auto& ring : rings_) {
+    MutexLock ring_lock(ring->mu);
+    for (auto& event : ring->events) {
+      if (out.size() >= kMaxSinkEvents) {
+        dropped_ += 1;
+        continue;
+      }
+      out.push_back(std::move(event));
+    }
+    ring->events.clear();
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  MutexLock lock(mu_);
+  sink_.clear();
+  dropped_ = 0;
+  for (const auto& ring : rings_) {
+    MutexLock ring_lock(ring->mu);
+    ring->events.clear();
+  }
+}
+
+std::uint64_t Tracer::dropped() const {
+  MutexLock lock(mu_);
+  return dropped_;
+}
+
+}  // namespace s3::obs

@@ -1,0 +1,61 @@
+#include "obs/trace_session.h"
+
+#include <fstream>
+#include <utility>
+
+#include "common/logging.h"
+#include "obs/chrome_trace.h"
+#include "obs/journal.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace s3::obs {
+
+TraceSession::TraceSession(std::string path) : path_(std::move(path)) {
+  if (path_.empty()) return;
+  active_ = true;
+  Tracer::instance().clear();
+  EventJournal::instance().clear();
+  Tracer::instance().set_enabled(true);
+  EventJournal::instance().set_enabled(true);
+  S3_LOG(kInfo, "obs") << "tracing enabled, writing to " << path_;
+}
+
+Status TraceSession::flush() {
+  if (!active_) return Status::ok();
+  active_ = false;
+  Tracer::instance().set_enabled(false);
+  EventJournal::instance().set_enabled(false);
+
+  auto spans = Tracer::instance().drain();
+  auto journal = EventJournal::instance().drain();
+  const std::uint64_t dropped = Tracer::instance().dropped();
+  S3_LOG(kInfo, "obs") << "trace flush: " << spans.size() << " spans, "
+                       << journal.size() << " journal events"
+                       << (dropped > 0 ? " (TRUNCATED)" : "");
+  S3_RETURN_IF_ERROR(write_chrome_trace_file(path_, std::move(spans),
+                                             std::move(journal), dropped));
+
+  const std::string metrics_path = path_ + ".metrics.jsonl";
+  std::ofstream metrics_out(metrics_path, std::ios::binary | std::ios::trunc);
+  if (!metrics_out.is_open()) {
+    return Status::internal("cannot open metrics output file: " +
+                            metrics_path);
+  }
+  metrics_out << Registry::instance().to_jsonl();
+  metrics_out.close();
+  if (!metrics_out.good()) {
+    return Status::internal("failed writing metrics output file: " +
+                            metrics_path);
+  }
+  return Status::ok();
+}
+
+TraceSession::~TraceSession() {
+  const Status status = flush();
+  if (!status.is_ok()) {
+    S3_LOG(kError, "obs") << "trace flush failed: " << status.to_string();
+  }
+}
+
+}  // namespace s3::obs

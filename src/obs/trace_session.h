@@ -1,0 +1,45 @@
+// TraceSession: the one-line wiring between `--trace-out=<path>` and the
+// observability layer. Constructing an active session enables the tracer and
+// the scheduler journal; flush() (or destruction) drains both, writes the
+// Chrome trace JSON to <path> and the metrics-registry dump to
+// <path>.metrics.jsonl, then disables tracing again.
+//
+//   int main(int argc, char** argv) {
+//     const s3::Flags flags = s3::Flags::parse(argc, argv);
+//     s3::obs::TraceSession session(flags.get_string("trace-out"));
+//     ... run ...
+//   }  // trace written here
+#pragma once
+
+#include <string>
+
+#include "common/flags.h"
+#include "common/status.h"
+
+namespace s3::obs {
+
+class TraceSession {
+ public:
+  // Empty path → inert session (tracing stays off).
+  explicit TraceSession(std::string path);
+  // Reads --trace-out.
+  explicit TraceSession(const Flags& flags)
+      : TraceSession(flags.get_string("trace-out")) {}
+  ~TraceSession();
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  [[nodiscard]] bool active() const { return active_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  // Drains tracer + journal and writes both artifacts; idempotent (the
+  // second call is a no-op). Called by the destructor (errors logged).
+  [[nodiscard]] Status flush();
+
+ private:
+  std::string path_;
+  bool active_ = false;
+};
+
+}  // namespace s3::obs

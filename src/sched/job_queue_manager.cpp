@@ -4,9 +4,24 @@
 
 #include "common/logging.h"
 #include "dfs/segment.h"
+#include "obs/journal.h"
 #include "sched/segment_planner.h"
 
 namespace s3::sched {
+namespace {
+
+// All JQM journal records share the file id and scan cursor; the per-type
+// fields are filled in at each decision point.
+obs::JournalEvent journal_base(obs::JournalEventType type, FileId file,
+                               std::uint64_t cursor) {
+  obs::JournalEvent event;
+  event.type = type;
+  event.file = file;
+  event.cursor = cursor;
+  return event;
+}
+
+}  // namespace
 
 JobQueueManager::JobQueueManager(FileId file, std::uint64_t file_blocks)
     : file_(file), file_blocks_(file_blocks) {
@@ -28,6 +43,18 @@ void JobQueueManager::admit(JobId job, int priority) {
   q.seq = next_seq_++;
   jobs_.push_back(q);
   S3_LOG(kDebug, "jqm") << "admit " << job << " at block " << cursor_;
+  auto& journal = obs::EventJournal::instance();
+  if (journal.enabled()) {
+    // A job admitted while a batch is in flight is the paper's dynamic
+    // sub-job adjustment: it aligns to the next wave, not the running one.
+    auto event = journal_base(in_flight_.has_value()
+                                  ? obs::JournalEventType::kLateJobJoined
+                                  : obs::JournalEventType::kJobAdmitted,
+                              file_, cursor_);
+    event.job = job;
+    event.remaining = q.remaining;
+    journal.record(std::move(event));
+  }
 }
 
 const JobQueueManager::QueuedJob* JobQueueManager::find(JobId job) const {
@@ -120,8 +147,32 @@ Batch JobQueueManager::form_batch(BatchId id, std::uint64_t wave,
     batch.members.push_back(m);
   }
 
-  in_flight_ = InFlight{batch.members};
+  in_flight_ = InFlight{batch.id, batch.members};
+  const std::uint64_t cursor_before = cursor_;
   cursor_ = advance_cursor(cursor_, wave, file_blocks_);
+
+  auto& journal = obs::EventJournal::instance();
+  if (journal.enabled()) {
+    auto merged = journal_base(obs::JournalEventType::kSubJobsMerged, file_,
+                               batch.start_block);
+    merged.batch = batch.id;
+    merged.wave = wave;
+    merged.members = batch.members.size();
+    std::string detail = "jobs=";
+    for (std::size_t i = 0; i < batch.members.size(); ++i) {
+      if (i > 0) detail += ',';
+      detail += std::to_string(batch.members[i].job.value());
+    }
+    merged.detail = std::move(detail);
+    journal.record(std::move(merged));
+
+    auto advanced = journal_base(obs::JournalEventType::kCursorAdvanced,
+                                 file_, cursor_);
+    advanced.batch = batch.id;
+    advanced.wave = wave;
+    advanced.detail = "from=" + std::to_string(cursor_before);
+    journal.record(std::move(advanced));
+  }
   return batch;
 }
 
@@ -131,6 +182,7 @@ std::vector<JobId> JobQueueManager::complete_batch() {
   S3_DCHECK_MSG(cursor_ < file_blocks_,
                 "segment cursor " << cursor_ << " out of range [0, "
                                   << file_blocks_ << ")");
+  auto& journal = obs::EventJournal::instance();
   std::vector<JobId> completed;
   for (const Batch::Member& m : in_flight_->members) {
     auto it = std::find_if(jobs_.begin(), jobs_.end(),
@@ -143,10 +195,25 @@ std::vector<JobId> JobQueueManager::complete_batch() {
       S3_CHECK_MSG(m.completes, "completion flag disagreed for " << m.job);
       completed.push_back(m.job);
       jobs_.erase(it);
+      if (journal.enabled()) {
+        auto event = journal_base(obs::JournalEventType::kJobCompleted, file_,
+                                  cursor_);
+        event.job = m.job;
+        event.batch = in_flight_->id;
+        journal.record(std::move(event));
+      }
     } else {
       S3_CHECK_MSG(!m.completes,
                    "job flagged complete but has blocks left: " << m.job);
     }
+  }
+  if (journal.enabled()) {
+    auto event =
+        journal_base(obs::JournalEventType::kBatchRetired, file_, cursor_);
+    event.batch = in_flight_->id;
+    event.members = in_flight_->members.size();
+    event.detail = "completed=" + std::to_string(completed.size());
+    journal.record(std::move(event));
   }
   in_flight_.reset();
   return completed;

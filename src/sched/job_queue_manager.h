@@ -96,6 +96,7 @@ class JobQueueManager {
   };
 
   struct InFlight {
+    BatchId id;
     std::vector<Batch::Member> members;
   };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/journal.h"
+#include "obs/trace.h"
 
 namespace s3::sched {
 
@@ -51,6 +53,7 @@ std::optional<Batch> S3Scheduler::next_batch(SimTime /*now*/,
                                              const ClusterStatus& status) {
   if (in_flight_file_.has_value()) return std::nullopt;
   if (file_rotation_.empty()) return std::nullopt;
+  S3_TRACE_SPAN("sched", "next_batch");
 
   // Round-robin over files with queued jobs.
   for (std::size_t probe = 0; probe < file_rotation_.size(); ++probe) {
@@ -72,9 +75,36 @@ std::optional<Batch> S3Scheduler::next_batch(SimTime /*now*/,
     S3_DCHECK_MSG(wave >= 1 && wave <= planner_.blocks_per_segment() &&
                       wave <= jqm.file_blocks(),
                   "recomputed wave " << wave << " out of range");
+
+    auto& journal = obs::EventJournal::instance();
+    if (journal.enabled() && wave != planner_.blocks_per_segment()) {
+      // Dynamic segment sizing (§IV-D-2) produced a wave different from the
+      // nominal segment — record the slot feedback that drove it.
+      obs::JournalEvent event;
+      event.type = obs::JournalEventType::kSegmentRecomputed;
+      event.file = file;
+      event.cursor = jqm.cursor();
+      event.wave = wave;
+      event.detail = "nominal=" + std::to_string(planner_.blocks_per_segment()) +
+                     ",usable_slots=" + std::to_string(usable);
+      journal.record(std::move(event));
+    }
+
     Batch batch =
         jqm.form_batch(batch_ids_.next(), wave, options_.max_jobs_per_batch);
     batch.excluded_nodes = heartbeats_.slow_nodes();
+    if (journal.enabled()) {
+      // Slot checking (§IV-D-1): every node the wave will skip.
+      for (const NodeId node : batch.excluded_nodes) {
+        obs::JournalEvent event;
+        event.type = obs::JournalEventType::kSlowNodeExcluded;
+        event.file = file;
+        event.batch = batch.id;
+        event.node = node;
+        event.wave = wave;
+        journal.record(std::move(event));
+      }
+    }
     in_flight_file_ = file;
     in_flight_batch_ = batch.id;
     rotation_next_ = advance_cursor(idx, 1, file_rotation_.size());

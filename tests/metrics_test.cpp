@@ -16,7 +16,7 @@ TEST(JobTimelineTest, BasicLifecycle) {
   const auto& r = timeline.record(JobId(0));
   EXPECT_TRUE(r.done());
   EXPECT_DOUBLE_EQ(r.response_time(), 15.0);
-  EXPECT_DOUBLE_EQ(r.waiting_time(), 3.0);
+  EXPECT_DOUBLE_EQ(r.waiting_time().value(), 3.0);
   EXPECT_TRUE(timeline.all_done());
 }
 
@@ -26,14 +26,14 @@ TEST(JobTimelineTest, FirstStartIdempotent) {
   timeline.on_first_started(JobId(0), 2.0);
   timeline.on_first_started(JobId(0), 9.0);  // later batches ignored
   timeline.on_completed(JobId(0), 10.0);
-  EXPECT_DOUBLE_EQ(timeline.record(JobId(0)).waiting_time(), 2.0);
+  EXPECT_DOUBLE_EQ(timeline.record(JobId(0)).waiting_time().value(), 2.0);
 }
 
 TEST(JobTimelineTest, CompletionWithoutStartBackfills) {
   JobTimeline timeline;
   timeline.on_submitted(JobId(0), 1.0);
   timeline.on_completed(JobId(0), 4.0);
-  EXPECT_DOUBLE_EQ(timeline.record(JobId(0)).waiting_time(), 3.0);
+  EXPECT_DOUBLE_EQ(timeline.record(JobId(0)).waiting_time().value(), 3.0);
 }
 
 TEST(JobTimelineTest, RecordsSortedBySubmission) {

@@ -134,7 +134,7 @@ TEST_F(RealDriverTest, MetricsPopulated) {
   EXPECT_EQ(result.job_records.size(), 3u);
   for (const auto& record : result.job_records) {
     EXPECT_TRUE(record.done());
-    EXPECT_GE(record.waiting_time(), 0.0);
+    EXPECT_GE(record.waiting_time().value(), 0.0);
   }
   for (std::uint64_t j = 0; j < 3; ++j) {
     EXPECT_GT(result.counters.at(JobId(j)).map_input_records, 0u);

@@ -335,6 +335,47 @@ TEST(S3LintRules, SleepInTestsClean) {
   EXPECT_FALSE(has_rule(vs, "sleep-in-src"));
 }
 
+TEST(S3LintRules, RawClockInSrcFlagged) {
+  const auto vs = lint("src/core/driver.cpp",
+                       "void f() {\n"
+                       "  const auto t0 = std::chrono::steady_clock::now();\n"
+                       "}\n");
+  EXPECT_TRUE(has_rule(vs, "raw-clock"));
+}
+
+TEST(S3LintRules, SystemClockInSrcFlagged) {
+  const auto vs = lint("src/engine/runner.cpp",
+                       "void f() {\n"
+                       "  auto t = std::chrono::system_clock::now();\n"
+                       "}\n");
+  EXPECT_TRUE(has_rule(vs, "raw-clock"));
+}
+
+TEST(S3LintRules, RawClockInObsClean) {
+  const auto vs = lint("src/obs/clock.h",
+                       "#pragma once\n"
+                       "inline auto now() {\n"
+                       "  return std::chrono::steady_clock::now();\n"
+                       "}\n");
+  EXPECT_FALSE(has_rule(vs, "raw-clock"));
+}
+
+TEST(S3LintRules, RawClockInCommonClean) {
+  const auto vs = lint("src/common/logging.cpp",
+                       "void f() {\n"
+                       "  auto t = std::chrono::system_clock::now();\n"
+                       "}\n");
+  EXPECT_FALSE(has_rule(vs, "raw-clock"));
+}
+
+TEST(S3LintRules, RawClockOutsideSrcClean) {
+  const auto vs = lint("bench/harness.cpp",
+                       "void f() {\n"
+                       "  auto t = std::chrono::steady_clock::now();\n"
+                       "}\n");
+  EXPECT_FALSE(has_rule(vs, "raw-clock"));
+}
+
 TEST(S3LintRules, MissingPragmaOnceFlagged) {
   const auto vs = lint("src/foo/bare.h", "int f();\n");
   EXPECT_TRUE(has_rule(vs, "pragma-once"));

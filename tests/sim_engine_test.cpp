@@ -33,7 +33,7 @@ TEST(SimEngineTest, SingleJobDuration) {
   EXPECT_DOUBLE_EQ(result.summary.art, result.summary.tet);
   EXPECT_EQ(result.batches.size(), 1u);
   EXPECT_EQ(result.jobs.size(), 1u);
-  EXPECT_DOUBLE_EQ(result.jobs[0].waiting_time(), 0.0);
+  EXPECT_DOUBLE_EQ(result.jobs[0].waiting_time().value(), 0.0);
 }
 
 TEST(SimEngineTest, FifoSerializesJobs) {
@@ -45,7 +45,7 @@ TEST(SimEngineTest, FifoSerializesJobs) {
   EXPECT_EQ(result.batches.size(), 3u);
   // Completions are strictly increasing; TET ~ 3x a single job.
   EXPECT_NEAR(result.summary.tet, 3.0 * 272.0, 40.0);
-  EXPECT_GT(result.jobs[2].waiting_time(), result.jobs[1].waiting_time());
+  EXPECT_GT(result.jobs[2].waiting_time().value(), result.jobs[1].waiting_time().value());
 }
 
 TEST(SimEngineTest, Mrs1BatchesEverythingOnce) {
@@ -82,7 +82,7 @@ TEST(SimEngineTest, S3LateJobStartsQuickly) {
       *s3, make_sim_jobs(f.setup.wordcount_file, {0.0, 100.0},
                          WorkloadCost::wordcount_normal()));
   // Job 1 waits at most one sub-job's duration (~38 s), not a whole job.
-  EXPECT_LT(result.jobs[1].waiting_time(), 45.0);
+  EXPECT_LT(result.jobs[1].waiting_time().value(), 45.0);
   // And both jobs see every block: 8 + wrap segments.
   EXPECT_GT(result.batches.size(), 8u);
 }

@@ -58,7 +58,7 @@ TEST(TaskSimTest, FifoHeadJobOwnsAllSlots) {
   // 1 starts at t=2) — completes at 3.
   EXPECT_DOUBLE_EQ(jobs[0].completed, 2.0);
   EXPECT_DOUBLE_EQ(jobs[1].completed, 3.0);
-  EXPECT_DOUBLE_EQ(jobs[1].waiting_time(), 2.0);
+  EXPECT_DOUBLE_EQ(jobs[1].waiting_time().value(), 2.0);
 }
 
 TEST(TaskSimTest, FifoBackfillsWhenHeadHasNoMoreTasks) {
@@ -82,8 +82,8 @@ TEST(TaskSimTest, FairSplitsSlotsEvenly) {
   const auto& jobs = result.value().jobs;
   EXPECT_DOUBLE_EQ(jobs[0].completed, 4.0);
   EXPECT_DOUBLE_EQ(jobs[1].completed, 4.0);
-  EXPECT_DOUBLE_EQ(jobs[0].waiting_time(), 0.0);
-  EXPECT_DOUBLE_EQ(jobs[1].waiting_time(), 0.0);  // starts immediately
+  EXPECT_DOUBLE_EQ(jobs[0].waiting_time().value(), 0.0);
+  EXPECT_DOUBLE_EQ(jobs[1].waiting_time().value(), 0.0);  // starts immediately
 }
 
 TEST(TaskSimTest, FairVsFifoTradeoff) {
@@ -152,7 +152,7 @@ TEST(TaskSimTest, SharedScanLateJoinerWraps) {
   const auto& jobs = result.value().jobs;
   EXPECT_DOUBLE_EQ(jobs[0].completed, 2.0);
   EXPECT_DOUBLE_EQ(jobs[1].completed, 3.0);  // arrival + its own 8 blocks
-  EXPECT_DOUBLE_EQ(jobs[1].waiting_time(), 0.0);  // no barrier: joins at once
+  EXPECT_DOUBLE_EQ(jobs[1].waiting_time().value(), 0.0);  // no barrier: joins at once
 }
 
 TEST(TaskSimTest, SharedScanCheaperThanFair) {

@@ -16,6 +16,7 @@
 
 #include "core/real_driver.h"
 #include "engine/shuffle.h"
+#include "obs/trace.h"
 #include "sched/job_queue_manager.h"
 #include "workloads/suite.h"
 #include "workloads/text_corpus.h"
@@ -309,6 +310,73 @@ TEST(TsanStressTest, ConcurrentBatchesOverDisjointJobs) {
     ASSERT_TRUE(result.is_ok());
     EXPECT_FALSE(result.value().output.empty());
   }
+}
+
+TEST(TsanStressTest, TracerRecordDrainToggleRace) {
+  // Recorder threads hammer thread-local rings (forcing spills into the
+  // global sink) while one thread drains repeatedly and another toggles
+  // enabled — the full lock-order surface of obs::Tracer under contention.
+  // Spans recorded after the final drain are intentionally discarded by
+  // clear(); the assertion is no-crash/no-race plus a sane total.
+  auto& tracer = obs::Tracer::instance();
+  tracer.set_enabled(true);
+  tracer.clear();
+
+  constexpr int kRecorders = 4;
+  constexpr int kPerRecorder = 20000;  // several ring spills per thread
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> drained{0};
+  std::atomic<std::size_t> iterations{0};
+  // The toggler waits until the recorders are halfway done before flipping
+  // enabled, so the first half of every recorder's spans is recorded with
+  // tracing on regardless of how a one-core scheduler slices the threads —
+  // that makes `drained > 0` deterministic, not a scheduling accident.
+  constexpr std::size_t kToggleAfter =
+      static_cast<std::size_t>(kRecorders) * kPerRecorder / 2;
+
+  std::thread drainer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      drained += tracer.drain().size();
+      std::this_thread::yield();
+    }
+  });
+  std::thread toggler([&] {
+    while (!stop.load(std::memory_order_relaxed) &&
+           iterations.load(std::memory_order_relaxed) < kToggleAfter) {
+      std::this_thread::yield();
+    }
+    while (!stop.load(std::memory_order_relaxed)) {
+      tracer.set_enabled(false);
+      std::this_thread::yield();
+      tracer.set_enabled(true);
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> recorders;
+  for (int t = 0; t < kRecorders; ++t) {
+    recorders.emplace_back([&] {
+      for (int i = 0; i < kPerRecorder; ++i) {
+        S3_TRACE_SPAN_NAMED(span, "stress", "tick");
+        span.arg("i", static_cast<std::uint64_t>(i));
+        iterations.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : recorders) t.join();
+  stop = true;
+  drainer.join();
+  toggler.join();
+  tracer.set_enabled(false);
+  drained += tracer.drain().size();
+
+  // The toggler makes some second-half records no-ops; everything recorded
+  // must be drained exactly once, the guaranteed-enabled first half in full,
+  // and nothing may be dropped (sink cap is far above this volume).
+  EXPECT_LE(drained.load(),
+            static_cast<std::size_t>(kRecorders) * kPerRecorder);
+  EXPECT_GE(drained.load(), kToggleAfter);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  tracer.clear();
 }
 
 }  // namespace

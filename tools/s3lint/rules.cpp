@@ -317,6 +317,30 @@ void check_sleep_in_src(const std::string& path, const TokenizedFile& file,
   }
 }
 
+// raw-clock: direct std::chrono clock reads in src/ outside the sanctioned
+// timing homes. Runtime code must go through obs::now_ns/seconds_since so
+// every duration lands in the same timebase the tracer stamps spans with
+// (and stays mockable in one place). src/obs/ implements the wrappers;
+// src/common/ predates them and owns its own timing (logging timestamps).
+void check_raw_clock(const std::string& path, const TokenizedFile& file,
+                     std::vector<Violation>* out) {
+  if (!starts_with(path, "src/")) return;
+  if (starts_with(path, "src/obs/") || starts_with(path, "src/common/")) {
+    return;
+  }
+  static const std::unordered_set<std::string> kClockTypes = {
+      "steady_clock", "system_clock", "high_resolution_clock"};
+  for (const Token& t : file.tokens) {
+    if (t.kind == TokKind::kIdent && kClockTypes.count(t.text) > 0) {
+      out->push_back(Violation{
+          "raw-clock", t.line,
+          "direct std::chrono::" + t.text +
+              " timing in src/; use obs::now_ns/seconds_since from "
+              "obs/clock.h so all runtime timing shares one timebase"});
+    }
+  }
+}
+
 void check_pragma_once(const std::string& path, const TokenizedFile& file,
                        std::vector<Violation>* out) {
   if (!ends_with(path, ".h")) return;
@@ -356,7 +380,8 @@ const std::vector<std::string>& all_rules() {
   static const std::vector<std::string> kRules = {
       "naked-mutex",   "status-discard", "status-nodiscard",
       "segment-modulo", "view-retention", "thread-detach",
-      "stray-cout",    "sleep-in-src",   "pragma-once",
+      "stray-cout",    "sleep-in-src",   "raw-clock",
+      "pragma-once",
   };
   return kRules;
 }
@@ -398,6 +423,9 @@ std::vector<Violation> lint_file(
   }
   if (enabled.count("sleep-in-src") > 0) {
     check_sleep_in_src(path, file, &raw);
+  }
+  if (enabled.count("raw-clock") > 0) {
+    check_raw_clock(path, file, &raw);
   }
   if (enabled.count("pragma-once") > 0) {
     check_pragma_once(path, file, &raw);

@@ -1,0 +1,473 @@
+// s3trace: inspect and validate Chrome trace files written by the obs layer
+// (obs/chrome_trace.cpp, typically via --trace-out=<path>).
+//
+//   s3trace <trace.json>             per-segment Gantt/timeline summary
+//   s3trace --validate <trace.json>  schema check; exit 0 iff valid
+//
+// The exporter emits one event object per line inside "traceEvents", so both
+// modes parse line by line with a small recursive-descent JSON reader — no
+// external JSON dependency. Validation checks exactly the shape the exporter
+// guarantees: phase-specific required fields, µs timestamps, journal events
+// on the dedicated track with strictly increasing sequence numbers.
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+
+namespace {
+
+// --- Minimal JSON value model + parser (objects, arrays, scalars). ---------
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> fields;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    for (const auto& [name, value] : fields) {
+      if (name == key) return &value;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view input) : input_(input) {}
+
+  std::optional<JsonValue> parse() {
+    auto value = parse_value();
+    if (!value.has_value()) return std::nullopt;
+    skip_ws();
+    if (pos_ != input_.size()) return std::nullopt;  // trailing garbage
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < input_.size() &&
+           (input_[pos_] == ' ' || input_[pos_] == '\t' ||
+            input_[pos_] == '\n' || input_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < input_.size() && input_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < input_.size()) {
+      const char c = input_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= input_.size()) return std::nullopt;
+        const char esc = input_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > input_.size()) return std::nullopt;
+            // Decoded only far enough for validation: keep the escape text.
+            out += "\\u";
+            out += input_.substr(pos_, 4);
+            pos_ += 4;
+            break;
+          }
+          default: return std::nullopt;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<JsonValue> parse_value() {
+    skip_ws();
+    if (pos_ >= input_.size()) return std::nullopt;
+    const char c = input_[pos_];
+    JsonValue value;
+    if (c == '{') {
+      ++pos_;
+      value.type = JsonValue::Type::kObject;
+      skip_ws();
+      if (consume('}')) return value;
+      while (true) {
+        skip_ws();
+        auto key = parse_string();
+        if (!key.has_value() || !consume(':')) return std::nullopt;
+        auto field = parse_value();
+        if (!field.has_value()) return std::nullopt;
+        value.fields.emplace_back(std::move(*key), std::move(*field));
+        if (consume(',')) continue;
+        if (consume('}')) return value;
+        return std::nullopt;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      value.type = JsonValue::Type::kArray;
+      skip_ws();
+      if (consume(']')) return value;
+      while (true) {
+        auto item = parse_value();
+        if (!item.has_value()) return std::nullopt;
+        value.items.push_back(std::move(*item));
+        if (consume(',')) continue;
+        if (consume(']')) return value;
+        return std::nullopt;
+      }
+    }
+    if (c == '"') {
+      auto text = parse_string();
+      if (!text.has_value()) return std::nullopt;
+      value.type = JsonValue::Type::kString;
+      value.text = std::move(*text);
+      return value;
+    }
+    if (input_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      value.type = JsonValue::Type::kBool;
+      value.boolean = true;
+      return value;
+    }
+    if (input_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      value.type = JsonValue::Type::kBool;
+      return value;
+    }
+    if (input_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return value;
+    }
+    // Number.
+    const std::size_t start = pos_;
+    if (pos_ < input_.size() && (input_[pos_] == '-' || input_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < input_.size() &&
+           (std::isdigit(static_cast<unsigned char>(input_[pos_])) != 0 ||
+            input_[pos_] == '.' || input_[pos_] == 'e' || input_[pos_] == 'E' ||
+            input_[pos_] == '-' || input_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return std::nullopt;
+    try {
+      value.number = std::stod(std::string(input_.substr(start, pos_ - start)));
+    } catch (...) {
+      return std::nullopt;
+    }
+    value.type = JsonValue::Type::kNumber;
+    return value;
+  }
+
+  std::string_view input_;
+  std::size_t pos_ = 0;
+};
+
+// --- Exporter schema validation. -------------------------------------------
+
+const char* const kJournalNames[] = {
+    "job_admitted",    "late_job_joined", "sub_jobs_merged",
+    "cursor_advanced", "batch_retired",   "job_completed",
+    "batch_launched",  "batch_executed",  "segment_recomputed",
+    "slow_node_excluded",
+};
+
+bool is_journal_name(const std::string& name) {
+  for (const char* known : kJournalNames) {
+    if (name == known) return true;
+  }
+  return false;
+}
+
+bool has_number(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.find(key);
+  return v != nullptr && v->type == JsonValue::Type::kNumber;
+}
+
+bool has_string(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.find(key);
+  return v != nullptr && v->type == JsonValue::Type::kString;
+}
+
+struct Validator {
+  int errors = 0;
+  double last_journal_seq = -1.0;
+
+  void fail(std::size_t line, const std::string& what) {
+    std::fprintf(stderr, "s3trace: line %zu: %s\n", line, what.c_str());
+    ++errors;
+  }
+
+  void check_event(std::size_t line, const JsonValue& event) {
+    const JsonValue* ph = event.find("ph");
+    if (ph == nullptr || ph->type != JsonValue::Type::kString) {
+      fail(line, "event without string \"ph\"");
+      return;
+    }
+    if (!has_number(event, "pid")) fail(line, "event without numeric pid");
+    if (ph->text == "M") {
+      if (!has_string(event, "name")) fail(line, "metadata without name");
+      return;
+    }
+    if (ph->text == "X") {
+      for (const char* key : {"tid", "ts", "dur"}) {
+        if (!has_number(event, key)) {
+          fail(line, std::string("span without numeric ") + key);
+        }
+      }
+      if (!has_string(event, "cat") || !has_string(event, "name")) {
+        fail(line, "span without cat/name");
+      }
+      const JsonValue* ts = event.find("ts");
+      const JsonValue* dur = event.find("dur");
+      if (ts != nullptr && ts->type == JsonValue::Type::kNumber &&
+          ts->number < 0) {
+        fail(line, "span with negative ts");
+      }
+      if (dur != nullptr && dur->type == JsonValue::Type::kNumber &&
+          dur->number < 0) {
+        fail(line, "span with negative dur");
+      }
+      return;
+    }
+    if (ph->text == "i") {
+      const JsonValue* scope = event.find("s");
+      if (scope == nullptr || scope->type != JsonValue::Type::kString ||
+          scope->text != "p") {
+        fail(line, "journal instant without process scope s:\"p\"");
+      }
+      const JsonValue* cat = event.find("cat");
+      if (cat == nullptr || cat->text != "journal") {
+        fail(line, "instant event outside the journal category");
+      }
+      const JsonValue* name = event.find("name");
+      if (name == nullptr || !is_journal_name(name->text)) {
+        fail(line, "unknown journal event name");
+        return;
+      }
+      const JsonValue* args = event.find("args");
+      if (args == nullptr || args->type != JsonValue::Type::kObject ||
+          !has_number(*args, "seq")) {
+        fail(line, "journal event without args.seq");
+        return;
+      }
+      const double seq = args->find("seq")->number;
+      if (seq <= last_journal_seq) {
+        fail(line, "journal seq not strictly increasing");
+      }
+      last_journal_seq = seq;
+      return;
+    }
+    fail(line, "unknown event phase \"" + ph->text + "\"");
+  }
+};
+
+// --- Timeline summary. -----------------------------------------------------
+
+struct BatchRow {
+  double ts_us = 0;
+  double dur_us = 0;
+  double batch = -1;
+  double file = -1;
+  double start_block = 0;
+  double blocks = 0;
+  double jobs = 0;
+};
+
+double arg_number(const JsonValue& event, const char* key, double def) {
+  const JsonValue* args = event.find("args");
+  if (args == nullptr) return def;
+  const JsonValue* v = args->find(key);
+  if (v == nullptr || v->type != JsonValue::Type::kNumber) return def;
+  return v->number;
+}
+
+void summarize(const std::vector<JsonValue>& events) {
+  std::vector<BatchRow> batches;
+  std::map<std::string, std::size_t> span_counts;
+  std::map<std::string, std::size_t> journal_counts;
+  double end_us = 0;
+
+  for (const JsonValue& event : events) {
+    const JsonValue* ph = event.find("ph");
+    if (ph == nullptr) continue;
+    if (ph->text == "X") {
+      const std::string name = event.find("name")->text;
+      ++span_counts[name];
+      const double ts = event.find("ts")->number;
+      const double dur = event.find("dur")->number;
+      end_us = std::max(end_us, ts + dur);
+      if (event.find("cat")->text == "driver" && name == "batch") {
+        BatchRow row;
+        row.ts_us = ts;
+        row.dur_us = dur;
+        row.batch = arg_number(event, "batch", -1);
+        row.file = arg_number(event, "file", -1);
+        row.start_block = arg_number(event, "start_block", 0);
+        row.blocks = arg_number(event, "blocks", 0);
+        row.jobs = arg_number(event, "jobs", 0);
+        batches.push_back(row);
+      }
+    } else if (ph->text == "i") {
+      ++journal_counts[event.find("name")->text];
+    }
+  }
+
+  std::printf("trace summary: %.3f ms total\n\n", end_us / 1000.0);
+
+  if (!batches.empty()) {
+    std::sort(batches.begin(), batches.end(),
+              [](const BatchRow& a, const BatchRow& b) {
+                return a.ts_us < b.ts_us;
+              });
+    std::printf("per-segment timeline (driver batches):\n");
+    constexpr int kWidth = 50;
+    for (const BatchRow& row : batches) {
+      const int lead = end_us > 0
+                           ? static_cast<int>(row.ts_us / end_us * kWidth)
+                           : 0;
+      int bar = end_us > 0
+                    ? static_cast<int>(row.dur_us / end_us * kWidth + 0.5)
+                    : 0;
+      bar = std::max(bar, 1);
+      std::string gantt(static_cast<std::size_t>(lead), ' ');
+      gantt.append(static_cast<std::size_t>(bar), '#');
+      std::printf(
+          "  batch %3.0f file %2.0f blocks [%4.0f,+%3.0f) jobs %2.0f "
+          "|%-*s| %8.3f ms\n",
+          row.batch, row.file, row.start_block, row.blocks, row.jobs, kWidth,
+          gantt.c_str(), row.dur_us / 1000.0);
+    }
+    std::printf("\n");
+  }
+
+  if (!span_counts.empty()) {
+    std::printf("spans:\n");
+    for (const auto& [name, count] : span_counts) {
+      std::printf("  %-24s %8zu\n", name.c_str(), count);
+    }
+    std::printf("\n");
+  }
+  if (!journal_counts.empty()) {
+    std::printf("scheduler journal events:\n");
+    for (const auto& [name, count] : journal_counts) {
+      std::printf("  %-24s %8zu\n", name.c_str(), count);
+    }
+  }
+}
+
+// Strips the trailing comma the exporter places between event lines.
+std::string_view event_payload(const std::string& line) {
+  std::string_view payload = line;
+  while (!payload.empty() &&
+         (payload.back() == ',' || payload.back() == '\r')) {
+    payload.remove_suffix(1);
+  }
+  return payload;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const s3::Flags flags = s3::Flags::parse(argc, argv);
+  // The flag parser's "--name value" form means `--validate <path>` stores
+  // the path as the flag's value; accept both that and the =true/positional
+  // spelling.
+  const bool validate = flags.has("validate");
+  std::string path;
+  if (validate) {
+    const std::string value = flags.get_string("validate");
+    if (value != "true" && value != "1" && value != "yes") path = value;
+  }
+  if (path.empty() && flags.positional().size() == 1) {
+    path = flags.positional()[0];
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: %s [--validate] <trace.json>\n",
+                 flags.program().c_str());
+    return 2;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "s3trace: cannot open %s\n", path.c_str());
+    return 2;
+  }
+
+  Validator validator;
+  std::vector<JsonValue> events;
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_header = false;
+  bool saw_footer = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line_no == 1) {
+      if (line != "{\"traceEvents\":[") {
+        validator.fail(line_no, "missing {\"traceEvents\":[ header");
+      } else {
+        saw_header = true;
+      }
+      continue;
+    }
+    if (line == "],") {
+      saw_footer = true;
+      continue;
+    }
+    if (saw_footer || line.empty()) continue;
+    const std::string_view payload = event_payload(line);
+    auto event = JsonParser(payload).parse();
+    if (!event.has_value() || event->type != JsonValue::Type::kObject) {
+      validator.fail(line_no, "unparseable event line");
+      continue;
+    }
+    validator.check_event(line_no, *event);
+    events.push_back(std::move(*event));
+  }
+  if (!saw_header) validator.fail(1, "not an s3 trace file");
+  if (!saw_footer) validator.fail(line_no, "missing trace footer");
+
+  if (validate) {
+    if (validator.errors > 0) {
+      std::fprintf(stderr, "s3trace: %d schema error(s) in %s\n",
+                   validator.errors, path.c_str());
+      return 1;
+    }
+    std::printf("%s: valid s3 trace (%zu events)\n", path.c_str(),
+                events.size());
+    return 0;
+  }
+
+  if (validator.errors > 0) {
+    std::fprintf(stderr, "s3trace: warning: %d schema error(s); summary may "
+                 "be incomplete\n", validator.errors);
+  }
+  summarize(events);
+  return validator.errors > 0 ? 1 : 0;
+}
