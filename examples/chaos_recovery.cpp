@@ -1,0 +1,152 @@
+// Chaos recovery demo: the same shared-scan workload runs twice — once
+// fault-free, once under a seeded FaultPlan that kills a node mid-wave,
+// corrupts block replicas, and makes first task attempts hang or fail
+// transiently. The engine re-dispatches, the read path fails over, the S3
+// scheduler shrinks its waves around the dead node — and the outputs must be
+// byte-identical.
+//
+// Flags: --seed=N (fault plan seed, default 1), --corrupt=N (replicas to
+// corrupt, default 3), --trace-out=<path> to capture the recovery journal
+// for `s3trace --validate`.
+#include <cstdio>
+
+#include "chaos/fault_plan.h"
+#include "core/s3.h"
+#include "dfs/failover.h"
+
+namespace {
+
+using namespace s3;
+
+constexpr std::uint64_t kNumBlocks = 16;
+
+struct World {
+  dfs::DfsNamespace ns;
+  dfs::BlockStore store;
+  cluster::Topology topology = cluster::Topology::uniform(4, 2);
+  sched::FileCatalog catalog;
+  FileId file;
+
+  World() {
+    dfs::PlacementTopology ptopo;
+    for (const auto& node : topology.nodes()) {
+      ptopo.nodes.push_back({node.id, node.rack});
+    }
+    dfs::RoundRobinPlacement placement(ptopo);
+    workloads::TextCorpusGenerator corpus;
+    file = corpus
+               .generate_file(ns, store, placement, "corpus.txt", kNumBlocks,
+                              ByteSize::kib(16), /*replication=*/3)
+               .value();
+    catalog.add(file, kNumBlocks);
+  }
+};
+
+std::vector<core::RealJob> make_jobs(FileId file) {
+  const char* prefixes[] = {"a", "s", "t"};
+  std::vector<core::RealJob> jobs;
+  for (std::uint64_t j = 0; j < 3; ++j) {
+    jobs.push_back({workloads::make_wordcount_job(JobId(j), file, prefixes[j],
+                                                  /*reduce_tasks=*/3),
+                    /*arrival=*/0.5 * static_cast<double>(j), 0});
+  }
+  return jobs;
+}
+
+struct RunOutcome {
+  core::RealRunResult result;
+  std::uint64_t failovers = 0;
+  std::uint64_t failed_attempts = 0;
+  std::uint64_t hung_attempts = 0;
+};
+
+RunOutcome run(World& world, const chaos::FaultPlan* plan) {
+  dfs::ReplicaHealth health;
+  dfs::StoredBlocks stored(world.store);
+  dfs::FailoverBlockSource source(world.ns, stored, health);
+  engine::LocalEngineOptions eopts;
+  eopts.map_workers = 4;
+  eopts.reduce_workers = 2;
+  eopts.max_task_attempts = 3;
+  eopts.replica_health = &health;
+  if (plan != nullptr) {
+    plan->arm(health);
+    eopts.fault_injector = plan->injector();
+  }
+  engine::LocalEngine engine(world.ns, source, eopts);
+  sched::S3Options sopts;
+  sopts.blocks_per_segment = 8;
+  sched::S3Scheduler scheduler(world.catalog, sopts, &world.topology);
+  core::RealDriver driver(world.ns, engine, world.catalog,
+                          {/*time_scale=*/2e4, /*map_slots=*/4});
+  RunOutcome out;
+  out.result = driver.run(scheduler, make_jobs(world.file)).value();
+  out.failovers = source.failovers();
+  out.failed_attempts = engine.failed_attempts();
+  out.hung_attempts = engine.hung_attempts();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  obs::TraceSession trace_session(flags);
+  obs::EventJournal::instance().set_enabled(true);
+
+  chaos::FaultPlanOptions fp;
+  fp.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  fp.kill_node = true;
+  fp.corrupt_replicas = static_cast<std::size_t>(flags.get_int("corrupt", 3));
+  fp.transient_rate = 0.3;
+  fp.hang_rate = 0.15;
+
+  World baseline_world;
+  const RunOutcome baseline = run(baseline_world, nullptr);
+
+  World chaos_world;
+  const chaos::FaultPlan plan(chaos_world.ns, {chaos_world.file},
+                              chaos_world.topology, fp);
+  std::printf("fault plan: %s\n", plan.describe().c_str());
+  const RunOutcome chaotic = run(chaos_world, &plan);
+
+  // Differential oracle: recovery must be invisible in the answers.
+  for (const auto& [job, want] : baseline.result.outputs) {
+    const auto it = chaotic.result.outputs.find(job);
+    if (it == chaotic.result.outputs.end() ||
+        it->second.output.size() != want.output.size()) {
+      std::printf("ERROR: job %llu output diverged under chaos!\n",
+                  static_cast<unsigned long long>(job.value()));
+      return 1;
+    }
+    for (std::size_t i = 0; i < want.output.size(); ++i) {
+      if (it->second.output[i].key != want.output[i].key ||
+          it->second.output[i].value != want.output[i].value) {
+        std::printf("ERROR: job %llu record %zu diverged under chaos!\n",
+                    static_cast<unsigned long long>(job.value()), i);
+        return 1;
+      }
+    }
+  }
+
+  metrics::TableWriter table(
+      {"run", "TET (virt s)", "nodes died", "replica failovers",
+       "failed attempts", "hung attempts", "batches"});
+  table.add_row({"fault-free", format_double(baseline.result.summary.tet, 1),
+                 std::to_string(baseline.result.nodes_died.size()),
+                 std::to_string(baseline.failovers),
+                 std::to_string(baseline.failed_attempts),
+                 std::to_string(baseline.hung_attempts),
+                 std::to_string(baseline.result.batches_run)});
+  table.add_row({"chaos", format_double(chaotic.result.summary.tet, 1),
+                 std::to_string(chaotic.result.nodes_died.size()),
+                 std::to_string(chaotic.failovers),
+                 std::to_string(chaotic.failed_attempts),
+                 std::to_string(chaotic.hung_attempts),
+                 std::to_string(chaotic.result.batches_run)});
+  std::printf("%s\n", table.render().c_str());
+  std::printf("outputs byte-identical across both runs: the recovery path\n"
+              "(re-dispatch + replica failover + wave resizing) never changed "
+              "an answer.\n");
+  return 0;
+}

@@ -13,9 +13,14 @@
 #                                    the wordcount example, validate it with
 #                                    s3trace, and fail if enabling the tracer
 #                                    slows BM_MapRunnerEndToEnd by >5%
+#   scripts/check.sh --chaos         failure-domain matrix: run the chaos
+#                                    suite plain and under ASan, then the
+#                                    chaos_recovery example over a fixed seed
+#                                    matrix with s3trace --validate on each
+#                                    captured trace
 #   scripts/check.sh --all           tier-1 + lint + asan + ubsan + tsan
 #                                    + tidy + format check + Release smoke
-#                                    + trace smoke
+#                                    + trace smoke + chaos matrix
 #
 # Sanitizer modes build tests only (benches/examples are covered by the
 # default mode) so the instrumented builds stay fast. --tidy and the format
@@ -34,7 +39,8 @@ for arg in "$@"; do
     --tidy) MODES+=(tidy) ;;
     --lint) MODES+=(lint) ;;
     --trace) MODES+=(trace) ;;
-    --all) MODES+=(tier1 lint asan ubsan tsan tidy format release trace) ;;
+    --chaos) MODES+=(chaos) ;;
+    --all) MODES+=(tier1 lint asan ubsan tsan tidy format release trace chaos) ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -116,6 +122,25 @@ for mode in "${MODES[@]}"; do
           exit 1
         }
       }'
+      ;;
+    chaos)
+      echo "=== chaos: failure-domain suite, plain + ASan ==="
+      cmake -B build -S . -DS3_WARNINGS_AS_ERRORS=ON
+      cmake --build build -j --target s3_chaos_tests chaos_recovery s3trace
+      ./build/tests/s3_chaos_tests
+      cmake -B build-asan -S . \
+        -DS3_SANITIZE=address \
+        -DS3_WARNINGS_AS_ERRORS=ON \
+        -DS3_BUILD_BENCHMARKS=OFF -DS3_BUILD_EXAMPLES=OFF
+      cmake --build build-asan -j --target s3_chaos_tests
+      ./build-asan/tests/s3_chaos_tests
+      echo "=== chaos: seeded recovery example + trace validation ==="
+      for seed in 1 2 5 11 23; do
+        trace_out="build/chaos-smoke-${seed}.json"
+        ./build/examples/chaos_recovery --seed="${seed}" \
+          --trace-out="${trace_out}"
+        ./build/tools/s3trace --validate "${trace_out}"
+      done
       ;;
     release)
       echo "=== Release build ==="

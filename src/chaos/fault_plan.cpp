@@ -1,0 +1,187 @@
+#include "chaos/fault_plan.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/contracts.h"
+#include "common/rng.h"
+
+namespace s3::chaos {
+namespace {
+
+// Decision-stream tags, mixed into the hash so the fault classes draw from
+// independent streams of the same seed.
+constexpr std::uint64_t kTagHang = 0x68616e67ULL;       // "hang"
+constexpr std::uint64_t kTagTransient = 0x7472616eULL;  // "tran"
+
+// Stateless mix of (seed, tag, a, b) -> uniform u64. Deterministic in the
+// attempt's identity, independent of call order.
+std::uint64_t chaos_hash(std::uint64_t seed, std::uint64_t tag,
+                         std::uint64_t a, std::uint64_t b) {
+  std::uint64_t state = seed;
+  state = splitmix64(state) ^ tag;
+  state = splitmix64(state) ^ a;
+  state = splitmix64(state) ^ b;
+  return splitmix64(state);
+}
+
+double to_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(const dfs::DfsNamespace& ns,
+                     const std::vector<FileId>& files,
+                     const cluster::Topology& topology,
+                     FaultPlanOptions options)
+    : options_(options) {
+  S3_CHECK(options.transient_rate >= 0.0 && options.transient_rate <= 1.0);
+  S3_CHECK(options.hang_rate >= 0.0 && options.hang_rate <= 1.0);
+
+  // Collect every replicated block the plan covers, in file/block order so
+  // the construction is deterministic.
+  std::vector<BlockId> blocks;
+  for (const FileId file : files) {
+    const dfs::FileInfo& info = ns.file(file);
+    blocks.insert(blocks.end(), info.blocks.begin(), info.blocks.end());
+  }
+
+  Rng rng(options.seed);
+
+  if (options.kill_node && topology.num_nodes() > 0 && !blocks.empty()) {
+    // A victim is safe if every block keeps at least one other replica (a
+    // block with no replica metadata is served directly and is unaffected).
+    const auto safe_victim = [&](NodeId candidate) {
+      for (const BlockId block : blocks) {
+        const auto& replicas = ns.block(block).replicas;
+        if (replicas.empty()) continue;
+        const bool has_other =
+            std::any_of(replicas.begin(), replicas.end(),
+                        [&](NodeId n) { return n != candidate; });
+        if (!has_other) return false;
+      }
+      return true;
+    };
+    const std::uint64_t first =
+        rng.uniform_u64(static_cast<std::uint64_t>(topology.num_nodes()));
+    for (std::uint64_t probe = 0; probe < topology.num_nodes(); ++probe) {
+      std::uint64_t idx = first + probe;
+      if (idx >= topology.num_nodes()) idx -= topology.num_nodes();
+      const NodeId candidate(idx);
+      if (safe_victim(candidate)) {
+        victim_ = candidate;
+        break;
+      }
+    }
+    if (victim_.valid()) {
+      death_trigger_ =
+          blocks[rng.uniform_u64(static_cast<std::uint64_t>(blocks.size()))];
+    }
+  }
+
+  if (options.corrupt_replicas > 0 && !blocks.empty()) {
+    // Deterministic shuffle, then corrupt one replica per chosen block —
+    // always leaving at least one replica that is neither the victim nor
+    // corrupt, so the read stays recoverable.
+    std::vector<BlockId> order = blocks;
+    std::shuffle(order.begin(), order.end(), rng);
+    for (const BlockId block : order) {
+      if (corruptions_.size() >= options.corrupt_replicas) break;
+      const auto& replicas = ns.block(block).replicas;
+      if (replicas.empty()) continue;
+      const auto usable = [&](NodeId n) { return n != victim_; };
+      const auto usable_count = static_cast<std::size_t>(
+          std::count_if(replicas.begin(), replicas.end(), usable));
+      // Need one usable replica left after corrupting one.
+      if (usable_count < 2) continue;
+      // Corrupt the first usable replica (the primary where possible), so
+      // the failover path is actually exercised.
+      const auto it = std::find_if(replicas.begin(), replicas.end(), usable);
+      corruptions_.emplace_back(block, *it);
+    }
+  }
+}
+
+void FaultPlan::arm(dfs::ReplicaHealth& health) const {
+  for (const auto& [block, node] : corruptions_) {
+    health.mark_replica_corrupt(block, node);
+  }
+}
+
+engine::Fault FaultPlan::decide(const engine::TaskAttempt& attempt) const {
+  // Poison dominates: the member's own fn fails on every attempt, so its
+  // retries exhaust and the engine must quarantine it.
+  if (options_.poison_job.valid()) {
+    const bool fires = options_.poison_in_reduce
+                           ? (!attempt.is_map &&
+                              attempt.job == options_.poison_job)
+                           : attempt.is_map;
+    if (fires) {
+      engine::Fault fault;
+      fault.kind = engine::FaultKind::kPoison;
+      fault.poison_job = options_.poison_job;
+      fault.detail = "chaos_plan";
+      return fault;
+    }
+  }
+  if (attempt.is_map && attempt.attempt == 1 && victim_.valid() &&
+      attempt.block == death_trigger_) {
+    engine::Fault fault;
+    fault.kind = engine::FaultKind::kNodeDeath;
+    fault.dead_node = victim_;
+    fault.detail = "chaos_plan";
+    return fault;
+  }
+  if (attempt.attempt == 1) {
+    const std::uint64_t key_a =
+        attempt.is_map ? attempt.block.value() : attempt.job.value();
+    const std::uint64_t key_b =
+        attempt.is_map ? 0 : static_cast<std::uint64_t>(attempt.partition) + 1;
+    if (options_.hang_rate > 0.0 &&
+        to_unit(chaos_hash(options_.seed, kTagHang, key_a, key_b)) <
+            options_.hang_rate) {
+      engine::Fault fault;
+      fault.kind = engine::FaultKind::kHang;
+      fault.detail = "chaos_plan";
+      return fault;
+    }
+    if (options_.transient_rate > 0.0 &&
+        to_unit(chaos_hash(options_.seed, kTagTransient, key_a, key_b)) <
+            options_.transient_rate) {
+      engine::Fault fault;
+      fault.kind = engine::FaultKind::kTransient;
+      fault.detail = "chaos_plan";
+      return fault;
+    }
+  }
+  return {};
+}
+
+engine::FaultInjector FaultPlan::injector() const {
+  return [plan = *this](const engine::TaskAttempt& attempt) {
+    return plan.decide(attempt);
+  };
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream os;
+  os << "seed=" << options_.seed;
+  if (victim_.valid()) {
+    os << " kill=" << victim_ << "@" << death_trigger_;
+  }
+  if (!corruptions_.empty()) {
+    os << " corrupt=" << corruptions_.size();
+  }
+  if (options_.transient_rate > 0.0) {
+    os << " transient=" << options_.transient_rate;
+  }
+  if (options_.hang_rate > 0.0) os << " hang=" << options_.hang_rate;
+  if (options_.poison_job.valid()) {
+    os << " poison=" << options_.poison_job
+       << (options_.poison_in_reduce ? "(reduce)" : "(map)");
+  }
+  return os.str();
+}
+
+}  // namespace s3::chaos

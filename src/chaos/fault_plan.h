@@ -1,0 +1,86 @@
+// Deterministic chaos harness: a FaultPlan is a seeded schedule of node
+// deaths, replica corruptions, task hangs, transient errors and poison
+// members, pluggable into the real engine via LocalEngineOptions
+// (fault_injector + replica_health) and FailoverBlockSource.
+//
+// Every decision is a pure function of the seed and the attempt's stable
+// identity (block / job / partition / attempt number) — never of thread
+// interleaving — so a chaos run is reproducible bit-for-bit and its reduce
+// output must be byte-identical to the fault-free run (the differential
+// oracle in tests/chaos_test.cpp enforces this).
+//
+// The plan is constructed safe by design: the victim node and the corrupted
+// replicas are chosen so that every block keeps at least one usable replica,
+// i.e. the injected faults are always recoverable. (kDataLoss paths are
+// exercised by dedicated tests, not by chaos plans.)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "common/types.h"
+#include "dfs/dfs_namespace.h"
+#include "dfs/failover.h"
+#include "engine/fault.h"
+
+namespace s3::chaos {
+
+struct FaultPlanOptions {
+  std::uint64_t seed = 1;
+  // Kill one node (chosen from the seed) the first time the trigger block's
+  // map task runs: the attempt is lost, the node is marked dead, and the
+  // engine must re-dispatch + the read path must fail over.
+  bool kill_node = false;
+  // Number of blocks that get one replica pre-marked corrupt (bit rot);
+  // reads must fail over past them.
+  std::size_t corrupt_replicas = 0;
+  // Probability that a task's first attempt fails transiently / hangs.
+  // First attempts only, so max_task_attempts >= 2 always recovers.
+  double transient_rate = 0.0;
+  double hang_rate = 0.0;
+  // Member whose own map (or reduce) fn fails on every attempt — the
+  // quarantine path. Invalid = no poison.
+  JobId poison_job;
+  bool poison_in_reduce = false;
+};
+
+class FaultPlan {
+ public:
+  // Plans faults over the blocks of `files`. The namespace and topology are
+  // only read during construction; the plan itself owns plain values and is
+  // freely copyable into the injector.
+  FaultPlan(const dfs::DfsNamespace& ns, const std::vector<FileId>& files,
+            const cluster::Topology& topology, FaultPlanOptions options);
+
+  // Pre-marks the planned replica corruptions. Call on the same
+  // ReplicaHealth handed to the engine + FailoverBlockSource, before running.
+  void arm(dfs::ReplicaHealth& health) const;
+
+  // The engine-facing injector (a copy of this plan's decisions).
+  [[nodiscard]] engine::FaultInjector injector() const;
+
+  // Pure decision function (also used directly by tests).
+  [[nodiscard]] engine::Fault decide(
+      const engine::TaskAttempt& attempt) const;
+
+  [[nodiscard]] const FaultPlanOptions& options() const { return options_; }
+  // Invalid when kill_node is off or no safe victim exists.
+  [[nodiscard]] NodeId victim() const { return victim_; }
+  [[nodiscard]] BlockId death_trigger() const { return death_trigger_; }
+  [[nodiscard]] const std::vector<std::pair<BlockId, NodeId>>& corruptions()
+      const {
+    return corruptions_;
+  }
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  FaultPlanOptions options_;
+  NodeId victim_;
+  BlockId death_trigger_;
+  std::vector<std::pair<BlockId, NodeId>> corruptions_;
+};
+
+}  // namespace s3::chaos

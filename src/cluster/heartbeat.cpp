@@ -6,18 +6,67 @@
 
 namespace s3::cluster {
 
-HeartbeatTracker::HeartbeatTracker(double slow_threshold)
-    : slow_threshold_(slow_threshold) {
+HeartbeatTracker::HeartbeatTracker(double slow_threshold,
+                                   SimTime suspect_timeout,
+                                   SimTime dead_timeout)
+    : slow_threshold_(slow_threshold),
+      suspect_timeout_(suspect_timeout),
+      dead_timeout_(dead_timeout) {
   S3_CHECK(slow_threshold > 1.0);
+  S3_CHECK(suspect_timeout > 0.0);
+  S3_CHECK(dead_timeout > 0.0);
+  // A node must pass through suspect before it can be declared dead.
+  S3_CHECK(suspect_timeout <= dead_timeout);
 }
 
 void HeartbeatTracker::report(const ProgressReport& report) {
   S3_CHECK(report.progress >= 0.0 && report.progress <= 1.0);
   S3_CHECK(report.report_time >= report.task_start);
+  if (dead_.count(report.node) > 0) return;  // death is permanent
   latest_[report.node] = report;
+  suspect_.erase(report.node);  // a fresh heartbeat clears suspicion
 }
 
 void HeartbeatTracker::clear(NodeId node) { latest_.erase(node); }
+
+void HeartbeatTracker::mark_dead(NodeId node) {
+  dead_.insert(node);
+  suspect_.erase(node);
+  latest_.erase(node);
+}
+
+HealthTransitions HeartbeatTracker::sweep(SimTime now) {
+  HealthTransitions out;
+  std::vector<NodeId> to_kill;
+  for (const auto& [node, report] : latest_) {
+    const SimTime silence = now - report.report_time;
+    if (silence >= dead_timeout_) {
+      to_kill.push_back(node);
+    } else if (silence >= suspect_timeout_ && suspect_.count(node) == 0) {
+      suspect_.insert(node);
+      out.suspected.push_back(node);
+    }
+  }
+  for (const NodeId node : to_kill) {
+    mark_dead(node);
+    out.died.push_back(node);
+  }
+  std::sort(out.suspected.begin(), out.suspected.end());
+  std::sort(out.died.begin(), out.died.end());
+  return out;
+}
+
+NodeHealth HeartbeatTracker::health(NodeId node) const {
+  if (dead_.count(node) > 0) return NodeHealth::kDead;
+  if (suspect_.count(node) > 0) return NodeHealth::kSuspect;
+  return NodeHealth::kHealthy;
+}
+
+std::vector<NodeId> HeartbeatTracker::dead_nodes() const {
+  std::vector<NodeId> out(dead_.begin(), dead_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
 
 SimTime HeartbeatTracker::estimate_duration(const ProgressReport& r) {
   const SimTime elapsed = r.report_time - r.task_start;

@@ -11,6 +11,9 @@ SlotLedger::SlotLedger(const Topology& topology) : topology_(&topology) {
 Status SlotLedger::acquire(NodeId node, SlotKind kind) {
   const auto it = counts_.find(node);
   if (it == counts_.end()) return Status::not_found("unknown node");
+  if (removed_.count(node) > 0) {
+    return Status::failed_precondition("node permanently removed");
+  }
   int& free = kind == SlotKind::kMap ? it->second.free_map
                                      : it->second.free_reduce;
   if (free <= 0) {
@@ -23,6 +26,11 @@ Status SlotLedger::acquire(NodeId node, SlotKind kind) {
 Status SlotLedger::release(NodeId node, SlotKind kind) {
   const auto it = counts_.find(node);
   if (it == counts_.end()) return Status::not_found("unknown node");
+  if (removed_.count(node) > 0) {
+    // Tasks running on a dead node are lost, not finished: their slots are
+    // forfeited rather than released back into a pool nobody can use.
+    return Status::failed_precondition("slots of a removed node are forfeit");
+  }
   const NodeInfo& info = topology_->node(node);
   int& free = kind == SlotKind::kMap ? it->second.free_map
                                      : it->second.free_reduce;
@@ -52,10 +60,24 @@ int SlotLedger::total_free(SlotKind kind) const {
 std::vector<NodeId> SlotLedger::available_nodes(SlotKind kind) const {
   std::vector<NodeId> out;
   for (const auto& node : topology_->nodes()) {
-    if (excluded_.count(node.id) > 0) continue;
+    if (excluded_.count(node.id) > 0 || removed_.count(node.id) > 0) continue;
     if (free_slots(node.id, kind) > 0) out.push_back(node.id);
   }
   return out;
+}
+
+Status SlotLedger::remove_node(NodeId node) {
+  if (counts_.count(node) == 0) return Status::not_found("unknown node");
+  if (!removed_.insert(node).second) {
+    return Status::failed_precondition("node already removed");
+  }
+  // Dead capacity must never resurface through a stale count.
+  counts_[node] = Counts{0, 0};
+  return Status::ok();
+}
+
+bool SlotLedger::is_removed(NodeId node) const {
+  return removed_.count(node) > 0;
 }
 
 void SlotLedger::set_excluded(NodeId node, bool excluded) {
@@ -73,9 +95,12 @@ bool SlotLedger::is_excluded(NodeId node) const {
 int SlotLedger::available_map_slots() const {
   int total = 0;
   for (const auto& node : topology_->nodes()) {
-    if (excluded_.count(node.id) > 0) continue;
+    if (excluded_.count(node.id) > 0 || removed_.count(node.id) > 0) continue;
     total += free_slots(node.id, SlotKind::kMap);
   }
+  // free_slots never goes negative, so the sum cannot wrap; all-excluded
+  // clusters legitimately yield a zero-size wave.
+  S3_POSTCONDITION(total >= 0);
   return total;
 }
 

@@ -38,7 +38,15 @@ class SlotLedger {
   [[nodiscard]] bool is_excluded(NodeId node) const;
   [[nodiscard]] std::size_t num_excluded() const { return excluded_.size(); }
 
-  // Total free map slots over non-excluded nodes — S3's wave size m.
+  // Permanent removal (node death): unlike exclusion, removal cannot be
+  // undone, the node's unreleased slots are forfeited (acquire AND release
+  // both fail), and the node's capacity leaves every total for good.
+  [[nodiscard]] Status remove_node(NodeId node);
+  [[nodiscard]] bool is_removed(NodeId node) const;
+  [[nodiscard]] std::size_t num_removed() const { return removed_.size(); }
+
+  // Total free map slots over non-excluded, non-removed nodes — S3's wave
+  // size m. Floors at 0 when every node is excluded or removed.
   [[nodiscard]] int available_map_slots() const;
 
  private:
@@ -50,6 +58,7 @@ class SlotLedger {
   const Topology* topology_;
   std::unordered_map<NodeId, Counts> counts_;
   std::unordered_set<NodeId> excluded_;
+  std::unordered_set<NodeId> removed_;
 };
 
 }  // namespace s3::cluster

@@ -24,6 +24,9 @@ enum class StatusCode {
   kOutOfRange,
   kInternal,
   kUnavailable,
+  // Permanent data loss: every replica of a block is dead or corrupt. Unlike
+  // kUnavailable (transient, retry elsewhere), no retry can succeed.
+  kDataLoss,
 };
 
 [[nodiscard]] constexpr const char* status_code_name(StatusCode c) {
@@ -44,6 +47,8 @@ enum class StatusCode {
       return "INTERNAL";
     case StatusCode::kUnavailable:
       return "UNAVAILABLE";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
   }
   return "UNKNOWN";
 }
@@ -75,6 +80,10 @@ class [[nodiscard]] Status {
   }
   [[nodiscard]] static Status unavailable(std::string m) {
     return {StatusCode::kUnavailable, std::move(m)};
+  }
+  // The message must name the lost block (s3lint rule status-dataloss).
+  [[nodiscard]] static Status data_loss(std::string m) {
+    return {StatusCode::kDataLoss, std::move(m)};
   }
 
   [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }

@@ -114,11 +114,13 @@ StatusOr<RealRunResult> RealDriver::run(sched::Scheduler& scheduler,
         .arg("blocks", batch->num_blocks)
         .arg("jobs", exec.jobs.size());
     const std::uint64_t wall_start_ns = obs::now_ns();
-    S3_RETURN_IF_ERROR(engine_->execute_batch(exec));
+    StatusOr<engine::BatchOutcome> outcome = engine_->run_batch(exec);
+    if (!outcome.is_ok()) return outcome.status();
     const double wall_seconds = obs::seconds_since(wall_start_ns);
     batch_span.end();
     now += wall_seconds * options_.time_scale;
     ++result.batches_run;
+
     if (journal.enabled()) {
       obs::JournalEvent event;
       event.type = obs::JournalEventType::kBatchExecuted;
@@ -133,10 +135,28 @@ StatusOr<RealRunResult> RealDriver::run(sched::Scheduler& scheduler,
       journal.record(std::move(event));
     }
 
+    // Recovery feedback: crashed nodes shrink every future wave; quarantined
+    // members are retired from the queue *before* the batch is accounted, so
+    // the wave is never credited to a job that did not finish it.
+    for (const NodeId node : outcome.value().nodes_died) {
+      result.nodes_died.push_back(node);
+      scheduler.on_node_dead(node, now);
+    }
+    for (const auto& q : outcome.value().quarantined) {
+      S3_LOG(kWarn, "driver") << "job " << q.job << " quarantined: "
+                              << q.reason;
+      scheduler.on_job_failed(q.job, now);
+      timeline.on_failed(q.job, now);
+      result.failed.emplace(q.job, q.reason);
+    }
+
     // Arrivals that (virtually) happened during the batch join afterwards.
     deliver(now);
     scheduler.on_batch_complete(batch->id, now);
     for (const JobId job : batch->completed_jobs()) {
+      // A quarantined member may still be flagged `completes` in the batch
+      // the scheduler formed; it has no output to collect.
+      if (result.failed.count(job) > 0) continue;
       timeline.on_completed(job, now);
       result.counters.emplace(job, engine_->counters(job));
       auto output = engine_->finalize_job(job);

@@ -30,8 +30,14 @@ struct RealRunResult {
   std::vector<metrics::JobRecord> job_records;
   std::unordered_map<JobId, engine::JobResult> outputs;
   std::unordered_map<JobId, engine::JobCounters> counters;
+  // Jobs the engine quarantined (poison members), with the error status they
+  // were retired with. Disjoint from `outputs`; a failed run is still a
+  // successful run() — the co-members' outputs are intact.
+  std::unordered_map<JobId, Status> failed;
   engine::ScanCounters scan;
   std::size_t batches_run = 0;
+  // Nodes that crashed during the run (first observation order).
+  std::vector<NodeId> nodes_died;
 };
 
 struct RealDriverOptions {

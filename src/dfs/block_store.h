@@ -2,8 +2,13 @@
 // Thread-safe: the real execution engine reads blocks from many worker
 // threads concurrently. Payloads are immutable once written and shared via
 // shared_ptr, so a shared scan hands the same buffer to every consumer.
+//
+// Every payload is checksummed (CRC-32) at put() and verified on every
+// get(): silent corruption comes back as kDataLoss naming the block, never
+// as wrong answers.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -18,21 +23,37 @@ using Payload = std::shared_ptr<const std::string>;
 
 class BlockStore {
  public:
-  // Stores the payload for a block. Rejects double writes (blocks are
-  // immutable, like HDFS).
+  // Stores the payload for a block and records its CRC-32. Rejects double
+  // writes (blocks are immutable, like HDFS).
   [[nodiscard]] Status put(BlockId block, std::string payload)
       S3_EXCLUDES(mu_);
 
-  // Returns the payload, or NOT_FOUND.
+  // Returns the payload, or NOT_FOUND; DATA_LOSS if the payload no longer
+  // matches the checksum recorded at write time.
   [[nodiscard]] StatusOr<Payload> get(BlockId block) const S3_EXCLUDES(mu_);
+
+  // CRC-32 recorded when the block was written, or NOT_FOUND.
+  [[nodiscard]] StatusOr<std::uint32_t> checksum(BlockId block) const
+      S3_EXCLUDES(mu_);
 
   [[nodiscard]] bool contains(BlockId block) const S3_EXCLUDES(mu_);
   [[nodiscard]] std::size_t num_blocks() const S3_EXCLUDES(mu_);
   [[nodiscard]] std::uint64_t total_bytes() const S3_EXCLUDES(mu_);
 
+  // Test/chaos hook: flips one payload byte without updating the stored
+  // checksum, so the next get() detects the corruption. Never call outside
+  // tests or a chaos harness.
+  [[nodiscard]] Status corrupt_payload_for_test(BlockId block)
+      S3_EXCLUDES(mu_);
+
  private:
+  struct Stored {
+    Payload payload;
+    std::uint32_t crc = 0;
+  };
+
   mutable AnnotatedMutex mu_;
-  std::unordered_map<BlockId, Payload> payloads_ S3_GUARDED_BY(mu_);
+  std::unordered_map<BlockId, Stored> payloads_ S3_GUARDED_BY(mu_);
   std::uint64_t total_bytes_ S3_GUARDED_BY(mu_) = 0;
 };
 

@@ -1,0 +1,106 @@
+#include "dfs/failover.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/journal.h"
+#include "obs/registry.h"
+
+namespace s3::dfs {
+
+bool ReplicaHealth::mark_node_dead(NodeId node) {
+  MutexLock lock(mu_);
+  return dead_.insert(node).second;
+}
+
+bool ReplicaHealth::is_node_dead(NodeId node) const {
+  MutexLock lock(mu_);
+  return dead_.count(node) > 0;
+}
+
+std::vector<NodeId> ReplicaHealth::dead_nodes() const {
+  MutexLock lock(mu_);
+  std::vector<NodeId> out(dead_.begin(), dead_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void ReplicaHealth::mark_replica_corrupt(BlockId block, NodeId node) {
+  MutexLock lock(mu_);
+  corrupt_[block].insert(node);
+}
+
+bool ReplicaHealth::is_replica_corrupt(BlockId block, NodeId node) const {
+  MutexLock lock(mu_);
+  const auto it = corrupt_.find(block);
+  return it != corrupt_.end() && it->second.count(node) > 0;
+}
+
+std::size_t ReplicaHealth::num_dead() const {
+  MutexLock lock(mu_);
+  return dead_.size();
+}
+
+std::size_t ReplicaHealth::num_corrupt_replicas() const {
+  MutexLock lock(mu_);
+  std::size_t total = 0;
+  for (const auto& [block, nodes] : corrupt_) total += nodes.size();
+  return total;
+}
+
+FailoverBlockSource::FailoverBlockSource(const DfsNamespace& ns,
+                                         const BlockSource& inner,
+                                         const ReplicaHealth& health)
+    : ns_(&ns), inner_(&inner), health_(&health) {}
+
+StatusOr<Payload> FailoverBlockSource::fetch(BlockId block) const {
+  static auto& failover_reads =
+      obs::Registry::instance().counter("dfs.replica_failovers");
+  const BlockInfo* info = ns_->find_block(block);
+  if (info == nullptr || info->replicas.empty()) {
+    // No replica metadata: nothing to fail over across, serve directly.
+    return inner_->fetch(block);
+  }
+  auto& journal = obs::EventJournal::instance();
+  std::size_t skipped_dead = 0;
+  std::size_t skipped_corrupt = 0;
+  for (const NodeId replica : info->replicas) {
+    const bool dead = health_->is_node_dead(replica);
+    const bool corrupt =
+        !dead && health_->is_replica_corrupt(block, replica);
+    if (dead || corrupt) {
+      dead ? ++skipped_dead : ++skipped_corrupt;
+      failovers_.fetch_add(1, std::memory_order_relaxed);
+      failover_reads.add();
+      if (journal.enabled()) {
+        obs::JournalEvent event;
+        event.type = corrupt ? obs::JournalEventType::kBlockCorrupt
+                             : obs::JournalEventType::kReplicaFailedOver;
+        event.node = replica;
+        event.detail = "block=" + std::to_string(block.value()) +
+                       (corrupt ? ",cause=corrupt_replica"
+                                : ",cause=dead_node");
+        journal.record(std::move(event));
+      }
+      continue;
+    }
+    if (journal.enabled() && (skipped_dead > 0 || skipped_corrupt > 0)) {
+      obs::JournalEvent event;
+      event.type = obs::JournalEventType::kReplicaFailedOver;
+      event.node = replica;
+      event.detail = "block=" + std::to_string(block.value()) +
+                     ",served_by=" + std::to_string(replica.value()) +
+                     ",skipped=" +
+                     std::to_string(skipped_dead + skipped_corrupt);
+      journal.record(std::move(event));
+    }
+    return inner_->fetch(block);
+  }
+  std::ostringstream os;
+  os << "block " << block << ": all " << info->replicas.size()
+     << " replicas unusable (" << skipped_dead << " on dead nodes, "
+     << skipped_corrupt << " corrupt)";
+  return Status::data_loss(os.str());
+}
+
+}  // namespace s3::dfs

@@ -1,0 +1,82 @@
+// Replica failover for the read path. ReplicaHealth is the shared registry
+// of dead nodes and per-(block, node) corrupt replicas — the engine marks
+// deaths there, fault plans pre-mark corruptions, and FailoverBlockSource
+// consults it on every fetch. FailoverBlockSource walks a block's replicas
+// in placement order, skipping dead or corrupt ones (journaling each
+// failover decision), and returns kDataLoss naming the block only when every
+// replica is unusable — the typed Status chain the failure model promises:
+// dead primary -> kReplicaFailedOver, corrupt replica -> kBlockCorrupt +
+// failover, all replicas gone -> kDataLoss.
+//
+// Payloads live once in the BlockStore regardless of replication factor, so
+// "corruption of replica r" is virtual: tracked here, not by mutating bytes.
+// Physical corruption (BlockStore CRC mismatch) affects every replica and is
+// surfaced as kDataLoss by the store itself.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "common/types.h"
+#include "dfs/block_source.h"
+#include "dfs/dfs_namespace.h"
+
+namespace s3::dfs {
+
+// Thread-safe: worker threads consult it per fetch while the engine marks
+// deaths from other workers.
+class ReplicaHealth {
+ public:
+  // Idempotent; returns true if the node was newly marked.
+  bool mark_node_dead(NodeId node) S3_EXCLUDES(mu_);
+  [[nodiscard]] bool is_node_dead(NodeId node) const S3_EXCLUDES(mu_);
+  [[nodiscard]] std::vector<NodeId> dead_nodes() const
+      S3_EXCLUDES(mu_);  // sorted
+
+  // Marks one replica of a block unreadable (bit rot on that node's copy).
+  void mark_replica_corrupt(BlockId block, NodeId node) S3_EXCLUDES(mu_);
+  [[nodiscard]] bool is_replica_corrupt(BlockId block, NodeId node) const
+      S3_EXCLUDES(mu_);
+
+  [[nodiscard]] std::size_t num_dead() const S3_EXCLUDES(mu_);
+  [[nodiscard]] std::size_t num_corrupt_replicas() const S3_EXCLUDES(mu_);
+
+ private:
+  mutable AnnotatedMutex mu_;
+  std::unordered_set<NodeId> dead_ S3_GUARDED_BY(mu_);
+  std::unordered_map<BlockId, std::unordered_set<NodeId>> corrupt_
+      S3_GUARDED_BY(mu_);
+};
+
+// Decorates any BlockSource with replica failover. Blocks without replica
+// metadata (replication 0 in tests) are served directly from the inner
+// source — there is nothing to fail over across.
+class FailoverBlockSource final : public BlockSource {
+ public:
+  // All three must outlive this source.
+  FailoverBlockSource(const DfsNamespace& ns, const BlockSource& inner,
+                      const ReplicaHealth& health);
+
+  // Serves the block from the first usable replica; kDataLoss (naming the
+  // block) when every replica is dead or corrupt, or when the payload itself
+  // fails its checksum.
+  [[nodiscard]] StatusOr<Payload> fetch(BlockId block) const override;
+
+  // Reads that had to skip at least one replica (telemetry).
+  [[nodiscard]] std::uint64_t failovers() const {
+    return failovers_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const DfsNamespace* ns_;
+  const BlockSource* inner_;
+  const ReplicaHealth* health_;
+  mutable std::atomic<std::uint64_t> failovers_{0};
+};
+
+}  // namespace s3::dfs

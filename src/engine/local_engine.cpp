@@ -1,9 +1,12 @@
 #include "engine/local_engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <optional>
+#include <sstream>
 
 #include "common/logging.h"
+#include "obs/journal.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 
@@ -15,22 +18,28 @@ LocalEngine::LocalEngine(const dfs::DfsNamespace& ns,
     : ns_(&ns),
       owned_adapter_(std::make_unique<dfs::StoredBlocks>(store)),
       source_(owned_adapter_.get()),
-      options_(options),
-      map_runner_(*source_, shuffle_, options.data_path),
-      reduce_runner_(shuffle_, options.data_path),
-      map_pool_(std::make_unique<ThreadPool>(options.map_workers)),
-      reduce_pool_(std::make_unique<ThreadPool>(options.reduce_workers)) {}
+      options_(std::move(options)),
+      map_runner_(*source_, shuffle_, options_.data_path),
+      reduce_runner_(shuffle_, options_.data_path),
+      map_pool_(std::make_unique<ThreadPool>(
+          std::max<std::size_t>(1, options_.map_workers))),
+      reduce_pool_(std::make_unique<ThreadPool>(
+          std::max<std::size_t>(1, options_.reduce_workers))) {}
 
 LocalEngine::LocalEngine(const dfs::DfsNamespace& ns,
                          const dfs::BlockSource& source,
                          LocalEngineOptions options)
     : ns_(&ns),
       source_(&source),
-      options_(options),
-      map_runner_(source, shuffle_, options.data_path),
-      reduce_runner_(shuffle_, options.data_path),
-      map_pool_(std::make_unique<ThreadPool>(options.map_workers)),
-      reduce_pool_(std::make_unique<ThreadPool>(options.reduce_workers)) {}
+      options_(std::move(options)),
+      map_runner_(source, shuffle_, options_.data_path),
+      reduce_runner_(shuffle_, options_.data_path),
+      // Zero-worker options are rejected by run_batch, not here: clamp the
+      // pools so the misconfigured engine can still report invalid_argument.
+      map_pool_(std::make_unique<ThreadPool>(
+          std::max<std::size_t>(1, options_.map_workers))),
+      reduce_pool_(std::make_unique<ThreadPool>(
+          std::max<std::size_t>(1, options_.reduce_workers))) {}
 
 LocalEngine::~LocalEngine() = default;
 
@@ -63,48 +72,159 @@ const LocalEngine::JobState& LocalEngine::state(JobId job) const {
   return it->second;
 }
 
-Status LocalEngine::execute_batch(const BatchExec& batch) {
-  if (batch.jobs.empty()) {
-    return Status::invalid_argument("batch with no member jobs");
+bool LocalEngine::node_is_dead(NodeId node) const {
+  if (options_.replica_health != nullptr) {
+    return options_.replica_health->is_node_dead(node);
   }
-  if (batch.blocks.empty()) {
-    return Status::invalid_argument("batch with no blocks");
-  }
+  MutexLock lock(mu_);
+  return dead_nodes_.count(node) > 0;
+}
 
-  // Snapshot member specs (stable pointers: jobs_ values are node-based).
-  std::vector<const JobSpec*> members;
+NodeId LocalEngine::pick_replica(BlockId block) const {
+  const dfs::BlockInfo* info = ns_->find_block(block);
+  if (info == nullptr) return NodeId();
+  for (const NodeId replica : info->replicas) {
+    if (!node_is_dead(replica)) return replica;
+  }
+  return NodeId();
+}
+
+void LocalEngine::record_node_death(NodeId node, WaveCtx& ctx) {
+  bool newly = false;
+  if (options_.replica_health != nullptr) {
+    newly = options_.replica_health->mark_node_dead(node);
+  } else {
+    MutexLock lock(mu_);
+    newly = dead_nodes_.insert(node).second;
+  }
+  if (!newly) return;
+  static auto& deaths =
+      obs::Registry::instance().counter("engine.node_deaths");
+  deaths.add();
+  auto& journal = obs::EventJournal::instance();
+  if (journal.enabled()) {
+    obs::JournalEvent event;
+    event.type = obs::JournalEventType::kNodeDead;
+    event.node = node;
+    event.detail = "cause=injected_crash,observed_by=engine";
+    journal.record(std::move(event));
+  }
+  {
+    MutexLock lock(ctx.mu);
+    ctx.died.push_back(node);
+  }
+  if (options_.on_node_death) options_.on_node_death(node);
+}
+
+Fault LocalEngine::decide_fault(
+    const TaskAttempt& attempt,
+    const std::vector<const JobSpec*>& specs) const {
+  if (options_.failure_injector != nullptr &&
+      options_.failure_injector(attempt.task, attempt.attempt)) {
+    // Legacy hook: an anonymous transient, never attributable to a member.
+    Fault fault;
+    fault.kind = FaultKind::kTransient;
+    return fault;
+  }
+  if (options_.fault_injector == nullptr) return {};
+  Fault fault = options_.fault_injector(attempt);
+  if (fault.kind == FaultKind::kPoison) {
+    if (!fault.poison_job.valid()) return {};
+    // A reduce attempt runs exactly one member's fn; poison aimed at another
+    // job cannot fail it.
+    if (!attempt.is_map && fault.poison_job != attempt.job) return {};
+    const bool member =
+        std::any_of(specs.begin(), specs.end(), [&](const JobSpec* spec) {
+          return spec->id == fault.poison_job;
+        });
+    if (!member) return {};
+  }
+  return fault;
+}
+
+void LocalEngine::note_attempt_failure(const TaskAttempt& attempt,
+                                       FaultKind kind,
+                                       const std::string& cause,
+                                       bool will_retry) {
   {
     MutexLock lock(mu_);
-    members.reserve(batch.jobs.size());
-    for (const JobId job : batch.jobs) {
-      const auto it = jobs_.find(job);
-      if (it == jobs_.end()) {
-        return Status::not_found("batch references unregistered job");
-      }
-      members.push_back(&it->second.spec);
-    }
+    ++failed_attempts_;
+    if (kind == FaultKind::kHang) ++hung_attempts_;
   }
-  // Batch membership uniqueness: a merged batch reads each block once for
-  // all members, so a duplicated member would double-count its sub-job.
-  S3_DCHECK_MSG(([&] {
-                  std::vector<JobId> ids = batch.jobs;
-                  std::sort(ids.begin(), ids.end());
-                  return std::adjacent_find(ids.begin(), ids.end()) ==
-                         ids.end();
-                }()),
-                "batch " << batch.id << " lists a member job twice");
+  static auto& failed =
+      obs::Registry::instance().counter("engine.failed_attempts");
+  failed.add();
+  auto& journal = obs::EventJournal::instance();
+  if (!journal.enabled()) return;
 
-  S3_LOG(kDebug, "engine") << "batch " << batch.id << ": "
-                           << batch.blocks.size() << " blocks x "
-                           << batch.jobs.size() << " jobs";
-  S3_TRACE_SPAN_NAMED(batch_span, "engine", "execute_batch");
-  batch_span.arg("batch", batch.id.value())
-      .arg("blocks", batch.blocks.size())
-      .arg("jobs", batch.jobs.size());
-  static auto& batches_run =
-      obs::Registry::instance().counter("engine.batches");
-  batches_run.add();
+  std::ostringstream ident;
+  ident << "task=" << attempt.task.value() << ",attempt=" << attempt.attempt;
+  if (attempt.is_map) {
+    ident << ",block=" << attempt.block.value();
+  } else {
+    ident << ",partition=" << attempt.partition;
+  }
 
+  if (kind == FaultKind::kHang) {
+    obs::JournalEvent hung;
+    hung.type = obs::JournalEventType::kTaskHung;
+    hung.node = attempt.node;
+    hung.job = attempt.job;
+    std::ostringstream detail;
+    detail << ident.str() << ",timeout_s=" << options_.hung_task_timeout_s;
+    hung.detail = detail.str();
+    journal.record(std::move(hung));
+  }
+
+  obs::JournalEvent event;
+  event.type = obs::JournalEventType::kTaskAttemptFailed;
+  event.node = attempt.node;
+  event.job = attempt.job;
+  event.detail = ident.str() + ",cause=" + cause;
+  journal.record(std::move(event));
+
+  if (!will_retry) return;
+  obs::JournalEvent retry;
+  retry.type = obs::JournalEventType::kTaskRetried;
+  retry.node = attempt.node;
+  retry.job = attempt.job;
+  // The watchdog models the backoff: it is journaled, never slept.
+  const double backoff =
+      options_.retry_backoff_base_s *
+      std::pow(2.0, static_cast<double>(attempt.attempt - 1));
+  std::ostringstream detail;
+  detail << ident.str() << ",next_attempt=" << attempt.attempt + 1
+         << ",backoff_s=" << backoff;
+  retry.detail = detail.str();
+  journal.record(std::move(retry));
+}
+
+namespace {
+
+// Maps an injected fault to the status the failed attempt reports and the
+// cause tag for the journal. Poison statuses are built at the call site
+// (they need the job id).
+const char* fault_cause_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kTransient:
+      return "transient";
+    case FaultKind::kHang:
+      return "hung";
+    case FaultKind::kNodeDeath:
+      return "node_death";
+    case FaultKind::kPoison:
+      return "poison";
+    case FaultKind::kNone:
+      break;
+  }
+  return "error";
+}
+
+}  // namespace
+
+Status LocalEngine::run_wave(const BatchExec& batch,
+                             const std::vector<const JobSpec*>& specs,
+                             WaveCtx& ctx) {
   // --- Map wave: one merged map task per block, all slots in parallel. ---
   S3_TRACE_SPAN_NAMED(map_wave_span, "engine", "map_wave");
   map_wave_span.arg("batch", batch.id.value())
@@ -121,22 +241,82 @@ Status LocalEngine::execute_batch(const BatchExec& batch) {
       task.id = task_ids_.next();
     }
     task.block = block;
-    task.jobs = members;
-    map_pool_->submit([this, task = std::move(task), &map_collect] {
-      // Fault tolerance: injected failures model a node rejecting/losing the
-      // attempt before any side effects; the attempt is simply re-run.
+    task.jobs = specs;
+    map_pool_->submit([this, task = std::move(task), &map_collect, &specs,
+                       &ctx] {
+      // Fault tolerance: injected failures model a node losing the attempt
+      // before any side effects; re-dispatch is therefore idempotent.
       StatusOr<MapTaskOutcome> outcome =
           Status::internal("map task never attempted");
+      JobId poison;
+      Status poison_status = Status::ok();
+      NodeId node = pick_replica(task.block);
       for (int attempt = 1; attempt <= options_.max_task_attempts; ++attempt) {
-        if (options_.failure_injector != nullptr &&
-            options_.failure_injector(task.id, attempt)) {
-          MutexLock lock(mu_);
-          ++failed_attempts_;
-          outcome = Status::unavailable("injected task failure");
+        if (node.valid() && node_is_dead(node)) {
+          // The assigned node died since dispatch (possibly killed by a
+          // previous attempt's fault): re-dispatch on a live replica.
+          node = pick_replica(task.block);
+        }
+        TaskAttempt ident;
+        ident.task = task.id;
+        ident.attempt = attempt;
+        ident.is_map = true;
+        ident.block = task.block;
+        ident.node = node;
+        poison = JobId();
+        const bool last = attempt == options_.max_task_attempts;
+        const Fault fault = decide_fault(ident, specs);
+        if (fault.kind != FaultKind::kNone) {
+          std::string cause = fault_cause_name(fault.kind);
+          if (!fault.detail.empty()) cause += ":" + fault.detail;
+          switch (fault.kind) {
+            case FaultKind::kNodeDeath: {
+              const NodeId victim =
+                  fault.dead_node.valid() ? fault.dead_node : node;
+              if (victim.valid()) record_node_death(victim, ctx);
+              std::ostringstream os;
+              os << "node " << victim << " died during map attempt";
+              outcome = Status::unavailable(os.str());
+              break;
+            }
+            case FaultKind::kHang: {
+              std::ostringstream os;
+              os << "map attempt exceeded the " << options_.hung_task_timeout_s
+                 << "s hung-task timeout";
+              outcome = Status::unavailable(os.str());
+              break;
+            }
+            case FaultKind::kPoison: {
+              poison = fault.poison_job;
+              std::ostringstream os;
+              os << "poison member " << fault.poison_job << " map fn failed";
+              if (!fault.detail.empty()) os << ": " << fault.detail;
+              poison_status = Status::internal(os.str());
+              outcome = poison_status;
+              break;
+            }
+            default:
+              outcome = Status::unavailable("injected task failure");
+              break;
+          }
+          note_attempt_failure(ident, fault.kind, cause, !last);
           continue;
         }
         outcome = map_runner_.run(task);
         if (outcome.is_ok()) break;
+        // Real read/map failure: retriable unless the data is gone for good.
+        const bool permanent =
+            outcome.status().code() == StatusCode::kDataLoss;
+        note_attempt_failure(ident, FaultKind::kNone,
+                             outcome.status().message(), !last && !permanent);
+        if (permanent) break;
+      }
+      if (!outcome.is_ok() && poison.valid()) {
+        MutexLock ctx_lock(ctx.mu);
+        if (!ctx.poison.valid()) {
+          ctx.poison = poison;
+          ctx.poison_status = poison_status;
+        }
       }
       MutexLock lock(map_collect.mu);
       if (outcome.is_ok()) {
@@ -157,36 +337,11 @@ Status LocalEngine::execute_batch(const BatchExec& batch) {
     MutexLock lock(map_collect.mu);
     if (!map_collect.first_error.is_ok()) return map_collect.first_error;
   }
-
-  {
-    MutexLock outcome_lock(map_collect.mu);
-    MutexLock lock(mu_);
-    static auto& physical =
-        obs::Registry::instance().counter("engine.blocks_physical");
-    static auto& logical =
-        obs::Registry::instance().counter("engine.blocks_logical");
-    for (const auto& outcome : map_collect.outcomes) {
-      scan_counters_ += outcome.scan;
-      physical.add(outcome.scan.blocks_physical);
-      logical.add(outcome.scan.blocks_logical);
-      for (const auto& [job, counters] : outcome.per_job) {
-        state(job).counters += counters;
-      }
-    }
-    // Live sharing efficiency: logical blocks served per physical block
-    // read. An n-member merged scan reports exactly n.
-    static auto& sharing =
-        obs::Registry::instance().gauge("engine.sharing_efficiency");
-    if (scan_counters_.blocks_physical > 0) {
-      sharing.set(static_cast<double>(scan_counters_.blocks_logical) /
-                  static_cast<double>(scan_counters_.blocks_physical));
-    }
-  }
   map_wave_span.end();
 
   // --- Reduce wave: per member job, per partition. ---
   S3_TRACE_SPAN_NAMED(reduce_wave_span, "engine", "reduce_wave");
-  reduce_wave_span.arg("batch", batch.id.value()).arg("jobs", members.size());
+  reduce_wave_span.arg("batch", batch.id.value()).arg("jobs", specs.size());
   struct ReduceCollect {
     AnnotatedMutex mu;
     std::unordered_map<JobId, std::vector<KeyValue>> outputs S3_GUARDED_BY(mu);
@@ -194,7 +349,7 @@ Status LocalEngine::execute_batch(const BatchExec& batch) {
     Status error S3_GUARDED_BY(mu) = Status::ok();
   } collect;
 
-  for (const JobSpec* spec : members) {
+  for (const JobSpec* spec : specs) {
     for (std::uint32_t p = 0; p < spec->num_reduce_tasks; ++p) {
       ReduceTaskSpec task;
       {
@@ -203,20 +358,71 @@ Status LocalEngine::execute_batch(const BatchExec& batch) {
       }
       task.job = spec;
       task.partition = p;
-      reduce_pool_->submit([this, task, &collect] {
+      reduce_pool_->submit([this, task, &collect, &specs, &ctx] {
         StatusOr<ReduceTaskOutcome> outcome =
             Status::internal("reduce task never attempted");
+        JobId poison;
+        Status poison_status = Status::ok();
         for (int attempt = 1; attempt <= options_.max_task_attempts;
              ++attempt) {
-          if (options_.failure_injector != nullptr &&
-              options_.failure_injector(task.id, attempt)) {
-            MutexLock lock(mu_);
-            ++failed_attempts_;
-            outcome = Status::unavailable("injected task failure");
+          TaskAttempt ident;
+          ident.task = task.id;
+          ident.attempt = attempt;
+          ident.is_map = false;
+          ident.job = task.job->id;
+          ident.partition = task.partition;
+          poison = JobId();
+          const bool last = attempt == options_.max_task_attempts;
+          const Fault fault = decide_fault(ident, specs);
+          if (fault.kind != FaultKind::kNone) {
+            std::string cause = fault_cause_name(fault.kind);
+            if (!fault.detail.empty()) cause += ":" + fault.detail;
+            switch (fault.kind) {
+              case FaultKind::kNodeDeath: {
+                if (fault.dead_node.valid()) {
+                  record_node_death(fault.dead_node, ctx);
+                }
+                std::ostringstream os;
+                os << "node " << fault.dead_node
+                   << " died during reduce attempt";
+                outcome = Status::unavailable(os.str());
+                break;
+              }
+              case FaultKind::kHang: {
+                std::ostringstream os;
+                os << "reduce attempt exceeded the "
+                   << options_.hung_task_timeout_s << "s hung-task timeout";
+                outcome = Status::unavailable(os.str());
+                break;
+              }
+              case FaultKind::kPoison: {
+                poison = fault.poison_job;
+                std::ostringstream os;
+                os << "poison member " << fault.poison_job
+                   << " reduce fn failed";
+                if (!fault.detail.empty()) os << ": " << fault.detail;
+                poison_status = Status::internal(os.str());
+                outcome = poison_status;
+                break;
+              }
+              default:
+                outcome = Status::unavailable("injected task failure");
+                break;
+            }
+            note_attempt_failure(ident, fault.kind, cause, !last);
             continue;
           }
           outcome = reduce_runner_.run(task);
           if (outcome.is_ok()) break;
+          note_attempt_failure(ident, FaultKind::kNone,
+                               outcome.status().message(), !last);
+        }
+        if (!outcome.is_ok() && poison.valid()) {
+          MutexLock ctx_lock(ctx.mu);
+          if (!ctx.poison.valid()) {
+            ctx.poison = poison;
+            ctx.poison_status = poison_status;
+          }
         }
         MutexLock lock(collect.mu);
         if (!outcome.is_ok()) {
@@ -242,10 +448,33 @@ Status LocalEngine::execute_batch(const BatchExec& batch) {
   }
   reduce_wave_span.end();
 
+  // --- Commit: member state is only touched after the whole wave succeeded,
+  // so a failed wave leaves no trace and can be re-run exactly. ---
   {
+    MutexLock outcome_lock(map_collect.mu);
     MutexLock collect_lock(collect.mu);
     MutexLock lock(mu_);
-    for (const JobSpec* spec : members) {
+    static auto& physical =
+        obs::Registry::instance().counter("engine.blocks_physical");
+    static auto& logical =
+        obs::Registry::instance().counter("engine.blocks_logical");
+    for (const auto& outcome : map_collect.outcomes) {
+      scan_counters_ += outcome.scan;
+      physical.add(outcome.scan.blocks_physical);
+      logical.add(outcome.scan.blocks_logical);
+      for (const auto& [job, counters] : outcome.per_job) {
+        state(job).counters += counters;
+      }
+    }
+    // Live sharing efficiency: logical blocks served per physical block
+    // read. An n-member merged scan reports exactly n.
+    static auto& sharing =
+        obs::Registry::instance().gauge("engine.sharing_efficiency");
+    if (scan_counters_.blocks_physical > 0) {
+      sharing.set(static_cast<double>(scan_counters_.blocks_logical) /
+                  static_cast<double>(scan_counters_.blocks_physical));
+    }
+    for (const JobSpec* spec : specs) {
       JobState& st = state(spec->id);
       st.counters += collect.counters[spec->id];
       auto& partial = collect.outputs[spec->id];
@@ -257,6 +486,146 @@ Status LocalEngine::execute_batch(const BatchExec& batch) {
         st.partials = re_reduce(st.spec, std::move(st.partials));
       }
     }
+  }
+  return Status::ok();
+}
+
+StatusOr<BatchOutcome> LocalEngine::run_batch(const BatchExec& batch) {
+  if (options_.max_task_attempts < 1) {
+    return Status::invalid_argument(
+        "LocalEngineOptions::max_task_attempts must be >= 1");
+  }
+  if (options_.map_workers == 0 || options_.reduce_workers == 0) {
+    return Status::invalid_argument(
+        "LocalEngineOptions needs at least one map and one reduce worker");
+  }
+  if (batch.jobs.empty()) {
+    return Status::invalid_argument("batch with no member jobs");
+  }
+  if (batch.blocks.empty()) {
+    return Status::invalid_argument("batch with no blocks");
+  }
+
+  S3_LOG(kDebug, "engine") << "batch " << batch.id << ": "
+                           << batch.blocks.size() << " blocks x "
+                           << batch.jobs.size() << " jobs";
+  S3_TRACE_SPAN_NAMED(batch_span, "engine", "execute_batch");
+  batch_span.arg("batch", batch.id.value())
+      .arg("blocks", batch.blocks.size())
+      .arg("jobs", batch.jobs.size());
+  static auto& batches_run =
+      obs::Registry::instance().counter("engine.batches");
+  batches_run.add();
+
+  // Batch membership uniqueness: a merged batch reads each block once for
+  // all members, so a duplicated member would double-count its sub-job.
+  S3_DCHECK_MSG(([&] {
+                  std::vector<JobId> ids = batch.jobs;
+                  std::sort(ids.begin(), ids.end());
+                  return std::adjacent_find(ids.begin(), ids.end()) ==
+                         ids.end();
+                }()),
+                "batch " << batch.id << " lists a member job twice");
+
+  BatchOutcome result;
+  std::vector<JobId> members = batch.jobs;
+  while (true) {
+    // Snapshot member specs (stable pointers: jobs_ values are node-based).
+    std::vector<const JobSpec*> specs;
+    {
+      MutexLock lock(mu_);
+      specs.reserve(members.size());
+      for (const JobId job : members) {
+        const auto it = jobs_.find(job);
+        if (it == jobs_.end()) {
+          return Status::not_found("batch references unregistered job");
+        }
+        specs.push_back(&it->second.spec);
+      }
+    }
+
+    WaveCtx ctx;
+    const Status wave = run_wave(batch, specs, ctx);
+    {
+      MutexLock lock(ctx.mu);
+      result.nodes_died.insert(result.nodes_died.end(), ctx.died.begin(),
+                               ctx.died.end());
+    }
+    if (wave.is_ok()) return result;
+
+    JobId poison;
+    Status poison_status = Status::ok();
+    {
+      MutexLock lock(ctx.mu);
+      poison = ctx.poison;
+      poison_status = ctx.poison_status;
+    }
+    // Not attributable to one member: the batch as a whole cannot proceed.
+    if (!poison.valid()) return wave;
+
+    // Quarantine the poison member: retire it with its error status so the
+    // survivors' shared scan is not held hostage by one bad job.
+    S3_LOG(kWarn, "engine") << "batch " << batch.id << ": quarantining "
+                            << poison << " (" << poison_status << ")";
+    static auto& quarantines =
+        obs::Registry::instance().counter("engine.quarantines");
+    quarantines.add();
+    auto& journal = obs::EventJournal::instance();
+    if (journal.enabled()) {
+      obs::JournalEvent event;
+      event.type = obs::JournalEventType::kJobQuarantined;
+      event.job = poison;
+      event.batch = batch.id;
+      event.detail = "reason=" + poison_status.to_string();
+      journal.record(std::move(event));
+    }
+    {
+      MutexLock lock(mu_);
+      jobs_.erase(poison);
+    }
+    shuffle_.unregister_job(poison);
+    result.quarantined.push_back(BatchOutcome::QuarantinedJob{
+        poison, std::move(poison_status)});
+    members.erase(std::remove(members.begin(), members.end(), poison),
+                  members.end());
+    if (members.empty()) return result;
+
+    // Reset the survivors' shuffle state: the aborted wave may have
+    // published map runs (or consumed them) that the re-run will recreate.
+    std::vector<std::pair<JobId, std::uint32_t>> survivors;
+    {
+      MutexLock lock(mu_);
+      survivors.reserve(members.size());
+      for (const JobId job : members) {
+        survivors.emplace_back(job, state(job).spec.num_reduce_tasks);
+      }
+    }
+    for (const auto& [job, partitions] : survivors) {
+      shuffle_.unregister_job(job);
+      shuffle_.register_job(job, partitions);
+    }
+    ++result.reruns;
+    static auto& reruns =
+        obs::Registry::instance().counter("engine.batch_reruns");
+    reruns.add();
+    if (journal.enabled()) {
+      obs::JournalEvent event;
+      event.type = obs::JournalEventType::kBatchRerun;
+      event.batch = batch.id;
+      event.members = members.size();
+      std::ostringstream detail;
+      detail << "after_quarantine=" << poison << ",rerun=" << result.reruns;
+      event.detail = detail.str();
+      journal.record(std::move(event));
+    }
+  }
+}
+
+Status LocalEngine::execute_batch(const BatchExec& batch) {
+  StatusOr<BatchOutcome> outcome = run_batch(batch);
+  if (!outcome.is_ok()) return outcome.status();
+  if (!outcome.value().quarantined.empty()) {
+    return outcome.value().quarantined.front().reason;
   }
   return Status::ok();
 }
@@ -334,6 +703,11 @@ std::size_t LocalEngine::registered_jobs() const {
 std::uint64_t LocalEngine::failed_attempts() const {
   MutexLock lock(mu_);
   return failed_attempts_;
+}
+
+std::uint64_t LocalEngine::hung_attempts() const {
+  MutexLock lock(mu_);
+  return hung_attempts_;
 }
 
 }  // namespace s3::engine

@@ -9,11 +9,19 @@
 // reducer must be algebraic — reducing the concatenation of partial outputs
 // must equal reducing the original data (true for counts, sums, min/max,
 // selection; see paper §V-G on output collection).
+//
+// Failure domains (DESIGN.md §12): run_batch() survives injected node
+// deaths (re-dispatch on a live replica), hung tasks (watchdog + modeled
+// exponential backoff) and transient errors via the per-task retry loop, and
+// quarantines poison members — a job whose own map/reduce fn keeps failing
+// is retired with its error status and the shared scan re-runs for the
+// surviving members instead of failing them all.
 #pragma once
 
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
@@ -23,7 +31,9 @@
 #include "dfs/block_source.h"
 #include "dfs/block_store.h"
 #include "dfs/dfs_namespace.h"
+#include "dfs/failover.h"
 #include "engine/counters.h"
+#include "engine/fault.h"
 #include "engine/job.h"
 #include "engine/map_runner.h"
 #include "engine/reduce_runner.h"
@@ -37,9 +47,10 @@ struct BatchExec {
   std::vector<JobId> jobs;      // member jobs sharing the scan
 };
 
-// Fault injection hook: called before each task attempt; return true to make
-// that attempt fail (MapReduce's "fine-grained fault tolerance" then retries
-// it, up to max_task_attempts). Invoked concurrently from worker threads.
+// Legacy fault injection hook: called before each task attempt; return true
+// to make that attempt fail (a plain transient, never attributable to a
+// member job). Invoked concurrently from worker threads. The typed
+// FaultInjector in fault.h supersedes this; both may be set.
 using FailureInjector =
     std::function<bool(TaskId task, int attempt)>;
 
@@ -52,9 +63,42 @@ struct LocalEngineOptions {
   // Task-level fault tolerance: attempts per task before the batch fails.
   int max_task_attempts = 3;
   FailureInjector failure_injector;  // nullptr = no injected failures
+  // Typed fault injection (transients, hangs, node deaths, poison members).
+  FaultInjector fault_injector;  // nullptr = no injected faults
+  // Shared dead-node / corrupt-replica registry. When set, injected node
+  // deaths are recorded here (so a FailoverBlockSource built on the same
+  // registry stops serving from the dead node) and map dispatch skips dead
+  // replicas. When null the engine keeps a private dead-node set.
+  dfs::ReplicaHealth* replica_health = nullptr;
+  // Invoked (from a worker thread — must be thread-safe) the moment a node
+  // death is first observed. Drivers that need the scheduler informed should
+  // prefer BatchOutcome::nodes_died, which is delivered on their own thread.
+  std::function<void(NodeId)> on_node_death;
+  // Hung-task watchdog: how long an attempt may run before it is declared
+  // hung and abandoned, and the base of the exponential backoff before the
+  // re-attempt. Both are modeled (journaled) times — the engine never
+  // sleeps; injected hangs are abandoned immediately with the would-be
+  // timings recorded.
+  double hung_task_timeout_s = 30.0;
+  double retry_backoff_base_s = 0.5;
   // Record representation + grouping algorithm (see shuffle.h). kLegacySort
   // is the differential-testing oracle, not a production choice.
   DataPath data_path = DataPath::kFlatBatch;
+};
+
+// What run_batch recovered from (empty vectors = a clean batch).
+struct BatchOutcome {
+  struct QuarantinedJob {
+    JobId job;
+    Status reason;  // default-constructed OK until the quarantine fires
+  };
+  // Poison members retired from the batch; their engine state is released
+  // and they must not be finalized.
+  std::vector<QuarantinedJob> quarantined;
+  // Nodes first observed dead during this batch (deduplicated).
+  std::vector<NodeId> nodes_died;
+  // Times the shared scan re-ran for the survivors after a quarantine.
+  int reruns = 0;
 };
 
 class LocalEngine {
@@ -63,8 +107,9 @@ class LocalEngine {
   LocalEngine(const dfs::DfsNamespace& ns, const dfs::BlockStore& store,
               LocalEngineOptions options = {});
   // Reads payloads from any BlockSource (e.g. GeneratedBlockSource, which
-  // synthesizes blocks on demand so inputs need not fit in memory). The
-  // source must outlive the engine.
+  // synthesizes blocks on demand so inputs need not fit in memory; or a
+  // FailoverBlockSource for replica failover). The source must outlive the
+  // engine.
   LocalEngine(const dfs::DfsNamespace& ns, const dfs::BlockSource& source,
               LocalEngineOptions options = {});
   ~LocalEngine();
@@ -77,7 +122,14 @@ class LocalEngine {
 
   // Executes one batch synchronously: a parallel map wave over all blocks
   // (each block read once for all member jobs), then a parallel reduce wave
-  // per member job.
+  // per member job. Recovers from injected faults (see BatchOutcome);
+  // returns an error only when the batch as a whole cannot make progress
+  // (invalid options/batch, exhausted non-attributable retries, data loss).
+  [[nodiscard]] StatusOr<BatchOutcome> run_batch(const BatchExec& batch);
+
+  // Compatibility wrapper over run_batch(): a batch that quarantined any
+  // member reports the first quarantine reason as the batch error (the
+  // survivors' work is still committed).
   [[nodiscard]] Status execute_batch(const BatchExec& batch);
 
   // Merges a completed job's partial outputs into its final result and
@@ -91,6 +143,9 @@ class LocalEngine {
   [[nodiscard]] std::size_t registered_jobs() const S3_EXCLUDES(mu_);
   // Task attempts that failed and were retried (fault-tolerance telemetry).
   [[nodiscard]] std::uint64_t failed_attempts() const S3_EXCLUDES(mu_);
+  // Attempts the hung-task watchdog abandoned.
+  [[nodiscard]] std::uint64_t hung_attempts() const S3_EXCLUDES(mu_);
+  [[nodiscard]] bool node_is_dead(NodeId node) const S3_EXCLUDES(mu_);
 
  private:
   struct JobState {
@@ -99,6 +154,39 @@ class LocalEngine {
     std::vector<KeyValue> partials;  // accumulated reduce outputs
     std::uint64_t batches_run = 0;
   };
+
+  // Shared recovery bookkeeping for one map+reduce wave, written by worker
+  // threads.
+  struct WaveCtx {
+    AnnotatedMutex mu;
+    std::vector<NodeId> died S3_GUARDED_BY(mu);
+    // First member whose attempts exhausted on a poison fault (quarantine
+    // candidate) and the status to retire it with.
+    JobId poison S3_GUARDED_BY(mu);
+    Status poison_status S3_GUARDED_BY(mu);  // OK until a quarantine fires
+  };
+
+  // One full map+reduce pass over the batch for `specs`; commits member
+  // state only on success, so a failed wave can be re-run.
+  [[nodiscard]] Status run_wave(const BatchExec& batch,
+                                const std::vector<const JobSpec*>& specs,
+                                WaveCtx& ctx);
+
+  // Decides what (if anything) goes wrong with one attempt: the legacy
+  // injector first, then the typed injector; poison faults naming a
+  // non-member are dropped.
+  [[nodiscard]] Fault decide_fault(
+      const TaskAttempt& attempt,
+      const std::vector<const JobSpec*>& specs) const;
+  // Counts the failure, emits kTaskHung / kTaskAttemptFailed / kTaskRetried.
+  void note_attempt_failure(const TaskAttempt& attempt, FaultKind kind,
+                            const std::string& cause, bool will_retry)
+      S3_EXCLUDES(mu_);
+  // Marks a node dead (shared registry or private set); records first
+  // observations in ctx and fires on_node_death.
+  void record_node_death(NodeId node, WaveCtx& ctx) S3_EXCLUDES(mu_);
+  // First live replica of the block (invalid without replica metadata).
+  [[nodiscard]] NodeId pick_replica(BlockId block) const S3_EXCLUDES(mu_);
 
   // Re-reduces `records` with the job's reducer (used by finalize and by
   // incremental merging).
@@ -126,6 +214,9 @@ class LocalEngine {
   ScanCounters scan_counters_ S3_GUARDED_BY(mu_);
   IdGenerator<TaskId> task_ids_ S3_GUARDED_BY(mu_);
   std::uint64_t failed_attempts_ S3_GUARDED_BY(mu_) = 0;
+  std::uint64_t hung_attempts_ S3_GUARDED_BY(mu_) = 0;
+  // Private dead-node set, used when options_.replica_health is null.
+  std::unordered_set<NodeId> dead_nodes_ S3_GUARDED_BY(mu_);
 };
 
 }  // namespace s3::engine

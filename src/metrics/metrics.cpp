@@ -29,9 +29,22 @@ void JobTimeline::on_completed(JobId job, SimTime t) {
   S3_CHECK_MSG(it != records_.end(), "completion before submission: " << job);
   S3_CHECK_MSG(it->second.completed == kTimeNever,
                "job completed twice: " << job);
+  S3_CHECK_MSG(it->second.failed_at == kTimeNever,
+               "failed job cannot complete: " << job);
   S3_CHECK(t >= it->second.submitted);
   it->second.completed = t;
   if (it->second.first_started == kTimeNever) it->second.first_started = t;
+}
+
+void JobTimeline::on_failed(JobId job, SimTime t) {
+  const auto it = records_.find(job);
+  S3_CHECK_MSG(it != records_.end(), "failure before submission: " << job);
+  S3_CHECK_MSG(it->second.completed == kTimeNever,
+               "completed job cannot fail: " << job);
+  S3_CHECK_MSG(it->second.failed_at == kTimeNever,
+               "job failed twice: " << job);
+  S3_CHECK(t >= it->second.submitted);
+  it->second.failed_at = t;
 }
 
 const JobRecord& JobTimeline::record(JobId job) const {
@@ -62,7 +75,6 @@ MetricsSummary summarize(const JobTimeline& timeline) {
   S3_CHECK_MSG(timeline.all_done(), "summarize() requires all jobs complete");
   MetricsSummary s;
   const auto records = timeline.records();
-  s.num_jobs = records.size();
   if (records.empty()) return s;
 
   SimTime first_submit = records.front().submitted;
@@ -70,6 +82,13 @@ MetricsSummary summarize(const JobTimeline& timeline) {
   SampleSet responses;
   OnlineStats waits;
   for (const auto& r : records) {
+    if (r.failed()) {
+      // Quarantined jobs never completed: they terminate the run but carry
+      // no response time.
+      ++s.failed_jobs;
+      continue;
+    }
+    ++s.num_jobs;
     first_submit = std::min(first_submit, r.submitted);
     last_complete = std::max(last_complete, r.completed);
     responses.add(r.response_time());
@@ -78,6 +97,7 @@ MetricsSummary summarize(const JobTimeline& timeline) {
                  "completed job never started: " << r.id);
     waits.add(*wait);
   }
+  if (s.num_jobs == 0) return s;
   s.tet = last_complete - first_submit;
   s.art = responses.mean();
   s.mean_waiting = waits.mean();
@@ -89,6 +109,7 @@ MetricsSummary summarize(const JobTimeline& timeline) {
 std::string MetricsSummary::to_string() const {
   std::string out;
   out += "jobs=" + std::to_string(num_jobs);
+  if (failed_jobs > 0) out += " failed=" + std::to_string(failed_jobs);
   out += " TET=" + format_double(tet, 1) + "s";
   out += " ART=" + format_double(art, 1) + "s";
   out += " wait=" + format_double(mean_waiting, 1) + "s";

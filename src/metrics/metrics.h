@@ -22,8 +22,15 @@ struct JobRecord {
   // batch); measures waiting time.
   SimTime first_started = kTimeNever;
   SimTime completed = kTimeNever;
+  // Set when the job failed permanently (poison quarantine) instead of
+  // completing; such a job is "done" for termination purposes but excluded
+  // from the response-time statistics.
+  SimTime failed_at = kTimeNever;
 
-  [[nodiscard]] bool done() const { return completed != kTimeNever; }
+  [[nodiscard]] bool failed() const { return failed_at != kTimeNever; }
+  [[nodiscard]] bool done() const {
+    return completed != kTimeNever || failed();
+  }
   [[nodiscard]] bool started() const { return first_started != kTimeNever; }
   [[nodiscard]] SimTime response_time() const { return completed - submitted; }
   // Empty until the job's first task starts (never kTimeNever - submitted
@@ -39,6 +46,7 @@ class JobTimeline {
   void on_submitted(JobId job, SimTime t);
   void on_first_started(JobId job, SimTime t);  // idempotent
   void on_completed(JobId job, SimTime t);
+  void on_failed(JobId job, SimTime t);
 
   [[nodiscard]] const JobRecord& record(JobId job) const;
   [[nodiscard]] std::vector<JobRecord> records() const;  // by submission time
@@ -50,7 +58,8 @@ class JobTimeline {
 };
 
 struct MetricsSummary {
-  std::size_t num_jobs = 0;
+  std::size_t num_jobs = 0;     // jobs that completed successfully
+  std::size_t failed_jobs = 0;  // quarantined/failed jobs (excluded above)
   double tet = 0.0;  // total execution time
   double art = 0.0;  // average response time
   double mean_waiting = 0.0;

@@ -26,6 +26,24 @@ const char* journal_event_name(JournalEventType type) {
       return "segment_recomputed";
     case JournalEventType::kSlowNodeExcluded:
       return "slow_node_excluded";
+    case JournalEventType::kNodeSuspected:
+      return "node_suspected";
+    case JournalEventType::kNodeDead:
+      return "node_dead";
+    case JournalEventType::kTaskAttemptFailed:
+      return "task_attempt_failed";
+    case JournalEventType::kTaskRetried:
+      return "task_retried";
+    case JournalEventType::kTaskHung:
+      return "task_hung";
+    case JournalEventType::kReplicaFailedOver:
+      return "replica_failed_over";
+    case JournalEventType::kBlockCorrupt:
+      return "block_corrupt";
+    case JournalEventType::kJobQuarantined:
+      return "job_quarantined";
+    case JournalEventType::kBatchRerun:
+      return "batch_rerun";
   }
   return "unknown";
 }

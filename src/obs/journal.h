@@ -27,6 +27,34 @@
 //                      segment from live slot availability — §IV-D-2.
 //   kSlowNodeExcluded  (S3Scheduler) periodic slot checking excluded an
 //                      estimated-slow node from the wave — §IV-D-1.
+//
+// Failure-domain vocabulary (DESIGN.md §12; every recovery decision the
+// system makes lands here so chaos runs are fully auditable):
+//   kNodeSuspected     (S3Scheduler) a node missed heartbeats past the
+//                      suspect timeout; it still holds its slots but the
+//                      scheduler is watching it.
+//   kNodeDead          (S3Scheduler) heartbeat silence crossed the dead
+//                      timeout, or the engine reported the node lost; its
+//                      slots leave the wave-size computation permanently.
+//   kTaskAttemptFailed (LocalEngine) one attempt of a task failed (injected
+//                      transient, hang, node death, poison member, or a real
+//                      read error); detail names the cause.
+//   kTaskRetried       (LocalEngine) a failed attempt will be re-run; detail
+//                      carries the exponential-backoff delay the watchdog
+//                      models before the next attempt.
+//   kTaskHung          (LocalEngine) the hung-task watchdog declared an
+//                      attempt stuck after the configured timeout and
+//                      abandoned it.
+//   kReplicaFailedOver (FailoverBlockSource) a read skipped a dead/corrupt
+//                      replica and was served by a surviving one.
+//   kBlockCorrupt      (BlockStore/FailoverBlockSource) a replica failed its
+//                      CRC32 checksum (or was marked corrupt by a fault
+//                      plan).
+//   kJobQuarantined    (LocalEngine/JobQueueManager) a poison member whose
+//                      map/reduce fn kept failing was retired with an error
+//                      status so its co-members can proceed.
+//   kBatchRerun        (LocalEngine) the shared scan re-ran for the
+//                      surviving members after a quarantine.
 #pragma once
 
 #include <atomic>
@@ -50,6 +78,15 @@ enum class JournalEventType {
   kBatchExecuted,
   kSegmentRecomputed,
   kSlowNodeExcluded,
+  kNodeSuspected,
+  kNodeDead,
+  kTaskAttemptFailed,
+  kTaskRetried,
+  kTaskHung,
+  kReplicaFailedOver,
+  kBlockCorrupt,
+  kJobQuarantined,
+  kBatchRerun,
 };
 
 // Stable snake_case name, used by the Chrome-trace exporter and s3trace.

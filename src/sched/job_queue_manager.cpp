@@ -219,6 +219,37 @@ std::vector<JobId> JobQueueManager::complete_batch() {
   return completed;
 }
 
+Status JobQueueManager::retire(JobId job) {
+  MutexLock lock(mu_);
+  const auto it = std::find_if(jobs_.begin(), jobs_.end(),
+                               [&](const QueuedJob& q) { return q.id == job; });
+  if (it == jobs_.end()) {
+    return Status::not_found("retire of a job not in this queue");
+  }
+  const std::uint64_t remaining = it->remaining;
+  jobs_.erase(it);
+  if (in_flight_.has_value()) {
+    auto& members = in_flight_->members;
+    members.erase(std::remove_if(members.begin(), members.end(),
+                                 [&](const Batch::Member& m) {
+                                   return m.job == job;
+                                 }),
+                  members.end());
+  }
+  S3_LOG(kWarn, "jqm") << "retire " << job << " with " << remaining
+                       << " blocks unscanned";
+  auto& journal = obs::EventJournal::instance();
+  if (journal.enabled()) {
+    auto event =
+        journal_base(obs::JournalEventType::kJobQuarantined, file_, cursor_);
+    event.job = job;
+    event.remaining = remaining;
+    event.detail = "observed_by=queue";
+    journal.record(std::move(event));
+  }
+  return Status::ok();
+}
+
 void JobQueueManager::corrupt_cursor_for_test(std::uint64_t cursor) {
   MutexLock lock(mu_);
   cursor_ = cursor;

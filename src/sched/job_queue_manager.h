@@ -29,6 +29,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/status.h"
 #include "common/thread_annotations.h"
 #include "common/types.h"
 #include "sched/scheduler.h"
@@ -76,6 +77,11 @@ class JobQueueManager {
   // Accounts the in-flight batch as finished; returns the jobs it completed
   // (already removed from the queue).
   std::vector<JobId> complete_batch() S3_EXCLUDES(mu_);
+
+  // Permanently removes a failed (quarantined) job from the queue — and from
+  // the in-flight batch's membership, so complete_batch() will not account
+  // the wave against it. kNotFound if the job is not queued here.
+  [[nodiscard]] Status retire(JobId job) S3_EXCLUDES(mu_);
 
   // Test-only: overwrites the scan cursor with an arbitrary (possibly
   // out-of-range) value so the death tests can prove the S3_DCHECK contracts

@@ -14,7 +14,8 @@ S3Scheduler::S3Scheduler(const FileCatalog& catalog, S3Options options,
       options_(options),
       topology_(topology),
       planner_(options.wave_sizing, options.blocks_per_segment),
-      heartbeats_(options.slow_node_threshold) {
+      heartbeats_(options.slow_node_threshold, options.suspect_timeout,
+                  options.dead_timeout) {
   S3_CHECK(options.blocks_per_segment > 0);
 }
 
@@ -42,15 +43,76 @@ void S3Scheduler::on_job_arrival(const JobArrival& job, SimTime /*now*/) {
 
 int S3Scheduler::effective_slots(const ClusterStatus& status) const {
   int excluded_slots = 0;
+  for (const NodeId node : heartbeats_.dead_nodes()) {
+    excluded_slots +=
+        topology_ != nullptr ? topology_->node(node).map_slots : 1;
+  }
   for (const NodeId node : heartbeats_.slow_nodes()) {
+    // A dead node cannot also be counted slow (it has no live report), but
+    // guard against double-subtraction anyway.
+    if (heartbeats_.health(node) == cluster::NodeHealth::kDead) continue;
     excluded_slots +=
         topology_ != nullptr ? topology_->node(node).map_slots : 1;
   }
   return std::max(1, status.total_map_slots - excluded_slots);
 }
 
-std::optional<Batch> S3Scheduler::next_batch(SimTime /*now*/,
+void S3Scheduler::sweep_heartbeats(SimTime now) {
+  const cluster::HealthTransitions transitions = heartbeats_.sweep(now);
+  if (transitions.suspected.empty() && transitions.died.empty()) return;
+  auto& journal = obs::EventJournal::instance();
+  for (const NodeId node : transitions.suspected) {
+    S3_LOG(kWarn, "s3") << "node " << node << " suspected (heartbeat silence)";
+    if (journal.enabled()) {
+      obs::JournalEvent event;
+      event.type = obs::JournalEventType::kNodeSuspected;
+      event.node = node;
+      event.sim_time = now;
+      event.detail = "cause=heartbeat_silence";
+      journal.record(std::move(event));
+    }
+  }
+  for (const NodeId node : transitions.died) {
+    S3_LOG(kWarn, "s3") << "node " << node << " dead (heartbeat timeout)";
+    if (journal.enabled()) {
+      obs::JournalEvent event;
+      event.type = obs::JournalEventType::kNodeDead;
+      event.node = node;
+      event.sim_time = now;
+      event.detail = "cause=heartbeat_timeout,observed_by=scheduler";
+      journal.record(std::move(event));
+    }
+  }
+}
+
+void S3Scheduler::on_node_dead(NodeId node, SimTime now) {
+  if (heartbeats_.health(node) == cluster::NodeHealth::kDead) return;
+  heartbeats_.mark_dead(node);
+  S3_LOG(kWarn, "s3") << "node " << node << " reported dead";
+  auto& journal = obs::EventJournal::instance();
+  if (journal.enabled()) {
+    obs::JournalEvent event;
+    event.type = obs::JournalEventType::kNodeDead;
+    event.node = node;
+    event.sim_time = now;
+    event.detail = "cause=reported,observed_by=scheduler";
+    journal.record(std::move(event));
+  }
+}
+
+void S3Scheduler::on_job_failed(JobId job, SimTime /*now*/) {
+  for (const auto& [file, jqm] : queues_) {
+    if (jqm->retire(job).is_ok()) return;
+  }
+  // Unknown job: already completed (or never admitted) — nothing to retire.
+}
+
+std::optional<Batch> S3Scheduler::next_batch(SimTime now,
                                              const ClusterStatus& status) {
+  // Heartbeat-timeout detection runs at every decision point, so a node
+  // that went silent mid-scan shrinks the very next wave (the cursor
+  // segment is re-split over the survivors' slots by next_wave below).
+  sweep_heartbeats(now);
   if (in_flight_file_.has_value()) return std::nullopt;
   if (file_rotation_.empty()) return std::nullopt;
   S3_TRACE_SPAN("sched", "next_batch");
@@ -93,6 +155,12 @@ std::optional<Batch> S3Scheduler::next_batch(SimTime /*now*/,
     Batch batch =
         jqm.form_batch(batch_ids_.next(), wave, options_.max_jobs_per_batch);
     batch.excluded_nodes = heartbeats_.slow_nodes();
+    for (const NodeId node : heartbeats_.dead_nodes()) {
+      if (std::find(batch.excluded_nodes.begin(), batch.excluded_nodes.end(),
+                    node) == batch.excluded_nodes.end()) {
+        batch.excluded_nodes.push_back(node);
+      }
+    }
     if (journal.enabled()) {
       // Slot checking (§IV-D-1): every node the wave will skip.
       for (const NodeId node : batch.excluded_nodes) {
@@ -143,6 +211,10 @@ std::size_t S3Scheduler::pending_jobs() const {
 
 std::vector<NodeId> S3Scheduler::currently_excluded() const {
   return heartbeats_.slow_nodes();
+}
+
+std::vector<NodeId> S3Scheduler::currently_dead() const {
+  return heartbeats_.dead_nodes();
 }
 
 }  // namespace s3::sched

@@ -37,6 +37,12 @@ struct S3Options {
   // A node is excluded when its estimated task duration exceeds this factor
   // times the cluster median (periodic slot checking).
   double slow_node_threshold = 1.5;
+  // Heartbeat lifecycle (failure model §12): silence past suspect_timeout
+  // marks a node suspect (watched, slots kept); past dead_timeout it is dead
+  // (slots leave the wave-size computation permanently). kTimeNever disables
+  // the respective transition.
+  SimTime suspect_timeout = kTimeNever;
+  SimTime dead_timeout = kTimeNever;
 };
 
 class S3Scheduler final : public Scheduler {
@@ -54,19 +60,31 @@ class S3Scheduler final : public Scheduler {
   void on_batch_complete(BatchId batch, SimTime now) override;
   void on_progress(const cluster::ProgressReport& report,
                    SimTime now) override;
+  // Out-of-band death report (from the engine's fault observation). The
+  // node's slots leave every future wave; the next next_batch() call
+  // recomputes m and re-splits the cursor segment over the survivors.
+  void on_node_dead(NodeId node, SimTime now) override;
+  // Poison quarantine: the job is retired from its queue (and from the
+  // in-flight batch membership) so co-members keep scanning.
+  void on_job_failed(JobId job, SimTime now) override;
   [[nodiscard]] std::size_t pending_jobs() const override;
 
   // Introspection (tests, ablations).
   [[nodiscard]] const S3Options& options() const { return options_; }
   [[nodiscard]] std::vector<NodeId> currently_excluded() const;
+  [[nodiscard]] std::vector<NodeId> currently_dead() const;
   [[nodiscard]] const JobQueueManager* queue_for(FileId file) const;
   [[nodiscard]] std::uint64_t batches_launched() const {
     return batch_ids_.issued();
   }
 
  private:
-  // Map slots usable for the next wave, after excluding slow nodes.
+  // Map slots usable for the next wave, after excluding slow and dead nodes.
   [[nodiscard]] int effective_slots(const ClusterStatus& status) const;
+
+  // Runs the heartbeat-timeout detector and journals every health
+  // transition it produced (healthy -> suspect -> dead).
+  void sweep_heartbeats(SimTime now);
 
   JobQueueManager& queue(FileId file);
 

@@ -99,6 +99,17 @@ class Scheduler {
   virtual void on_progress(const cluster::ProgressReport& /*report*/,
                            SimTime /*now*/) {}
 
+  // The driver (or engine) observed a node crash. Schedulers that size waves
+  // from cluster capacity must drop the node's slots permanently and re-split
+  // the remaining scan over the survivors. Default: ignored.
+  virtual void on_node_dead(NodeId /*node*/, SimTime /*now*/) {}
+
+  // A member job failed permanently (poison quarantine): the scheduler must
+  // forget it so its co-members' scan is not blocked waiting for it. The job
+  // may be mid-scan (part of the in-flight batch) or queued. Default: ignored
+  // (correct for schedulers that pop jobs at launch, like FIFO).
+  virtual void on_job_failed(JobId /*job*/, SimTime /*now*/) {}
+
   // Jobs admitted but not yet completed.
   [[nodiscard]] virtual std::size_t pending_jobs() const = 0;
 

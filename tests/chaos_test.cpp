@@ -1,0 +1,363 @@
+// Chaos harness: seeded fault plans (node deaths, corrupt replicas, task
+// hangs, transient errors, poison members) injected into the real engine
+// through the real scheduler stack. The differential oracle: every chaos run
+// must produce reduce output byte-identical to the fault-free run for every
+// surviving job, and every recovery decision must land in the event journal.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chaos/fault_plan.h"
+#include "core/real_driver.h"
+#include "dfs/block_source.h"
+#include "dfs/failover.h"
+#include "obs/journal.h"
+#include "sched/s3_scheduler.h"
+#include "workloads/aggregation.h"
+#include "workloads/suite.h"
+#include "workloads/text_corpus.h"
+#include "workloads/tpch.h"
+#include "workloads/wordcount.h"
+
+namespace s3 {
+namespace {
+
+constexpr std::uint64_t kNumBlocks = 8;
+constexpr int kReplication = 3;
+
+struct World {
+  dfs::DfsNamespace ns;
+  dfs::BlockStore store;
+  cluster::Topology topology = cluster::Topology::uniform(4, 2);
+  sched::FileCatalog catalog;
+  FileId text_file;
+  FileId lineitem_file;
+
+  World() {
+    dfs::PlacementTopology ptopo;
+    for (const auto& n : topology.nodes()) {
+      ptopo.nodes.push_back({n.id, n.rack});
+    }
+    dfs::RoundRobinPlacement placement(ptopo);
+    workloads::TextCorpusGenerator corpus;
+    text_file = corpus
+                    .generate_file(ns, store, placement, "text", kNumBlocks,
+                                   ByteSize::kib(8), kReplication)
+                    .value();
+    workloads::tpch::LineitemGenerator lineitem;
+    lineitem_file = lineitem
+                        .generate_file(ns, store, placement, "lineitem",
+                                       kNumBlocks, ByteSize::kib(8),
+                                       kReplication)
+                        .value();
+    catalog.add(text_file, kNumBlocks);
+    catalog.add(lineitem_file, kNumBlocks);
+  }
+
+  [[nodiscard]] std::vector<FileId> files() const {
+    return {text_file, lineitem_file};
+  }
+};
+
+std::vector<core::RealJob> make_jobs(const World& world) {
+  std::vector<core::RealJob> jobs;
+  jobs.push_back({workloads::make_wordcount_job(JobId(0), world.text_file, "t",
+                                                3, /*with_combiner=*/true),
+                  0.0, 0});
+  jobs.push_back({workloads::make_wordcount_job(JobId(1), world.text_file, "a",
+                                                2, /*with_combiner=*/false),
+                  0.5, 0});
+  jobs.push_back(
+      {workloads::tpch::make_selection_job(JobId(2), world.lineitem_file, 5, 2),
+       0.0, 0});
+  jobs.push_back(
+      {workloads::make_avg_price_job(JobId(3), world.lineitem_file, 2), 1.0,
+       0});
+  return jobs;
+}
+
+struct ChaosRun {
+  core::RealRunResult result;
+  std::uint64_t failovers = 0;
+  std::uint64_t hung_attempts = 0;
+  std::uint64_t failed_attempts = 0;
+  std::vector<NodeId> scheduler_dead;
+};
+
+// Runs `jobs` under an S3 scheduler (4-block segments) with the plan's
+// faults injected; nullptr plan = fault-free baseline.
+ChaosRun run_chaos(World& world, std::vector<core::RealJob> jobs,
+                   const chaos::FaultPlan* plan) {
+  dfs::ReplicaHealth health;
+  dfs::StoredBlocks stored(world.store);
+  dfs::FailoverBlockSource source(world.ns, stored, health);
+  engine::LocalEngineOptions opts;
+  opts.map_workers = 3;
+  opts.reduce_workers = 2;
+  opts.max_task_attempts = 3;
+  opts.replica_health = &health;
+  if (plan != nullptr) {
+    plan->arm(health);
+    opts.fault_injector = plan->injector();
+  }
+  engine::LocalEngine engine(world.ns, source, opts);
+  sched::S3Options s3_opts;
+  s3_opts.blocks_per_segment = 4;
+  sched::S3Scheduler scheduler(world.catalog, s3_opts, &world.topology);
+  core::RealDriver driver(world.ns, engine, world.catalog,
+                          {/*time_scale=*/1e5, /*map_slots=*/3});
+  auto run = driver.run(scheduler, std::move(jobs));
+  EXPECT_TRUE(run.is_ok()) << run.status();
+  ChaosRun out;
+  out.result = std::move(run).value();
+  out.failovers = source.failovers();
+  out.hung_attempts = engine.hung_attempts();
+  out.failed_attempts = engine.failed_attempts();
+  out.scheduler_dead = scheduler.currently_dead();
+  return out;
+}
+
+void expect_same_output(const engine::JobResult& got,
+                        const engine::JobResult& want) {
+  ASSERT_EQ(got.output.size(), want.output.size());
+  for (std::size_t i = 0; i < got.output.size(); ++i) {
+    ASSERT_EQ(got.output[i].key, want.output[i].key);
+    ASSERT_EQ(got.output[i].value, want.output[i].value);
+  }
+}
+
+std::size_t count_events(const std::vector<obs::JournalEvent>& events,
+                         obs::JournalEventType type) {
+  std::size_t n = 0;
+  for (const auto& e : events) {
+    if (e.type == type) ++n;
+  }
+  return n;
+}
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::EventJournal::instance().clear();
+    obs::EventJournal::instance().set_enabled(true);
+  }
+  void TearDown() override {
+    obs::EventJournal::instance().set_enabled(false);
+    obs::EventJournal::instance().clear();
+  }
+};
+
+// The acceptance matrix: >= 20 seeded fault plans mixing node death,
+// corrupt replicas, hangs and transients. Every run must terminate, complete
+// every job, and produce byte-identical output to the fault-free run.
+TEST_F(ChaosTest, SeededFaultMatrixIsByteIdenticalToFaultFreeRun) {
+  World baseline_world;
+  const auto baseline =
+      run_chaos(baseline_world, make_jobs(baseline_world), nullptr);
+  ASSERT_EQ(baseline.result.outputs.size(), 4u);
+  ASSERT_TRUE(baseline.result.failed.empty());
+
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    obs::EventJournal::instance().clear();
+    World world;
+    chaos::FaultPlanOptions fp;
+    fp.seed = seed;
+    fp.kill_node = seed % 2 == 0;
+    fp.corrupt_replicas = seed % 3;
+    fp.transient_rate = 0.35;
+    fp.hang_rate = 0.20;
+    const chaos::FaultPlan plan(world.ns, world.files(), world.topology, fp);
+    SCOPED_TRACE(plan.describe());
+
+    const auto chaos_run = run_chaos(world, make_jobs(world), &plan);
+    EXPECT_TRUE(chaos_run.result.failed.empty());
+    ASSERT_EQ(chaos_run.result.outputs.size(), baseline.result.outputs.size());
+    for (const auto& [job, want] : baseline.result.outputs) {
+      SCOPED_TRACE("job " + std::to_string(job.value()));
+      const auto it = chaos_run.result.outputs.find(job);
+      ASSERT_NE(it, chaos_run.result.outputs.end());
+      expect_same_output(it->second, want);
+    }
+
+    const auto events = obs::EventJournal::instance().snapshot();
+    if (fp.kill_node && plan.victim().valid()) {
+      ASSERT_EQ(chaos_run.result.nodes_died.size(), 1u);
+      EXPECT_EQ(chaos_run.result.nodes_died.front(), plan.victim());
+      EXPECT_EQ(chaos_run.scheduler_dead,
+                std::vector<NodeId>{plan.victim()});
+      EXPECT_GE(count_events(events, obs::JournalEventType::kNodeDead), 1u);
+    } else {
+      EXPECT_TRUE(chaos_run.result.nodes_died.empty());
+    }
+    if (!plan.corruptions().empty()) {
+      EXPECT_GT(chaos_run.failovers, 0u);
+      EXPECT_GE(count_events(events, obs::JournalEventType::kBlockCorrupt),
+                1u);
+    }
+    // Transients at 35% across dozens of attempts: every failed attempt must
+    // have been journaled, and every retry decision too.
+    EXPECT_EQ(count_events(events, obs::JournalEventType::kTaskAttemptFailed),
+              chaos_run.failed_attempts);
+    if (chaos_run.failed_attempts > 0) {
+      EXPECT_GE(count_events(events, obs::JournalEventType::kTaskRetried),
+                1u);
+    }
+    EXPECT_EQ(count_events(events, obs::JournalEventType::kTaskHung),
+              chaos_run.hung_attempts);
+  }
+}
+
+// Poison member in a 3-member merged batch: the poisoned job is retired with
+// an error status, the survivors' shared scan re-runs, and their outputs
+// stay byte-identical. The shared scan must never fail the co-members.
+TEST_F(ChaosTest, PoisonMapMemberIsQuarantinedWithoutFailingCoMembers) {
+  const auto make_trio = [](const World& world) {
+    std::vector<core::RealJob> jobs;
+    jobs.push_back({workloads::make_wordcount_job(JobId(0), world.text_file,
+                                                  "t", 2, true),
+                    0.0, 0});
+    jobs.push_back({workloads::make_wordcount_job(JobId(1), world.text_file,
+                                                  "a", 2, false),
+                    0.0, 0});
+    jobs.push_back({workloads::make_wordcount_job(JobId(2), world.text_file,
+                                                  "s", 2, true),
+                    0.0, 0});
+    return jobs;
+  };
+  World baseline_world;
+  const auto baseline =
+      run_chaos(baseline_world, make_trio(baseline_world), nullptr);
+  ASSERT_EQ(baseline.result.outputs.size(), 3u);
+
+  for (const bool in_reduce : {false, true}) {
+    SCOPED_TRACE(in_reduce ? "poison in reduce" : "poison in map");
+    obs::EventJournal::instance().clear();
+    World world;
+    chaos::FaultPlanOptions fp;
+    fp.seed = 7;
+    fp.poison_job = JobId(1);
+    fp.poison_in_reduce = in_reduce;
+    const chaos::FaultPlan plan(world.ns, world.files(), world.topology, fp);
+
+    const auto chaos_run = run_chaos(world, make_trio(world), &plan);
+    ASSERT_EQ(chaos_run.result.failed.size(), 1u);
+    const auto failed = chaos_run.result.failed.find(JobId(1));
+    ASSERT_NE(failed, chaos_run.result.failed.end());
+    EXPECT_EQ(failed->second.code(), StatusCode::kInternal);
+    EXPECT_NE(failed->second.message().find("poison"), std::string::npos);
+
+    // The co-members must be unharmed and byte-identical.
+    ASSERT_EQ(chaos_run.result.outputs.size(), 2u);
+    for (const JobId survivor : {JobId(0), JobId(2)}) {
+      SCOPED_TRACE("job " + std::to_string(survivor.value()));
+      const auto it = chaos_run.result.outputs.find(survivor);
+      ASSERT_NE(it, chaos_run.result.outputs.end());
+      expect_same_output(it->second, baseline.result.outputs.at(survivor));
+    }
+    EXPECT_EQ(chaos_run.result.summary.failed_jobs, 1u);
+    EXPECT_EQ(chaos_run.result.summary.num_jobs, 2u);
+
+    const auto events = obs::EventJournal::instance().snapshot();
+    EXPECT_GE(count_events(events, obs::JournalEventType::kJobQuarantined),
+              1u);
+    EXPECT_GE(count_events(events, obs::JournalEventType::kBatchRerun), 1u);
+  }
+}
+
+// Fault decisions must be a pure function of the seed and the attempt's
+// stable identity, never of call order.
+TEST_F(ChaosTest, FaultPlanDecisionsAreDeterministic) {
+  World world;
+  chaos::FaultPlanOptions fp;
+  fp.seed = 42;
+  fp.kill_node = true;
+  fp.corrupt_replicas = 2;
+  fp.transient_rate = 0.5;
+  fp.hang_rate = 0.25;
+  const chaos::FaultPlan a(world.ns, world.files(), world.topology, fp);
+  const chaos::FaultPlan b(world.ns, world.files(), world.topology, fp);
+  EXPECT_EQ(a.describe(), b.describe());
+  EXPECT_EQ(a.victim(), b.victim());
+  EXPECT_EQ(a.death_trigger(), b.death_trigger());
+  ASSERT_EQ(a.corruptions().size(), b.corruptions().size());
+
+  const auto& blocks = world.ns.file(world.text_file).blocks;
+  for (int attempt = 1; attempt <= 3; ++attempt) {
+    for (const BlockId block : blocks) {
+      engine::TaskAttempt ident;
+      ident.task = TaskId(0);
+      ident.attempt = attempt;
+      ident.is_map = true;
+      ident.block = block;
+      const auto fa = a.decide(ident);
+      const auto fb = b.decide(ident);
+      EXPECT_EQ(static_cast<int>(fa.kind), static_cast<int>(fb.kind));
+      EXPECT_EQ(fa.dead_node, fb.dead_node);
+    }
+  }
+}
+
+// Every first attempt hangs: the watchdog must abandon and retry each one
+// (journaled, never slept) and the run still completes every job.
+TEST_F(ChaosTest, HungTasksAreAbandonedAndRetried) {
+  World world;
+  chaos::FaultPlanOptions fp;
+  fp.seed = 3;
+  fp.hang_rate = 1.0;
+  const chaos::FaultPlan plan(world.ns, world.files(), world.topology, fp);
+  const auto chaos_run = run_chaos(world, make_jobs(world), &plan);
+  EXPECT_TRUE(chaos_run.result.failed.empty());
+  EXPECT_EQ(chaos_run.result.outputs.size(), 4u);
+  EXPECT_GT(chaos_run.hung_attempts, 0u);
+  const auto events = obs::EventJournal::instance().snapshot();
+  EXPECT_EQ(count_events(events, obs::JournalEventType::kTaskHung),
+            chaos_run.hung_attempts);
+  EXPECT_EQ(count_events(events, obs::JournalEventType::kTaskRetried),
+            chaos_run.hung_attempts);
+  // The backoff the watchdog models must be recorded with each retry.
+  for (const auto& e : events) {
+    if (e.type == obs::JournalEventType::kTaskRetried) {
+      EXPECT_NE(e.detail.find("backoff_s="), std::string::npos);
+    }
+  }
+}
+
+// A plan is constructed safe: the victim never strands a block without
+// replicas, and corruptions always leave a usable copy.
+TEST_F(ChaosTest, FaultPlansNeverPlanDataLoss) {
+  World world;
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    chaos::FaultPlanOptions fp;
+    fp.seed = seed;
+    fp.kill_node = true;
+    fp.corrupt_replicas = 4;
+    const chaos::FaultPlan plan(world.ns, world.files(), world.topology, fp);
+    ASSERT_TRUE(plan.victim().valid());
+    std::map<BlockId, NodeId> corrupt;
+    for (const auto& [block, node] : plan.corruptions()) {
+      EXPECT_EQ(corrupt.count(block), 0u) << "double corruption";
+      corrupt[block] = node;
+    }
+    for (const FileId file : world.files()) {
+      for (const BlockId block : world.ns.file(file).blocks) {
+        const auto& replicas = world.ns.block(block).replicas;
+        std::size_t usable = 0;
+        for (const NodeId replica : replicas) {
+          if (replica == plan.victim()) continue;
+          const auto it = corrupt.find(block);
+          if (it != corrupt.end() && it->second == replica) continue;
+          ++usable;
+        }
+        EXPECT_GE(usable, 1u) << "block " << block << " stranded";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace s3

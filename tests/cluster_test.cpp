@@ -159,5 +159,129 @@ TEST(HeartbeatTest, RecoveryAfterNewReport) {
   EXPECT_TRUE(tracker.slow_nodes().empty());
 }
 
+// ---------------------------------------------------------------------------
+// Heartbeat-timeout lifecycle (failure model): healthy -> suspect -> dead.
+
+TEST(HeartbeatLifecycleTest, SilenceEscalatesSuspectThenDead) {
+  HeartbeatTracker tracker(1.5, /*suspect_timeout=*/5.0, /*dead_timeout=*/10.0);
+  tracker.report(report(NodeId(0), 0.0, 0.1, 0.0));
+  tracker.report(report(NodeId(1), 0.0, 0.1, 0.0));
+
+  // Node 0 keeps reporting; node 1 goes silent.
+  tracker.report(report(NodeId(0), 0.0, 0.5, 4.0));
+  auto t = tracker.sweep(6.0);
+  EXPECT_TRUE(t.died.empty());
+  ASSERT_EQ(t.suspected.size(), 1u);
+  EXPECT_EQ(t.suspected.front(), NodeId(1));
+  EXPECT_EQ(tracker.health(NodeId(0)), NodeHealth::kHealthy);
+  EXPECT_EQ(tracker.health(NodeId(1)), NodeHealth::kSuspect);
+
+  // A suspect sweep is reported once, not every call.
+  t = tracker.sweep(7.0);
+  EXPECT_TRUE(t.suspected.empty());
+
+  // Past the dead timeout the node dies — permanently.
+  t = tracker.sweep(11.0);
+  ASSERT_EQ(t.died.size(), 1u);
+  EXPECT_EQ(t.died.front(), NodeId(1));
+  EXPECT_EQ(tracker.health(NodeId(1)), NodeHealth::kDead);
+  EXPECT_EQ(tracker.dead_nodes(), std::vector<NodeId>{NodeId(1)});
+
+  // Late heartbeats from a dead node are ignored, and a dead node is never
+  // re-reported by later sweeps (node 0, silent since t=4, dies instead).
+  tracker.report(report(NodeId(1), 0.0, 1.0, 12.0));
+  EXPECT_EQ(tracker.health(NodeId(1)), NodeHealth::kDead);
+  const auto late = tracker.sweep(20.0);
+  EXPECT_EQ(late.died, std::vector<NodeId>{NodeId(0)});
+}
+
+TEST(HeartbeatLifecycleTest, FreshReportClearsSuspicion) {
+  HeartbeatTracker tracker(1.5, 5.0, 50.0);
+  tracker.report(report(NodeId(3), 0.0, 0.2, 0.0));
+  const auto t = tracker.sweep(6.0);
+  ASSERT_EQ(t.suspected.size(), 1u);
+  tracker.report(report(NodeId(3), 0.0, 0.4, 7.0));
+  EXPECT_EQ(tracker.health(NodeId(3)), NodeHealth::kHealthy);
+  // Going silent again re-raises suspicion (a new transition).
+  const auto again = tracker.sweep(13.0);
+  ASSERT_EQ(again.suspected.size(), 1u);
+  EXPECT_EQ(again.suspected.front(), NodeId(3));
+}
+
+TEST(HeartbeatLifecycleTest, MarkDeadIsIdempotentAndNotReSwept) {
+  HeartbeatTracker tracker(1.5, 5.0, 10.0);
+  tracker.report(report(NodeId(2), 0.0, 0.5, 0.0));
+  tracker.mark_dead(NodeId(2));
+  tracker.mark_dead(NodeId(2));
+  EXPECT_EQ(tracker.dead_nodes().size(), 1u);
+  EXPECT_EQ(tracker.num_reporting(), 0u);
+  // Out-of-band death is not re-reported by the sweep.
+  const auto t = tracker.sweep(100.0);
+  EXPECT_TRUE(t.died.empty());
+}
+
+TEST(HeartbeatLifecycleTest, DefaultTimeoutsNeverFire) {
+  HeartbeatTracker tracker;  // kTimeNever on both transitions
+  tracker.report(report(NodeId(0), 0.0, 0.5, 0.0));
+  const auto t = tracker.sweep(1e12);
+  EXPECT_TRUE(t.suspected.empty());
+  EXPECT_TRUE(t.died.empty());
+}
+
+// ---------------------------------------------------------------------------
+// SlotLedger edge cases (failure model satellites).
+
+TEST(SlotLedgerEdgeTest, ReleaseWithoutAcquireFails) {
+  const Topology t = Topology::uniform(2, 1);
+  SlotLedger ledger(t);
+  const Status s = ledger.release(NodeId(0), SlotKind::kMap);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ledger.free_slots(NodeId(0), SlotKind::kMap), 1);
+}
+
+TEST(SlotLedgerEdgeTest, ExcludedNodeKeepsHeldSlotsUntilRelease) {
+  const Topology t = Topology::uniform(2, 1, /*map_slots=*/2);
+  SlotLedger ledger(t);
+  ASSERT_TRUE(ledger.acquire(NodeId(0), SlotKind::kMap).is_ok());
+  ledger.set_excluded(NodeId(0), true);
+  // Excluded: invisible to the next wave...
+  EXPECT_EQ(ledger.available_map_slots(), 2);
+  EXPECT_EQ(ledger.available_nodes(SlotKind::kMap),
+            std::vector<NodeId>{NodeId(1)});
+  // ...but the running task still finishes and releases its slot.
+  EXPECT_TRUE(ledger.release(NodeId(0), SlotKind::kMap).is_ok());
+  ledger.set_excluded(NodeId(0), false);
+  EXPECT_EQ(ledger.available_map_slots(), 4);
+}
+
+TEST(SlotLedgerEdgeTest, AvailableMapSlotsFloorsAtZero) {
+  const Topology t = Topology::uniform(3, 1);
+  SlotLedger ledger(t);
+  for (std::uint64_t n = 0; n < 3; ++n) {
+    ledger.set_excluded(NodeId(n), true);
+  }
+  EXPECT_EQ(ledger.available_map_slots(), 0);
+  EXPECT_TRUE(ledger.available_nodes(SlotKind::kMap).empty());
+}
+
+TEST(SlotLedgerEdgeTest, RemovedNodeForfeitsSlotsForever) {
+  const Topology t = Topology::uniform(2, 1, /*map_slots=*/2);
+  SlotLedger ledger(t);
+  ASSERT_TRUE(ledger.acquire(NodeId(0), SlotKind::kMap).is_ok());
+  ASSERT_TRUE(ledger.remove_node(NodeId(0)).is_ok());
+  EXPECT_TRUE(ledger.is_removed(NodeId(0)));
+  // The in-flight slot is forfeit, not released; new acquires fail too.
+  EXPECT_EQ(ledger.release(NodeId(0), SlotKind::kMap).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ledger.acquire(NodeId(0), SlotKind::kMap).code(),
+            StatusCode::kFailedPrecondition);
+  // Capacity leaves every total for good; removal is one-shot.
+  EXPECT_EQ(ledger.available_map_slots(), 2);
+  EXPECT_EQ(ledger.total_free(SlotKind::kMap), 2);
+  EXPECT_EQ(ledger.remove_node(NodeId(0)).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ledger.remove_node(NodeId(9)).code(), StatusCode::kNotFound);
+}
+
 }  // namespace
 }  // namespace s3::cluster

@@ -105,6 +105,33 @@ TEST(BlockStoreTest, MissingBlock) {
   EXPECT_FALSE(store.contains(BlockId(5)));
 }
 
+TEST(BlockStoreTest, CorruptPayloadSurfacesAsDataLossNamingTheBlock) {
+  BlockStore store;
+  ASSERT_TRUE(store.put(BlockId(7), "precious bytes").is_ok());
+  const std::uint32_t recorded = store.checksum(BlockId(7)).value();
+  ASSERT_TRUE(store.corrupt_payload_for_test(BlockId(7)).is_ok());
+
+  const auto got = store.get(BlockId(7));
+  ASSERT_FALSE(got.is_ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDataLoss);
+  // The loss must be attributable (s3lint status-dataloss): the message
+  // names the block that failed verification.
+  EXPECT_NE(got.status().message().find("block-7"), std::string::npos)
+      << got.status().message();
+  // The recorded write-time checksum is what the payload no longer matches.
+  EXPECT_EQ(store.checksum(BlockId(7)).value(), recorded);
+}
+
+TEST(BlockStoreTest, ChecksumErrorsOnUnknownAndEmptyCorruption) {
+  BlockStore store;
+  EXPECT_EQ(store.checksum(BlockId(1)).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.corrupt_payload_for_test(BlockId(1)).code(),
+            StatusCode::kNotFound);
+  ASSERT_TRUE(store.put(BlockId(2), "").is_ok());
+  EXPECT_EQ(store.corrupt_payload_for_test(BlockId(2)).code(),
+            StatusCode::kFailedPrecondition);
+}
+
 PlacementTopology small_topology() {
   PlacementTopology topo;
   for (std::uint64_t n = 0; n < 6; ++n) {

@@ -146,6 +146,59 @@ TEST(JqmTest, SkippedJobRejoinsAfterWrap) {
   EXPECT_EQ(blocks_seen[1], 8u);
 }
 
+// ----- Quarantine: retiring a poison member mid-flight. -----
+
+TEST(JqmTest, RetireRemovesJobFromQueueAndInFlightBatch) {
+  JobQueueManager jqm(FileId(0), 8);
+  jqm.admit(JobId(0));
+  jqm.admit(JobId(1));
+  jqm.admit(JobId(2));
+  const Batch b = jqm.form_batch(BatchId(0), 4);
+  ASSERT_EQ(b.members.size(), 3u);
+
+  // The engine quarantined job 1 while the batch runs: retire it so
+  // complete_batch neither accounts nor completes it.
+  ASSERT_TRUE(jqm.retire(JobId(1)).is_ok());
+  const auto done = jqm.complete_batch();
+  EXPECT_TRUE(done.empty());
+  EXPECT_EQ(jqm.remaining(JobId(0)), 4u);
+  EXPECT_EQ(jqm.remaining(JobId(2)), 4u);
+
+  // The survivors finish their cycle; the retired job never resurfaces.
+  std::uint64_t batches = 1;
+  std::map<std::uint64_t, std::uint64_t> consumed;
+  while (!jqm.empty()) {
+    ASSERT_LT(batches, 10u);
+    const Batch next = jqm.form_batch(BatchId(batches++), 4);
+    for (const auto& m : next.members) {
+      EXPECT_NE(m.job, JobId(1));
+      consumed[m.job.value()] += m.blocks;
+    }
+    jqm.complete_batch();
+  }
+  EXPECT_EQ(consumed[0], 4u);
+  EXPECT_EQ(consumed[2], 4u);
+}
+
+TEST(JqmTest, RetireUnknownJobIsNotFound) {
+  JobQueueManager jqm(FileId(0), 8);
+  jqm.admit(JobId(0));
+  EXPECT_EQ(jqm.retire(JobId(9)).code(), StatusCode::kNotFound);
+  // Retiring twice: the second call no longer finds the job.
+  ASSERT_TRUE(jqm.retire(JobId(0)).is_ok());
+  EXPECT_EQ(jqm.retire(JobId(0)).code(), StatusCode::kNotFound);
+  EXPECT_TRUE(jqm.empty());
+}
+
+TEST(JqmTest, RetireSoleMemberEmptiesTheQueue) {
+  JobQueueManager jqm(FileId(0), 6);
+  jqm.admit(JobId(4));
+  (void)jqm.form_batch(BatchId(0), 3);
+  ASSERT_TRUE(jqm.retire(JobId(4)).is_ok());
+  EXPECT_TRUE(jqm.complete_batch().empty());
+  EXPECT_TRUE(jqm.empty());
+}
+
 // ----- Property sweep: coverage invariant under many configurations. -----
 
 struct JqmPropertyParam {

@@ -326,6 +326,173 @@ TEST_F(LocalEngineTest, ThrowingMapperSurfacesAsInternalError) {
                   .is_ok());
 }
 
+// ---------------------------------------------------------------------------
+// Failure domains (DESIGN.md §12): options validation, node-death
+// re-dispatch, the hung-task watchdog, and poison-member quarantine, all
+// through the engine's own run_batch API (the chaos suite covers the same
+// paths end-to-end through the driver).
+
+class LocalEngineFailureTest : public LocalEngineTest {
+ protected:
+  // A second file with real replica placement, so node death has somewhere
+  // to fail over to.
+  FileId replicated_file(int replication) {
+    dfs::PlacementTopology topo;
+    for (std::uint64_t n = 0; n < 4; ++n) {
+      topo.nodes.push_back({NodeId(n), RackId(0)});
+    }
+    dfs::RoundRobinPlacement placement(topo);
+    workloads::TextCorpusGenerator corpus;
+    auto file = corpus.generate_file(ns_, store_, placement, "replicated", 8,
+                                     ByteSize::kib(8), replication);
+    EXPECT_TRUE(file.is_ok());
+    return file.value();
+  }
+
+  std::vector<BlockId> file_blocks(FileId f) const {
+    return ns_.file(f).blocks;
+  }
+};
+
+TEST_F(LocalEngineFailureTest, RunBatchRejectsInvalidOptions) {
+  const JobSpec spec = workloads::make_wordcount_job(JobId(0), file_, "a", 2);
+
+  LocalEngineOptions no_attempts = workers(2, 1);
+  no_attempts.max_task_attempts = 0;
+  LocalEngine a(ns_, store_, no_attempts);
+  ASSERT_TRUE(a.register_job(spec).is_ok());
+  EXPECT_EQ(a.run_batch({BatchId(0), blocks(0, 8), {JobId(0)}})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  // Zero workers must surface as invalid_argument from run_batch, not crash
+  // the constructor.
+  LocalEngine no_mappers(ns_, store_, workers(0, 1));
+  ASSERT_TRUE(no_mappers.register_job(spec).is_ok());
+  EXPECT_EQ(no_mappers.run_batch({BatchId(0), blocks(0, 8), {JobId(0)}})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  LocalEngine no_reducers(ns_, store_, workers(2, 0));
+  ASSERT_TRUE(no_reducers.register_job(spec).is_ok());
+  EXPECT_EQ(no_reducers.run_batch({BatchId(0), blocks(0, 8), {JobId(0)}})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(LocalEngineFailureTest, NodeDeathReDispatchesOnAReplica) {
+  const FileId file = replicated_file(/*replication=*/3);
+  const std::vector<BlockId> all = file_blocks(file);
+  const BlockId trigger = all.front();
+  const NodeId victim = ns_.block(trigger).replicas.front();
+
+  dfs::ReplicaHealth health;
+  dfs::StoredBlocks stored(store_);
+  dfs::FailoverBlockSource source(ns_, stored, health);
+
+  LocalEngineOptions opts = workers(3, 2);
+  opts.replica_health = &health;
+  opts.fault_injector = [trigger](const TaskAttempt& attempt) {
+    Fault f;
+    if (attempt.is_map && attempt.block == trigger && attempt.attempt == 1) {
+      f.kind = FaultKind::kNodeDeath;  // dead_node defaults to attempt.node
+      f.detail = "injected crash";
+    }
+    return f;
+  };
+  LocalEngine engine(ns_, source, opts);
+  ASSERT_TRUE(engine
+                  .register_job(
+                      workloads::make_wordcount_job(JobId(0), file, "a", 2))
+                  .is_ok());
+
+  auto outcome = engine.run_batch({BatchId(0), all, {JobId(0)}});
+  ASSERT_TRUE(outcome.is_ok()) << outcome.status().message();
+  ASSERT_EQ(outcome.value().nodes_died.size(), 1u);
+  EXPECT_EQ(outcome.value().nodes_died.front(), victim);
+  EXPECT_TRUE(outcome.value().quarantined.empty());
+  EXPECT_TRUE(engine.node_is_dead(victim));
+  EXPECT_TRUE(health.is_node_dead(victim));
+
+  // The re-dispatched scan still produces the right answer.
+  LocalEngine clean(ns_, source, workers(3, 2));
+  ASSERT_TRUE(clean
+                  .register_job(
+                      workloads::make_wordcount_job(JobId(0), file, "a", 2))
+                  .is_ok());
+  ASSERT_TRUE(clean.execute_batch({BatchId(0), all, {JobId(0)}}).is_ok());
+  EXPECT_EQ(to_map(engine.finalize_job(JobId(0)).value()),
+            to_map(clean.finalize_job(JobId(0)).value()));
+}
+
+TEST_F(LocalEngineFailureTest, HungMapAttemptsAreAbandonedAndRetried) {
+  LocalEngineOptions opts = workers(2, 1);
+  opts.fault_injector = [](const TaskAttempt& attempt) {
+    Fault f;
+    if (attempt.is_map && attempt.attempt == 1) {
+      f.kind = FaultKind::kHang;
+      f.detail = "wedged container";
+    }
+    return f;
+  };
+  LocalEngine engine(ns_, store_, opts);
+  ASSERT_TRUE(engine
+                  .register_job(
+                      workloads::make_wordcount_job(JobId(0), file_, "a", 2))
+                  .is_ok());
+  auto outcome = engine.run_batch({BatchId(0), blocks(0, 8), {JobId(0)}});
+  ASSERT_TRUE(outcome.is_ok()) << outcome.status().message();
+  EXPECT_EQ(engine.hung_attempts(), 8u);  // one per map task, all recovered
+
+  auto result = engine.finalize_job(JobId(0));
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(to_map(result.value()).size(), reference_counts("a").size());
+}
+
+TEST_F(LocalEngineFailureTest, PoisonMemberIsQuarantinedAndSurvivorsCommit) {
+  LocalEngineOptions opts = workers(3, 2);
+  opts.max_task_attempts = 2;
+  opts.fault_injector = [](const TaskAttempt& attempt) {
+    Fault f;
+    if (attempt.is_map) {
+      f.kind = FaultKind::kPoison;  // fires every attempt: retries exhaust
+      f.poison_job = JobId(1);
+      f.detail = "bad member map fn";
+    }
+    return f;
+  };
+  LocalEngine engine(ns_, store_, opts);
+  for (std::uint64_t j = 0; j < 3; ++j) {
+    ASSERT_TRUE(engine
+                    .register_job(workloads::make_wordcount_job(
+                        JobId(j), file_,
+                        std::string(1, static_cast<char>('a' + j)), 2))
+                    .is_ok());
+  }
+
+  auto outcome = engine.run_batch(
+      {BatchId(0), blocks(0, 8), {JobId(0), JobId(1), JobId(2)}});
+  ASSERT_TRUE(outcome.is_ok()) << outcome.status().message();
+  ASSERT_EQ(outcome.value().quarantined.size(), 1u);
+  EXPECT_EQ(outcome.value().quarantined.front().job, JobId(1));
+  EXPECT_FALSE(outcome.value().quarantined.front().reason.is_ok());
+  EXPECT_GE(outcome.value().reruns, 1);
+
+  // The quarantined member's state is released; the survivors finish with
+  // exactly the answers a fault-free run produces.
+  EXPECT_FALSE(engine.finalize_job(JobId(1)).is_ok());
+  for (const std::uint64_t j : {0u, 2u}) {
+    auto result = engine.finalize_job(JobId(j));
+    ASSERT_TRUE(result.is_ok());
+    const auto want =
+        reference_counts(std::string(1, static_cast<char>('a' + j)));
+    EXPECT_EQ(to_map(result.value()).size(), want.size());
+  }
+}
+
 TEST_F(LocalEngineTest, JobWithNoMatchesProducesEmptyOutput) {
   LocalEngine engine(ns_, store_, workers(2, 1));
   ASSERT_TRUE(engine

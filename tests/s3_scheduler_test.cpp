@@ -2,7 +2,10 @@
 // checking, dynamic wave sizing, and multi-file rotation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "cluster/topology.h"
+#include "obs/journal.h"
 #include "sched/s3_scheduler.h"
 
 namespace s3::sched {
@@ -208,6 +211,108 @@ TEST(S3SchedulerTest, QueueIntrospection) {
   ASSERT_NE(jqm, nullptr);
   EXPECT_EQ(jqm->queued_jobs(), 1u);
   EXPECT_EQ(jqm->file_blocks(), 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Failure domains: node death and job quarantine feedback into scheduling.
+
+TEST(S3SchedulerFailureTest, ReportedNodeDeathShrinksTheNextWave) {
+  const auto catalog = catalog_with(100);
+  const auto topology = cluster::Topology::uniform(10, 2);
+  S3Options options;
+  options.wave_sizing = WaveSizing::kDynamicSlots;
+  options.blocks_per_segment = 64;
+  S3Scheduler s3(catalog, options, &topology);
+  s3.on_job_arrival({JobId(0), FileId(0), 0}, 0.0);
+
+  s3.on_node_dead(NodeId(3), 1.0);
+  s3.on_node_dead(NodeId(3), 1.5);  // idempotent
+  EXPECT_EQ(s3.currently_dead(), std::vector<NodeId>{NodeId(3)});
+
+  // The wave is re-split over the 9 survivors and the dead node is excluded
+  // from the batch permanently.
+  auto batch = s3.next_batch(2.0, ClusterStatus{10, 10});
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->num_blocks, 57u);  // 64 * 9/10 usable slots
+  ASSERT_EQ(batch->excluded_nodes.size(), 1u);
+  EXPECT_EQ(batch->excluded_nodes[0], NodeId(3));
+}
+
+TEST(S3SchedulerFailureTest, HeartbeatTimeoutEscalatesAndJournals) {
+  obs::EventJournal::instance().clear();
+  obs::EventJournal::instance().set_enabled(true);
+  const auto catalog = catalog_with(8);
+  S3Options options = fixed_options(4);
+  options.suspect_timeout = 5.0;
+  options.dead_timeout = 10.0;
+  S3Scheduler s3(catalog, options);
+  s3.on_job_arrival({JobId(0), FileId(0), 0}, 0.0);
+
+  cluster::ProgressReport report;
+  report.node = NodeId(2);
+  report.task_start = 0.0;
+  report.report_time = 0.0;
+  report.progress = 0.1;
+  s3.on_progress(report, 0.0);
+
+  // 6 s of silence: suspect (wave unaffected — suspect keeps its slots).
+  auto batch = s3.next_batch(6.0, kStatus);
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_TRUE(s3.currently_dead().empty());
+
+  // 12 s: the sweep runs even while a batch is in flight; node 2 dies.
+  EXPECT_FALSE(s3.next_batch(12.0, kStatus).has_value());
+  EXPECT_EQ(s3.currently_dead(), std::vector<NodeId>{NodeId(2)});
+
+  // The dead node is excluded from every future wave.
+  s3.on_batch_complete(batch->id, 13.0);
+  batch = s3.next_batch(13.0, kStatus);
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_NE(std::find(batch->excluded_nodes.begin(),
+                      batch->excluded_nodes.end(), NodeId(2)),
+            batch->excluded_nodes.end());
+
+  const auto events = obs::EventJournal::instance().snapshot();
+  bool suspected = false;
+  bool died = false;
+  for (const auto& e : events) {
+    if (e.type == obs::JournalEventType::kNodeSuspected &&
+        e.node == NodeId(2)) {
+      suspected = true;
+    }
+    if (e.type == obs::JournalEventType::kNodeDead && e.node == NodeId(2)) {
+      died = true;
+      EXPECT_NE(e.detail.find("heartbeat_timeout"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(suspected);
+  EXPECT_TRUE(died);
+  obs::EventJournal::instance().set_enabled(false);
+  obs::EventJournal::instance().clear();
+}
+
+TEST(S3SchedulerFailureTest, FailedJobIsRetiredAndCoMembersContinue) {
+  const auto catalog = catalog_with(8);
+  S3Scheduler s3(catalog, fixed_options(4));
+  s3.on_job_arrival({JobId(0), FileId(0), 0}, 0.0);
+  s3.on_job_arrival({JobId(1), FileId(0), 0}, 0.0);
+
+  auto b0 = s3.next_batch(0.0, kStatus);
+  ASSERT_TRUE(b0.has_value());
+  ASSERT_EQ(b0->members.size(), 2u);
+
+  // The engine quarantined job 1 mid-batch; an unknown job is a no-op.
+  s3.on_job_failed(JobId(1), 1.0);
+  s3.on_job_failed(JobId(42), 1.0);
+  s3.on_batch_complete(b0->id, 2.0);
+
+  auto b1 = s3.next_batch(2.0, kStatus);
+  ASSERT_TRUE(b1.has_value());
+  ASSERT_EQ(b1->members.size(), 1u);
+  EXPECT_EQ(b1->members[0].job, JobId(0));
+  EXPECT_TRUE(b1->members[0].completes);
+  s3.on_batch_complete(b1->id, 3.0);
+  EXPECT_EQ(s3.pending_jobs(), 0u);
 }
 
 }  // namespace

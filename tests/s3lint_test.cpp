@@ -194,6 +194,24 @@ TEST(S3LintRules, StatusDeclWithoutNodiscardFlagged) {
   EXPECT_EQ(flagged, 1);
 }
 
+TEST(S3LintRules, GuardedStatusMemberIsNotAFunctionDecl) {
+  // `Status s S3_GUARDED_BY(mu);` is a member declaration with an annotation
+  // macro, not a function named S3_GUARDED_BY returning Status.
+  DeclIndex index;
+  index.index_file("src/foo/state.h",
+                   tokenize("#pragma once\n"
+                            "struct WaveCtx {\n"
+                            "  Status poison_status S3_GUARDED_BY(mu);\n"
+                            "};\n"));
+  const auto vs = lint("src/foo/state.h",
+                       "#pragma once\n"
+                       "struct WaveCtx {\n"
+                       "  Status poison_status S3_GUARDED_BY(mu);\n"
+                       "};\n",
+                       index);
+  EXPECT_FALSE(has_rule(vs, "status-nodiscard"));
+}
+
 // ---------------------------------------------------------------------------
 // segment-modulo
 
@@ -411,6 +429,47 @@ TEST(S3LintSuppressions, PrecedingLineDisableSuppressesNext) {
                        "  cursor_ = cursor_ % n;\n"
                        "}\n");
   EXPECT_FALSE(has_rule(vs, "segment-modulo"));
+}
+
+// ---------------------------------------------------------------------------
+// status-dataloss
+
+TEST(S3LintRules, AnonymousDataLossFlagged) {
+  const auto vs = lint("src/dfs/thing.cpp",
+                       "Status read() {\n"
+                       "  return Status::data_loss(\"payload corrupted\");\n"
+                       "}\n");
+  ASSERT_TRUE(has_rule(vs, "status-dataloss"));
+}
+
+TEST(S3LintRules, DataLossNamingBlockInLiteralClean) {
+  const auto vs = lint(
+      "src/dfs/thing.cpp",
+      "Status read() {\n"
+      "  return Status::data_loss(\"block 3: all replicas unusable\");\n"
+      "}\n");
+  EXPECT_FALSE(has_rule(vs, "status-dataloss"));
+}
+
+TEST(S3LintRules, DataLossStreamedBlockIdClean) {
+  // The message is assembled out-of-line; the block mention streamed into it
+  // just above the call satisfies the rule.
+  const auto vs = lint("src/dfs/thing.cpp",
+                       "Status read(BlockId block) {\n"
+                       "  std::ostringstream os;\n"
+                       "  os << \"block \" << block << \": gone\";\n"
+                       "  return Status::data_loss(os.str());\n"
+                       "}\n");
+  EXPECT_FALSE(has_rule(vs, "status-dataloss"));
+}
+
+TEST(S3LintRules, DataLossFactoryDeclarationExempt) {
+  const auto vs = lint("src/common/status.h",
+                       "#pragma once\n"
+                       "class Status {\n"
+                       "  [[nodiscard]] static Status data_loss(std::string m);\n"
+                       "};\n");
+  EXPECT_FALSE(has_rule(vs, "status-dataloss"));
 }
 
 TEST(S3LintSuppressions, DisableFileSuppressesWholeFile) {

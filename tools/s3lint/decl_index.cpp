@@ -17,6 +17,18 @@ bool is_decl_specifier(const std::string& word) {
          word == "maybe_unused";
 }
 
+// ALL_CAPS identifiers are macros (S3_GUARDED_BY, S3_EXCLUDES, ...), which
+// trail member declarations like `Status s S3_GUARDED_BY(mu);` — the `(` is
+// a macro invocation, not a declarator.
+bool is_macro_name(const std::string& word) {
+  bool has_alpha = false;
+  for (const char c : word) {
+    if (c >= 'a' && c <= 'z') return false;
+    if (c >= 'A' && c <= 'Z') has_alpha = true;
+  }
+  return has_alpha;
+}
+
 }  // namespace
 
 void DeclIndex::index_file(const std::string& path, const TokenizedFile& file) {
@@ -37,7 +49,7 @@ void DeclIndex::index_file(const std::string& path, const TokenizedFile& file) {
     if (scope[i] == ScopeKind::kBlock || scope[i] == ScopeKind::kEnum) continue;
     if (i == 0 || toks[i - 1].kind != TokKind::kIdent) continue;
     const std::string& name = toks[i - 1].text;
-    if (is_keyword(name)) continue;
+    if (is_keyword(name) || is_macro_name(name)) continue;
 
     // The declarator may be qualified (`Foo::bar`): walk the `::` chain back
     // to find where the return type ends.

@@ -360,6 +360,60 @@ void check_pragma_once(const std::string& path, const TokenizedFile& file,
 }
 
 // ---------------------------------------------------------------------------
+// status-dataloss: every Status::data_loss call must name the block that was
+// lost. Operators triage data loss by block id, and the failure-model
+// contract (DESIGN.md §12) is that kDataLoss is only returned when a
+// *specific* block has no usable replica left — an anonymous message hides
+// which one. Accepts a "block" mention either in the argument list or in the
+// few statements above it (messages assembled via ostringstream).
+void check_status_dataloss(const std::string& path, const TokenizedFile& file,
+                           std::vector<Violation>* out) {
+  if (path == "src/common/status.h") return;  // the factory's own declaration
+  const std::vector<Token>& toks = file.tokens;
+  const auto names_block = [](const Token& t) {
+    if (t.kind == TokKind::kString) {
+      return t.text.find("block") != std::string::npos ||
+             t.text.find("Block") != std::string::npos;
+    }
+    if (t.kind == TokKind::kIdent) {
+      for (const std::string& word : split_words(t.text)) {
+        if (word == "block") return true;
+      }
+    }
+    return false;
+  };
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || toks[i].text != "data_loss") {
+      continue;
+    }
+    if (toks[i + 1].kind != TokKind::kPunct || toks[i + 1].text != "(") {
+      continue;
+    }
+    bool named = false;
+    int depth = 0;
+    for (std::size_t j = i + 1; j < toks.size(); ++j) {
+      if (toks[j].kind == TokKind::kPunct) {
+        if (toks[j].text == "(") ++depth;
+        if (toks[j].text == ")" && --depth == 0) break;
+        continue;
+      }
+      if (names_block(toks[j])) named = true;
+    }
+    // Message built out-of-line: look a short window back for the block
+    // mention being streamed into it.
+    for (std::size_t back = 1; !named && back <= 96 && back <= i; ++back) {
+      if (names_block(toks[i - back])) named = true;
+    }
+    if (!named) {
+      out->push_back(Violation{
+          "status-dataloss", toks[i].line,
+          "Status::data_loss message does not name the lost block; include "
+          "the block id so the loss is attributable (failure model §12)"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // status-nodiscard: declaration-level [[nodiscard]] on Status/StatusOr
 // returning functions (class-level [[nodiscard]] catches call sites, the
 // declaration attribute keeps intent visible at the API).
@@ -379,9 +433,9 @@ void check_status_nodiscard(const std::string& path, const DeclIndex& index,
 const std::vector<std::string>& all_rules() {
   static const std::vector<std::string> kRules = {
       "naked-mutex",   "status-discard", "status-nodiscard",
-      "segment-modulo", "view-retention", "thread-detach",
-      "stray-cout",    "sleep-in-src",   "raw-clock",
-      "pragma-once",
+      "status-dataloss", "segment-modulo", "view-retention",
+      "thread-detach", "stray-cout",     "sleep-in-src",
+      "raw-clock",     "pragma-once",
   };
   return kRules;
 }
@@ -408,6 +462,9 @@ std::vector<Violation> lint_file(
   }
   if (enabled.count("status-nodiscard") > 0) {
     check_status_nodiscard(path, index, &raw);
+  }
+  if (enabled.count("status-dataloss") > 0) {
+    check_status_dataloss(path, file, &raw);
   }
   if (enabled.count("segment-modulo") > 0) {
     check_segment_modulo(path, file, &raw);

@@ -197,6 +197,17 @@ const char* const kJournalNames[] = {
     "cursor_advanced", "batch_retired",   "job_completed",
     "batch_launched",  "batch_executed",  "segment_recomputed",
     "slow_node_excluded",
+    // Failure-domain events (recovery decisions; see DESIGN.md §12).
+    "node_suspected",  "node_dead",       "task_attempt_failed",
+    "task_retried",    "task_hung",       "replica_failed_over",
+    "block_corrupt",   "job_quarantined", "batch_rerun",
+};
+
+// The subset of journal events that record recovery decisions.
+const char* const kRecoveryNames[] = {
+    "node_suspected",  "node_dead",       "task_attempt_failed",
+    "task_retried",    "task_hung",       "replica_failed_over",
+    "block_corrupt",   "job_quarantined", "batch_rerun",
 };
 
 bool is_journal_name(const std::string& name) {
@@ -379,6 +390,21 @@ void summarize(const std::vector<JsonValue>& events) {
     std::printf("scheduler journal events:\n");
     for (const auto& [name, count] : journal_counts) {
       std::printf("  %-24s %8zu\n", name.c_str(), count);
+    }
+  }
+
+  // Recovery ledger: every failure-domain decision the run had to make.
+  std::size_t recovery_total = 0;
+  for (const char* name : kRecoveryNames) {
+    const auto it = journal_counts.find(name);
+    if (it != journal_counts.end()) recovery_total += it->second;
+  }
+  if (recovery_total > 0) {
+    std::printf("\nrecovery decisions (%zu total):\n", recovery_total);
+    for (const char* name : kRecoveryNames) {
+      const auto it = journal_counts.find(name);
+      if (it == journal_counts.end()) continue;
+      std::printf("  %-24s %8zu\n", name, it->second);
     }
   }
 }
