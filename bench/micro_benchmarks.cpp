@@ -3,9 +3,13 @@
 // and a full simulator iteration.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstdlib>
 
+#include "common/pinned_thread_pool.h"
+#include "engine/arena_pool.h"
 #include "core/s3.h"
+#include "workloads/tokenize.h"
 
 namespace {
 
@@ -52,7 +56,31 @@ void BM_SharedScanReader(benchmark::State& state) {
 }
 BENCHMARK(BM_SharedScanReader)->Arg(1)->Arg(2)->Arg(4)->Arg(10);
 
+// Shuffle-side sort+group on the representation the engine actually ships:
+// records live in a flat KVBatch arena, are sorted in place, and grouped by
+// the run merger (a map-side run entering the reduce path). The owned-string
+// variant this replaced stagnated across PR 1 because it never moved off the
+// legacy representation; it is kept below as _Legacy for comparison.
 void BM_ShuffleSortAndGroup(benchmark::State& state) {
+  Rng rng(7);
+  engine::KVBatch batch;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    batch.append("key" + std::to_string(rng.uniform_u64(1000)), "1");
+  }
+  for (auto _ : state) {
+    std::vector<engine::KVBatch> runs(1);
+    runs[0] = batch;
+    runs[0].sort_by_key();
+    std::uint64_t groups = engine::merge_runs_and_group(
+        runs, [](std::string_view, const std::vector<std::string_view>&) {});
+    benchmark::DoNotOptimize(groups);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ShuffleSortAndGroup)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_ShuffleSortAndGroup_Legacy(benchmark::State& state) {
   Rng rng(7);
   std::vector<engine::KeyValue> records;
   records.reserve(static_cast<std::size_t>(state.range(0)));
@@ -70,7 +98,7 @@ void BM_ShuffleSortAndGroup(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           state.range(0));
 }
-BENCHMARK(BM_ShuffleSortAndGroup)->Arg(1 << 12)->Arg(1 << 16);
+BENCHMARK(BM_ShuffleSortAndGroup_Legacy)->Arg(1 << 12)->Arg(1 << 16);
 
 // The flat path's in-map combining: same key distribution as
 // BM_ShuffleSortAndGroup, grouped by hashing over the arena instead of
@@ -155,6 +183,124 @@ void BM_MapRunnerEndToEnd(benchmark::State& state) {
                           static_cast<std::int64_t>(records_per_iter));
 }
 BENCHMARK(BM_MapRunnerEndToEnd)->Arg(1)->Arg(4)->Arg(10);
+
+// Same map-side data path fanned out over the work-stealing pool: one block
+// per map task, `workers` pinned-pool workers, arena pool recycling batches
+// per worker shard. Args are {members, workers}. Distinct name from
+// BM_MapRunnerEndToEnd so the check.sh trace-overhead guard's anchor
+// (^BM_MapRunnerEndToEnd/4$) keeps matching exactly one benchmark.
+void BM_MapRunnerEndToEndThreads(benchmark::State& state) {
+  const std::int64_t members = state.range(0);
+  const std::size_t workers = static_cast<std::size_t>(state.range(1));
+  constexpr std::uint64_t kBlocks = 4;
+  dfs::BlockStore store;
+  workloads::TextCorpusGenerator corpus;
+  for (std::uint64_t b = 0; b < kBlocks; ++b) {
+    S3_CHECK(store.put(BlockId(b), corpus.generate_block(b, ByteSize(64 << 10)))
+                 .is_ok());
+  }
+  dfs::StoredBlocks source(store);
+
+  std::vector<engine::JobSpec> specs;
+  specs.reserve(static_cast<std::size_t>(members));
+  for (std::int64_t j = 0; j < members; ++j) {
+    specs.push_back(workloads::make_wordcount_job(
+        JobId(static_cast<std::uint64_t>(j)), FileId(0), "", 4,
+        /*with_combiner=*/true));
+  }
+
+  PinnedThreadPoolOptions pool_options;
+  pool_options.num_threads = workers;
+  PinnedThreadPool pool(pool_options);
+  engine::BatchArenaPool arenas(workers);
+
+  std::uint64_t records_per_iter = 0;
+  for (auto _ : state) {
+    engine::ShuffleStore shuffle;
+    for (const auto& spec : specs) {
+      shuffle.register_job(spec.id, spec.num_reduce_tasks);
+    }
+    engine::MapRunner runner(source, shuffle);
+    runner.set_locality(&arenas, &pool, 0);
+    std::atomic<std::uint64_t> records{0};
+    for (std::uint64_t b = 0; b < kBlocks; ++b) {
+      const bool accepted = pool.submit_to(b % workers, [&, b] {
+        engine::MapTaskSpec task;
+        task.id = TaskId(b);
+        task.block = BlockId(b);
+        for (const auto& spec : specs) task.jobs.push_back(&spec);
+        auto outcome = runner.run(task);
+        S3_CHECK(outcome.is_ok());
+        std::uint64_t sum = 0;
+        for (const auto& [job, counters] : outcome.value().per_job) {
+          sum += counters.map_output_records;
+        }
+        records.fetch_add(sum, std::memory_order_relaxed);
+      });
+      S3_CHECK(accepted);
+    }
+    pool.wait_idle();
+    records_per_iter = records.load();
+    benchmark::DoNotOptimize(records_per_iter);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(records_per_iter));
+}
+// UseRealTime: the work runs on pool threads, so main-thread CPU time
+// would wildly overstate throughput.
+BENCHMARK(BM_MapRunnerEndToEndThreads)
+    ->Args({4, 1})
+    ->Args({4, 2})
+    ->Args({4, 4})
+    ->UseRealTime();
+
+// Raw pool overhead: submit a wave of trivial tasks and wait for idle.
+// Items/sec is the task dispatch+steal+complete rate ceiling.
+void BM_PinnedPoolSubmit(benchmark::State& state) {
+  PinnedThreadPoolOptions options;
+  options.num_threads = static_cast<std::size_t>(state.range(0));
+  PinnedThreadPool pool(options);
+  constexpr int kTasksPerWave = 1024;
+  for (auto _ : state) {
+    std::atomic<std::uint64_t> sink{0};
+    for (int i = 0; i < kTasksPerWave; ++i) {
+      const bool accepted = pool.submit(
+          [&sink] { sink.fetch_add(1, std::memory_order_relaxed); });
+      S3_CHECK(accepted);
+    }
+    pool.wait_idle();
+    benchmark::DoNotOptimize(sink.load());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kTasksPerWave);
+}
+BENCHMARK(BM_PinnedPoolSubmit)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// Tokenizer scan throughput per mode over corpus text. Arg 0 = scalar
+// oracle, 1 = SWAR, 2 = SSE2 (falls back to SWAR where unavailable).
+void BM_Tokenize(benchmark::State& state) {
+  const workloads::TokenizeMode mode =
+      state.range(0) == 0   ? workloads::TokenizeMode::kScalar
+      : state.range(0) == 1 ? workloads::TokenizeMode::kSwar
+                            : workloads::TokenizeMode::kSimd;
+  workloads::TextCorpusGenerator corpus;
+  const std::string text = corpus.generate_block(0, ByteSize(256 << 10));
+  workloads::set_tokenize_mode(mode);
+  for (auto _ : state) {
+    std::uint64_t words = 0;
+    std::uint64_t bytes = 0;
+    workloads::for_each_word(text, [&](std::string_view w) {
+      ++words;
+      bytes += w.size();
+    });
+    benchmark::DoNotOptimize(words);
+    benchmark::DoNotOptimize(bytes);
+  }
+  workloads::set_tokenize_mode(workloads::TokenizeMode::kAuto);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_Tokenize)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_JobQueueManagerCycle(benchmark::State& state) {
   const std::uint64_t file_blocks = 2560;

@@ -9,6 +9,13 @@
 // Pass --trace-out=<path> to capture a Chrome/Perfetto trace of the S3 run
 // (spans for every map/reduce task plus the scheduler decision journal);
 // metrics land next to it in <path>.metrics.jsonl.
+//
+// Hardware-tuning switches (see README "Hardware tuning"): --pin-cores pins
+// each engine worker to a core via sched_setaffinity (no-op where denied),
+// --prefault runs the Metis-style prefault pre-phases before each timed
+// map/reduce wave, and --phase-counters turns on per-phase perf_event
+// cycle/instruction/LLC-miss counters (no-op where the kernel denies them);
+// phase wall time and fault deltas are always collected.
 #include <cstdio>
 
 #include "core/s3.h"
@@ -45,6 +52,7 @@ int main(int argc, char** argv) {
   // --trace-out=<path> traces all three scheduler runs into one file; the
   // scheduler journal distinguishes them by batch/file ids.
   obs::TraceSession trace_session(flags);
+  obs::set_phase_counters_enabled(flags.get_bool("phase-counters"));
   World world;
   dfs::PlacementTopology ptopo;
   for (const auto& node : world.topology.nodes()) {
@@ -77,6 +85,8 @@ int main(int argc, char** argv) {
     engine::LocalEngineOptions eopts;
     eopts.map_workers = 4;
     eopts.reduce_workers = 2;
+    eopts.pin_cores = flags.get_bool("pin-cores");
+    eopts.prefault = flags.get_bool("prefault");
     engine::LocalEngine engine(world.ns, world.store, eopts);
     core::RealDriver driver(world.ns, engine, world.catalog,
                             {/*time_scale=*/2e4});

@@ -18,9 +18,15 @@
 #                                    chaos_recovery example over a fixed seed
 #                                    matrix with s3trace --validate on each
 #                                    captured trace
+#   scripts/check.sh --bench-smoke   run the locality-engine micro-benchmarks
+#                                    (pinned pool, tokenizer, threaded map
+#                                    path) once each, fail on zero throughput
+#                                    or a benchmark error, and re-check the
+#                                    5% trace-overhead budget
 #   scripts/check.sh --all           tier-1 + lint + asan + ubsan + tsan
 #                                    + tidy + format check + Release smoke
-#                                    + trace smoke + chaos matrix
+#                                    + trace smoke + bench smoke + chaos
+#                                    matrix
 #
 # Sanitizer modes build tests only (benches/examples are covered by the
 # default mode) so the instrumented builds stay fast. --tidy and the format
@@ -40,7 +46,8 @@ for arg in "$@"; do
     --lint) MODES+=(lint) ;;
     --trace) MODES+=(trace) ;;
     --chaos) MODES+=(chaos) ;;
-    --all) MODES+=(tier1 lint asan ubsan tsan tidy format release trace chaos) ;;
+    --bench-smoke) MODES+=(bench-smoke) ;;
+    --all) MODES+=(tier1 lint asan ubsan tsan tidy format release trace bench-smoke chaos) ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -141,6 +148,49 @@ for mode in "${MODES[@]}"; do
           --trace-out="${trace_out}"
         ./build/tools/s3trace --validate "${trace_out}"
       done
+      ;;
+    bench-smoke)
+      echo "=== bench-smoke: locality-engine micro-benchmarks run once ==="
+      cmake -B build -S . -DS3_WARNINGS_AS_ERRORS=ON
+      cmake --build build -j --target micro_benchmarks
+      # One pass over every new engine benchmark; CSV columns are
+      # name,iterations,real_time,cpu_time,unit,bytes/s,items/s,label,err,...
+      # Every row must report a positive throughput and no error.
+      ./build/bench/micro_benchmarks \
+        --benchmark_filter='BM_(PinnedPoolSubmit|Tokenize|MapRunnerEndToEndThreads|ShuffleSortAndGroup)' \
+        --benchmark_min_time=0.01 --benchmark_format=csv 2> /dev/null \
+        | awk -F, '
+          /^"?BM_/ {
+            rows++
+            throughput = ($6 != "" ? $6 : $7) + 0
+            if (throughput <= 0 || $9 != "") {
+              printf "bench-smoke: %s reported no throughput\n", $1 \
+                > "/dev/stderr"
+              bad = 1
+            }
+          }
+          END {
+            if (rows == 0) {
+              print "bench-smoke: benchmark filter matched nothing" \
+                > "/dev/stderr"
+              exit 1
+            }
+            printf "bench-smoke: %d benchmark rows, all positive\n", rows
+            exit bad
+          }'
+      echo "=== bench-smoke: trace-overhead budget re-check ==="
+      untraced="$(bench_median_ns 0)"
+      traced="$(bench_median_ns 1)"
+      awk -v off="$untraced" -v on="$traced" 'BEGIN {
+        pct = (on - off) / off * 100.0
+        printf "untraced median %.0f ns, traced median %.0f ns, ", off, on
+        printf "overhead %+.2f%% (budget 5%%)\n", pct
+        if (pct > 5.0) {
+          print "check.sh: tracing overhead exceeds the 5% budget" \
+            > "/dev/stderr"
+          exit 1
+        }
+      }'
       ;;
     release)
       echo "=== Release build ==="

@@ -1,0 +1,174 @@
+#include "common/pinned_thread_pool.h"
+
+#include <utility>
+
+#include "common/status.h"
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace s3 {
+namespace {
+
+// Worker identity of the current thread. A plain pointer+index pair (rather
+// than an index alone) so nested pools — the engine runs one map and one
+// reduce pool — cannot alias each other's shard indices.
+struct WorkerTls {
+  const PinnedThreadPool* pool = nullptr;
+  int index = -1;
+};
+thread_local WorkerTls tls_worker;
+
+// Best-effort self-pin of the calling thread to one cpu. Returns true only
+// when the affinity call was actually honored.
+bool pin_self_to_cpu(std::size_t cpu_index) {
+#if defined(__linux__)
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(cpu_index % hw), &set);
+  return sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+  (void)cpu_index;
+  return false;
+#endif
+}
+
+}  // namespace
+
+PinnedThreadPool::PinnedThreadPool(PinnedThreadPoolOptions options)
+    : options_(options) {
+  S3_CHECK(options_.num_threads > 0);
+  queues_.reserve(options_.num_threads);
+  for (std::size_t i = 0; i < options_.num_threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(options_.num_threads);
+  for (std::size_t i = 0; i < options_.num_threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+PinnedThreadPool::~PinnedThreadPool() { shutdown(); }
+
+int PinnedThreadPool::current_worker_index() const {
+  return tls_worker.pool == this ? tls_worker.index : -1;
+}
+
+bool PinnedThreadPool::enqueue(std::size_t worker,
+                               std::function<void()> task) {
+  {
+    MutexLock lock(mu_);
+    if (shutdown_) return false;
+    ++pending_;
+    ++queued_;
+  }
+  // The counters are published before the task itself: a worker that wakes
+  // in this window sees queued_ > 0, rescans, and spins briefly until the
+  // push below lands — never sleeps through it.
+  {
+    MutexLock lock(queues_[worker]->mu);
+    queues_[worker]->tasks.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+  return true;
+}
+
+bool PinnedThreadPool::submit(std::function<void()> task) {
+  const std::size_t worker =
+      next_worker_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  return enqueue(worker, std::move(task));
+}
+
+bool PinnedThreadPool::submit_to(std::size_t worker,
+                                 std::function<void()> task) {
+  return enqueue(worker % queues_.size(), std::move(task));
+}
+
+bool PinnedThreadPool::pop_or_steal(std::size_t self,
+                                    std::function<void()>& task,
+                                    bool& stolen) {
+  bool found = false;
+  // Own deque first, from the front (submission order — waves stay FIFO).
+  {
+    MutexLock lock(queues_[self]->mu);
+    if (!queues_[self]->tasks.empty()) {
+      task = std::move(queues_[self]->tasks.front());
+      queues_[self]->tasks.pop_front();
+      stolen = false;
+      found = true;
+    }
+  }
+  // Steal from the back of the next non-empty victim, so the thief takes the
+  // task furthest from what the owner is about to run.
+  for (std::size_t hop = 1; !found && hop < queues_.size(); ++hop) {
+    const std::size_t victim = (self + hop) % queues_.size();
+    MutexLock lock(queues_[victim]->mu);
+    if (queues_[victim]->tasks.empty()) continue;
+    task = std::move(queues_[victim]->tasks.back());
+    queues_[victim]->tasks.pop_back();
+    stolen = true;
+    found = true;
+  }
+  if (!found) return false;
+  MutexLock counters(mu_);
+  --queued_;
+  return true;
+}
+
+void PinnedThreadPool::worker_loop(std::size_t self) {
+  tls_worker.pool = this;
+  tls_worker.index = static_cast<int>(self);
+  if (options_.pin_cores &&
+      pin_self_to_cpu(static_cast<std::size_t>(options_.cpu_offset) + self)) {
+    pinned_workers_.fetch_add(1, std::memory_order_relaxed);
+  }
+  while (true) {
+    std::function<void()> task;
+    bool stolen = false;
+    if (pop_or_steal(self, task, stolen)) {
+      if (stolen) steals_.fetch_add(1, std::memory_order_relaxed);
+      std::exception_ptr error;
+      try {
+        task();
+      } catch (...) {
+        error = std::current_exception();
+      }
+      MutexLock lock(mu_);
+      if (error && first_error_ == nullptr) first_error_ = error;
+      --pending_;
+      if (pending_ == 0) idle_cv_.notify_all();
+      continue;
+    }
+    MutexLock lock(mu_);
+    while (queued_ == 0 && !shutdown_) lock.wait(work_cv_);
+    if (queued_ == 0 && shutdown_) return;
+    // queued_ > 0: something arrived (possibly mid-push) — rescan.
+  }
+}
+
+void PinnedThreadPool::wait_idle() {
+  std::exception_ptr error;
+  {
+    MutexLock lock(mu_);
+    while (pending_ != 0) lock.wait(idle_cv_);
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void PinnedThreadPool::shutdown() {
+  {
+    MutexLock lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+}  // namespace s3

@@ -29,8 +29,10 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  // Enqueues a task; returns false if the pool is shutting down.
-  bool submit(std::function<void()> task) S3_EXCLUDES(idle_mu_);
+  // Enqueues a task; returns false if the pool is shutting down — the task
+  // is dropped, so callers must observe the result (a wave that ignores a
+  // rejected submit under-counts its pending work and commits a short wave).
+  [[nodiscard]] bool submit(std::function<void()> task) S3_EXCLUDES(idle_mu_);
 
   // Blocks until the queue is empty AND no worker is executing a task.
   // Rethrows the first exception any task threw since the last wait_idle().

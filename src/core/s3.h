@@ -36,6 +36,7 @@
 #include "obs/chrome_trace.h"
 #include "obs/clock.h"
 #include "obs/journal.h"
+#include "obs/phase_profiler.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "obs/trace_session.h"

@@ -1,0 +1,107 @@
+// Per-worker pools of recycled KVBatch arenas. A map task's emit buffers and
+// a reduce task's consumed shuffle runs churn through large byte arenas; on
+// a NUMA machine a freshly malloc'd arena lands wherever the allocator last
+// cached pages, not where the worker runs. The pool shards free batches by
+// worker index so a batch is reused by the worker that last touched it
+// (first-touch placement keeps its pages local), and prefault() lets the
+// engine's prefault phase warm each shard before the timed phase starts.
+//
+// A shard index is a locality hint, not an ownership rule: any shard index
+// in [0, shards()) is valid from any thread, and callers that run off-pool
+// (engine thread, tests) use shard 0. Lock discipline: one leaf mutex per
+// shard, never held while calling out.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/contracts.h"
+#include "common/thread_annotations.h"
+#include "engine/kv_batch.h"
+
+namespace s3::engine {
+
+class BatchArenaPool {
+ public:
+  // Free batches kept per shard beyond which release() drops the batch on
+  // the floor (frees its memory) instead of caching it.
+  static constexpr std::size_t kMaxFreePerShard = 32;
+
+  explicit BatchArenaPool(std::size_t shards) {
+    S3_CHECK(shards > 0);
+    shards_.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+  }
+
+  [[nodiscard]] std::size_t shards() const { return shards_.size(); }
+
+  // An empty batch, recycled from `shard`'s free list when possible (warm
+  // capacity, local pages), stolen from another shard's list otherwise (warm
+  // capacity, remote pages — still cheaper than a cold malloc), and freshly
+  // constructed as the last resort.
+  [[nodiscard]] KVBatch acquire(std::size_t shard) {
+    const std::size_t home = shard % shards_.size();
+    for (std::size_t hop = 0; hop < shards_.size(); ++hop) {
+      Shard& s = *shards_[(home + hop) % shards_.size()];
+      MutexLock lock(s.mu);
+      if (s.free.empty()) continue;
+      KVBatch batch = std::move(s.free.back());
+      s.free.pop_back();
+      (hop == 0 ? hits_ : steals_).fetch_add(1, std::memory_order_relaxed);
+      return batch;
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return KVBatch{};
+  }
+
+  // Clears the batch (keeping its arena capacity) and parks it on `shard`'s
+  // free list; full shards drop the batch instead.
+  void release(std::size_t shard, KVBatch batch) {
+    batch.clear();
+    Shard& s = *shards_[shard % shards_.size()];
+    MutexLock lock(s.mu);
+    if (s.free.size() < kMaxFreePerShard) s.free.push_back(std::move(batch));
+  }
+
+  // Warms `shard` with `count` batches whose pages are faulted in by the
+  // calling thread (run this FROM the owning worker — that is what makes
+  // first-touch placement local). Existing free batches count toward
+  // `count`; they are re-prefaulted so recycled arenas are resident too.
+  void prefault(std::size_t shard, std::size_t count, std::size_t records,
+                std::size_t bytes) {
+    for (std::size_t i = 0; i < count; ++i) {
+      KVBatch batch = acquire(shard);
+      batch.prefault(records, bytes);
+      release(shard, std::move(batch));
+    }
+  }
+
+  // Recycle telemetry (exported by the engine as engine.arena_pool.*).
+  [[nodiscard]] std::uint64_t hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t steals() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Shard {
+    mutable AnnotatedMutex mu;
+    std::vector<KVBatch> free S3_GUARDED_BY(mu);
+  };
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> steals_{0};
+};
+
+}  // namespace s3::engine

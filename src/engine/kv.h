@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -35,8 +36,8 @@ class Emitter {
   virtual void emit(std::string_view key, std::string_view value) = 0;
 };
 
-// FNV-1a over arbitrary bytes; shared by the partitioner and the hash
-// combiner so both see the same distribution.
+// FNV-1a over arbitrary bytes. Kept as the reference hash (byte-at-a-time,
+// easy to reason about); the hot paths use fast_hash below.
 [[nodiscard]] inline std::uint64_t fnv1a(std::string_view bytes) {
   std::uint64_t h = 1469598103934665603ULL;
   for (const char c : bytes) {
@@ -46,10 +47,60 @@ class Emitter {
   return h;
 }
 
-// Hash partitioner (Hadoop's default): FNV-1a over the key, mod R.
+// Word-at-a-time string hash (murmur-style: unaligned loads folded with
+// multiply/xor-shift, fmix64 avalanche); used by the partitioner and the
+// hash combiner. Word-count keys are mostly 2-10 bytes, so the tail matters
+// more than the loop: it is branch-light — two overlapping 4-byte loads for
+// 4..7 leftover bytes, three byte picks for 1..3 — never a per-byte
+// shift/or loop. Not a stable on-disk format — only in-memory bucket
+// selection — so the function may change between versions without a data
+// migration.
+[[nodiscard]] inline std::uint64_t fast_hash(std::string_view bytes) {
+  constexpr std::uint64_t kMul = 0x9DDFEA08EB382D69ULL;
+  const char* p = bytes.data();
+  std::size_t n = bytes.size();
+  std::uint64_t h = 0x9E3779B97F4A7C15ULL ^ (n * kMul);
+  while (n >= 8) {
+    std::uint64_t v;
+    std::memcpy(&v, p, sizeof(v));
+    v *= kMul;
+    v ^= v >> 47;
+    h = (h ^ v * kMul) * kMul;
+    p += 8;
+    n -= 8;
+  }
+  if (n >= 4) {
+    // Overlapping reads cover 4..7 bytes in two loads; the overlap double
+    // counts some middle bytes, which is harmless for a hash.
+    std::uint32_t lo;
+    std::uint32_t hi;
+    std::memcpy(&lo, p, sizeof(lo));
+    std::memcpy(&hi, p + n - sizeof(hi), sizeof(hi));
+    const std::uint64_t tail = lo | (static_cast<std::uint64_t>(hi) << 32);
+    h = (h ^ tail * kMul) * kMul;
+  } else if (n > 0) {
+    // 1..3 bytes: first, middle, last (the classic short-tail pick).
+    const std::uint64_t tail =
+        static_cast<unsigned char>(p[0]) |
+        (static_cast<std::uint64_t>(static_cast<unsigned char>(p[n >> 1]))
+         << 8) |
+        (static_cast<std::uint64_t>(static_cast<unsigned char>(p[n - 1]))
+         << 16);
+    h = (h ^ tail * kMul) * kMul;
+  }
+  // fmix64 finalizer: full avalanche so the low bits are usable as a mask.
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 33;
+  h *= 0xC4CEB9FE1A85EC53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+// Hash partitioner (Hadoop's default shape): hash of the key, mod R.
 [[nodiscard]] inline std::uint32_t partition_for_key(std::string_view key,
                                                      std::uint32_t partitions) {
-  return static_cast<std::uint32_t>(fnv1a(key) % partitions);
+  return static_cast<std::uint32_t>(fast_hash(key) % partitions);
 }
 
 }  // namespace s3::engine

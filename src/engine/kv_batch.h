@@ -50,6 +50,12 @@ class KVBatch {
     arena_.reserve(bytes);
   }
 
+  // Reserves AND touches one byte per page of the arena and entry storage,
+  // so the pages are faulted in (and, under first-touch NUMA placement,
+  // owned by the calling thread's node) before the timed phase starts —
+  // Metis's map_prefault/reduce_prefault. The batch is left logically empty.
+  void prefault(std::size_t records, std::size_t bytes);
+
   void clear() {
     entries_.clear();
     arena_.clear();

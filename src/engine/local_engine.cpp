@@ -7,10 +7,25 @@
 
 #include "common/logging.h"
 #include "obs/journal.h"
+#include "obs/phase_profiler.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 
 namespace s3::engine {
+namespace {
+
+// Zero-worker options are rejected by run_batch, not the constructor: clamp
+// the pools so the misconfigured engine can still report invalid_argument.
+std::unique_ptr<PinnedThreadPool> make_pool(std::size_t workers,
+                                            bool pin_cores, int cpu_offset) {
+  PinnedThreadPoolOptions opts;
+  opts.num_threads = std::max<std::size_t>(1, workers);
+  opts.pin_cores = pin_cores;
+  opts.cpu_offset = cpu_offset;
+  return std::make_unique<PinnedThreadPool>(opts);
+}
+
+}  // namespace
 
 LocalEngine::LocalEngine(const dfs::DfsNamespace& ns,
                          const dfs::BlockStore& store,
@@ -21,10 +36,15 @@ LocalEngine::LocalEngine(const dfs::DfsNamespace& ns,
       options_(std::move(options)),
       map_runner_(*source_, shuffle_, options_.data_path),
       reduce_runner_(shuffle_, options_.data_path),
-      map_pool_(std::make_unique<ThreadPool>(
-          std::max<std::size_t>(1, options_.map_workers))),
-      reduce_pool_(std::make_unique<ThreadPool>(
-          std::max<std::size_t>(1, options_.reduce_workers))) {}
+      map_pool_(make_pool(options_.map_workers, options_.pin_cores, 0)),
+      reduce_pool_(make_pool(options_.reduce_workers, options_.pin_cores,
+                             static_cast<int>(map_pool_->size()))),
+      arena_pool_(std::make_unique<BatchArenaPool>(map_pool_->size() +
+                                                   reduce_pool_->size())) {
+  map_runner_.set_locality(arena_pool_.get(), map_pool_.get(), 0);
+  reduce_runner_.set_locality(arena_pool_.get(), reduce_pool_.get(),
+                              map_pool_->size());
+}
 
 LocalEngine::LocalEngine(const dfs::DfsNamespace& ns,
                          const dfs::BlockSource& source,
@@ -34,12 +54,15 @@ LocalEngine::LocalEngine(const dfs::DfsNamespace& ns,
       options_(std::move(options)),
       map_runner_(source, shuffle_, options_.data_path),
       reduce_runner_(shuffle_, options_.data_path),
-      // Zero-worker options are rejected by run_batch, not here: clamp the
-      // pools so the misconfigured engine can still report invalid_argument.
-      map_pool_(std::make_unique<ThreadPool>(
-          std::max<std::size_t>(1, options_.map_workers))),
-      reduce_pool_(std::make_unique<ThreadPool>(
-          std::max<std::size_t>(1, options_.reduce_workers))) {}
+      map_pool_(make_pool(options_.map_workers, options_.pin_cores, 0)),
+      reduce_pool_(make_pool(options_.reduce_workers, options_.pin_cores,
+                             static_cast<int>(map_pool_->size()))),
+      arena_pool_(std::make_unique<BatchArenaPool>(map_pool_->size() +
+                                                   reduce_pool_->size())) {
+  map_runner_.set_locality(arena_pool_.get(), map_pool_.get(), 0);
+  reduce_runner_.set_locality(arena_pool_.get(), reduce_pool_.get(),
+                              map_pool_->size());
+}
 
 LocalEngine::~LocalEngine() = default;
 
@@ -222,18 +245,107 @@ const char* fault_cause_name(FaultKind kind) {
 
 }  // namespace
 
+void LocalEngine::run_map_prefault(const BatchExec& batch) {
+  obs::PhaseTimer timer(obs::EnginePhase::kMapPrefault);
+  S3_TRACE_SPAN_NAMED(span, "engine", "map_prefault");
+  span.arg("batch", batch.id.value()).arg("blocks", batch.blocks.size());
+  const std::size_t workers = map_pool_->size();
+  for (std::size_t w = 0; w < workers; ++w) {
+    // Worker w touches the blocks whose map tasks will be submitted to it
+    // (same round-robin as the map wave below), then warms its arena shard
+    // to roughly one block's output footprint.
+    std::vector<BlockId> mine;
+    for (std::size_t i = w; i < batch.blocks.size(); i += workers) {
+      mine.push_back(batch.blocks[i]);
+    }
+    if (mine.empty()) continue;
+    const bool accepted = map_pool_->submit_to(w, [this, mine = std::move(
+                                                             mine)] {
+      std::size_t block_bytes = 0;
+      volatile unsigned touch = 0;
+      for (const BlockId block : mine) {
+        auto payload_or = source_->fetch(block);
+        if (!payload_or.is_ok()) continue;  // the map wave surfaces errors
+        const dfs::Payload payload = std::move(payload_or).value();
+        const std::string& data = *payload;
+        for (std::size_t off = 0; off < data.size(); off += 4096) {
+          touch = touch + static_cast<unsigned char>(data[off]);
+        }
+        block_bytes = std::max(block_bytes, data.size());
+      }
+      const int worker = map_pool_->current_worker_index();
+      const std::size_t shard =
+          worker >= 0 ? static_cast<std::size_t>(worker) : 0;
+      // Two warm batches per shard: the emit buffer and the combine output.
+      arena_pool_->prefault(shard, 2, block_bytes / 8 + 1, block_bytes + 1);
+    });
+    (void)accepted;  // best-effort: a shutting-down pool just skips the warm
+  }
+  try {
+    map_pool_->wait_idle();
+  } catch (...) {
+    // Prefault is advisory; a throwing touch must not fail the batch.
+  }
+  const obs::PhaseSample sample = timer.stop();
+  obs::PhaseTimer::annotate(span, sample);
+}
+
+void LocalEngine::run_reduce_prefault() {
+  obs::PhaseTimer timer(obs::EnginePhase::kReducePrefault);
+  S3_TRACE_SPAN_NAMED(span, "engine", "reduce_prefault");
+  const std::size_t map_workers = map_pool_->size();
+  for (std::size_t w = 0; w < reduce_pool_->size(); ++w) {
+    const bool accepted = reduce_pool_->submit_to(w, [this, map_workers] {
+      const int worker = reduce_pool_->current_worker_index();
+      const std::size_t shard =
+          map_workers + (worker >= 0 ? static_cast<std::size_t>(worker) : 0);
+      // Reduce-side arenas only transit consumed runs, so a modest fixed
+      // warm size suffices (the runs themselves arrive from the map side).
+      arena_pool_->prefault(shard, 2, 4096, 256 * 1024);
+    });
+    (void)accepted;
+  }
+  try {
+    reduce_pool_->wait_idle();
+  } catch (...) {
+  }
+  const obs::PhaseSample sample = timer.stop();
+  obs::PhaseTimer::annotate(span, sample);
+}
+
+void LocalEngine::export_locality_metrics() const {
+  auto& registry = obs::Registry::instance();
+  static auto& map_steals = registry.gauge("engine.map_pool.steals");
+  static auto& reduce_steals = registry.gauge("engine.reduce_pool.steals");
+  static auto& pinned = registry.gauge("engine.pool.pinned_workers");
+  static auto& arena_hits = registry.gauge("engine.arena_pool.hits");
+  static auto& arena_misses = registry.gauge("engine.arena_pool.misses");
+  static auto& arena_steals = registry.gauge("engine.arena_pool.steals");
+  map_steals.set(static_cast<double>(map_pool_->steals()));
+  reduce_steals.set(static_cast<double>(reduce_pool_->steals()));
+  pinned.set(static_cast<double>(map_pool_->pinned_workers() +
+                                 reduce_pool_->pinned_workers()));
+  arena_hits.set(static_cast<double>(arena_pool_->hits()));
+  arena_misses.set(static_cast<double>(arena_pool_->misses()));
+  arena_steals.set(static_cast<double>(arena_pool_->steals()));
+}
+
 Status LocalEngine::run_wave(const BatchExec& batch,
                              const std::vector<const JobSpec*>& specs,
                              WaveCtx& ctx) {
+  if (options_.prefault) run_map_prefault(batch);
+
   // --- Map wave: one merged map task per block, all slots in parallel. ---
   S3_TRACE_SPAN_NAMED(map_wave_span, "engine", "map_wave");
   map_wave_span.arg("batch", batch.id.value())
       .arg("blocks", batch.blocks.size());
+  obs::PhaseTimer map_timer(obs::EnginePhase::kMap);
   struct MapCollect {
     AnnotatedMutex mu;
     std::vector<MapTaskOutcome> outcomes S3_GUARDED_BY(mu);
     Status first_error S3_GUARDED_BY(mu) = Status::ok();
   } map_collect;
+  std::size_t block_index = 0;
   for (const BlockId block : batch.blocks) {
     MapTaskSpec task;
     {
@@ -242,8 +354,14 @@ Status LocalEngine::run_wave(const BatchExec& batch,
     }
     task.block = block;
     task.jobs = specs;
-    map_pool_->submit([this, task = std::move(task), &map_collect, &specs,
-                       &ctx] {
+    // Locality hint: the same round-robin the prefault phase warmed. The
+    // task may still be stolen by an idle worker — the runner re-resolves
+    // its arena shard at execution time.
+    const std::size_t target = block_index++ % map_pool_->size();
+    const bool accepted = map_pool_->submit_to(target, [this,
+                                                        task = std::move(task),
+                                                        &map_collect, &specs,
+                                                        &ctx] {
       // Fault tolerance: injected failures model a node losing the attempt
       // before any side effects; re-dispatch is therefore idempotent.
       StatusOr<MapTaskOutcome> outcome =
@@ -325,6 +443,15 @@ Status LocalEngine::run_wave(const BatchExec& batch,
         map_collect.first_error = outcome.status();
       }
     });
+    if (!accepted) {
+      // A rejected submit means the task never ran; surface it instead of
+      // silently committing a short wave.
+      MutexLock lock(map_collect.mu);
+      if (map_collect.first_error.is_ok()) {
+        map_collect.first_error =
+            Status::internal("map pool rejected a task (pool shutting down)");
+      }
+    }
   }
   try {
     map_pool_->wait_idle();
@@ -337,11 +464,15 @@ Status LocalEngine::run_wave(const BatchExec& batch,
     MutexLock lock(map_collect.mu);
     if (!map_collect.first_error.is_ok()) return map_collect.first_error;
   }
+  obs::PhaseTimer::annotate(map_wave_span, map_timer.stop());
   map_wave_span.end();
+
+  if (options_.prefault) run_reduce_prefault();
 
   // --- Reduce wave: per member job, per partition. ---
   S3_TRACE_SPAN_NAMED(reduce_wave_span, "engine", "reduce_wave");
   reduce_wave_span.arg("batch", batch.id.value()).arg("jobs", specs.size());
+  obs::PhaseTimer reduce_timer(obs::EnginePhase::kReduce);
   struct ReduceCollect {
     AnnotatedMutex mu;
     std::unordered_map<JobId, std::vector<KeyValue>> outputs S3_GUARDED_BY(mu);
@@ -358,7 +489,10 @@ Status LocalEngine::run_wave(const BatchExec& batch,
       }
       task.job = spec;
       task.partition = p;
-      reduce_pool_->submit([this, task, &collect, &specs, &ctx] {
+      // Partition-affine dispatch: partition p of every member lands on the
+      // same worker, so one worker's arenas see one partition's runs.
+      const bool accepted = reduce_pool_->submit_to(
+          p % reduce_pool_->size(), [this, task, &collect, &specs, &ctx] {
         StatusOr<ReduceTaskOutcome> outcome =
             Status::internal("reduce task never attempted");
         JobId poison;
@@ -435,6 +569,13 @@ Status LocalEngine::run_wave(const BatchExec& batch,
                    std::make_move_iterator(value.output.end()));
         collect.counters[task.job->id] += value.counters;
       });
+      if (!accepted) {
+        MutexLock lock(collect.mu);
+        if (collect.error.is_ok()) {
+          collect.error = Status::internal(
+              "reduce pool rejected a task (pool shutting down)");
+        }
+      }
     }
   }
   try {
@@ -446,10 +587,12 @@ Status LocalEngine::run_wave(const BatchExec& batch,
     MutexLock lock(collect.mu);
     if (!collect.error.is_ok()) return collect.error;
   }
+  obs::PhaseTimer::annotate(reduce_wave_span, reduce_timer.stop());
   reduce_wave_span.end();
 
   // --- Commit: member state is only touched after the whole wave succeeded,
   // so a failed wave leaves no trace and can be re-run exactly. ---
+  obs::PhaseTimer merge_timer(obs::EnginePhase::kMerge);
   {
     MutexLock outcome_lock(map_collect.mu);
     MutexLock collect_lock(collect.mu);
@@ -487,6 +630,8 @@ Status LocalEngine::run_wave(const BatchExec& batch,
       }
     }
   }
+  merge_timer.stop();
+  export_locality_metrics();
   return Status::ok();
 }
 

@@ -15,8 +15,18 @@ namespace {
 // resolve. Counters are task-local and read out once at publish time.
 class PartitionedEmitter final : public Emitter {
  public:
-  explicit PartitionedEmitter(std::uint32_t partitions)
-      : buffers_(partitions) {}
+  // `arenas` may be null (standalone runners, tests); with a pool, buffers
+  // are recycled arenas from `shard` — the executing worker's shard, so the
+  // pages a previous task on this worker faulted in get reused in place.
+  PartitionedEmitter(std::uint32_t partitions, BatchArenaPool* arenas,
+                     std::size_t shard)
+      : arenas_(arenas), shard_(shard) {
+    buffers_.reserve(partitions);
+    for (std::uint32_t p = 0; p < partitions; ++p) {
+      buffers_.push_back(arenas_ != nullptr ? arenas_->acquire(shard_)
+                                            : KVBatch{});
+    }
+  }
 
   void emit(std::string_view key, std::string_view value) override {
     ++records_;
@@ -35,7 +45,8 @@ class PartitionedEmitter final : public Emitter {
   std::uint64_t combine(Reducer& combiner, DataPath data_path) {
     std::uint64_t out_records = 0;
     for (auto& buffer : buffers_) {
-      KVBatch combined;
+      KVBatch combined =
+          arenas_ != nullptr ? arenas_->acquire(shard_) : KVBatch{};
       combined.reserve(buffer.size() / 2 + 1, buffer.payload_bytes() / 2 + 1);
       // Collect combiner output through a lightweight inline emitter.
       class CollectEmitter final : public Emitter {
@@ -69,8 +80,11 @@ class PartitionedEmitter final : public Emitter {
                          combiner.reduce(key, value_views, collect);
                        });
       }
+      KVBatch consumed = std::move(buffer);
       buffer = std::move(combined);
       out_records += buffer.size();
+      // The pre-combine buffer's arena goes back to this worker's shard.
+      if (arenas_ != nullptr) arenas_->release(shard_, std::move(consumed));
     }
     return out_records;
   }
@@ -87,6 +101,8 @@ class PartitionedEmitter final : public Emitter {
 
  private:
   std::vector<KVBatch> buffers_;
+  BatchArenaPool* arenas_;
+  std::size_t shard_;
   std::uint64_t records_ = 0;
   std::uint64_t bytes_ = 0;
 };
@@ -116,6 +132,14 @@ StatusOr<MapTaskOutcome> MapRunner::run(const MapTaskSpec& task) const {
 
   MapTaskOutcome outcome;
 
+  // Arena shard of the executing worker (resolved at run time, not dispatch
+  // time: a stolen task must use the thief's shard, not the victim's).
+  std::size_t shard = shard_offset_;
+  if (pool_ != nullptr) {
+    const int worker = pool_->current_worker_index();
+    if (worker >= 0) shard += static_cast<std::size_t>(worker);
+  }
+
   // One mapper + emitter per member job; a single physical pass drives all.
   struct Member {
     const JobSpec* spec;
@@ -128,7 +152,7 @@ StatusOr<MapTaskOutcome> MapRunner::run(const MapTaskSpec& task) const {
     S3_CHECK(spec != nullptr && spec->valid());
     members.push_back(Member{spec, spec->mapper_factory(),
                              std::make_unique<PartitionedEmitter>(
-                                 spec->num_reduce_tasks)});
+                                 spec->num_reduce_tasks, arenas_, shard)});
   }
 
   dfs::SharedScanReader reader(payload);

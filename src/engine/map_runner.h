@@ -7,9 +7,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/pinned_thread_pool.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "dfs/block_source.h"
+#include "engine/arena_pool.h"
 #include "engine/counters.h"
 #include "engine/job.h"
 #include "engine/shuffle.h"
@@ -38,10 +40,24 @@ class MapRunner {
   // runners may execute concurrently against the same stores.
   [[nodiscard]] StatusOr<MapTaskOutcome> run(const MapTaskSpec& task) const;
 
+  // Optional locality wiring: partition buffers are acquired from / released
+  // to `arenas`, sharded by the executing worker (shard_offset + the
+  // caller's index in `pool`; shard_offset when run off-pool). Both pointers
+  // must outlive the runner. Call before the first run().
+  void set_locality(BatchArenaPool* arenas, const PinnedThreadPool* pool,
+                    std::size_t shard_offset) {
+    arenas_ = arenas;
+    pool_ = pool;
+    shard_offset_ = shard_offset;
+  }
+
  private:
   const dfs::BlockSource* source_;
   ShuffleStore* shuffle_;
   DataPath data_path_;
+  BatchArenaPool* arenas_ = nullptr;
+  const PinnedThreadPool* pool_ = nullptr;
+  std::size_t shard_offset_ = 0;
 };
 
 }  // namespace s3::engine

@@ -46,8 +46,7 @@ StatusOr<ReduceTaskOutcome> ReduceRunner::run(const ReduceTaskSpec& task) const 
       .arg("job", task.job->id.value())
       .arg("partition", task.partition);
 
-  const std::vector<KVBatch> runs =
-      shuffle_->take(task.job->id, task.partition);
+  std::vector<KVBatch> runs = shuffle_->take(task.job->id, task.partition);
   ReduceTaskOutcome outcome;
   outcome.counters.reduce_tasks = 1;
 
@@ -82,6 +81,14 @@ StatusOr<ReduceTaskOutcome> ReduceRunner::run(const ReduceTaskSpec& task) const 
   }
   outcome.counters.reduce_output_records = outcome.output.size();
   outcome.counters.reduce_output_bytes = collect.bytes();
+  if (arenas_ != nullptr) {
+    std::size_t shard = shard_offset_;
+    if (pool_ != nullptr) {
+      const int worker = pool_->current_worker_index();
+      if (worker >= 0) shard += static_cast<std::size_t>(worker);
+    }
+    for (KVBatch& run : runs) arenas_->release(shard, std::move(run));
+  }
   tasks_run.add();
   task_ns.observe(obs::now_ns() - run_start_ns);
   return outcome;

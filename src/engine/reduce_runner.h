@@ -4,8 +4,10 @@
 // partition's output.
 #pragma once
 
+#include "common/pinned_thread_pool.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "engine/arena_pool.h"
 #include "engine/counters.h"
 #include "engine/job.h"
 #include "engine/shuffle.h"
@@ -33,9 +35,22 @@ class ReduceRunner {
   [[nodiscard]] StatusOr<ReduceTaskOutcome> run(
       const ReduceTaskSpec& task) const;
 
+  // Optional locality wiring (see MapRunner::set_locality): consumed shuffle
+  // runs are released to `arenas` under the executing worker's shard so
+  // their pages get recycled instead of freed cold.
+  void set_locality(BatchArenaPool* arenas, const PinnedThreadPool* pool,
+                    std::size_t shard_offset) {
+    arenas_ = arenas;
+    pool_ = pool;
+    shard_offset_ = shard_offset;
+  }
+
  private:
   ShuffleStore* shuffle_;
   DataPath data_path_;
+  BatchArenaPool* arenas_ = nullptr;
+  const PinnedThreadPool* pool_ = nullptr;
+  std::size_t shard_offset_ = 0;
 };
 
 }  // namespace s3::engine

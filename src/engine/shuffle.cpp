@@ -114,7 +114,7 @@ std::uint64_t hash_group(const KVBatch& batch, const GroupFn& fn) {
 
   for (std::size_t i = 0; i < n; ++i) {
     const std::string_view key = batch.key(i);
-    std::size_t slot = fnv1a(key) & mask;
+    std::size_t slot = fast_hash(key) & mask;
     while (slots[slot] != kNil && batch.key(groups[slots[slot]].head) != key) {
       slot = (slot + 1) & mask;
     }

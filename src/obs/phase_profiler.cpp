@@ -1,0 +1,196 @@
+#include "obs/phase_profiler.h"
+
+#include <atomic>
+#include <string>
+
+#include "obs/clock.h"
+#include "obs/registry.h"
+
+#if defined(__has_include)
+#if __has_include(<sys/resource.h>)
+#define S3_HAVE_RUSAGE 1
+#include <sys/resource.h>
+#endif
+#endif
+
+#if defined(__linux__) && defined(__has_include)
+#if __has_include(<linux/perf_event.h>) && __has_include(<sys/syscall.h>)
+#define S3_HAVE_PERF_EVENT 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#endif
+#endif
+
+namespace s3::obs {
+namespace {
+
+std::atomic<bool> g_phase_counters_enabled{false};
+
+struct FaultSnapshot {
+  std::int64_t minor = 0;
+  std::int64_t major = 0;
+};
+
+FaultSnapshot read_faults() {
+  FaultSnapshot snap;
+#if defined(S3_HAVE_RUSAGE)
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    snap.minor = static_cast<std::int64_t>(ru.ru_minflt);
+    snap.major = static_cast<std::int64_t>(ru.ru_majflt);
+  }
+#endif
+  return snap;
+}
+
+#if defined(S3_HAVE_PERF_EVENT)
+// Opens one hardware counter for the calling thread; -1 on any failure
+// (missing PMU, perf_event_paranoid, seccomp, containers without the
+// syscall...). group_fd links the three counters so they start and stop as a
+// unit; the leader passes -1.
+int open_hw_counter(std::uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = (group_fd == -1) ? 1 : 0;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  return static_cast<int>(
+      syscall(__NR_perf_event_open, &attr, 0, -1, group_fd, 0));
+}
+
+bool read_hw_counter(int fd, std::uint64_t& out) {
+  if (fd < 0) return false;
+  std::uint64_t value = 0;
+  if (read(fd, &value, sizeof(value)) != sizeof(value)) return false;
+  out = value;
+  return true;
+}
+#endif  // S3_HAVE_PERF_EVENT
+
+void record_phase_metrics(EnginePhase phase, const PhaseSample& sample) {
+  auto& registry = Registry::instance();
+  const std::string prefix = std::string("engine.phase.") + phase_name(phase);
+  registry.histogram(prefix + ".ns").observe(sample.wall_ns);
+  if (sample.minor_faults > 0) {
+    registry.counter(prefix + ".minor_faults")
+        .add(static_cast<std::uint64_t>(sample.minor_faults));
+  }
+  if (sample.major_faults > 0) {
+    registry.counter(prefix + ".major_faults")
+        .add(static_cast<std::uint64_t>(sample.major_faults));
+  }
+  if (sample.has_hw_counters) {
+    registry.counter(prefix + ".cycles").add(sample.cycles);
+    registry.counter(prefix + ".instructions").add(sample.instructions);
+    registry.counter(prefix + ".llc_misses").add(sample.llc_misses);
+  }
+}
+
+}  // namespace
+
+const char* phase_name(EnginePhase phase) {
+  switch (phase) {
+    case EnginePhase::kMapPrefault:
+      return "map_prefault";
+    case EnginePhase::kMap:
+      return "map";
+    case EnginePhase::kReducePrefault:
+      return "reduce_prefault";
+    case EnginePhase::kReduce:
+      return "reduce";
+    case EnginePhase::kMerge:
+      return "merge";
+  }
+  return "unknown";
+}
+
+void set_phase_counters_enabled(bool enabled) {
+  g_phase_counters_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool phase_counters_enabled() {
+  return g_phase_counters_enabled.load(std::memory_order_relaxed);
+}
+
+PhaseTimer::PhaseTimer(EnginePhase phase) : phase_(phase) {
+#if defined(S3_HAVE_PERF_EVENT)
+  if (phase_counters_enabled()) {
+    fd_cycles_ = open_hw_counter(PERF_COUNT_HW_CPU_CYCLES, -1);
+    if (fd_cycles_ >= 0) {
+      fd_instructions_ = open_hw_counter(PERF_COUNT_HW_INSTRUCTIONS,
+                                         fd_cycles_);
+      fd_llc_misses_ = open_hw_counter(PERF_COUNT_HW_CACHE_MISSES, fd_cycles_);
+    }
+    // All three or none: a partial group would report misleading ratios.
+    if (fd_instructions_ < 0 || fd_llc_misses_ < 0) {
+      if (fd_llc_misses_ >= 0) close(fd_llc_misses_);
+      if (fd_instructions_ >= 0) close(fd_instructions_);
+      if (fd_cycles_ >= 0) close(fd_cycles_);
+      fd_cycles_ = fd_instructions_ = fd_llc_misses_ = -1;
+    }
+    if (fd_cycles_ >= 0) {
+      ioctl(fd_cycles_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+      ioctl(fd_cycles_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+    }
+  }
+#endif
+  const FaultSnapshot faults = read_faults();
+  start_minor_ = faults.minor;
+  start_major_ = faults.major;
+  start_ns_ = now_ns();
+}
+
+PhaseTimer::~PhaseTimer() { stop(); }
+
+PhaseSample PhaseTimer::stop() {
+  if (stopped_) return sample_;
+  stopped_ = true;
+  sample_.wall_ns = now_ns() - start_ns_;
+  const FaultSnapshot faults = read_faults();
+  sample_.minor_faults = faults.minor - start_minor_;
+  sample_.major_faults = faults.major - start_major_;
+#if defined(S3_HAVE_PERF_EVENT)
+  if (fd_cycles_ >= 0) {
+    ioctl(fd_cycles_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+    sample_.has_hw_counters = read_hw_counter(fd_cycles_, sample_.cycles) &&
+                              read_hw_counter(fd_instructions_,
+                                              sample_.instructions) &&
+                              read_hw_counter(fd_llc_misses_,
+                                              sample_.llc_misses);
+    if (!sample_.has_hw_counters) {
+      sample_.cycles = sample_.instructions = sample_.llc_misses = 0;
+    }
+    close(fd_llc_misses_);
+    close(fd_instructions_);
+    close(fd_cycles_);
+    fd_cycles_ = fd_instructions_ = fd_llc_misses_ = -1;
+  }
+#endif
+  record_phase_metrics(phase_, sample_);
+  return sample_;
+}
+
+void PhaseTimer::annotate(SpanGuard& span, const PhaseSample& sample) {
+  if (!span.active()) return;
+  span.arg("phase_ns", sample.wall_ns);
+  span.arg("minor_faults", static_cast<std::uint64_t>(
+                               sample.minor_faults > 0 ? sample.minor_faults
+                                                       : 0));
+  span.arg("major_faults", static_cast<std::uint64_t>(
+                               sample.major_faults > 0 ? sample.major_faults
+                                                       : 0));
+  if (sample.has_hw_counters) {
+    span.arg("cycles", sample.cycles);
+    span.arg("instructions", sample.instructions);
+    span.arg("llc_misses", sample.llc_misses);
+  }
+}
+
+}  // namespace s3::obs

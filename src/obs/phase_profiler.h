@@ -1,0 +1,92 @@
+// Per-phase execution profiling for the engine's locality work (the Metis
+// `pmcs[MR_PHASES]` idea): each engine phase — map prefault, map, reduce
+// prefault, reduce, merge — is timed and annotated with the page-fault work
+// it caused (rusage minor/major fault deltas) and, when hardware counters
+// are enabled and the OS grants perf_event_open, cycles / instructions /
+// last-level-cache misses.
+//
+// Everything degrades gracefully: on platforms without <sys/resource.h> the
+// fault deltas read 0; when perf_event_open is unavailable, denied
+// (perf_event_paranoid), or not compiled in, has_hw_counters stays false and
+// the sample carries timing + faults only. Enabling counters is a runtime
+// switch (--phase-counters in the examples) so the default hot path never
+// pays the three syscalls per phase.
+//
+// Fault deltas are process-wide (RUSAGE_SELF, as in Metis): when two engines
+// run phases concurrently the attribution blurs across them. The engine runs
+// its own phases strictly in sequence, so per-engine runs read exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/trace.h"
+
+namespace s3::obs {
+
+// Phase vocabulary, mapped 1:1 onto Metis's task_type_t (MAP_PREFAULT, MAP,
+// REDUCE_PREFAULT, REDUCE, MERGE). kMerge covers the engine's commit/merge
+// of partial outputs rather than a dedicated merge wave.
+enum class EnginePhase {
+  kMapPrefault,
+  kMap,
+  kReducePrefault,
+  kReduce,
+  kMerge,
+};
+inline constexpr std::size_t kNumEnginePhases = 5;
+
+// Stable lowercase name ("map_prefault", "map", ...) used in metric keys,
+// span args, and s3trace output.
+[[nodiscard]] const char* phase_name(EnginePhase phase);
+
+// Process-global switch for the perf_event hardware counters. Off by
+// default; the rusage fault deltas are always collected (two getrusage
+// calls per phase).
+void set_phase_counters_enabled(bool enabled);
+[[nodiscard]] bool phase_counters_enabled();
+
+struct PhaseSample {
+  std::uint64_t wall_ns = 0;
+  std::int64_t minor_faults = 0;
+  std::int64_t major_faults = 0;
+  // True only when all three hardware counters were captured.
+  bool has_hw_counters = false;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t llc_misses = 0;
+};
+
+// RAII phase scope. Construction snapshots rusage (and opens the perf
+// counter group when enabled); stop() — or the destructor — computes the
+// deltas, folds them into the metrics registry under
+// engine.phase.<name>.{ns,minor_faults,major_faults,cycles,instructions,
+// llc_misses}, and returns the sample.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(EnginePhase phase);
+  ~PhaseTimer();
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+  // Idempotent; later calls return the first sample.
+  PhaseSample stop();
+
+  // Attaches the sample's fields as span args so phase costs show up in
+  // s3trace / Perfetto next to the phase's span.
+  static void annotate(SpanGuard& span, const PhaseSample& sample);
+
+ private:
+  EnginePhase phase_;
+  bool stopped_ = false;
+  PhaseSample sample_;
+  std::uint64_t start_ns_ = 0;
+  std::int64_t start_minor_ = 0;
+  std::int64_t start_major_ = 0;
+  // Perf counter group fds (cycles leads); -1 when unavailable/disabled.
+  int fd_cycles_ = -1;
+  int fd_instructions_ = -1;
+  int fd_llc_misses_ = -1;
+};
+
+}  // namespace s3::obs

@@ -3,22 +3,10 @@
 #include <charconv>
 
 #include "common/status.h"
+#include "workloads/tokenize.h"
 
 namespace s3::workloads {
 namespace {
-
-// Iterates whitespace-separated words of a record without copying.
-template <typename Fn>
-void for_each_word(std::string_view line, Fn&& fn) {
-  std::size_t i = 0;
-  while (i < line.size()) {
-    while (i < line.size() && line[i] == ' ') ++i;
-    std::size_t j = i;
-    while (j < line.size() && line[j] != ' ') ++j;
-    if (j > i) fn(line.substr(i, j - i));
-    i = j;
-  }
-}
 
 std::int64_t parse_int(std::string_view s) {
   std::int64_t v = 0;

@@ -106,14 +106,14 @@ TEST(ThreadPoolTest, TasksRunConcurrently) {
   std::atomic<int> in_flight{0};
   std::atomic<int> peak{0};
   for (int i = 0; i < 8; ++i) {
-    pool.submit([&] {
+    EXPECT_TRUE(pool.submit([&] {
       const int now = ++in_flight;
       int expected = peak.load();
       while (now > expected && !peak.compare_exchange_weak(expected, now)) {
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
       --in_flight;
-    });
+    }));
   }
   pool.wait_idle();
   EXPECT_GE(peak.load(), 2);
@@ -130,10 +130,10 @@ TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
   {
     ThreadPool pool(1);
     for (int i = 0; i < 50; ++i) {
-      pool.submit([&count] {
+      EXPECT_TRUE(pool.submit([&count] {
         std::this_thread::sleep_for(std::chrono::microseconds(100));
         ++count;
-      });
+      }));
     }
   }  // destructor: shutdown + drain
   EXPECT_EQ(count.load(), 50);
@@ -143,7 +143,7 @@ TEST(ThreadPoolTest, WaitIdleCanBeReused) {
   ThreadPool pool(3);
   std::atomic<int> count{0};
   for (int round = 0; round < 5; ++round) {
-    for (int i = 0; i < 20; ++i) pool.submit([&count] { ++count; });
+    for (int i = 0; i < 20; ++i) EXPECT_TRUE(pool.submit([&count] { ++count; }));
     pool.wait_idle();
     EXPECT_EQ(count.load(), (round + 1) * 20);
   }
@@ -216,8 +216,10 @@ TEST(BlockingQueueTest, ConcurrentCloseAndPushNeverLosesAcceptedItems) {
 TEST(ThreadPoolTest, TaskExceptionRethrownFromWaitIdle) {
   ThreadPool pool(2);
   std::atomic<int> completed{0};
-  pool.submit([] { throw std::runtime_error("task exploded"); });
-  for (int i = 0; i < 10; ++i) pool.submit([&completed] { ++completed; });
+  EXPECT_TRUE(pool.submit([] { throw std::runtime_error("task exploded"); }));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(pool.submit([&completed] { ++completed; }));
+  }
   EXPECT_THROW(pool.wait_idle(), std::runtime_error);
   // The throwing task did not kill its worker: every other task still ran.
   EXPECT_EQ(completed.load(), 10);
@@ -225,8 +227,8 @@ TEST(ThreadPoolTest, TaskExceptionRethrownFromWaitIdle) {
 
 TEST(ThreadPoolTest, OnlyFirstExceptionIsKept) {
   ThreadPool pool(1);  // one worker => deterministic task order
-  pool.submit([] { throw std::runtime_error("first"); });
-  pool.submit([] { throw std::logic_error("second"); });
+  EXPECT_TRUE(pool.submit([] { throw std::runtime_error("first"); }));
+  EXPECT_TRUE(pool.submit([] { throw std::logic_error("second"); }));
   try {
     pool.wait_idle();
     FAIL() << "wait_idle should have rethrown";
@@ -237,11 +239,11 @@ TEST(ThreadPoolTest, OnlyFirstExceptionIsKept) {
 
 TEST(ThreadPoolTest, PoolIsReusableAfterException) {
   ThreadPool pool(2);
-  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_TRUE(pool.submit([] { throw std::runtime_error("boom"); }));
   EXPECT_THROW(pool.wait_idle(), std::runtime_error);
   // The error slot was cleared; the next wave is clean.
   std::atomic<int> count{0};
-  for (int i = 0; i < 8; ++i) pool.submit([&count] { ++count; });
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(pool.submit([&count] { ++count; }));
   pool.wait_idle();
   EXPECT_EQ(count.load(), 8);
 }
@@ -251,10 +253,10 @@ TEST(ThreadPoolTest, ExceptionDuringShutdownIsDiscarded) {
   // std::terminate from the destructor.
   {
     ThreadPool pool(1);
-    pool.submit([] {
+    EXPECT_TRUE(pool.submit([] {
       std::this_thread::sleep_for(std::chrono::milliseconds(5));
       throw std::runtime_error("mid-shutdown");
-    });
+    }));
   }  // destructor: shutdown + join, exception dropped
   SUCCEED();
 }

@@ -309,7 +309,14 @@ TEST(S3LintRules, ThreadDetachFlagged) {
                        "  t.detach();\n"
                        "}\n");
   ASSERT_TRUE(has_rule(vs, "thread-detach"));
-  EXPECT_EQ(vs[0].line, 3);
+  for (const Violation& v : vs) {
+    if (v.rule == "thread-detach") {
+      EXPECT_EQ(v.line, 3);
+    }
+  }
+  // The same fixture also constructs a raw std::thread in src/ — the two
+  // rules fire independently.
+  EXPECT_TRUE(has_rule(vs, "raw-thread"));
 }
 
 TEST(S3LintRules, JoinedThreadClean) {
@@ -319,6 +326,56 @@ TEST(S3LintRules, JoinedThreadClean) {
                        "  t.join();\n"
                        "}\n");
   EXPECT_FALSE(has_rule(vs, "thread-detach"));
+}
+
+TEST(S3LintRules, RawThreadInSrcFlagged) {
+  const auto vs = lint("src/engine/runner.cpp",
+                       "void f() {\n"
+                       "  std::thread worker([] {});\n"
+                       "  worker.join();\n"
+                       "}\n");
+  ASSERT_TRUE(has_rule(vs, "raw-thread"));
+  for (const Violation& v : vs) {
+    if (v.rule == "raw-thread") {
+      EXPECT_EQ(v.line, 2);
+    }
+  }
+}
+
+TEST(S3LintRules, PthreadCreateInSrcFlagged) {
+  const auto vs = lint("src/engine/runner.cpp",
+                       "void f() {\n"
+                       "  pthread_create(&tid, nullptr, body, nullptr);\n"
+                       "}\n");
+  EXPECT_TRUE(has_rule(vs, "raw-thread"));
+}
+
+TEST(S3LintRules, RawThreadInCommonClean) {
+  // src/common/ hosts the pool implementations themselves — the one
+  // sanctioned home for raw threads.
+  const auto vs = lint("src/common/pinned_thread_pool.cpp",
+                       "void f() {\n"
+                       "  std::thread worker([] {});\n"
+                       "  worker.join();\n"
+                       "}\n");
+  EXPECT_FALSE(has_rule(vs, "raw-thread"));
+}
+
+TEST(S3LintRules, RawThreadOutsideSrcClean) {
+  const auto vs = lint("tests/pool_test.cpp",
+                       "void f() {\n"
+                       "  std::thread worker([] {});\n"
+                       "  worker.join();\n"
+                       "}\n");
+  EXPECT_FALSE(has_rule(vs, "raw-thread"));
+}
+
+TEST(S3LintRules, ThisThreadNotFlaggedAsRawThread) {
+  const auto vs = lint("src/engine/runner.cpp",
+                       "void f() {\n"
+                       "  std::this_thread::yield();\n"
+                       "}\n");
+  EXPECT_FALSE(has_rule(vs, "raw-thread"));
 }
 
 TEST(S3LintRules, CoutInSrcFlagged) {

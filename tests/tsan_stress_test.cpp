@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/pinned_thread_pool.h"
 #include "core/real_driver.h"
 #include "engine/shuffle.h"
 #include "obs/trace.h"
@@ -132,6 +133,41 @@ TEST(TsanStressTest, ShuffleRegisterUnregisterChurn) {
   stop = true;
   appender.join();
   EXPECT_GT(shuffle.pending_records(JobId(1000)), 0u);
+}
+
+// --- PinnedThreadPool: stealing vs submit vs shutdown -------------------
+
+TEST(TsanStressTest, PinnedPoolStealSubmitShutdownChurn) {
+  // Multiple producers skew work onto two home deques while the other
+  // workers steal, waves interleave with wait_idle from a separate thread,
+  // and the pool is torn down with work still queued — the full lock surface
+  // of the per-worker deques plus the coordination mutex under contention.
+  std::atomic<int> executed{0};
+  std::atomic<int> accepted{0};
+  {
+    PinnedThreadPool pool(4);
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 3; ++p) {
+      producers.emplace_back([&pool, &executed, &accepted, p] {
+        for (int i = 0; i < 400; ++i) {
+          if (pool.submit_to(static_cast<std::size_t>(p % 2),
+                             [&executed] { ++executed; })) {
+            ++accepted;
+          }
+        }
+      });
+    }
+    std::thread waiter([&pool] {
+      for (int i = 0; i < 10; ++i) {
+        pool.wait_idle();
+        std::this_thread::yield();
+      }
+    });
+    for (auto& t : producers) t.join();
+    waiter.join();
+  }  // destructor drains whatever is still queued
+  EXPECT_EQ(executed.load(), accepted.load());
+  EXPECT_EQ(accepted.load(), 3 * 400);
 }
 
 // --- JobQueueManager: concurrent late-arrival admissions ----------------

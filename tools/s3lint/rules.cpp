@@ -341,6 +341,35 @@ void check_raw_clock(const std::string& path, const TokenizedFile& file,
   }
 }
 
+// raw-thread: direct std::thread (or pthread_create) in src/ outside
+// src/common/. Worker threads must come from ThreadPool/PinnedThreadPool so
+// every thread honors the shutdown-drain and exception-rethrow contracts and
+// shows up in the pools' steal/pin telemetry; a hand-rolled thread does
+// neither. std::this_thread (yield/sleep queries) is a different identifier
+// and is not flagged.
+void check_raw_thread(const std::string& path, const TokenizedFile& file,
+                      std::vector<Violation>* out) {
+  if (!starts_with(path, "src/")) return;
+  if (starts_with(path, "src/common/")) return;
+  const std::vector<Token>& toks = file.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const bool std_thread =
+        i + 2 < toks.size() && toks[i].kind == TokKind::kIdent &&
+        toks[i].text == "std" && toks[i + 1].kind == TokKind::kPunct &&
+        toks[i + 1].text == "::" && toks[i + 2].kind == TokKind::kIdent &&
+        toks[i + 2].text == "thread";
+    const bool pthread = toks[i].kind == TokKind::kIdent &&
+                         toks[i].text == "pthread_create";
+    if (!std_thread && !pthread) continue;
+    out->push_back(Violation{
+        "raw-thread", toks[i].line,
+        std::string(std_thread ? "std::thread" : "pthread_create") +
+            " in src/ outside common/; spawn workers through "
+            "ThreadPool/PinnedThreadPool so shutdown drain, exception "
+            "rethrow, and pinning stay centralized"});
+  }
+}
+
 void check_pragma_once(const std::string& path, const TokenizedFile& file,
                        std::vector<Violation>* out) {
   if (!ends_with(path, ".h")) return;
@@ -434,8 +463,8 @@ const std::vector<std::string>& all_rules() {
   static const std::vector<std::string> kRules = {
       "naked-mutex",   "status-discard", "status-nodiscard",
       "status-dataloss", "segment-modulo", "view-retention",
-      "thread-detach", "stray-cout",     "sleep-in-src",
-      "raw-clock",     "pragma-once",
+      "thread-detach", "raw-thread",     "stray-cout",
+      "sleep-in-src",  "raw-clock",      "pragma-once",
   };
   return kRules;
 }
@@ -474,6 +503,9 @@ std::vector<Violation> lint_file(
   }
   if (enabled.count("thread-detach") > 0) {
     check_thread_detach(file, &raw);
+  }
+  if (enabled.count("raw-thread") > 0) {
+    check_raw_thread(path, file, &raw);
   }
   if (enabled.count("stray-cout") > 0) {
     check_stray_cout(path, file, &raw);
