@@ -21,15 +21,28 @@ struct WorkerTls {
 thread_local WorkerTls tls_worker;
 
 // Best-effort self-pin of the calling thread to one cpu. Returns true only
-// when the affinity call was actually honored.
+// when the affinity call was actually honored. Candidates come from the
+// thread's current affinity mask, not logical CPUs 0..hw-1: in a container
+// restricted to a non-prefix cpuset (say CPUs 4-7), pinning to index 0
+// would fail even though valid CPUs exist. Worker i gets the i-th allowed
+// CPU, wrapping.
 bool pin_self_to_cpu(std::size_t cpu_index) {
 #if defined(__linux__)
-  const unsigned hw = std::thread::hardware_concurrency();
-  if (hw == 0) return false;
-  cpu_set_t set;
-  CPU_ZERO(&set);
-  CPU_SET(static_cast<int>(cpu_index % hw), &set);
-  return sched_setaffinity(0, sizeof(set), &set) == 0;
+  cpu_set_t allowed;
+  CPU_ZERO(&allowed);
+  if (sched_getaffinity(0, sizeof(allowed), &allowed) != 0) return false;
+  const int allowed_count = CPU_COUNT(&allowed);
+  if (allowed_count <= 0) return false;
+  int skip = static_cast<int>(cpu_index % static_cast<std::size_t>(allowed_count));
+  for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+    if (!CPU_ISSET(cpu, &allowed)) continue;
+    if (skip-- > 0) continue;
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(cpu, &set);
+    return sched_setaffinity(0, sizeof(set), &set) == 0;
+  }
+  return false;
 #else
   (void)cpu_index;
   return false;

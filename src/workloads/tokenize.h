@@ -8,8 +8,9 @@
 // share the semantics:
 //
 //   kScalar  byte-at-a-time loop (the original for_each_word; the oracle)
-//   kSwar    8-byte windows via a uint64 load and the zero-byte trick on
-//            v ^ 0x2020...: (x - 0x0101..) & ~x & 0x8080.. flags zero bytes
+//   kSwar    8-byte windows via a uint64 load and an exact zero-byte
+//            detector on v ^ 0x2020...: ~(((v & 0x7F7F..) + 0x7F7F..) | v
+//            | 0x7F7F..) flags exactly the zero bytes
 //   kSimd    16-byte windows via SSE2 _mm_cmpeq_epi8 + movemask
 //
 // kAuto (the default) picks the widest path compiled in. All three are
@@ -42,13 +43,19 @@ inline std::atomic<TokenizeMode>& tokenize_mode_slot() {
 
 inline constexpr char kDelim = ' ';
 inline constexpr std::uint64_t kDelimBroadcast = 0x2020202020202020ULL;
-inline constexpr std::uint64_t kLowBits = 0x0101010101010101ULL;
+inline constexpr std::uint64_t kLowSeven = 0x7F7F7F7F7F7F7F7FULL;
 inline constexpr std::uint64_t kHighBits = 0x8080808080808080ULL;
 
-// Bitmask with bit b set iff byte b of `word` is zero (standard SWAR
-// zero-byte detector, little-endian byte order matches x86).
+// Bitmask with bit 8b+7 set iff byte b of `word` is exactly zero, and no
+// other bits set. Per byte, (x & 0x7F) + 0x7F carries into bit 7 iff the
+// low seven bits are nonzero, and OR-ing x back in catches bit 7 itself;
+// byte sums top out at 0xFE, so lanes never carry into each other. The
+// textbook (x - 0x0101..) & ~x & 0x8080.. detector is NOT exact: its
+// subtraction borrows across lanes, so the byte above a true zero can be
+// flagged when it isn't zero (e.g. '!' ^ ' ' = 0x01 right after a space),
+// which is a correctness bug for a boundary-walking tokenizer.
 [[nodiscard]] inline std::uint64_t zero_byte_flags(std::uint64_t word) {
-  return (word - kLowBits) & ~word & kHighBits;
+  return ~(((word & kLowSeven) + kLowSeven) | word | kLowSeven);
 }
 
 [[nodiscard]] inline std::uint64_t load_u64(const char* p) {
