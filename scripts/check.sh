@@ -9,6 +9,9 @@
 #   scripts/check.sh --tsan          TSan build + ctest   (build-tsan/)
 #   scripts/check.sh --tidy          clang-tidy over every TU (build-tidy/)
 #   scripts/check.sh --lint          build + run s3lint over the whole tree
+#   scripts/check.sh --lockcheck     build + run s3lockcheck (whole-project
+#                                    lock-order, rank-order, and
+#                                    blocking-under-lock analysis) over src/
 #   scripts/check.sh --trace         trace smoke: capture a Chrome trace from
 #                                    the wordcount example, validate it with
 #                                    s3trace, and fail if enabling the tracer
@@ -23,7 +26,8 @@
 #                                    path) once each, fail on zero throughput
 #                                    or a benchmark error, and re-check the
 #                                    5% trace-overhead budget
-#   scripts/check.sh --all           tier-1 + lint + asan + ubsan + tsan
+#   scripts/check.sh --all           tier-1 + lint + lockcheck + asan
+#                                    + ubsan + tsan
 #                                    + tidy + format check + Release smoke
 #                                    + trace smoke + bench smoke + chaos
 #                                    matrix
@@ -44,10 +48,11 @@ for arg in "$@"; do
     --tsan) MODES+=(tsan) ;;
     --tidy) MODES+=(tidy) ;;
     --lint) MODES+=(lint) ;;
+    --lockcheck) MODES+=(lockcheck) ;;
     --trace) MODES+=(trace) ;;
     --chaos) MODES+=(chaos) ;;
     --bench-smoke) MODES+=(bench-smoke) ;;
-    --all) MODES+=(tier1 lint asan ubsan tsan tidy format release trace bench-smoke chaos) ;;
+    --all) MODES+=(tier1 lint lockcheck asan ubsan tsan tidy format release trace bench-smoke chaos) ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -103,6 +108,12 @@ for mode in "${MODES[@]}"; do
       cmake -B build -S . -DS3_WARNINGS_AS_ERRORS=ON
       cmake --build build -j --target s3lint
       ./build/tools/s3lint --root=.
+      ;;
+    lockcheck)
+      echo "=== s3lockcheck: whole-project lock-order analysis ==="
+      cmake -B build -S . -DS3_WARNINGS_AS_ERRORS=ON
+      cmake --build build -j --target s3lockcheck
+      ./build/tools/s3lockcheck --root=.
       ;;
     format)
       scripts/format.sh --check

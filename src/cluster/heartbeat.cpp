@@ -22,14 +22,23 @@ HeartbeatTracker::HeartbeatTracker(double slow_threshold,
 void HeartbeatTracker::report(const ProgressReport& report) {
   S3_CHECK(report.progress >= 0.0 && report.progress <= 1.0);
   S3_CHECK(report.report_time >= report.task_start);
+  MutexLock lock(mu_);
   if (dead_.count(report.node) > 0) return;  // death is permanent
   latest_[report.node] = report;
   suspect_.erase(report.node);  // a fresh heartbeat clears suspicion
 }
 
-void HeartbeatTracker::clear(NodeId node) { latest_.erase(node); }
+void HeartbeatTracker::clear(NodeId node) {
+  MutexLock lock(mu_);
+  latest_.erase(node);
+}
 
 void HeartbeatTracker::mark_dead(NodeId node) {
+  MutexLock lock(mu_);
+  mark_dead_locked(node);
+}
+
+void HeartbeatTracker::mark_dead_locked(NodeId node) {
   dead_.insert(node);
   suspect_.erase(node);
   latest_.erase(node);
@@ -37,6 +46,7 @@ void HeartbeatTracker::mark_dead(NodeId node) {
 
 HealthTransitions HeartbeatTracker::sweep(SimTime now) {
   HealthTransitions out;
+  MutexLock lock(mu_);
   std::vector<NodeId> to_kill;
   for (const auto& [node, report] : latest_) {
     const SimTime silence = now - report.report_time;
@@ -48,7 +58,7 @@ HealthTransitions HeartbeatTracker::sweep(SimTime now) {
     }
   }
   for (const NodeId node : to_kill) {
-    mark_dead(node);
+    mark_dead_locked(node);
     out.died.push_back(node);
   }
   std::sort(out.suspected.begin(), out.suspected.end());
@@ -57,12 +67,14 @@ HealthTransitions HeartbeatTracker::sweep(SimTime now) {
 }
 
 NodeHealth HeartbeatTracker::health(NodeId node) const {
+  MutexLock lock(mu_);
   if (dead_.count(node) > 0) return NodeHealth::kDead;
   if (suspect_.count(node) > 0) return NodeHealth::kSuspect;
   return NodeHealth::kHealthy;
 }
 
 std::vector<NodeId> HeartbeatTracker::dead_nodes() const {
+  MutexLock lock(mu_);
   std::vector<NodeId> out(dead_.begin(), dead_.end());
   std::sort(out.begin(), out.end());
   return out;
@@ -79,6 +91,7 @@ SimTime HeartbeatTracker::estimate_duration(const ProgressReport& r) {
 }
 
 std::optional<NodeEstimate> HeartbeatTracker::estimate(NodeId node) const {
+  MutexLock lock(mu_);
   const auto it = latest_.find(node);
   if (it == latest_.end()) return std::nullopt;
   NodeEstimate e;
@@ -89,6 +102,7 @@ std::optional<NodeEstimate> HeartbeatTracker::estimate(NodeId node) const {
 }
 
 std::vector<NodeId> HeartbeatTracker::slow_nodes() const {
+  MutexLock lock(mu_);
   if (latest_.size() < 2) return {};  // no basis for comparison
   std::vector<SimTime> durations;
   durations.reserve(latest_.size());

@@ -11,6 +11,11 @@
 // and the node's reports are ignored from then on. Both timeouts default to
 // "never", so the original slow-node-only behavior is unchanged unless a
 // caller opts in.
+//
+// Thread safety: all public methods are safe to call concurrently. The
+// engine's on_node_death hook fires from worker threads while the scheduler
+// sweeps from its own, so the tracker serializes on an internal
+// kClusterHeartbeat-ranked mutex (a leaf: no lock is acquired under it).
 #pragma once
 
 #include <optional>
@@ -18,6 +23,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace s3::cluster {
@@ -80,20 +86,28 @@ class HeartbeatTracker {
   // appear — they have no live report to estimate from).
   [[nodiscard]] std::vector<NodeId> slow_nodes() const;
 
-  [[nodiscard]] std::size_t num_reporting() const { return latest_.size(); }
+  [[nodiscard]] std::size_t num_reporting() const S3_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return latest_.size();
+  }
   [[nodiscard]] double slow_threshold() const { return slow_threshold_; }
   [[nodiscard]] SimTime suspect_timeout() const { return suspect_timeout_; }
   [[nodiscard]] SimTime dead_timeout() const { return dead_timeout_; }
 
  private:
   [[nodiscard]] static SimTime estimate_duration(const ProgressReport& r);
+  // sweep() kills nodes it timed out while already holding mu_.
+  void mark_dead_locked(NodeId node) S3_REQUIRES(mu_);
 
+  // Configuration, immutable after construction (read without mu_).
   double slow_threshold_;
   SimTime suspect_timeout_;
   SimTime dead_timeout_;
-  std::unordered_map<NodeId, ProgressReport> latest_;
-  std::unordered_set<NodeId> suspect_;
-  std::unordered_set<NodeId> dead_;
+
+  mutable AnnotatedMutex mu_{LockRank::kClusterHeartbeat};
+  std::unordered_map<NodeId, ProgressReport> latest_ S3_GUARDED_BY(mu_);
+  std::unordered_set<NodeId> suspect_ S3_GUARDED_BY(mu_);
+  std::unordered_set<NodeId> dead_ S3_GUARDED_BY(mu_);
 };
 
 }  // namespace s3::cluster

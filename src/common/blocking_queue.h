@@ -70,7 +70,7 @@ class BlockingQueue {
   }
 
  private:
-  mutable AnnotatedMutex mu_;
+  mutable AnnotatedMutex mu_{LockRank::kPoolQueue};
   std::condition_variable cv_;
   std::deque<T> items_ S3_GUARDED_BY(mu_);
   bool closed_ S3_GUARDED_BY(mu_) = false;

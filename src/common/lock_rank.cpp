@@ -1,0 +1,120 @@
+#include "common/lock_rank.h"
+
+#include "common/contracts.h"
+
+namespace s3 {
+
+const char* lock_rank_name(LockRank rank) {
+  switch (rank) {
+    case LockRank::kUnranked:
+      return "kUnranked";
+    case LockRank::kSchedJobQueue:
+      return "kSchedJobQueue";
+    case LockRank::kEngineMapCollect:
+      return "kEngineMapCollect";
+    case LockRank::kEngineReduceCollect:
+      return "kEngineReduceCollect";
+    case LockRank::kEngineState:
+      return "kEngineState";
+    case LockRank::kEngineWaveCtx:
+      return "kEngineWaveCtx";
+    case LockRank::kShuffleRegistry:
+      return "kShuffleRegistry";
+    case LockRank::kShuffleBucket:
+      return "kShuffleBucket";
+    case LockRank::kArenaShard:
+      return "kArenaShard";
+    case LockRank::kPoolCoordination:
+      return "kPoolCoordination";
+    case LockRank::kPoolQueue:
+      return "kPoolQueue";
+    case LockRank::kDfsBlockStore:
+      return "kDfsBlockStore";
+    case LockRank::kDfsReplicaHealth:
+      return "kDfsReplicaHealth";
+    case LockRank::kClusterHeartbeat:
+      return "kClusterHeartbeat";
+    case LockRank::kObsJournal:
+      return "kObsJournal";
+    case LockRank::kObsMetrics:
+      return "kObsMetrics";
+    case LockRank::kObsTraceSink:
+      return "kObsTraceSink";
+    case LockRank::kObsTraceRing:
+      return "kObsTraceRing";
+    case LockRank::kLogging:
+      return "kLogging";
+  }
+  return "<invalid LockRank>";
+}
+
+#if S3_LOCK_RANK_CHECKS
+
+namespace lock_rank {
+namespace {
+
+struct HeldLock {
+  LockRank rank;
+  const void* mu;
+};
+
+// Function-local thread_local so first use from any thread (including
+// detached observability threads during shutdown) constructs it lazily.
+std::vector<HeldLock>& held_stack() {
+  thread_local std::vector<HeldLock> stack;
+  return stack;
+}
+
+}  // namespace
+
+void note_acquire(LockRank rank, const void* mu) {
+  if (rank == LockRank::kUnranked) return;
+  auto& stack = held_stack();
+  if (!stack.empty()) {
+    // Pushes are rank-monotonic, so the innermost frame is also the maximum
+    // even after out-of-order releases removed middle frames.
+    const HeldLock& top = stack.back();
+    S3_CHECK_MSG(
+        static_cast<std::uint16_t>(rank) > static_cast<std::uint16_t>(top.rank),
+        "lock-rank inversion: acquiring "
+            << lock_rank_name(rank) << " (" << static_cast<int>(rank)
+            << ") while holding " << lock_rank_name(top.rank) << " ("
+            << static_cast<int>(top.rank)
+            << "); ranks must strictly increase (see src/common/lock_rank.h "
+               "and DESIGN.md §14)");
+  }
+  stack.push_back({rank, mu});
+}
+
+void note_release(LockRank rank, const void* mu) {
+  if (rank == LockRank::kUnranked) return;
+  auto& stack = held_stack();
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    if (it->mu == mu) {
+      stack.erase(std::next(it).base());
+      return;
+    }
+  }
+  // Not found: the mutex was acquired before this TU's checks were active
+  // (e.g. a static constructed under a different S3_LOCK_RANK_CHECKS
+  // setting). Ignoring is safe — the stack only ever under-approximates.
+}
+
+std::vector<LockRank> held_for_test() {
+  std::vector<LockRank> out;
+  out.reserve(held_stack().size());
+  for (const HeldLock& h : held_stack()) out.push_back(h.rank);
+  return out;
+}
+
+void corrupt_held_rank_for_test(LockRank rank) {
+  held_stack().push_back({rank, nullptr});
+}
+
+void reset_for_test() { held_stack().clear(); }
+
+}  // namespace lock_rank
+
+#endif  // S3_LOCK_RANK_CHECKS
+
+}  // namespace s3

@@ -26,7 +26,7 @@ class Logger {
  private:
   Logger() = default;
 
-  mutable AnnotatedMutex mu_;
+  mutable AnnotatedMutex mu_{LockRank::kLogging};
   LogLevel level_ S3_GUARDED_BY(mu_) = LogLevel::kWarn;
 };
 

@@ -93,7 +93,7 @@ class PinnedThreadPool {
   // thieves steal from the back, so owner and thief contend on opposite ends
   // only when a single task remains.
   struct WorkerQueue {
-    mutable AnnotatedMutex mu;
+    mutable AnnotatedMutex mu{LockRank::kPoolQueue};
     std::deque<std::function<void()>> tasks S3_GUARDED_BY(mu);
   };
 
@@ -111,7 +111,7 @@ class PinnedThreadPool {
   // Coordination lock: pending/queued counters, shutdown flag, error slot.
   // Never held while acquiring a WorkerQueue::mu, and never acquired while
   // one is held — the two levels stay disjoint, so no cycle is possible.
-  mutable AnnotatedMutex mu_;
+  mutable AnnotatedMutex mu_{LockRank::kPoolCoordination};
   std::condition_variable work_cv_;  // queued_ > 0 or shutdown_
   std::condition_variable idle_cv_;  // pending_ == 0
   std::size_t pending_ S3_GUARDED_BY(mu_) = 0;  // submitted, not yet finished

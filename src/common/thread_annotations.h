@@ -19,6 +19,8 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "common/lock_rank.h"
+
 #if defined(__clang__) && defined(__has_attribute)
 #if __has_attribute(capability)
 #define S3_THREAD_ANNOTATION(x) __attribute__((x))
@@ -62,19 +64,39 @@ namespace s3 {
 class MutexLock;
 
 // std::mutex with the capability attribute so fields can be GUARDED_BY it.
+// Mutexes in src/ construct with an explicit LockRank from the hierarchy in
+// lock_rank.h; debug/sanitizer builds then validate rank monotonicity on
+// every acquisition. The default (kUnranked) skips validation — tests and
+// fixtures only.
 class S3_CAPABILITY("mutex") AnnotatedMutex {
  public:
   AnnotatedMutex() = default;
+  explicit AnnotatedMutex(LockRank rank) : rank_(rank) {}
   AnnotatedMutex(const AnnotatedMutex&) = delete;
   AnnotatedMutex& operator=(const AnnotatedMutex&) = delete;
 
-  void lock() S3_ACQUIRE() { mu_.lock(); }
-  void unlock() S3_RELEASE() { mu_.unlock(); }
-  bool try_lock() S3_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock() S3_ACQUIRE() {
+    // Validated before blocking, so an inversion aborts instead of
+    // deadlocking.
+    lock_rank::note_acquire(rank_, this);
+    mu_.lock();
+  }
+  void unlock() S3_RELEASE() {
+    mu_.unlock();
+    lock_rank::note_release(rank_, this);
+  }
+  bool try_lock() S3_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    lock_rank::note_acquire(rank_, this);
+    return true;
+  }
+
+  LockRank rank() const { return rank_; }
 
  private:
   friend class MutexLock;
   std::mutex mu_;
+  LockRank rank_ = LockRank::kUnranked;
 };
 
 // std::shared_mutex with the capability attribute; writer side is exclusive,
@@ -82,16 +104,34 @@ class S3_CAPABILITY("mutex") AnnotatedMutex {
 class S3_CAPABILITY("shared_mutex") AnnotatedSharedMutex {
  public:
   AnnotatedSharedMutex() = default;
+  explicit AnnotatedSharedMutex(LockRank rank) : rank_(rank) {}
   AnnotatedSharedMutex(const AnnotatedSharedMutex&) = delete;
   AnnotatedSharedMutex& operator=(const AnnotatedSharedMutex&) = delete;
 
-  void lock() S3_ACQUIRE() { mu_.lock(); }
-  void unlock() S3_RELEASE() { mu_.unlock(); }
-  void lock_shared() S3_ACQUIRE_SHARED() { mu_.lock_shared(); }
-  void unlock_shared() S3_RELEASE_SHARED() { mu_.unlock_shared(); }
+  void lock() S3_ACQUIRE() {
+    lock_rank::note_acquire(rank_, this);
+    mu_.lock();
+  }
+  void unlock() S3_RELEASE() {
+    mu_.unlock();
+    lock_rank::note_release(rank_, this);
+  }
+  // Reader and writer sides share one rank: the hierarchy orders mutexes,
+  // not access modes, and readers can still deadlock against writers.
+  void lock_shared() S3_ACQUIRE_SHARED() {
+    lock_rank::note_acquire(rank_, this);
+    mu_.lock_shared();
+  }
+  void unlock_shared() S3_RELEASE_SHARED() {
+    mu_.unlock_shared();
+    lock_rank::note_release(rank_, this);
+  }
+
+  LockRank rank() const { return rank_; }
 
  private:
   std::shared_mutex mu_;
+  LockRank rank_ = LockRank::kUnranked;
 };
 
 // RAII exclusive guard over AnnotatedMutex. Exposes wait() so condition
@@ -99,8 +139,18 @@ class S3_CAPABILITY("shared_mutex") AnnotatedSharedMutex {
 // needs the underlying std::unique_lock<std::mutex>).
 class S3_SCOPED_CAPABILITY MutexLock {
  public:
-  explicit MutexLock(AnnotatedMutex& mu) S3_ACQUIRE(mu) : lock_(mu.mu_) {}
-  ~MutexLock() S3_RELEASE() {}
+  // Bypasses AnnotatedMutex::lock() (the cv needs the raw unique_lock), so
+  // the rank bookkeeping is repeated here: note before blocking, release on
+  // unwind.
+  explicit MutexLock(AnnotatedMutex& mu) S3_ACQUIRE(mu)
+      : mu_(&mu), lock_(mu.mu_, std::defer_lock) {
+    lock_rank::note_acquire(mu_->rank_, mu_);
+    lock_.lock();
+  }
+  ~MutexLock() S3_RELEASE() {
+    lock_.unlock();
+    lock_rank::note_release(mu_->rank_, mu_);
+  }
 
   MutexLock(const MutexLock&) = delete;
   MutexLock& operator=(const MutexLock&) = delete;
@@ -108,10 +158,12 @@ class S3_SCOPED_CAPABILITY MutexLock {
   // Releases the mutex while blocked, reacquires before returning. Callers
   // re-check their predicate in a loop (spurious wakeups); TSA sees the lock
   // as continuously held, which matches the invariant at every point the
-  // caller's code actually runs.
+  // caller's code actually runs — so the rank frame also stays held across
+  // the wait.
   void wait(std::condition_variable& cv) { cv.wait(lock_); }
 
  private:
+  AnnotatedMutex* mu_;
   std::unique_lock<std::mutex> lock_;
 };
 

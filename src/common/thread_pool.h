@@ -50,7 +50,7 @@ class ThreadPool {
 
   BlockingQueue<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
-  mutable AnnotatedMutex idle_mu_;
+  mutable AnnotatedMutex idle_mu_{LockRank::kPoolCoordination};
   std::condition_variable idle_cv_;
   // submitted but not yet finished
   std::size_t pending_ S3_GUARDED_BY(idle_mu_) = 0;

@@ -52,7 +52,7 @@ class BlockStore {
     std::uint32_t crc = 0;
   };
 
-  mutable AnnotatedMutex mu_;
+  mutable AnnotatedMutex mu_{LockRank::kDfsBlockStore};
   std::unordered_map<BlockId, Stored> payloads_ S3_GUARDED_BY(mu_);
   std::uint64_t total_bytes_ S3_GUARDED_BY(mu_) = 0;
 };

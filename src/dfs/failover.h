@@ -47,7 +47,7 @@ class ReplicaHealth {
   [[nodiscard]] std::size_t num_corrupt_replicas() const S3_EXCLUDES(mu_);
 
  private:
-  mutable AnnotatedMutex mu_;
+  mutable AnnotatedMutex mu_{LockRank::kDfsReplicaHealth};
   std::unordered_set<NodeId> dead_ S3_GUARDED_BY(mu_);
   std::unordered_map<BlockId, std::unordered_set<NodeId>> corrupt_
       S3_GUARDED_BY(mu_);

@@ -94,7 +94,7 @@ class BatchArenaPool {
 
  private:
   struct Shard {
-    mutable AnnotatedMutex mu;
+    mutable AnnotatedMutex mu{LockRank::kArenaShard};
     std::vector<KVBatch> free S3_GUARDED_BY(mu);
   };
 

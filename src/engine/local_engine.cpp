@@ -341,7 +341,7 @@ Status LocalEngine::run_wave(const BatchExec& batch,
       .arg("blocks", batch.blocks.size());
   obs::PhaseTimer map_timer(obs::EnginePhase::kMap);
   struct MapCollect {
-    AnnotatedMutex mu;
+    AnnotatedMutex mu{LockRank::kEngineMapCollect};
     std::vector<MapTaskOutcome> outcomes S3_GUARDED_BY(mu);
     Status first_error S3_GUARDED_BY(mu) = Status::ok();
   } map_collect;
@@ -474,7 +474,7 @@ Status LocalEngine::run_wave(const BatchExec& batch,
   reduce_wave_span.arg("batch", batch.id.value()).arg("jobs", specs.size());
   obs::PhaseTimer reduce_timer(obs::EnginePhase::kReduce);
   struct ReduceCollect {
-    AnnotatedMutex mu;
+    AnnotatedMutex mu{LockRank::kEngineReduceCollect};
     std::unordered_map<JobId, std::vector<KeyValue>> outputs S3_GUARDED_BY(mu);
     std::unordered_map<JobId, JobCounters> counters S3_GUARDED_BY(mu);
     Status error S3_GUARDED_BY(mu) = Status::ok();

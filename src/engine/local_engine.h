@@ -169,7 +169,7 @@ class LocalEngine {
   // Shared recovery bookkeeping for one map+reduce wave, written by worker
   // threads.
   struct WaveCtx {
-    AnnotatedMutex mu;
+    AnnotatedMutex mu{LockRank::kEngineWaveCtx};
     std::vector<NodeId> died S3_GUARDED_BY(mu);
     // First member whose attempts exhausted on a poison fault (quarantine
     // candidate) and the status to retire it with.
@@ -233,8 +233,9 @@ class LocalEngine {
   // belong to map workers, the rest to reduce workers.
   std::unique_ptr<BatchArenaPool> arena_pool_;
 
-  // Leaf lock: never held while calling into ShuffleStore or the pools.
-  mutable AnnotatedMutex mu_;
+  // Held while register_job() registers with the ShuffleStore (so it ranks
+  // below the shuffle registry), but never while calling into the pools.
+  mutable AnnotatedMutex mu_{LockRank::kEngineState};
   std::unordered_map<JobId, JobState> jobs_ S3_GUARDED_BY(mu_);
   ScanCounters scan_counters_ S3_GUARDED_BY(mu_);
   IdGenerator<TaskId> task_ids_ S3_GUARDED_BY(mu_);

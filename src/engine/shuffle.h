@@ -64,7 +64,7 @@ class ShuffleStore {
 
  private:
   struct Bucket {
-    mutable AnnotatedMutex mu;
+    mutable AnnotatedMutex mu{LockRank::kShuffleBucket};
     std::vector<KVBatch> runs S3_GUARDED_BY(mu);
   };
   struct JobBuckets {
@@ -72,7 +72,7 @@ class ShuffleStore {
     std::vector<std::unique_ptr<Bucket>> buckets;
   };
 
-  mutable AnnotatedSharedMutex registry_mu_;
+  mutable AnnotatedSharedMutex registry_mu_{LockRank::kShuffleRegistry};
   std::unordered_map<JobId, JobBuckets> jobs_ S3_GUARDED_BY(registry_mu_);
 
   // Resolves a job's bucket set under a shared registry lock.

@@ -135,7 +135,7 @@ class EventJournal {
  private:
   EventJournal() = default;
 
-  mutable AnnotatedMutex mu_;
+  mutable AnnotatedMutex mu_{LockRank::kObsJournal};
   std::vector<JournalEvent> events_ S3_GUARDED_BY(mu_);
   std::uint64_t next_seq_ S3_GUARDED_BY(mu_) = 0;
   std::atomic<bool> enabled_{false};

@@ -104,7 +104,7 @@ class Registry {
  private:
   Registry() = default;
 
-  mutable AnnotatedSharedMutex mu_;
+  mutable AnnotatedSharedMutex mu_{LockRank::kObsMetrics};
   std::map<std::string, std::unique_ptr<Counter>> counters_
       S3_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Gauge>> gauges_ S3_GUARDED_BY(mu_);

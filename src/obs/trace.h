@@ -76,7 +76,7 @@ class Tracer {
 
  private:
   struct Ring {
-    mutable AnnotatedMutex mu;
+    mutable AnnotatedMutex mu{LockRank::kObsTraceRing};
     std::vector<TraceEvent> events S3_GUARDED_BY(mu);
   };
 
@@ -86,7 +86,7 @@ class Tracer {
   void spill(std::vector<TraceEvent> events);
 
   std::atomic<bool> enabled_{false};
-  mutable AnnotatedMutex mu_;
+  mutable AnnotatedMutex mu_{LockRank::kObsTraceSink};
   std::vector<std::shared_ptr<Ring>> rings_ S3_GUARDED_BY(mu_);
   std::vector<TraceEvent> sink_ S3_GUARDED_BY(mu_);
   std::uint64_t dropped_ S3_GUARDED_BY(mu_) = 0;

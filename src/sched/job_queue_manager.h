@@ -110,7 +110,7 @@ class JobQueueManager {
 
   FileId file_;
   std::uint64_t file_blocks_;
-  mutable AnnotatedMutex mu_;
+  mutable AnnotatedMutex mu_{LockRank::kSchedJobQueue};
   std::uint64_t cursor_ S3_GUARDED_BY(mu_) = 0;
   std::uint64_t next_seq_ S3_GUARDED_BY(mu_) = 0;
   std::vector<QueuedJob> jobs_ S3_GUARDED_BY(mu_);

@@ -2,6 +2,8 @@
 // abort loudly rather than let a corrupted experiment run to completion.
 #include <gtest/gtest.h>
 
+#include "common/lock_rank.h"
+#include "common/thread_annotations.h"
 #include "dfs/segment.h"
 #include "metrics/metrics.h"
 #include "sched/job_queue_manager.h"
@@ -46,6 +48,41 @@ TEST(JqmDeathTest, CorruptedCursorAbortsUnderDebugContracts) {
                "segment cursor 17 out of range");
 #else
   GTEST_SKIP() << "debug contracts compiled out (Release without S3_DCHECKS)";
+#endif
+}
+
+TEST(LockRankDeathTest, InversionAbortsInsteadOfDeadlocking) {
+#if S3_LOCK_RANK_CHECKS
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Acquiring down the hierarchy must abort before the mutex blocks: plant a
+  // synthetic high-rank frame, then take a guard on a lower-ranked mutex.
+  EXPECT_DEATH(
+      {
+        lock_rank::corrupt_held_rank_for_test(LockRank::kObsJournal);
+        AnnotatedMutex low{LockRank::kSchedJobQueue};
+        MutexLock lock(low);
+      },
+      "lock-rank inversion.*kSchedJobQueue.*kObsJournal");
+#else
+  GTEST_SKIP() << "lock-rank checks compiled out (Release)";
+#endif
+}
+
+TEST(LockRankDeathTest, SameRankReacquisitionAborts) {
+#if S3_LOCK_RANK_CHECKS
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Strict monotonicity: two same-rank locks held together (two shuffle
+  // buckets, two arena shards) is also an inversion.
+  EXPECT_DEATH(
+      {
+        AnnotatedMutex first{LockRank::kShuffleBucket};
+        AnnotatedMutex second{LockRank::kShuffleBucket};
+        MutexLock a(first);
+        MutexLock b(second);
+      },
+      "lock-rank inversion.*kShuffleBucket.*kShuffleBucket");
+#else
+  GTEST_SKIP() << "lock-rank checks compiled out (Release)";
 #endif
 }
 

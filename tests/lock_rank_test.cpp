@@ -1,0 +1,136 @@
+// Tests for the runtime lock-rank validator (src/common/lock_rank.h): the
+// dynamic half of the deadlock defense. The abort path itself is proven in
+// invariant_death_test.cpp; here we cover the bookkeeping — monotonic
+// acquisition, address-based release (including out-of-LIFO order), the
+// kUnranked exemption, and per-thread isolation of the held stack.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/lock_rank.h"
+#include "common/thread_annotations.h"
+
+namespace s3 {
+namespace {
+
+#if S3_LOCK_RANK_CHECKS
+
+class LockRankTest : public ::testing::Test {
+ protected:
+  void TearDown() override { lock_rank::reset_for_test(); }
+};
+
+TEST_F(LockRankTest, MonotonicAcquisitionTracksHeldStack) {
+  int a = 0, b = 0, c = 0;
+  lock_rank::note_acquire(LockRank::kSchedJobQueue, &a);
+  lock_rank::note_acquire(LockRank::kEngineState, &b);
+  lock_rank::note_acquire(LockRank::kObsJournal, &c);
+  const auto held = lock_rank::held_for_test();
+  ASSERT_EQ(held.size(), 3u);
+  EXPECT_EQ(held[0], LockRank::kSchedJobQueue);
+  EXPECT_EQ(held[1], LockRank::kEngineState);
+  EXPECT_EQ(held[2], LockRank::kObsJournal);
+  lock_rank::note_release(LockRank::kObsJournal, &c);
+  lock_rank::note_release(LockRank::kEngineState, &b);
+  lock_rank::note_release(LockRank::kSchedJobQueue, &a);
+  EXPECT_TRUE(lock_rank::held_for_test().empty());
+}
+
+TEST_F(LockRankTest, OutOfLifoReleaseIsTolerated) {
+  // WriterMutexLock scopes can end in any order relative to unrelated
+  // guards; release is by address, not stack position.
+  int a = 0, b = 0;
+  lock_rank::note_acquire(LockRank::kSchedJobQueue, &a);
+  lock_rank::note_acquire(LockRank::kEngineState, &b);
+  lock_rank::note_release(LockRank::kSchedJobQueue, &a);
+  const auto held = lock_rank::held_for_test();
+  ASSERT_EQ(held.size(), 1u);
+  EXPECT_EQ(held[0], LockRank::kEngineState);
+  lock_rank::note_release(LockRank::kEngineState, &b);
+}
+
+TEST_F(LockRankTest, UnrankedIsExempt) {
+  int a = 0, u = 0;
+  lock_rank::note_acquire(LockRank::kLogging, &a);
+  // kUnranked after the highest rank: no abort, no frame.
+  lock_rank::note_acquire(LockRank::kUnranked, &u);
+  EXPECT_EQ(lock_rank::held_for_test().size(), 1u);
+  lock_rank::note_release(LockRank::kUnranked, &u);
+  lock_rank::note_release(LockRank::kLogging, &a);
+}
+
+TEST_F(LockRankTest, HeldStacksArePerThread) {
+  int a = 0;
+  lock_rank::note_acquire(LockRank::kObsJournal, &a);
+  std::thread other([] {
+    // A lower rank on a different thread is fine: stacks are thread-local.
+    int b = 0;
+    lock_rank::note_acquire(LockRank::kSchedJobQueue, &b);
+    EXPECT_EQ(lock_rank::held_for_test().size(), 1u);
+    lock_rank::note_release(LockRank::kSchedJobQueue, &b);
+  });
+  other.join();
+  EXPECT_EQ(lock_rank::held_for_test().size(), 1u);
+  lock_rank::note_release(LockRank::kObsJournal, &a);
+}
+
+TEST_F(LockRankTest, AnnotatedMutexNotesThroughGuards) {
+  AnnotatedMutex outer{LockRank::kSchedJobQueue};
+  AnnotatedMutex inner{LockRank::kEngineState};
+  {
+    MutexLock a(outer);
+    ASSERT_EQ(lock_rank::held_for_test().size(), 1u);
+    {
+      MutexLock b(inner);
+      const auto held = lock_rank::held_for_test();
+      ASSERT_EQ(held.size(), 2u);
+      EXPECT_EQ(held[1], LockRank::kEngineState);
+    }
+    EXPECT_EQ(lock_rank::held_for_test().size(), 1u);
+  }
+  EXPECT_TRUE(lock_rank::held_for_test().empty());
+}
+
+TEST_F(LockRankTest, SharedMutexReadersNoteTheSameRank) {
+  AnnotatedSharedMutex mu{LockRank::kShuffleRegistry};
+  {
+    ReaderMutexLock lock(mu);
+    const auto held = lock_rank::held_for_test();
+    ASSERT_EQ(held.size(), 1u);
+    EXPECT_EQ(held[0], LockRank::kShuffleRegistry);
+  }
+  EXPECT_TRUE(lock_rank::held_for_test().empty());
+}
+
+#else  // !S3_LOCK_RANK_CHECKS
+
+TEST(LockRankTest, CompiledOutInRelease) {
+  // The no-op inline stubs must still be callable (and free).
+  int a = 0;
+  lock_rank::note_acquire(LockRank::kLogging, &a);
+  EXPECT_TRUE(lock_rank::held_for_test().empty());
+  lock_rank::note_release(LockRank::kLogging, &a);
+}
+
+#endif  // S3_LOCK_RANK_CHECKS
+
+TEST(LockRankNames, EveryRankHasAName) {
+  for (const LockRank rank :
+       {LockRank::kUnranked, LockRank::kSchedJobQueue,
+        LockRank::kEngineMapCollect, LockRank::kEngineReduceCollect,
+        LockRank::kEngineState, LockRank::kEngineWaveCtx,
+        LockRank::kShuffleRegistry, LockRank::kShuffleBucket,
+        LockRank::kArenaShard, LockRank::kPoolCoordination,
+        LockRank::kPoolQueue, LockRank::kDfsBlockStore,
+        LockRank::kDfsReplicaHealth, LockRank::kClusterHeartbeat,
+        LockRank::kObsJournal, LockRank::kObsMetrics,
+        LockRank::kObsTraceSink, LockRank::kObsTraceRing,
+        LockRank::kLogging}) {
+    const char* name = lock_rank_name(rank);
+    ASSERT_NE(name, nullptr);
+    EXPECT_EQ(name[0], 'k') << static_cast<int>(rank);
+  }
+}
+
+}  // namespace
+}  // namespace s3

@@ -529,6 +529,81 @@ TEST(S3LintRules, DataLossFactoryDeclarationExempt) {
   EXPECT_FALSE(has_rule(vs, "status-dataloss"));
 }
 
+// ---------------------------------------------------------------------------
+// wait-under-lock
+
+TEST(S3LintWaitUnderLock, RawCvWaitInsideGuardScope) {
+  const auto vs = lint("src/engine/worker.cpp",
+                       "void f() {\n"
+                       "  MutexLock lock(mu_);\n"
+                       "  cv_.wait(inner);\n"
+                       "}\n");
+  EXPECT_TRUE(has_rule(vs, "wait-under-lock"));
+}
+
+TEST(S3LintWaitUnderLock, GuardWaitIsSanctioned) {
+  // lock.wait(cv) releases the guard's lock while parked — the pattern the
+  // rule steers people toward must not be flagged.
+  const auto vs = lint("src/common/pool.cpp",
+                       "void f() {\n"
+                       "  MutexLock lock(mu_);\n"
+                       "  while (pending_ != 0) lock.wait(idle_cv_);\n"
+                       "}\n");
+  EXPECT_FALSE(has_rule(vs, "wait-under-lock"));
+}
+
+TEST(S3LintWaitUnderLock, PoolSubmitInsideGuardScope) {
+  const auto vs = lint("src/engine/driver.cpp",
+                       "void f() {\n"
+                       "  MutexLock lock(mu_);\n"
+                       "  pool_->submit(task);\n"
+                       "}\n");
+  EXPECT_TRUE(has_rule(vs, "wait-under-lock"));
+}
+
+TEST(S3LintWaitUnderLock, SubmitAfterGuardScopeCloses) {
+  const auto vs = lint("src/engine/driver.cpp",
+                       "void f() {\n"
+                       "  {\n"
+                       "    MutexLock lock(mu_);\n"
+                       "    state_ = 1;\n"
+                       "  }\n"
+                       "  pool_->submit(task);\n"
+                       "}\n");
+  EXPECT_FALSE(has_rule(vs, "wait-under-lock"));
+}
+
+TEST(S3LintWaitUnderLock, SleepUnderReaderLock) {
+  const auto vs = lint("src/dfs/store.cpp",
+                       "void f() {\n"
+                       "  ReaderMutexLock lock(mu_);\n"
+                       "  std::this_thread::sleep_for(d);\n"
+                       "}\n");
+  EXPECT_TRUE(has_rule(vs, "wait-under-lock"));
+}
+
+TEST(S3LintWaitUnderLock, OnlyFlagsSrcTree) {
+  const auto vs = lint("tests/pool_test.cpp",
+                       "void f() {\n"
+                       "  MutexLock lock(mu_);\n"
+                       "  pool_->submit(task);\n"
+                       "}\n");
+  EXPECT_FALSE(has_rule(vs, "wait-under-lock"));
+}
+
+TEST(S3LintWaitUnderLock, SuppressionSilences) {
+  const auto vs = lint("src/engine/driver.cpp",
+                       "void f() {\n"
+                       "  MutexLock lock(mu_);\n"
+                       "  // s3lint: disable(wait-under-lock)\n"
+                       "  pool_->submit(task);\n"
+                       "}\n");
+  EXPECT_FALSE(has_rule(vs, "wait-under-lock"));
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+
 TEST(S3LintSuppressions, DisableFileSuppressesWholeFile) {
   const auto vs = lint("src/sched/other.cpp",
                        "// s3lint: disable-file(segment-modulo)\n"

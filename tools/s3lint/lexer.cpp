@@ -229,12 +229,13 @@ std::vector<std::pair<std::string, std::set<std::string>>> parse_directives(
 
 }  // namespace
 
-Suppressions Suppressions::parse(const std::vector<Comment>& comments) {
+Suppressions Suppressions::parse(const std::vector<Comment>& comments,
+                                 const std::string& tag) {
   Suppressions s;
   for (const Comment& c : comments) {
-    const std::size_t tag = c.text.find("s3lint:");
-    if (tag == std::string::npos) continue;
-    for (auto& [kind, rules] : parse_directives(c.text.substr(tag))) {
+    const std::size_t pos = c.text.find(tag);
+    if (pos == std::string::npos) continue;
+    for (auto& [kind, rules] : parse_directives(c.text.substr(pos))) {
       if (kind == "disable-file") {
         s.file_rules_.insert(rules.begin(), rules.end());
       } else {

@@ -47,10 +47,13 @@ TokenizedFile tokenize(const std::string& source);
 //                                          next (so it works trailing or on
 //                                          the line above the construct)
 //   // s3lint: disable-file(rule-a)      — suppresses for the whole file
-// The rule name "all" disables every rule.
+// The rule name "all" disables every rule. Other tools built on this lexer
+// (tools/s3lockcheck) reuse the same syntax under their own tag, e.g.
+// "// s3lockcheck: disable(lock-cycle)".
 class Suppressions {
  public:
-  static Suppressions parse(const std::vector<Comment>& comments);
+  static Suppressions parse(const std::vector<Comment>& comments,
+                            const std::string& tag = "s3lint:");
 
   [[nodiscard]] bool suppressed(const std::string& rule, int line) const;
 

@@ -317,6 +317,95 @@ void check_sleep_in_src(const std::string& path, const TokenizedFile& file,
   }
 }
 
+// wait-under-lock: blocking primitives lexically inside a RAII guard scope
+// in src/. A condition wait through anything but the guard itself keeps the
+// lock pinned while the thread parks; a pool handoff (submit / wait_idle)
+// under a lock is the classic shared-scan stall — the submitted task may
+// need the very lock the submitter is holding. This is the fast lexical
+// sibling of s3lockcheck's whole-project blocking-under-lock analysis: it
+// catches the obvious cases in a single file without building a call graph.
+// src/common/thread_annotations.h is exempt — it implements the sanctioned
+// MutexLock::wait wrapper this rule steers people toward.
+void check_wait_under_lock(const std::string& path, const TokenizedFile& file,
+                           std::vector<Violation>* out) {
+  if (!starts_with(path, "src/")) return;
+  if (path == "src/common/thread_annotations.h") return;
+  const std::vector<Token>& toks = file.tokens;
+  struct Guard {
+    std::string var;
+    int depth = 0;
+  };
+  std::vector<Guard> guards;
+  int depth = 0;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "{") ++depth;
+      if (t.text == "}") {
+        --depth;
+        while (!guards.empty() && guards.back().depth > depth) {
+          guards.pop_back();
+        }
+      }
+      continue;
+    }
+    if (t.kind != TokKind::kIdent) continue;
+    if ((t.text == "MutexLock" || t.text == "WriterMutexLock" ||
+         t.text == "ReaderMutexLock") &&
+        i + 2 < toks.size() && toks[i + 1].kind == TokKind::kIdent &&
+        toks[i + 2].kind == TokKind::kPunct && toks[i + 2].text == "(") {
+      guards.push_back(Guard{toks[i + 1].text, depth});
+      continue;
+    }
+    if (guards.empty()) continue;
+    const bool is_call = i + 1 < toks.size() &&
+                         toks[i + 1].kind == TokKind::kPunct &&
+                         toks[i + 1].text == "(";
+    if (!is_call) continue;
+    if (t.text == "wait" || t.text == "wait_for" || t.text == "wait_until") {
+      // `lock.wait(cv)` on the guard itself releases the lock while parked
+      // — that is the sanctioned pattern. Anything else pins the lock.
+      bool on_guard = false;
+      if (i >= 2 && toks[i - 1].kind == TokKind::kPunct &&
+          (toks[i - 1].text == "." || toks[i - 1].text == "->") &&
+          toks[i - 2].kind == TokKind::kIdent) {
+        for (const Guard& g : guards) {
+          if (g.var == toks[i - 2].text) {
+            on_guard = true;
+            break;
+          }
+        }
+      }
+      if (!on_guard) {
+        out->push_back(Violation{
+            "wait-under-lock", t.line,
+            "'" + t.text +
+                "' inside a guard scope does not go through the guard; use "
+                "the guard's wait() so the lock is released while parked"});
+      }
+      continue;
+    }
+    if (t.text == "sleep_for" || t.text == "sleep_until") {
+      out->push_back(Violation{
+          "wait-under-lock", t.line,
+          "'" + t.text +
+              "' while a lock is held stalls every waiter for the full "
+              "duration; release the guard first"});
+      continue;
+    }
+    if (t.text == "submit" || t.text == "submit_to" ||
+        t.text == "wait_idle") {
+      out->push_back(Violation{
+          "wait-under-lock", t.line,
+          "thread-pool '" + t.text +
+              "' while a lock is held; the handed-off task (or the drain) "
+              "may need the very lock being held — release the guard "
+              "first"});
+      continue;
+    }
+  }
+}
+
 // raw-clock: direct std::chrono clock reads in src/ outside the sanctioned
 // timing homes. Runtime code must go through obs::now_ns/seconds_since so
 // every duration lands in the same timebase the tracer stamps spans with
@@ -465,6 +554,7 @@ const std::vector<std::string>& all_rules() {
       "status-dataloss", "segment-modulo", "view-retention",
       "thread-detach", "raw-thread",     "stray-cout",
       "sleep-in-src",  "raw-clock",      "pragma-once",
+      "wait-under-lock",
   };
   return kRules;
 }
@@ -518,6 +608,9 @@ std::vector<Violation> lint_file(
   }
   if (enabled.count("pragma-once") > 0) {
     check_pragma_once(path, file, &raw);
+  }
+  if (enabled.count("wait-under-lock") > 0) {
+    check_wait_under_lock(path, file, &raw);
   }
 
   std::vector<Violation> out;

@@ -1,0 +1,22 @@
+// Driver for the whole-project lock-order analyzer. Collects every C++
+// source under <root>/src, extracts per-file models, builds the project
+// lock-acquisition graph, and reports findings in the same
+// `path:line: error: [rule] message` format as s3lint (one tool-chain, one
+// grep pattern). Exit codes match too: 0 clean, 1 findings, 2 usage/IO.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace s3lockcheck {
+
+struct LockcheckOptions {
+  std::string root = ".";        // project root (containing src/)
+  std::set<std::string> rules;   // empty = all rules
+  bool dump_graph = false;       // print the merged graph instead of checking
+};
+
+int run_lockcheck(const LockcheckOptions& options, std::string* output);
+
+}  // namespace s3lockcheck
