@@ -12,6 +12,11 @@
 #   scripts/check.sh --lockcheck     build + run s3lockcheck (whole-project
 #                                    lock-order, rank-order, and
 #                                    blocking-under-lock analysis) over src/
+#   scripts/check.sh --viewcheck     build + run s3viewcheck (whole-project
+#                                    arena/view lifetime and escape
+#                                    analysis: dangling views, append-after-
+#                                    read, views escaping their arena,
+#                                    cross-thread view capture) over src/
 #   scripts/check.sh --trace         trace smoke: capture a Chrome trace from
 #                                    the wordcount example, validate it with
 #                                    s3trace, and fail if enabling the tracer
@@ -26,7 +31,8 @@
 #                                    path) once each, fail on zero throughput
 #                                    or a benchmark error, and re-check the
 #                                    5% trace-overhead budget
-#   scripts/check.sh --all           tier-1 + lint + lockcheck + asan
+#   scripts/check.sh --all           tier-1 + lint + lockcheck
+#                                    + viewcheck + asan
 #                                    + ubsan + tsan
 #                                    + tidy + format check + Release smoke
 #                                    + trace smoke + bench smoke + chaos
@@ -49,10 +55,11 @@ for arg in "$@"; do
     --tidy) MODES+=(tidy) ;;
     --lint) MODES+=(lint) ;;
     --lockcheck) MODES+=(lockcheck) ;;
+    --viewcheck) MODES+=(viewcheck) ;;
     --trace) MODES+=(trace) ;;
     --chaos) MODES+=(chaos) ;;
     --bench-smoke) MODES+=(bench-smoke) ;;
-    --all) MODES+=(tier1 lint lockcheck asan ubsan tsan tidy format release trace bench-smoke chaos) ;;
+    --all) MODES+=(tier1 lint lockcheck viewcheck asan ubsan tsan tidy format release trace bench-smoke chaos) ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -114,6 +121,12 @@ for mode in "${MODES[@]}"; do
       cmake -B build -S . -DS3_WARNINGS_AS_ERRORS=ON
       cmake --build build -j --target s3lockcheck
       ./build/tools/s3lockcheck --root=.
+      ;;
+    viewcheck)
+      echo "=== s3viewcheck: whole-project arena/view lifetime analysis ==="
+      cmake -B build -S . -DS3_WARNINGS_AS_ERRORS=ON
+      cmake --build build -j --target s3viewcheck
+      ./build/tools/s3viewcheck --root=.
       ;;
     format)
       scripts/format.sh --check

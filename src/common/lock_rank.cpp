@@ -34,6 +34,8 @@ const char* lock_rank_name(LockRank rank) {
       return "kDfsReplicaHealth";
     case LockRank::kClusterHeartbeat:
       return "kClusterHeartbeat";
+    case LockRank::kViewGenPool:
+      return "kViewGenPool";
     case LockRank::kObsJournal:
       return "kObsJournal";
     case LockRank::kObsMetrics:

@@ -77,6 +77,10 @@ enum class LockRank : std::uint16_t {
   kDfsBlockStore = 70,
   kDfsReplicaHealth = 75,
   kClusterHeartbeat = 80,
+  // View-check generation-cell pool (common/view_checks.cpp). A leaf taken
+  // by KVBatch construction/destruction, which runs inside shuffle-bucket
+  // and arena-shard critical sections when vectors of batches grow.
+  kViewGenPool = 85,
   // Observability leaves: code under any lock above may journal, bump
   // metrics, trace, or log — never the other way around.
   kObsJournal = 90,

@@ -1,0 +1,105 @@
+#include "common/view_checks.h"
+
+#if S3_VIEW_CHECKS
+
+#include <cstdlib>
+#include <deque>
+#include <iostream>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace s3 {
+namespace view_checks {
+namespace {
+
+struct CellPool {
+  // Leaf rank: cells are acquired/retired by KVBatch construction and
+  // destruction, which runs inside shuffle-bucket and arena-shard critical
+  // sections (vector growth moves batches under those locks). The critical
+  // sections below call nothing, so nothing ranks above this but logging.
+  AnnotatedMutex mu{LockRank::kViewGenPool};
+  // Deque so cells never move once allocated: a stale DebugView may hold a
+  // pointer to a parked cell indefinitely.
+  std::deque<GenCell> cells S3_GUARDED_BY(mu);
+  std::vector<GenCell*> free S3_GUARDED_BY(mu);
+  std::size_t live S3_GUARDED_BY(mu) = 0;
+};
+
+// Intentionally leaked: stale views may be validated during static
+// destruction, after a function-local static pool would have been torn down.
+CellPool& pool() {
+  static CellPool* p = new CellPool;
+  return *p;
+}
+
+std::atomic<std::uint64_t>& next_generation() {
+  static std::atomic<std::uint64_t> gen{1};
+  return gen;
+}
+
+std::uint64_t fresh_generation() {
+  return next_generation().fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+GenCell* acquire_cell() {
+  CellPool& p = pool();
+  GenCell* cell = nullptr;
+  {
+    MutexLock lock(p.mu);
+    if (!p.free.empty()) {
+      cell = p.free.back();
+      p.free.pop_back();
+    } else {
+      cell = &p.cells.emplace_back();
+    }
+    ++p.live;
+  }
+  cell->value.store(fresh_generation(), std::memory_order_relaxed);
+  return cell;
+}
+
+std::uint64_t bump_cell(GenCell* cell) {
+  const std::uint64_t gen = fresh_generation();
+  cell->value.store(gen, std::memory_order_relaxed);
+  return gen;
+}
+
+void retire_cell(GenCell* cell) {
+  // Bump first so views born under the final owner go stale even while the
+  // cell sits on the free list.
+  bump_cell(cell);
+  CellPool& p = pool();
+  MutexLock lock(p.mu);
+  p.free.push_back(cell);
+  --p.live;
+}
+
+std::size_t live_cells_for_test() {
+  CellPool& p = pool();
+  MutexLock lock(p.mu);
+  return p.live;
+}
+
+}  // namespace view_checks
+
+std::ostream& operator<<(std::ostream& os, const DebugView& v) {
+  return os << DebugView::sv(v);
+}
+
+void DebugView::abort_stale() const {
+  std::cerr << "s3 view-check failure: stale view from " << source_
+            << ": born at arena generation " << birth_ << ", arena is now at "
+            << "generation " << view_checks::cell_value(cell_)
+            << " — the arena was cleared, reallocated by append, prefaulted, "
+               "recycled, moved, or destroyed after this view was taken; "
+               "re-fetch views after any arena mutation (DESIGN.md §15)"
+            << std::endl;
+  std::abort();
+}
+
+}  // namespace s3
+
+#endif  // S3_VIEW_CHECKS

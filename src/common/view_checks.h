@@ -1,0 +1,231 @@
+// View-lifetime validator: the runtime half of the dangling-view defense
+// (the static half is tools/s3viewcheck, which derives the same invariants
+// from source and traces view escapes through the project call graph).
+//
+// The engine's zero-copy path hands out std::string_views into KVBatch
+// arenas. A view is valid only until its arena mutates: clear(), a
+// reallocating append, prefault(), recycle through BatchArenaPool, a move,
+// or destruction all leave previously-fetched views pointing at freed or
+// rewritten bytes. In checked builds each arena owns a generation cell that
+// is bumped on every such invalidation; KVBatch::key()/value() return a
+// DebugView that remembers the generation it was born at and validates it on
+// every dereference — including the implicit conversion at the
+// Emitter::emit(string_view, string_view) boundary — aborting with a named
+// witness instead of silently reading stale bytes.
+//
+// Generation cells come from a process-wide pool and carry values from one
+// monotonic counter, so a recycled cell can never present a stale view's
+// birth generation again; retired cells are parked for reuse (never freed),
+// so a stale DebugView held past its batch's destruction dereferences live
+// memory and aborts deterministically.
+//
+// Validation is active when S3_VIEW_CHECKS is 1: the build defines it for
+// every CMAKE_BUILD_TYPE except Release (so the default tier-1 build and all
+// sanitizer builds validate every dereference); without a build-system
+// definition it follows NDEBUG. In Release, engine::ArenaView (declared in
+// engine/kv_batch.h) aliases std::string_view, KVBatch carries no stamp
+// member, and this header contributes nothing to the hot path.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+
+#ifndef S3_VIEW_CHECKS
+#ifdef NDEBUG
+#define S3_VIEW_CHECKS 0
+#else
+#define S3_VIEW_CHECKS 1
+#endif
+#endif
+
+namespace s3 {
+
+#if S3_VIEW_CHECKS
+
+namespace view_checks {
+
+// One generation cell per live arena. The value is written under the pool
+// mutex or by the owning batch's (externally synchronized) mutations and
+// read lock-free by every DebugView dereference; relaxed ordering suffices
+// because batches already hand off between threads through shuffle/pool
+// locks, and the check is a diagnostic, not a synchronization point.
+struct GenCell {
+  std::atomic<std::uint64_t> value{0};
+};
+
+// Pops a parked cell (or allocates one) and stamps it with a fresh
+// generation. Thread-safe; the pool mutex ranks as a leaf so cells can be
+// acquired while shuffle-bucket or arena-shard locks are held (batch moves
+// inside those critical sections construct stamps).
+GenCell* acquire_cell();
+
+// Advances `cell` to a fresh generation: every DebugView born earlier is now
+// stale. Returns the new generation.
+std::uint64_t bump_cell(GenCell* cell);
+
+// Bumps `cell` one last time and parks it for reuse. The memory stays live
+// forever, so views that outlast their batch fail the generation compare
+// instead of touching freed bytes.
+void retire_cell(GenCell* cell);
+
+inline std::uint64_t cell_value(const GenCell* cell) {
+  return cell->value.load(std::memory_order_relaxed);
+}
+
+// Cells acquired and not yet retired (test isolation / leak assertions).
+std::size_t live_cells_for_test();
+
+}  // namespace view_checks
+
+// RAII ownership of a generation cell, embedded in KVBatch. Copy/move
+// semantics mirror what the operations do to the underlying arena bytes:
+//
+//   copy-construct  fresh cell (new arena buffer; source untouched)
+//   copy-assign     bump own cell (own buffer rewritten; source untouched)
+//   move-construct  fresh cell for self, bump source (its buffer was stolen
+//                   — or, for SSO-small arenas, byte-copied — either way
+//                   views into the source must not survive the move)
+//   move-assign     bump own cell and the source's
+//   destroy         retire (views must not outlive the batch)
+class ArenaStamp {
+ public:
+  ArenaStamp() : cell_(view_checks::acquire_cell()) {}
+  ~ArenaStamp() { view_checks::retire_cell(cell_); }
+
+  ArenaStamp(const ArenaStamp&) : ArenaStamp() {}
+  ArenaStamp& operator=(const ArenaStamp& other) {
+    if (this != &other) bump();
+    return *this;
+  }
+  ArenaStamp(ArenaStamp&& other) noexcept : ArenaStamp() { other.bump(); }
+  ArenaStamp& operator=(ArenaStamp&& other) noexcept {
+    bump();
+    if (this != &other) other.bump();
+    return *this;
+  }
+
+  void bump() { view_checks::bump_cell(cell_); }
+
+  [[nodiscard]] const view_checks::GenCell* cell() const { return cell_; }
+  [[nodiscard]] std::uint64_t generation() const {
+    return view_checks::cell_value(cell_);
+  }
+
+ private:
+  view_checks::GenCell* cell_;
+};
+
+// A std::string_view that knows which arena generation it was born at and
+// refuses to be read after that generation passes. Converts implicitly to
+// std::string_view (validating), so existing call sites — Emitter::emit,
+// vector<string_view>::push_back, std::string construction, comparisons
+// against literals — compile unchanged; in Release the engine::ArenaView
+// alias bypasses this class entirely.
+class DebugView {
+ public:
+  constexpr DebugView() noexcept = default;
+  DebugView(std::string_view view, const view_checks::GenCell* cell,
+            const char* source) noexcept
+      : view_(view),
+        cell_(cell),
+        birth_(view_checks::cell_value(cell)),
+        source_(source) {}
+
+  // NOLINTNEXTLINE(google-explicit-constructor): drop-in for string_view.
+  operator std::string_view() const {
+    check();
+    return view_;
+  }
+
+  [[nodiscard]] const char* data() const {
+    check();
+    return view_.data();
+  }
+  [[nodiscard]] std::size_t size() const {
+    check();
+    return view_.size();
+  }
+  [[nodiscard]] std::size_t length() const { return size(); }
+  [[nodiscard]] bool empty() const {
+    check();
+    return view_.empty();
+  }
+
+  // True iff the backing arena mutated since this view was taken (the next
+  // dereference would abort). Test hook — lets unit tests assert staleness
+  // without dying.
+  [[nodiscard]] bool stale() const noexcept {
+    return cell_ != nullptr && view_checks::cell_value(cell_) != birth_;
+  }
+  [[nodiscard]] std::uint64_t birth_generation() const noexcept {
+    return birth_;
+  }
+
+  friend bool operator==(const DebugView& a, const DebugView& b) {
+    return sv(a) == sv(b);
+  }
+  friend bool operator!=(const DebugView& a, const DebugView& b) {
+    return sv(a) != sv(b);
+  }
+  friend bool operator<(const DebugView& a, const DebugView& b) {
+    return sv(a) < sv(b);
+  }
+  friend bool operator<=(const DebugView& a, const DebugView& b) {
+    return sv(a) <= sv(b);
+  }
+  friend bool operator>(const DebugView& a, const DebugView& b) {
+    return sv(a) > sv(b);
+  }
+  friend bool operator>=(const DebugView& a, const DebugView& b) {
+    return sv(a) >= sv(b);
+  }
+  friend bool operator==(const DebugView& a, std::string_view b) {
+    return sv(a) == b;
+  }
+  friend bool operator!=(const DebugView& a, std::string_view b) {
+    return sv(a) != b;
+  }
+  friend bool operator<(const DebugView& a, std::string_view b) {
+    return sv(a) < b;
+  }
+  friend bool operator>(const DebugView& a, std::string_view b) {
+    return sv(a) > b;
+  }
+  friend bool operator==(std::string_view a, const DebugView& b) {
+    return a == sv(b);
+  }
+  friend bool operator!=(std::string_view a, const DebugView& b) {
+    return a != sv(b);
+  }
+  friend bool operator<(std::string_view a, const DebugView& b) {
+    return a < sv(b);
+  }
+  friend bool operator>(std::string_view a, const DebugView& b) {
+    return a > sv(b);
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const DebugView& v);
+
+ private:
+  static std::string_view sv(const DebugView& v) {
+    v.check();
+    return v.view_;
+  }
+
+  void check() const {
+    if (stale()) abort_stale();
+  }
+  [[noreturn]] void abort_stale() const;
+
+  std::string_view view_;
+  const view_checks::GenCell* cell_ = nullptr;
+  std::uint64_t birth_ = 0;
+  const char* source_ = "view";
+};
+
+#endif  // S3_VIEW_CHECKS
+
+}  // namespace s3

@@ -14,6 +14,11 @@ void KVBatch::prefault(std::size_t records, std::size_t bytes) {
   entries_.resize(records);
   entries_.clear();
   sorted_ = false;
+#if S3_VIEW_CHECKS
+  // resize may have reallocated, and the batch is logically reset either
+  // way: outstanding views are invalid.
+  stamp_.bump();
+#endif
 }
 
 void KVBatch::sort_by_key() {

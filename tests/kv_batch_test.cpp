@@ -231,5 +231,84 @@ TEST(PartitionTest, ViewAndStringAgree) {
   EXPECT_EQ(fnv1a("abc"), fnv1a(std::string("abc")));
 }
 
+
+#if S3_VIEW_CHECKS
+// ---------------------------------------------------------------------------
+// Runtime view validation (DebugView / ArenaStamp). Checked builds stamp
+// each batch arena with a generation; any arena mutation bumps it, and a
+// stale view aborts on dereference with a named witness. These are the
+// runtime mirrors of the s3viewcheck static rules.
+
+TEST(KVBatchViewChecksTest, GenerationBumpsTrackInvalidations) {
+  KVBatch batch;
+  batch.reserve(4, 64);
+  const auto g0 = batch.generation_for_test();
+  batch.append("a", "1");  // fits in reserved capacity: no reallocation
+  EXPECT_EQ(batch.generation_for_test(), g0);
+  batch.clear();
+  const auto g1 = batch.generation_for_test();
+  EXPECT_GT(g1, g0);
+  batch.prefault(4, 64);
+  EXPECT_GT(batch.generation_for_test(), g1);
+}
+
+TEST(KVBatchViewChecksTest, FreshViewsValidateAndCompare) {
+  KVBatch batch;
+  batch.append("key", "value");
+  const auto k = batch.key(0);
+  EXPECT_FALSE(k.stale());
+  EXPECT_EQ(std::string(k), "key");
+  EXPECT_EQ(k, batch.key(0));
+  EXPECT_LT(k, batch.value(0));
+  batch.clear();
+  EXPECT_TRUE(k.stale());  // stale() itself must not abort (test hook)
+}
+
+TEST(KVBatchViewChecksDeathTest, StaleViewAfterClearAborts) {
+  KVBatch batch;
+  batch.append("key", "value");
+  const auto k = batch.key(0);
+  batch.clear();
+  EXPECT_DEATH((void)std::string_view(k), "stale view from KVBatch::key");
+}
+
+TEST(KVBatchViewChecksDeathTest, StaleViewAfterArenaGrowthAborts) {
+  // The append-after-read hazard: the arena reallocates on growth, so the
+  // first key's bytes move out from under the held view.
+  KVBatch batch;
+  batch.append("key", "value");
+  const auto k = batch.key(0);
+  EXPECT_DEATH(
+      {
+        for (int i = 0; i < 4096; ++i) batch.append("grow", "grow");
+        (void)std::string_view(k);
+      },
+      "stale view from KVBatch::key");
+}
+
+TEST(KVBatchViewChecksDeathTest, StaleViewAfterMoveAborts) {
+  // Moves transfer (or byte-copy, under SSO) the arena: views into the
+  // source are dead either way. Pool recycle is release(std::move(batch)).
+  KVBatch batch;
+  batch.append("key", "value");
+  const auto v = batch.value(0);
+  KVBatch stolen = std::move(batch);
+  EXPECT_DEATH((void)std::string_view(v), "stale view from KVBatch::value");
+  EXPECT_EQ(stolen.value(0), "value");  // views re-fetched from the new home
+}
+
+TEST(KVBatchViewChecksDeathTest, StaleViewAfterDestructionAborts) {
+  // The generation cell outlives the batch (never-freed cell pool), so even
+  // a use-after-free validates and aborts deterministically instead of
+  // reading freed memory.
+  ArenaView k = [] {
+    KVBatch batch;
+    batch.append("key", "value");
+    return batch.key(0);
+  }();
+  EXPECT_DEATH((void)std::string_view(k), "stale view from KVBatch::key");
+}
+#endif  // S3_VIEW_CHECKS
+
 }  // namespace
 }  // namespace s3::engine

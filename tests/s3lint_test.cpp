@@ -284,6 +284,38 @@ TEST(S3LintRules, StringMemberInBatchConsumerClean) {
   EXPECT_FALSE(has_rule(vs, "view-retention"));
 }
 
+TEST(S3LintRules, ViewcheckSuppressionTagSilencesViewRetention) {
+  // The lexical rule is the fast path of s3viewcheck's view-outlives-arena
+  // model; a site vetted under the deeper analyzer's tag must not be
+  // re-flagged here.
+  const auto vs = lint("src/engine/op.h",
+                       "#pragma once\n"
+                       "class Op {\n"
+                       "  void consume(const KVBatch& batch);\n"
+                       "  // s3viewcheck: disable(view-outlives-arena)\n"
+                       "  std::string_view last_key_;\n"
+                       "};\n");
+  EXPECT_FALSE(has_rule(vs, "view-retention"));
+}
+
+TEST(S3LintRules, ViewRetentionMessagePointsAtViewcheck) {
+  const auto vs = lint("src/engine/op.h",
+                       "#pragma once\n"
+                       "class Op {\n"
+                       "  void consume(const KVBatch& batch);\n"
+                       "  std::string_view last_key_;\n"
+                       "};\n");
+  ASSERT_TRUE(has_rule(vs, "view-retention"));
+  bool forwarded = false;
+  for (const auto& v : vs) {
+    if (v.rule == "view-retention" &&
+        v.message.find("s3viewcheck") != std::string::npos) {
+      forwarded = true;
+    }
+  }
+  EXPECT_TRUE(forwarded);
+}
+
 TEST(S3LintRules, StringViewParameterOrNonConsumerClean) {
   // A string_view method parameter is fine, and so is a member in a class
   // that never touches KVBatch.

@@ -1,0 +1,951 @@
+#include "s3viewcheck/model.h"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <set>
+
+#include "s3lint/scope.h"
+
+namespace s3viewcheck {
+namespace {
+
+using s3lint::TokKind;
+using s3lint::Token;
+
+bool is_ident(const Token& t) { return t.kind == TokKind::kIdent; }
+
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+// Macro invocations look like ALL_CAPS identifiers; they never name a view,
+// a batch, or a method, and their argument lists are opaque.
+bool is_macro_name(const std::string& s) {
+  if (s.size() < 2) return false;
+  bool has_upper = false;
+  for (const char c : s) {
+    if (std::islower(static_cast<unsigned char>(c))) return false;
+    if (std::isupper(static_cast<unsigned char>(c))) has_upper = true;
+  }
+  return has_upper;
+}
+
+bool is_decl_qualifier(const std::string& s) {
+  return s == "const" || s == "mutable" || s == "static" || s == "inline" ||
+         s == "constexpr" || s == "volatile" || s == "typename" ||
+         s == "unsigned" || s == "signed" || s == "explicit" ||
+         s == "virtual" || s == "friend" || s == "using" || s == "extern";
+}
+
+bool is_view_type(const std::string& t) {
+  return t == "string_view" || t == "ArenaView" || t == "DebugView" ||
+         t == "basic_string_view";
+}
+
+// Skips a balanced (), [], or {} group starting at `i` (which must point at
+// the opener). Returns the index one past the closer, or toks.size().
+std::size_t skip_balanced(const std::vector<Token>& toks, std::size_t i) {
+  int paren = 0, brace = 0, bracket = 0;
+  for (; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == "(") ++paren;
+    if (t.text == ")") --paren;
+    if (t.text == "{") ++brace;
+    if (t.text == "}") --brace;
+    if (t.text == "[") ++bracket;
+    if (t.text == "]") --bracket;
+    if (paren == 0 && brace == 0 && bracket == 0) return i + 1;
+  }
+  return toks.size();
+}
+
+// Skips a template argument list starting at the `<`. Heuristic: `>` closes
+// one level, `>>` closes two; gives up (returns start+1) if the list doesn't
+// close within the statement.
+std::size_t skip_angles(const std::vector<Token>& toks, std::size_t i) {
+  int depth = 0;
+  for (std::size_t j = i; j < toks.size(); ++j) {
+    const Token& t = toks[j];
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "<") ++depth;
+      if (t.text == ">") --depth;
+      if (t.text == ">>") depth -= 2;
+      if (t.text == ";" || t.text == "{") break;  // never spans a statement
+      if (depth <= 0 && (t.text == ">" || t.text == ">>")) return j + 1;
+    }
+  }
+  return i + 1;
+}
+
+struct HeaderParse {
+  FunctionModel fn;
+  std::size_t next = 0;   // index after the header (past `{` or `;`)
+  bool has_body = false;  // header ended in `{`
+};
+
+// Attempts to parse a function declaration or definition whose first token
+// is at `start` (same discipline as s3lockcheck's header parser, plus
+// return-type capture). Returns nullopt when the statement is not
+// recognizably a function.
+std::optional<HeaderParse> parse_function(const std::vector<Token>& toks,
+                                          std::size_t start,
+                                          const std::string& class_path,
+                                          const std::string& path) {
+  // 1. Find "name (" with the name chain immediately before the paren.
+  std::size_t i = start;
+  std::size_t name_pos = 0;
+  int angle = 0;
+  bool found = false;
+  for (; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == ";" || t.text == "{" || t.text == "}" || t.text == "=")
+        return std::nullopt;
+      if (t.text == "<") ++angle;
+      if (t.text == ">") angle = std::max(0, angle - 1);
+      if (t.text == ">>") angle = std::max(0, angle - 2);
+      if (t.text == "(" && angle == 0 && i > start && is_ident(toks[i - 1]) &&
+          !s3lint::is_keyword(toks[i - 1].text)) {
+        name_pos = i - 1;
+        found = true;
+        break;
+      }
+      if (t.text == "(" && angle == 0) return std::nullopt;
+    }
+  }
+  if (!found) return std::nullopt;
+  const std::string& name = toks[name_pos].text;
+  if (name == "operator" || is_macro_name(name)) return std::nullopt;
+
+  FunctionModel fn;
+  fn.name = name;
+  fn.file = path;
+  fn.line = toks[name_pos].line;
+  // Qualified out-of-class definition: collect A::B before the name.
+  std::string quals;
+  std::size_t qual_begin = name_pos;
+  for (std::size_t j = name_pos; j >= 2 && is_punct(toks[j - 1], "::") &&
+                                 is_ident(toks[j - 2]);
+       j -= 2) {
+    quals = quals.empty() ? toks[j - 2].text : toks[j - 2].text + "::" + quals;
+    qual_begin = j - 2;
+  }
+  fn.class_name = !quals.empty() ? quals : class_path;
+  if (is_punct(toks[name_pos >= 1 ? name_pos - 1 : 0], "~")) {
+    fn.name = "~" + fn.name;  // destructor
+  }
+  fn.display =
+      fn.class_name.empty() ? fn.name : fn.class_name + "::" + fn.name;
+  // Return type: last class-ish identifier before the (qualified) name.
+  for (std::size_t j = start; j < qual_begin; ++j) {
+    const Token& t = toks[j];
+    if (is_ident(t) && !is_decl_qualifier(t.text) && !is_macro_name(t.text) &&
+        !s3lint::is_keyword(t.text) && t.text != "std") {
+      fn.return_type = t.text;
+    }
+    if (is_ident(t) && t.text == "auto") fn.return_type = "auto";
+  }
+
+  // 2. Parameters (type = last class-ish identifier before the param name,
+  // seen through template arguments so `std::vector<KVBatch>& runs` records
+  // KVBatch — element access through the param is arena access).
+  const std::size_t params_end = skip_balanced(toks, i);  // past ')'
+  {
+    std::vector<std::size_t> all;  // class-ish idents at any angle depth
+    std::vector<std::size_t> top;  // angle-0 idents (declarator candidates)
+    int depth = 0;
+    auto flush = [&] {
+      if (!top.empty() && all.size() >= 2 && all.back() == top.back()) {
+        Param p;
+        p.name = toks[top.back()].text;
+        p.type = toks[all[all.size() - 2]].text;
+        fn.params.push_back(std::move(p));
+      }
+      all.clear();
+      top.clear();
+    };
+    for (std::size_t j = i + 1; j + 1 < params_end; ++j) {
+      const Token& t = toks[j];
+      if (t.kind == TokKind::kPunct) {
+        if (t.text == "(" || t.text == "[" || t.text == "{") {
+          j = skip_balanced(toks, j) - 1;
+          continue;
+        }
+        if (t.text == "," && depth == 0) flush();
+        if (t.text == "<") ++depth;
+        if (t.text == ">") depth = std::max(0, depth - 1);
+        if (t.text == ">>") depth = std::max(0, depth - 2);
+        if (t.text == "=" && depth == 0) {
+          flush();
+          while (j + 1 < params_end && !is_punct(toks[j], ",")) ++j;
+          --j;
+        }
+      } else if (is_ident(t) && !is_decl_qualifier(t.text) &&
+                 !is_macro_name(t.text) && !s3lint::is_keyword(t.text) &&
+                 t.text != "std") {
+        all.push_back(j);
+        if (depth == 0) top.push_back(j);
+      }
+    }
+    flush();
+  }
+
+  // 3. Qualifiers, annotations, trailing return, ctor init list.
+  i = params_end;
+  while (i < toks.size()) {
+    const Token& t = toks[i];
+    if (is_ident(t)) {
+      ++i;  // const / noexcept / override / final / annotation macros
+      if (i < toks.size() && is_punct(toks[i], "(")) i = skip_balanced(toks, i);
+      continue;
+    }
+    if (is_punct(t, "->")) {  // trailing return type
+      ++i;
+      while (i < toks.size() && !is_punct(toks[i], "{") &&
+             !is_punct(toks[i], ";")) {
+        if (is_ident(toks[i]) && !s3lint::is_keyword(toks[i].text) &&
+            toks[i].text != "std") {
+          fn.return_type = toks[i].text;
+        }
+        if (is_punct(toks[i], "(")) {
+          i = skip_balanced(toks, i);
+        } else {
+          ++i;
+        }
+      }
+      continue;
+    }
+    if (is_punct(t, ":")) {  // ctor initializer list
+      ++i;
+      while (i < toks.size()) {
+        while (i < toks.size() && !is_punct(toks[i], "(") &&
+               !is_punct(toks[i], "{") && !is_punct(toks[i], ";")) {
+          ++i;
+        }
+        if (i >= toks.size() || is_punct(toks[i], ";")) return std::nullopt;
+        if (is_punct(toks[i], "{") && i >= 1 &&
+            (is_punct(toks[i - 1], ")") || is_punct(toks[i - 1], "}"))) {
+          break;
+        }
+        i = skip_balanced(toks, i);
+        if (i < toks.size() && is_punct(toks[i], ",")) {
+          ++i;
+          continue;
+        }
+        break;
+      }
+      continue;
+    }
+    if (is_punct(t, "=")) {  // = default / = delete / pure virtual
+      while (i < toks.size() && !is_punct(toks[i], ";")) ++i;
+      continue;
+    }
+    if (is_punct(t, ";")) {
+      HeaderParse out{std::move(fn), i + 1, false};
+      return out;
+    }
+    if (is_punct(t, "{")) {
+      HeaderParse out{std::move(fn), i + 1, true};
+      out.fn.has_body = true;
+      return out;
+    }
+    return std::nullopt;  // unexpected shape: bail out conservatively
+  }
+  return std::nullopt;
+}
+
+// The walker proper.
+class Extractor {
+ public:
+  Extractor(const std::string& path, const std::vector<Token>& toks)
+      : path_(path), toks_(toks) {
+    fm_.path = path;
+  }
+
+  FileModel run() {
+    walk_outer(0, toks_.size(), "");
+    return std::move(fm_);
+  }
+
+ private:
+  // --- Outer scopes: top level, namespaces, classes. -------------------
+
+  void walk_outer(std::size_t begin, std::size_t end,
+                  const std::string& class_path) {
+    std::size_t i = begin;
+    while (i < end) {
+      const Token& t = toks_[i];
+      if (is_ident(t) && t.text == "template") {
+        i = (i + 1 < end && is_punct(toks_[i + 1], "<"))
+                ? skip_angles(toks_, i + 1)
+                : i + 1;
+        continue;
+      }
+      if (is_ident(t) && t.text == "namespace") {
+        std::size_t j = i + 1;
+        while (j < end && !is_punct(toks_[j], "{") && !is_punct(toks_[j], ";"))
+          ++j;
+        if (j < end && is_punct(toks_[j], "{")) {
+          const std::size_t close = skip_balanced(toks_, j);
+          walk_outer(j + 1, close - 1, class_path);
+          i = close;
+        } else {
+          i = j + 1;
+        }
+        continue;
+      }
+      if (is_ident(t) && t.text == "enum") {
+        std::size_t j = i + 1;
+        while (j < end && !is_punct(toks_[j], "{") && !is_punct(toks_[j], ";"))
+          ++j;
+        i = (j < end && is_punct(toks_[j], "{")) ? skip_balanced(toks_, j)
+                                                 : j + 1;
+        continue;
+      }
+      if (is_ident(t) && (t.text == "class" || t.text == "struct")) {
+        const std::size_t next = parse_class(i, end, class_path, nullptr);
+        if (next != i) {
+          i = next;
+          continue;
+        }
+      }
+      if (is_ident(t) &&
+          (t.text == "using" || t.text == "typedef" || t.text == "friend" ||
+           t.text == "static_assert" || t.text == "extern")) {
+        while (i < end && !is_punct(toks_[i], ";")) {
+          if (is_punct(toks_[i], "{")) {
+            i = skip_balanced(toks_, i);
+            continue;
+          }
+          ++i;
+        }
+        ++i;
+        continue;
+      }
+      if (is_ident(t) && (t.text == "public" || t.text == "private" ||
+                          t.text == "protected")) {
+        i += 2;  // "public" ":"
+        continue;
+      }
+      if (t.kind == TokKind::kDirective || t.kind == TokKind::kString ||
+          t.kind == TokKind::kNumber) {
+        ++i;
+        continue;
+      }
+      if (t.kind == TokKind::kPunct) {
+        i = t.text == "{" ? skip_balanced(toks_, i) : i + 1;
+        continue;
+      }
+      i = parse_declaration(i, end, class_path);
+    }
+  }
+
+  // Parses a class/struct definition starting at the class/struct keyword.
+  std::size_t parse_class(std::size_t i, std::size_t end,
+                          const std::string& outer, FunctionModel* fn) {
+    std::size_t j = i + 1;
+    if (j >= end || !is_ident(toks_[j])) return i;
+    const std::string name = toks_[j].text;
+    ++j;
+    while (j < end && !is_punct(toks_[j], "{") && !is_punct(toks_[j], ";") &&
+           !is_punct(toks_[j], "(") && !is_punct(toks_[j], "=")) {
+      if (is_punct(toks_[j], "<")) {
+        j = skip_angles(toks_, j);
+        continue;
+      }
+      ++j;
+    }
+    if (j >= end || !is_punct(toks_[j], "{")) return i;  // not a definition
+    const std::string class_path = outer.empty() ? name : outer + "::" + name;
+    const std::size_t close = skip_balanced(toks_, j);
+    walk_outer(j + 1, close - 1, class_path);
+    // `} var;` — a function-local struct instance.
+    std::size_t k = close;
+    if (fn != nullptr && k < end && is_ident(toks_[k]) &&
+        !s3lint::is_keyword(toks_[k].text) && k + 1 < end &&
+        (is_punct(toks_[k + 1], ";") || is_punct(toks_[k + 1], "{"))) {
+      fn->locals.push_back({class_path, toks_[k].text, stmt_});
+      local_names_.insert(toks_[k].text);
+    }
+    while (k < end && !is_punct(toks_[k], ";")) ++k;
+    return k + 1;
+  }
+
+  // Parses one declaration at class/namespace scope: a function or a data
+  // member (harvested into the members map for receiver-type resolution).
+  std::size_t parse_declaration(std::size_t i, std::size_t end,
+                                const std::string& class_path) {
+    if (auto parsed = parse_function(toks_, i, class_path, path_)) {
+      FunctionModel fn = std::move(parsed->fn);
+      std::size_t next = parsed->next;
+      if (parsed->has_body) {
+        begin_function(&fn);
+        const std::size_t body_end = find_close(next);
+        walk_body(next, body_end, &fn);
+        next = body_end + 1;
+      }
+      fm_.functions.push_back(std::move(fn));
+      return next;
+    }
+    std::size_t stmt_end = i;
+    while (stmt_end < end && !is_punct(toks_[stmt_end], ";")) {
+      if (is_punct(toks_[stmt_end], "{") || is_punct(toks_[stmt_end], "(") ||
+          is_punct(toks_[stmt_end], "[")) {
+        stmt_end = skip_balanced(toks_, stmt_end);
+        continue;
+      }
+      ++stmt_end;
+    }
+    parse_member(i, stmt_end, class_path);
+    return stmt_end + 1;
+  }
+
+  // Extracts member name/type from a data-member statement in [i, stmt_end).
+  void parse_member(std::size_t i, std::size_t stmt_end,
+                    const std::string& class_path) {
+    std::vector<std::size_t> all;  // candidate type idents, any angle depth
+    std::vector<std::size_t> top;  // angle-0 idents (declarator candidates)
+    int angle = 0;
+    for (std::size_t j = i; j < stmt_end; ++j) {
+      const Token& t = toks_[j];
+      if (t.kind == TokKind::kPunct) {
+        if (t.text == "<") ++angle;
+        if (t.text == ">") angle = std::max(0, angle - 1);
+        if (t.text == ">>") angle = std::max(0, angle - 2);
+        if (angle > 0) continue;
+        if (t.text == "=" || t.text == "{") break;
+        continue;
+      }
+      if (!is_ident(t)) continue;
+      if (angle == 0 && is_macro_name(t.text)) break;
+      if (is_macro_name(t.text) || is_decl_qualifier(t.text) ||
+          s3lint::is_keyword(t.text) || t.text == "std") {
+        continue;
+      }
+      all.push_back(j);
+      if (angle == 0) top.push_back(j);
+    }
+    if (top.empty() || all.size() < 2) return;
+    const std::size_t name_pos = top.back();
+    std::string type;
+    for (const std::size_t j : all) {
+      if (j < name_pos) type = toks_[j].text;
+    }
+    if (type.empty()) return;
+    fm_.members[class_path][toks_[name_pos].text] = type;
+  }
+
+  // --- Function bodies. ------------------------------------------------
+
+  std::size_t find_close(std::size_t body_begin) const {
+    int depth = 1;
+    for (std::size_t j = body_begin; j < toks_.size(); ++j) {
+      if (is_punct(toks_[j], "{")) ++depth;
+      if (is_punct(toks_[j], "}")) {
+        if (--depth == 0) return j;
+      }
+    }
+    return toks_.size();
+  }
+
+  void begin_function(FunctionModel* fn) {
+    seq_ = 0;
+    stmt_ = 0;
+    lambda_count_ = 0;
+    local_names_.clear();
+    use_candidates_.clear();
+    submit_ranges_.clear();
+    for (const Param& p : fn->params) {
+      local_names_.insert(p.name);
+      if (is_view_type(p.type)) {
+        use_candidates_.insert(p.name);
+        // Borrowed view parameter: the Emitter::emit / GroupFn / Reducer
+        // contract — valid only for the duration of the call.
+        Event ev;
+        ev.kind = EventKind::kBind;
+        ev.line = fn->line;
+        ev.seq = seq_++;
+        ev.stmt = stmt_;
+        ev.view = p.name;
+        ev.batch = "<param:" + p.name + ">";
+        ev.via = "borrowed parameter";
+        fn->events.push_back(std::move(ev));
+      }
+    }
+  }
+
+  // Walks a function body in [begin, end) (end = matching `}`).
+  void walk_body(std::size_t begin, std::size_t end, FunctionModel* fn,
+                 int lambda = -1) {
+    bool stmt_start = true;
+    std::size_t i = begin;
+    while (i < end) {
+      const Token& t = toks_[i];
+      if (t.kind == TokKind::kPunct) {
+        if (t.text == "{" || t.text == "}" || t.text == ";") {
+          end_statement();
+          stmt_start = true;
+          ++i;
+          continue;
+        }
+        if (t.text == "[" && try_lambda(i, end, fn)) {
+          i = lambda_next_;
+          stmt_start = false;
+          continue;
+        }
+        stmt_start = false;
+        ++i;
+        continue;
+      }
+      if (t.kind != TokKind::kIdent) {
+        ++i;
+        stmt_start = false;
+        continue;
+      }
+
+      // for (...) opens a fresh declaration context inside the parens
+      // (range-for batch references: `for (KVBatch& run : runs)`).
+      if ((t.text == "for" || t.text == "if" || t.text == "while") &&
+          i + 1 < end && is_punct(toks_[i + 1], "(")) {
+        i += 2;
+        stmt_start = true;
+        continue;
+      }
+
+      if (t.text == "return" && lambda == -1) {
+        // Calls and candidate uses inside the return expression are flagged
+        // as escaping. Lambda returns are not function returns.
+        in_return_ = true;
+        pending_bind_ = "<return>";
+        pending_type_ = fn->return_type;
+        Event ev;
+        ev.kind = EventKind::kReturn;
+        ev.line = t.line;
+        ev.seq = seq_++;
+        ev.stmt = stmt_;
+        ev.lambda = lambda;
+        fn->events.push_back(std::move(ev));
+        ++i;
+        stmt_start = false;
+        continue;
+      }
+
+      // Function-local struct/class definition.
+      if ((t.text == "struct" || t.text == "class") && stmt_start) {
+        const std::size_t next = parse_class(i, end, "", fn);
+        if (next != i) {
+          i = next;
+          stmt_start = true;
+          continue;
+        }
+      }
+
+      // Local declaration at statement start.
+      if (stmt_start && !is_macro_name(t.text) &&
+          (t.text == "auto" || !s3lint::is_keyword(t.text))) {
+        const std::size_t next = try_local_decl(i, end, fn);
+        if (next != i) {
+          i = next;
+          stmt_start = false;
+          continue;
+        }
+      }
+
+      // Assignment / member store at statement start: `NAME = RHS;` or a
+      // container store `NAME.push_back(v)` (calls handle the latter).
+      if (stmt_start && !is_macro_name(t.text) &&
+          !s3lint::is_keyword(t.text) && i + 1 < end &&
+          is_punct(toks_[i + 1], "=")) {
+        i = handle_assignment(i, end, fn, lambda);
+        stmt_start = false;
+        continue;
+      }
+
+      // Call site: ident followed by '('.
+      if (i + 1 < end && is_punct(toks_[i + 1], "(") &&
+          !s3lint::is_keyword(t.text) && !is_macro_name(t.text)) {
+        record_call(i, fn, lambda);
+        i = i + 1;  // descend into the argument list for nested calls
+        stmt_start = false;
+        continue;
+      }
+
+      if (is_macro_name(t.text) && i + 1 < end && is_punct(toks_[i + 1], "(")) {
+        i = skip_balanced(toks_, i + 1);  // macro invocation: opaque
+        stmt_start = false;
+        continue;
+      }
+
+      // Candidate view use (not a declaration name in this statement, not a
+      // member/method name after . -> ::).
+      if (use_candidates_.count(t.text) != 0 &&
+          stmt_declared_.count(t.text) == 0 &&
+          !(i > begin && (is_punct(toks_[i - 1], ".") ||
+                          is_punct(toks_[i - 1], "->") ||
+                          is_punct(toks_[i - 1], "::")))) {
+        Event ev;
+        ev.kind = in_return_ ? EventKind::kReturn : EventKind::kUse;
+        ev.line = t.line;
+        ev.seq = seq_++;
+        ev.stmt = stmt_;
+        ev.lambda = lambda;
+        ev.view = t.text;
+        fn->events.push_back(std::move(ev));
+      }
+
+      ++i;
+      stmt_start = false;
+    }
+    end_statement();
+  }
+
+  void end_statement() {
+    ++stmt_;
+    pending_bind_.clear();
+    pending_type_.clear();
+    stmt_declared_.clear();
+    in_return_ = false;
+  }
+
+  // Builds the receiver identifier chain for the call whose callee token is
+  // at `pos`, walking backwards over `.`, `->`, `::`, subscripts, and
+  // intermediate calls.
+  void build_chain(std::size_t pos, std::size_t begin,
+                   std::vector<std::string>* chain) const {
+    std::size_t j = pos;
+    while (j > begin + 1) {
+      const Token& sep = toks_[j - 1];
+      if (!(is_punct(sep, ".") || is_punct(sep, "->") || is_punct(sep, "::")))
+        break;
+      std::size_t k = j - 2;
+      while (k > begin &&
+             (is_punct(toks_[k], "]") || is_punct(toks_[k], ")"))) {
+        const std::string closer = toks_[k].text;
+        const char* open = closer == "]" ? "[" : "(";
+        int d = 1;
+        --k;
+        while (k > begin && d > 0) {
+          if (toks_[k].kind == TokKind::kPunct) {
+            if (toks_[k].text == closer) ++d;
+            if (toks_[k].text == open) --d;
+          }
+          if (d > 0) --k;
+        }
+        if (k > begin) --k;
+      }
+      if (!is_ident(toks_[k])) break;
+      chain->insert(chain->begin(), toks_[k].text);
+      j = k;
+    }
+  }
+
+  // Records the call whose callee token is at `i` (followed by '(').
+  void record_call(std::size_t i, FunctionModel* fn, int lambda) {
+    const std::size_t open = i + 1;
+    const std::size_t close = skip_balanced(toks_, open);  // past ')'
+    CallSite site;
+    site.callee = toks_[i].text;
+    site.line = toks_[i].line;
+    site.seq = seq_++;
+    site.stmt = stmt_;
+    site.lambda = lambda;
+    site.bound_to = pending_bind_;
+    site.bound_type = pending_type_;
+    build_chain(i, 0, &site.chain);
+    // Top-level arguments: first meaningful identifier each (the std::move
+    // operand when wrapped), whether it was moved, whether it is bare.
+    {
+      std::string first;
+      bool moved = false;
+      int tokens = 0;
+      bool bare_ident = false;
+      int depth = 0;
+      auto flush = [&] {
+        if (tokens > 0) {
+          site.args.push_back(first);
+          site.moved.push_back(moved);
+          site.lone.push_back(bare_ident && tokens == 1);
+        }
+        first.clear();
+        moved = false;
+        tokens = 0;
+        bare_ident = false;
+      };
+      for (std::size_t j = open + 1; j + 1 < close; ++j) {
+        const Token& a = toks_[j];
+        if (a.kind == TokKind::kPunct) {
+          if (a.text == "," && depth == 0) {
+            flush();
+            continue;
+          }
+          if (a.text == "(" || a.text == "[" || a.text == "{") ++depth;
+          if (a.text == ")" || a.text == "]" || a.text == "}") --depth;
+          if (a.text != "::" && a.text != "&" && a.text != "*") ++tokens;
+          continue;
+        }
+        ++tokens;
+        if (!is_ident(a)) continue;
+        if (a.text == "std") {
+          --tokens;  // std::move / std::string qualifiers are glue
+          continue;
+        }
+        if (a.text == "move" && j + 1 < close && is_punct(toks_[j + 1], "(")) {
+          moved = true;
+          --tokens;
+          continue;
+        }
+        if (s3lint::is_keyword(a.text)) continue;
+        if (first.empty()) {
+          first = a.text;
+          bare_ident = true;
+        }
+      }
+      flush();
+    }
+    if (site.callee == "submit" || site.callee == "submit_to") {
+      submit_ranges_.push_back({open, close});
+    }
+    fn->calls.push_back(std::move(site));
+  }
+
+  // Recognizes `Type [&|*] name` declarations at statement start. Returns
+  // the index just past the declarator name (the main loop then scans the
+  // initializer, attributing calls to the new local via pending_bind_), or
+  // `i` when the statement is not a declaration.
+  std::size_t try_local_decl(std::size_t i, std::size_t end,
+                             FunctionModel* fn) {
+    std::size_t j = i;
+    std::vector<std::size_t> all;  // class-ish idents at any angle depth
+    std::vector<std::size_t> top;  // angle-0 idents
+    bool saw_auto = false;
+    while (j < end) {
+      const Token& t = toks_[j];
+      if (is_ident(t)) {
+        if (t.text == "auto") {
+          saw_auto = true;
+          ++j;
+          continue;
+        }
+        if (s3lint::is_keyword(t.text)) return i;
+        if (is_macro_name(t.text)) return i;
+        if (!is_decl_qualifier(t.text) && t.text != "std") top.push_back(j);
+        ++j;
+        continue;
+      }
+      if (is_punct(t, "<")) {
+        const std::size_t after = skip_angles(toks_, j);
+        for (std::size_t k = j + 1; k + 1 < after; ++k) {
+          if (is_ident(toks_[k]) && !is_decl_qualifier(toks_[k].text) &&
+              !s3lint::is_keyword(toks_[k].text) && toks_[k].text != "std") {
+            all.push_back(k);
+          }
+        }
+        j = after;
+        continue;
+      }
+      if (is_punct(t, "::") || is_punct(t, "&") || is_punct(t, "*")) {
+        ++j;
+        continue;
+      }
+      break;
+    }
+    if (j >= end) return i;
+    const Token& boundary = toks_[j];
+    if (!(is_punct(boundary, "=") || is_punct(boundary, ";") ||
+          is_punct(boundary, "(") || is_punct(boundary, "{") ||
+          is_punct(boundary, ":"))) {
+      return i;
+    }
+    // Declarator name = last angle-0 ident; type = last class-ish ident
+    // before it at any depth (so vector<KVBatch> reads as KVBatch).
+    if (top.empty()) return i;
+    if (!saw_auto && top.size() < 2) return i;
+    const std::size_t name_pos = top.back();
+    if (name_pos + 1 != j) return i;  // name must sit against the boundary
+    std::string type = saw_auto ? "auto" : "";
+    for (std::size_t k = 0; k + 1 < top.size(); ++k) all.push_back(top[k]);
+    std::sort(all.begin(), all.end());
+    for (const std::size_t k : all) {
+      if (k < name_pos) type = toks_[k].text;
+    }
+    if (type.empty()) return i;
+    const std::string name = toks_[name_pos].text;
+    fn->locals.push_back({type, name, stmt_});
+    local_names_.insert(name);
+    stmt_declared_.insert(name);
+    if (is_view_type(type) || type == "auto") use_candidates_.insert(name);
+    // Attribute initializer calls to this local (the graph resolves which
+    // call, if any, is the binding source).
+    pending_bind_ = name;
+    pending_type_ = type;
+    return is_punct(boundary, ";") ? j : j + 1;
+  }
+
+  // `NAME = RHS;` at statement start where NAME was not matched as a
+  // declaration. Known local: kAssign (view untrack / arena overwrite) and
+  // the RHS may rebind through pending_bind_. Unknown name: candidate
+  // member store (the graph checks it resolves to a member of the enclosing
+  // class).
+  std::size_t handle_assignment(std::size_t i, std::size_t end,
+                                FunctionModel* fn, int lambda) {
+    const std::string& name = toks_[i].text;
+    const bool local = local_names_.count(name) != 0;
+    Event ev;
+    ev.line = toks_[i].line;
+    ev.seq = seq_++;
+    ev.stmt = stmt_;
+    ev.lambda = lambda;
+    if (local) {
+      ev.kind = EventKind::kAssign;
+      ev.view = name;
+      fn->events.push_back(std::move(ev));
+      pending_bind_ = name;
+      pending_type_.clear();  // graph falls back to the declared type
+      return i + 2;           // past NAME =; main loop scans the RHS
+    }
+    // RHS of a non-local store: a bare tracked view (`member_ = v;`) is an
+    // event; a direct source call (`member_ = batch_.key(0);`) flows through
+    // pending_bind_ as "<store:NAME>".
+    std::size_t j = i + 2;
+    if (j < end && is_ident(toks_[j]) && j + 1 < end &&
+        is_punct(toks_[j + 1], ";") && use_candidates_.count(toks_[j].text)) {
+      ev.kind = EventKind::kMemberStore;
+      ev.view = toks_[j].text;
+      ev.via = name;
+      fn->events.push_back(std::move(ev));
+      return j + 1;
+    }
+    ev.kind = EventKind::kMemberStore;
+    ev.via = name;
+    // Recorded with an empty view: only meaningful if a source call in the
+    // RHS binds to "<store:NAME>"; the graph drops it otherwise.
+    fn->events.push_back(std::move(ev));
+    pending_bind_ = "<store:" + name + ">";
+    pending_type_.clear();
+    return i + 2;
+  }
+
+  // Detects a lambda introducer at `[` (index i); when confirmed, records
+  // LambdaInfo (with submit association) and walks the body with the new
+  // lambda id. View-typed lambda parameters become borrowed views inside.
+  bool try_lambda(std::size_t i, std::size_t end, FunctionModel* fn) {
+    if (i > 0) {
+      const Token& prev = toks_[i - 1];
+      if (is_ident(prev) && !s3lint::is_keyword(prev.text)) return false;
+      if (prev.kind == TokKind::kPunct &&
+          (prev.text == "]" || prev.text == ")")) {
+        return false;
+      }
+    }
+    std::size_t j = skip_balanced(toks_, i);  // past ']'
+    std::vector<std::pair<std::string, std::string>> lambda_params;
+    if (j < end && is_punct(toks_[j], "(")) {
+      const std::size_t params_close = skip_balanced(toks_, j);
+      // Minimal param harvest: `type name` pairs at angle depth 0.
+      std::vector<std::size_t> idents;
+      int depth = 0;
+      auto flush = [&] {
+        if (idents.size() >= 2) {
+          lambda_params.emplace_back(toks_[idents[idents.size() - 2]].text,
+                                     toks_[idents.back()].text);
+        }
+        idents.clear();
+      };
+      for (std::size_t k = j + 1; k + 1 < params_close; ++k) {
+        const Token& t = toks_[k];
+        if (t.kind == TokKind::kPunct) {
+          if (t.text == "<") ++depth;
+          if (t.text == ">") depth = std::max(0, depth - 1);
+          if (t.text == ",") flush();
+          continue;
+        }
+        if (is_ident(t) && depth == 0 && !is_decl_qualifier(t.text) &&
+            !s3lint::is_keyword(t.text) && t.text != "std") {
+          idents.push_back(k);
+        }
+      }
+      flush();
+      j = params_close;
+    }
+    while (j < end && is_ident(toks_[j]) &&
+           (toks_[j].text == "mutable" || toks_[j].text == "noexcept" ||
+            toks_[j].text == "constexpr")) {
+      ++j;
+    }
+    if (j < end && is_punct(toks_[j], "->")) {
+      while (j < end && !is_punct(toks_[j], "{") && !is_punct(toks_[j], ";") &&
+             !is_punct(toks_[j], ",") && !is_punct(toks_[j], ")")) {
+        ++j;
+      }
+    }
+    if (j >= end || !is_punct(toks_[j], "{")) return false;
+
+    LambdaInfo info;
+    info.id = lambda_count_++;
+    info.line = toks_[i].line;
+    for (const auto& [open, close] : submit_ranges_) {
+      if (i > open && i < close) info.submitted = true;
+    }
+    fn->lambdas.push_back(info);
+
+    // The lambda body is a new statement context; initializer attribution
+    // from the enclosing statement must not leak in.
+    const std::string saved_bind = pending_bind_;
+    const std::string saved_type = pending_type_;
+    const bool saved_return = in_return_;
+    pending_bind_.clear();
+    pending_type_.clear();
+    in_return_ = false;
+    for (const auto& [type, pname] : lambda_params) {
+      local_names_.insert(pname);
+      if (is_view_type(type)) {
+        use_candidates_.insert(pname);
+        Event ev;
+        ev.kind = EventKind::kBind;
+        ev.line = toks_[i].line;
+        ev.seq = seq_++;
+        ev.stmt = stmt_;
+        ev.lambda = info.id;
+        ev.view = pname;
+        ev.batch = "<param:" + pname + ">";
+        ev.via = "borrowed lambda parameter";
+        fn->events.push_back(std::move(ev));
+      }
+    }
+    const std::size_t body_end = find_close(j + 1);
+    walk_body(j + 1, std::min(body_end, end), fn, info.id);
+    pending_bind_ = saved_bind;
+    pending_type_ = saved_type;
+    in_return_ = saved_return;
+    lambda_next_ = std::min(body_end + 1, end);
+    return true;
+  }
+
+  const std::string& path_;
+  const std::vector<Token>& toks_;
+  FileModel fm_;
+
+  // Per-function walk state.
+  int seq_ = 0;
+  int stmt_ = 0;
+  int lambda_count_ = 0;
+  bool in_return_ = false;
+  std::string pending_bind_;
+  std::string pending_type_;
+  std::set<std::string> local_names_;
+  std::set<std::string> use_candidates_;
+  std::set<std::string> stmt_declared_;
+  std::vector<std::pair<std::size_t, std::size_t>> submit_ranges_;
+  std::size_t lambda_next_ = 0;
+};
+
+}  // namespace
+
+FileModel extract_model(const std::string& path,
+                        const s3lint::TokenizedFile& file) {
+  return Extractor(path, file.tokens).run();
+}
+
+}  // namespace s3viewcheck

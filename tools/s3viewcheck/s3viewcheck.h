@@ -1,0 +1,22 @@
+// Driver for the whole-project arena/view lifetime analyzer. Collects every
+// C++ source under <root>/src, extracts per-file models, builds the merged
+// project view graph, and reports findings in the same
+// `path:line: error: [rule] message` format as s3lint and s3lockcheck (one
+// tool-chain, one grep pattern). Exit codes match too: 0 clean, 1 findings,
+// 2 usage/IO.
+#pragma once
+
+#include <set>
+#include <string>
+
+namespace s3viewcheck {
+
+struct ViewcheckOptions {
+  std::string root = ".";       // project root (containing src/)
+  std::set<std::string> rules;  // empty = all rules
+  bool dump_graph = false;      // print the merged model instead of checking
+};
+
+int run_viewcheck(const ViewcheckOptions& options, std::string* output);
+
+}  // namespace s3viewcheck

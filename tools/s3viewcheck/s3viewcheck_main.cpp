@@ -1,0 +1,68 @@
+// Command-line entry point for s3viewcheck.
+//
+//   s3viewcheck [--root=DIR] [--rules=a,b] [--graph]
+//
+// Analyzes every C++ file under DIR/src for arena-backed view lifetime
+// hazards: views read after the backing KVBatch arena was cleared, moved,
+// prefaulted, or grown by append; views escaping their arena's scope through
+// returns or member stores; and views captured by tasks submitted to worker
+// pools. Exit 0 = clean, 1 = findings, 2 = usage or I/O error.
+#include <cstdio>
+#include <string>
+
+#include "s3viewcheck/graph.h"
+#include "s3viewcheck/s3viewcheck.h"
+
+namespace {
+
+void usage() {
+  std::fputs(
+      "usage: s3viewcheck [--root=DIR] [--rules=a,b] [--graph]\n"
+      "\n"
+      "Whole-project arena/view lifetime and escape analysis.\n"
+      "  --root=DIR    project root containing src/ (default: .)\n"
+      "  --rules=a,b   run only the named rules\n"
+      "  --graph       dump the merged view/arena model and exit\n"
+      "\n"
+      "rules:\n",
+      stderr);
+  for (const std::string& rule : s3viewcheck::ProjectGraph::all_rules()) {
+    std::fprintf(stderr, "  %s\n", rule.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  s3viewcheck::ViewcheckOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--root=", 0) == 0) {
+      options.root = arg.substr(7);
+    } else if (arg.rfind("--rules=", 0) == 0) {
+      std::string cur;
+      for (const char c : arg.substr(8) + ",") {
+        if (c == ',') {
+          if (!cur.empty()) options.rules.insert(cur);
+          cur.clear();
+        } else {
+          cur.push_back(c);
+        }
+      }
+    } else if (arg == "--graph") {
+      options.dump_graph = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "s3viewcheck: unknown argument '%s'\n",
+                   arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+  std::string output;
+  const int rc = s3viewcheck::run_viewcheck(options, &output);
+  std::fputs(output.c_str(), stdout);
+  return rc;
+}
