@@ -92,6 +92,11 @@ RunOutcome run(World& world, const chaos::FaultPlan* plan) {
 int main(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
   obs::TraceSession trace_session(flags);
+  // Chaos runs are exactly when a crash dump pays for itself: induced node
+  // deaths and failovers stress every abort path, and the flight record of
+  // the last few hundred events rides along in any s3-crash-*.txt.
+  obs::SnapshotExporter snapshot_exporter(flags);
+  obs::install_crash_handler();
   obs::EventJournal::instance().set_enabled(true);
 
   chaos::FaultPlanOptions fp;

@@ -52,6 +52,11 @@ int main(int argc, char** argv) {
   // --trace-out=<path> traces all three scheduler runs into one file; the
   // scheduler journal distinguishes them by batch/file ids.
   obs::TraceSession trace_session(flags);
+  // --snapshot-out=<path> publishes a Prometheus text snapshot every
+  // --snapshot-interval-ms (default 500); point `s3top <path>` at it for a
+  // live dashboard while the example runs.
+  obs::SnapshotExporter snapshot_exporter(flags);
+  obs::install_crash_handler();
   obs::set_phase_counters_enabled(flags.get_bool("phase-counters"));
   World world;
   dfs::PlacementTopology ptopo;

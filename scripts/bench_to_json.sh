@@ -1,0 +1,110 @@
+#!/usr/bin/env bash
+# Runs the engine micro-benchmarks and appends one structured entry to
+# BENCH_engine.json, including a flight-recorder overhead A/B
+# (S3_FLIGHT=0 vs S3_FLIGHT=1) on BM_MapRunnerEndToEnd/4 so the
+# "always-on costs <=2%" claim has a recorded measurement per PR.
+#
+# Usage: scripts/bench_to_json.sh [--pr N] [--engine LABEL] [--note TEXT]
+#                                 [--build DIR] [--reps N]
+#
+# The entry records items_per_second medians for the end-to-end map path
+# and the shuffle path, plus the flight on/off cpu-time medians. Run it
+# from a quiet machine: the JSON is history, not a one-shot gate (the
+# gate lives in scripts/check.sh --flight).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PR=9
+ENGINE="flight (always-on flight recorder, correlation ids threaded through the engine)"
+NOTE=""
+BUILD=build-release
+REPS=3
+AB_REPS=5
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --pr) PR="$2"; shift 2 ;;
+    --engine) ENGINE="$2"; shift 2 ;;
+    --note) NOTE="$2"; shift 2 ;;
+    --build) BUILD="$2"; shift 2 ;;
+    --reps) REPS="$2"; shift 2 ;;
+    *) echo "bench_to_json.sh: unknown argument $1" >&2; exit 2 ;;
+  esac
+done
+
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --build "$BUILD" -j --target micro_benchmarks > /dev/null
+
+BENCH="$BUILD/bench/micro_benchmarks"
+MAIN_CSV="$(mktemp)"
+OFF_CSV="$(mktemp)"
+ON_CSV="$(mktemp)"
+trap 'rm -f "$MAIN_CSV" "$OFF_CSV" "$ON_CSV"' EXIT
+
+echo "bench_to_json: main sweep (${REPS} repetitions) ..." >&2
+S3_TRACE=0 "$BENCH" \
+  --benchmark_filter='^BM_MapRunnerEndToEnd/(1|4|10)$|^BM_ShuffleSortAndGroup/(4096|65536)$' \
+  --benchmark_repetitions="$REPS" --benchmark_report_aggregates_only=true \
+  --benchmark_format=csv 2> /dev/null > "$MAIN_CSV"
+
+echo "bench_to_json: flight-recorder A/B (${AB_REPS} repetitions each) ..." >&2
+S3_TRACE=0 S3_FLIGHT=0 "$BENCH" \
+  --benchmark_filter='^BM_MapRunnerEndToEnd/4$' \
+  --benchmark_repetitions="$AB_REPS" --benchmark_report_aggregates_only=true \
+  --benchmark_format=csv 2> /dev/null > "$OFF_CSV"
+S3_TRACE=0 S3_FLIGHT=1 "$BENCH" \
+  --benchmark_filter='^BM_MapRunnerEndToEnd/4$' \
+  --benchmark_repetitions="$AB_REPS" --benchmark_report_aggregates_only=true \
+  --benchmark_format=csv 2> /dev/null > "$ON_CSV"
+
+PR="$PR" ENGINE="$ENGINE" NOTE="$NOTE" \
+MAIN_CSV="$MAIN_CSV" OFF_CSV="$OFF_CSV" ON_CSV="$ON_CSV" \
+python3 - << 'PYEOF'
+import csv, datetime, json, os
+
+def rows(path):
+    with open(path) as f:
+        lines = [ln for ln in f if not ln.startswith("#")]
+    # google-benchmark CSV: everything before the header line is preamble.
+    start = next(i for i, ln in enumerate(lines) if ln.startswith("name,"))
+    return list(csv.DictReader(lines[start:]))
+
+def medians(path, column):
+    out = {}
+    for row in rows(path):
+        name = row["name"]
+        if name.endswith("_median") and row.get(column):
+            out[name[: -len("_median")]] = float(row[column])
+    return out
+
+records = {k: round(v) for k, v in medians(os.environ["MAIN_CSV"],
+                                           "items_per_second").items()}
+off = medians(os.environ["OFF_CSV"], "cpu_time")["BM_MapRunnerEndToEnd/4"]
+on = medians(os.environ["ON_CSV"], "cpu_time")["BM_MapRunnerEndToEnd/4"]
+
+entry = {
+    "pr": int(os.environ["PR"]),
+    "date": datetime.date.today().isoformat(),
+    "engine": os.environ["ENGINE"],
+    "records_per_sec": records,
+    "flight_overhead": {
+        "benchmark": "BM_MapRunnerEndToEnd/4",
+        "median_cpu_ns_flight_off": round(off),
+        "median_cpu_ns_flight_on": round(on),
+        "overhead_pct": round((on - off) / off * 100.0, 2),
+        "budget_pct": 2.0,
+    },
+}
+if os.environ["NOTE"]:
+    entry["note"] = os.environ["NOTE"]
+
+with open("BENCH_engine.json") as f:
+    doc = json.load(f)
+doc["history"].append(entry)
+with open("BENCH_engine.json", "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+
+print(json.dumps(entry, indent=2))
+print("bench_to_json: appended entry to BENCH_engine.json")
+PYEOF

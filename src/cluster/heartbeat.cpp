@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/status.h"
+#include "obs/flight_recorder.h"
 
 namespace s3::cluster {
 
@@ -63,6 +64,16 @@ HealthTransitions HeartbeatTracker::sweep(SimTime now) {
   }
   std::sort(out.suspected.begin(), out.suspected.end());
   std::sort(out.died.begin(), out.died.end());
+  // Health transitions land in the flight record so a post-mortem shows
+  // which nodes the tracker condemned just before a crash.
+  for (const NodeId node : out.suspected) {
+    obs::CorrelationScope corr(JobId(), BatchId(), node);
+    S3_FLIGHT_MARK("heartbeat.suspect", node.value(), 0);
+  }
+  for (const NodeId node : out.died) {
+    obs::CorrelationScope corr(JobId(), BatchId(), node);
+    S3_FLIGHT_MARK("heartbeat.dead", node.value(), 0);
+  }
   return out;
 }
 

@@ -1,0 +1,40 @@
+#include "common/contracts.h"
+
+#include <atomic>
+
+namespace s3::internal {
+namespace {
+
+std::atomic<FatalHook> g_fatal_hook{nullptr};
+
+// One fatal gets to run the hook; a second fatal raised *by* the hook (or by
+// another thread racing into a check failure while the dump is being
+// written) must not recurse into it.
+std::atomic<bool> g_fatal_in_progress{false};
+
+}  // namespace
+
+void set_fatal_hook(FatalHook hook) {
+  g_fatal_hook.store(hook, std::memory_order_release);
+}
+
+void fatal_abort(const char* message) {
+  if (!g_fatal_in_progress.exchange(true, std::memory_order_acq_rel)) {
+    if (FatalHook hook = g_fatal_hook.load(std::memory_order_acquire)) {
+      hook(message);
+    }
+  }
+  std::abort();
+}
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& extra) {
+  std::ostringstream os;
+  os << "S3_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!extra.empty()) os << " — " << extra;
+  const std::string message = os.str();
+  std::cerr << message << std::endl;
+  fatal_abort(message.c_str());
+}
+
+}  // namespace s3::internal

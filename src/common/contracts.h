@@ -36,13 +36,24 @@
 
 namespace s3::internal {
 
-[[noreturn]] inline void check_failed(const char* expr, const char* file,
-                                      int line, const std::string& extra) {
-  std::cerr << "S3_CHECK failed: " << expr << " at " << file << ":" << line;
-  if (!extra.empty()) std::cerr << " — " << extra;
-  std::cerr << std::endl;
-  std::abort();
-}
+// Last-chance observer invoked with the formatted fatal message right before
+// the process aborts. obs/crash_dump installs one so the always-on flight
+// record survives the abort as an s3-crash-*.txt black box; common/ itself
+// never depends on obs/ — the coupling is this one function pointer. The
+// hook must not throw and must tolerate being the crashing thread (it runs
+// exactly once: re-entrant fatals skip straight to abort).
+using FatalHook = void (*)(const char* message);
+void set_fatal_hook(FatalHook hook);
+
+// The single sanctioned fatal exit for src/: prints nothing itself (callers
+// have already written their diagnostic to stderr), invokes the fatal hook
+// with `message`, then aborts. The s3lint rule `raw-abort` keeps direct
+// abort()/exit() out of src/ outside common/ so no fatal path can bypass
+// the crash sink.
+[[noreturn]] void fatal_abort(const char* message);
+
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& extra);
 
 // Runs a check at scope exit; the vehicle behind S3_POSTCONDITION. The
 // lambda captures by reference, so it observes the function's final state.

@@ -38,6 +38,8 @@ const char* lock_rank_name(LockRank rank) {
       return "kViewGenPool";
     case LockRank::kObsJournal:
       return "kObsJournal";
+    case LockRank::kObsSnapshot:
+      return "kObsSnapshot";
     case LockRank::kObsMetrics:
       return "kObsMetrics";
     case LockRank::kObsTraceSink:
@@ -107,6 +109,13 @@ std::vector<LockRank> held_for_test() {
   out.reserve(held_stack().size());
   for (const HeldLock& h : held_stack()) out.push_back(h.rank);
   return out;
+}
+
+std::size_t held_ranks(LockRank* out, std::size_t cap) {
+  const auto& stack = held_stack();
+  const std::size_t copy = stack.size() < cap ? stack.size() : cap;
+  for (std::size_t i = 0; i < copy; ++i) out[i] = stack[i].rank;
+  return stack.size();
 }
 
 void corrupt_held_rank_for_test(LockRank rank) {

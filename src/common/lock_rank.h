@@ -84,6 +84,10 @@ enum class LockRank : std::uint16_t {
   // Observability leaves: code under any lock above may journal, bump
   // metrics, trace, or log — never the other way around.
   kObsJournal = 90,
+  // Snapshot-exporter coordination (obs/prometheus.cpp): held only around
+  // its interval wait, below kObsMetrics because the export itself reads
+  // the registry.
+  kObsSnapshot = 93,
   kObsMetrics = 95,
   kObsTraceSink = 100,
   kObsTraceRing = 105,
@@ -111,6 +115,11 @@ void note_release(LockRank rank, const void* mu);
 // Ranks currently held by the calling thread, outermost first.
 std::vector<LockRank> held_for_test();
 
+// Async-signal-safe variant for the crash-dump writer: copies up to `cap`
+// held ranks (outermost first) into `out` without allocating, and returns
+// how many the thread actually holds (callers clamp to `cap` when reading).
+std::size_t held_ranks(LockRank* out, std::size_t cap);
+
 // Pushes a synthetic held frame so tests can prove the validator fires
 // (see tests/invariant_death_test.cpp). Pair with reset_for_test().
 void corrupt_held_rank_for_test(LockRank rank);
@@ -123,6 +132,7 @@ void reset_for_test();
 inline void note_acquire(LockRank, const void*) {}
 inline void note_release(LockRank, const void*) {}
 inline std::vector<LockRank> held_for_test() { return {}; }
+inline std::size_t held_ranks(LockRank*, std::size_t) { return 0; }
 inline void corrupt_held_rank_for_test(LockRank) {}
 inline void reset_for_test() {}
 

@@ -136,8 +136,11 @@ class [[nodiscard]] StatusOr {
  private:
   void check_ok() const {
     if (!is_ok()) {
-      std::cerr << "StatusOr::value() on error: " << status_ << "\n";
-      std::abort();
+      std::ostringstream os;
+      os << "StatusOr::value() on error: " << status_;
+      const std::string message = os.str();
+      std::cerr << message << "\n";
+      internal::fatal_abort(message.c_str());
     }
   }
 

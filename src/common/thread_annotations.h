@@ -15,6 +15,7 @@
 // prefix so they cannot collide with other libraries' unprefixed spellings.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -161,6 +162,14 @@ class S3_SCOPED_CAPABILITY MutexLock {
   // caller's code actually runs — so the rank frame also stays held across
   // the wait.
   void wait(std::condition_variable& cv) { cv.wait(lock_); }
+
+  // Timed variant for periodic workers (the snapshot exporter's interval
+  // loop): same release-while-parked contract, returns std::cv_status.
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(std::condition_variable& cv,
+                          const std::chrono::duration<Rep, Period>& timeout) {
+    return cv.wait_for(lock_, timeout);
+  }
 
  private:
   AnnotatedMutex* mu_;

@@ -2,11 +2,13 @@
 
 #if S3_VIEW_CHECKS
 
-#include <cstdlib>
 #include <deque>
 #include <iostream>
+#include <sstream>
+#include <string>
 #include <vector>
 
+#include "common/contracts.h"
 #include "common/thread_annotations.h"
 
 namespace s3 {
@@ -90,14 +92,18 @@ std::ostream& operator<<(std::ostream& os, const DebugView& v) {
 }
 
 void DebugView::abort_stale() const {
-  std::cerr << "s3 view-check failure: stale view from " << source_
-            << ": born at arena generation " << birth_ << ", arena is now at "
-            << "generation " << view_checks::cell_value(cell_)
-            << " — the arena was cleared, reallocated by append, prefaulted, "
-               "recycled, moved, or destroyed after this view was taken; "
-               "re-fetch views after any arena mutation (DESIGN.md §15)"
-            << std::endl;
-  std::abort();
+  std::ostringstream os;
+  os << "s3 view-check failure: stale view from " << source_
+     << ": born at arena generation " << birth_ << ", arena is now at "
+     << "generation " << view_checks::cell_value(cell_)
+     << " — the arena was cleared, reallocated by append, prefaulted, "
+        "recycled, moved, or destroyed after this view was taken; "
+        "re-fetch views after any arena mutation (DESIGN.md §15)";
+  const std::string message = os.str();
+  std::cerr << message << std::endl;
+  // Through the sanctioned fatal path so the crash sink (when installed)
+  // dumps the flight record before the abort.
+  internal::fatal_abort(message.c_str());
 }
 
 }  // namespace s3

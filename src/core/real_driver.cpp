@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "obs/clock.h"
+#include "obs/flight_recorder.h"
 #include "obs/journal.h"
 #include "obs/trace.h"
 #include "sched/segment_planner.h"
@@ -96,7 +97,7 @@ StatusOr<RealRunResult> RealDriver::run(sched::Scheduler& scheduler,
       timeline.on_first_started(member.job, now);
     }
     auto& journal = obs::EventJournal::instance();
-    if (journal.enabled()) {
+    if (journal.observed()) {
       obs::JournalEvent event;
       event.type = obs::JournalEventType::kBatchLaunched;
       event.sim_time = now;
@@ -107,6 +108,9 @@ StatusOr<RealRunResult> RealDriver::run(sched::Scheduler& scheduler,
       event.members = batch->members.size();
       journal.record(std::move(event));
     }
+    // Batch-level correlation: every span edge, journal event, and flight
+    // mark recorded below run_batch on this thread inherits the batch id.
+    obs::CorrelationScope batch_corr(JobId(), batch->id, NodeId());
     S3_TRACE_SPAN_NAMED(batch_span, "driver", "batch");
     batch_span.arg("batch", batch->id.value())
         .arg("file", batch->file.value())
@@ -121,7 +125,7 @@ StatusOr<RealRunResult> RealDriver::run(sched::Scheduler& scheduler,
     now += wall_seconds * options_.time_scale;
     ++result.batches_run;
 
-    if (journal.enabled()) {
+    if (journal.observed()) {
       obs::JournalEvent event;
       event.type = obs::JournalEventType::kBatchExecuted;
       event.sim_time = now;

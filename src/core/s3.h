@@ -35,8 +35,11 @@
 #include "metrics/report.h"
 #include "obs/chrome_trace.h"
 #include "obs/clock.h"
+#include "obs/crash_dump.h"
+#include "obs/flight_recorder.h"
 #include "obs/journal.h"
 #include "obs/phase_profiler.h"
+#include "obs/prometheus.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "obs/trace_session.h"

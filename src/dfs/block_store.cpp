@@ -46,7 +46,7 @@ StatusOr<Payload> BlockStore::get(BlockId block) const {
   if (crc32(*payload) != expected) {
     corrupt.add();
     auto& journal = obs::EventJournal::instance();
-    if (journal.enabled()) {
+    if (journal.observed()) {
       obs::JournalEvent event;
       event.type = obs::JournalEventType::kBlockCorrupt;
       event.detail = "block=" + std::to_string(block.value()) +

@@ -72,7 +72,7 @@ StatusOr<Payload> FailoverBlockSource::fetch(BlockId block) const {
       dead ? ++skipped_dead : ++skipped_corrupt;
       failovers_.fetch_add(1, std::memory_order_relaxed);
       failover_reads.add();
-      if (journal.enabled()) {
+      if (journal.observed()) {
         obs::JournalEvent event;
         event.type = corrupt ? obs::JournalEventType::kBlockCorrupt
                              : obs::JournalEventType::kReplicaFailedOver;
@@ -84,7 +84,7 @@ StatusOr<Payload> FailoverBlockSource::fetch(BlockId block) const {
       }
       continue;
     }
-    if (journal.enabled() && (skipped_dead > 0 || skipped_corrupt > 0)) {
+    if (journal.observed() && (skipped_dead > 0 || skipped_corrupt > 0)) {
       obs::JournalEvent event;
       event.type = obs::JournalEventType::kReplicaFailedOver;
       event.node = replica;

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "obs/flight_recorder.h"
 #include "obs/journal.h"
 #include "obs/phase_profiler.h"
 #include "obs/registry.h"
@@ -125,7 +126,7 @@ void LocalEngine::record_node_death(NodeId node, WaveCtx& ctx) {
       obs::Registry::instance().counter("engine.node_deaths");
   deaths.add();
   auto& journal = obs::EventJournal::instance();
-  if (journal.enabled()) {
+  if (journal.observed()) {
     obs::JournalEvent event;
     event.type = obs::JournalEventType::kNodeDead;
     event.node = node;
@@ -178,7 +179,7 @@ void LocalEngine::note_attempt_failure(const TaskAttempt& attempt,
       obs::Registry::instance().counter("engine.failed_attempts");
   failed.add();
   auto& journal = obs::EventJournal::instance();
-  if (!journal.enabled()) return;
+  if (!journal.observed()) return;
 
   std::ostringstream ident;
   ident << "task=" << attempt.task.value() << ",attempt=" << attempt.attempt;
@@ -360,6 +361,7 @@ Status LocalEngine::run_wave(const BatchExec& batch,
     const std::size_t target = block_index++ % map_pool_->size();
     const bool accepted = map_pool_->submit_to(target, [this,
                                                         task = std::move(task),
+                                                        batch_id = batch.id,
                                                         &map_collect, &specs,
                                                         &ctx] {
       // Fault tolerance: injected failures model a node losing the attempt
@@ -369,6 +371,9 @@ Status LocalEngine::run_wave(const BatchExec& batch,
       JobId poison;
       Status poison_status = Status::ok();
       NodeId node = pick_replica(task.block);
+      // Flight correlation: every record this worker emits while running the
+      // task names the batch and the first node the task was assigned to.
+      obs::CorrelationScope task_corr(JobId(), batch_id, node);
       for (int attempt = 1; attempt <= options_.max_task_attempts; ++attempt) {
         if (node.valid() && node_is_dead(node)) {
           // The assigned node died since dispatch (possibly killed by a
@@ -492,7 +497,11 @@ Status LocalEngine::run_wave(const BatchExec& batch,
       // Partition-affine dispatch: partition p of every member lands on the
       // same worker, so one worker's arenas see one partition's runs.
       const bool accepted = reduce_pool_->submit_to(
-          p % reduce_pool_->size(), [this, task, &collect, &specs, &ctx] {
+          p % reduce_pool_->size(),
+          [this, task, batch_id = batch.id, &collect, &specs, &ctx] {
+        // Flight correlation: reduce tasks are job-affine, so records name
+        // both the owning job and the batch whose wave scheduled them.
+        obs::CorrelationScope task_corr(task.job->id, batch_id, NodeId());
         StatusOr<ReduceTaskOutcome> outcome =
             Status::internal("reduce task never attempted");
         JobId poison;
@@ -654,6 +663,7 @@ StatusOr<BatchOutcome> LocalEngine::run_batch(const BatchExec& batch) {
   S3_LOG(kDebug, "engine") << "batch " << batch.id << ": "
                            << batch.blocks.size() << " blocks x "
                            << batch.jobs.size() << " jobs";
+  obs::CorrelationScope batch_corr(JobId(), batch.id, NodeId());
   S3_TRACE_SPAN_NAMED(batch_span, "engine", "execute_batch");
   batch_span.arg("batch", batch.id.value())
       .arg("blocks", batch.blocks.size())
@@ -716,7 +726,7 @@ StatusOr<BatchOutcome> LocalEngine::run_batch(const BatchExec& batch) {
         obs::Registry::instance().counter("engine.quarantines");
     quarantines.add();
     auto& journal = obs::EventJournal::instance();
-    if (journal.enabled()) {
+    if (journal.observed()) {
       obs::JournalEvent event;
       event.type = obs::JournalEventType::kJobQuarantined;
       event.job = poison;
@@ -753,7 +763,7 @@ StatusOr<BatchOutcome> LocalEngine::run_batch(const BatchExec& batch) {
     static auto& reruns =
         obs::Registry::instance().counter("engine.batch_reruns");
     reruns.add();
-    if (journal.enabled()) {
+    if (journal.observed()) {
       obs::JournalEvent event;
       event.type = obs::JournalEventType::kBatchRerun;
       event.batch = batch.id;

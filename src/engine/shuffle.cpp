@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/status.h"
+#include "obs/flight_recorder.h"
 #include "obs/registry.h"
 
 namespace s3::engine {
@@ -58,14 +59,19 @@ void ShuffleStore::publish(JobId job, std::vector<KVBatch> runs) {
       obs::Registry::instance().counter("shuffle.runs_published");
   static auto& records_published =
       obs::Registry::instance().counter("shuffle.records_published");
+  std::uint64_t published_runs = 0;
+  std::uint64_t published_records = 0;
   for (std::uint32_t p = 0; p < jb.partitions; ++p) {
     if (runs[p].empty()) continue;
+    ++published_runs;
+    published_records += runs[p].size();
     runs_published.add();
     records_published.add(runs[p].size());
     Bucket& b = *jb.buckets[p];
     MutexLock lock(b.mu);
     b.runs.push_back(std::move(runs[p]));
   }
+  S3_FLIGHT_MARK("shuffle.publish", published_runs, published_records);
 }
 
 std::vector<KVBatch> ShuffleStore::take(JobId job, std::uint32_t partition) {

@@ -1,0 +1,240 @@
+#include "obs/crash_dump.h"
+
+#include <csignal>
+#include <ctime>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/contracts.h"
+#include "common/lock_rank.h"
+#include "obs/clock.h"
+#include "obs/flight_recorder.h"
+#include "obs/registry.h"
+#include "obs/sigsafe_format.h"
+
+namespace s3::obs {
+namespace {
+
+using sigsafe::LineBuf;
+
+// Fixed storage so the signal handler can read the directory without
+// touching std::string. Written only from normal context.
+char g_dump_dir[240] = ".";
+
+// One real crash gets one dump: the fatal hook sets this, so the SIGABRT
+// that std::abort raises right after does not write a second file.
+std::atomic<bool> g_crash_dumped{false};
+
+// Distinguishes dumps written in the same second by the same pid.
+std::atomic<std::uint32_t> g_dump_counter{0};
+
+const int kFatalSignals[] = {SIGSEGV, SIGBUS, SIGILL, SIGFPE, SIGABRT};
+
+void write_all(int fd, const char* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd, data + off, len - off);
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+// Builds "<dir>/s3-crash-<pid>-<epoch_s>-<n>.txt" into `out` (cap bytes,
+// always NUL-terminated). Signal-safe.
+void build_dump_path(char* out, std::size_t cap) {
+  LineBuf path;
+  path.add_str(g_dump_dir);
+  path.add_str("/s3-crash-");
+  path.add_u64(static_cast<std::uint64_t>(::getpid()));
+  path.add_char('-');
+  path.add_u64(static_cast<std::uint64_t>(::time(nullptr)));
+  path.add_char('-');
+  path.add_u64(g_dump_counter.fetch_add(1, std::memory_order_relaxed));
+  path.add_str(".txt");
+  const std::size_t n = path.len < cap - 1 ? path.len : cap - 1;
+  std::memcpy(out, path.data, n);
+  out[n] = '\0';
+}
+
+void write_header(int fd, const char* reason) {
+  LineBuf line;
+  line.add_str("# s3-crash-dump v1\n");
+  line.flush(fd);
+  line.add_str("reason: ");
+  // The reason is a formatted check/signal message: single line, bounded by
+  // the LineBuf capacity (long check messages are truncated, never torn).
+  for (const char* p = reason; p != nullptr && *p != '\0'; ++p) {
+    line.add_char(*p == '\n' ? ' ' : *p);
+  }
+  line.add_char('\n');
+  line.flush(fd);
+  line.add_str("pid: ");
+  line.add_u64(static_cast<std::uint64_t>(::getpid()));
+  line.add_char('\n');
+  line.add_str("walltime_s: ");
+  line.add_u64(static_cast<std::uint64_t>(::time(nullptr)));
+  line.add_char('\n');
+  line.add_str("monotonic_ns: ");
+  line.add_u64(now_ns());
+  line.add_char('\n');
+  line.flush(fd);
+}
+
+void write_held_locks(int fd) {
+  LockRank held[64];
+  const std::size_t total = lock_rank::held_ranks(held, 64);
+  const std::size_t n = total < 64 ? total : 64;
+  LineBuf line;
+  line.add_str("== held-locks count=");
+  line.add_u64(total);
+  line.add_char('\n');
+  line.flush(fd);
+  for (std::size_t i = 0; i < n; ++i) {
+    line.add_str("rank ");
+    line.add_str(lock_rank_name(held[i]));
+    line.add_char(' ');
+    line.add_u64(static_cast<std::uint16_t>(held[i]));
+    line.add_char('\n');
+    line.flush(fd);
+  }
+}
+
+// `signal_context` selects the async-signal-safe subset: the metrics
+// section locks kObsMetrics and allocates, so it is written only from
+// normal context — and even there only when the crashing thread does not
+// already hold an observability-or-higher rank (taking the registry lock
+// then would either invert the rank order, re-entering the fatal path
+// mid-dump, or deadlock on the very lock the crash was raised under).
+void write_dump_to_fd(int fd, const char* reason, bool signal_context) {
+  write_header(fd, reason);
+  write_held_locks(fd);
+  FlightRecorder::instance().dump_to_fd(fd);
+  bool metrics_safe = !signal_context;
+  if (metrics_safe) {
+    LockRank held[64];
+    const std::size_t n = lock_rank::held_ranks(held, 64);
+    for (std::size_t i = 0; i < n && i < 64; ++i) {
+      if (held[i] >= LockRank::kObsMetrics) metrics_safe = false;
+    }
+  }
+  LineBuf line;
+  if (metrics_safe) {
+    line.add_str("== metrics\n");
+    line.flush(fd);
+    const std::string text = Registry::instance().to_text();
+    write_all(fd, text.data(), text.size());
+  } else {
+    line.add_str("== metrics skipped\n");
+    line.flush(fd);
+  }
+  line.add_str("== end\n");
+  line.flush(fd);
+}
+
+// Shared by the hook, the signal handler, and write_crash_dump. Returns the
+// fd-written path length, 0 on failure. Signal-safe when signal_context.
+std::size_t write_dump(char* path, std::size_t cap, const char* reason,
+                       bool signal_context) {
+  build_dump_path(path, cap);
+  const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return 0;
+  write_dump_to_fd(fd, reason, signal_context);
+  ::close(fd);
+  LineBuf notice;
+  notice.add_str("s3: crash dump written to ");
+  notice.add_str(path);
+  notice.add_char('\n');
+  notice.flush(STDERR_FILENO);
+  return std::strlen(path);
+}
+
+void fatal_hook(const char* message) {
+  // internal::fatal_abort guarantees single entry, but a fatal signal could
+  // still land while this dump is being written; claiming the flag first
+  // makes the signal handler skip its own dump.
+  g_crash_dumped.store(true, std::memory_order_release);
+  char path[320];
+  write_dump(path, sizeof(path), message, /*signal_context=*/false);
+}
+
+void fatal_signal_handler(int sig) {
+  if (!g_crash_dumped.exchange(true, std::memory_order_acq_rel)) {
+    const char* name = "fatal signal";
+    switch (sig) {
+      case SIGSEGV:
+        name = "fatal signal SIGSEGV";
+        break;
+      case SIGBUS:
+        name = "fatal signal SIGBUS";
+        break;
+      case SIGILL:
+        name = "fatal signal SIGILL";
+        break;
+      case SIGFPE:
+        name = "fatal signal SIGFPE";
+        break;
+      case SIGABRT:
+        name = "fatal signal SIGABRT";
+        break;
+      default:
+        break;
+    }
+    char path[320];
+    write_dump(path, sizeof(path), name, /*signal_context=*/true);
+  }
+  // Restore the default disposition and re-raise so the process still dies
+  // with the original signal (exit status, core dumps, and gtest death-test
+  // matchers are unaffected by the detour through this handler).
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+}  // namespace
+
+void install_crash_handler() {
+  static std::atomic<bool> installed{false};
+  if (installed.exchange(true, std::memory_order_acq_rel)) return;
+  if (const char* env = std::getenv("S3_CRASH_DIR")) {
+    if (env[0] != '\0') {
+      std::strncpy(g_dump_dir, env, sizeof(g_dump_dir) - 1);
+      g_dump_dir[sizeof(g_dump_dir) - 1] = '\0';
+    }
+  }
+  internal::set_fatal_hook(&fatal_hook);
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = &fatal_signal_handler;
+  sigemptyset(&action.sa_mask);
+  for (const int sig : kFatalSignals) {
+    struct sigaction previous;
+    std::memset(&previous, 0, sizeof(previous));
+    if (sigaction(sig, nullptr, &previous) == 0 &&
+        previous.sa_handler != SIG_DFL) {
+      // Another handler (a sanitizer's, typically) owns this signal; its
+      // report matters more than a second copy of ours. The fatal hook
+      // still covers every in-process abort path.
+      continue;
+    }
+    sigaction(sig, &action, nullptr);
+  }
+}
+
+void set_crash_dump_dir(const std::string& dir) {
+  if (dir.empty()) return;
+  std::strncpy(g_dump_dir, dir.c_str(), sizeof(g_dump_dir) - 1);
+  g_dump_dir[sizeof(g_dump_dir) - 1] = '\0';
+}
+
+std::string write_crash_dump(const char* reason) {
+  char path[320];
+  if (write_dump(path, sizeof(path), reason, /*signal_context=*/false) == 0) {
+    return {};
+  }
+  return std::string(path);
+}
+
+}  // namespace s3::obs

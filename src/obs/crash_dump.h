@@ -1,0 +1,41 @@
+// Crash sink: turns any fatal exit into a timestamped s3-crash-*.txt black
+// box. Registered two ways (DESIGN.md §16):
+//
+//  * As the common/ fatal hook — S3_CHECK / S3_CHECK_MSG / S3_POSTCONDITION
+//    failures, lock-rank inversions (they abort via S3_CHECK_MSG), stale
+//    DebugView aborts, and StatusOr::value() on error all funnel through
+//    s3::internal::fatal_abort, which invokes the hook before std::abort.
+//    The hook runs in normal (non-signal) context, so the dump carries the
+//    full story: flight record, held lock ranks, and a metrics-registry
+//    snapshot (which includes the phase-profiler counters).
+//  * As a sigaction handler for SIGSEGV/SIGBUS/SIGILL/SIGFPE/SIGABRT. In
+//    signal context only the async-signal-safe sections are written (flight
+//    record + held ranks; no metrics — Registry::to_text locks and
+//    allocates), then the default disposition is restored and the signal
+//    re-raised so exit status and core dumps are unchanged.
+//
+// Installation is idempotent and happens automatically on first
+// FlightRecorder use; binaries that want dumps from the very first
+// instruction call install_crash_handler() from main.
+//
+// Dumps land in $S3_CRASH_DIR (or set_crash_dump_dir), default ".".
+#pragma once
+
+#include <string>
+
+namespace s3::obs {
+
+// Registers the fatal hook and the fatal-signal handlers. Idempotent.
+void install_crash_handler();
+
+// Directory for s3-crash-*.txt files. Overrides $S3_CRASH_DIR; paths longer
+// than the internal fixed buffer (signal-safety) are truncated.
+void set_crash_dump_dir(const std::string& dir);
+
+// Composes and writes a full dump now from normal (non-signal) context —
+// the same writer the fatal hook uses. Returns the dump path, or an empty
+// string when the file could not be created. Used by tests and by
+// operators' debug endpoints; does not abort.
+std::string write_crash_dump(const char* reason);
+
+}  // namespace s3::obs

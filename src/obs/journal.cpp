@@ -1,6 +1,7 @@
 #include "obs/journal.h"
 
 #include "obs/clock.h"
+#include "obs/flight_recorder.h"
 
 namespace s3::obs {
 
@@ -57,9 +58,17 @@ void EventJournal::set_enabled(bool enabled) {
   enabled_.store(enabled, std::memory_order_relaxed);
 }
 
+bool EventJournal::observed() const {
+  return enabled() || FlightRecorder::instance().enabled();
+}
+
 void EventJournal::record(JournalEvent event) {
-  if (!enabled()) return;
   event.ts_ns = now_ns();
+  // The flight recorder keeps its own enabled flag; the copy is a fixed
+  // number of relaxed stores into the calling thread's ring, so the
+  // always-on path never takes the journal lock.
+  FlightRecorder::instance().record_journal(event);
+  if (!enabled()) return;
   MutexLock lock(mu_);
   event.seq = next_seq_++;
   events_.push_back(std::move(event));

@@ -122,9 +122,14 @@ class EventJournal {
     return enabled_.load(std::memory_order_relaxed);
   }
 
-  // Stamps seq + ts_ns and appends. Thread-safe; a no-op when disabled (so
-  // producers may skip their own enabled() check when event construction is
-  // cheap).
+  // True when a constructed event will land somewhere: in the journal
+  // (enabled()) or in the always-on flight recorder's per-thread ring.
+  // Producers gate event construction on this, not on enabled(), so the
+  // black box keeps the last-N decisions even in otherwise unobserved runs.
+  [[nodiscard]] bool observed() const;
+
+  // Stamps ts_ns, forwards a copy to the flight recorder, and — when the
+  // journal itself is enabled — stamps seq and appends. Thread-safe.
   void record(JournalEvent event);
 
   [[nodiscard]] std::vector<JournalEvent> snapshot() const;

@@ -146,6 +146,26 @@ std::string Registry::to_jsonl() const {
   return out;
 }
 
+MetricsSnapshot Registry::snapshot_metrics() const {
+  ReaderMutexLock lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.push_back(
+        MetricsSnapshot::Histogram{name, h->count(), h->p50(), h->p95(),
+                                   h->p99()});
+  }
+  return snap;
+}
+
 void Registry::reset_for_test() {
   WriterMutexLock lock(mu_);
   for (const auto& [name, c] : counters_) c->reset();

@@ -17,6 +17,8 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/thread_annotations.h"
 
@@ -81,6 +83,22 @@ class LogHistogram {
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
 };
 
+// Point-in-time copy of every registered metric, decoupled from the
+// registry lock so exporters (Prometheus text, crash dumps, s3top feeds)
+// can format without holding kObsMetrics.
+struct MetricsSnapshot {
+  struct Histogram {
+    std::string name;
+    std::uint64_t count = 0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+  std::vector<std::pair<std::string, std::uint64_t>> counters;  // sorted
+  std::vector<std::pair<std::string, double>> gauges;           // sorted
+  std::vector<Histogram> histograms;                            // sorted
+};
+
 class Registry {
  public:
   static Registry& instance();
@@ -96,6 +114,10 @@ class Registry {
   // Machine-readable dump via the metrics/jsonl emitter: one JSON object per
   // line, {"metric":..,"type":"counter|gauge|histogram",...}.
   [[nodiscard]] std::string to_jsonl() const;
+
+  // Values-only copy (names sorted within each kind, matching the map
+  // order); the exporters' input.
+  [[nodiscard]] MetricsSnapshot snapshot_metrics() const;
 
   // Zeroes every metric's value in place. Entries (and any references
   // call sites cached) stay alive.

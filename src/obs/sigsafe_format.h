@@ -1,0 +1,68 @@
+// Async-signal-safe text formatting for the crash-dump path: a fixed stack
+// buffer, integer/string appenders, and a write(2) flush. No allocation, no
+// stdio, no locale — usable from a SIGSEGV handler and from the fatal-abort
+// hook alike (DESIGN.md §16 states the signal-safety rules).
+#pragma once
+
+#include <unistd.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace s3::obs::sigsafe {
+
+// Sentinel printed as "-": matches StrongId<...>::kInvalid, i.e. "this
+// record is not attributed to a job/batch/node".
+inline constexpr std::uint64_t kNoId =
+    std::numeric_limits<std::uint64_t>::max();
+
+struct LineBuf {
+  char data[512];
+  std::size_t len = 0;
+
+  void add_char(char c) {
+    if (len < sizeof(data)) data[len++] = c;
+  }
+  void add_str(const char* s) {
+    for (; s != nullptr && *s != '\0'; ++s) add_char(*s);
+  }
+  void add_u64(std::uint64_t v) {
+    char digits[20];
+    std::size_t n = 0;
+    do {
+      digits[n++] = static_cast<char>('0' + v % 10);
+      v /= 10;
+    } while (v != 0);
+    while (n > 0) add_char(digits[--n]);
+  }
+  void add_id(std::uint64_t v) {
+    if (v == kNoId) {
+      add_char('-');
+    } else {
+      add_u64(v);
+    }
+  }
+  // Detail text goes between double quotes; quotes, backslashes, and control
+  // characters are replaced so the line stays single-line and trivially
+  // parseable.
+  void add_quoted(const char* s, std::size_t max) {
+    add_char('"');
+    for (std::size_t i = 0; i < max && s[i] != '\0'; ++i) {
+      const char c = s[i];
+      add_char((c == '"' || c == '\\' || (c >= 0 && c < 0x20)) ? '.' : c);
+    }
+    add_char('"');
+  }
+  void flush(int fd) {
+    std::size_t off = 0;
+    while (off < len) {
+      const ssize_t n = ::write(fd, data + off, len - off);
+      if (n <= 0) break;
+      off += static_cast<std::size_t>(n);
+    }
+    len = 0;
+  }
+};
+
+}  // namespace s3::obs::sigsafe

@@ -23,6 +23,7 @@
 
 #include "common/thread_annotations.h"
 #include "obs/clock.h"
+#include "obs/flight_recorder.h"
 
 namespace s3::obs {
 
@@ -95,9 +96,21 @@ class Tracer {
 // RAII span: captures start time at construction when tracing is enabled and
 // records the completed span at scope exit. Args attached while inactive are
 // ignored, so call sites need no enabled() checks of their own.
+//
+// Independent of the tracer, every span's begin/end edges also land in the
+// always-on flight recorder (lock-free per-thread ring, correlation ids
+// attached from the ambient CorrelationScope), so a crash dump shows what
+// each thread was inside even when no TraceSession was open.
 class SpanGuard {
  public:
   SpanGuard(const char* category, const char* name) {
+    FlightRecorder& flight = FlightRecorder::instance();
+    if (flight.enabled()) {
+      flight_ = true;
+      flight_category_ = category;
+      flight_name_ = name;
+      flight.record_span(FlightKind::kSpanBegin, category, name);
+    }
     if (Tracer::instance().enabled()) {
       active_ = true;
       event_.category = category;
@@ -110,6 +123,11 @@ class SpanGuard {
   // Ends the span now instead of at scope exit; later calls (including the
   // destructor's) are no-ops.
   void end() {
+    if (flight_) {
+      flight_ = false;
+      FlightRecorder::instance().record_span(FlightKind::kSpanEnd,
+                                             flight_category_, flight_name_);
+    }
     if (active_) {
       active_ = false;
       event_.end_ns = now_ns();
@@ -139,6 +157,9 @@ class SpanGuard {
 
  private:
   bool active_ = false;
+  bool flight_ = false;
+  const char* flight_category_ = nullptr;
+  const char* flight_name_ = nullptr;
   TraceEvent event_;
 };
 

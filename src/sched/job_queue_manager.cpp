@@ -44,7 +44,7 @@ void JobQueueManager::admit(JobId job, int priority) {
   jobs_.push_back(q);
   S3_LOG(kDebug, "jqm") << "admit " << job << " at block " << cursor_;
   auto& journal = obs::EventJournal::instance();
-  if (journal.enabled()) {
+  if (journal.observed()) {
     // A job admitted while a batch is in flight is the paper's dynamic
     // sub-job adjustment: it aligns to the next wave, not the running one.
     auto event = journal_base(in_flight_.has_value()
@@ -152,7 +152,7 @@ Batch JobQueueManager::form_batch(BatchId id, std::uint64_t wave,
   cursor_ = advance_cursor(cursor_, wave, file_blocks_);
 
   auto& journal = obs::EventJournal::instance();
-  if (journal.enabled()) {
+  if (journal.observed()) {
     auto merged = journal_base(obs::JournalEventType::kSubJobsMerged, file_,
                                batch.start_block);
     merged.batch = batch.id;
@@ -195,7 +195,7 @@ std::vector<JobId> JobQueueManager::complete_batch() {
       S3_CHECK_MSG(m.completes, "completion flag disagreed for " << m.job);
       completed.push_back(m.job);
       jobs_.erase(it);
-      if (journal.enabled()) {
+      if (journal.observed()) {
         auto event = journal_base(obs::JournalEventType::kJobCompleted, file_,
                                   cursor_);
         event.job = m.job;
@@ -207,7 +207,7 @@ std::vector<JobId> JobQueueManager::complete_batch() {
                    "job flagged complete but has blocks left: " << m.job);
     }
   }
-  if (journal.enabled()) {
+  if (journal.observed()) {
     auto event =
         journal_base(obs::JournalEventType::kBatchRetired, file_, cursor_);
     event.batch = in_flight_->id;
@@ -239,7 +239,7 @@ Status JobQueueManager::retire(JobId job) {
   S3_LOG(kWarn, "jqm") << "retire " << job << " with " << remaining
                        << " blocks unscanned";
   auto& journal = obs::EventJournal::instance();
-  if (journal.enabled()) {
+  if (journal.observed()) {
     auto event =
         journal_base(obs::JournalEventType::kJobQuarantined, file_, cursor_);
     event.job = job;

@@ -63,7 +63,7 @@ void S3Scheduler::sweep_heartbeats(SimTime now) {
   auto& journal = obs::EventJournal::instance();
   for (const NodeId node : transitions.suspected) {
     S3_LOG(kWarn, "s3") << "node " << node << " suspected (heartbeat silence)";
-    if (journal.enabled()) {
+    if (journal.observed()) {
       obs::JournalEvent event;
       event.type = obs::JournalEventType::kNodeSuspected;
       event.node = node;
@@ -74,7 +74,7 @@ void S3Scheduler::sweep_heartbeats(SimTime now) {
   }
   for (const NodeId node : transitions.died) {
     S3_LOG(kWarn, "s3") << "node " << node << " dead (heartbeat timeout)";
-    if (journal.enabled()) {
+    if (journal.observed()) {
       obs::JournalEvent event;
       event.type = obs::JournalEventType::kNodeDead;
       event.node = node;
@@ -90,7 +90,7 @@ void S3Scheduler::on_node_dead(NodeId node, SimTime now) {
   heartbeats_.mark_dead(node);
   S3_LOG(kWarn, "s3") << "node " << node << " reported dead";
   auto& journal = obs::EventJournal::instance();
-  if (journal.enabled()) {
+  if (journal.observed()) {
     obs::JournalEvent event;
     event.type = obs::JournalEventType::kNodeDead;
     event.node = node;
@@ -139,7 +139,7 @@ std::optional<Batch> S3Scheduler::next_batch(SimTime now,
                   "recomputed wave " << wave << " out of range");
 
     auto& journal = obs::EventJournal::instance();
-    if (journal.enabled() && wave != planner_.blocks_per_segment()) {
+    if (journal.observed() && wave != planner_.blocks_per_segment()) {
       // Dynamic segment sizing (§IV-D-2) produced a wave different from the
       // nominal segment — record the slot feedback that drove it.
       obs::JournalEvent event;
@@ -161,7 +161,7 @@ std::optional<Batch> S3Scheduler::next_batch(SimTime now,
         batch.excluded_nodes.push_back(node);
       }
     }
-    if (journal.enabled()) {
+    if (journal.observed()) {
       // Slot checking (§IV-D-1): every node the wave will skip.
       for (const NodeId node : batch.excluded_nodes) {
         obs::JournalEvent event;

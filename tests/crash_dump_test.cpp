@@ -1,0 +1,205 @@
+// Crash-dump pipeline tests: each of the three guarded abort paths
+// (S3_CHECK contract failure, lock-rank inversion, stale-view dereference)
+// must leave a parseable s3-crash-*.txt naming the job/batch that was in
+// flight, and `s3trace postmortem`'s renderer must match its golden output
+// for a sample dump covering overwrite and torn-record gaps.
+#include "obs/crash_dump.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/contracts.h"
+#include "common/lock_rank.h"
+#include "common/thread_annotations.h"
+#include "common/view_checks.h"
+#include "obs/flight_recorder.h"
+#include "postmortem.h"
+
+namespace s3::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Creates a fresh directory for one death test's dump; the child process
+// writes into it, the parent parses what it finds.
+fs::path fresh_dump_dir(const std::string& label) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("crash_" + label);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+tools::CrashDump parse_only_dump(const fs::path& dir) {
+  std::vector<fs::path> dumps;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().filename().string().rfind("s3-crash-", 0) == 0) {
+      dumps.push_back(entry.path());
+    }
+  }
+  EXPECT_EQ(dumps.size(), 1u) << "expected exactly one dump in " << dir;
+  if (dumps.empty()) return {};
+  std::ifstream in(dumps[0]);
+  EXPECT_TRUE(in.is_open());
+  return tools::parse_crash_dump(in);
+}
+
+// True when any surviving flight record names the witness batch id.
+bool names_batch(const tools::CrashDump& dump, const std::string& batch) {
+  for (const tools::ThreadRing& ring : dump.rings) {
+    for (const tools::FlightEvent& event : ring.events) {
+      if (event.batch == batch) return true;
+    }
+  }
+  return false;
+}
+
+// The shared child-process setup for the three induced crashes: crash-dump
+// sink into the test's directory, flight traffic under a batch correlation.
+void arm_crash(const std::string& dir, std::uint64_t batch) {
+  set_crash_dump_dir(dir);
+  install_crash_handler();
+  FlightRecorder::instance().set_enabled(true);
+  CorrelationScope corr{JobId(7), BatchId(batch), NodeId(3)};
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    S3_FLIGHT_MARK("crash_test.tick", i, batch);
+  }
+}
+
+void die_on_check(const std::string& dir) {
+  arm_crash(dir, 42);
+  CorrelationScope corr{JobId(7), BatchId(42), NodeId(3)};
+  S3_CHECK_MSG(false, "induced contract failure for batch 42");
+}
+
+TEST(CrashDumpDeathTest, CheckFailureWritesDumpNamingBatch) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const fs::path dir = fresh_dump_dir("check");
+  EXPECT_DEATH(die_on_check(dir.string()),
+               "induced contract failure for batch 42");
+  const tools::CrashDump dump = parse_only_dump(dir);
+  ASSERT_TRUE(dump.valid) << dump.error;
+  EXPECT_TRUE(dump.complete);
+  EXPECT_NE(dump.reason.find("induced contract failure"), std::string::npos);
+  EXPECT_TRUE(names_batch(dump, "42"));
+}
+
+#if S3_LOCK_RANK_CHECKS
+void die_on_lockrank(const std::string& dir) {
+  arm_crash(dir, 43);
+  AnnotatedMutex outer{LockRank::kShuffleBucket};
+  AnnotatedMutex inner{LockRank::kEngineMapCollect};
+  MutexLock hold_outer(outer);
+  MutexLock hold_inner(inner);
+}
+
+TEST(CrashDumpDeathTest, LockRankInversionWritesDumpWithHeldRank) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const fs::path dir = fresh_dump_dir("lockrank");
+  EXPECT_DEATH(die_on_lockrank(dir.string()), "lock-rank inversion");
+  const tools::CrashDump dump = parse_only_dump(dir);
+  ASSERT_TRUE(dump.valid) << dump.error;
+  EXPECT_NE(dump.reason.find("lock-rank inversion"), std::string::npos);
+  EXPECT_TRUE(names_batch(dump, "43"));
+  // The dump records the lock the crashing thread still held.
+  ASSERT_EQ(dump.held.size(), 1u);
+  EXPECT_EQ(dump.held[0].name, "kShuffleBucket");
+  EXPECT_EQ(dump.held[0].rank, 45u);
+}
+#endif  // S3_LOCK_RANK_CHECKS
+
+#if S3_VIEW_CHECKS
+void die_on_stale_view(const std::string& dir) {
+  arm_crash(dir, 44);
+  const std::string bytes = "soon stale";
+  ArenaStamp stamp;
+  const DebugView view(std::string_view(bytes), stamp.cell(),
+                       "crash_dump_test arena");
+  stamp.bump();
+  const std::string_view stale = view;
+  (void)stale;
+}
+
+TEST(CrashDumpDeathTest, StaleViewDereferenceWritesDump) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const fs::path dir = fresh_dump_dir("view");
+  EXPECT_DEATH(die_on_stale_view(dir.string()),
+               "stale view from crash_dump_test arena");
+  const tools::CrashDump dump = parse_only_dump(dir);
+  ASSERT_TRUE(dump.valid) << dump.error;
+  EXPECT_NE(dump.reason.find("stale view"), std::string::npos);
+  EXPECT_TRUE(names_batch(dump, "44"));
+}
+#endif  // S3_VIEW_CHECKS
+
+TEST(CrashDump, ExplicitDumpParsesAndCarriesMetrics) {
+  FlightRecorder::instance().set_enabled(true);
+  const fs::path dir = fresh_dump_dir("explicit");
+  set_crash_dump_dir(dir.string());
+  {
+    CorrelationScope corr{JobId(1), BatchId(2), NodeId()};
+    S3_FLIGHT_MARK("crash_test.explicit", 9, 9);
+  }
+  const std::string path = write_crash_dump("unit-test dump, no crash");
+  ASSERT_FALSE(path.empty());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  const tools::CrashDump dump = tools::parse_crash_dump(in);
+  ASSERT_TRUE(dump.valid) << dump.error;
+  EXPECT_TRUE(dump.complete);
+  EXPECT_EQ(dump.reason, "unit-test dump, no crash");
+  EXPECT_FALSE(dump.metrics_skipped);
+  EXPECT_TRUE(names_batch(dump, "2"));
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(Postmortem, GoldenSampleRendersExactly) {
+  const fs::path data = fs::path(S3_TEST_DATA_DIR);
+  std::ifstream in(data / "s3-crash-sample.txt");
+  ASSERT_TRUE(in.is_open());
+  const tools::CrashDump dump = tools::parse_crash_dump(in);
+  ASSERT_TRUE(dump.valid) << dump.error;
+  EXPECT_TRUE(dump.metrics_skipped);
+  ASSERT_EQ(dump.rings.size(), 2u);
+  EXPECT_EQ(dump.rings[1].overwritten, 44u);
+  const std::string expected =
+      read_file(data / "s3-crash-sample.postmortem.golden");
+  EXPECT_EQ(tools::format_postmortem(dump), expected);
+}
+
+TEST(Postmortem, TruncatedDumpStillParses) {
+  std::istringstream in(
+      "# s3-crash-dump v1\n"
+      "reason: died mid-dump\n"
+      "pid: 1\n"
+      "== flight thread=0 head=1 capacity=256 overwritten=0\n"
+      "event seq=0 ts_ns=5 kind=mark name=m job=- batch=- node=- a=0 b=0 "
+      "detail=\"\"\n");
+  const tools::CrashDump dump = tools::parse_crash_dump(in);
+  EXPECT_TRUE(dump.valid) << dump.error;
+  EXPECT_FALSE(dump.complete);
+  ASSERT_EQ(dump.rings.size(), 1u);
+  ASSERT_EQ(dump.rings[0].events.size(), 1u);
+  const std::string rendered = tools::format_postmortem(dump);
+  EXPECT_NE(rendered.find("warning: dump truncated"), std::string::npos);
+}
+
+TEST(Postmortem, GarbageIsRejected) {
+  std::istringstream in("not a dump\n");
+  const tools::CrashDump dump = tools::parse_crash_dump(in);
+  EXPECT_FALSE(dump.valid);
+  EXPECT_FALSE(dump.error.empty());
+}
+
+}  // namespace
+}  // namespace s3::obs

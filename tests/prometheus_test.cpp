@@ -1,0 +1,127 @@
+// Prometheus exporter tests: name mangling, the exact exposition shape for
+// each metric kind (pinned as a golden block so dashboards written against
+// it never silently break), and the atomic snapshot file writer.
+#include "obs/prometheus.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "obs/registry.h"
+
+namespace s3::obs {
+namespace {
+
+// The registry is a process-wide singleton shared with every other test in
+// the binary, so golden comparisons filter the exposition down to this
+// test's own "promtest." metrics (mangled: "s3_promtest_").
+std::string promtest_lines(const std::string& exposition) {
+  std::istringstream in(exposition);
+  std::string line;
+  std::string out;
+  while (std::getline(in, line)) {
+    if (line.find("s3_promtest_") != std::string::npos) out += line + "\n";
+  }
+  return out;
+}
+
+TEST(Prometheus, MetricNameMangling) {
+  EXPECT_EQ(prometheus_metric_name("engine.map_task_ns"),
+            "s3_engine_map_task_ns");
+  EXPECT_EQ(prometheus_metric_name("a.b-c d"), "s3_a_b_c_d");
+  EXPECT_EQ(prometheus_metric_name("already_ok"), "s3_already_ok");
+}
+
+TEST(Prometheus, GoldenExposition) {
+  auto& registry = Registry::instance();
+  registry.counter("promtest.scans").add(3);
+  registry.gauge("promtest.efficiency").set(0.75);
+  auto& hist = registry.histogram("promtest.latency_ns");
+  for (int i = 0; i < 100; ++i) hist.observe(1000);
+
+  const std::string filtered = promtest_lines(export_prometheus(registry));
+  // LogHistogram reports bucket upper edges: 1000 lands in the (1024]
+  // bucket, so every quantile pins to 1024.
+  // Kinds export in counter/gauge/summary order, names sorted within each.
+  const std::string expected =
+      "# TYPE promtest_scans counter\n"
+      "s3_promtest_scans 3\n"
+      "# TYPE promtest_efficiency gauge\n"
+      "s3_promtest_efficiency 0.75\n"
+      "# TYPE promtest_latency_ns summary\n"
+      "s3_promtest_latency_ns{quantile=\"0.5\"} 1024\n"
+      "s3_promtest_latency_ns{quantile=\"0.95\"} 1024\n"
+      "s3_promtest_latency_ns{quantile=\"0.99\"} 1024\n"
+      "s3_promtest_latency_ns_count 100\n";
+  // The TYPE comments carry the mangled name too; normalize both sides the
+  // same way before comparing.
+  std::string expected_filtered;
+  std::istringstream in(expected);
+  std::string line;
+  while (std::getline(in, line)) {
+    expected_filtered +=
+        (line.rfind("# TYPE ", 0) == 0 ? "# TYPE s3_" + line.substr(7)
+                                       : line) +
+        "\n";
+  }
+  EXPECT_EQ(filtered, expected_filtered);
+}
+
+TEST(Prometheus, InfinityQuantilesSpelledPrometheusStyle) {
+  auto& registry = Registry::instance();
+  // A sample in the overflow bucket makes every quantile +Inf.
+  registry.histogram("promtest.overflow_ns").observe(
+      std::numeric_limits<std::uint64_t>::max());
+  const std::string text = export_prometheus(registry);
+  EXPECT_NE(text.find("s3_promtest_overflow_ns{quantile=\"0.99\"} +Inf"),
+            std::string::npos);
+}
+
+TEST(Prometheus, SnapshotFileWrittenAtomically) {
+  namespace fs = std::filesystem;
+  auto& registry = Registry::instance();
+  registry.counter("promtest.snapshot_marker").add();
+  const fs::path path = fs::path(::testing::TempDir()) / "snapshot.prom";
+  ASSERT_TRUE(write_prometheus_file(registry, path.string()).is_ok());
+  // The tmp staging file must be gone: only the renamed result remains.
+  EXPECT_FALSE(fs::exists(path.string() + ".tmp"));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::ostringstream content;
+  content << in.rdbuf();
+  EXPECT_NE(content.str().find("s3_promtest_snapshot_marker"),
+            std::string::npos);
+  fs::remove(path);
+}
+
+TEST(Prometheus, ExporterWithEmptyPathIsInert) {
+  SnapshotExporter exporter("", 100);
+  EXPECT_FALSE(exporter.active());
+}
+
+TEST(Prometheus, ExporterWritesFinalSnapshotOnStop) {
+  namespace fs = std::filesystem;
+  Registry::instance().counter("promtest.exporter_marker").add();
+  const fs::path path = fs::path(::testing::TempDir()) / "exporter.prom";
+  fs::remove(path);
+  {
+    SnapshotExporter exporter(path.string(), 50);
+    EXPECT_TRUE(exporter.active());
+    EXPECT_EQ(exporter.path(), path.string());
+  }  // destructor stops and writes one final snapshot
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::ostringstream content;
+  content << in.rdbuf();
+  EXPECT_NE(content.str().find("s3_promtest_exporter_marker"),
+            std::string::npos);
+  fs::remove(path);
+}
+
+}  // namespace
+}  // namespace s3::obs

@@ -634,6 +634,74 @@ TEST(S3LintWaitUnderLock, SuppressionSilences) {
 }
 
 // ---------------------------------------------------------------------------
+// raw-abort
+
+TEST(S3LintRawAbort, AbortInSrcFlagged) {
+  const auto vs = lint("src/engine/runner.cpp",
+                       "void f() {\n"
+                       "  std::abort();\n"
+                       "}\n");
+  ASSERT_TRUE(has_rule(vs, "raw-abort"));
+  for (const Violation& v : vs) {
+    if (v.rule == "raw-abort") {
+      EXPECT_EQ(v.line, 2);
+    }
+  }
+}
+
+TEST(S3LintRawAbort, BareAbortAndExitFlagged) {
+  const auto vs = lint("src/sched/queue.cpp",
+                       "void f() {\n"
+                       "  if (bad) abort();\n"
+                       "  if (worse) exit(1);\n"
+                       "  if (worst) _Exit(2);\n"
+                       "}\n");
+  int hits = 0;
+  for (const Violation& v : vs) {
+    if (v.rule == "raw-abort") ++hits;
+  }
+  EXPECT_EQ(hits, 3);
+}
+
+TEST(S3LintRawAbort, CommonIsExempt) {
+  // common/ implements fatal_abort itself; the real abort lives there.
+  const auto vs = lint("src/common/contracts.cpp",
+                       "void fatal_abort(const char* m) {\n"
+                       "  std::abort();\n"
+                       "}\n");
+  EXPECT_FALSE(has_rule(vs, "raw-abort"));
+}
+
+TEST(S3LintRawAbort, OutsideSrcClean) {
+  const auto vs = lint("tools/s3sim.cpp",
+                       "void f() {\n"
+                       "  exit(2);\n"
+                       "}\n");
+  EXPECT_FALSE(has_rule(vs, "raw-abort"));
+}
+
+TEST(S3LintRawAbort, MemberAndForeignNamespaceClean) {
+  // guard.abort() / txn->exit() / bio::abort() are different functions; only
+  // the process-killing C spellings bypass the crash-dump hook.
+  const auto vs = lint("src/engine/runner.cpp",
+                       "void f() {\n"
+                       "  guard.abort();\n"
+                       "  txn->exit();\n"
+                       "  bio::abort(ctx);\n"
+                       "}\n");
+  EXPECT_FALSE(has_rule(vs, "raw-abort"));
+}
+
+TEST(S3LintRawAbort, AbortIdentifierWithoutCallClean) {
+  const auto vs = lint("src/engine/runner.cpp",
+                       "void f() {\n"
+                       "  const bool abort = true;\n"
+                       "  if (abort) stop();\n"
+                       "}\n");
+  EXPECT_FALSE(has_rule(vs, "raw-abort"));
+}
+
+// ---------------------------------------------------------------------------
 // Suppressions
 
 TEST(S3LintSuppressions, DisableFileSuppressesWholeFile) {

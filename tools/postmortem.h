@@ -1,0 +1,308 @@
+// Parser for the crash dumps obs/crash_dump.cpp writes (s3-crash-*.txt),
+// shared by `s3trace postmortem` and the crash-dump tests so both agree on
+// one grammar. Header-only and dependency-free on purpose: the tools must
+// parse a dump from a build whose runtime is the thing that just crashed.
+//
+// Grammar (one section per `==` header, all written by signal-safe code):
+//
+//   # s3-crash-dump v1
+//   reason: <single line, newlines flattened>
+//   pid: <u64>
+//   walltime_s: <u64>
+//   monotonic_ns: <u64>
+//   == held-locks count=<K>
+//   rank <name> <num>                      (at most 64 lines)
+//   == flight thread=<T> head=<H> capacity=<C> overwritten=<O>
+//   event seq=... ts_ns=... kind=... name=... job=... batch=... node=...
+//         a=... b=... detail="..."         (one line per surviving record)
+//   == metrics | == metrics skipped
+//   <registry text dump>                   (absent when skipped)
+//   == end
+//
+// A dump truncated mid-write (the process died while dumping) still parses:
+// `complete` is false and everything read up to the truncation survives.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <istream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace s3::tools {
+
+struct FlightEvent {
+  std::uint64_t thread = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t ts_ns = 0;
+  std::string kind;
+  std::string name;
+  // Ids are kept as the dump's literal tokens ("-" means no id) so callers
+  // can grep for witnesses without re-encoding the invalid sentinel.
+  std::string job = "-";
+  std::string batch = "-";
+  std::string node = "-";
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::string detail;
+};
+
+struct ThreadRing {
+  std::uint64_t thread = 0;
+  std::uint64_t head = 0;
+  std::uint64_t capacity = 0;
+  // Events that fell off the ring before the dump: head - capacity when the
+  // ring wrapped, 0 otherwise. The post-mortem flags these as gaps.
+  std::uint64_t overwritten = 0;
+  std::vector<FlightEvent> events;
+};
+
+struct HeldLock {
+  std::string name;
+  std::uint64_t rank = 0;
+};
+
+struct CrashDump {
+  bool valid = false;     // header recognized and reason present
+  bool complete = false;  // saw the trailing "== end"
+  std::string error;      // first malformed line, empty when clean
+  std::string reason;
+  std::uint64_t pid = 0;
+  std::uint64_t walltime_s = 0;
+  std::uint64_t monotonic_ns = 0;
+  std::uint64_t held_count = 0;
+  std::vector<HeldLock> held;
+  std::vector<ThreadRing> rings;
+  bool metrics_skipped = false;
+  std::vector<std::string> metrics_lines;
+};
+
+namespace postmortem_internal {
+
+inline bool parse_u64(const std::string& text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+// Extracts `key=` from a space-separated key=value line; false if absent.
+// Values never contain spaces (detail is handled separately by the caller).
+inline bool field(const std::string& line, const std::string& key,
+                  std::string* out) {
+  const std::string needle = " " + key + "=";
+  std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) {
+    if (line.rfind(key + "=", 0) != 0) return false;
+    pos = 0;
+  } else {
+    pos += 1;
+  }
+  const std::size_t start = pos + key.size() + 1;
+  const std::size_t end = line.find(' ', start);
+  *out = line.substr(start, end == std::string::npos ? end : end - start);
+  return true;
+}
+
+inline bool u64_field(const std::string& line, const std::string& key,
+                      std::uint64_t* out) {
+  std::string text;
+  return field(line, key, &text) && parse_u64(text, out);
+}
+
+}  // namespace postmortem_internal
+
+inline CrashDump parse_crash_dump(std::istream& in) {
+  namespace pi = postmortem_internal;
+  CrashDump dump;
+  std::string line;
+  if (!std::getline(in, line) || line != "# s3-crash-dump v1") {
+    dump.error = "missing '# s3-crash-dump v1' header";
+    return dump;
+  }
+  enum class Section { kHeader, kHeldLocks, kFlight, kMetrics, kEnd };
+  Section section = Section::kHeader;
+  const auto fail = [&dump](const std::string& why) {
+    if (dump.error.empty()) dump.error = why;
+  };
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line == "== end") {
+      section = Section::kEnd;
+      dump.complete = true;
+      continue;
+    }
+    if (line.rfind("== held-locks count=", 0) == 0) {
+      section = Section::kHeldLocks;
+      if (!pi::parse_u64(line.substr(20), &dump.held_count)) {
+        fail("bad held-locks count: " + line);
+      }
+      continue;
+    }
+    if (line.rfind("== flight ", 0) == 0) {
+      section = Section::kFlight;
+      ThreadRing ring;
+      if (!pi::u64_field(line, "thread", &ring.thread) ||
+          !pi::u64_field(line, "head", &ring.head) ||
+          !pi::u64_field(line, "capacity", &ring.capacity) ||
+          !pi::u64_field(line, "overwritten", &ring.overwritten)) {
+        fail("bad flight header: " + line);
+      }
+      dump.rings.push_back(std::move(ring));
+      continue;
+    }
+    if (line == "== metrics" || line == "== metrics skipped") {
+      section = Section::kMetrics;
+      dump.metrics_skipped = line == "== metrics skipped";
+      continue;
+    }
+    switch (section) {
+      case Section::kHeader: {
+        if (line.rfind("reason: ", 0) == 0) {
+          dump.reason = line.substr(8);
+        } else if (line.rfind("pid: ", 0) == 0) {
+          (void)pi::parse_u64(line.substr(5), &dump.pid);
+        } else if (line.rfind("walltime_s: ", 0) == 0) {
+          (void)pi::parse_u64(line.substr(12), &dump.walltime_s);
+        } else if (line.rfind("monotonic_ns: ", 0) == 0) {
+          (void)pi::parse_u64(line.substr(14), &dump.monotonic_ns);
+        } else if (!line.empty()) {
+          fail("unexpected header line: " + line);
+        }
+        break;
+      }
+      case Section::kHeldLocks: {
+        if (line.rfind("rank ", 0) != 0) {
+          fail("unexpected held-locks line: " + line);
+          break;
+        }
+        const std::size_t sep = line.rfind(' ');
+        HeldLock held;
+        held.name = line.substr(5, sep - 5);
+        if (sep <= 5 || !pi::parse_u64(line.substr(sep + 1), &held.rank)) {
+          fail("bad held-lock line: " + line);
+          break;
+        }
+        dump.held.push_back(std::move(held));
+        break;
+      }
+      case Section::kFlight: {
+        if (line.rfind("event ", 0) != 0) {
+          fail("unexpected flight line: " + line);
+          break;
+        }
+        FlightEvent event;
+        event.thread = dump.rings.back().thread;
+        std::string kind;
+        std::string name;
+        bool ok = pi::u64_field(line, "seq", &event.seq) &&
+                  pi::u64_field(line, "ts_ns", &event.ts_ns) &&
+                  pi::field(line, "kind", &kind) &&
+                  pi::field(line, "name", &name) &&
+                  pi::field(line, "job", &event.job) &&
+                  pi::field(line, "batch", &event.batch) &&
+                  pi::field(line, "node", &event.node) &&
+                  pi::u64_field(line, "a", &event.a) &&
+                  pi::u64_field(line, "b", &event.b);
+        // The quoted detail is the last field; the writer replaces every
+        // embedded quote with '.', so the payload runs to the final quote.
+        const std::size_t dpos = line.find(" detail=\"");
+        const std::size_t dend = line.rfind('"');
+        if (ok && dpos != std::string::npos && dend > dpos + 9) {
+          event.detail = line.substr(dpos + 9, dend - (dpos + 9));
+        } else if (dpos == std::string::npos) {
+          ok = false;
+        }
+        if (!ok) {
+          fail("bad event line: " + line);
+          break;
+        }
+        event.kind = std::move(kind);
+        event.name = std::move(name);
+        dump.rings.back().events.push_back(std::move(event));
+        break;
+      }
+      case Section::kMetrics:
+        dump.metrics_lines.push_back(line);
+        break;
+      case Section::kEnd:
+        if (!line.empty()) fail("content after == end: " + line);
+        break;
+    }
+  }
+  dump.valid = dump.error.empty() && !dump.reason.empty();
+  return dump;
+}
+
+// Renders the dump as a human post-mortem: crash summary, held locks, then
+// every thread's surviving events merged into one time-ordered log with
+// ring-overwrite gaps and torn-record gaps flagged inline.
+inline std::string format_postmortem(const CrashDump& dump) {
+  std::ostringstream out;
+  out << "crash: " << dump.reason << "\n";
+  out << "pid: " << dump.pid << "  walltime_s: " << dump.walltime_s
+      << "  monotonic_ns: " << dump.monotonic_ns << "\n";
+  out << "held-locks: " << dump.held_count;
+  for (const HeldLock& held : dump.held) {
+    out << " " << held.name << "(" << held.rank << ")";
+  }
+  out << "\n";
+  std::uint64_t total_events = 0;
+  std::uint64_t total_overwritten = 0;
+  for (const ThreadRing& ring : dump.rings) {
+    total_events += ring.events.size();
+    total_overwritten += ring.overwritten;
+    if (ring.overwritten > 0) {
+      out << "gap: thread " << ring.thread << " overwrote "
+          << ring.overwritten << " older events (ring wrapped at capacity "
+          << ring.capacity << ")\n";
+    }
+    // Missing sequence numbers inside the surviving window are records the
+    // dumper skipped because a writer was mid-store: flag them too.
+    std::uint64_t expected =
+        ring.head > ring.capacity ? ring.head - ring.capacity : 0;
+    for (const FlightEvent& event : ring.events) {
+      if (event.seq != expected) {
+        out << "gap: thread " << ring.thread << " seq " << expected;
+        if (event.seq > expected + 1) out << ".." << event.seq - 1;
+        out << " torn at dump time\n";
+      }
+      expected = event.seq + 1;
+    }
+  }
+  out << "threads: " << dump.rings.size() << "  events: " << total_events
+      << "  overwritten: " << total_overwritten << "\n";
+  std::vector<const FlightEvent*> merged;
+  merged.reserve(total_events);
+  for (const ThreadRing& ring : dump.rings) {
+    for (const FlightEvent& event : ring.events) merged.push_back(&event);
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const FlightEvent* a, const FlightEvent* b) {
+              if (a->ts_ns != b->ts_ns) return a->ts_ns < b->ts_ns;
+              if (a->thread != b->thread) return a->thread < b->thread;
+              return a->seq < b->seq;
+            });
+  out << "-- merged event log (oldest first) --\n";
+  for (const FlightEvent* event : merged) {
+    out << "[t" << event->thread << " seq=" << event->seq << "] ts_ns="
+        << event->ts_ns << " kind=" << event->kind << " name=" << event->name
+        << " job=" << event->job << " batch=" << event->batch
+        << " node=" << event->node << " a=" << event->a << " b=" << event->b;
+    if (!event->detail.empty()) out << " detail=\"" << event->detail << "\"";
+    out << "\n";
+  }
+  if (dump.metrics_skipped) {
+    out << "metrics: skipped (crash in signal context or under an obs lock)"
+        << "\n";
+  }
+  if (!dump.complete) out << "warning: dump truncated (no == end)\n";
+  return out.str();
+}
+
+}  // namespace s3::tools

@@ -1,0 +1,104 @@
+// s3crashtest: crashes on purpose, one abort path per mode, so check.sh
+// --flight and the crash-dump death tests can validate the whole black-box
+// pipeline end to end — correlation traffic goes in, the process dies, and
+// the resulting s3-crash-*.txt must name the job/batch that was in flight.
+//
+//   s3crashtest check      S3_CHECK_MSG failure (contract violation)
+//   s3crashtest lockrank   lock-rank inversion (kShuffleBucket then
+//                          kEngineMapCollect)
+//   s3crashtest view       stale-arena DebugView dereference
+//
+// Every mode runs inside CorrelationScope(job=7, batch=42, node=3) and
+// records a handful of flight marks plus one journal event first, so the
+// dump's merged log carries `batch=42` witnesses leading up to the crash.
+// Exits 0 only when a mode's validator is compiled out (Release builds drop
+// lock-rank and view checks); callers treat 0 as "skip".
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "common/contracts.h"
+#include "common/lock_rank.h"
+#include "common/thread_annotations.h"
+#include "common/types.h"
+#include "common/view_checks.h"
+#include "obs/crash_dump.h"
+#include "obs/flight_recorder.h"
+#include "obs/journal.h"
+
+namespace {
+
+using namespace s3;
+
+constexpr std::uint64_t kJob = 7;
+constexpr std::uint64_t kBatch = 42;
+constexpr std::uint64_t kNode = 3;
+
+// The traffic every mode records before dying: what a post-mortem is for.
+void record_preamble() {
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    S3_FLIGHT_MARK("crashtest.tick", i, kBatch);
+  }
+  obs::JournalEvent event;
+  event.type = obs::JournalEventType::kBatchLaunched;
+  event.job = JobId(kJob);
+  event.batch = BatchId(kBatch);
+  event.node = NodeId(kNode);
+  event.detail = "s3crashtest preamble";
+  obs::EventJournal::instance().record(std::move(event));
+}
+
+[[noreturn]] void crash_check() {
+  S3_CHECK_MSG(false, "s3crashtest induced check failure: batch " << kBatch
+                          << " job " << kJob << " never completed");
+  __builtin_unreachable();
+}
+
+int crash_lockrank() {
+#if S3_LOCK_RANK_CHECKS
+  AnnotatedMutex outer{LockRank::kShuffleBucket};
+  AnnotatedMutex inner{LockRank::kEngineMapCollect};
+  MutexLock hold_outer(outer);
+  MutexLock hold_inner(inner);  // inversion: 20 acquired while holding 45
+  return 1;                     // unreachable when checks are live
+#else
+  std::fprintf(stderr, "s3crashtest: lock-rank checks compiled out\n");
+  return 0;
+#endif
+}
+
+int crash_view() {
+#if S3_VIEW_CHECKS
+  std::string bytes = "arena bytes about to go stale";
+  ArenaStamp stamp;
+  const DebugView view(std::string_view(bytes), stamp.cell(),
+                       "s3crashtest arena");
+  stamp.bump();  // invalidates every view born before this point
+  const std::string_view stale = view;  // validating conversion aborts here
+  std::fprintf(stderr, "unexpected: stale view read %zu bytes\n",
+               stale.size());
+  return 1;
+#else
+  std::fprintf(stderr, "s3crashtest: view checks compiled out\n");
+  return 0;
+#endif
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <check|lockrank|view>\n", argv[0]);
+    return 2;
+  }
+  obs::install_crash_handler();
+  const obs::CorrelationScope corr{JobId(kJob), BatchId(kBatch),
+                                   NodeId(kNode)};
+  record_preamble();
+  const std::string_view mode = argv[1];
+  if (mode == "check") crash_check();
+  if (mode == "lockrank") return crash_lockrank();
+  if (mode == "view") return crash_view();
+  std::fprintf(stderr, "s3crashtest: unknown mode '%s'\n", argv[1]);
+  return 2;
+}

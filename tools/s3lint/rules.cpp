@@ -461,6 +461,49 @@ void check_raw_thread(const std::string& path, const TokenizedFile& file,
   }
 }
 
+// raw-abort: direct abort()/exit()/_Exit()/quick_exit() calls in src/
+// outside src/common/. Every fatal path must route through
+// internal::fatal_abort (common/contracts.h) so the crash-dump hook runs and
+// the black-box flight record survives: a raw abort dies with an empty
+// post-mortem. src/common/ is exempt — it implements fatal_abort itself and
+// owns process teardown.
+void check_raw_abort(const std::string& path, const TokenizedFile& file,
+                     std::vector<Violation>* out) {
+  if (!starts_with(path, "src/")) return;
+  if (starts_with(path, "src/common/")) return;
+  const std::vector<Token>& toks = file.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    const std::string& name = toks[i].text;
+    if (name != "abort" && name != "exit" && name != "_Exit" &&
+        name != "quick_exit") {
+      continue;
+    }
+    // Only calls: the identifier must open an argument list.
+    if (i + 1 >= toks.size() || toks[i + 1].kind != TokKind::kPunct ||
+        toks[i + 1].text != "(") {
+      continue;
+    }
+    // Member calls (guard.abort(), session->exit()) and qualified names from
+    // other namespaces are different functions; only the C library spellings
+    // — bare, ::, or std:: — terminate the process behind the hook's back.
+    if (i >= 1 && toks[i - 1].kind == TokKind::kPunct &&
+        (toks[i - 1].text == "." || toks[i - 1].text == "->")) {
+      continue;
+    }
+    if (i >= 2 && toks[i - 1].kind == TokKind::kPunct &&
+        toks[i - 1].text == "::" && toks[i - 2].kind == TokKind::kIdent &&
+        toks[i - 2].text != "std") {
+      continue;
+    }
+    out->push_back(Violation{
+        "raw-abort", toks[i].line,
+        name + "() in src/ outside common/; fatal paths must go through "
+               "S3_CHECK/internal::fatal_abort so the crash-dump hook "
+               "writes the flight record before the process dies"});
+  }
+}
+
 void check_pragma_once(const std::string& path, const TokenizedFile& file,
                        std::vector<Violation>* out) {
   if (!ends_with(path, ".h")) return;
@@ -556,7 +599,7 @@ const std::vector<std::string>& all_rules() {
       "status-dataloss", "segment-modulo", "view-retention",
       "thread-detach", "raw-thread",     "stray-cout",
       "sleep-in-src",  "raw-clock",      "pragma-once",
-      "wait-under-lock",
+      "wait-under-lock", "raw-abort",
   };
   return kRules;
 }
@@ -613,6 +656,9 @@ std::vector<Violation> lint_file(
   }
   if (enabled.count("wait-under-lock") > 0) {
     check_wait_under_lock(path, file, &raw);
+  }
+  if (enabled.count("raw-abort") > 0) {
+    check_raw_abort(path, file, &raw);
   }
 
   // view-retention is the lexical fast path of s3viewcheck's deeper

@@ -1,0 +1,263 @@
+// s3top: live terminal dashboard over the Prometheus snapshot file written
+// by --snapshot-out= (obs/prometheus.cpp rewrites it atomically every
+// --snapshot-interval-ms, so every poll here reads a complete exposition).
+//
+//   s3top <snapshot.prom>                  refresh every 500 ms until ^C
+//   s3top --interval-ms=250 <snapshot.prom>
+//   s3top --once <snapshot.prom>           render one frame and exit
+//                                          (what the tests drive)
+//
+// Rendered sections, all computed from the exposition text alone:
+//   * run header  — batches, map/reduce tasks, failed attempts, reruns
+//   * sharing     — logical vs physical blocks and sharing_efficiency
+//   * phases      — per-phase p50/p95/p99 wall time plus fault counters
+//   * faults      — node deaths, quarantines, failovers, corrupt reads
+// Counters are shown with a per-second rate derived from successive polls.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/flags.h"
+
+namespace {
+
+// One exposition parse: "name value" and "name{quantile=\"q\"} value" lines;
+// "# TYPE"/"# HELP" comments establish the metric kind.
+struct Exposition {
+  std::map<std::string, double> samples;           // plain series
+  std::map<std::string, std::map<std::string, double>> quantiles;
+  std::map<std::string, std::string> types;        // name -> counter/gauge/...
+};
+
+std::optional<double> parse_number(const std::string& text) {
+  if (text == "+Inf") return std::numeric_limits<double>::infinity();
+  if (text == "-Inf") return -std::numeric_limits<double>::infinity();
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(text, &used);
+    if (used != text.size()) return std::nullopt;
+    return value;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+Exposition parse_exposition(FILE* file) {
+  Exposition out;
+  char buffer[4096];
+  while (std::fgets(buffer, sizeof(buffer), file) != nullptr) {
+    std::string line(buffer);
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // "# TYPE <name> <kind>"
+      if (line.rfind("# TYPE ", 0) == 0) {
+        const std::size_t sep = line.rfind(' ');
+        if (sep > 7) out.types[line.substr(7, sep - 7)] = line.substr(sep + 1);
+      }
+      continue;
+    }
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos) continue;
+    const auto value = parse_number(line.substr(space + 1));
+    if (!value.has_value()) continue;
+    std::string name = line.substr(0, space);
+    const std::size_t brace = name.find('{');
+    if (brace != std::string::npos) {
+      // Only the exporter's {quantile="..."} label ever appears.
+      const std::string base = name.substr(0, brace);
+      const std::size_t qpos = name.find("quantile=\"", brace);
+      if (qpos != std::string::npos) {
+        const std::size_t qend = name.find('"', qpos + 10);
+        if (qend != std::string::npos) {
+          out.quantiles[base][name.substr(qpos + 10, qend - (qpos + 10))] =
+              *value;
+        }
+      }
+      continue;
+    }
+    out.samples[name] = *value;
+  }
+  return out;
+}
+
+double sample(const Exposition& exposition, const std::string& name) {
+  const auto it = exposition.samples.find(name);
+  return it == exposition.samples.end() ? 0.0 : it->second;
+}
+
+std::string format_count(double value) {
+  char buffer[64];
+  if (value == static_cast<double>(static_cast<long long>(value))) {
+    std::snprintf(buffer, sizeof(buffer), "%lld",
+                  static_cast<long long>(value));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.3f", value);
+  }
+  return buffer;
+}
+
+// Nanosecond quantity with a unit that keeps 3-4 significant digits.
+std::string format_ns(double ns) {
+  char buffer[64];
+  if (ns >= 1e9) {
+    std::snprintf(buffer, sizeof(buffer), "%.2fs", ns / 1e9);
+  } else if (ns >= 1e6) {
+    std::snprintf(buffer, sizeof(buffer), "%.2fms", ns / 1e6);
+  } else if (ns >= 1e3) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fus", ns / 1e3);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.0fns", ns);
+  }
+  return buffer;
+}
+
+struct CounterRow {
+  const char* label;
+  const char* metric;
+};
+
+void render_counters(const Exposition& now, const Exposition* prev,
+                     double dt_s, const std::vector<CounterRow>& rows) {
+  for (const CounterRow& row : rows) {
+    const double value = sample(now, row.metric);
+    std::string text = "  " + std::string(row.label) + ": " +
+                       format_count(value);
+    if (prev != nullptr && dt_s > 0.0) {
+      const double rate = (value - sample(*prev, row.metric)) / dt_s;
+      if (rate > 0.0) {
+        char suffix[48];
+        std::snprintf(suffix, sizeof(suffix), "  (+%.1f/s)", rate);
+        text += suffix;
+      }
+    }
+    std::printf("%s\n", text.c_str());
+  }
+}
+
+void render(const Exposition& now, const Exposition* prev, double dt_s,
+            const std::string& path, bool clear_screen) {
+  if (clear_screen) std::printf("\x1b[H\x1b[2J");
+  std::printf("s3top — %s\n\n", path.c_str());
+
+  std::printf("run\n");
+  render_counters(now, prev, dt_s,
+                  {{"batches", "s3_engine_batches"},
+                   {"map tasks", "s3_engine_map_tasks"},
+                   {"reduce tasks", "s3_engine_reduce_tasks"},
+                   {"failed attempts", "s3_engine_failed_attempts"},
+                   {"batch reruns", "s3_engine_batch_reruns"}});
+
+  std::printf("\nsharing\n");
+  const double logical = sample(now, "s3_engine_blocks_logical");
+  const double physical = sample(now, "s3_engine_blocks_physical");
+  std::printf("  blocks logical/physical: %s / %s\n",
+              format_count(logical).c_str(), format_count(physical).c_str());
+  std::printf("  sharing_efficiency: %.3f\n",
+              sample(now, "s3_engine_sharing_efficiency"));
+  const double batches = sample(now, "s3_engine_batches");
+  if (batches > 0.0) {
+    std::printf("  avg wave size (physical blocks/batch): %.1f\n",
+                physical / batches);
+  }
+
+  std::printf("\nphases (wall time p50 / p95 / p99)\n");
+  bool any_phase = false;
+  for (const auto& [name, quantiles] : now.quantiles) {
+    const std::string prefix = "s3_engine_phase_";
+    if (name.rfind(prefix, 0) != 0) continue;
+    if (name.size() < prefix.size() + 3 ||
+        name.substr(name.size() - 3) != "_ns") {
+      continue;
+    }
+    any_phase = true;
+    const std::string phase =
+        name.substr(prefix.size(), name.size() - prefix.size() - 3);
+    const auto quantile = [&quantiles](const char* q) {
+      const auto it = quantiles.find(q);
+      return it == quantiles.end() ? 0.0 : it->second;
+    };
+    std::printf("  %-16s %9s %9s %9s", phase.c_str(),
+                format_ns(quantile("0.5")).c_str(),
+                format_ns(quantile("0.95")).c_str(),
+                format_ns(quantile("0.99")).c_str());
+    const double minor =
+        sample(now, "s3_engine_phase_" + phase + "_minor_faults");
+    const double major =
+        sample(now, "s3_engine_phase_" + phase + "_major_faults");
+    if (minor > 0.0 || major > 0.0) {
+      std::printf("  faults=%s/%s", format_count(minor).c_str(),
+                  format_count(major).c_str());
+    }
+    std::printf("\n");
+  }
+  if (!any_phase) std::printf("  (no phase samples yet)\n");
+
+  std::printf("\nfaults\n");
+  render_counters(now, prev, dt_s,
+                  {{"node deaths", "s3_engine_node_deaths"},
+                   {"quarantines", "s3_engine_quarantines"},
+                   {"replica failovers", "s3_dfs_replica_failovers"},
+                   {"corrupt reads", "s3_dfs_corrupt_reads"}});
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const s3::Flags flags = s3::Flags::parse(argc, argv);
+  std::vector<std::string> paths = flags.positional();
+  bool once = flags.get_bool("once");
+  // `s3top --once <file>`: the flag parser binds the following token as the
+  // switch's value, so the path never reaches positional(); reclaim it.
+  const std::string once_value = flags.get_string("once");
+  if (!once_value.empty() && once_value != "true" && once_value != "false") {
+    once = true;
+    paths.push_back(once_value);
+  }
+  if (paths.size() != 1) {
+    std::fprintf(stderr,
+                 "usage: %s [--once] [--interval-ms=N] <snapshot.prom>\n"
+                 "(the file --snapshot-out= writes; see README)\n",
+                 flags.program().c_str());
+    return 2;
+  }
+  const std::string path = paths[0];
+  const std::int64_t interval_ms =
+      std::max<std::int64_t>(50, flags.get_int("interval-ms", 500));
+
+  std::optional<Exposition> previous;
+  auto previous_time = std::chrono::steady_clock::now();
+  for (;;) {
+    FILE* file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) {
+      if (once) {
+        std::fprintf(stderr, "s3top: cannot open %s\n", path.c_str());
+        return 2;
+      }
+      // The producer may not have written its first snapshot yet.
+      std::printf("s3top — waiting for %s ...\n", path.c_str());
+      std::fflush(stdout);
+    } else {
+      const Exposition now = parse_exposition(file);
+      std::fclose(file);
+      const auto time = std::chrono::steady_clock::now();
+      const double dt_s =
+          std::chrono::duration<double>(time - previous_time).count();
+      render(now, previous.has_value() ? &*previous : nullptr, dt_s, path,
+             /*clear_screen=*/!once);
+      previous = now;
+      previous_time = time;
+      if (once) return 0;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}

@@ -1,8 +1,11 @@
 // s3trace: inspect and validate Chrome trace files written by the obs layer
 // (obs/chrome_trace.cpp, typically via --trace-out=<path>).
 //
-//   s3trace <trace.json>             per-segment Gantt/timeline summary
-//   s3trace --validate <trace.json>  schema check; exit 0 iff valid
+//   s3trace <trace.json>                  per-segment Gantt/timeline summary
+//   s3trace --validate <trace.json>       schema check; exit 0 iff valid
+//   s3trace postmortem <s3-crash-*.txt>   time-ordered last-N event log from
+//                                         a crash dump, overwrite gaps
+//                                         flagged; exit 0 iff it parses
 //
 // The exporter emits one event object per line inside "traceEvents", so both
 // modes parse line by line with a small recursive-descent JSON reader — no
@@ -20,8 +23,29 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "postmortem.h"
 
 namespace {
+
+// `s3trace postmortem <dump>`: parse the crash dump and print the merged
+// per-thread flight log. Exits 0 only when the dump parses cleanly, so
+// check.sh --flight can use this as the "dump is well-formed" oracle.
+int run_postmortem(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "s3trace: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  const s3::tools::CrashDump dump = s3::tools::parse_crash_dump(in);
+  if (!dump.valid) {
+    std::fprintf(stderr, "s3trace: %s is not a parseable crash dump: %s\n",
+                 path.c_str(), dump.error.c_str());
+    return 1;
+  }
+  const std::string text = s3::tools::format_postmortem(dump);
+  std::fwrite(text.data(), 1, text.size(), stdout);
+  return 0;
+}
 
 // --- Minimal JSON value model + parser (objects, arrays, scalars). ---------
 
@@ -426,6 +450,9 @@ int main(int argc, char** argv) {
   // The flag parser's "--name value" form means `--validate <path>` stores
   // the path as the flag's value; accept both that and the =true/positional
   // spelling.
+  if (flags.positional().size() == 2 && flags.positional()[0] == "postmortem") {
+    return run_postmortem(flags.positional()[1]);
+  }
   const bool validate = flags.has("validate");
   std::string path;
   if (validate) {
@@ -436,8 +463,10 @@ int main(int argc, char** argv) {
     path = flags.positional()[0];
   }
   if (path.empty()) {
-    std::fprintf(stderr, "usage: %s [--validate] <trace.json>\n",
-                 flags.program().c_str());
+    std::fprintf(stderr,
+                 "usage: %s [--validate] <trace.json>\n"
+                 "       %s postmortem <s3-crash-*.txt>\n",
+                 flags.program().c_str(), flags.program().c_str());
     return 2;
   }
   std::ifstream in(path, std::ios::binary);
