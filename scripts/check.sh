@@ -39,12 +39,19 @@
 #                                    in-flight batch, then fail if the
 #                                    always-on recorder slows
 #                                    BM_MapRunnerEndToEnd by >2%
+#   scripts/check.sh --storm         admission-storm matrix: run the 24-seed
+#                                    arrival-storm suite plain and under
+#                                    TSan, then drive the s3d_service
+#                                    example at 4x overload and leave its
+#                                    admission-latency Prometheus snapshot
+#                                    in build/storm-admission.prom (CI
+#                                    uploads it as an artifact)
 #   scripts/check.sh --all           tier-1 + lint + lockcheck
 #                                    + viewcheck + asan
 #                                    + ubsan + tsan
 #                                    + tidy + format check + Release smoke
 #                                    + trace smoke + bench smoke + flight
-#                                    smoke + chaos matrix
+#                                    smoke + chaos matrix + storm matrix
 #
 # Sanitizer modes build tests only (benches/examples are covered by the
 # default mode) so the instrumented builds stay fast. --tidy and the format
@@ -68,7 +75,8 @@ for arg in "$@"; do
     --chaos) MODES+=(chaos) ;;
     --bench-smoke) MODES+=(bench-smoke) ;;
     --flight) MODES+=(flight) ;;
-    --all) MODES+=(tier1 lint lockcheck viewcheck asan ubsan tsan tidy format release trace bench-smoke flight chaos) ;;
+    --storm) MODES+=(storm) ;;
+    --all) MODES+=(tier1 lint lockcheck viewcheck asan ubsan tsan tidy format release trace bench-smoke flight chaos storm) ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -287,6 +295,33 @@ for mode in "${MODES[@]}"; do
           exit 1
         }
       }'
+      ;;
+    storm)
+      echo "=== storm: 24-seed arrival-storm matrix, plain ==="
+      cmake -B build -S . -DS3_WARNINGS_AS_ERRORS=ON
+      cmake --build build -j \
+        --target s3_service_tests s3_storm_tests s3d_service s3top
+      ./build/tests/s3_service_tests
+      ./build/tests/s3_storm_tests
+      echo "=== storm: s3d_service at 4x overload + admission snapshot ==="
+      # The snapshot is the CI artifact: admission-latency quantiles plus
+      # the per-tenant gauges, rendered by s3top for a human-readable log.
+      ./build/examples/s3d_service --tenants=3 --arrival-rate=8 \
+        --duration=6 --overload=4 \
+        --snapshot-out=build/storm-admission.prom
+      ./build/tools/s3top --once build/storm-admission.prom
+      grep -q 's3_service_admission_latency_ns' build/storm-admission.prom
+      echo "=== storm: service + storm suites under TSan ==="
+      cmake -B build-tsan -S . \
+        -DS3_SANITIZE=thread \
+        -DS3_WARNINGS_AS_ERRORS=ON \
+        -DS3_BUILD_BENCHMARKS=OFF -DS3_BUILD_EXAMPLES=OFF
+      cmake --build build-tsan -j \
+        --target s3_service_tests s3_storm_tests s3_tsan_stress_tests
+      ./build-tsan/tests/s3_service_tests
+      ./build-tsan/tests/s3_storm_tests
+      ./build-tsan/tests/s3_tsan_stress_tests \
+        --gtest_filter='TsanStressTest.Service*'
       ;;
     release)
       echo "=== Release build ==="

@@ -1,0 +1,100 @@
+#include "chaos/arrival_storm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace s3::chaos {
+
+StormPlan::StormPlan(StormOptions options) : options_(options) {
+  S3_CHECK(options_.tenants > 0);
+  S3_CHECK(options_.jobs > 0);
+  S3_CHECK(options_.duration > 0.0);
+  S3_CHECK(options_.overload_factor >= 1.0);
+  Rng rng(options_.seed);
+
+  // Tenants. The aggregate token rate is sized so that at overload_factor 1
+  // the planned arrivals are (just) sustainable, and at factor F the offered
+  // load exceeds the buckets F-fold.
+  const double offered_rate =
+      static_cast<double>(options_.jobs) / options_.duration;
+  const double per_tenant_rate =
+      offered_rate / (static_cast<double>(options_.tenants) *
+                      options_.overload_factor);
+  for (std::size_t i = 0; i < options_.tenants; ++i) {
+    StormTenant tenant;
+    tenant.id = TenantId(i);
+    tenant.name = "storm-" + std::to_string(i);
+    tenant.quota.rate_jobs_per_sec = per_tenant_rate * rng.uniform(0.8, 1.6);
+    tenant.quota.burst = 2.0 + static_cast<double>(rng.uniform_u64(5));
+    tenant.quota.max_queued = 4 + static_cast<std::size_t>(rng.uniform_u64(8));
+    tenant.quota.max_inflight =
+        1 + static_cast<std::size_t>(rng.uniform_u64(4));
+    // Weights from {1, 2, 4} so fairness ratios are easy to assert on.
+    tenant.quota.weight = static_cast<double>(1u << rng.uniform_u64(3));
+    tenants_.push_back(std::move(tenant));
+  }
+
+  // Arrivals: an exponential trickle compressed into
+  // [0, duration / overload_factor], with every flood_every-th arrival
+  // expanding into a same-instant single-tenant flood.
+  const SimTime window = options_.duration / options_.overload_factor;
+  const double mean_gap = window / static_cast<double>(options_.jobs);
+  SimTime t = 0.0;
+  std::uint64_t next_job = 0;
+  std::size_t trickle_count = 0;
+  while (arrivals_.size() < options_.jobs) {
+    t += rng.exponential(mean_gap);
+    const TenantId tenant(rng.uniform_u64(options_.tenants));
+    const bool flood = options_.flood_every > 0 && options_.flood_size > 0 &&
+                       ++trickle_count % options_.flood_every == 0;
+    const std::size_t count = flood ? 1 + options_.flood_size : 1;
+    for (std::size_t k = 0; k < count; ++k) {
+      StormArrival arrival;
+      arrival.tenant = tenant;
+      arrival.job = JobId(next_job++);
+      arrival.arrival = t;
+      arrival.priority = static_cast<int>(rng.uniform_u64(3));
+      // A third of the storm carries deadlines tight enough that the shedder
+      // sees expired work under overload.
+      if (rng.uniform() < 1.0 / 3.0) {
+        arrival.deadline = t + rng.uniform(0.2, 2.0);
+      }
+      arrivals_.push_back(arrival);
+    }
+  }
+  std::sort(arrivals_.begin(), arrivals_.end(),
+            [](const StormArrival& a, const StormArrival& b) {
+              if (a.arrival != b.arrival) return a.arrival < b.arrival;
+              return a.job < b.job;
+            });
+
+  // Quota flaps: halve or double the token rate and resize the lane at
+  // seeded instants. Changes keep every field valid (positive rate, nonzero
+  // lane) so a flapped tenant is squeezed, never bricked.
+  const SimTime span = horizon();
+  for (std::size_t i = 0; i < options_.quota_flaps; ++i) {
+    QuotaFlap flap;
+    flap.at = rng.uniform(0.0, span);
+    const std::size_t victim = rng.uniform_u64(options_.tenants);
+    flap.tenant = tenants_[victim].id;
+    service::TenantQuota quota = tenants_[victim].quota;
+    quota.rate_jobs_per_sec *= rng.uniform() < 0.5 ? 0.5 : 2.0;
+    quota.burst = std::max(1.0, quota.burst * (rng.uniform() < 0.5 ? 0.5 : 2.0));
+    quota.max_queued =
+        std::max<std::size_t>(1, rng.uniform() < 0.5 ? quota.max_queued / 2
+                                                     : quota.max_queued * 2);
+    flap.quota = quota;
+    flaps_.push_back(flap);
+  }
+  std::sort(flaps_.begin(), flaps_.end(),
+            [](const QuotaFlap& a, const QuotaFlap& b) { return a.at < b.at; });
+}
+
+SimTime StormPlan::horizon() const {
+  return arrivals_.empty() ? 0.0 : arrivals_.back().arrival;
+}
+
+}  // namespace s3::chaos

@@ -1,0 +1,96 @@
+// Deterministic arrival storms: a StormPlan is a seeded schedule of tenant
+// quotas, job arrivals (steady trickle + same-instant bursts + single-tenant
+// floods) and runtime quota flaps, pluggable into the SubmissionService
+// front door. It is the admission-layer sibling of FaultPlan: where a
+// FaultPlan stresses the recovery path, a StormPlan stresses the admission
+// pipeline — token buckets running dry, lanes filling, the global bound
+// engaging the shedder.
+//
+// Every arrival, quota and flap is a pure function of the seed — never of
+// thread interleaving or wall time — so a storm run is reproducible and the
+// differential oracle in tests/storm_test.cpp can demand byte-identical
+// outputs for the admitted subset versus running those same jobs solo.
+//
+// The plan is overload-shaped by construction: `overload_factor` compresses
+// the arrival window and scales tenant token rates down, so a factor of 1
+// is a sustainable trickle and 10 is a sustained storm where rejections,
+// retry hints and sheds are guaranteed to occur.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "service/admission.h"
+
+namespace s3::chaos {
+
+struct StormOptions {
+  std::uint64_t seed = 1;
+  std::size_t tenants = 4;
+  // Total planned arrivals (floods included; never fewer than this).
+  std::size_t jobs = 64;
+  // Virtual arrival window. Arrivals land in [0, duration / overload_factor]
+  // so the instantaneous rate scales with the overload factor.
+  SimTime duration = 10.0;
+  // >= 1. Scales offered load relative to the aggregate token rate: 1 is
+  // sustainable, 10 means ten times more arrivals than the buckets admit.
+  double overload_factor = 1.0;
+  // Number of runtime quota changes (rate halving/doubling, lane resizing)
+  // sprinkled over the window. 0 disables flapping.
+  std::size_t quota_flaps = 0;
+  // Every flood_every-th arrival expands into a same-instant flood of
+  // flood_size extra submissions from one tenant. 0 disables floods.
+  std::size_t flood_every = 8;
+  std::size_t flood_size = 3;
+};
+
+struct StormTenant {
+  TenantId id;
+  std::string name;
+  service::TenantQuota quota;
+};
+
+struct StormArrival {
+  TenantId tenant;
+  JobId job;
+  SimTime arrival = 0.0;
+  int priority = 0;               // 0..2, higher survives the shedder longer
+  SimTime deadline = kTimeNever;  // some arrivals carry a shed-hint deadline
+};
+
+struct QuotaFlap {
+  SimTime at = 0.0;
+  TenantId tenant;
+  service::TenantQuota quota;
+};
+
+class StormPlan {
+ public:
+  explicit StormPlan(StormOptions options);
+
+  // Tenants with their initial quotas; register these before submitting.
+  [[nodiscard]] const std::vector<StormTenant>& tenants() const {
+    return tenants_;
+  }
+  // Arrivals sorted by (arrival, job id); job ids are dense from 0.
+  [[nodiscard]] const std::vector<StormArrival>& arrivals() const {
+    return arrivals_;
+  }
+  // Quota changes sorted by time; apply each one before submitting any
+  // arrival at a later virtual time.
+  [[nodiscard]] const std::vector<QuotaFlap>& flaps() const { return flaps_; }
+  [[nodiscard]] const StormOptions& options() const { return options_; }
+
+  // Virtual end of the arrival window (= last arrival time).
+  [[nodiscard]] SimTime horizon() const;
+
+ private:
+  StormOptions options_;
+  std::vector<StormTenant> tenants_;
+  std::vector<StormArrival> arrivals_;
+  std::vector<QuotaFlap> flaps_;
+};
+
+}  // namespace s3::chaos

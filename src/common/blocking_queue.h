@@ -1,12 +1,27 @@
-// Unbounded MPMC blocking queue used by the thread pool and the real engine's
-// task dispatch. close() wakes all waiters; pop() returns nullopt once the
-// queue is closed and drained. All state is guarded by one mutex; the locking
-// discipline is machine-checked by Clang Thread Safety Analysis (see
-// common/thread_annotations.h).
+// MPMC blocking queue used by the thread pool, the real engine's task
+// dispatch, and the submission service's admission pipeline. close() wakes
+// all waiters; pop() returns nullopt once the queue is closed and drained.
+//
+// Two modes:
+//   * unbounded (default ctor) — push() always succeeds while open; this is
+//     the thread-pool task queue behavior.
+//   * bounded (capacity ctor) — the queue holds at most `capacity` items.
+//     push() blocks until space frees, try_push() fails fast, and
+//     try_push_for() waits up to a deadline. Bounded mode is how service
+//     queues exert backpressure instead of growing without limit.
+//
+// All state is guarded by one mutex; the locking discipline is
+// machine-checked by Clang Thread Safety Analysis (see
+// common/thread_annotations.h). The mutex rank is configurable because the
+// queue appears at two layers of the hierarchy (pool task queues vs the
+// service admission pipeline).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
+#include <cstddef>
 #include <deque>
+#include <limits>
 #include <optional>
 #include <utility>
 
@@ -17,14 +32,58 @@ namespace s3 {
 template <typename T>
 class BlockingQueue {
  public:
+  // Unbounded queue (thread-pool task dispatch).
   BlockingQueue() = default;
+  // Bounded queue: at most `capacity` items (0 means unbounded). The rank
+  // defaults to the pool-queue slot; pass another rank when the queue lives
+  // at a different layer of the lock hierarchy.
+  explicit BlockingQueue(std::size_t capacity,
+                         LockRank rank = LockRank::kPoolQueue)
+      : mu_(rank),
+        capacity_(capacity == 0 ? std::numeric_limits<std::size_t>::max()
+                                : capacity) {}
   BlockingQueue(const BlockingQueue&) = delete;
   BlockingQueue& operator=(const BlockingQueue&) = delete;
 
-  // Returns false if the queue is already closed (item is dropped).
+  // Blocks while the queue is full. Returns false if the queue is closed
+  // before space frees (item is dropped).
   bool push(T item) S3_EXCLUDES(mu_) {
     {
       MutexLock lock(mu_);
+      while (!closed_ && items_.size() >= capacity_) lock.wait(not_full_cv_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  // Non-blocking push: fails fast when the queue is closed or full. This is
+  // the backpressure edge — callers translate `false` into a typed
+  // retry/shed decision instead of waiting.
+  bool try_push(T item) S3_EXCLUDES(mu_) {
+    {
+      MutexLock lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  // Timed push: waits up to `timeout` for space, then gives up. Returns
+  // false on close or timeout.
+  template <typename Rep, typename Period>
+  bool try_push_for(T item, const std::chrono::duration<Rep, Period>& timeout)
+      S3_EXCLUDES(mu_) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    {
+      MutexLock lock(mu_);
+      while (!closed_ && items_.size() >= capacity_) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) return false;
+        lock.wait_for(not_full_cv_, deadline - now);
+      }
       if (closed_) return false;
       items_.push_back(std::move(item));
     }
@@ -34,20 +93,28 @@ class BlockingQueue {
 
   // Blocks until an item is available or the queue is closed and empty.
   std::optional<T> pop() S3_EXCLUDES(mu_) {
-    MutexLock lock(mu_);
-    while (!closed_ && items_.empty()) lock.wait(cv_);
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
+    std::optional<T> item;
+    {
+      MutexLock lock(mu_);
+      while (!closed_ && items_.empty()) lock.wait(cv_);
+      if (items_.empty()) return std::nullopt;
+      item = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_cv_.notify_one();
     return item;
   }
 
   // Non-blocking pop.
   std::optional<T> try_pop() S3_EXCLUDES(mu_) {
-    MutexLock lock(mu_);
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
+    std::optional<T> item;
+    {
+      MutexLock lock(mu_);
+      if (items_.empty()) return std::nullopt;
+      item = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_cv_.notify_one();
     return item;
   }
 
@@ -57,6 +124,7 @@ class BlockingQueue {
       closed_ = true;
     }
     cv_.notify_all();
+    not_full_cv_.notify_all();
   }
 
   [[nodiscard]] bool closed() const S3_EXCLUDES(mu_) {
@@ -69,10 +137,14 @@ class BlockingQueue {
     return items_.size();
   }
 
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
  private:
   mutable AnnotatedMutex mu_{LockRank::kPoolQueue};
-  std::condition_variable cv_;
+  std::condition_variable cv_;           // not-empty
+  std::condition_variable not_full_cv_;  // space freed (bounded mode)
   std::deque<T> items_ S3_GUARDED_BY(mu_);
+  const std::size_t capacity_ = std::numeric_limits<std::size_t>::max();
   bool closed_ S3_GUARDED_BY(mu_) = false;
 };
 

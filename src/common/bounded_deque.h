@@ -1,0 +1,84 @@
+// Capacity-enforcing deque for admission pipelines. Not thread-safe: callers
+// hold their own mutex (the submission service keeps every BoundedDeque under
+// its kServiceQueue lock). Unlike std::deque, construction requires an
+// explicit capacity and push_back refuses to grow past it, so a queue at a
+// service boundary cannot silently become an unbounded buffer — the s3lint
+// bounded-queue rule bans raw std:: queue containers in src/service/ and
+// points at this type.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <utility>
+
+#include "common/contracts.h"
+
+namespace s3 {
+
+template <typename T>
+class BoundedDeque {
+ public:
+  explicit BoundedDeque(std::size_t capacity) : capacity_(capacity) {
+    S3_CHECK_MSG(capacity > 0, "BoundedDeque capacity must be positive");
+  }
+
+  // Returns false (item dropped) when the deque is at capacity. The caller
+  // turns that into a typed backpressure decision.
+  [[nodiscard]] bool push_back(T item) {
+    if (items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    return true;
+  }
+
+  T pop_front() {
+    S3_CHECK_MSG(!items_.empty(), "pop_front on empty BoundedDeque");
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  T pop_back() {
+    S3_CHECK_MSG(!items_.empty(), "pop_back on empty BoundedDeque");
+    T item = std::move(items_.back());
+    items_.pop_back();
+    return item;
+  }
+
+  [[nodiscard]] const T& front() const {
+    S3_CHECK_MSG(!items_.empty(), "front on empty BoundedDeque");
+    return items_.front();
+  }
+
+  // Capacity can be re-pointed at runtime (quota flapping). Shrinking below
+  // the current size does not drop items; it only refuses new pushes until
+  // the queue drains under the new bound.
+  void set_capacity(std::size_t capacity) {
+    S3_CHECK_MSG(capacity > 0, "BoundedDeque capacity must be positive");
+    capacity_ = capacity;
+  }
+
+  // Removes the element at `index` (0 = front). Used by the load shedder to
+  // evict a chosen victim from the middle of a queue.
+  T erase_at(std::size_t index) {
+    S3_CHECK_MSG(index < items_.size(), "erase_at out of range");
+    auto it = items_.begin() + static_cast<std::ptrdiff_t>(index);
+    T item = std::move(*it);
+    items_.erase(it);
+    return item;
+  }
+
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] bool full() const { return items_.size() >= capacity_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  using const_iterator = typename std::deque<T>::const_iterator;
+  [[nodiscard]] const_iterator begin() const { return items_.begin(); }
+  [[nodiscard]] const_iterator end() const { return items_.end(); }
+
+ private:
+  std::deque<T> items_;
+  std::size_t capacity_;
+};
+
+}  // namespace s3

@@ -8,8 +8,16 @@ const char* lock_rank_name(LockRank rank) {
   switch (rank) {
     case LockRank::kUnranked:
       return "kUnranked";
+    case LockRank::kServiceRegistry:
+      return "kServiceRegistry";
+    case LockRank::kServiceTenant:
+      return "kServiceTenant";
+    case LockRank::kServiceQueue:
+      return "kServiceQueue";
     case LockRank::kSchedJobQueue:
       return "kSchedJobQueue";
+    case LockRank::kSchedAdmitShard:
+      return "kSchedAdmitShard";
     case LockRank::kEngineMapCollect:
       return "kEngineMapCollect";
     case LockRank::kEngineReduceCollect:

@@ -50,8 +50,19 @@ namespace s3 {
 // unranked-mutex rule keeps src/ free of them.
 enum class LockRank : std::uint16_t {
   kUnranked = 0,
+  // Submission-service entry path (src/service/): tenant registry before the
+  // per-tenant token buckets it indexes; the admission queue lock comes last
+  // and is never held while calling into the scheduler. These rank below the
+  // scheduler because the service is the outermost layer of the system.
+  kServiceRegistry = 2,
+  kServiceTenant = 4,
+  kServiceQueue = 6,
   // Scheduler entry: Algorithm 1's admit/form_batch critical section.
   kSchedJobQueue = 10,
+  // JobQueueManager admission shards: admit() takes exactly one shard lock
+  // (never two — shards share a rank), and form_batch's fold acquires shards
+  // one at a time while holding kSchedJobQueue, so they rank just above it.
+  kSchedAdmitShard = 15,
   // Per-wave output collection. run_wave's commit section nests
   // MapCollect::mu → ReduceCollect::mu → LocalEngine::mu_, so the two
   // collect locks rank below engine state and below each other.

@@ -68,6 +68,9 @@ struct SegmentTag {
 struct RackTag {
   static constexpr const char* prefix() { return "rack-"; }
 };
+struct TenantTag {
+  static constexpr const char* prefix() { return "tenant-"; }
+};
 
 using JobId = StrongId<JobTag>;
 using SubJobId = StrongId<SubJobTag>;
@@ -78,6 +81,7 @@ using FileId = StrongId<FileTag>;
 using BlockId = StrongId<BlockTag>;
 using SegmentId = StrongId<SegmentTag>;
 using RackId = StrongId<RackTag>;
+using TenantId = StrongId<TenantTag>;
 
 // Simulated time, in seconds. The simulator and the schedulers are written
 // against this; the real engine maps wall-clock time onto it.

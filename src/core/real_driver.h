@@ -5,6 +5,18 @@
 // are identical to production, and TET/ART are reported in the virtual
 // timebase. This is the "plugin scheduler" integration the paper describes:
 // the engine underneath stays a plain MapReduce engine.
+//
+// Two entry points:
+//  * run()         — batch mode: a pre-declared job list is replayed by
+//                    arrival time and driven to completion.
+//  * run_service() — resident mode: jobs stream in through a
+//                    SubmissionService from any number of threads; the loop
+//                    consumes weighted-fair admitted work, wires each
+//                    release into the scheduler as a (possibly late)
+//                    arrival — the paper's Partial Job Initialization — and
+//                    parks when idle until new work or close(). Admission
+//                    decisions (rejections, sheds) never reach this loop;
+//                    every dispatched job runs to completion or quarantine.
 #pragma once
 
 #include <unordered_map>
@@ -16,6 +28,7 @@
 #include "metrics/metrics.h"
 #include "sched/file_catalog.h"
 #include "sched/scheduler.h"
+#include "service/submission_service.h"
 
 namespace s3::core {
 
@@ -59,7 +72,27 @@ class RealDriver {
   [[nodiscard]] StatusOr<RealRunResult> run(sched::Scheduler& scheduler,
                               std::vector<RealJob> jobs);
 
+  // Resident loop: consumes admitted jobs from `service` until it is closed
+  // and drained. Submitters keep calling service.submit() concurrently; the
+  // loop blocks (wait_for_work) only when the scheduler is empty and nothing
+  // is dispatchable. Completion/quarantine feedback flows back through
+  // service.on_job_finished so concurrency quotas release deterministically.
+  [[nodiscard]] StatusOr<RealRunResult> run_service(
+      sched::Scheduler& scheduler, service::SubmissionService& service);
+
  private:
+  // Shared batch-execution step: resolves blocks, runs the engine, charges
+  // scaled wall time, and feeds recovery/completion back into the scheduler.
+  // `deliver` releases arrivals that virtually happened during the batch
+  // (before on_batch_complete, so they join the next wave — Partial Job
+  // Initialization); `on_finished` reports every completed or quarantined
+  // job (the service loop returns concurrency slots through it).
+  template <typename DeliverFn, typename FinishedFn>
+  [[nodiscard]] Status execute_batch(sched::Scheduler& scheduler, const sched::Batch& batch,
+                       SimTime& now, metrics::JobTimeline& timeline,
+                       RealRunResult& result, const DeliverFn& deliver,
+                       const FinishedFn& on_finished);
+
   const dfs::DfsNamespace* ns_;
   engine::LocalEngine* engine_;
   const sched::FileCatalog* catalog_;

@@ -45,6 +45,14 @@ const char* journal_event_name(JournalEventType type) {
       return "job_quarantined";
     case JournalEventType::kBatchRerun:
       return "batch_rerun";
+    case JournalEventType::kServiceAdmitted:
+      return "service_admitted";
+    case JournalEventType::kServiceRejected:
+      return "service_rejected";
+    case JournalEventType::kServiceShed:
+      return "service_shed";
+    case JournalEventType::kServiceQuotaChanged:
+      return "service_quota_changed";
   }
   return "unknown";
 }

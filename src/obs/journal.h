@@ -55,6 +55,23 @@
 //                      status so its co-members can proceed.
 //   kBatchRerun        (LocalEngine) the shared scan re-ran for the
 //                      surviving members after a quarantine.
+//
+// Admission-service vocabulary (DESIGN.md §17; every front-door decision the
+// submission service makes is journaled with the tenant in `detail`):
+//   kServiceAdmitted   (SubmissionService) a submission passed its tenant's
+//                      token bucket and queue bound and entered the bounded
+//                      admission pipeline.
+//   kServiceRejected   (SubmissionService) a typed rejection: kRejected
+//                      (permanent — unknown tenant, closed service) or
+//                      kRetryAfter (transient — rate/queue bound; detail
+//                      carries the modeled backoff hint).
+//   kServiceShed       (SubmissionService) the deadline-aware overload
+//                      shedder dropped queued-but-not-running work (newest,
+//                      lowest-priority first; expired deadlines before live
+//                      ones). In-flight shared scans are never shed.
+//   kServiceQuotaChanged (TenantRegistry) a tenant's quota was re-pointed at
+//                      runtime (rate, burst, queue bound, concurrency,
+//                      weight) — the chaos storms flap these.
 #pragma once
 
 #include <atomic>
@@ -87,6 +104,10 @@ enum class JournalEventType {
   kBlockCorrupt,
   kJobQuarantined,
   kBatchRerun,
+  kServiceAdmitted,
+  kServiceRejected,
+  kServiceShed,
+  kServiceQuotaChanged,
 };
 
 // Stable snake_case name, used by the Chrome-trace exporter and s3trace.

@@ -1,0 +1,83 @@
+// Admission vocabulary for the resident submission service (the `s3d` front
+// end): tenant quotas, submissions, and the typed decisions the service
+// returns instead of queueing without bound. DESIGN.md §17 documents the
+// admission/overload model; every decision here is a deterministic function
+// of virtual time (SimTime), so storm tests replay bit-for-bit.
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+#include "engine/job.h"
+
+namespace s3::service {
+
+// Per-tenant admission quota. Rates are in jobs per virtual second; the
+// token bucket refills deterministically from submission arrival times (no
+// wall clock, no background refill thread).
+struct TenantQuota {
+  double rate_jobs_per_sec = 8.0;  // token-bucket refill rate
+  double burst = 4.0;              // token-bucket depth
+  std::size_t max_queued = 8;      // bound on this tenant's admission lane
+  std::size_t max_inflight = 4;    // concurrency quota (dispatched, unfinished)
+  double weight = 1.0;             // weighted-fair share (stride scheduling)
+};
+
+// One job submission as a tenant hands it to the service.
+struct Submission {
+  TenantId tenant;
+  engine::JobSpec spec;
+  SimTime arrival = 0.0;           // virtual submission time
+  int priority = 0;                // higher = preferred (JQM membership caps)
+  SimTime deadline = kTimeNever;   // virtual completion deadline (shed hint)
+};
+
+enum class AdmitCode {
+  kAdmitted,    // entered the bounded admission pipeline
+  kRejected,    // permanent: unknown tenant, closed service, invalid spec
+  kRetryAfter,  // transient: rate/queue bound; retry_after carries the hint
+  kShed,        // dropped by the overload shedder (newest lowest-priority)
+};
+
+[[nodiscard]] constexpr const char* admit_code_name(AdmitCode code) {
+  switch (code) {
+    case AdmitCode::kAdmitted:
+      return "admitted";
+    case AdmitCode::kRejected:
+      return "rejected";
+    case AdmitCode::kRetryAfter:
+      return "retry_after";
+    case AdmitCode::kShed:
+      return "shed";
+  }
+  return "unknown";
+}
+
+// The typed result of submit(). retry_after is a *modeled* exponential
+// backoff hint in virtual seconds — the service never sleeps; callers decide
+// when to come back.
+struct AdmissionDecision {
+  AdmitCode code = AdmitCode::kRejected;
+  SimTime retry_after = 0.0;
+  std::string reason;
+
+  [[nodiscard]] bool admitted() const { return code == AdmitCode::kAdmitted; }
+};
+
+// A submission the weighted-fair dispatcher released to the driver.
+struct AdmittedJob {
+  Submission submission;
+  SimTime admitted_at = 0.0;   // when it entered the pipeline
+  SimTime dispatched_at = 0.0; // when poll_admitted released it
+};
+
+// One shedding decision, kept for the audit log and the chaos oracles.
+struct ShedRecord {
+  TenantId tenant;
+  JobId job;
+  SimTime at = 0.0;
+  int priority = 0;
+  bool deadline_expired = false;
+};
+
+}  // namespace s3::service

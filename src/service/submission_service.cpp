@@ -1,0 +1,378 @@
+#include "service/submission_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/contracts.h"
+#include "obs/clock.h"
+#include "obs/registry.h"
+
+namespace s3::service {
+namespace {
+
+std::string tenant_detail(TenantId tenant) {
+  return "tenant=" + std::to_string(tenant.value());
+}
+
+}  // namespace
+
+SubmissionService::SubmissionService(ServiceOptions options)
+    : options_(options), registry_(options.backoff) {
+  S3_CHECK_MSG(options_.global_queue_bound > 0,
+               "global_queue_bound must be positive");
+}
+
+Status SubmissionService::register_tenant(TenantId tenant, std::string name,
+                                          const TenantQuota& quota) {
+  S3_RETURN_IF_ERROR(registry_.add_tenant(tenant, name, quota));
+  MutexLock lock(queue_mu_);
+  Lane lane(quota.max_queued);
+  lane.max_inflight = quota.max_inflight;
+  lane.weight = quota.weight;
+  lane.name = std::move(name);
+  lanes_.emplace(tenant, std::move(lane));
+  return Status::ok();
+}
+
+Status SubmissionService::set_quota(TenantId tenant, const TenantQuota& quota,
+                                    SimTime now) {
+  S3_RETURN_IF_ERROR(registry_.set_quota(tenant, quota, now));
+  MutexLock lock(queue_mu_);
+  const auto it = lanes_.find(tenant);
+  S3_CHECK_MSG(it != lanes_.end(), "lane missing for registered tenant");
+  it->second.pending.set_capacity(quota.max_queued);
+  it->second.max_inflight = quota.max_inflight;
+  it->second.weight = quota.weight;
+  return Status::ok();
+}
+
+void SubmissionService::journal_decision(obs::JournalEventType type,
+                                         const Submission& s,
+                                         const std::string& detail) const {
+  auto& journal = obs::EventJournal::instance();
+  if (!journal.observed()) return;
+  obs::JournalEvent event;
+  event.type = type;
+  event.job = s.spec.id;
+  event.sim_time = s.arrival;
+  event.detail = detail;
+  journal.record(std::move(event));
+}
+
+void SubmissionService::update_lane_gauges(const Lane& lane) const {
+  auto& metrics = obs::Registry::instance();
+  metrics.gauge("service.tenant." + lane.name + ".queued")
+      .set(static_cast<double>(lane.pending.size()));
+  metrics.gauge("service.tenant." + lane.name + ".inflight")
+      .set(static_cast<double>(lane.inflight));
+}
+
+std::optional<SubmissionService::Victim> SubmissionService::pick_victim(
+    SimTime now, int incoming_priority) const {
+  // "More sheddable" is a total order — expired deadlines first, then lower
+  // priority, then newest (highest seq) — so the choice is deterministic
+  // regardless of lane iteration order.
+  const auto more_sheddable = [](const Victim& a, const Victim& b) {
+    if (a.expired != b.expired) return a.expired;
+    if (a.priority != b.priority) return a.priority < b.priority;
+    return a.seq > b.seq;
+  };
+  std::optional<Victim> best;
+  for (const auto& [tenant, lane] : lanes_) {
+    std::size_t index = 0;
+    for (const QueuedSubmission& q : lane.pending) {
+      Victim v;
+      v.tenant = tenant;
+      v.index = index++;
+      v.priority = q.submission.priority;
+      v.seq = q.seq;
+      v.expired = q.submission.deadline < now;
+      if (!best.has_value() || more_sheddable(v, *best)) best = v;
+    }
+  }
+  if (!best.has_value()) return std::nullopt;
+  // The incoming submission is the newest possible work: it survives only
+  // if some queued victim is *strictly* worse — expired, or lower priority.
+  if (!best->expired && best->priority >= incoming_priority) {
+    return std::nullopt;
+  }
+  return best;
+}
+
+AdmissionDecision SubmissionService::submit(const Submission& submission) {
+  const std::uint64_t start_ns = obs::now_ns();
+  auto& metrics = obs::Registry::instance();
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+
+  AdmissionDecision decision;
+  const auto finish = [&](AdmissionDecision d) {
+    metrics.histogram("service.admission_latency_ns")
+        .observe(obs::now_ns() - start_ns);
+    metrics.counter(std::string("service.") + admit_code_name(d.code)).add();
+    return d;
+  };
+
+  if (!submission.spec.valid()) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    decision.code = AdmitCode::kRejected;
+    decision.reason = "invalid job spec";
+    journal_decision(obs::JournalEventType::kServiceRejected, submission,
+                     tenant_detail(submission.tenant) + " reason=invalid_spec");
+    return finish(decision);
+  }
+
+  const TenantRegistry::TokenResult token =
+      registry_.try_consume(submission.tenant, submission.arrival);
+  if (token.outcome == TenantRegistry::TokenResult::Outcome::kUnknown) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    decision.code = AdmitCode::kRejected;
+    decision.reason = "unknown tenant";
+    journal_decision(
+        obs::JournalEventType::kServiceRejected, submission,
+        tenant_detail(submission.tenant) + " reason=unknown_tenant");
+    return finish(decision);
+  }
+  if (token.outcome == TenantRegistry::TokenResult::Outcome::kThrottled) {
+    retry_after_.fetch_add(1, std::memory_order_relaxed);
+    decision.code = AdmitCode::kRetryAfter;
+    decision.retry_after = token.retry_after;
+    decision.reason = "token bucket dry";
+    journal_decision(
+        obs::JournalEventType::kServiceRejected, submission,
+        tenant_detail(submission.tenant) + " reason=rate_limited retry_after=" +
+            std::to_string(token.retry_after));
+    return finish(decision);
+  }
+
+  enum class Outcome { kAdmitted, kClosed, kLaneFull, kShedIncoming };
+  Outcome outcome = Outcome::kAdmitted;
+  std::optional<ShedRecord> victim_record;
+  {
+    MutexLock lock(queue_mu_);
+    if (closed_) {
+      outcome = Outcome::kClosed;
+    } else {
+      const auto lane_it = lanes_.find(submission.tenant);
+      S3_CHECK_MSG(lane_it != lanes_.end(),
+                   "lane missing for registered tenant");
+      Lane& lane = lane_it->second;
+      if (lane.pending.full()) {
+        outcome = Outcome::kLaneFull;
+      } else {
+        if (total_queued_ >= options_.global_queue_bound) {
+          // Deadline-aware overload shedding: only queued work is eligible;
+          // dispatched shared scans always complete.
+          const auto victim =
+              pick_victim(submission.arrival, submission.priority);
+          if (!victim.has_value()) {
+            outcome = Outcome::kShedIncoming;
+          } else {
+            Lane& victim_lane = lanes_.at(victim->tenant);
+            QueuedSubmission dropped =
+                victim_lane.pending.erase_at(victim->index);
+            --total_queued_;
+            ShedRecord record;
+            record.tenant = victim->tenant;
+            record.job = dropped.submission.spec.id;
+            record.at = submission.arrival;
+            record.priority = victim->priority;
+            record.deadline_expired = victim->expired;
+            shed_log_.push_back(record);
+            victim_record = record;
+            update_lane_gauges(victim_lane);
+          }
+        }
+        if (outcome == Outcome::kAdmitted) {
+          QueuedSubmission queued;
+          queued.submission = submission;
+          queued.admitted_at = submission.arrival;
+          queued.seq = next_seq_++;
+          // A lane waking from empty joins the fair race at the current
+          // virtual pass — idle time earns no credit.
+          if (lane.pending.empty()) {
+            lane.pass = std::max(lane.pass, global_pass_);
+          }
+          const bool pushed = lane.pending.push_back(std::move(queued));
+          S3_CHECK_MSG(pushed, "lane rejected a push below its capacity");
+          ++total_queued_;
+          update_lane_gauges(lane);
+          metrics.gauge("service.queued")
+              .set(static_cast<double>(total_queued_));
+        }
+      }
+    }
+  }
+
+  switch (outcome) {
+    case Outcome::kClosed:
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      decision.code = AdmitCode::kRejected;
+      decision.reason = "service closed";
+      journal_decision(obs::JournalEventType::kServiceRejected, submission,
+                       tenant_detail(submission.tenant) + " reason=closed");
+      return finish(decision);
+    case Outcome::kLaneFull: {
+      retry_after_.fetch_add(1, std::memory_order_relaxed);
+      decision.code = AdmitCode::kRetryAfter;
+      decision.retry_after = registry_.penalize(submission.tenant);
+      decision.reason = "tenant queue bound";
+      journal_decision(
+          obs::JournalEventType::kServiceRejected, submission,
+          tenant_detail(submission.tenant) + " reason=lane_full retry_after=" +
+              std::to_string(decision.retry_after));
+      return finish(decision);
+    }
+    case Outcome::kShedIncoming: {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      decision.code = AdmitCode::kShed;
+      decision.retry_after = registry_.penalize(submission.tenant);
+      decision.reason = "overload: submission is the newest lowest-priority";
+      journal_decision(
+          obs::JournalEventType::kServiceShed, submission,
+          tenant_detail(submission.tenant) + " victim=incoming retry_after=" +
+              std::to_string(decision.retry_after));
+      return finish(decision);
+    }
+    case Outcome::kAdmitted:
+      break;
+  }
+
+  if (victim_record.has_value()) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    obs::Registry::instance().counter("service.shed_victims").add();
+    Submission victim_view;  // journal the victim, not the incoming job
+    victim_view.tenant = victim_record->tenant;
+    victim_view.spec.id = victim_record->job;
+    victim_view.arrival = victim_record->at;
+    journal_decision(
+        obs::JournalEventType::kServiceShed, victim_view,
+        tenant_detail(victim_record->tenant) +
+            (victim_record->deadline_expired ? " reason=deadline_expired"
+                                             : " reason=displaced"));
+  }
+
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  decision.code = AdmitCode::kAdmitted;
+  journal_decision(obs::JournalEventType::kServiceAdmitted, submission,
+                   tenant_detail(submission.tenant) +
+                       " priority=" + std::to_string(submission.priority));
+  work_cv_.notify_one();
+  return finish(decision);
+}
+
+std::vector<AdmittedJob> SubmissionService::poll_admitted(SimTime now,
+                                                          std::size_t max_jobs) {
+  std::vector<AdmittedJob> out;
+  MutexLock lock(queue_mu_);
+  while (max_jobs == 0 || out.size() < max_jobs) {
+    Lane* best = nullptr;
+    TenantId best_tenant;
+    for (auto& [tenant, lane] : lanes_) {
+      if (lane.pending.empty()) continue;
+      if (lane.inflight >= lane.max_inflight) continue;
+      if (lane.pending.front().submission.arrival > now) continue;
+      if (best == nullptr || lane.pass < best->pass ||
+          (lane.pass == best->pass && tenant < best_tenant)) {
+        best = &lane;
+        best_tenant = tenant;
+      }
+    }
+    if (best == nullptr) break;
+    QueuedSubmission queued = best->pending.pop_front();
+    --total_queued_;
+    ++best->inflight;
+    best->pass += 1.0 / best->weight;
+    global_pass_ = std::max(global_pass_, best->pass);
+    inflight_jobs_.emplace(queued.submission.spec.id, best_tenant);
+    dispatched_.fetch_add(1, std::memory_order_relaxed);
+    update_lane_gauges(*best);
+    AdmittedJob job;
+    job.submission = std::move(queued.submission);
+    job.admitted_at = queued.admitted_at;
+    job.dispatched_at = now;
+    out.push_back(std::move(job));
+  }
+  obs::Registry::instance().gauge("service.queued").set(
+      static_cast<double>(total_queued_));
+  return out;
+}
+
+void SubmissionService::on_job_finished(JobId job) {
+  bool slot_freed = false;
+  {
+    MutexLock lock(queue_mu_);
+    const auto it = inflight_jobs_.find(job);
+    if (it == inflight_jobs_.end()) return;  // not service-managed
+    const auto lane_it = lanes_.find(it->second);
+    S3_CHECK_MSG(lane_it != lanes_.end(), "lane vanished for in-flight job");
+    S3_CHECK_MSG(lane_it->second.inflight > 0,
+                 "finishing a job for a lane with no in-flight work");
+    --lane_it->second.inflight;
+    inflight_jobs_.erase(it);
+    finished_.fetch_add(1, std::memory_order_relaxed);
+    update_lane_gauges(lane_it->second);
+    slot_freed = true;
+  }
+  if (slot_freed) work_cv_.notify_all();
+}
+
+std::optional<SimTime> SubmissionService::next_ready_time(SimTime now) const {
+  MutexLock lock(queue_mu_);
+  std::optional<SimTime> best;
+  for (const auto& [tenant, lane] : lanes_) {
+    if (lane.pending.empty()) continue;
+    if (lane.inflight >= lane.max_inflight) continue;
+    const SimTime arrival = lane.pending.front().submission.arrival;
+    const SimTime ready = arrival <= now ? now : arrival;
+    if (!best.has_value() || ready < *best) best = ready;
+  }
+  return best;
+}
+
+bool SubmissionService::wait_for_work() {
+  MutexLock lock(queue_mu_);
+  while (!closed_ && total_queued_ == 0) lock.wait(work_cv_);
+  return total_queued_ > 0;
+}
+
+void SubmissionService::close() {
+  {
+    MutexLock lock(queue_mu_);
+    closed_ = true;
+  }
+  work_cv_.notify_all();
+}
+
+bool SubmissionService::closed() const {
+  MutexLock lock(queue_mu_);
+  return closed_;
+}
+
+bool SubmissionService::drained() const {
+  MutexLock lock(queue_mu_);
+  return total_queued_ == 0;
+}
+
+std::size_t SubmissionService::queued() const {
+  MutexLock lock(queue_mu_);
+  return total_queued_;
+}
+
+SubmissionService::Counts SubmissionService::counts() const {
+  Counts counts;
+  counts.submitted = submitted_.load(std::memory_order_relaxed);
+  counts.admitted = admitted_.load(std::memory_order_relaxed);
+  counts.rejected = rejected_.load(std::memory_order_relaxed);
+  counts.retry_after = retry_after_.load(std::memory_order_relaxed);
+  counts.shed = shed_.load(std::memory_order_relaxed);
+  counts.dispatched = dispatched_.load(std::memory_order_relaxed);
+  counts.finished = finished_.load(std::memory_order_relaxed);
+  return counts;
+}
+
+std::vector<ShedRecord> SubmissionService::shed_log() const {
+  MutexLock lock(queue_mu_);
+  return shed_log_;
+}
+
+}  // namespace s3::service

@@ -1,0 +1,169 @@
+// SubmissionService: the resident `s3d` front door. Many threads call
+// submit() continuously; every call returns a typed AdmissionDecision
+// immediately (nothing in this layer ever sleeps or blocks on capacity):
+//
+//   submit(s) ── token bucket dry ───────────────→ kRetryAfter (backoff hint)
+//            ── unknown tenant / closed ─────────→ kRejected
+//            ── tenant lane full ────────────────→ kRetryAfter (backoff hint)
+//            ── global bound hit ──┬─ a queued victim is strictly worse
+//                                  │  (expired deadline, or lower priority)
+//                                  │  → victim shed, submission admitted
+//                                  └─ otherwise → kShed (newest lowest-
+//                                     priority work is the submission itself)
+//            ── otherwise ───────────────────────→ kAdmitted
+//
+// Admitted work sits in per-tenant bounded lanes until the driver's resident
+// loop calls poll_admitted(now): a stride scheduler releases eligible heads
+// in weighted-fair order, honoring each tenant's concurrency quota
+// (max_inflight). Only queued work is ever shed — once dispatched, a job's
+// shared scan always completes. All decisions are deterministic functions of
+// virtual time and arrival order.
+//
+// Locking (ranks ascend; nothing here calls into sched/ under a lock):
+// registry/tenant locks (kServiceRegistry/kServiceTenant) are consulted
+// first and released before the single queue lock (kServiceQueue) that
+// guards the lanes, the fair-share state, and the shed log.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bounded_deque.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "common/types.h"
+#include "obs/journal.h"
+#include "service/admission.h"
+#include "service/tenant_registry.h"
+
+namespace s3::service {
+
+struct ServiceOptions {
+  // Global bound on queued (admitted-but-undispatched) submissions across
+  // all tenants; the overload shedder engages at this line.
+  std::size_t global_queue_bound = 64;
+  TenantRegistry::BackoffPolicy backoff;
+};
+
+class SubmissionService {
+ public:
+  explicit SubmissionService(ServiceOptions options = {});
+  SubmissionService(const SubmissionService&) = delete;
+  SubmissionService& operator=(const SubmissionService&) = delete;
+
+  // Tenant management (forwards to the registry and keeps the dispatch
+  // lanes' quota mirrors in sync).
+  [[nodiscard]] Status register_tenant(TenantId tenant, std::string name,
+                                       const TenantQuota& quota);
+  [[nodiscard]] Status set_quota(TenantId tenant, const TenantQuota& quota,
+                                 SimTime now);
+  [[nodiscard]] TenantRegistry& registry() { return registry_; }
+
+  // Thread-safe, non-blocking admission. See the header comment for the
+  // decision ladder.
+  [[nodiscard]] AdmissionDecision submit(const Submission& submission);
+
+  // Releases eligible queued work (arrival <= now, tenant below its
+  // concurrency quota) in weighted-fair order. max_jobs == 0 means no cap.
+  [[nodiscard]] std::vector<AdmittedJob> poll_admitted(SimTime now,
+                                                       std::size_t max_jobs = 0);
+
+  // Returns a dispatched job's concurrency slot to its tenant.
+  void on_job_finished(JobId job);
+
+  // Earliest virtual time at which poll_admitted could release more work,
+  // given no further submissions or completions: `now` if something is
+  // already eligible, the earliest queued arrival otherwise, nullopt when
+  // nothing is queued or everything waits on a concurrency slot.
+  [[nodiscard]] std::optional<SimTime> next_ready_time(SimTime now) const;
+
+  // Blocks until queued work exists or the service closes. Returns true when
+  // work is available, false when closed and drained — the resident driver's
+  // parking primitive.
+  [[nodiscard]] bool wait_for_work();
+
+  void close();
+  [[nodiscard]] bool closed() const;
+  // No queued submissions (dispatched work may still be running).
+  [[nodiscard]] bool drained() const;
+  [[nodiscard]] std::size_t queued() const;
+
+  struct Counts {
+    std::uint64_t submitted = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t retry_after = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t dispatched = 0;
+    std::uint64_t finished = 0;
+  };
+  [[nodiscard]] Counts counts() const;
+  [[nodiscard]] std::vector<ShedRecord> shed_log() const;
+
+ private:
+  struct QueuedSubmission {
+    Submission submission;
+    SimTime admitted_at = 0.0;
+    std::uint64_t seq = 0;
+  };
+
+  // Per-tenant dispatch lane. Quota fields mirror the registry (updated via
+  // set_quota) so the dispatcher never reaches across the lock hierarchy.
+  struct Lane {
+    explicit Lane(std::size_t capacity) : pending(capacity) {}
+    BoundedDeque<QueuedSubmission> pending;
+    std::size_t inflight = 0;
+    std::size_t max_inflight = 1;
+    double weight = 1.0;
+    double pass = 0.0;       // stride-scheduler virtual pass
+    std::string name;
+  };
+
+  struct Victim {
+    TenantId tenant;
+    std::size_t index = 0;   // position in the lane's pending deque
+    int priority = 0;
+    std::uint64_t seq = 0;
+    bool expired = false;
+  };
+
+  void journal_decision(obs::JournalEventType type, const Submission& s,
+                        const std::string& detail) const;
+  void update_lane_gauges(const Lane& lane) const S3_REQUIRES(queue_mu_);
+  // Picks the queued submission the shedder would drop, judged at `now`
+  // against the incoming (priority, seq). Returns nullopt when every queued
+  // submission is preferable to the incoming one.
+  [[nodiscard]] std::optional<Victim> pick_victim(SimTime now,
+                                                  int incoming_priority) const
+      S3_REQUIRES(queue_mu_);
+
+  ServiceOptions options_;
+  TenantRegistry registry_;
+
+  mutable AnnotatedMutex queue_mu_{LockRank::kServiceQueue};
+  std::condition_variable work_cv_;
+  std::unordered_map<TenantId, Lane> lanes_ S3_GUARDED_BY(queue_mu_);
+  std::unordered_map<JobId, TenantId> inflight_jobs_ S3_GUARDED_BY(queue_mu_);
+  std::size_t total_queued_ S3_GUARDED_BY(queue_mu_) = 0;
+  std::uint64_t next_seq_ S3_GUARDED_BY(queue_mu_) = 0;
+  double global_pass_ S3_GUARDED_BY(queue_mu_) = 0.0;
+  bool closed_ S3_GUARDED_BY(queue_mu_) = false;
+  std::vector<ShedRecord> shed_log_ S3_GUARDED_BY(queue_mu_);
+
+  // Monotonic decision tallies; atomics so the token-bucket rejection path
+  // never has to take the queue lock just to count itself.
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> retry_after_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> dispatched_{0};
+  std::atomic<std::uint64_t> finished_{0};
+};
+
+}  // namespace s3::service

@@ -1,0 +1,163 @@
+#include "service/tenant_registry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/journal.h"
+#include "obs/registry.h"
+
+namespace s3::service {
+namespace {
+
+std::string quota_detail(TenantId tenant, const TenantQuota& quota) {
+  return "tenant=" + std::to_string(tenant.value()) +
+         " rate=" + std::to_string(quota.rate_jobs_per_sec) +
+         " burst=" + std::to_string(quota.burst) +
+         " max_queued=" + std::to_string(quota.max_queued) +
+         " max_inflight=" + std::to_string(quota.max_inflight) +
+         " weight=" + std::to_string(quota.weight);
+}
+
+}  // namespace
+
+Status TenantRegistry::add_tenant(TenantId tenant, std::string name,
+                                  const TenantQuota& quota) {
+  if (!tenant.valid()) {
+    return Status::invalid_argument("invalid tenant id");
+  }
+  if (quota.rate_jobs_per_sec <= 0.0 || quota.burst < 1.0 ||
+      quota.max_queued == 0 || quota.max_inflight == 0 ||
+      quota.weight <= 0.0) {
+    return Status::invalid_argument("malformed tenant quota");
+  }
+  auto state = std::make_unique<TenantState>();
+  state->id = tenant;
+  state->name = std::move(name);
+  {
+    // Initialization happens before the state is published, so the tenant
+    // mutex is not needed yet; TSA still wants the guard.
+    MutexLock lock(state->mu);
+    state->quota = quota;
+    state->tokens = quota.burst;  // start full: a fresh tenant can burst
+  }
+  WriterMutexLock lock(mu_);
+  if (tenants_.find(tenant) != tenants_.end()) {
+    return Status::already_exists("tenant already registered");
+  }
+  tenants_.emplace(tenant, std::move(state));
+  return Status::ok();
+}
+
+Status TenantRegistry::set_quota(TenantId tenant, const TenantQuota& quota,
+                                 SimTime now) {
+  if (quota.rate_jobs_per_sec <= 0.0 || quota.burst < 1.0 ||
+      quota.max_queued == 0 || quota.max_inflight == 0 ||
+      quota.weight <= 0.0) {
+    return Status::invalid_argument("malformed tenant quota");
+  }
+  {
+    ReaderMutexLock lock(mu_);
+    TenantState* state = find(tenant);
+    if (state == nullptr) return Status::not_found("unknown tenant");
+    MutexLock tenant_lock(state->mu);
+    state->quota = quota;
+    state->tokens = std::min(state->tokens, quota.burst);
+  }
+  auto& journal = obs::EventJournal::instance();
+  if (journal.observed()) {
+    obs::JournalEvent event;
+    event.type = obs::JournalEventType::kServiceQuotaChanged;
+    event.sim_time = now;
+    event.detail = quota_detail(tenant, quota);
+    journal.record(std::move(event));
+  }
+  return Status::ok();
+}
+
+const TenantRegistry::TenantState* TenantRegistry::find(TenantId tenant) const {
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? nullptr : it->second.get();
+}
+
+TenantRegistry::TenantState* TenantRegistry::find(TenantId tenant) {
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? nullptr : it->second.get();
+}
+
+SimTime TenantRegistry::backoff_locked(const TenantState& state) const {
+  const std::uint32_t exponent =
+      std::min(state.consecutive_rejects, backoff_.cap_exp);
+  return backoff_.base * static_cast<SimTime>(1ULL << exponent);
+}
+
+TenantRegistry::TokenResult TenantRegistry::try_consume(TenantId tenant,
+                                                        SimTime now) {
+  TokenResult result;
+  ReaderMutexLock lock(mu_);
+  TenantState* state = find(tenant);
+  if (state == nullptr) return result;  // kUnknown
+  MutexLock tenant_lock(state->mu);
+  // Deterministic refill: tokens accrue with virtual time only. Submissions
+  // from concurrent threads may present non-monotonic arrivals; refill is
+  // clamped so replaying the same arrival multiset yields the same buckets.
+  if (now > state->last_refill) {
+    state->tokens =
+        std::min(state->quota.burst,
+                 state->tokens + (now - state->last_refill) *
+                                     state->quota.rate_jobs_per_sec);
+    state->last_refill = now;
+  }
+  result.quota = state->quota;
+  result.name = state->name;
+  if (state->tokens >= 1.0) {
+    state->tokens -= 1.0;
+    state->consecutive_rejects = 0;
+    result.outcome = TokenResult::Outcome::kOk;
+  } else {
+    ++state->consecutive_rejects;
+    const SimTime until_token =
+        (1.0 - state->tokens) / state->quota.rate_jobs_per_sec;
+    result.outcome = TokenResult::Outcome::kThrottled;
+    result.retry_after = std::max(until_token, backoff_locked(*state));
+  }
+  result.tokens_left = state->tokens;
+  obs::Registry::instance()
+      .gauge("service.tenant." + state->name + ".tokens")
+      .set(state->tokens);
+  return result;
+}
+
+SimTime TenantRegistry::penalize(TenantId tenant) {
+  ReaderMutexLock lock(mu_);
+  TenantState* state = find(tenant);
+  if (state == nullptr) return 0.0;
+  MutexLock tenant_lock(state->mu);
+  ++state->consecutive_rejects;
+  return backoff_locked(*state);
+}
+
+StatusOr<TenantQuota> TenantRegistry::quota(TenantId tenant) const {
+  ReaderMutexLock lock(mu_);
+  const TenantState* state = find(tenant);
+  if (state == nullptr) return Status::not_found("unknown tenant");
+  MutexLock tenant_lock(state->mu);
+  return state->quota;
+}
+
+StatusOr<std::string> TenantRegistry::tenant_name(TenantId tenant) const {
+  ReaderMutexLock lock(mu_);
+  const TenantState* state = find(tenant);
+  if (state == nullptr) return Status::not_found("unknown tenant");
+  return state->name;
+}
+
+std::vector<TenantId> TenantRegistry::tenants() const {
+  ReaderMutexLock lock(mu_);
+  std::vector<TenantId> out;
+  out.reserve(tenants_.size());
+  for (const auto& [id, state] : tenants_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace s3::service

@@ -1,0 +1,99 @@
+// TenantRegistry: the per-tenant half of the admission front door. Each
+// tenant owns a deterministic token bucket (refilled from virtual submission
+// times, never from a wall clock or a background thread) plus an exponential
+// backoff ladder that turns consecutive rejections into growing retry hints.
+//
+// Locking: the registry map sits behind a shared mutex (kServiceRegistry);
+// each tenant's mutable bucket state sits behind its own mutex
+// (kServiceTenant, acquired under the registry's reader lock — ranks
+// ascend). Nothing here ever calls into the scheduler or the queue layer, so
+// the registry can be consulted from any submit thread without touching the
+// service's queue lock.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "common/types.h"
+#include "service/admission.h"
+
+namespace s3::service {
+
+class TenantRegistry {
+ public:
+  struct TokenResult {
+    enum class Outcome {
+      kUnknown,    // tenant never registered
+      kOk,         // token consumed
+      kThrottled,  // bucket dry; retry_after carries the modeled hint
+    };
+    Outcome outcome = Outcome::kUnknown;
+    SimTime retry_after = 0.0;
+    double tokens_left = 0.0;
+    TenantQuota quota;  // snapshot, so callers avoid a second lookup
+    std::string name;
+  };
+
+  // Modeled exponential backoff: base * 2^min(consecutive_rejects, cap).
+  // Pure virtual-time math — nothing sleeps on it.
+  struct BackoffPolicy {
+    SimTime base = 0.05;
+    std::uint32_t cap_exp = 6;
+  };
+
+  TenantRegistry() : TenantRegistry(BackoffPolicy{}) {}
+  explicit TenantRegistry(BackoffPolicy backoff) : backoff_(backoff) {}
+  TenantRegistry(const TenantRegistry&) = delete;
+  TenantRegistry& operator=(const TenantRegistry&) = delete;
+
+  // Registers a tenant with a full bucket. kAlreadyExists on duplicates.
+  [[nodiscard]] Status add_tenant(TenantId tenant, std::string name,
+                                  const TenantQuota& quota);
+
+  // Re-points a tenant's quota at runtime (the chaos storms flap these).
+  // The bucket is clamped to the new burst; journals kServiceQuotaChanged.
+  [[nodiscard]] Status set_quota(TenantId tenant, const TenantQuota& quota,
+                                 SimTime now);
+
+  // Refills the tenant's bucket up to `now` and tries to consume one token.
+  // kOk resets the backoff ladder; kThrottled climbs it and returns
+  // max(time-until-one-token, modeled backoff) as the retry hint.
+  [[nodiscard]] TokenResult try_consume(TenantId tenant, SimTime now);
+
+  // Climbs the backoff ladder without touching the bucket — used when a
+  // submission passes the token bucket but bounces off a queue bound.
+  [[nodiscard]] SimTime penalize(TenantId tenant);
+
+  [[nodiscard]] StatusOr<TenantQuota> quota(TenantId tenant) const;
+  [[nodiscard]] StatusOr<std::string> tenant_name(TenantId tenant) const;
+  [[nodiscard]] std::vector<TenantId> tenants() const;
+
+ private:
+  struct TenantState {
+    TenantId id;
+    std::string name;
+    mutable AnnotatedMutex mu{LockRank::kServiceTenant};
+    TenantQuota quota S3_GUARDED_BY(mu);
+    double tokens S3_GUARDED_BY(mu) = 0.0;
+    SimTime last_refill S3_GUARDED_BY(mu) = 0.0;
+    std::uint32_t consecutive_rejects S3_GUARDED_BY(mu) = 0;
+  };
+
+  [[nodiscard]] const TenantState* find(TenantId tenant) const
+      S3_REQUIRES_SHARED(mu_);
+  [[nodiscard]] TenantState* find(TenantId tenant) S3_REQUIRES_SHARED(mu_);
+  [[nodiscard]] SimTime backoff_locked(const TenantState& state) const
+      S3_REQUIRES(state.mu);
+
+  BackoffPolicy backoff_;
+  mutable AnnotatedSharedMutex mu_{LockRank::kServiceRegistry};
+  std::unordered_map<TenantId, std::unique_ptr<TenantState>> tenants_
+      S3_GUARDED_BY(mu_);
+};
+
+}  // namespace s3::service

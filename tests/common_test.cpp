@@ -6,6 +6,7 @@
 #include <set>
 #include <sstream>
 
+#include "common/bounded_deque.h"
 #include "common/bytes.h"
 #include "common/flags.h"
 #include "common/rng.h"
@@ -316,6 +317,46 @@ TEST(FlagsTest, ExplicitBooleanBeforePositional) {
   const Flags flags = Flags::parse(3, argv);
   EXPECT_TRUE(flags.get_bool("verbose"));
   ASSERT_EQ(flags.positional().size(), 1u);
+}
+
+TEST(BoundedDequeTest, PushBackRefusesBeyondCapacity) {
+  BoundedDeque<int> d(2);
+  EXPECT_TRUE(d.push_back(1));
+  EXPECT_TRUE(d.push_back(2));
+  EXPECT_TRUE(d.full());
+  EXPECT_FALSE(d.push_back(3));  // refused, not silently grown
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.front(), 1);
+}
+
+TEST(BoundedDequeTest, PopFreesCapacity) {
+  BoundedDeque<int> d(1);
+  EXPECT_TRUE(d.push_back(7));
+  EXPECT_EQ(d.pop_front(), 7);
+  EXPECT_TRUE(d.empty());
+  EXPECT_TRUE(d.push_back(8));
+  EXPECT_EQ(d.pop_back(), 8);
+}
+
+TEST(BoundedDequeTest, EraseAtRemovesMiddleElement) {
+  BoundedDeque<int> d(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(d.push_back(i));
+  d.erase_at(2);
+  ASSERT_EQ(d.size(), 3u);
+  std::vector<int> got(d.begin(), d.end());
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 3}));
+  EXPECT_TRUE(d.push_back(9));  // the erased slot is reusable
+}
+
+TEST(BoundedDequeTest, ShrinkingCapacityKeepsExistingItems) {
+  BoundedDeque<int> d(4);
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(d.push_back(i));
+  d.set_capacity(2);  // over capacity now: keeps items, refuses new ones
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_FALSE(d.push_back(9));
+  (void)d.pop_front();
+  (void)d.pop_front();
+  EXPECT_TRUE(d.push_back(9));
 }
 
 }  // namespace

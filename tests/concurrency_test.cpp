@@ -261,5 +261,89 @@ TEST(ThreadPoolTest, ExceptionDuringShutdownIsDiscarded) {
   SUCCEED();
 }
 
+TEST(BoundedBlockingQueueTest, TryPushFailsFastWhenFull) {
+  BlockingQueue<int> q(2);
+  EXPECT_EQ(q.capacity(), 2u);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.try_pop(), 1);
+  EXPECT_TRUE(q.try_push(3));  // pop freed a slot
+}
+
+TEST(BoundedBlockingQueueTest, TryPushForTimesOutThenSucceedsAfterPop) {
+  BlockingQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  EXPECT_FALSE(q.try_push_for(2, std::chrono::milliseconds(5)));
+  EXPECT_EQ(q.try_pop(), 1);
+  EXPECT_TRUE(q.try_push_for(2, std::chrono::milliseconds(5)));
+  EXPECT_EQ(q.try_pop(), 2);
+}
+
+TEST(BoundedBlockingQueueTest, PushBlocksUntilConsumerFreesSpace) {
+  BlockingQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.push(2));  // must block until the pop below
+    pushed.store(true);
+  });
+  // Let the producer reach the full-queue wait, then drain one item.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(q.pop(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.pop(), 2);
+}
+
+TEST(BoundedBlockingQueueTest, CloseWakesBlockedProducer) {
+  BlockingQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::thread producer([&] {
+    EXPECT_FALSE(q.push(2));  // woken by close, item dropped
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  producer.join();
+  EXPECT_EQ(q.pop(), 1);       // accepted items still drain
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(BoundedBlockingQueueTest, ZeroCapacityMeansUnbounded) {
+  BlockingQueue<int> q(0);
+  for (int i = 0; i < 1000; ++i) ASSERT_TRUE(q.try_push(i));
+  EXPECT_EQ(q.size(), 1000u);
+}
+
+TEST(BoundedBlockingQueueTest, ManyProducersRespectCapacityHighWaterMark) {
+  BlockingQueue<int> q(4);
+  std::atomic<int> produced{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        if (q.push(i)) produced.fetch_add(1);
+      }
+    });
+  }
+  std::atomic<int> consumed{0};
+  std::thread consumer([&] {
+    while (true) {
+      auto item = q.pop();
+      if (!item.has_value()) break;
+      // The queue never exceeds its bound: size() counts items *after* this
+      // pop, so at most capacity could have been present.
+      EXPECT_LE(q.size(), 4u);
+      consumed.fetch_add(1);
+    }
+  });
+  for (auto& t : producers) t.join();
+  q.close();
+  consumer.join();
+  EXPECT_EQ(consumed.load(), produced.load());
+  EXPECT_EQ(produced.load(), 200);
+}
+
 }  // namespace
 }  // namespace s3

@@ -741,5 +741,41 @@ TEST(S3LintSuppressions, UnsuppressedLineStillReported) {
   EXPECT_TRUE(has_rule(vs, "segment-modulo"));
 }
 
+// ---------------------------------------------------------------------------
+// bounded-queue
+
+TEST(S3LintBoundedQueue, FlagsStdQueueContainersInService) {
+  const auto vs = lint("src/service/pipeline.cpp",
+                       "struct S {\n"
+                       "  std::deque<int> backlog;\n"
+                       "  std::queue<int> fifo;\n"
+                       "};\n");
+  ASSERT_TRUE(has_rule(vs, "bounded-queue"));
+}
+
+TEST(S3LintBoundedQueue, FlagsDefaultConstructedBlockingQueue) {
+  const auto vs = lint("src/service/pipeline.h",
+                       "class P {\n"
+                       "  BlockingQueue<Submission> inbox_;\n"
+                       "};\n");
+  EXPECT_TRUE(has_rule(vs, "bounded-queue"));
+}
+
+TEST(S3LintBoundedQueue, CapacityConstructedBlockingQueueIsClean) {
+  const auto vs = lint("src/service/pipeline.h",
+                       "class P {\n"
+                       "  BlockingQueue<Submission> inbox_{64};\n"
+                       "  BoundedDeque<Submission> lane_;\n"
+                       "};\n"
+                       "void f(BlockingQueue<int>& q) { q.push(1); }\n");
+  EXPECT_FALSE(has_rule(vs, "bounded-queue"));
+}
+
+TEST(S3LintBoundedQueue, OtherDirectoriesAreExempt) {
+  const auto vs = lint("src/engine/pool.h",
+                       "struct E { std::deque<int> tasks; };\n");
+  EXPECT_FALSE(has_rule(vs, "bounded-queue"));
+}
+
 }  // namespace
 }  // namespace s3lint

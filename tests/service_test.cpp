@@ -1,0 +1,552 @@
+// Tests for the resident submission front door: deterministic token buckets,
+// exponential backoff hints, bounded lanes, weighted-fair dispatch, the
+// deadline-aware overload shedder, and the shed-then-recover differential
+// oracle (admitted jobs produce byte-identical output to a plain batch run).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/real_driver.h"
+#include "obs/journal.h"
+#include "sched/s3_scheduler.h"
+#include "service/submission_service.h"
+#include "service/tenant_registry.h"
+#include "workloads/suite.h"
+#include "workloads/text_corpus.h"
+#include "workloads/wordcount.h"
+
+namespace s3 {
+namespace {
+
+using service::AdmitCode;
+using service::Submission;
+using service::SubmissionService;
+using service::TenantQuota;
+using service::TenantRegistry;
+
+// A structurally valid spec for admission-layer tests that never execute.
+engine::JobSpec make_spec(std::uint64_t job) {
+  return workloads::make_wordcount_job(JobId(job), FileId(0), "a",
+                                       /*reduce_tasks=*/1);
+}
+
+Submission make_submission(std::uint64_t tenant, std::uint64_t job,
+                           SimTime arrival, int priority = 0,
+                           SimTime deadline = kTimeNever) {
+  Submission s;
+  s.tenant = TenantId(tenant);
+  s.spec = make_spec(job);
+  s.arrival = arrival;
+  s.priority = priority;
+  s.deadline = deadline;
+  return s;
+}
+
+TenantQuota generous_quota() {
+  TenantQuota quota;
+  quota.rate_jobs_per_sec = 1000.0;
+  quota.burst = 100.0;
+  quota.max_queued = 100;
+  quota.max_inflight = 100;
+  return quota;
+}
+
+// ---------------------------------------------------------------------------
+// TenantRegistry
+
+TEST(TenantRegistryTest, RefillIsDeterministicAcrossInstances) {
+  const std::vector<SimTime> arrivals = {0.0, 0.1, 0.1, 0.45, 0.5,
+                                         1.7, 1.7, 1.9,  4.0, 4.05};
+  TenantQuota quota;
+  quota.rate_jobs_per_sec = 2.0;
+  quota.burst = 3.0;
+  const auto replay = [&] {
+    TenantRegistry registry;
+    EXPECT_TRUE(registry.add_tenant(TenantId(0), "t", quota).is_ok());
+    std::vector<std::pair<int, double>> trace;
+    for (const SimTime t : arrivals) {
+      const auto r = registry.try_consume(TenantId(0), t);
+      trace.emplace_back(static_cast<int>(r.outcome), r.tokens_left);
+    }
+    return trace;
+  };
+  // Bit-identical: the bucket is pure virtual-time math, no wall clock.
+  EXPECT_EQ(replay(), replay());
+}
+
+TEST(TenantRegistryTest, BucketStartsFullAndRefillsAtRate) {
+  TenantRegistry registry;
+  TenantQuota quota;
+  quota.rate_jobs_per_sec = 1.0;
+  quota.burst = 2.0;
+  ASSERT_TRUE(registry.add_tenant(TenantId(0), "t", quota).is_ok());
+  EXPECT_EQ(registry.try_consume(TenantId(0), 0.0).outcome,
+            TenantRegistry::TokenResult::Outcome::kOk);
+  EXPECT_EQ(registry.try_consume(TenantId(0), 0.0).outcome,
+            TenantRegistry::TokenResult::Outcome::kOk);
+  const auto dry = registry.try_consume(TenantId(0), 0.0);
+  EXPECT_EQ(dry.outcome, TenantRegistry::TokenResult::Outcome::kThrottled);
+  EXPECT_GE(dry.retry_after, 1.0);  // one token away at 1 job/s
+  // One virtual second later a single token has accrued.
+  EXPECT_EQ(registry.try_consume(TenantId(0), 1.0).outcome,
+            TenantRegistry::TokenResult::Outcome::kOk);
+  EXPECT_EQ(registry.try_consume(TenantId(0), 1.0).outcome,
+            TenantRegistry::TokenResult::Outcome::kThrottled);
+}
+
+TEST(TenantRegistryTest, BackoffHintsClimbExponentiallyAndCap) {
+  TenantRegistry registry({/*base=*/0.05, /*cap_exp=*/3});
+  TenantQuota quota;
+  quota.rate_jobs_per_sec = 1000.0;  // token wait is negligible vs backoff
+  quota.burst = 1.0;
+  ASSERT_TRUE(registry.add_tenant(TenantId(0), "t", quota).is_ok());
+  ASSERT_EQ(registry.try_consume(TenantId(0), 0.0).outcome,
+            TenantRegistry::TokenResult::Outcome::kOk);
+  std::vector<SimTime> hints;
+  for (int i = 0; i < 5; ++i) {
+    hints.push_back(registry.try_consume(TenantId(0), 0.0).retry_after);
+  }
+  EXPECT_DOUBLE_EQ(hints[0], 0.05 * 2);   // 1st reject: 2^1
+  EXPECT_DOUBLE_EQ(hints[1], 0.05 * 4);
+  EXPECT_DOUBLE_EQ(hints[2], 0.05 * 8);   // cap_exp = 3
+  EXPECT_DOUBLE_EQ(hints[3], 0.05 * 8);   // clamped
+  EXPECT_DOUBLE_EQ(hints[4], 0.05 * 8);
+  // A successful consume resets the ladder.
+  ASSERT_EQ(registry.try_consume(TenantId(0), 10.0).outcome,
+            TenantRegistry::TokenResult::Outcome::kOk);
+  EXPECT_DOUBLE_EQ(registry.try_consume(TenantId(0), 10.0).retry_after,
+                   0.05 * 2);
+}
+
+TEST(TenantRegistryTest, MalformedQuotaAndDuplicatesAreRejected) {
+  TenantRegistry registry;
+  TenantQuota bad;
+  bad.rate_jobs_per_sec = 0.0;
+  EXPECT_FALSE(registry.add_tenant(TenantId(1), "t", bad).is_ok());
+  EXPECT_TRUE(registry.add_tenant(TenantId(1), "t", generous_quota()).is_ok());
+  EXPECT_FALSE(registry.add_tenant(TenantId(1), "t", generous_quota()).is_ok());
+  EXPECT_EQ(registry.try_consume(TenantId(9), 0.0).outcome,
+            TenantRegistry::TokenResult::Outcome::kUnknown);
+}
+
+TEST(TenantRegistryTest, SetQuotaClampsBucketToNewBurst) {
+  TenantRegistry registry;
+  TenantQuota quota = generous_quota();
+  quota.burst = 10.0;
+  ASSERT_TRUE(registry.add_tenant(TenantId(0), "t", quota).is_ok());
+  quota.burst = 1.0;
+  ASSERT_TRUE(registry.set_quota(TenantId(0), quota, 0.0).is_ok());
+  EXPECT_EQ(registry.try_consume(TenantId(0), 0.0).outcome,
+            TenantRegistry::TokenResult::Outcome::kOk);
+  EXPECT_EQ(registry.try_consume(TenantId(0), 0.0).outcome,
+            TenantRegistry::TokenResult::Outcome::kThrottled);
+}
+
+// ---------------------------------------------------------------------------
+// SubmissionService admission ladder
+
+TEST(SubmissionServiceTest, UnknownTenantAndClosedServiceAreRejected) {
+  SubmissionService service;
+  EXPECT_EQ(service.submit(make_submission(7, 0, 0.0)).code,
+            AdmitCode::kRejected);
+  ASSERT_TRUE(
+      service.register_tenant(TenantId(0), "t", generous_quota()).is_ok());
+  service.close();
+  const auto d = service.submit(make_submission(0, 1, 0.0));
+  EXPECT_EQ(d.code, AdmitCode::kRejected);
+  EXPECT_EQ(d.reason, "service closed");
+}
+
+TEST(SubmissionServiceTest, TokenExhaustionYieldsRetryAfterThenRecovers) {
+  SubmissionService service;
+  TenantQuota quota = generous_quota();
+  quota.rate_jobs_per_sec = 1.0;
+  quota.burst = 2.0;
+  ASSERT_TRUE(service.register_tenant(TenantId(0), "t", quota).is_ok());
+  EXPECT_TRUE(service.submit(make_submission(0, 0, 0.0)).admitted());
+  EXPECT_TRUE(service.submit(make_submission(0, 1, 0.0)).admitted());
+  const auto throttled = service.submit(make_submission(0, 2, 0.0));
+  EXPECT_EQ(throttled.code, AdmitCode::kRetryAfter);
+  EXPECT_GT(throttled.retry_after, 0.0);
+  // Re-offering at the hinted virtual time succeeds.
+  EXPECT_TRUE(
+      service.submit(make_submission(0, 2, throttled.retry_after)).admitted());
+  const auto counts = service.counts();
+  EXPECT_EQ(counts.submitted, 4u);
+  EXPECT_EQ(counts.admitted, 3u);
+  EXPECT_EQ(counts.retry_after, 1u);
+}
+
+TEST(SubmissionServiceTest, FullLaneYieldsRetryAfterWithBackoffHint) {
+  SubmissionService service;
+  TenantQuota quota = generous_quota();
+  quota.max_queued = 2;
+  ASSERT_TRUE(service.register_tenant(TenantId(0), "t", quota).is_ok());
+  EXPECT_TRUE(service.submit(make_submission(0, 0, 0.0)).admitted());
+  EXPECT_TRUE(service.submit(make_submission(0, 1, 0.0)).admitted());
+  const auto bounced = service.submit(make_submission(0, 2, 0.0));
+  EXPECT_EQ(bounced.code, AdmitCode::kRetryAfter);
+  EXPECT_EQ(bounced.reason, "tenant queue bound");
+  EXPECT_GT(bounced.retry_after, 0.0);
+  EXPECT_EQ(service.queued(), 2u);
+}
+
+TEST(SubmissionServiceTest, ConcurrencyQuotaGatesDispatchUntilFinish) {
+  SubmissionService service;
+  TenantQuota quota = generous_quota();
+  quota.max_inflight = 1;
+  ASSERT_TRUE(service.register_tenant(TenantId(0), "t", quota).is_ok());
+  ASSERT_TRUE(service.submit(make_submission(0, 0, 0.0)).admitted());
+  ASSERT_TRUE(service.submit(make_submission(0, 1, 0.0)).admitted());
+  auto first = service.poll_admitted(0.0);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].submission.spec.id, JobId(0));
+  EXPECT_TRUE(service.poll_admitted(0.0).empty());  // quota holds the second
+  EXPECT_FALSE(service.next_ready_time(0.0).has_value());
+  service.on_job_finished(JobId(0));
+  auto second = service.poll_admitted(0.0);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].submission.spec.id, JobId(1));
+}
+
+TEST(SubmissionServiceTest, FutureArrivalsWaitAndNextReadyTimeReportsThem) {
+  SubmissionService service;
+  ASSERT_TRUE(
+      service.register_tenant(TenantId(0), "t", generous_quota()).is_ok());
+  ASSERT_TRUE(service.submit(make_submission(0, 0, 5.0)).admitted());
+  EXPECT_TRUE(service.poll_admitted(1.0).empty());
+  const auto ready = service.next_ready_time(1.0);
+  ASSERT_TRUE(ready.has_value());
+  EXPECT_DOUBLE_EQ(*ready, 5.0);
+  EXPECT_EQ(service.poll_admitted(5.0).size(), 1u);
+}
+
+TEST(SubmissionServiceTest, WeightedFairDispatchFollowsStrideOrder) {
+  SubmissionService service;
+  TenantQuota heavy = generous_quota();
+  heavy.weight = 2.0;
+  TenantQuota light = generous_quota();
+  light.weight = 1.0;
+  ASSERT_TRUE(service.register_tenant(TenantId(0), "heavy", heavy).is_ok());
+  ASSERT_TRUE(service.register_tenant(TenantId(1), "light", light).is_ok());
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(service.submit(make_submission(0, i, 0.0)).admitted());
+  }
+  for (std::uint64_t i = 4; i < 6; ++i) {
+    ASSERT_TRUE(service.submit(make_submission(1, i, 0.0)).admitted());
+  }
+  const auto released = service.poll_admitted(0.0);
+  ASSERT_EQ(released.size(), 6u);
+  std::vector<std::uint64_t> order;
+  for (const auto& job : released) order.push_back(job.submission.tenant.value());
+  // Stride with weights 2:1 (ties break toward the lower tenant id):
+  // heavy, light, heavy, heavy, light, heavy.
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{0, 1, 0, 0, 1, 0}));
+}
+
+TEST(SubmissionServiceTest, IdleLaneEarnsNoFairShareCredit) {
+  SubmissionService service;
+  ASSERT_TRUE(
+      service.register_tenant(TenantId(0), "busy", generous_quota()).is_ok());
+  ASSERT_TRUE(
+      service.register_tenant(TenantId(1), "idle", generous_quota()).is_ok());
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(service.submit(make_submission(0, i, 0.0)).admitted());
+  }
+  ASSERT_EQ(service.poll_admitted(0.0).size(), 8u);
+  // The idle lane wakes at the current pass — it must not get a make-up
+  // burst for the time it spent empty, only ordinary alternation.
+  for (std::uint64_t i = 8; i < 12; ++i) {
+    ASSERT_TRUE(
+        service.submit(make_submission(i % 2, 100 + i, 0.0)).admitted());
+  }
+  const auto released = service.poll_admitted(0.0);
+  ASSERT_EQ(released.size(), 4u);
+  std::size_t idle_first_two = 0;
+  for (std::size_t i = 0; i < 2; ++i) {
+    if (released[i].submission.tenant == TenantId(1)) ++idle_first_two;
+  }
+  EXPECT_LE(idle_first_two, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Overload shedding
+
+void fill_to_global_bound(SubmissionService& service,
+                          std::uint64_t tenant = 0) {
+  // Two admitted priority-0 submissions hit the bound of 2.
+  EXPECT_TRUE(service.submit(make_submission(tenant, 0, 0.0)).admitted());
+  EXPECT_TRUE(service.submit(make_submission(tenant, 1, 0.0)).admitted());
+}
+
+service::ServiceOptions tiny_bound_options() {
+  service::ServiceOptions options;
+  options.global_queue_bound = 2;
+  return options;
+}
+
+TEST(SubmissionServiceTest, HigherPriorityDisplacesNewestLowestPriority) {
+  SubmissionService service(tiny_bound_options());
+  ASSERT_TRUE(
+      service.register_tenant(TenantId(0), "t", generous_quota()).is_ok());
+  fill_to_global_bound(service);
+  const auto d = service.submit(make_submission(0, 2, 0.0, /*priority=*/1));
+  EXPECT_TRUE(d.admitted());
+  const auto shed = service.shed_log();
+  ASSERT_EQ(shed.size(), 1u);
+  EXPECT_EQ(shed[0].job, JobId(1));  // newest of the priority-0 pair
+  EXPECT_FALSE(shed[0].deadline_expired);
+  EXPECT_EQ(service.queued(), 2u);  // bound holds
+  // The displaced job is gone; the survivors are 0 and 2.
+  const auto released = service.poll_admitted(0.0);
+  ASSERT_EQ(released.size(), 2u);
+  EXPECT_EQ(released[0].submission.spec.id, JobId(0));
+  EXPECT_EQ(released[1].submission.spec.id, JobId(2));
+}
+
+TEST(SubmissionServiceTest, IncomingIsShedWhenNothingQueuedIsWorse) {
+  SubmissionService service(tiny_bound_options());
+  ASSERT_TRUE(
+      service.register_tenant(TenantId(0), "t", generous_quota()).is_ok());
+  fill_to_global_bound(service);
+  // Same priority as everything queued: the incoming job is the newest
+  // lowest-priority work, so *it* is shed — with a typed decision, not an
+  // exception or a blocked caller.
+  const auto d = service.submit(make_submission(0, 2, 0.0, /*priority=*/0));
+  EXPECT_EQ(d.code, AdmitCode::kShed);
+  EXPECT_GT(d.retry_after, 0.0);
+  EXPECT_TRUE(service.shed_log().empty());  // no queued victim was dropped
+  EXPECT_EQ(service.queued(), 2u);
+}
+
+TEST(SubmissionServiceTest, ExpiredDeadlineIsShedBeforeLowerPriority) {
+  SubmissionService service(tiny_bound_options());
+  ASSERT_TRUE(
+      service.register_tenant(TenantId(0), "t", generous_quota()).is_ok());
+  // Priority-2 submission whose deadline passes, next to a priority-0 one.
+  ASSERT_TRUE(service
+                  .submit(make_submission(0, 0, 0.0, /*priority=*/2,
+                                          /*deadline=*/0.5))
+                  .admitted());
+  ASSERT_TRUE(service.submit(make_submission(0, 1, 0.0, /*priority=*/0))
+                  .admitted());
+  // At t=1 the deadline of job 0 has expired: it is the victim even though
+  // its priority is higher — work that can no longer meet its deadline is
+  // the cheapest thing to drop.
+  const auto d = service.submit(make_submission(0, 2, 1.0, /*priority=*/0));
+  EXPECT_TRUE(d.admitted());
+  const auto shed = service.shed_log();
+  ASSERT_EQ(shed.size(), 1u);
+  EXPECT_EQ(shed[0].job, JobId(0));
+  EXPECT_TRUE(shed[0].deadline_expired);
+}
+
+TEST(SubmissionServiceTest, DispatchedJobsAreNeverShed) {
+  SubmissionService service(tiny_bound_options());
+  ASSERT_TRUE(
+      service.register_tenant(TenantId(0), "t", generous_quota()).is_ok());
+  fill_to_global_bound(service);
+  // Dispatch both: the queue empties, in-flight work is not shed material.
+  ASSERT_EQ(service.poll_admitted(0.0).size(), 2u);
+  EXPECT_TRUE(service.submit(make_submission(0, 2, 0.0)).admitted());
+  EXPECT_TRUE(service.submit(make_submission(0, 3, 0.0)).admitted());
+  const auto d = service.submit(make_submission(0, 4, 0.0, /*priority=*/1));
+  EXPECT_TRUE(d.admitted());
+  const auto shed = service.shed_log();
+  ASSERT_EQ(shed.size(), 1u);
+  // The victim is queued job 3, never the dispatched jobs 0/1.
+  EXPECT_EQ(shed[0].job, JobId(3));
+}
+
+TEST(SubmissionServiceTest, DecisionJournalCarriesTenantAndReason) {
+  obs::EventJournal::instance().clear();
+  obs::EventJournal::instance().set_enabled(true);
+  {
+    SubmissionService service(tiny_bound_options());
+    ASSERT_TRUE(
+        service.register_tenant(TenantId(3), "t", generous_quota()).is_ok());
+    fill_to_global_bound(service, 3);
+    (void)service.submit(make_submission(9, 10, 0.0));  // unknown tenant
+    // Overload at equal priority: the incoming submission itself is shed.
+    (void)service.submit(make_submission(3, 11, 0.0, /*priority=*/0));
+  }
+  const auto events = obs::EventJournal::instance().snapshot();
+  obs::EventJournal::instance().set_enabled(false);
+  obs::EventJournal::instance().clear();
+  std::size_t admitted = 0, rejected = 0, shed = 0;
+  for (const auto& e : events) {
+    if (e.type == obs::JournalEventType::kServiceAdmitted) ++admitted;
+    if (e.type == obs::JournalEventType::kServiceRejected) {
+      ++rejected;
+      EXPECT_NE(e.detail.find("tenant="), std::string::npos);
+      EXPECT_NE(e.detail.find("reason="), std::string::npos);
+    }
+    if (e.type == obs::JournalEventType::kServiceShed) ++shed;
+  }
+  EXPECT_EQ(admitted, 2u);  // the two submissions that filled the bound
+  EXPECT_EQ(rejected, 1u);  // unknown tenant
+  EXPECT_EQ(shed, 1u);      // the final overload submission
+}
+
+// ---------------------------------------------------------------------------
+// Shed-then-recover differential oracle (real engine underneath)
+
+struct ServiceWorld {
+  dfs::DfsNamespace ns;
+  dfs::BlockStore store;
+  cluster::Topology topology = cluster::Topology::uniform(4, 2);
+  sched::FileCatalog catalog;
+  FileId file;
+
+  ServiceWorld() {
+    dfs::PlacementTopology ptopo;
+    for (const auto& n : topology.nodes()) {
+      ptopo.nodes.push_back({n.id, n.rack});
+    }
+    dfs::RoundRobinPlacement placement(ptopo);
+    workloads::TextCorpusGenerator corpus;
+    file = corpus
+               .generate_file(ns, store, placement, "text", /*num_blocks=*/8,
+                              ByteSize::kib(8))
+               .value();
+    catalog.add(file, 8);
+  }
+};
+
+core::RealRunResult run_resident(ServiceWorld& world,
+                                 SubmissionService& service) {
+  engine::LocalEngineOptions eopts;
+  eopts.map_workers = 2;
+  eopts.reduce_workers = 2;
+  engine::LocalEngine engine(world.ns, world.store, eopts);
+  sched::S3Options s3_opts;
+  s3_opts.blocks_per_segment = 4;
+  sched::S3Scheduler scheduler(world.catalog, s3_opts, &world.topology);
+  core::RealDriver driver(world.ns, engine, world.catalog,
+                          {/*time_scale=*/1e5, /*map_slots=*/2});
+  auto run = driver.run_service(scheduler, service);
+  EXPECT_TRUE(run.is_ok()) << run.status();
+  return std::move(run).value();
+}
+
+void expect_same_output(const engine::JobResult& got,
+                        const engine::JobResult& want) {
+  ASSERT_EQ(got.output.size(), want.output.size());
+  for (std::size_t i = 0; i < got.output.size(); ++i) {
+    ASSERT_EQ(got.output[i].key, want.output[i].key);
+    ASSERT_EQ(got.output[i].value, want.output[i].value);
+  }
+}
+
+TEST(ServiceDriverTest, ShedThenRecoverOutputsMatchPlainBatchRun) {
+  // Overload a tiny pipeline: 8 offered jobs against a global bound of 3.
+  // Some are shed; every admitted job must finish with output byte-identical
+  // to a plain run() of exactly the admitted set.
+  ServiceWorld world;
+  service::ServiceOptions options;
+  options.global_queue_bound = 3;
+  SubmissionService service(options);
+  TenantQuota quota = generous_quota();
+  quota.max_inflight = 2;
+  ASSERT_TRUE(service.register_tenant(TenantId(0), "alpha", quota).is_ok());
+  ASSERT_TRUE(service.register_tenant(TenantId(1), "beta", quota).is_ok());
+
+  const char* prefixes = "abcdefgh";
+  std::vector<core::RealJob> admitted_jobs;
+  for (std::uint64_t j = 0; j < 8; ++j) {
+    Submission s;
+    s.tenant = TenantId(j % 2);
+    s.spec = workloads::make_wordcount_job(JobId(j), world.file,
+                                           std::string(1, prefixes[j]),
+                                           /*reduce_tasks=*/2);
+    s.arrival = 0.1 * static_cast<double>(j);
+    s.priority = static_cast<int>(j % 3);
+    const auto d = service.submit(s);
+    if (d.admitted()) {
+      admitted_jobs.push_back({s.spec, s.arrival, s.priority});
+    }
+  }
+  service.close();
+  // Remove jobs the shedder displaced after admission.
+  const auto shed = service.shed_log();
+  ASSERT_FALSE(shed.empty());  // the overload must actually engage
+  for (const auto& record : shed) {
+    for (auto it = admitted_jobs.begin(); it != admitted_jobs.end(); ++it) {
+      if (it->spec.id == record.job) {
+        admitted_jobs.erase(it);
+        break;
+      }
+    }
+  }
+  ASSERT_FALSE(admitted_jobs.empty());
+
+  const core::RealRunResult resident = run_resident(world, service);
+  ASSERT_EQ(resident.outputs.size(), admitted_jobs.size());
+  for (const auto& record : shed) {
+    EXPECT_EQ(resident.outputs.count(record.job), 0u)
+        << "shed job " << record.job << " must not produce output";
+  }
+  const auto counts = service.counts();
+  EXPECT_EQ(counts.dispatched, admitted_jobs.size());
+  EXPECT_EQ(counts.finished, admitted_jobs.size());
+
+  // Differential oracle: the plain batch driver over the surviving set.
+  ServiceWorld solo_world;
+  engine::LocalEngineOptions eopts;
+  eopts.map_workers = 2;
+  eopts.reduce_workers = 2;
+  engine::LocalEngine engine(solo_world.ns, solo_world.store, eopts);
+  sched::S3Options s3_opts;
+  s3_opts.blocks_per_segment = 4;
+  sched::S3Scheduler scheduler(solo_world.catalog, s3_opts,
+                               &solo_world.topology);
+  core::RealDriver driver(solo_world.ns, engine, solo_world.catalog,
+                          {/*time_scale=*/1e5, /*map_slots=*/2});
+  std::vector<core::RealJob> solo_jobs;
+  for (const auto& job : admitted_jobs) {
+    solo_jobs.push_back(
+        {workloads::make_wordcount_job(
+             job.spec.id, solo_world.file,
+             std::string(1, prefixes[job.spec.id.value()]), 2),
+         job.arrival, job.priority});
+  }
+  auto solo = driver.run(scheduler, std::move(solo_jobs));
+  ASSERT_TRUE(solo.is_ok()) << solo.status();
+  for (const auto& [job, output] : solo.value().outputs) {
+    const auto it = resident.outputs.find(job);
+    ASSERT_NE(it, resident.outputs.end());
+    expect_same_output(it->second, output);
+  }
+}
+
+TEST(ServiceDriverTest, StaggeredArrivalsJoinAsLateArrivalsAndComplete) {
+  ServiceWorld world;
+  SubmissionService service;
+  ASSERT_TRUE(
+      service.register_tenant(TenantId(0), "t", generous_quota()).is_ok());
+  const char* prefixes = "abcd";
+  for (std::uint64_t j = 0; j < 4; ++j) {
+    Submission s;
+    s.tenant = TenantId(0);
+    s.spec = workloads::make_wordcount_job(JobId(j), world.file,
+                                           std::string(1, prefixes[j]),
+                                           /*reduce_tasks=*/2);
+    // Spread far enough apart (vs time_scale) that later submissions land
+    // while earlier waves are in flight — the Partial-Job-Init path.
+    s.arrival = 0.5 * static_cast<double>(j);
+    ASSERT_TRUE(service.submit(s).admitted());
+  }
+  service.close();
+  const core::RealRunResult result = run_resident(world, service);
+  EXPECT_EQ(result.outputs.size(), 4u);
+  EXPECT_TRUE(result.failed.empty());
+  const auto counts = service.counts();
+  EXPECT_EQ(counts.admitted, 4u);
+  EXPECT_EQ(counts.finished, 4u);
+  EXPECT_TRUE(service.drained());
+}
+
+}  // namespace
+}  // namespace s3

@@ -1,0 +1,284 @@
+// Arrival-storm matrix: 24 seeded StormPlans (bursts, tenant floods, quota
+// flaps, up to 10x overload) replayed through the SubmissionService and the
+// resident driver. Invariants per seed:
+//   * the plan itself is a pure function of the seed (replayed bit-for-bit);
+//   * every submission gets a typed decision — nothing blocks, nothing
+//     throws, the queue bound never overshoots;
+//   * every dispatched job completes; shed jobs produce no output;
+//   * the admitted survivors' outputs are byte-identical to a plain batch
+//     run() of exactly those jobs (shed-then-recover differential oracle).
+// check.sh --storm runs this suite plain and under TSan.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "chaos/arrival_storm.h"
+#include "core/real_driver.h"
+#include "sched/s3_scheduler.h"
+#include "service/submission_service.h"
+#include "workloads/suite.h"
+#include "workloads/text_corpus.h"
+#include "workloads/wordcount.h"
+
+namespace s3 {
+namespace {
+
+constexpr std::uint64_t kNumBlocks = 6;
+
+struct World {
+  dfs::DfsNamespace ns;
+  dfs::BlockStore store;
+  cluster::Topology topology = cluster::Topology::uniform(4, 2);
+  sched::FileCatalog catalog;
+  FileId file;
+
+  World() {
+    dfs::PlacementTopology ptopo;
+    for (const auto& n : topology.nodes()) {
+      ptopo.nodes.push_back({n.id, n.rack});
+    }
+    dfs::RoundRobinPlacement placement(ptopo);
+    workloads::TextCorpusGenerator corpus;
+    file = corpus
+               .generate_file(ns, store, placement, "text", kNumBlocks,
+                              ByteSize::kib(4))
+               .value();
+    catalog.add(file, kNumBlocks);
+  }
+};
+
+chaos::StormOptions storm_options(std::uint64_t seed) {
+  chaos::StormOptions options;
+  options.seed = seed;
+  options.tenants = 2 + seed % 3;
+  options.jobs = 16;
+  options.duration = 6.0;
+  // A third of the matrix runs at 10x overload (the acceptance scenario),
+  // the rest at gentler factors so the admit path is exercised too.
+  options.overload_factor = seed % 3 == 0 ? 10.0 : (seed % 3 == 1 ? 4.0 : 1.5);
+  options.quota_flaps = seed % 2 == 0 ? 2 : 0;
+  options.flood_every = 5;
+  options.flood_size = 2;
+  return options;
+}
+
+std::string prefix_for(JobId job) {
+  return std::string(1, "abcdefghijklmnopqrstuvwxyz"[job.value() % 26]);
+}
+
+service::Submission to_submission(const chaos::StormArrival& arrival,
+                                  FileId file) {
+  service::Submission s;
+  s.tenant = arrival.tenant;
+  s.spec = workloads::make_wordcount_job(arrival.job, file,
+                                         prefix_for(arrival.job),
+                                         /*reduce_tasks=*/2);
+  s.arrival = arrival.arrival;
+  s.priority = arrival.priority;
+  s.deadline = arrival.deadline;
+  return s;
+}
+
+// Replays the storm's submissions (and quota flaps, interleaved by virtual
+// time) into `service`, single-threaded so the decision sequence is a pure
+// function of the plan. Returns the decision code per arrival.
+std::vector<service::AdmitCode> replay_storm(const chaos::StormPlan& plan,
+                                             FileId file,
+                                             service::SubmissionService& service) {
+  std::vector<service::AdmitCode> decisions;
+  std::size_t flap = 0;
+  for (const auto& arrival : plan.arrivals()) {
+    while (flap < plan.flaps().size() &&
+           plan.flaps()[flap].at <= arrival.arrival) {
+      EXPECT_TRUE(service
+                      .set_quota(plan.flaps()[flap].tenant,
+                                 plan.flaps()[flap].quota,
+                                 plan.flaps()[flap].at)
+                      .is_ok());
+      ++flap;
+    }
+    decisions.push_back(service.submit(to_submission(arrival, file)).code);
+    EXPECT_LE(service.queued(), std::size_t{8}) << "global bound overshot";
+  }
+  return decisions;
+}
+
+service::ServiceOptions storm_service_options() {
+  service::ServiceOptions options;
+  options.global_queue_bound = 8;
+  return options;
+}
+
+void register_tenants(const chaos::StormPlan& plan,
+                      service::SubmissionService& service) {
+  for (const auto& tenant : plan.tenants()) {
+    ASSERT_TRUE(
+        service.register_tenant(tenant.id, tenant.name, tenant.quota).is_ok());
+  }
+}
+
+void run_storm_seed(std::uint64_t seed) {
+  SCOPED_TRACE("storm seed " + std::to_string(seed));
+  const chaos::StormPlan plan(storm_options(seed));
+  const chaos::StormPlan replayed(storm_options(seed));
+  ASSERT_EQ(plan.arrivals().size(), replayed.arrivals().size());
+  for (std::size_t i = 0; i < plan.arrivals().size(); ++i) {
+    ASSERT_EQ(plan.arrivals()[i].arrival, replayed.arrivals()[i].arrival);
+    ASSERT_EQ(plan.arrivals()[i].tenant, replayed.arrivals()[i].tenant);
+  }
+
+  World world;
+  service::SubmissionService service(storm_service_options());
+  register_tenants(plan, service);
+  const auto decisions = replay_storm(plan, world.file, service);
+
+  // Decision determinism: a second service instance fed the same plan takes
+  // exactly the same path (no wall clock, no thread interleaving).
+  {
+    service::SubmissionService twin(storm_service_options());
+    register_tenants(plan, twin);
+    EXPECT_EQ(replay_storm(plan, world.file, twin), decisions);
+  }
+
+  service.close();
+  const auto shed = service.shed_log();
+  std::set<JobId> shed_jobs;
+  for (const auto& record : shed) shed_jobs.insert(record.job);
+
+  engine::LocalEngineOptions eopts;
+  eopts.map_workers = 2;
+  eopts.reduce_workers = 2;
+  engine::LocalEngine engine(world.ns, world.store, eopts);
+  sched::S3Options s3_opts;
+  s3_opts.blocks_per_segment = 3;
+  sched::S3Scheduler scheduler(world.catalog, s3_opts, &world.topology);
+  core::RealDriver driver(world.ns, engine, world.catalog,
+                          {/*time_scale=*/1e5, /*map_slots=*/2});
+  auto run = driver.run_service(scheduler, service);
+  ASSERT_TRUE(run.is_ok()) << run.status();
+  const core::RealRunResult& result = run.value();
+
+  const auto counts = service.counts();
+  EXPECT_EQ(counts.submitted, plan.arrivals().size());
+  EXPECT_EQ(counts.dispatched, counts.finished);
+  EXPECT_EQ(result.outputs.size(), counts.dispatched);
+  if (storm_options(seed).overload_factor <= 2.0) {
+    // Gentle storms must make progress: a front door that sheds a
+    // sustainable load is as broken as one that never sheds.
+    EXPECT_GT(counts.dispatched, 0u);
+  }
+  if (storm_options(seed).overload_factor >= 10.0) {
+    // The acceptance scenario: 10x overload must actually shed or throttle,
+    // deterministically, with zero deadlock (we got here) and zero OOM (the
+    // queue bound assertion above).
+    EXPECT_GT(counts.retry_after + counts.shed, 0u);
+  }
+  for (const JobId job : shed_jobs) {
+    EXPECT_EQ(result.outputs.count(job), 0u);
+  }
+
+  // Differential oracle: plain batch run over the dispatched set.
+  std::vector<core::RealJob> survivors;
+  for (const auto& arrival : plan.arrivals()) {
+    if (result.outputs.count(arrival.job) == 0) continue;
+    survivors.push_back(
+        {workloads::make_wordcount_job(arrival.job, world.file,
+                                       prefix_for(arrival.job), 2),
+         arrival.arrival, arrival.priority});
+  }
+  if (survivors.empty()) return;  // a fully-shed storm is a valid outcome
+  World solo_world;
+  for (auto& job : survivors) {
+    job.spec = workloads::make_wordcount_job(
+        job.spec.id, solo_world.file, prefix_for(job.spec.id), 2);
+  }
+  engine::LocalEngine solo_engine(solo_world.ns, solo_world.store, eopts);
+  sched::S3Scheduler solo_scheduler(solo_world.catalog, s3_opts,
+                                    &solo_world.topology);
+  core::RealDriver solo_driver(solo_world.ns, solo_engine, solo_world.catalog,
+                               {/*time_scale=*/1e5, /*map_slots=*/2});
+  auto solo = solo_driver.run(solo_scheduler, std::move(survivors));
+  ASSERT_TRUE(solo.is_ok()) << solo.status();
+  ASSERT_EQ(solo.value().outputs.size(), result.outputs.size());
+  for (const auto& [job, output] : solo.value().outputs) {
+    const auto it = result.outputs.find(job);
+    ASSERT_NE(it, result.outputs.end());
+    ASSERT_EQ(it->second.output.size(), output.output.size());
+    for (std::size_t i = 0; i < output.output.size(); ++i) {
+      ASSERT_EQ(it->second.output[i].key, output.output[i].key);
+      ASSERT_EQ(it->second.output[i].value, output.output[i].value);
+    }
+  }
+}
+
+// The 24-seed matrix, split so ctest can run the shards in parallel.
+TEST(StormMatrixTest, SeedsOneThroughSix) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) run_storm_seed(seed);
+}
+
+TEST(StormMatrixTest, SeedsSevenThroughTwelve) {
+  for (std::uint64_t seed = 7; seed <= 12; ++seed) run_storm_seed(seed);
+}
+
+TEST(StormMatrixTest, SeedsThirteenThroughEighteen) {
+  for (std::uint64_t seed = 13; seed <= 18; ++seed) run_storm_seed(seed);
+}
+
+TEST(StormMatrixTest, SeedsNineteenThroughTwentyFour) {
+  for (std::uint64_t seed = 19; seed <= 24; ++seed) run_storm_seed(seed);
+}
+
+TEST(StormPlanTest, OverloadFactorCompressesTheArrivalWindow) {
+  chaos::StormOptions options;
+  options.seed = 5;
+  options.jobs = 40;
+  options.duration = 10.0;
+  options.overload_factor = 1.0;
+  const chaos::StormPlan calm(options);
+  options.overload_factor = 10.0;
+  const chaos::StormPlan storm(options);
+  EXPECT_LT(storm.horizon(), calm.horizon());
+  EXPECT_GE(storm.arrivals().size(), 40u);
+}
+
+TEST(StormPlanTest, FloodsShareOneInstantAndOneTenant) {
+  chaos::StormOptions options;
+  options.seed = 9;
+  options.jobs = 30;
+  options.flood_every = 4;
+  options.flood_size = 3;
+  const chaos::StormPlan plan(options);
+  // Find at least one same-instant run of 4 submissions from one tenant.
+  std::size_t best_run = 1, run = 1;
+  for (std::size_t i = 1; i < plan.arrivals().size(); ++i) {
+    const auto& prev = plan.arrivals()[i - 1];
+    const auto& cur = plan.arrivals()[i];
+    run = (cur.arrival == prev.arrival && cur.tenant == prev.tenant) ? run + 1
+                                                                     : 1;
+    best_run = std::max(best_run, run);
+  }
+  EXPECT_GE(best_run, 4u);
+}
+
+TEST(StormPlanTest, QuotaFlapsAreSortedAndValid) {
+  chaos::StormOptions options;
+  options.seed = 3;
+  options.quota_flaps = 6;
+  const chaos::StormPlan plan(options);
+  ASSERT_EQ(plan.flaps().size(), 6u);
+  for (std::size_t i = 0; i < plan.flaps().size(); ++i) {
+    if (i > 0) {
+      EXPECT_GE(plan.flaps()[i].at, plan.flaps()[i - 1].at);
+    }
+    EXPECT_GT(plan.flaps()[i].quota.rate_jobs_per_sec, 0.0);
+    EXPECT_GE(plan.flaps()[i].quota.burst, 1.0);
+    EXPECT_GE(plan.flaps()[i].quota.max_queued, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace s3

@@ -432,6 +432,70 @@ void check_raw_clock(const std::string& path, const TokenizedFile& file,
   }
 }
 
+// bounded-queue: unbounded queue construction in src/service/. The
+// admission front door is the system's backpressure boundary — every queue
+// there must carry an explicit bound (BoundedDeque, or BlockingQueue with a
+// capacity argument), otherwise overload turns into silent queue bloat
+// instead of the typed kRetryAfter/kShed decisions DESIGN.md §17 promises.
+// Flags std:: queue-like containers outright and BlockingQueue declarations
+// whose initializer is empty (the default ctor is the unbounded mode).
+void check_bounded_queue(const std::string& path, const TokenizedFile& file,
+                         std::vector<Violation>* out) {
+  if (!starts_with(path, "src/service/")) return;
+  const std::vector<Token>& toks = file.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    const std::string& name = toks[i].text;
+    const bool std_scoped = i >= 2 && toks[i - 1].kind == TokKind::kPunct &&
+                            toks[i - 1].text == "::" &&
+                            toks[i - 2].kind == TokKind::kIdent &&
+                            toks[i - 2].text == "std";
+    if (std_scoped && (name == "deque" || name == "queue" ||
+                       name == "priority_queue" || name == "list")) {
+      out->push_back(Violation{
+          "bounded-queue", toks[i].line,
+          "std::" + name +
+              " in src/service/; admission queues must be bounded — use "
+              "BoundedDeque or a capacity-constructed BlockingQueue "
+              "(backpressure model, DESIGN.md §17)"});
+      continue;
+    }
+    if (name != "BlockingQueue") continue;
+    // Skip the template argument list, tracking <> depth.
+    std::size_t j = i + 1;
+    if (j < toks.size() && toks[j].kind == TokKind::kPunct &&
+        toks[j].text == "<") {
+      int depth = 0;
+      for (; j < toks.size(); ++j) {
+        if (toks[j].kind != TokKind::kPunct) continue;
+        if (toks[j].text == "<") ++depth;
+        if (toks[j].text == ">" && --depth == 0) {
+          ++j;
+          break;
+        }
+      }
+    }
+    // A declaration: `BlockingQueue<T> name …`. References, pointers, and
+    // using-aliases put punctuation here instead and are not constructions.
+    if (j >= toks.size() || toks[j].kind != TokKind::kIdent) continue;
+    const std::size_t k = j + 1;
+    const bool default_ctor =
+        k >= toks.size() ||
+        (toks[k].kind == TokKind::kPunct &&
+         (toks[k].text == ";" ||
+          (k + 1 < toks.size() &&
+           ((toks[k].text == "(" && toks[k + 1].text == ")") ||
+            (toks[k].text == "{" && toks[k + 1].text == "}")))));
+    if (default_ctor) {
+      out->push_back(Violation{
+          "bounded-queue", toks[i].line,
+          "BlockingQueue default-constructed in src/service/ is unbounded; "
+          "pass an explicit capacity so the admission pipeline exerts "
+          "backpressure (DESIGN.md §17)"});
+    }
+  }
+}
+
 // raw-thread: direct std::thread (or pthread_create) in src/ outside
 // src/common/. Worker threads must come from ThreadPool/PinnedThreadPool so
 // every thread honors the shutdown-drain and exception-rethrow contracts and
@@ -599,7 +663,7 @@ const std::vector<std::string>& all_rules() {
       "status-dataloss", "segment-modulo", "view-retention",
       "thread-detach", "raw-thread",     "stray-cout",
       "sleep-in-src",  "raw-clock",      "pragma-once",
-      "wait-under-lock", "raw-abort",
+      "wait-under-lock", "raw-abort",    "bounded-queue",
   };
   return kRules;
 }
@@ -659,6 +723,9 @@ std::vector<Violation> lint_file(
   }
   if (enabled.count("raw-abort") > 0) {
     check_raw_abort(path, file, &raw);
+  }
+  if (enabled.count("bounded-queue") > 0) {
+    check_bounded_queue(path, file, &raw);
   }
 
   // view-retention is the lexical fast path of s3viewcheck's deeper

@@ -12,6 +12,9 @@
 //   * sharing     — logical vs physical blocks and sharing_efficiency
 //   * phases      — per-phase p50/p95/p99 wall time plus fault counters
 //   * faults      — node deaths, quarantines, failovers, corrupt reads
+//   * service     — admission decisions with rates, queue depth, per-tenant
+//                   queued/inflight/tokens gauges, admission-latency
+//                   quantiles (only when a SubmissionService is exporting)
 // Counters are shown with a per-second rate derived from successive polls.
 #include <algorithm>
 #include <chrono>
@@ -143,6 +146,60 @@ void render_counters(const Exposition& now, const Exposition* prev,
   }
 }
 
+// Admission front-end (s3d). Only rendered when the exposition carries
+// service counters — batch runs without a SubmissionService skip it.
+void render_service(const Exposition& now, const Exposition* prev,
+                    double dt_s) {
+  if (now.samples.count("s3_service_admitted") == 0) return;
+  std::printf("\nservice (admission)\n");
+  render_counters(now, prev, dt_s,
+                  {{"admitted", "s3_service_admitted"},
+                   {"rejected", "s3_service_rejected"},
+                   {"retry-after", "s3_service_retry_after"},
+                   {"shed", "s3_service_shed"},
+                   {"shed victims", "s3_service_shed_victims"}});
+  std::printf("  queued: %s\n",
+              format_count(sample(now, "s3_service_queued")).c_str());
+
+  const auto latency = now.quantiles.find("s3_service_admission_latency_ns");
+  if (latency != now.quantiles.end()) {
+    const auto quantile = [&latency](const char* q) {
+      const auto it = latency->second.find(q);
+      return it == latency->second.end() ? 0.0 : it->second;
+    };
+    std::printf("  admission latency p50/p95/p99: %s / %s / %s\n",
+                format_ns(quantile("0.5")).c_str(),
+                format_ns(quantile("0.95")).c_str(),
+                format_ns(quantile("0.99")).c_str());
+  }
+
+  // Per-tenant gauges: s3_service_tenant_<name>_{queued,inflight,tokens}.
+  // Group by the <name> chunk so each tenant prints one row.
+  const std::string prefix = "s3_service_tenant_";
+  std::map<std::string, std::map<std::string, double>> tenants;
+  for (const auto& [name, value] : now.samples) {
+    if (name.rfind(prefix, 0) != 0) continue;
+    const std::string rest = name.substr(prefix.size());
+    for (const char* field : {"_queued", "_inflight", "_tokens"}) {
+      const std::string suffix = field;
+      if (rest.size() > suffix.size() &&
+          rest.compare(rest.size() - suffix.size(), suffix.size(), suffix) ==
+              0) {
+        tenants[rest.substr(0, rest.size() - suffix.size())][suffix] = value;
+      }
+    }
+  }
+  for (const auto& [tenant, fields] : tenants) {
+    const auto field = [&fields](const char* key) {
+      const auto it = fields.find(key);
+      return it == fields.end() ? 0.0 : it->second;
+    };
+    std::printf("  tenant %-12s queued=%s inflight=%s tokens=%.1f\n",
+                tenant.c_str(), format_count(field("_queued")).c_str(),
+                format_count(field("_inflight")).c_str(), field("_tokens"));
+  }
+}
+
 void render(const Exposition& now, const Exposition* prev, double dt_s,
             const std::string& path, bool clear_screen) {
   if (clear_screen) std::printf("\x1b[H\x1b[2J");
@@ -207,6 +264,8 @@ void render(const Exposition& now, const Exposition* prev, double dt_s,
                    {"quarantines", "s3_engine_quarantines"},
                    {"replica failovers", "s3_dfs_replica_failovers"},
                    {"corrupt reads", "s3_dfs_corrupt_reads"}});
+
+  render_service(now, prev, dt_s);
   std::fflush(stdout);
 }
 

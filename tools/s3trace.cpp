@@ -225,6 +225,9 @@ const char* const kJournalNames[] = {
     "node_suspected",  "node_dead",       "task_attempt_failed",
     "task_retried",    "task_hung",       "replica_failed_over",
     "block_corrupt",   "job_quarantined", "batch_rerun",
+    // Admission-service events (front-door decisions; see DESIGN.md §17).
+    "service_admitted", "service_rejected", "service_shed",
+    "service_quota_changed",
 };
 
 // The subset of journal events that record recovery decisions.
